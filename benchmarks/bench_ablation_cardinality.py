@@ -1,0 +1,66 @@
+"""Ablation D4 — cardinality encodings vs bound tightness.
+
+Beyond Table II's single bound, sweep the SWAP bound from loose to tight on
+one layout instance and compare the sequential counter, totalizer, and
+adder-network encodings.  Expected: the CNF counting circuits (seqcounter,
+totalizer) degrade gracefully as the bound tightens, while the adder
+network (the AtMost/pseudo-Boolean stand-in) pays a growing penalty —
+it is not arc-consistent, so tight bounds force search instead of
+propagation.
+
+Run standalone:  python benchmarks/bench_ablation_cardinality.py
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.arch import grid
+from repro.core import CARD_ADDER, CARD_SEQUENTIAL, CARD_TOTALIZER, LayoutEncoder, SynthesisConfig
+from repro.harness import format_table
+from repro.workloads import qaoa_circuit
+
+TIMEOUT = 60.0
+METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
+BOUNDS = (12, 8, 6, 4)
+
+
+def run_ablation(timeout: float = TIMEOUT):
+    circuit = qaoa_circuit(8, seed=1)
+    device = grid(3, 3)
+    rows = []
+    for bound in BOUNDS:
+        row = [bound]
+        for method in METHODS:
+            cfg = SynthesisConfig(cardinality=method, swap_duration=1)
+            enc = LayoutEncoder(circuit, device, horizon=8, config=cfg)
+            enc.encode()
+            enc.init_swap_counter(max_bound=max(BOUNDS))
+            guard = enc.swap_guard(bound)
+            start = time.monotonic()
+            status = enc.ctx.solve(
+                assumptions=[guard] if guard is not None else [], time_budget=timeout
+            )
+            seconds = time.monotonic() - start
+            row.append(seconds if status is not None else None)
+            row.append({True: "sat", False: "unsat", None: "TO"}[status])
+        rows.append(row)
+    headers = ["S_B"]
+    for m in METHODS:
+        headers.extend([f"{m} (s)", ""])
+    return headers, rows
+
+
+def test_ablation_cardinality(benchmark):
+    headers, rows = run_once(benchmark, run_ablation, timeout=TIMEOUT)
+    print()
+    print(format_table(headers, rows, title="Ablation D4: cardinality vs bound"))
+    # All encodings must agree on sat/unsat wherever they finished.
+    for row in rows:
+        statuses = {row[i] for i in (2, 4, 6) if row[i] != "TO"}
+        assert len(statuses) <= 1, row
+
+
+if __name__ == "__main__":
+    headers, rows = run_ablation()
+    print(format_table(headers, rows, title="Ablation D4: cardinality vs bound"))

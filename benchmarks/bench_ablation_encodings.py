@@ -1,0 +1,62 @@
+"""Ablation — eager domain encodings beyond the paper's int/bv pair.
+
+The paper compares Z3's integer theory against bit-vectors.  At the raw SAT
+level there are more choices: the direct (one-hot) encoding and the order
+(unary ladder) encoding.  This bench solves identical layout instances under
+all three eager encodings plus the lazy "int" emulation, completing the
+design space around the paper's Improvement 3.
+
+Run standalone:  python benchmarks/bench_ablation_encodings.py
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.arch import grid
+from repro.core import LayoutEncoder, SynthesisConfig
+from repro.harness import format_table
+from repro.workloads import qaoa_circuit
+
+TIMEOUT = 90.0
+ENCODINGS = ("bitvec", "onehot", "order", "int")
+
+
+def run_ablation(timeout: float = TIMEOUT):
+    cases = [((2, 3), 6), ((3, 3), 8), ((3, 4), 10)]
+    rows = []
+    for (gr, gc), n in cases:
+        device = grid(gr, gc)
+        circuit = qaoa_circuit(n, seed=1)
+        row = [f"QAOA({n}) {gr}x{gc}"]
+        for encoding in ENCODINGS:
+            cfg = SynthesisConfig(encoding=encoding, swap_duration=1)
+            enc = LayoutEncoder(circuit, device, horizon=8, config=cfg)
+            enc.encode()
+            start = time.monotonic()
+            status = enc.ctx.solve(time_budget=timeout)
+            seconds = time.monotonic() - start
+            row.append(seconds if status is not None else None)
+            row.append(enc.ctx.n_vars)
+        rows.append(row)
+    headers = ["Case"]
+    for e in ENCODINGS:
+        headers.extend([f"{e} (s)", "vars"])
+    return headers, rows
+
+
+def test_ablation_encodings(benchmark):
+    headers, rows = run_once(benchmark, run_ablation, timeout=TIMEOUT)
+    print()
+    print(format_table(headers, rows, title="Ablation: eager domain encodings"))
+    # The lazy-int emulation must be the slowest eager-vs-lazy comparison
+    # on the largest case that all encodings solved.
+    for row in rows:
+        times = {e: row[1 + 2 * i] for i, e in enumerate(ENCODINGS)}
+        if all(t is not None for t in times.values()):
+            assert times["int"] >= times["bitvec"], row
+
+
+if __name__ == "__main__":
+    headers, rows = run_ablation()
+    print(format_table(headers, rows, title="Ablation: eager domain encodings"))

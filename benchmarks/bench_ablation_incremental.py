@@ -1,0 +1,94 @@
+"""Ablation D6 — incremental solving vs fresh solver per bound.
+
+The paper reuses learned clauses across optimization iterations via
+assumption-based incremental solving (Sec. III-B).  Here we run the same
+descending-bound schedule twice: once on one persistent solver with
+assumption guards, once recreating the solver for every bound, and compare
+total time.
+
+Run standalone:  python benchmarks/bench_ablation_incremental.py
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.arch import grid
+from repro.circuit import depth_upper_bound, longest_chain_length
+from repro.core import LayoutEncoder, SynthesisConfig
+from repro.harness import format_table
+from repro.workloads import qaoa_circuit
+
+TIMEOUT = 120.0
+
+
+def _schedule(circuit):
+    """The descending depth-bound schedule both modes run."""
+    t_ub = depth_upper_bound(circuit)
+    t_lb = longest_chain_length(circuit)
+    return list(range(t_ub, t_lb - 1, -1))
+
+
+def incremental_mode(circuit, device, timeout):
+    cfg = SynthesisConfig(swap_duration=1)
+    enc = LayoutEncoder(circuit, device, depth_upper_bound(circuit), config=cfg)
+    enc.encode()
+    start = time.monotonic()
+    deadline = start + timeout
+    statuses = []
+    for bound in _schedule(circuit):
+        status = enc.ctx.solve(
+            assumptions=[enc.depth_guard(bound)],
+            time_budget=max(0.1, deadline - time.monotonic()),
+        )
+        statuses.append(status)
+        if status is False:
+            break
+    return statuses, time.monotonic() - start
+
+
+def fresh_mode(circuit, device, timeout):
+    cfg = SynthesisConfig(swap_duration=1)
+    start = time.monotonic()
+    deadline = start + timeout
+    statuses = []
+    for bound in _schedule(circuit):
+        enc = LayoutEncoder(circuit, device, depth_upper_bound(circuit), config=cfg)
+        enc.encode()
+        status = enc.ctx.solve(
+            assumptions=[enc.depth_guard(bound)],
+            time_budget=max(0.1, deadline - time.monotonic()),
+        )
+        statuses.append(status)
+        if status is False:
+            break
+    return statuses, time.monotonic() - start
+
+
+def run_ablation(timeout: float = TIMEOUT):
+    cases = [(6, (2, 3)), (8, (3, 3))]
+    rows = []
+    for n, (gr, gc) in cases:
+        circuit = qaoa_circuit(n, seed=1)
+        device = grid(gr, gc)
+        st_inc, t_inc = incremental_mode(circuit, device, timeout)
+        st_fresh, t_fresh = fresh_mode(circuit, device, timeout)
+        assert st_inc == st_fresh, "modes must agree on every bound's status"
+        rows.append([f"QAOA({n}) {gr}x{gc}", len(st_inc), t_inc, t_fresh, t_fresh / t_inc])
+    headers = ["Case", "bounds", "incremental (s)", "fresh (s)", "ratio"]
+    return headers, rows
+
+
+def test_ablation_incremental(benchmark):
+    headers, rows = run_once(benchmark, run_ablation, timeout=TIMEOUT)
+    print()
+    print(format_table(headers, rows, title="Ablation D6: incremental solving"))
+    # Incremental should not lose on aggregate (encoding is paid once).
+    total_inc = sum(row[2] for row in rows)
+    total_fresh = sum(row[3] for row in rows)
+    assert total_inc <= total_fresh * 1.25
+
+
+if __name__ == "__main__":
+    headers, rows = run_ablation()
+    print(format_table(headers, rows, title="Ablation D6: incremental solving"))

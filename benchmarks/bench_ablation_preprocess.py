@@ -1,0 +1,92 @@
+"""Ablation — CNF preprocessing on layout-synthesis instances.
+
+Measures how much the SatELite-style pipeline (unit propagation,
+subsumption, self-subsuming resolution, bounded variable elimination)
+shrinks OLSQ2 instances and what it does to solve time.  Models found on
+the simplified formula are extended back and re-checked against the
+original clauses.
+
+Run standalone:  python benchmarks/bench_ablation_preprocess.py
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.arch import grid
+from repro.core import LayoutEncoder, SynthesisConfig
+from repro.harness import format_table
+from repro.sat import Solver, preprocess, preprocess_stats
+from repro.smt import cnf_context
+from repro.workloads import qaoa_circuit
+
+TIMEOUT = 90.0
+
+
+def run_ablation(timeout: float = TIMEOUT):
+    cases = [((2, 3), 6), ((3, 3), 8)]
+    rows = []
+    for (gr, gc), n in cases:
+        device = grid(gr, gc)
+        circuit = qaoa_circuit(n, seed=1)
+        ctx = cnf_context()
+        enc = LayoutEncoder(
+            circuit, device, horizon=8, config=SynthesisConfig(swap_duration=1), ctx=ctx
+        )
+        enc.encode()
+        original = ctx.sink
+
+        start = time.monotonic()
+        plain = Solver()
+        original.to_solver(plain)
+        status_plain = plain.solve(time_budget=timeout)
+        t_plain = time.monotonic() - start
+
+        start = time.monotonic()
+        simplified, recon = preprocess(original)
+        t_pre = time.monotonic() - start
+        solver = Solver()
+        simplified.to_solver(solver)
+        start = time.monotonic()
+        status_pre = solver.solve(time_budget=timeout)
+        t_solve = time.monotonic() - start
+        assert status_plain == status_pre
+        if status_pre is True:
+            full = recon.extend(solver.model)
+            assert original.evaluate(full[: original.n_vars])
+
+        stats = preprocess_stats(original, simplified)
+        rows.append(
+            [
+                f"QAOA({n}) {gr}x{gc}",
+                stats["clauses_before"],
+                stats["clauses_after"],
+                f"{100 * stats['clause_reduction']:.0f}%",
+                t_plain,
+                t_pre,
+                t_solve,
+            ]
+        )
+    headers = [
+        "Case",
+        "clauses",
+        "after",
+        "reduction",
+        "plain (s)",
+        "preprocess (s)",
+        "solve (s)",
+    ]
+    return headers, rows
+
+
+def test_ablation_preprocess(benchmark):
+    headers, rows = run_once(benchmark, run_ablation, timeout=TIMEOUT)
+    print()
+    print(format_table(headers, rows, title="Ablation: CNF preprocessing"))
+    for row in rows:
+        assert row[2] < row[1]  # real shrinkage on every instance
+
+
+if __name__ == "__main__":
+    headers, rows = run_ablation()
+    print(format_table(headers, rows, title="Ablation: CNF preprocessing"))

@@ -1,0 +1,34 @@
+"""Fig. 1 — SMT solving time vs coupling-graph size and gate count.
+
+Paper: OLSQ's formulation explodes past 40 hours on a 9x9 grid / 36 gates,
+while OLSQ2's stays under 10 minutes.  Scaled here to 2x3..4x4 grids and
+QAOA circuits of 9-15 gates on the pure-Python substrate; the shape to
+check is that OLSQ(int)'s time grows much faster than OLSQ2(bv)'s, so the
+speedup ratio grows with instance size.
+
+Run standalone:  python benchmarks/bench_fig1_scaling.py
+"""
+
+from conftest import run_once
+
+from repro.harness import print_experiment, run_fig1
+
+TIMEOUT = 60.0
+
+
+def test_fig1_scaling(benchmark):
+    headers, rows, notes = run_once(benchmark, run_fig1, timeout=TIMEOUT)
+    print()
+    print_experiment(headers, rows, notes, "Fig. 1 (scaled reproduction)")
+    # Shape: on the largest solved case the speedup must clearly exceed 1,
+    # and the largest case must be slower than the smallest for OLSQ.
+    speedups = [row[4] for row in rows if row[4] is not None]
+    assert speedups, "no case produced a ratio"
+    assert max(speedups) > 2.0, f"expected OLSQ2 to win big somewhere: {speedups}"
+    olsq_times = [row[2] for row in rows if row[2] is not None]
+    assert olsq_times[-1] > olsq_times[0], "OLSQ time should grow with size"
+
+
+if __name__ == "__main__":
+    headers, rows, notes = run_fig1(timeout=TIMEOUT)
+    print_experiment(headers, rows, notes, "Fig. 1 (scaled reproduction)")

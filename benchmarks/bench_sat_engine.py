@@ -1,0 +1,71 @@
+"""Microbenchmarks of the CDCL substrate itself.
+
+Not a paper table — these keep the solver's performance visible so a
+regression in the hot loops (propagation, analysis) is caught by the bench
+suite rather than silently inflating every other experiment.
+"""
+
+import random
+
+import pytest
+
+from repro.sat import Solver, mk_lit
+
+
+def _pigeonhole(n_pigeons, n_holes):
+    solver = Solver()
+    x = [[solver.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+    for p in range(n_pigeons):
+        solver.add_clause([mk_lit(x[p][h]) for h in range(n_holes)])
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                solver.add_clause([mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)])
+    return solver
+
+
+def _random_3sat(n_vars, ratio, seed):
+    rng = random.Random(seed)
+    solver = Solver()
+    solver.new_vars(n_vars)
+    for _ in range(int(ratio * n_vars)):
+        vs = rng.sample(range(n_vars), 3)
+        solver.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+    return solver
+
+
+def test_bench_pigeonhole_unsat(benchmark):
+    def run():
+        solver = _pigeonhole(7, 6)
+        assert solver.solve() is False
+        return solver.stats.conflicts
+
+    conflicts = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert conflicts > 0
+
+
+def test_bench_random_3sat_sat(benchmark):
+    def run():
+        solver = _random_3sat(150, 4.0, seed=7)
+        assert solver.solve() is True
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_random_3sat_hard(benchmark):
+    def run():
+        solver = _random_3sat(100, 4.3, seed=11)
+        result = solver.solve(conflict_budget=20000)
+        assert result is not None
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_incremental_assumptions(benchmark):
+    solver = _random_3sat(120, 3.5, seed=3)
+
+    def run():
+        for v in range(20):
+            solver.solve(assumptions=[mk_lit(v)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

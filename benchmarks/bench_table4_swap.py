@@ -1,0 +1,35 @@
+"""Table IV — SWAP-count optimization: SABRE vs SATMap vs TB-OLSQ2.
+
+Paper shape: TB-OLSQ2 never uses more SWAPs than SATMap, which never beats
+it; SABRE is far behind both (109x / 12x average ratios in the paper); and
+QUEKO rows come out at exactly 0 SWAPs for TB-OLSQ2.
+
+Run standalone:  python benchmarks/bench_table4_swap.py
+"""
+
+from conftest import run_once
+
+from repro.harness import print_experiment, run_table4
+
+BUDGET = 120.0
+
+
+def test_table4_swap(benchmark):
+    headers, rows, notes = run_once(benchmark, run_table4, time_budget=BUDGET)
+    print()
+    print_experiment(headers, rows, notes, "Table IV (scaled reproduction)")
+    data = rows[:-1]
+    for row in data:
+        sabre, satmap, tb = row[2], row[3], row[4]
+        if tb is None:
+            continue
+        assert tb <= sabre, row
+        if satmap is not None:
+            assert tb <= satmap, row
+        if "QUEKO" in row[1]:
+            assert tb == 0, f"QUEKO must need zero SWAPs: {row}"
+
+
+if __name__ == "__main__":
+    headers, rows, notes = run_table4(time_budget=BUDGET)
+    print_experiment(headers, rows, notes, "Table IV (scaled reproduction)")

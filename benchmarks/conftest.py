@@ -1,0 +1,14 @@
+"""Shared pytest-benchmark configuration for the paper-reproduction benches.
+
+Every bench runs a whole experiment driver once (``pedantic`` mode): the
+drivers are minutes-scale end-to-end sweeps, not microseconds-scale kernels,
+so statistical repetition is pointless — the interesting output is the
+paper-style table each bench prints and the shape assertions it makes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

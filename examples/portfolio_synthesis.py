@@ -1,0 +1,44 @@
+"""Portfolio parallel synthesis (the paper's Sec. V future direction).
+
+Several OLSQ2 configurations — different injectivity encodings, cardinality
+encodings, and heuristic warm-starting — race on separate cores; the first
+proof of optimality (depth objective) or the best solution in budget (swap
+objective) wins.
+
+Run:  python examples/portfolio_synthesis.py
+"""
+
+from repro import SynthesisConfig, validate_result
+from repro.arch import grid
+from repro.core import PortfolioEntry, PortfolioSynthesizer
+from repro.workloads import qaoa_circuit
+
+
+def main() -> None:
+    circuit = qaoa_circuit(8, seed=1)
+    device = grid(3, 3)
+    print(f"workload: {circuit}")
+    print(f"device:   {device}")
+    print()
+
+    base = dict(swap_duration=1, time_budget=90, solve_time_budget=45)
+    entries = [
+        PortfolioEntry("bv-pairwise", SynthesisConfig(**base)),
+        PortfolioEntry("bv-channeling", SynthesisConfig(injectivity="channeling", **base)),
+        PortfolioEntry("bv-totalizer", SynthesisConfig(cardinality="totalizer", **base)),
+        PortfolioEntry("bv-warmstart", SynthesisConfig(warm_start="sabre", **base)),
+    ]
+    print("portfolio entries:", ", ".join(e.name for e in entries))
+
+    portfolio = PortfolioSynthesizer(entries, time_budget=120)
+    result = portfolio.synthesize(circuit, device, objective="depth")
+    validate_result(result)
+
+    print()
+    print(result.summary())
+    print(f"winner: {result.solver_stats['portfolio_winner']}")
+    print(f"worker outcomes so far: {portfolio.outcomes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Compile QAOA circuits: exact vs heuristic SWAP counts (the Table IV story).
+
+QAOA phase-splitting circuits for random 3-regular graphs are the paper's
+stress workload: every edge of the graph needs a two-qubit interaction, so
+sparse device connectivity forces SWAPs.  This example compiles one QAOA
+instance with SABRE (heuristic), SATMap (MaxSAT slicing), and TB-OLSQ2
+(near-optimal transitions) and compares SWAP counts.
+
+Run:  python examples/qaoa_compilation.py
+"""
+
+from repro import SynthesisConfig, validate_result
+from repro.arch import grid
+from repro.baselines import SABRE, SATMap
+from repro.core import TBOLSQ2
+from repro.workloads import qaoa_circuit
+
+
+def main() -> None:
+    circuit = qaoa_circuit(8, seed=1)
+    device = grid(3, 3)
+    print(f"QAOA workload: {circuit}")
+    print(f"target device: {device}")
+    print()
+
+    config = SynthesisConfig(
+        swap_duration=1,  # paper convention for QAOA (Sec. IV)
+        time_budget=90,
+        solve_time_budget=45,
+        max_pareto_rounds=1,
+    )
+
+    sabre = SABRE(swap_duration=1, seed=0).synthesize(circuit, device)
+    validate_result(sabre)
+    print(f"SABRE     : {sabre.swap_count:>2} swaps, depth {sabre.depth}")
+
+    satmap = SATMap(slice_size=6, config=config).synthesize(circuit, device)
+    validate_result(satmap)
+    print(f"SATMap    : {satmap.swap_count:>2} swaps, depth {satmap.depth}")
+
+    tb = TBOLSQ2(config).synthesize(circuit, device, objective="swap")
+    validate_result(tb)
+    print(f"TB-OLSQ2  : {tb.swap_count:>2} swaps, depth {tb.depth}")
+    print()
+    print(
+        "expected ordering (Table IV): "
+        f"TB-OLSQ2 ({tb.swap_count}) <= SATMap ({satmap.swap_count}) "
+        f"<= SABRE ({sabre.swap_count})"
+    )
+
+
+if __name__ == "__main__":
+    main()

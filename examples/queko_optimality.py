@@ -1,0 +1,40 @@
+"""QUEKO benchmarks: checking a synthesizer against known optima.
+
+QUEKO circuits (Tan & Cong, TC'20) are generated backwards from a device so
+their optimal depth is known by construction and their optimal SWAP count
+is zero.  The paper uses them to show OLSQ2 is depth-optimal in practice
+(Table III) while heuristics drift far from the optimum as circuits grow.
+
+Run:  python examples/queko_optimality.py
+"""
+
+from repro import OLSQ2, SynthesisConfig, validate_result
+from repro.arch import grid
+from repro.baselines import SABRE
+from repro.workloads import queko_circuit
+
+
+def main() -> None:
+    device = grid(3, 3)
+    config = SynthesisConfig(swap_duration=1, time_budget=120, solve_time_budget=60)
+    print(f"device: {device}")
+    print()
+    print("depth   known-opt  OLSQ2(depth)  optimal?  SABRE(depth)  SABRE swaps")
+    for depth in (3, 5, 7):
+        inst = queko_circuit(device, depth=depth, n_gates=3 * depth, seed=depth)
+        exact = OLSQ2(config).synthesize(inst.circuit, device, objective="depth")
+        validate_result(exact)
+        heuristic = SABRE(swap_duration=1, seed=0).synthesize(inst.circuit, device)
+        validate_result(heuristic)
+        assert exact.depth == inst.optimal_depth, "OLSQ2 must hit the optimum"
+        print(
+            f"{depth:>5}   {inst.optimal_depth:>9}  {exact.depth:>12}  "
+            f"{str(exact.optimal):>8}  {heuristic.depth:>12}  {heuristic.swap_count:>11}"
+        )
+    print()
+    print("OLSQ2 matches the hidden optimum on every row; SABRE pays extra")
+    print("depth and SWAPs even though a zero-SWAP layout exists.")
+
+
+if __name__ == "__main__":
+    main()

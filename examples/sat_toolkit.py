@@ -1,0 +1,76 @@
+"""The SAT substrate as a standalone toolkit.
+
+The constraint engine underneath OLSQ2 is a complete incremental CDCL
+solver with preprocessing and proof logging — usable on its own.  This
+example solves a pigeonhole instance, certifies the UNSAT answer with a
+checked RUP proof, and shows preprocessing plus DIMACS round-tripping.
+
+Run:  python examples/sat_toolkit.py
+"""
+
+from repro.sat import (
+    CNF,
+    Solver,
+    check_unsat_proof,
+    mk_lit,
+    preprocess,
+    preprocess_stats,
+    proof_stats,
+)
+from repro.sat.dimacs import dumps
+
+
+def pigeonhole(n_pigeons: int, n_holes: int) -> CNF:
+    """Every pigeon in a hole, no two pigeons share one."""
+    cnf = CNF()
+    x = [[cnf.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+    for p in range(n_pigeons):
+        cnf.add_clause([mk_lit(x[p][h]) for h in range(n_holes)])
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                cnf.add_clause([mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)])
+    return cnf
+
+
+def main() -> None:
+    cnf = pigeonhole(6, 5)
+    print(f"pigeonhole(6,5): {cnf.n_vars} vars, {cnf.num_clauses} clauses")
+    print("first DIMACS lines:")
+    for line in dumps(cnf).splitlines()[:3]:
+        print(f"  {line}")
+    print()
+
+    # Solve with proof logging and certify the refutation.
+    solver = Solver(proof_log=True)
+    cnf.to_solver(solver)
+    status = solver.solve()
+    print(f"status: {'UNSAT' if status is False else status}")
+    print(f"search: {solver.stats.conflicts} conflicts, "
+          f"{solver.stats.restarts} restarts")
+    stats = proof_stats(solver.proof)
+    print(f"proof:  {stats['additions']} clause additions, "
+          f"{stats['deletions']} deletions")
+    verified = check_unsat_proof(cnf, solver.proof)
+    print(f"RUP proof check: {'VERIFIED' if verified else 'FAILED'}")
+    print()
+
+    # Preprocessing on a satisfiable variant.
+    sat_cnf = pigeonhole(5, 5)
+    simplified, recon = preprocess(sat_cnf)
+    stats = preprocess_stats(sat_cnf, simplified)
+    print(
+        f"pigeonhole(5,5) preprocessing: {stats['clauses_before']} -> "
+        f"{stats['clauses_after']} clauses "
+        f"({100 * stats['clause_reduction']:.0f}% removed)"
+    )
+    solver2 = Solver()
+    simplified.to_solver(solver2)
+    assert solver2.solve() is True
+    model = recon.extend(solver2.model)
+    assert sat_cnf.evaluate(model[: sat_cnf.n_vars])
+    print("simplified model extends to a model of the original: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that editable installs work without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file exists because the
+offline environment lacks ``wheel``, which PEP 660 editable installs require.
+``pip install -e . --no-build-isolation`` falls back to this shim.
+"""
+
+from setuptools import setup
+
+setup()

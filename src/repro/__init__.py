@@ -1,0 +1,54 @@
+"""Reproduction of "Scalable Optimal Layout Synthesis for NISQ Quantum
+Processors" (OLSQ2, DAC 2023).
+
+Quickstart::
+
+    from repro import OLSQ2, QuantumCircuit
+    from repro.arch import ibm_qx2
+
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1); qc.cx(1, 2); qc.cx(0, 2)
+    result = OLSQ2().synthesize(qc, ibm_qx2(), objective="depth")
+    print(result.summary())
+
+Subpackages:
+
+* :mod:`repro.sat` — from-scratch CDCL SAT solver substrate,
+* :mod:`repro.encodings` — cardinality and gate CNF encodings,
+* :mod:`repro.smt` — bounded-domain (bit-vector / one-hot) layer over SAT,
+* :mod:`repro.circuit` — quantum circuit IR and OpenQASM 2.0 front end,
+* :mod:`repro.arch` — device coupling graphs,
+* :mod:`repro.core` — the OLSQ2 and TB-OLSQ2 synthesizers (the paper's
+  contribution), plus the result validator,
+* :mod:`repro.baselines` — OLSQ, TB-OLSQ, SABRE and SATMap comparators,
+* :mod:`repro.workloads` — QAOA, QUEKO, QFT/Toffoli/Ising generators.
+"""
+
+__version__ = "1.0.0"
+
+from .arch import CouplingGraph, devices
+from .circuit import Gate, QuantumCircuit, load_qasm, parse_qasm
+from .core import (
+    OLSQ2,
+    TBOLSQ2,
+    SynthesisConfig,
+    SynthesisResult,
+    is_valid,
+    validate_result,
+)
+
+__all__ = [
+    "__version__",
+    "CouplingGraph",
+    "devices",
+    "Gate",
+    "QuantumCircuit",
+    "parse_qasm",
+    "load_qasm",
+    "OLSQ2",
+    "TBOLSQ2",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "validate_result",
+    "is_valid",
+]

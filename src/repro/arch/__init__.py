@@ -1,0 +1,39 @@
+"""Device coupling graphs and the device factory library."""
+
+from . import devices
+from .coupling import CouplingGraph
+from .devices import (
+    by_name,
+    eagle_region,
+    full,
+    google_sycamore,
+    grid,
+    heavy_hex,
+    ibm_eagle,
+    ibm_falcon,
+    ibm_qx2,
+    ibm_tokyo,
+    linear,
+    rigetti_aspen4,
+    ring,
+    sycamore_region,
+)
+
+__all__ = [
+    "CouplingGraph",
+    "devices",
+    "by_name",
+    "grid",
+    "linear",
+    "ring",
+    "full",
+    "ibm_qx2",
+    "rigetti_aspen4",
+    "google_sycamore",
+    "ibm_eagle",
+    "ibm_tokyo",
+    "ibm_falcon",
+    "heavy_hex",
+    "sycamore_region",
+    "eagle_region",
+]

@@ -1,0 +1,152 @@
+"""Device coupling graphs (paper Sec. II-A).
+
+A coupling graph ``(P, E)`` has one vertex per physical qubit and one edge
+per qubit pair that supports a two-qubit gate.  Layout synthesis needs fast
+adjacency tests, edge indexing (the SWAP variables sigma_e^t are per-edge),
+and all-pairs distances (used by the SABRE heuristic baseline and by
+sanity checks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CouplingGraph:
+    """An undirected coupling graph over physical qubits ``0..n-1``."""
+
+    def __init__(self, n_qubits: int, edges: Iterable[Tuple[int, int]], name: str = ""):
+        if n_qubits < 1:
+            raise ValueError("coupling graph needs at least one qubit")
+        self.n_qubits = n_qubits
+        self.name = name
+        seen: set = set()
+        self.edges: List[Tuple[int, int]] = []
+        for a, b in edges:
+            if not (0 <= a < n_qubits and 0 <= b < n_qubits):
+                raise ValueError(f"edge ({a},{b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            self.edges.append(key)
+        self._edge_index: Dict[Tuple[int, int], int] = {
+            e: i for i, e in enumerate(self.edges)
+        }
+        self.adjacency: List[List[int]] = [[] for _ in range(n_qubits)]
+        self.incident_edges: List[List[int]] = [[] for _ in range(n_qubits)]
+        for i, (a, b) in enumerate(self.edges):
+            self.adjacency[a].append(b)
+            self.adjacency[b].append(a)
+            self.incident_edges[a].append(i)
+            self.incident_edges[b].append(i)
+        self._dist: Optional[List[List[int]]] = None
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def are_adjacent(self, p: int, q: int) -> bool:
+        return (min(p, q), max(p, q)) in self._edge_index
+
+    def edge_index(self, p: int, q: int) -> int:
+        """Index of the edge between ``p`` and ``q`` (raises if absent)."""
+        return self._edge_index[(min(p, q), max(p, q))]
+
+    def neighbors(self, p: int) -> List[int]:
+        return self.adjacency[p]
+
+    def degree(self, p: int) -> int:
+        return len(self.adjacency[p])
+
+    # -- distances -----------------------------------------------------------
+
+    def distance_matrix(self) -> List[List[int]]:
+        """All-pairs shortest-path distances (BFS; cached).
+
+        Unreachable pairs get distance ``n_qubits`` (an impossible real
+        distance, safely larger than any path).
+        """
+        if self._dist is None:
+            n = self.n_qubits
+            inf = n
+            dist = [[inf] * n for _ in range(n)]
+            for src in range(n):
+                row = dist[src]
+                row[src] = 0
+                queue = deque([src])
+                while queue:
+                    u = queue.popleft()
+                    for v in self.adjacency[u]:
+                        if row[v] == inf:
+                            row[v] = row[u] + 1
+                            queue.append(v)
+            self._dist = dist
+        return self._dist
+
+    def distance(self, p: int, q: int) -> int:
+        return self.distance_matrix()[p][q]
+
+    def is_connected(self) -> bool:
+        return all(d < self.n_qubits for d in self.distance_matrix()[0])
+
+    def shortest_path(self, src: int, dst: int) -> List[int]:
+        """One shortest path from ``src`` to ``dst`` (inclusive)."""
+        if src == dst:
+            return [src]
+        prev = {src: None}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in self.adjacency[u]:
+                if v not in prev:
+                    prev[v] = u
+                    if v == dst:
+                        path = [v]
+                        while prev[path[-1]] is not None:
+                            path.append(prev[path[-1]])
+                        return path[::-1]
+                    queue.append(v)
+        raise ValueError(f"no path between {src} and {dst}")
+
+    # -- derived graphs ---------------------------------------------------------
+
+    def subgraph(self, qubits: Sequence[int], name: str = "") -> "CouplingGraph":
+        """Induced subgraph over ``qubits``, relabelled to ``0..k-1``.
+
+        Used to carve laptop-scale regions out of the large device graphs
+        (Sycamore, Eagle) for the scaled-down experiments.
+        """
+        index = {p: i for i, p in enumerate(qubits)}
+        if len(index) != len(qubits):
+            raise ValueError("duplicate qubits in subgraph selection")
+        edges = [
+            (index[a], index[b])
+            for a, b in self.edges
+            if a in index and b in index
+        ]
+        return CouplingGraph(len(qubits), edges, name=name or f"{self.name}[sub{len(qubits)}]")
+
+    def to_networkx(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_qubits))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, name: str = "") -> "CouplingGraph":
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[a], index[b]) for a, b in graph.edges()]
+        return cls(len(nodes), edges, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        label = f" {self.name!r}" if self.name else ""
+        return f"CouplingGraph{label}(qubits={self.n_qubits}, edges={len(self.edges)})"

@@ -1,0 +1,262 @@
+"""Factories for the coupling graphs used in the paper's evaluation.
+
+* rectangular grids (the Fig. 1 / Table I-II sweep architectures),
+* IBM QX2 — the 5-qubit device of the paper's running example (Fig. 3),
+* Rigetti Aspen-4 — 16 qubits, two octagonal rings joined by two rungs,
+* Google Sycamore — 54 qubits on a diagonal (rotated) square lattice,
+* IBM Eagle — 127 qubits on the heavy-hex lattice.
+
+The Sycamore and Eagle graphs follow the published lattice patterns (degree
+<= 4 diagonal grid; heavy-hex with 7 long rows and 4-qubit bridge rows).
+Exact vendor qubit numberings differ between calibrations; what layout
+synthesis depends on — qubit count, degree distribution, and lattice shape —
+matches the devices the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .coupling import CouplingGraph
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """A rows-by-cols rectangular grid (the paper's sweep architectures)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            if c + 1 < cols:
+                edges.append((p, p + 1))
+            if r + 1 < rows:
+                edges.append((p, p + cols))
+    return CouplingGraph(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+
+def ibm_qx2() -> CouplingGraph:
+    """IBM QX2: 5 qubits, 6 edges (paper Fig. 3)."""
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
+    return CouplingGraph(5, edges, name="ibm-qx2")
+
+
+def rigetti_aspen4() -> CouplingGraph:
+    """Rigetti Aspen-4: 16 qubits in two octagonal rings with two rungs."""
+    edges: List[Tuple[int, int]] = []
+    for base in (0, 8):
+        for i in range(8):
+            edges.append((base + i, base + (i + 1) % 8))
+    # Rungs joining the octagons.
+    edges.append((1, 14))
+    edges.append((2, 13))
+    return CouplingGraph(16, edges, name="aspen-4")
+
+
+def google_sycamore() -> CouplingGraph:
+    """Google Sycamore: 54 qubits on a diagonal square lattice (6 x 9).
+
+    Qubit ``(r, c)`` couples to the two diagonal neighbours in the next row,
+    giving the rotated-grid connectivity (degree <= 4) of the Sycamore chip.
+    """
+    rows, cols = 6, 9
+    edges = []
+    for r in range(rows - 1):
+        for c in range(cols):
+            p = r * cols + c
+            down = (r + 1) * cols + c
+            edges.append((p, down))
+            if r % 2 == 0:
+                if c + 1 < cols:
+                    edges.append((p, down + 1))
+            else:
+                if c - 1 >= 0:
+                    edges.append((p, down - 1))
+    return CouplingGraph(rows * cols, edges, name="sycamore")
+
+
+def ibm_eagle() -> CouplingGraph:
+    """IBM Eagle: 127 qubits on the heavy-hex lattice.
+
+    Seven long rows (the first and last hold 14 qubits, the middle five hold
+    15) are joined by six bridge rows of 4 qubits each; bridges attach every
+    fourth column, offset by two in alternating gaps: 14 + 5*15 + 14 + 6*4
+    = 127 qubits.
+    """
+    long_rows: List[List[int]] = []
+    next_id = 0
+    row_cols: List[List[int]] = []
+    for r in range(7):
+        if r == 0:
+            cols = list(range(0, 14))
+        elif r == 6:
+            cols = list(range(1, 15))
+        else:
+            cols = list(range(0, 15))
+        row_cols.append(cols)
+        ids = []
+        for _ in cols:
+            ids.append(next_id)
+            next_id += 1
+        long_rows.append(ids)
+
+    edges: List[Tuple[int, int]] = []
+    col_to_id: List[dict] = []
+    for r in range(7):
+        mapping = dict(zip(row_cols[r], long_rows[r]))
+        col_to_id.append(mapping)
+        ids = long_rows[r]
+        for a, b in zip(ids, ids[1:]):
+            edges.append((a, b))
+
+    for gap in range(6):
+        bridge_cols = (0, 4, 8, 12) if gap % 2 == 0 else (2, 6, 10, 14)
+        for col in bridge_cols:
+            bridge = next_id
+            next_id += 1
+            upper = col_to_id[gap].get(col)
+            lower = col_to_id[gap + 1].get(col)
+            if upper is not None:
+                edges.append((upper, bridge))
+            if lower is not None:
+                edges.append((bridge, lower))
+    return CouplingGraph(next_id, edges, name="eagle")
+
+
+def ibm_tokyo() -> CouplingGraph:
+    """IBM Q20 Tokyo: 20 qubits, 4x5 grid plus diagonal couplings.
+
+    The classic SABRE evaluation target (Li et al. ASPLOS'19).
+    """
+    rows, cols = 4, 5
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            if c + 1 < cols:
+                edges.append((p, p + 1))
+            if r + 1 < rows:
+                edges.append((p, p + cols))
+    # Diagonal pairs of the published coupling map.
+    diagonals = [
+        (1, 7), (2, 6), (3, 9), (4, 8),
+        (5, 11), (6, 10), (7, 13), (8, 12),
+        (11, 17), (12, 16), (13, 19), (14, 18),
+    ]
+    edges.extend(diagonals)
+    return CouplingGraph(rows * cols, edges, name="tokyo")
+
+
+def heavy_hex(rows: int, row_width: int) -> CouplingGraph:
+    """A generic heavy-hex lattice: ``rows`` long rows of ``row_width``
+    qubits joined by bridge qubits every fourth column (offset by two in
+    alternating gaps) — the IBM Falcon/Hummingbird/Eagle family pattern.
+    """
+    if rows < 2 or row_width < 5:
+        raise ValueError("heavy-hex needs >= 2 rows of >= 5 qubits")
+    next_id = 0
+    long_rows: List[List[int]] = []
+    for _ in range(rows):
+        long_rows.append(list(range(next_id, next_id + row_width)))
+        next_id += row_width
+    edges: List[Tuple[int, int]] = []
+    for ids in long_rows:
+        edges.extend(zip(ids, ids[1:]))
+    for gap in range(rows - 1):
+        bridge_cols = range(0, row_width, 4) if gap % 2 == 0 else range(
+            2, row_width, 4
+        )
+        for col in bridge_cols:
+            bridge = next_id
+            next_id += 1
+            edges.append((long_rows[gap][col], bridge))
+            edges.append((bridge, long_rows[gap + 1][col]))
+    return CouplingGraph(next_id, edges, name=f"heavy-hex-{rows}x{row_width}")
+
+
+def ibm_falcon() -> CouplingGraph:
+    """IBM Falcon-class heavy-hex processor (27 qubits, e.g. ibmq_mumbai)."""
+    edges = [
+        (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+        (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+        (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+        (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+    ]
+    return CouplingGraph(27, edges, name="falcon")
+
+
+def linear(n: int) -> CouplingGraph:
+    """A 1-by-n line — the most SWAP-hungry connected topology."""
+    return CouplingGraph(n, [(i, i + 1) for i in range(n - 1)], name=f"line-{n}")
+
+
+def ring(n: int) -> CouplingGraph:
+    """An n-qubit cycle."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 qubits")
+    return CouplingGraph(n, [(i, (i + 1) % n) for i in range(n)], name=f"ring-{n}")
+
+
+def full(n: int) -> CouplingGraph:
+    """All-to-all connectivity (no SWAPs ever needed)."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return CouplingGraph(n, edges, name=f"full-{n}")
+
+
+def _bfs_region(device: CouplingGraph, n_qubits: int, name: str) -> CouplingGraph:
+    """A connected ``n_qubits``-qubit induced subgraph grown BFS from qubit 0."""
+    if not 1 <= n_qubits <= device.n_qubits:
+        raise ValueError(f"region size must be in [1, {device.n_qubits}]")
+    from collections import deque
+
+    picked: List[int] = []
+    seen = {0}
+    queue = deque([0])
+    while queue and len(picked) < n_qubits:
+        u = queue.popleft()
+        picked.append(u)
+        for v in device.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    if len(picked) < n_qubits:
+        raise ValueError("device graph too disconnected for requested region")
+    return device.subgraph(picked, name=name)
+
+
+def sycamore_region(n_qubits: int) -> CouplingGraph:
+    """A connected ``n_qubits``-qubit region of the Sycamore lattice.
+
+    The scaled-down stand-in for whole-Sycamore targets in the laptop-scale
+    experiments (see DESIGN.md).
+    """
+    return _bfs_region(google_sycamore(), n_qubits, f"sycamore[{n_qubits}]")
+
+
+def eagle_region(n_qubits: int) -> CouplingGraph:
+    """A connected ``n_qubits``-qubit region of the Eagle heavy-hex lattice."""
+    return _bfs_region(ibm_eagle(), n_qubits, f"eagle[{n_qubits}]")
+
+
+DEVICE_FACTORIES = {
+    "qx2": ibm_qx2,
+    "aspen4": rigetti_aspen4,
+    "sycamore": google_sycamore,
+    "eagle": ibm_eagle,
+    "tokyo": ibm_tokyo,
+    "falcon": ibm_falcon,
+}
+
+
+def by_name(name: str) -> CouplingGraph:
+    """Look up a device by short name (``qx2``, ``aspen4``, ``sycamore``,
+    ``eagle``, ``grid-RxC``, ``line-N``, ``ring-N``, ``full-N``)."""
+    if name in DEVICE_FACTORIES:
+        return DEVICE_FACTORIES[name]()
+    for prefix, factory in (("line-", linear), ("ring-", ring), ("full-", full)):
+        if name.startswith(prefix):
+            return factory(int(name[len(prefix):]))
+    if name.startswith("grid-"):
+        rows, cols = name[len("grid-"):].split("x")
+        return grid(int(rows), int(cols))
+    raise ValueError(f"unknown device {name!r}")

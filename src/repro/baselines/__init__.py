@@ -1,0 +1,21 @@
+"""Baseline synthesizers the paper compares against.
+
+* :class:`OLSQ` / :class:`TBOLSQ` — Tan & Cong's space-variable exact
+  formulation (the Fig. 1 / Table I-II comparison target),
+* :class:`SABRE` — the leading heuristic (Tables III-IV),
+* :class:`SATMap` — MaxSAT-with-slicing (Table IV).
+"""
+
+from .olsq import OLSQ, TBOLSQ, OLSQEncoder
+from .sabre import SABRE, SabreRouter
+from .satmap import SATMap, SATMapTimeout
+
+__all__ = [
+    "OLSQ",
+    "TBOLSQ",
+    "OLSQEncoder",
+    "SABRE",
+    "SabreRouter",
+    "SATMap",
+    "SATMapTimeout",
+]

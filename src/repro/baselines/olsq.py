@@ -1,0 +1,128 @@
+"""The OLSQ baseline formulation (Tan & Cong, ICCAD'20) — *with* space variables.
+
+OLSQ2's Improvement 1 is the elimination of per-gate *space variables*
+``x_g`` (an edge index for two-qubit gates, a physical qubit for single-qubit
+gates) together with the consistency constraints tying ``x_g`` to the mapping
+and time variables.  To measure that improvement (Fig. 1, Tables I-II), this
+module re-creates the redundant formulation on the same substrate:
+
+* every gate gets a space variable,
+* gate-position consistency is enforced through ``(t_g == t AND x_g == e)
+  => endpoints match`` implications for every (gate, time, edge) triple,
+* SWAP/gate exclusion goes through the space variables as in OLSQ's Eq. 7-8
+  rather than through mapping indicators.
+
+Everything else (dependencies, injectivity, mapping transformation, the
+bound machinery) is shared with :class:`repro.core.encoder.LayoutEncoder`,
+so runtime differences isolate exactly the formulation change the paper
+measures.  ``TBOLSQ`` is the transition-based variant (TB-OLSQ in the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.encoder import LayoutEncoder
+from ..core.olsq2 import OLSQ2
+from ..sat.types import neg
+from ..smt.domain import make_domain_var
+
+
+class OLSQEncoder(LayoutEncoder):
+    """OLSQ's space-variable formulation on our SAT substrate."""
+
+    def encode(self) -> "OLSQEncoder":
+        if self._encoded:
+            return self
+        super().encode()
+        # super() built the succinct constraints; the space variables and
+        # their consistency constraints are *added on top*, reproducing the
+        # redundancy OLSQ2 removes.  (OLSQ's own adjacency constraints are
+        # implied by ours plus consistency, so solutions coincide.)
+        self._make_space_variables()
+        self._encode_space_consistency()
+        if not self.transition_based:
+            self._encode_space_swap_exclusion()
+        return self
+
+    def _make_space_variables(self) -> None:
+        cfg = self.config
+        self.space: List = []
+        n_edges = self.device.num_edges
+        n_phys = self.device.n_qubits
+        for gate in self.circuit.gates:
+            size = n_edges if gate.is_two_qubit else n_phys
+            self.space.append(make_domain_var(self.ctx, size, cfg.encoding))
+
+    def _encode_space_consistency(self) -> None:
+        """Tie each gate's space variable to its qubits' mapping at its time."""
+        ctx = self.ctx
+        edges = self.device.edges
+        for g_idx, gate in enumerate(self.circuit.gates):
+            space = self.space[g_idx]
+            for t in range(self.horizon):
+                z = self.time[g_idx].eq_lit(t)
+                if gate.is_two_qubit:
+                    q, q_prime = gate.qubits
+                    for e_idx, (a, b) in enumerate(edges):
+                        w = space.eq_lit(e_idx)
+                        # (z & w) => q on {a,b} and q' on {a,b}
+                        ctx.add(
+                            [neg(z), neg(w), self.pi[q][t].eq_lit(a), self.pi[q][t].eq_lit(b)]
+                        )
+                        ctx.add(
+                            [
+                                neg(z),
+                                neg(w),
+                                self.pi[q_prime][t].eq_lit(a),
+                                self.pi[q_prime][t].eq_lit(b),
+                            ]
+                        )
+                else:
+                    (q,) = gate.qubits
+                    for p in range(self.device.n_qubits):
+                        w = space.eq_lit(p)
+                        ctx.add([neg(z), neg(w), self.pi[q][t].eq_lit(p)])
+                        # and conversely the space var must follow the mapping
+                        ctx.add([neg(z), neg(self.pi[q][t].eq_lit(p)), w])
+
+    def _encode_space_swap_exclusion(self) -> None:
+        """OLSQ Eq. 7-8: SWAP/gate exclusion expressed via space variables."""
+        ctx = self.ctx
+        duration = self.config.swap_duration
+        edges = self.device.edges
+        incident = self.device.incident_edges
+        for lit, e_idx, t in self.swap_lits:
+            a, b = edges[e_idx]
+            window = range(max(0, t - duration + 1), t + 1)
+            # Edges that share a qubit with e (including e itself).
+            clashing_edges = sorted(set(incident[a]) | set(incident[b]))
+            for g_idx, gate in enumerate(self.circuit.gates):
+                space = self.space[g_idx]
+                for t_prime in window:
+                    z = self.time[g_idx].eq_lit(t_prime)
+                    if gate.is_two_qubit:
+                        for e2 in clashing_edges:
+                            ctx.add([neg(z), neg(space.eq_lit(e2)), neg(lit)])
+                    else:
+                        ctx.add([neg(z), neg(space.eq_lit(a)), neg(lit)])
+                        ctx.add([neg(z), neg(space.eq_lit(b)), neg(lit)])
+
+
+class OLSQ(OLSQ2):
+    """The OLSQ baseline synthesizer (space-variable formulation)."""
+
+    transition_based = False
+
+    def _encoder_cls(self):
+        return OLSQEncoder
+
+
+class TBOLSQ(OLSQ2):
+    """TB-OLSQ: the transition-based OLSQ baseline."""
+
+    transition_based = True
+
+    def _encoder_cls(self):
+        return OLSQEncoder

@@ -1,0 +1,252 @@
+"""SABRE (Li, Ding, Xie — ASPLOS'19): the heuristic baseline of Tables III-IV.
+
+A faithful reimplementation of the SWAP-based BidiREctional heuristic:
+
+* routing pass: keep a *front layer* of dependency-free gates; execute those
+  whose qubits are adjacent; otherwise score the candidate SWAPs on edges
+  incident to front-layer qubits with the distance heuristic
+  ``H = (1/|F|) sum_F D[pi(q1)][pi(q2)]
+      + W * (1/|E|) sum_E D[...]``  (lookahead over the extended set)
+  scaled by a decay factor on recently-swapped qubits, and apply the best;
+* initial mapping: bidirectional passes — route the circuit forward, use the
+  final mapping as the initial mapping of a reverse pass, and repeat.
+
+The output is converted to a :class:`~repro.core.result.SynthesisResult`
+(ASAP-scheduled, SWAPs as timed events) so the shared validator and the
+benchmark harness treat SABRE exactly like the exact synthesizers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..core.result import SwapEvent, SynthesisResult
+
+EXTENDED_SET_SIZE = 20
+EXTENDED_SET_WEIGHT = 0.5
+DECAY_INCREMENT = 0.001
+DECAY_RESET_INTERVAL = 5
+
+
+class SabreRouter:
+    """One SABRE routing pass over a fixed initial mapping."""
+
+    def __init__(self, circuit: QuantumCircuit, device: CouplingGraph, rng: random.Random):
+        self.circuit = circuit
+        self.device = device
+        self.rng = rng
+        self.dist = device.distance_matrix()
+        # successor structure: per gate, the gates that become ready after it
+        self.successors: List[List[int]] = [[] for _ in circuit.gates]
+        self.n_deps: List[int] = [0] * circuit.num_gates
+        last_on_wire: Dict[int, int] = {}
+        for idx, gate in enumerate(circuit.gates):
+            preds = {last_on_wire[q] for q in gate.qubits if q in last_on_wire}
+            self.n_deps[idx] = len(preds)
+            for p in preds:
+                self.successors[p].append(idx)
+            for q in gate.qubits:
+                last_on_wire[q] = idx
+
+    def run(self, initial_mapping: Sequence[int]) -> Tuple[List, List[int]]:
+        """Route with the given mapping.
+
+        Returns ``(ops, final_mapping)`` where ``ops`` is the ordered list of
+        ``("gate", index)`` / ``("swap", (p, p'))`` events.
+        """
+        mapping = list(initial_mapping)  # program -> physical
+        inverse = [-1] * self.device.n_qubits
+        for q, p in enumerate(mapping):
+            inverse[p] = q
+        remaining = list(self.n_deps)
+        front = [i for i, n in enumerate(remaining) if n == 0]
+        ops: List = []
+        decay = [1.0] * self.device.n_qubits
+        steps_since_reset = 0
+        stuck_guard = 0
+
+        def executable(idx: int) -> bool:
+            gate = self.circuit.gates[idx]
+            if gate.is_single_qubit:
+                return True
+            a, b = (mapping[q] for q in gate.qubits)
+            return self.device.are_adjacent(a, b)
+
+        while front:
+            progressed = False
+            next_front: List[int] = []
+            for idx in front:
+                if executable(idx):
+                    ops.append(("gate", idx))
+                    progressed = True
+                    for succ in self.successors[idx]:
+                        remaining[succ] -= 1
+                        if remaining[succ] == 0:
+                            next_front.append(succ)
+                else:
+                    next_front.append(idx)
+            front = next_front
+            if progressed:
+                stuck_guard = 0
+                continue
+            if not front:
+                break
+
+            # All front gates blocked: choose the best SWAP.
+            stuck_guard += 1
+            if stuck_guard > 4 * self.device.n_qubits * max(1, self.device.num_edges):
+                raise RuntimeError("SABRE routing failed to make progress")
+            extended = self._extended_set(front, remaining)
+            candidates = self._candidate_swaps(front, mapping)
+            best_swap, best_score = None, float("inf")
+            for a, b in candidates:
+                score = self._score_swap(a, b, front, extended, mapping, decay)
+                if score < best_score - 1e-12 or (
+                    abs(score - best_score) <= 1e-12 and self.rng.random() < 0.5
+                ):
+                    best_swap, best_score = (a, b), score
+            a, b = best_swap
+            ops.append(("swap", (a, b)))
+            qa, qb = inverse[a], inverse[b]
+            if qa >= 0:
+                mapping[qa] = b
+            if qb >= 0:
+                mapping[qb] = a
+            inverse[a], inverse[b] = qb, qa
+            decay[a] += DECAY_INCREMENT
+            decay[b] += DECAY_INCREMENT
+            steps_since_reset += 1
+            if steps_since_reset >= DECAY_RESET_INTERVAL:
+                decay = [1.0] * self.device.n_qubits
+                steps_since_reset = 0
+        return ops, mapping
+
+    def _extended_set(self, front: List[int], remaining: List[int]) -> List[int]:
+        """Successor two-qubit gates close behind the front layer."""
+        extended: List[int] = []
+        queue = list(front)
+        virtual_remaining = dict()
+        seen = set(front)
+        while queue and len(extended) < EXTENDED_SET_SIZE:
+            idx = queue.pop(0)
+            for succ in self.successors[idx]:
+                if succ in seen:
+                    continue
+                need = virtual_remaining.get(succ, remaining[succ]) - 1
+                virtual_remaining[succ] = need
+                if need <= 0:
+                    seen.add(succ)
+                    queue.append(succ)
+                    if self.circuit.gates[succ].is_two_qubit:
+                        extended.append(succ)
+        return extended
+
+    def _candidate_swaps(self, front: List[int], mapping: List[int]):
+        candidates = set()
+        for idx in front:
+            gate = self.circuit.gates[idx]
+            if gate.is_single_qubit:
+                continue
+            for q in gate.qubits:
+                p = mapping[q]
+                for nb in self.device.neighbors(p):
+                    candidates.add((min(p, nb), max(p, nb)))
+        return sorted(candidates)
+
+    def _score_swap(self, a, b, front, extended, mapping, decay) -> float:
+        trial = list(mapping)
+        for q, p in enumerate(trial):
+            if p == a:
+                trial[q] = b
+            elif p == b:
+                trial[q] = a
+
+        def layer_cost(indices):
+            total, count = 0.0, 0
+            for idx in indices:
+                gate = self.circuit.gates[idx]
+                if not gate.is_two_qubit:
+                    continue
+                qa, qb = gate.qubits
+                total += self.dist[trial[qa]][trial[qb]]
+                count += 1
+            return total / count if count else 0.0
+
+        score = layer_cost(front)
+        if extended:
+            score += EXTENDED_SET_WEIGHT * layer_cost(extended)
+        return max(decay[a], decay[b]) * score
+
+
+class SABRE:
+    """The complete SABRE flow: bidirectional mapping passes + final route."""
+
+    def __init__(self, passes: int = 3, seed: int = 0, swap_duration: int = 3):
+        if passes < 1:
+            raise ValueError("need at least one pass")
+        self.passes = passes
+        self.seed = seed
+        self.swap_duration = swap_duration
+
+    def synthesize(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        initial_mapping: Optional[Sequence[int]] = None,
+    ) -> SynthesisResult:
+        if circuit.n_qubits > device.n_qubits:
+            raise ValueError("circuit larger than device")
+        rng = random.Random(self.seed)
+        if initial_mapping is None:
+            mapping = rng.sample(range(device.n_qubits), circuit.n_qubits)
+        else:
+            mapping = list(initial_mapping)
+
+        forward = SabreRouter(circuit, device, rng)
+        reverse = SabreRouter(circuit.reversed(), device, rng)
+        # Bidirectional passes refine the initial mapping.
+        for _ in range(self.passes - 1):
+            _ops, mapping = forward.run(mapping)
+            _ops, mapping = reverse.run(mapping)
+        initial = list(mapping)
+        ops, _final = forward.run(initial)
+        return self._to_result(circuit, device, initial, ops)
+
+    def _to_result(self, circuit, device, initial, ops) -> SynthesisResult:
+        """ASAP-schedule the routed op sequence into timed events."""
+        frontier = [0] * device.n_qubits
+        mapping = list(initial)
+        gate_times = [0] * circuit.num_gates
+        swaps: List[SwapEvent] = []
+        for kind, payload in ops:
+            if kind == "gate":
+                gate = circuit.gates[payload]
+                phys = [mapping[q] for q in gate.qubits]
+                t = max(frontier[p] for p in phys)
+                gate_times[payload] = t
+                for p in phys:
+                    frontier[p] = t + 1
+            else:
+                a, b = payload
+                start = max(frontier[a], frontier[b])
+                finish = start + self.swap_duration - 1
+                swaps.append(SwapEvent(a, b, finish))
+                frontier[a] = frontier[b] = finish + 1
+                for q, p in enumerate(mapping):
+                    if p == a:
+                        mapping[q] = b
+                    elif p == b:
+                        mapping[q] = a
+        return SynthesisResult(
+            circuit=circuit,
+            device=device,
+            initial_mapping=initial,
+            gate_times=gate_times,
+            swaps=swaps,
+            swap_duration=self.swap_duration,
+            objective="heuristic",
+            optimal=False,
+        )

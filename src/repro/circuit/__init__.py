@@ -1,0 +1,37 @@
+"""Quantum circuit IR, dependency analysis, and OpenQASM 2.0 I/O."""
+
+from .circuit import QuantumCircuit
+from .dag import (
+    asap_layers,
+    dependencies,
+    dependency_graph,
+    depth_upper_bound,
+    longest_chain,
+    longest_chain_length,
+)
+from .draw import draw_circuit, draw_schedule
+from .gates import SINGLE_QUBIT_GATES, TWO_QUBIT_GATES, Gate
+from .metrics import CircuitMetrics, MappingMetrics, circuit_metrics, mapping_metrics
+from .qasm import QasmError, load_qasm, parse_qasm
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "dependencies",
+    "dependency_graph",
+    "depth_upper_bound",
+    "longest_chain",
+    "longest_chain_length",
+    "asap_layers",
+    "QasmError",
+    "parse_qasm",
+    "load_qasm",
+    "draw_circuit",
+    "draw_schedule",
+    "CircuitMetrics",
+    "MappingMetrics",
+    "circuit_metrics",
+    "mapping_metrics",
+]

@@ -1,0 +1,165 @@
+"""The quantum circuit IR: an ordered gate list over program qubits."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gates import Gate
+
+
+class QuantumCircuit:
+    """A quantum program: ``n_qubits`` program qubits and an ordered gate list.
+
+    >>> qc = QuantumCircuit(3)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> qc.cx(1, 2)
+    >>> qc.num_gates
+    3
+    >>> qc.depth()
+    3
+    """
+
+    def __init__(self, n_qubits: int, gates: Optional[Iterable[Gate]] = None, name: str = ""):
+        if n_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+        self.n_qubits = n_qubits
+        self.name = name
+        self.gates: List[Gate] = []
+        if gates:
+            for gate in gates:
+                self.append(gate)
+
+    # -- construction ----------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        """Append a gate, validating qubit indices."""
+        for q in gate.qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(
+                    f"gate {gate.name!r} references qubit {q}; "
+                    f"circuit has {self.n_qubits}"
+                )
+        self.gates.append(gate)
+
+    def add_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()):
+        self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Convenience constructors for the common gate set.
+    def h(self, q: int) -> None:
+        self.add_gate("h", [q])
+
+    def x(self, q: int) -> None:
+        self.add_gate("x", [q])
+
+    def t(self, q: int) -> None:
+        self.add_gate("t", [q])
+
+    def tdg(self, q: int) -> None:
+        self.add_gate("tdg", [q])
+
+    def rz(self, theta: float, q: int) -> None:
+        self.add_gate("rz", [q], [theta])
+
+    def rx(self, theta: float, q: int) -> None:
+        self.add_gate("rx", [q], [theta])
+
+    def cx(self, control: int, target: int) -> None:
+        self.add_gate("cx", [control, target])
+
+    def cz(self, a: int, b: int) -> None:
+        self.add_gate("cz", [a, b])
+
+    def swap(self, a: int, b: int) -> None:
+        self.add_gate("swap", [a, b])
+
+    def rzz(self, theta: float, a: int, b: int) -> None:
+        self.add_gate("rzz", [a, b], [theta])
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def two_qubit_gates(self) -> List[Tuple[int, Gate]]:
+        """(index, gate) pairs for gates in G2."""
+        return [(i, g) for i, g in enumerate(self.gates) if g.is_two_qubit]
+
+    @property
+    def single_qubit_gates(self) -> List[Tuple[int, Gate]]:
+        """(index, gate) pairs for gates in G1."""
+        return [(i, g) for i, g in enumerate(self.gates) if g.is_single_qubit]
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for g in self.gates if g.is_two_qubit)
+
+    def used_qubits(self) -> set:
+        used = set()
+        for g in self.gates:
+            used.update(g.qubits)
+        return used
+
+    def depth(self) -> int:
+        """Logical depth: length of the longest dependency chain.
+
+        This equals the paper's T_LB when every gate takes one time step.
+        """
+        frontier = [0] * self.n_qubits
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def count_ops(self) -> dict:
+        counts: dict = {}
+        for g in self.gates:
+            counts[g.name] = counts.get(g.name, 0) + 1
+        return counts
+
+    # -- transformation ------------------------------------------------------
+
+    def remapped(self, mapping: Sequence[int], n_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Apply a qubit relabelling to every gate."""
+        out = QuantumCircuit(n_qubits or self.n_qubits, name=self.name)
+        for gate in self.gates:
+            out.append(gate.remapped(mapping))
+        return out
+
+    def reversed(self) -> "QuantumCircuit":
+        """Gates in reverse order (used by SABRE's bidirectional passes)."""
+        out = QuantumCircuit(self.n_qubits, name=self.name)
+        for gate in reversed(self.gates):
+            out.append(gate)
+        return out
+
+    def copy(self) -> "QuantumCircuit":
+        return QuantumCircuit(self.n_qubits, self.gates, name=self.name)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_qasm(self) -> str:
+        """Emit OpenQASM 2.0 with a single register ``q``."""
+        lines = [
+            "OPENQASM 2.0;",
+            'include "qelib1.inc";',
+            f"qreg q[{self.n_qubits}];",
+        ]
+        lines.extend(g.qasm() for g in self.gates)
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"QuantumCircuit{label}(qubits={self.n_qubits}, "
+            f"gates={len(self.gates)}, depth={self.depth()})"
+        )

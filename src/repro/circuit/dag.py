@@ -1,0 +1,95 @@
+"""Gate dependency analysis (paper Sec. II-A, constraint (2)).
+
+Two gates that act on a common program qubit must execute in program order.
+The *dependency list* D holds the per-wire consecutive pairs — their
+transitive closure is the full order, so consecutive pairs are all a solver
+needs.  The longest chain in the dependency DAG is the depth lower bound
+T_LB that seeds the depth-optimization loop (Sec. III-B.1), and the paper's
+default variable horizon is ``T_UB = 1.5 * T_LB``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+
+
+def dependencies(circuit: QuantumCircuit) -> List[Tuple[int, int]]:
+    """Per-wire consecutive dependency pairs ``(earlier, later)`` by gate index."""
+    last_on_wire: Dict[int, int] = {}
+    deps: List[Tuple[int, int]] = []
+    for idx, gate in enumerate(circuit.gates):
+        for q in gate.qubits:
+            prev = last_on_wire.get(q)
+            if prev is not None:
+                deps.append((prev, idx))
+            last_on_wire[q] = idx
+    return deps
+
+
+def longest_chain_length(circuit: QuantumCircuit) -> int:
+    """Length (in gates) of the longest dependency chain — the paper's T_LB."""
+    return circuit.depth()
+
+
+def longest_chain(circuit: QuantumCircuit) -> List[int]:
+    """Gate indices of one longest dependency chain (e.g. Fig. 5's red chain)."""
+    n = len(circuit.gates)
+    if n == 0:
+        return []
+    depth_at = [0] * n
+    pred = [-1] * n
+    frontier: Dict[int, int] = {}  # wire -> last gate index
+    for idx, gate in enumerate(circuit.gates):
+        best_prev, best_depth = -1, 0
+        for q in gate.qubits:
+            prev = frontier.get(q)
+            if prev is not None and depth_at[prev] > best_depth:
+                best_prev, best_depth = prev, depth_at[prev]
+        depth_at[idx] = best_depth + 1
+        pred[idx] = best_prev
+        for q in gate.qubits:
+            frontier[q] = idx
+    end = max(range(n), key=lambda i: depth_at[i])
+    chain = []
+    while end != -1:
+        chain.append(end)
+        end = pred[end]
+    return chain[::-1]
+
+
+def asap_layers(circuit: QuantumCircuit) -> List[List[int]]:
+    """Group gate indices into as-soon-as-possible dependency layers."""
+    layers: List[List[int]] = []
+    frontier = [0] * circuit.n_qubits
+    for idx, gate in enumerate(circuit.gates):
+        level = max(frontier[q] for q in gate.qubits)
+        if level == len(layers):
+            layers.append([])
+        layers[level].append(idx)
+        for q in gate.qubits:
+            frontier[q] = level + 1
+    return layers
+
+
+def depth_upper_bound(circuit: QuantumCircuit, ratio: float = 1.5) -> int:
+    """The paper's empirical horizon ``T_UB = ceil(ratio * T_LB)``.
+
+    When no schedule exists within this horizon the optimizer regenerates
+    the formulation with a larger T_UB (Sec. III-B.1), so this only needs to
+    be a good first guess, not a guarantee.
+    """
+    t_lb = longest_chain_length(circuit)
+    return max(1, math.ceil(ratio * t_lb))
+
+
+def dependency_graph(circuit: QuantumCircuit):
+    """The dependency DAG as a :mod:`networkx` DiGraph (for analysis/plots)."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(circuit.gates)))
+    graph.add_edges_from(dependencies(circuit))
+    return graph

@@ -1,0 +1,94 @@
+"""ASCII rendering of circuits and layout-synthesis schedules.
+
+Produces text diagrams in the style of the paper's figures: one wire per
+qubit, gates placed in their dependency (or scheduled) time slots, SWAPs
+shown as ``x--x`` pairs.  Used by examples and handy for debugging results
+in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import QuantumCircuit
+from .dag import asap_layers
+
+
+def _blank_grid(n_rows: int, n_cols: int, cell: int) -> List[List[str]]:
+    return [["-" * cell for _ in range(n_cols)] for _ in range(n_rows)]
+
+
+def _place(grid, row: int, col: int, text: str, cell: int) -> None:
+    grid[row][col] = text.center(cell, "-")
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 100) -> str:
+    """Render a circuit with gates in ASAP dependency layers.
+
+    >>> qc = QuantumCircuit(2)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> print(draw_circuit(qc))
+    q0: ---H-----*---
+    q1: ---------X---
+    """
+    layers = asap_layers(circuit)
+    cell = 5
+    grid = _blank_grid(circuit.n_qubits, len(layers), cell)
+    for col, layer in enumerate(layers):
+        for idx in layer:
+            gate = circuit.gates[idx]
+            if gate.is_single_qubit:
+                _place(grid, gate.qubits[0], col, gate.name.upper()[:3], cell)
+            elif gate.name in ("cx", "cnot"):
+                _place(grid, gate.qubits[0], col, "*", cell)
+                _place(grid, gate.qubits[1], col, "X", cell)
+            elif gate.name == "swap":
+                _place(grid, gate.qubits[0], col, "x", cell)
+                _place(grid, gate.qubits[1], col, "x", cell)
+            else:
+                label = gate.name[:3]
+                _place(grid, gate.qubits[0], col, label, cell)
+                _place(grid, gate.qubits[1], col, label, cell)
+    label_width = len(f"q{circuit.n_qubits - 1}: ")
+    lines = []
+    for q in range(circuit.n_qubits):
+        label = f"q{q}: ".ljust(label_width)
+        wire = "-".join(grid[q]) if grid[q] else ""
+        lines.append((label + "-" + wire + "-")[:max_width])
+    return "\n".join(lines)
+
+
+def draw_schedule(result, max_width: int = 120) -> str:
+    """Render a :class:`~repro.core.result.SynthesisResult` over *physical*
+    wires with concrete time steps; SWAPs appear in their finish column.
+    """
+    n_phys = result.device.n_qubits
+    horizon = result.depth
+    cell = 5
+    grid = _blank_grid(n_phys, max(horizon, 1), cell)
+    for idx, gate in enumerate(result.circuit.gates):
+        t = result.gate_times[idx]
+        mapping = result.mapping_at(t)
+        phys = [mapping[q] for q in gate.qubits]
+        if gate.is_single_qubit:
+            _place(grid, phys[0], t, gate.name.upper()[:3], cell)
+        elif gate.name in ("cx", "cnot"):
+            _place(grid, phys[0], t, "*", cell)
+            _place(grid, phys[1], t, "X", cell)
+        else:
+            label = gate.name[:3]
+            _place(grid, phys[0], t, label, cell)
+            _place(grid, phys[1], t, label, cell)
+    for swap in result.swaps:
+        _place(grid, swap.p, swap.finish_time, "x", cell)
+        _place(grid, swap.p_prime, swap.finish_time, "x", cell)
+    label_width = len(f"p{n_phys - 1}: ")
+    header = " " * label_width + " " + " ".join(
+        f"t={t}".center(cell) for t in range(horizon)
+    )
+    lines = [header[:max_width]]
+    for p in range(n_phys):
+        label = f"p{p}: ".ljust(label_width)
+        lines.append((label + " " + " ".join(grid[p]))[:max_width])
+    return "\n".join(lines)

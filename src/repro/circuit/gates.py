@@ -1,0 +1,91 @@
+"""Quantum gate representation.
+
+Layout synthesis only cares about which qubits a gate touches and in what
+order gates appear (Sec. II-A: "the gates to be scheduled are one- or
+two-qubit"), so a gate is a name, a qubit tuple, and optional real
+parameters.  Semantics (unitaries) are irrelevant to the mapping problem and
+deliberately not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+SINGLE_QUBIT_GATES = frozenset(
+    {
+        "id",
+        "h",
+        "x",
+        "y",
+        "z",
+        "s",
+        "sdg",
+        "t",
+        "tdg",
+        "sx",
+        "sxdg",
+        "rx",
+        "ry",
+        "rz",
+        "u1",
+        "u2",
+        "u3",
+        "p",
+        "u",
+    }
+)
+
+TWO_QUBIT_GATES = frozenset(
+    {"cx", "cnot", "cz", "cy", "ch", "cp", "cu1", "crz", "rzz", "swap", "iswap"}
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single- or two-qubit quantum gate instance.
+
+    >>> Gate("cx", (0, 1))
+    Gate(name='cx', qubits=(0, 1), params=())
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self):
+        if len(self.qubits) not in (1, 2):
+            raise ValueError(
+                f"gate {self.name!r} touches {len(self.qubits)} qubits; "
+                "only 1- and 2-qubit gates are supported (Sec. II-A)"
+            )
+        if len(self.qubits) == 2 and self.qubits[0] == self.qubits[1]:
+            raise ValueError(f"gate {self.name!r} repeats qubit {self.qubits[0]}")
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    @property
+    def is_single_qubit(self) -> bool:
+        return len(self.qubits) == 1
+
+    def remapped(self, mapping) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each qubit ``q``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def qasm(self) -> str:
+        """The gate as one OpenQASM 2.0 statement (register name ``q``)."""
+        if self.params:
+            args = ",".join(_fmt_param(p) for p in self.params)
+            head = f"{self.name}({args})"
+        else:
+            head = self.name
+        operands = ",".join(f"q[{q}]" for q in self.qubits)
+        return f"{head} {operands};"
+
+
+def _fmt_param(p: float) -> str:
+    if p == int(p):
+        return str(int(p))
+    return repr(p)

@@ -1,0 +1,121 @@
+"""Circuit and result metrics: the numbers mapping papers report.
+
+Covers both *logical* circuit statistics (two-qubit depth, interaction
+degree, parallelism) and *mapped-result* statistics (SWAP overhead, depth
+overhead, utilisation), so benchmark rows and examples can report a
+consistent set of figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .circuit import QuantumCircuit
+from .dag import asap_layers, longest_chain_length
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Logical statistics of a circuit (before mapping)."""
+
+    n_qubits: int
+    n_gates: int
+    n_two_qubit: int
+    depth: int
+    two_qubit_depth: int
+    max_interaction_degree: int
+    parallelism: float  # average gates per dependency layer
+
+    def as_dict(self) -> Dict:
+        return {
+            "n_qubits": self.n_qubits,
+            "n_gates": self.n_gates,
+            "n_two_qubit": self.n_two_qubit,
+            "depth": self.depth,
+            "two_qubit_depth": self.two_qubit_depth,
+            "max_interaction_degree": self.max_interaction_degree,
+            "parallelism": self.parallelism,
+        }
+
+
+def circuit_metrics(circuit: QuantumCircuit) -> CircuitMetrics:
+    """Compute logical statistics for ``circuit``."""
+    # Two-qubit depth: longest chain counting only two-qubit gates.
+    frontier = [0] * circuit.n_qubits
+    for gate in circuit.gates:
+        weight = 1 if gate.is_two_qubit else 0
+        level = max(frontier[q] for q in gate.qubits) + weight
+        for q in gate.qubits:
+            frontier[q] = level
+    two_qubit_depth = max(frontier, default=0)
+
+    degree: Dict[int, set] = {q: set() for q in range(circuit.n_qubits)}
+    for gate in circuit.gates:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            degree[a].add(b)
+            degree[b].add(a)
+    max_degree = max((len(s) for s in degree.values()), default=0)
+
+    layers = asap_layers(circuit)
+    parallelism = (
+        circuit.num_gates / len(layers) if layers else 0.0
+    )
+    return CircuitMetrics(
+        n_qubits=circuit.n_qubits,
+        n_gates=circuit.num_gates,
+        n_two_qubit=circuit.num_two_qubit_gates,
+        depth=longest_chain_length(circuit),
+        two_qubit_depth=two_qubit_depth,
+        max_interaction_degree=max_degree,
+        parallelism=parallelism,
+    )
+
+
+@dataclass(frozen=True)
+class MappingMetrics:
+    """Overhead statistics of a layout-synthesis result."""
+
+    logical_depth: int
+    mapped_depth: int
+    depth_overhead: float  # mapped / logical
+    swap_count: int
+    cnot_overhead: float  # (original_cx + 3*swaps) / original_cx
+    physical_qubits_used: int
+    device_utilisation: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "logical_depth": self.logical_depth,
+            "mapped_depth": self.mapped_depth,
+            "depth_overhead": self.depth_overhead,
+            "swap_count": self.swap_count,
+            "cnot_overhead": self.cnot_overhead,
+            "physical_qubits_used": self.physical_qubits_used,
+            "device_utilisation": self.device_utilisation,
+        }
+
+
+def mapping_metrics(result) -> MappingMetrics:
+    """Compute overhead statistics for a SynthesisResult."""
+    circuit = result.circuit
+    logical_depth = longest_chain_length(circuit)
+    used = set()
+    for idx, gate in enumerate(circuit.gates):
+        mapping = result.mapping_at(result.gate_times[idx])
+        used.update(mapping[q] for q in gate.qubits)
+    for swap in result.swaps:
+        used.add(swap.p)
+        used.add(swap.p_prime)
+    n_cx = circuit.num_two_qubit_gates
+    cnot_overhead = (n_cx + 3 * result.swap_count) / n_cx if n_cx else 1.0
+    return MappingMetrics(
+        logical_depth=logical_depth,
+        mapped_depth=result.depth,
+        depth_overhead=result.depth / logical_depth if logical_depth else 1.0,
+        swap_count=result.swap_count,
+        cnot_overhead=cnot_overhead,
+        physical_qubits_used=len(used),
+        device_utilisation=len(used) / result.device.n_qubits,
+    )

@@ -1,0 +1,250 @@
+"""OpenQASM 2.0 front end (the subset layout synthesis needs).
+
+The paper's benchmark circuits (QAOA, Qiskit arithmetic circuits, QUEKO) are
+distributed as OpenQASM 2.0 files.  This parser handles the constructs those
+files use: the version header, ``include``, ``qreg``/``creg`` declarations,
+gate applications with optional parameter lists, ``barrier`` and ``measure``
+(both ignored for mapping purposes), and comments.  Custom ``gate``
+definitions are parsed and inlined one level deep.
+
+Parameter expressions (``pi/2``, ``-3*pi/4`` ...) are evaluated to floats
+with a tiny recursive-descent evaluator — no ``eval``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+
+_TOKEN_RE = re.compile(r"\s*(?:(\d+\.\d*|\.\d+|\d+)|(pi)|([+\-*/()])|$)")
+
+
+def _eval_param(expr: str) -> float:
+    """Evaluate a parameter arithmetic expression over numbers and ``pi``."""
+    tokens: List[str] = []
+    pos = 0
+    expr = expr.strip()
+    while pos < len(expr):
+        m = _TOKEN_RE.match(expr, pos)
+        if not m or m.end() == pos:
+            raise QasmError(f"cannot tokenise parameter expression {expr!r}")
+        if m.group(1):
+            tokens.append(m.group(1))
+        elif m.group(2):
+            tokens.append("pi")
+        elif m.group(3):
+            tokens.append(m.group(3))
+        pos = m.end()
+    result, rest = _parse_sum(tokens)
+    if rest:
+        raise QasmError(f"trailing tokens in parameter expression {expr!r}")
+    return result
+
+
+def _parse_sum(tokens: List[str]) -> Tuple[float, List[str]]:
+    value, tokens = _parse_product(tokens)
+    while tokens and tokens[0] in "+-":
+        op = tokens[0]
+        rhs, tokens = _parse_product(tokens[1:])
+        value = value + rhs if op == "+" else value - rhs
+    return value, tokens
+
+
+def _parse_product(tokens: List[str]) -> Tuple[float, List[str]]:
+    value, tokens = _parse_atom(tokens)
+    while tokens and tokens[0] in "*/":
+        op = tokens[0]
+        rhs, tokens = _parse_atom(tokens[1:])
+        value = value * rhs if op == "*" else value / rhs
+    return value, tokens
+
+
+def _parse_atom(tokens: List[str]) -> Tuple[float, List[str]]:
+    if not tokens:
+        raise QasmError("unexpected end of parameter expression")
+    tok = tokens[0]
+    if tok == "-":
+        value, rest = _parse_atom(tokens[1:])
+        return -value, rest
+    if tok == "+":
+        return _parse_atom(tokens[1:])
+    if tok == "(":
+        value, rest = _parse_sum(tokens[1:])
+        if not rest or rest[0] != ")":
+            raise QasmError("unbalanced parentheses in parameter expression")
+        return value, rest[1:]
+    if tok == "pi":
+        return math.pi, tokens[1:]
+    try:
+        return float(tok), tokens[1:]
+    except ValueError:
+        raise QasmError(f"unexpected token {tok!r} in parameter expression")
+
+
+_STMT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?:\(\s*(?P<params>.*)\s*\))?\s*"
+    r"(?P<args>[^;()]*)$"
+)
+
+
+def _split_params(params: str) -> List[str]:
+    """Split a parameter list on top-level commas (parens may nest)."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in params:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+_ARG_RE = re.compile(r"^(?P<reg>[A-Za-z_][A-Za-z0-9_]*)\s*(?:\[\s*(?P<idx>\d+)\s*\])?$")
+
+
+class _GateDef:
+    """A user-defined gate body, inlined at application time."""
+
+    def __init__(self, params: List[str], qargs: List[str], body: List[str]):
+        self.params = params
+        self.qargs = qargs
+        self.body = body
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def parse_qasm(text: str, name: str = "") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source into a :class:`QuantumCircuit`.
+
+    Multiple quantum registers are flattened into one contiguous index space
+    in declaration order.  Measurements, barriers, classical registers and
+    conditionals are skipped — they do not affect layout synthesis.
+    """
+    text = _strip_comments(text)
+    # Pull out gate definitions first (they contain ';' inside braces).
+    gate_defs: Dict[str, _GateDef] = {}
+
+    def _collect_gate_def(match: re.Match) -> str:
+        header, body = match.group(1), match.group(2)
+        m = _STMT_RE.match(header.strip())
+        if not m:
+            raise QasmError(f"malformed gate definition header {header!r}")
+        gname = m.group("name")
+        params = [p.strip() for p in (m.group("params") or "").split(",") if p.strip()]
+        qargs = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        body_stmts = [s.strip() for s in body.split(";") if s.strip()]
+        gate_defs[gname] = _GateDef(params, qargs, body_stmts)
+        return ""
+
+    text = re.sub(r"gate\s+([^{]+)\{([^}]*)\}", _collect_gate_def, text)
+
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    reg_offsets: Dict[str, int] = {}
+    reg_sizes: Dict[str, int] = {}
+    n_qubits = 0
+    gates: List[Gate] = []
+
+    def _resolve(arg: str) -> List[int]:
+        m = _ARG_RE.match(arg.strip())
+        if not m:
+            raise QasmError(f"malformed operand {arg!r}")
+        reg = m.group("reg")
+        if reg not in reg_offsets:
+            raise QasmError(f"unknown quantum register {reg!r}")
+        if m.group("idx") is None:
+            base = reg_offsets[reg]
+            return list(range(base, base + reg_sizes[reg]))
+        idx = int(m.group("idx"))
+        if idx >= reg_sizes[reg]:
+            raise QasmError(f"index {idx} out of range for register {reg!r}")
+        return [reg_offsets[reg] + idx]
+
+    def _apply(gname: str, params: List[float], qubits: List[int]):
+        nonlocal gates
+        if gname in gate_defs:
+            definition = gate_defs[gname]
+            if len(definition.qargs) != len(qubits):
+                raise QasmError(f"gate {gname!r} arity mismatch")
+            pmap = dict(zip(definition.params, params))
+            qmap = dict(zip(definition.qargs, qubits))
+            for stmt in definition.body:
+                m = _STMT_RE.match(stmt)
+                if not m:
+                    raise QasmError(f"malformed statement in gate body: {stmt!r}")
+                inner = m.group("name")
+                inner_params = []
+                if m.group("params"):
+                    for p in _split_params(m.group("params")):
+                        inner_params.append(pmap[p] if p in pmap else _eval_param(p))
+                inner_qubits = []
+                for a in m.group("args").split(","):
+                    a = a.strip()
+                    if a not in qmap:
+                        raise QasmError(f"unknown qubit {a!r} in gate body")
+                    inner_qubits.append(qmap[a])
+                _apply(inner, inner_params, inner_qubits)
+            return
+        gates.append(Gate(gname.lower(), tuple(qubits), tuple(params)))
+
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        if stmt.startswith("creg") or stmt.startswith("barrier"):
+            continue
+        if stmt.startswith("measure") or stmt.startswith("reset") or stmt.startswith("if"):
+            continue
+        m = re.match(r"^qreg\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]$", stmt)
+        if m:
+            reg, size = m.group(1), int(m.group(2))
+            reg_offsets[reg] = n_qubits
+            reg_sizes[reg] = size
+            n_qubits += size
+            continue
+        m = _STMT_RE.match(stmt)
+        if not m:
+            raise QasmError(f"cannot parse statement {stmt!r}")
+        gname = m.group("name")
+        params = []
+        if m.group("params"):
+            params = [_eval_param(p) for p in _split_params(m.group("params"))]
+        operand_lists = [_resolve(a) for a in m.group("args").split(",") if a.strip()]
+        if not operand_lists:
+            raise QasmError(f"gate {gname!r} has no operands")
+        # Broadcast whole-register operands (e.g. "h q;").
+        width = max(len(ops) for ops in operand_lists)
+        for ops in operand_lists:
+            if len(ops) not in (1, width):
+                raise QasmError(f"operand broadcast mismatch in {stmt!r}")
+        for i in range(width):
+            qubits = [ops[i] if len(ops) > 1 else ops[0] for ops in operand_lists]
+            _apply(gname, params, qubits)
+
+    if n_qubits == 0:
+        raise QasmError("no quantum register declared")
+    return QuantumCircuit(n_qubits, gates, name=name)
+
+
+def load_qasm(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file from disk."""
+    with open(path) as fp:
+        return parse_qasm(fp.read(), name=path)

@@ -1,0 +1,218 @@
+"""Command-line interface: ``olsq2``.
+
+Subcommands:
+
+* ``compile``  — synthesize an OpenQASM 2.0 circuit onto a device,
+* ``devices``  — list the built-in coupling graphs,
+* ``generate`` — emit benchmark circuits (QAOA / QUEKO / QFT / ...) as QASM,
+* ``bench``    — run one of the paper's experiment drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch import devices
+from .baselines.sabre import SABRE
+from .circuit.qasm import load_qasm
+from .core.config import SynthesisConfig
+from .core.olsq2 import OLSQ2, TBOLSQ2
+from .core.validator import validate_result
+from .harness import experiments
+from .workloads import qaoa_circuit, qft, queko_circuit, toffoli
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="olsq2",
+        description="Scalable optimal layout synthesis (OLSQ2, DAC 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compile", help="synthesize a QASM circuit onto a device")
+    comp.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    comp.add_argument("--device", default="qx2", help="device name (see 'devices')")
+    comp.add_argument(
+        "--objective", choices=("depth", "swap"), default="depth"
+    )
+    comp.add_argument(
+        "--synthesizer",
+        choices=("olsq2", "tb-olsq2", "sabre"),
+        default="olsq2",
+    )
+    comp.add_argument("--swap-duration", type=int, default=3)
+    comp.add_argument("--time-budget", type=float, default=600.0)
+    comp.add_argument("--output", help="write the mapped circuit as QASM here")
+    comp.add_argument("--verbose", action="store_true")
+
+    sub.add_parser("devices", help="list built-in coupling graphs")
+
+    gen = sub.add_parser("generate", help="emit a benchmark circuit as QASM")
+    gen.add_argument(
+        "family", choices=("qaoa", "queko", "qft", "toffoli")
+    )
+    gen.add_argument("--qubits", type=int, default=8)
+    gen.add_argument("--depth", type=int, default=5, help="QUEKO target depth")
+    gen.add_argument("--gates", type=int, default=15, help="QUEKO gate count")
+    gen.add_argument("--device", default="grid-3x3", help="QUEKO device")
+    gen.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="run a paper experiment")
+    bench.add_argument(
+        "experiment",
+        choices=("fig1", "table1", "table2", "table3", "table4", "speedup", "all"),
+    )
+    bench.add_argument("--timeout", type=float, default=120.0)
+    bench.add_argument(
+        "--output", help="for 'all': write a markdown report to this path"
+    )
+
+    sat = sub.add_parser("sat", help="solve a DIMACS CNF with the built-in solver")
+    sat.add_argument("dimacs", help="path to a DIMACS .cnf file")
+    sat.add_argument("--time-budget", type=float, default=300.0)
+    sat.add_argument(
+        "--certify", action="store_true", help="log and check a RUP proof on UNSAT"
+    )
+    sat.add_argument(
+        "--preprocess", action="store_true", help="run SatELite-style preprocessing"
+    )
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    circuit = load_qasm(args.qasm)
+    device = devices.by_name(args.device)
+    if args.synthesizer == "sabre":
+        result = SABRE(swap_duration=args.swap_duration).synthesize(circuit, device)
+    else:
+        config = SynthesisConfig(
+            swap_duration=args.swap_duration,
+            time_budget=args.time_budget,
+            solve_time_budget=args.time_budget / 2,
+            verbose=args.verbose,
+        )
+        cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
+        result = cls(config).synthesize(circuit, device, objective=args.objective)
+    validate_result(result)
+    print(result.summary())
+    print(f"initial mapping: {result.initial_mapping}")
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(result.to_physical_circuit().to_qasm())
+        print(f"mapped circuit written to {args.output}")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    rows = [
+        devices.ibm_qx2(),
+        devices.rigetti_aspen4(),
+        devices.google_sycamore(),
+        devices.ibm_eagle(),
+        devices.grid(3, 3),
+        devices.linear(5),
+    ]
+    print(f"{'name':<12} {'qubits':>6} {'edges':>5}")
+    for dev in rows:
+        print(f"{dev.name:<12} {dev.n_qubits:>6} {dev.num_edges:>5}")
+    print("also: grid-RxC, line-N, ring-N, full-N")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.family == "qaoa":
+        circuit = qaoa_circuit(args.qubits, seed=args.seed)
+    elif args.family == "queko":
+        device = devices.by_name(args.device)
+        circuit = queko_circuit(device, args.depth, args.gates, seed=args.seed).circuit
+    elif args.family == "qft":
+        circuit = qft(args.qubits)
+    else:
+        circuit = toffoli(max(2, args.qubits - 1) // 2 + 1)
+    sys.stdout.write(circuit.to_qasm())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.experiment == "all":
+        from .harness.report import generate_report
+
+        text = generate_report(budget=args.timeout)
+        if args.output:
+            with open(args.output, "w") as fp:
+                fp.write(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+    runners = {
+        "fig1": lambda: experiments.run_fig1(timeout=args.timeout),
+        "table1": lambda: experiments.run_table1(timeout=args.timeout),
+        "table2": lambda: experiments.run_table2(timeout=args.timeout),
+        "table3": lambda: experiments.run_table3(time_budget=args.timeout),
+        "table4": lambda: experiments.run_table4(time_budget=args.timeout),
+        "speedup": lambda: experiments.run_speedup_summary(time_budget=args.timeout),
+    }
+    headers, rows, notes = runners[args.experiment]()
+    experiments.print_experiment(headers, rows, notes, args.experiment)
+    return 0
+
+
+def _cmd_sat(args) -> int:
+    from .sat import Solver, check_unsat_proof, lit_to_dimacs, preprocess
+    from .sat.dimacs import read_dimacs
+    from .sat.preprocess import Unsatisfiable
+
+    with open(args.dimacs) as fp:
+        cnf = read_dimacs(fp)
+    print(f"c parsed {cnf.n_vars} vars, {cnf.num_clauses} clauses")
+    recon = None
+    formula = cnf
+    if args.preprocess:
+        try:
+            formula, recon = preprocess(cnf)
+        except Unsatisfiable:
+            print("s UNSATISFIABLE")
+            print("c (refuted during preprocessing)")
+            return 20
+        print(f"c preprocessed to {formula.num_clauses} clauses")
+    solver = Solver(proof_log=args.certify and not args.preprocess)
+    formula.to_solver(solver)
+    status = solver.solve(time_budget=args.time_budget)
+    if status is None:
+        print("s UNKNOWN")
+        return 0
+    if status:
+        model = recon.extend(solver.model) if recon else solver.model
+        print("s SATISFIABLE")
+        lits = [
+            lit_to_dimacs(2 * v + (0 if model[v] else 1))
+            for v in range(cnf.n_vars)
+        ]
+        print("v " + " ".join(str(l) for l in lits) + " 0")
+        return 10
+    print("s UNSATISFIABLE")
+    if args.certify and solver.proof is not None:
+        ok = check_unsat_proof(formula, solver.proof)
+        print(f"c proof check: {'VERIFIED' if ok else 'FAILED'}")
+        if not ok:
+            return 1
+    return 20
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "compile": _cmd_compile,
+        "devices": _cmd_devices,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "sat": _cmd_sat,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

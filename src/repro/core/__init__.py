@@ -1,0 +1,49 @@
+"""The paper's primary contribution: OLSQ2 and TB-OLSQ2."""
+
+from .config import (
+    CARD_ADDER,
+    CARD_SEQUENTIAL,
+    CARD_TOTALIZER,
+    CARDINALITY_METHODS,
+    SynthesisConfig,
+    paper_variant,
+    qaoa_config,
+)
+from .encoder import LayoutEncoder
+from .fidelity import NoiseModel, compare_success_rates, estimate_success_rate
+from .olsq2 import OBJECTIVES, OLSQ2, TBOLSQ2
+from .optimizer import IterativeSynthesizer, SynthesisTimeout, serialize_blocks
+from .portfolio import PortfolioEntry, PortfolioSynthesizer, default_portfolio
+from .reference import exists_swap_free_mapping, min_swaps_lower_bound
+from .result import SwapEvent, SynthesisResult
+from .validator import ValidationError, is_valid, validate_result
+
+__all__ = [
+    "SynthesisConfig",
+    "qaoa_config",
+    "paper_variant",
+    "CARD_SEQUENTIAL",
+    "CARD_TOTALIZER",
+    "CARD_ADDER",
+    "CARDINALITY_METHODS",
+    "LayoutEncoder",
+    "OLSQ2",
+    "TBOLSQ2",
+    "OBJECTIVES",
+    "IterativeSynthesizer",
+    "SynthesisTimeout",
+    "serialize_blocks",
+    "PortfolioEntry",
+    "PortfolioSynthesizer",
+    "default_portfolio",
+    "NoiseModel",
+    "estimate_success_rate",
+    "compare_success_rates",
+    "exists_swap_free_mapping",
+    "min_swaps_lower_bound",
+    "SwapEvent",
+    "SynthesisResult",
+    "ValidationError",
+    "validate_result",
+    "is_valid",
+]

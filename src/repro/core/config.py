@@ -1,0 +1,93 @@
+"""Configuration for the layout synthesizers.
+
+Bundles every knob the paper ablates (Sec. III): variable encoding
+(bit-vector vs one-hot/"integer"), injectivity encoding (pairwise vs
+EUF-style channeling), cardinality encoding for the SWAP bound (sequential
+counter CNF vs totalizer vs adder-network/"AtMost"), the SWAP gate duration,
+the T_UB ratio, and the optimization time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..encodings.cardinality import SEQUENTIAL
+from ..smt.domain import BITVEC, ENCODINGS, INT, ONEHOT
+from ..smt.injectivity import CHANNELING_INJ, INJECTIVITY_METHODS, PAIRWISE_INJ
+
+CARD_SEQUENTIAL = "seqcounter"
+CARD_TOTALIZER = "totalizer"
+CARD_ADDER = "adder"
+CARDINALITY_METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
+
+
+@dataclass
+class SynthesisConfig:
+    """All knobs of the OLSQ2 formulation and optimization loops.
+
+    The defaults are the paper's winning configuration: bit-vector
+    variables, pairwise injectivity, sequential-counter CNF cardinality,
+    SWAP duration 3 (set to 1 for QAOA per Sec. IV), and the
+    ``T_UB = 1.5 x T_LB`` horizon.
+    """
+
+    encoding: str = BITVEC
+    injectivity: str = PAIRWISE_INJ
+    cardinality: str = CARD_SEQUENTIAL
+    swap_duration: int = 3
+    tub_ratio: float = 1.5
+    time_budget: float = 600.0  # seconds for a whole optimization run
+    solve_time_budget: float = 300.0  # per individual SAT query
+    depth_relax_small: float = 1.3  # bound growth while T_B < 100 (Sec. III-B.1)
+    depth_relax_large: float = 1.1  # bound growth once T_B >= 100
+    depth_relax_threshold: int = 100
+    max_pareto_rounds: int = 4  # depth relaxations in the 2-D SWAP search
+    warm_start: Optional[str] = None  # None or "sabre": heuristic search seeding
+    certify: bool = False  # re-prove the final UNSAT bound with a checked RUP proof
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.encoding not in ENCODINGS:
+            raise ValueError(f"unknown variable encoding {self.encoding!r}")
+        if self.injectivity not in INJECTIVITY_METHODS:
+            raise ValueError(f"unknown injectivity method {self.injectivity!r}")
+        if self.cardinality not in CARDINALITY_METHODS:
+            raise ValueError(f"unknown cardinality method {self.cardinality!r}")
+        if self.swap_duration < 1:
+            raise ValueError("swap duration must be >= 1")
+        if self.tub_ratio < 1.0:
+            raise ValueError("T_UB ratio must be >= 1")
+        if self.warm_start not in (None, "sabre"):
+            raise ValueError(f"unknown warm-start source {self.warm_start!r}")
+
+    def replace(self, **kwargs) -> "SynthesisConfig":
+        return replace(self, **kwargs)
+
+
+def qaoa_config(**kwargs) -> SynthesisConfig:
+    """The paper's QAOA setting: SWAP duration 1 (Sec. IV)."""
+    kwargs.setdefault("swap_duration", 1)
+    return SynthesisConfig(**kwargs)
+
+
+def paper_variant(name: str, **kwargs) -> SynthesisConfig:
+    """Named encoding variants from Table I.
+
+    ``olsq2-bv`` (default winner), ``olsq2-int``, ``olsq2-euf-int``,
+    ``olsq2-euf-bv``.  The OLSQ (space-variable) variants live in
+    :mod:`repro.baselines.olsq` and reuse these configs.
+    """
+    variants = {
+        "olsq2-bv": dict(encoding=BITVEC, injectivity=PAIRWISE_INJ),
+        "olsq2-int": dict(encoding=INT, injectivity=PAIRWISE_INJ),
+        "olsq2-euf-int": dict(encoding=INT, injectivity=CHANNELING_INJ),
+        "olsq2-euf-bv": dict(encoding=BITVEC, injectivity=CHANNELING_INJ),
+        "olsq2-onehot": dict(encoding=ONEHOT, injectivity=PAIRWISE_INJ),
+        "olsq2-order": dict(encoding="order", injectivity=PAIRWISE_INJ),
+    }
+    if name not in variants:
+        raise ValueError(f"unknown variant {name!r}; choose from {sorted(variants)}")
+    merged = dict(variants[name])
+    merged.update(kwargs)
+    return SynthesisConfig(**merged)

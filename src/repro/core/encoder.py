@@ -1,0 +1,376 @@
+"""The OLSQ2 succinct SMT formulation (paper Sec. III-A) over our SAT core.
+
+Variables (no space variables — Improvement 1):
+
+* mapping ``pi[q][t]`` — bounded-domain variable over physical qubits,
+* time ``time[g]`` — bounded-domain variable over ``[0, horizon)``,
+* SWAP ``sigma[e][t]`` — Boolean, true iff a SWAP on edge ``e`` finishes at
+  time ``t`` (it occupies ``t - S_D + 1 .. t``; the mapping change becomes
+  visible at ``t + 1``).
+
+Constraint groups (Sec. II-A numbering):
+
+1. mapping injectivity per time step (pairwise or EUF-style channeling),
+2. gate dependencies (``t_g < t_g'``; ``<=`` in the transition-based model),
+3. valid two-qubit scheduling via edge-selector literals (Eq. 1) — gate
+   positions are *inferred* from mapping + time, the paper's key idea,
+4. SWAP mapping transformation (stay/move clauses),
+5. SWAPs don't overlap gates (Eq. 2-3) or other SWAPs.
+
+The encoder also owns the *incremental bound machinery*: depth bounds and
+SWAP-count bounds are activated per solve via assumption literals, so the
+optimization loops in :mod:`repro.core.optimizer` reuse all learned clauses
+across iterations (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import dependencies
+from ..encodings.adder import IncrementalAdder
+from ..encodings.cardinality import IncrementalCounter, IncrementalTotalizer
+from ..sat.types import neg
+from ..smt.context import SMTContext
+from ..smt.domain import make_domain_var
+from ..smt.injectivity import encode_injectivity
+from .config import CARD_ADDER, CARD_SEQUENTIAL, CARD_TOTALIZER, SynthesisConfig
+from .result import SwapEvent
+
+
+class LayoutEncoder:
+    """Encodes one layout-synthesis instance at a fixed horizon.
+
+    ``transition_based=True`` switches to the TB-OLSQ2 coarse-grained model
+    (Sec. III-D): time steps become blocks, dependencies become non-strict,
+    the SWAP/gate overlap constraints disappear, and SWAPs happen in the
+    transitions between consecutive blocks.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        horizon: int,
+        config: Optional[SynthesisConfig] = None,
+        transition_based: bool = False,
+        ctx: Optional[SMTContext] = None,
+        initial_mapping: Optional[List[int]] = None,
+    ):
+        if circuit.n_qubits > device.n_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.n_qubits} qubits but device has "
+                f"{device.n_qubits}"
+            )
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.circuit = circuit
+        self.device = device
+        self.horizon = horizon
+        self.config = config or SynthesisConfig()
+        self.transition_based = transition_based
+        self.ctx = ctx or SMTContext()
+        if initial_mapping is not None:
+            if len(initial_mapping) != circuit.n_qubits:
+                raise ValueError("initial mapping size != circuit qubits")
+            if len(set(initial_mapping)) != len(initial_mapping):
+                raise ValueError("initial mapping must be injective")
+        self.initial_mapping = initial_mapping
+
+        self.pi: List[List] = []  # [q][t] -> domain var over P
+        self.time: List = []  # [g] -> domain var over horizon
+        self.sigma: List[List[int]] = []  # [e][t] -> swap literal
+        self.swap_lits: List[Tuple[int, int, int]] = []  # (lit, e_idx, t)
+        self._depth_guards: Dict[int, int] = {}
+        self._swap_counter = None
+        self._encoded = False
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self) -> "LayoutEncoder":
+        """Build all variables and static constraints.  Idempotent."""
+        if self._encoded:
+            return self
+        self._encoded = True
+        self._make_variables()
+        if self.initial_mapping is not None:
+            for q, p in enumerate(self.initial_mapping):
+                self.pi[q][0].fix(p)
+        self._encode_injectivity()
+        self._encode_dependencies()
+        self._encode_two_qubit_adjacency()
+        self._encode_mapping_transformation()
+        if not self.transition_based:
+            self._encode_swap_gate_exclusion()
+        self._encode_swap_swap_exclusion()
+        return self
+
+    def _make_variables(self) -> None:
+        ctx, cfg = self.ctx, self.config
+        n_phys = self.device.n_qubits
+        horizon = self.horizon
+        self.pi = [
+            [make_domain_var(ctx, n_phys, cfg.encoding) for _ in range(horizon)]
+            for _ in range(self.circuit.n_qubits)
+        ]
+        self.time = [
+            make_domain_var(ctx, horizon, cfg.encoding)
+            for _ in range(self.circuit.num_gates)
+        ]
+        # SWAP literals.  Non-TB: sigma[e][t] = swap finishing at t; only
+        # t in [S_D-1, horizon-1) is meaningful.  TB: sigma[e][k] = swap in
+        # the transition after block k, k in [0, horizon-1).
+        n_transitions = horizon - 1
+        self.sigma = []
+        for e_idx in range(self.device.num_edges):
+            col = []
+            for t in range(n_transitions):
+                lit = ctx.new_bool()
+                col.append(lit)
+                if not self.transition_based and t < cfg.swap_duration - 1:
+                    ctx.add([neg(lit)])  # cannot finish before one full duration
+                else:
+                    self.swap_lits.append((lit, e_idx, t))
+            self.sigma.append(col)
+
+    def _encode_injectivity(self) -> None:
+        for t in range(self.horizon):
+            encode_injectivity(
+                self.ctx,
+                [self.pi[q][t] for q in range(self.circuit.n_qubits)],
+                self.device.n_qubits,
+                method=self.config.injectivity,
+                encoding=self.config.encoding,
+            )
+
+    def _encode_dependencies(self) -> None:
+        for earlier, later in dependencies(self.circuit):
+            if self.transition_based:
+                self.time[earlier].less_equal(self.time[later])
+            else:
+                self.time[earlier].less_than(self.time[later])
+
+    def _encode_two_qubit_adjacency(self) -> None:
+        """Eq. 1: a two-qubit gate's qubits sit on some edge at its time.
+
+        For each gate g(q, q') and time t, an edge-selector literal
+        ``s[g,t,e]`` commits the gate to edge e; the selector implies both
+        qubits lie on e's endpoints (injectivity then forces them onto the
+        two distinct endpoints).
+        """
+        ctx = self.ctx
+        edges = self.device.edges
+        for g_idx, gate in self.circuit.two_qubit_gates:
+            q, q_prime = gate.qubits
+            for t in range(self.horizon):
+                z = self.time[g_idx].eq_lit(t)
+                selectors = []
+                for a, b in edges:
+                    s = ctx.new_bool()
+                    selectors.append(s)
+                    ctx.add([neg(s), self.pi[q][t].eq_lit(a), self.pi[q][t].eq_lit(b)])
+                    ctx.add(
+                        [
+                            neg(s),
+                            self.pi[q_prime][t].eq_lit(a),
+                            self.pi[q_prime][t].eq_lit(b),
+                        ]
+                    )
+                ctx.add([neg(z)] + selectors)
+
+    def _encode_mapping_transformation(self) -> None:
+        """Constraint (4): the mapping evolves only through SWAPs.
+
+        Between steps t-1 and t the mapping of q changes exactly when a SWAP
+        finishing at t-1 (TB: in transition t-1) touches q's position.
+        """
+        ctx = self.ctx
+        edges = self.device.edges
+        incident = self.device.incident_edges
+        for t in range(1, self.horizon):
+            for q in range(self.circuit.n_qubits):
+                prev_var, cur_var = self.pi[q][t - 1], self.pi[q][t]
+                for p in range(self.device.n_qubits):
+                    x_prev = prev_var.eq_lit(p)
+                    # Stay clause: no incident swap => same position.
+                    stay = [neg(x_prev)]
+                    stay.extend(self.sigma[e][t - 1] for e in incident[p])
+                    stay.append(cur_var.eq_lit(p))
+                    ctx.add(stay)
+                    # Move clauses: incident swap => other endpoint.
+                    for e in incident[p]:
+                        a, b = edges[e]
+                        other = b if a == p else a
+                        ctx.add(
+                            [
+                                neg(x_prev),
+                                neg(self.sigma[e][t - 1]),
+                                cur_var.eq_lit(other),
+                            ]
+                        )
+
+    def _encode_swap_gate_exclusion(self) -> None:
+        """Eq. 2-3: a SWAP occupying ``t-S_D+1..t`` on edge e excludes gates
+        scheduled in that window whose qubits sit on e's endpoints."""
+        ctx = self.ctx
+        duration = self.config.swap_duration
+        edges = self.device.edges
+        for lit, e_idx, t in self.swap_lits:
+            a, b = edges[e_idx]
+            window = range(max(0, t - duration + 1), t + 1)
+            for g_idx, gate in enumerate(self.circuit.gates):
+                for t_prime in window:
+                    z = self.time[g_idx].eq_lit(t_prime)
+                    for q in gate.qubits:
+                        # Mapping is stable across the window (no other swap
+                        # may touch these qubits meanwhile), so testing the
+                        # position at the finish time t is sound (cf. paper).
+                        ctx.add([neg(z), neg(self.pi[q][t].eq_lit(a)), neg(lit)])
+                        ctx.add([neg(z), neg(self.pi[q][t].eq_lit(b)), neg(lit)])
+
+    def _encode_swap_swap_exclusion(self) -> None:
+        """Two SWAPs sharing a qubit cannot overlap in time.
+
+        In the TB model this degenerates to: within one transition, the
+        chosen swap edges form a matching (one layer of parallel SWAPs).
+        """
+        ctx = self.ctx
+        duration = 1 if self.transition_based else self.config.swap_duration
+        edges = self.device.edges
+        n_transitions = self.horizon - 1
+        # Pairs of distinct edges sharing an endpoint.
+        incident_pairs = []
+        for p in range(self.device.n_qubits):
+            inc = self.device.incident_edges[p]
+            for i in range(len(inc)):
+                for j in range(i + 1, len(inc)):
+                    incident_pairs.append((inc[i], inc[j]))
+        incident_pairs = sorted(set(incident_pairs))
+        for t in range(n_transitions):
+            for e1, e2 in incident_pairs:
+                for dt in range(duration):
+                    t2 = t + dt
+                    if t2 >= n_transitions:
+                        break
+                    ctx.add([neg(self.sigma[e1][t]), neg(self.sigma[e2][t2])])
+                    if dt > 0:
+                        ctx.add([neg(self.sigma[e2][t]), neg(self.sigma[e1][t2])])
+            # Same edge twice within the duration window.
+            if duration > 1:
+                for e in range(len(edges)):
+                    for dt in range(1, duration):
+                        t2 = t + dt
+                        if t2 >= n_transitions:
+                            break
+                        ctx.add([neg(self.sigma[e][t]), neg(self.sigma[e][t2])])
+
+    # -- incremental bounds -----------------------------------------------------
+
+    def depth_guard(self, bound: int) -> int:
+        """Assumption literal enforcing depth (block count) <= ``bound``.
+
+        Gates must finish by ``bound - 1``; SWAPs whose effect would only be
+        visible at or beyond ``bound`` are forbidden as useless.
+        """
+        if not 1 <= bound <= self.horizon:
+            raise ValueError(f"bound {bound} outside [1, {self.horizon}]")
+        guard = self._depth_guards.get(bound)
+        if guard is not None:
+            return guard
+        guard = self.ctx.new_bool()
+        for time_var in self.time:
+            time_var.leq_const(bound - 1, guard=guard)
+        for lit, _e, t in self.swap_lits:
+            if t >= bound - 1:
+                self.ctx.add([neg(guard), neg(lit)])
+        self._depth_guards[bound] = guard
+        return guard
+
+    def init_swap_counter(self, max_bound: int) -> None:
+        """Build the cardinality layer for SWAP-count bounds (once).
+
+        ``max_bound`` should be the SWAP count of an already-found solution;
+        the iterative descent only ever asks for bounds below it.
+        """
+        if self._swap_counter is not None:
+            return
+        lits = [lit for lit, _e, _t in self.swap_lits]
+        method = self.config.cardinality
+        if method == CARD_SEQUENTIAL:
+            self._swap_counter = IncrementalCounter(
+                self.ctx.sink, lits, max_bound=max_bound
+            )
+        elif method == CARD_TOTALIZER:
+            self._swap_counter = IncrementalTotalizer(self.ctx.sink, lits)
+        elif method == CARD_ADDER:
+            self._swap_counter = IncrementalAdder(self.ctx.sink, lits)
+        else:  # pragma: no cover - config validates
+            raise ValueError(f"unknown cardinality method {method!r}")
+
+    def swap_guard(self, bound: int) -> Optional[int]:
+        """Assumption literal enforcing total SWAP count <= ``bound``."""
+        if self._swap_counter is None:
+            raise RuntimeError("call init_swap_counter() first")
+        return self._swap_counter.bound_literal(bound)
+
+    # -- search guidance -----------------------------------------------------
+
+    def seed_initial_mapping(self, mapping: List[int]) -> None:
+        """Warm-start the solver toward a given t=0 mapping.
+
+        The mapping (e.g. produced by SABRE) is turned into phase-saving
+        polarity hints on the ``pi[q][0]`` variables — the paper's Sec. V
+        idea of guiding the generic SAT search with application-specific
+        heuristics.  Hints never constrain the problem.
+        """
+        self.encode()
+        if len(mapping) != self.circuit.n_qubits:
+            raise ValueError("mapping size != number of program qubits")
+        hints: Dict[int, bool] = {}
+        for q, p in enumerate(mapping):
+            var = self.pi[q][0]
+            hints.update(var.polarity_hints(p))
+            # Also cover the (cached) equality-indicator auxiliaries — the
+            # solver may branch on those before the raw value bits.
+            for value in range(var.size):
+                lit = var.eq_lit(value)
+                hints[lit >> 1] = (value == p) ^ bool(lit & 1)
+        self.ctx.sink.warm_start(hints)
+
+    def seed_schedule(self, gate_times: List[int]) -> None:
+        """Warm-start the solver toward a given gate schedule."""
+        self.encode()
+        if len(gate_times) != self.circuit.num_gates:
+            raise ValueError("schedule size != number of gates")
+        hints: Dict[int, bool] = {}
+        for g_idx, t in enumerate(gate_times):
+            if 0 <= t < self.horizon:
+                var = self.time[g_idx]
+                hints.update(var.polarity_hints(t))
+                for value in range(var.size):
+                    lit = var.eq_lit(value)
+                    hints[lit >> 1] = (value == t) ^ bool(lit & 1)
+        self.ctx.sink.warm_start(hints)
+
+    # -- solving / extraction ----------------------------------------------------
+
+    def solve(self, assumptions=(), time_budget=None) -> Optional[bool]:
+        self.encode()
+        return self.ctx.solve(assumptions=assumptions, time_budget=time_budget)
+
+    def extract(self) -> Tuple[List[int], List[int], List[SwapEvent]]:
+        """Read (initial mapping, gate times, swaps) from the current model."""
+        model = self.ctx.sink.model
+        if not model:
+            raise RuntimeError("no model available")
+        initial = [self.pi[q][0].decode(model) for q in range(self.circuit.n_qubits)]
+        times = [var.decode(model) for var in self.time]
+        swaps = []
+        for lit, e_idx, t in self.swap_lits:
+            if model[lit >> 1] ^ bool(lit & 1):
+                a, b = self.device.edges[e_idx]
+                swaps.append(SwapEvent(a, b, t))
+        swaps.sort(key=lambda s: s.finish_time)
+        return initial, times, swaps

@@ -1,0 +1,89 @@
+"""Public synthesizer classes: :class:`OLSQ2` and :class:`TBOLSQ2`.
+
+Typical use::
+
+    from repro import OLSQ2, QuantumCircuit
+    from repro.arch import ibm_qx2
+
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1); qc.cx(1, 2); qc.cx(0, 2)
+    result = OLSQ2().synthesize(qc, ibm_qx2(), objective="depth")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from .config import SynthesisConfig
+from .optimizer import IterativeSynthesizer
+from .result import SynthesisResult
+
+OBJECTIVES = ("depth", "swap")
+
+
+class OLSQ2:
+    """The exact layout synthesizer of the paper (Sec. III).
+
+    ``objective="depth"`` minimises circuit depth optimally;
+    ``objective="swap"`` runs the 2-D depth/SWAP Pareto refinement and
+    returns the best SWAP count found (Pareto-optimal when the loop
+    terminated by proof rather than budget).
+    """
+
+    transition_based = False
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.config = config or SynthesisConfig()
+        self.last_synthesizer: Optional[IterativeSynthesizer] = None
+
+    def _encoder_cls(self):
+        from .encoder import LayoutEncoder
+
+        return LayoutEncoder
+
+    def synthesize(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        objective: str = "depth",
+        initial_mapping=None,
+    ) -> SynthesisResult:
+        """Synthesize ``circuit`` onto ``device``.
+
+        ``initial_mapping`` (program qubit -> physical qubit) pins the t=0
+        placement — useful for composing with an external placer or for
+        continuing a partially-executed program; leave ``None`` to let the
+        solver choose optimally.
+        """
+        if objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES}")
+        encoder_kwargs = {}
+        if initial_mapping is not None:
+            encoder_kwargs["initial_mapping"] = list(initial_mapping)
+        synthesizer = IterativeSynthesizer(
+            circuit,
+            device,
+            config=self.config,
+            transition_based=self.transition_based,
+            encoder_cls=self._encoder_cls(),
+            encoder_kwargs=encoder_kwargs,
+        )
+        self.last_synthesizer = synthesizer
+        if objective == "depth":
+            return synthesizer.optimize_depth()
+        return synthesizer.optimize_swaps()
+
+
+class TBOLSQ2(OLSQ2):
+    """Transition-based OLSQ2 (Sec. III-D): near-optimal SWAP minimisation
+    at much larger scale via the coarse-grained block model.
+
+    Results are flattened back to concrete time steps, so they satisfy the
+    same validity constraints (and validator) as OLSQ2 results; only the
+    achieved *depth* is not optimised.
+    """
+
+    transition_based = True

@@ -1,0 +1,161 @@
+"""Portfolio parallel layout synthesis (paper Sec. V future direction).
+
+"We aim to support parallel layout synthesis by solving multiple instances
+simultaneously.  Since each instance is independent of one another, we can
+build a portfolio of instances by generating configurations for a wide
+range of objective bounds [and] different encoding methods."
+
+:class:`PortfolioSynthesizer` does exactly that: it launches one worker
+process per configuration (different variable encodings, injectivity
+methods, cardinality encodings, transition granularity, warm-start
+seeding...) on the same problem and returns the best result.
+
+* ``objective="depth"`` — first proven-optimal result wins (all exact
+  configurations agree on the optimum, so the fastest prover decides);
+  if nothing proves optimality in budget, the best depth found wins.
+* ``objective="swap"`` — best SWAP count within the budget wins
+  (ties broken by depth, then by finish order).
+
+Workers are separate processes (the CDCL loop holds the GIL), so the
+portfolio genuinely uses multiple cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from .config import SynthesisConfig
+from .olsq2 import OLSQ2, TBOLSQ2
+from .optimizer import SynthesisTimeout
+from .result import SynthesisResult
+from .validator import validate_result
+
+
+@dataclass
+class PortfolioEntry:
+    """One configuration in the portfolio."""
+
+    name: str
+    config: SynthesisConfig
+    transition_based: bool = False
+
+
+def default_portfolio(
+    swap_duration: int = 3, time_budget: float = 300.0
+) -> List[PortfolioEntry]:
+    """A reasonable spread of configurations, per the paper's suggestion."""
+    base = dict(
+        swap_duration=swap_duration,
+        time_budget=time_budget,
+        solve_time_budget=time_budget / 2,
+    )
+    return [
+        PortfolioEntry("bv", SynthesisConfig(**base)),
+        PortfolioEntry(
+            "bv+euf", SynthesisConfig(injectivity="channeling", **base)
+        ),
+        PortfolioEntry(
+            "bv+totalizer", SynthesisConfig(cardinality="totalizer", **base)
+        ),
+        PortfolioEntry(
+            "bv+warmstart", SynthesisConfig(warm_start="sabre", **base)
+        ),
+    ]
+
+
+def _worker(entry: PortfolioEntry, circuit, device, objective, queue) -> None:
+    """Run one configuration; push (name, result-or-None, error) to the queue."""
+    try:
+        cls = TBOLSQ2 if entry.transition_based else OLSQ2
+        result = cls(entry.config).synthesize(circuit, device, objective=objective)
+        validate_result(result, strict_dependencies=True)
+        queue.put((entry.name, result, None))
+    except SynthesisTimeout as exc:
+        queue.put((entry.name, None, f"timeout: {exc}"))
+    except Exception as exc:  # pragma: no cover - surfaced to caller
+        queue.put((entry.name, None, f"{type(exc).__name__}: {exc}"))
+
+
+class PortfolioSynthesizer:
+    """Run several synthesizer configurations in parallel, keep the best."""
+
+    def __init__(
+        self,
+        entries: Optional[Sequence[PortfolioEntry]] = None,
+        time_budget: float = 300.0,
+    ):
+        self.entries = list(entries) if entries is not None else default_portfolio(
+            time_budget=time_budget
+        )
+        if not self.entries:
+            raise ValueError("portfolio needs at least one entry")
+        self.time_budget = time_budget
+        self.outcomes: List[Tuple[str, Optional[str]]] = []
+
+    def synthesize(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        objective: str = "depth",
+    ) -> SynthesisResult:
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        queue: mp.Queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_worker,
+                args=(entry, circuit, device, objective, queue),
+                daemon=True,
+            )
+            for entry in self.entries
+        ]
+        for proc in processes:
+            proc.start()
+        deadline = time.monotonic() + self.time_budget
+        best: Optional[SynthesisResult] = None
+        best_name = ""
+        pending = len(processes)
+        self.outcomes = []
+        try:
+            while pending and time.monotonic() < deadline:
+                timeout = max(0.05, deadline - time.monotonic())
+                try:
+                    name, result, error = queue.get(timeout=timeout)
+                except Exception:
+                    break  # queue.Empty: overall deadline reached
+                pending -= 1
+                self.outcomes.append((name, error))
+                if result is None:
+                    continue
+                if self._better(result, best, objective):
+                    best, best_name = result, name
+                if best is not None and best.optimal and objective == "depth":
+                    break  # first optimality proof settles the race
+        finally:
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in processes:
+                proc.join(timeout=5)
+        if best is None:
+            raise SynthesisTimeout(
+                "no portfolio configuration produced a solution in budget; "
+                f"outcomes: {self.outcomes}"
+            )
+        best.solver_stats = dict(best.solver_stats)
+        best.solver_stats["portfolio_winner"] = best_name
+        return best
+
+    @staticmethod
+    def _better(candidate, incumbent, objective) -> bool:
+        if incumbent is None:
+            return True
+        if objective == "swap":
+            key = lambda r: (r.swap_count, r.depth, not r.optimal)
+        else:
+            key = lambda r: (r.depth, r.swap_count, not r.optimal)
+        return key(candidate) < key(incumbent)

@@ -1,0 +1,81 @@
+"""Brute-force reference procedures for cross-checking the synthesizers.
+
+Exhaustive subgraph-isomorphism-style search over injective mappings; only
+usable at test scale, which is exactly where it is used: property tests
+compare TB-OLSQ2's "zero SWAPs" answers against
+:func:`exists_swap_free_mapping`, giving an encoder-independent ground
+truth for the boundary case that QUEKO also exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+
+
+def interaction_graph(circuit: QuantumCircuit) -> List[Set[int]]:
+    """Adjacency sets of the program-qubit interaction graph."""
+    adj: List[Set[int]] = [set() for _ in range(circuit.n_qubits)]
+    for gate in circuit.gates:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj
+
+
+def exists_swap_free_mapping(
+    circuit: QuantumCircuit, device: CouplingGraph
+) -> Optional[List[int]]:
+    """Find an injective mapping executing every gate without SWAPs.
+
+    Returns one such mapping (program -> physical) or ``None``.  This is a
+    backtracking subgraph-monomorphism search of the interaction graph into
+    the coupling graph, with degree pruning.
+    """
+    if circuit.n_qubits > device.n_qubits:
+        return None
+    program_adj = interaction_graph(circuit)
+    order = sorted(
+        range(circuit.n_qubits), key=lambda q: len(program_adj[q]), reverse=True
+    )
+    mapping: Dict[int, int] = {}
+    used: Set[int] = set()
+
+    def feasible(q: int, p: int) -> bool:
+        if device.degree(p) < len(program_adj[q]):
+            return False
+        for neighbour in program_adj[q]:
+            if neighbour in mapping and not device.are_adjacent(p, mapping[neighbour]):
+                return False
+        return True
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        q = order[idx]
+        for p in range(device.n_qubits):
+            if p in used or not feasible(q, p):
+                continue
+            mapping[q] = p
+            used.add(p)
+            if backtrack(idx + 1):
+                return True
+            del mapping[q]
+            used.discard(p)
+        return False
+
+    if backtrack(0):
+        return [mapping[q] for q in range(circuit.n_qubits)]
+    return None
+
+
+def min_swaps_lower_bound(circuit: QuantumCircuit, device: CouplingGraph) -> int:
+    """A cheap SWAP-count lower bound: 0 if a swap-free mapping exists, else 1.
+
+    (Stronger bounds exist; this one is enough to certify the zero/nonzero
+    boundary that the QUEKO experiments rely on.)
+    """
+    return 0 if exists_swap_free_mapping(circuit, device) is not None else 1

@@ -1,0 +1,138 @@
+"""Layout-synthesis results: mappings, schedules, SWAP insertions.
+
+The synthesizer outputs exactly what Sec. II-A specifies: the mapping
+``pi_q^t`` (represented compactly as an initial mapping plus the SWAP events
+that evolve it), the schedule ``t_g``, and the inserted SWAP gates.  This
+module also reconstructs the physical circuit (with SWAPs decomposed into
+three CNOTs, as in Fig. 4) and computes the achieved depth and SWAP count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """A SWAP on physical edge ``(p, p_prime)`` finishing at ``finish_time``.
+
+    With duration ``d`` the gate occupies time steps
+    ``finish_time - d + 1 .. finish_time`` and the mapping change becomes
+    visible at ``finish_time + 1``.
+    """
+
+    p: int
+    p_prime: int
+    finish_time: int
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        return (min(self.p, self.p_prime), max(self.p, self.p_prime))
+
+
+@dataclass
+class SynthesisResult:
+    """The output of one layout-synthesis run."""
+
+    circuit: QuantumCircuit
+    device: CouplingGraph
+    initial_mapping: List[int]  # program qubit -> physical qubit at t=0
+    gate_times: List[int]  # t_g per gate index
+    swaps: List[SwapEvent]
+    swap_duration: int
+    objective: str = "depth"
+    solver_stats: Dict = field(default_factory=dict)
+    pareto_points: List[Tuple[int, int]] = field(default_factory=list)
+    optimal: bool = False
+    wall_time: float = 0.0
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def swap_count(self) -> int:
+        return len(self.swaps)
+
+    @property
+    def depth(self) -> int:
+        """Achieved circuit depth: latest time step used, plus one."""
+        latest = -1
+        if self.gate_times:
+            latest = max(latest, max(self.gate_times))
+        for swap in self.swaps:
+            latest = max(latest, swap.finish_time)
+        return latest + 1
+
+    def mapping_at(self, t: int) -> List[int]:
+        """The program-to-physical mapping in force at time step ``t``."""
+        mapping = list(self.initial_mapping)
+        for swap in sorted(self.swaps, key=lambda s: s.finish_time):
+            if swap.finish_time < t:
+                _apply_swap(mapping, swap.p, swap.p_prime)
+        return mapping
+
+    @property
+    def final_mapping(self) -> List[int]:
+        return self.mapping_at(self.depth)
+
+    def schedule_table(self) -> List[Tuple[int, str, Tuple[int, ...], int]]:
+        """Human-readable schedule rows: (time, kind, physical qubits, index)."""
+        rows = []
+        for idx, gate in enumerate(self.circuit.gates):
+            t = self.gate_times[idx]
+            mapping = self.mapping_at(t)
+            phys = tuple(mapping[q] for q in gate.qubits)
+            rows.append((t, gate.name, phys, idx))
+        for swap in self.swaps:
+            rows.append((swap.finish_time, "swap", (swap.p, swap.p_prime), -1))
+        rows.sort(key=lambda r: (r[0], r[3]))
+        return rows
+
+    def to_physical_circuit(self, decompose_swaps: bool = True) -> QuantumCircuit:
+        """The executable circuit over physical qubits, SWAPs inserted.
+
+        Gates are emitted in time order; each SWAP becomes three CNOTs when
+        ``decompose_swaps`` is set (the Fig. 4 convention).
+        """
+        events: List[Tuple[int, int, Gate]] = []
+        for idx, gate in enumerate(self.circuit.gates):
+            t = self.gate_times[idx]
+            mapping = self.mapping_at(t)
+            events.append((t, 0, gate.remapped({q: mapping[q] for q in gate.qubits})))
+        for swap in self.swaps:
+            # Order swaps between the gates they precede: a swap finishing at
+            # t must appear after gates at times <= t - duration and before
+            # gates that use the new mapping.
+            events.append((swap.finish_time, 1, Gate("swap", (swap.p, swap.p_prime))))
+        events.sort(key=lambda e: (e[0], e[1]))
+        out = QuantumCircuit(self.device.n_qubits, name=f"{self.circuit.name}-mapped")
+        for _t, _k, gate in events:
+            if gate.name == "swap" and decompose_swaps:
+                a, b = gate.qubits
+                out.cx(a, b)
+                out.cx(b, a)
+                out.cx(a, b)
+            else:
+                out.append(gate)
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.circuit.name or 'circuit'} on {self.device.name or 'device'}: "
+            f"depth={self.depth}, swaps={self.swap_count}, "
+            f"objective={self.objective}, optimal={self.optimal}, "
+            f"wall={self.wall_time:.2f}s"
+        )
+
+
+def _apply_swap(mapping: List[int], p: int, p_prime: int) -> None:
+    """Exchange the program qubits sitting on ``p`` and ``p_prime`` (if any)."""
+    for q, phys in enumerate(mapping):
+        if phys == p:
+            mapping[q] = p_prime
+        elif phys == p_prime:
+            mapping[q] = p

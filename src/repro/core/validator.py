@@ -1,0 +1,129 @@
+"""Independent validator for layout-synthesis results.
+
+Re-checks constraints (1)-(5) of Sec. II-A directly against a
+:class:`~repro.core.result.SynthesisResult`, sharing no code with the SMT
+encoders — every synthesizer (OLSQ2, TB-OLSQ2, the OLSQ baselines, SABRE,
+SATMap) is validated through this single path in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.dag import dependencies
+from .result import SynthesisResult, _apply_swap
+
+
+class ValidationError(AssertionError):
+    """Raised when a synthesis result violates a layout constraint."""
+
+
+def validate_result(result: SynthesisResult, strict_dependencies: bool = True) -> None:
+    """Raise :class:`ValidationError` on any violated constraint.
+
+    ``strict_dependencies=False`` relaxes constraint (2) to ``<=`` for
+    transition-based results, where dependent gates may share a block as
+    long as they respect program order inside it (Sec. III-D).
+    """
+    circuit, device = result.circuit, result.device
+    if len(result.initial_mapping) != circuit.n_qubits:
+        raise ValidationError("initial mapping size != number of program qubits")
+    if len(result.gate_times) != circuit.num_gates:
+        raise ValidationError("schedule size != number of gates")
+
+    # Constraint (1): mapping injectivity at t=0 (SWAPs preserve it).
+    if len(set(result.initial_mapping)) != circuit.n_qubits:
+        raise ValidationError("initial mapping is not injective")
+    for p in result.initial_mapping:
+        if not 0 <= p < device.n_qubits:
+            raise ValidationError(f"physical qubit {p} out of range")
+
+    # Constraint (2): gate dependencies.
+    for earlier, later in dependencies(circuit):
+        t_e, t_l = result.gate_times[earlier], result.gate_times[later]
+        if strict_dependencies:
+            if not t_e < t_l:
+                raise ValidationError(
+                    f"dependency violated: gate {earlier}@{t_e} !< gate {later}@{t_l}"
+                )
+        else:
+            if not t_e <= t_l:
+                raise ValidationError(
+                    f"dependency violated: gate {earlier}@{t_e} !<= gate {later}@{t_l}"
+                )
+
+    for t in result.gate_times:
+        if t < 0:
+            raise ValidationError("negative gate time")
+
+    # Reconstruct the mapping trace step by step.
+    horizon = result.depth + 1
+    swaps_by_finish = {}
+    for swap in result.swaps:
+        swaps_by_finish.setdefault(swap.finish_time, []).append(swap)
+
+    mapping = list(result.initial_mapping)
+    mapping_trace: List[List[int]] = [list(mapping)]
+    for t in range(horizon):
+        for swap in swaps_by_finish.get(t, ()):  # effects visible at t+1
+            if not device.are_adjacent(swap.p, swap.p_prime):
+                raise ValidationError(
+                    f"SWAP on non-edge ({swap.p},{swap.p_prime})"
+                )
+            _apply_swap(mapping, swap.p, swap.p_prime)
+        mapping_trace.append(list(mapping))
+
+    def mapping_at(t: int) -> List[int]:
+        return mapping_trace[min(t, len(mapping_trace) - 1)]
+
+    # Constraint (3): two-qubit gates on adjacent physical qubits.
+    for idx, gate in enumerate(circuit.gates):
+        if not gate.is_two_qubit:
+            continue
+        t = result.gate_times[idx]
+        m = mapping_at(t)
+        pa, pb = m[gate.qubits[0]], m[gate.qubits[1]]
+        if not device.are_adjacent(pa, pb):
+            raise ValidationError(
+                f"gate {idx} ({gate.name}) at t={t} on non-adjacent "
+                f"physical qubits ({pa},{pb})"
+            )
+
+    # Constraint (5): SWAPs don't overlap gates on the affected qubits.
+    duration = result.swap_duration
+    for swap in result.swaps:
+        start = swap.finish_time - duration + 1
+        if start < 0:
+            raise ValidationError(
+                f"SWAP finishing at {swap.finish_time} starts before t=0"
+            )
+        for idx, gate in enumerate(circuit.gates):
+            t = result.gate_times[idx]
+            if not start <= t <= swap.finish_time:
+                continue
+            m = mapping_at(t)
+            touched = {m[q] for q in gate.qubits}
+            if touched & {swap.p, swap.p_prime}:
+                raise ValidationError(
+                    f"gate {idx} at t={t} overlaps SWAP "
+                    f"({swap.p},{swap.p_prime})@{swap.finish_time}"
+                )
+
+    # SWAPs don't overlap SWAPs that share a qubit (incl. same edge).
+    for i, a in enumerate(result.swaps):
+        for b in result.swaps[i + 1 :]:
+            if {a.p, a.p_prime} & {b.p, b.p_prime}:
+                if abs(a.finish_time - b.finish_time) < duration:
+                    raise ValidationError(
+                        f"overlapping SWAPs ({a.p},{a.p_prime})@{a.finish_time} "
+                        f"and ({b.p},{b.p_prime})@{b.finish_time}"
+                    )
+
+
+def is_valid(result: SynthesisResult, strict_dependencies: bool = True) -> bool:
+    """Boolean wrapper around :func:`validate_result`."""
+    try:
+        validate_result(result, strict_dependencies=strict_dependencies)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,272 @@
+"""CNF encodings of Boolean cardinality constraints (at-most-k).
+
+The paper's Improvement 3 (Sec. III-C) hinges on *how* the SWAP-count bound
+``sum sigma <= S_B`` reaches the solver: routing it through Z3's ``AtMost``
+pseudo-Boolean machinery nullified the bit-vector gains, while a sequential
+counter circuit in CNF (Sinz 2005) kept everything inside the fast SAT core.
+
+This module provides that sequential counter plus the standard alternatives
+(pairwise, binomial, bitwise, commander, totalizer) and, in
+:mod:`repro.encodings.adder`, the adder-network encoding that plays the role
+of the pseudo-Boolean path in our substitution (see DESIGN.md).
+
+Two usage styles are supported:
+
+* one-shot enforcement — :func:`encode_at_most_k` emits clauses that make the
+  bound hold in every model;
+* incremental bounds — :class:`IncrementalCounter` and
+  :class:`IncrementalTotalizer` build a unary output register once and let
+  the optimizer tighten the bound per solve via an assumption literal, which
+  is what the iterative-descent SWAP optimization needs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+from ..sat.types import mk_lit, neg
+
+PAIRWISE = "pairwise"
+SEQUENTIAL = "seqcounter"
+TOTALIZER = "totalizer"
+BITWISE = "bitwise"
+COMMANDER = "commander"
+ADDER = "adder"
+
+METHODS = (PAIRWISE, SEQUENTIAL, TOTALIZER, BITWISE, COMMANDER, ADDER)
+
+
+def at_most_one_pairwise(sink, lits: Sequence[int]) -> None:
+    """Pairwise (binomial) at-most-one: O(n^2) binary clauses, no aux vars."""
+    for a, b in combinations(lits, 2):
+        sink.add_clause([neg(a), neg(b)])
+
+
+def at_most_one_bitwise(sink, lits: Sequence[int]) -> None:
+    """Bitwise at-most-one: each input implies the binary code of its index."""
+    n = len(lits)
+    if n <= 1:
+        return
+    n_bits = max(1, (n - 1).bit_length())
+    bits = [mk_lit(sink.new_var()) for _ in range(n_bits)]
+    for idx, lit in enumerate(lits):
+        for b in range(n_bits):
+            code_bit = bits[b] if (idx >> b) & 1 else neg(bits[b])
+            sink.add_clause([neg(lit), code_bit])
+
+
+def at_most_one_commander(sink, lits: Sequence[int], group_size: int = 3) -> None:
+    """Commander at-most-one: recursive grouping with commander variables."""
+    lits = list(lits)
+    if len(lits) <= group_size + 1:
+        at_most_one_pairwise(sink, lits)
+        return
+    commanders: List[int] = []
+    for start in range(0, len(lits), group_size):
+        group = lits[start : start + group_size]
+        if len(group) == 1:
+            commanders.append(group[0])
+            continue
+        at_most_one_pairwise(sink, group)
+        c = mk_lit(sink.new_var())
+        for g in group:
+            sink.add_clause([neg(g), c])  # any group member raises the commander
+        commanders.append(c)
+    at_most_one_commander(sink, commanders, group_size)
+
+
+def at_most_k_pairwise(sink, lits: Sequence[int], k: int) -> None:
+    """Binomial at-most-k: forbid every (k+1)-subset.  Exponential; small n only."""
+    if k >= len(lits):
+        return
+    for subset in combinations(lits, k + 1):
+        sink.add_clause([neg(l) for l in subset])
+
+
+def sequential_counter(sink, lits: Sequence[int], k: int) -> None:
+    """Sinz's sequential-counter at-most-k (LT_{n,k}) in CNF.
+
+    Registers ``s[i][j]`` mean "at least j+1 of the first i+1 inputs are
+    true"; overflow at width ``k`` is forbidden.  O(n*k) clauses and
+    variables.  This is the encoding the paper selects for Eq. 5.
+    """
+    lits = list(lits)
+    n = len(lits)
+    if k >= n:
+        return
+    if k == 0:
+        for lit in lits:
+            sink.add_clause([neg(lit)])
+        return
+    registers = _counter_registers(sink, lits, width=k)
+    # Overflow: input i true while the previous count already reached k.
+    for i in range(1, n):
+        if k - 1 < len(registers[i - 1]):
+            sink.add_clause([neg(lits[i]), neg(registers[i - 1][k - 1])])
+
+
+def _counter_registers(sink, lits: Sequence[int], width: int) -> List[List[int]]:
+    """Build the one-directional unary counting registers of Sinz's encoding.
+
+    ``registers[i][j]`` is forced true whenever at least ``j+1`` of
+    ``lits[0..i]`` are true (the other direction is not constrained, which is
+    sound for at-most-k bounds).
+    """
+    n = len(lits)
+    registers: List[List[int]] = []
+    for i in range(n):
+        row = [mk_lit(sink.new_var()) for _ in range(min(width, i + 1))]
+        registers.append(row)
+        sink.add_clause([neg(lits[i]), row[0]])  # x_i -> s[i][0]
+        if i == 0:
+            continue
+        prev = registers[i - 1]
+        for j in range(len(row)):
+            if j < len(prev):
+                sink.add_clause([neg(prev[j]), row[j]])  # carry count forward
+            if j >= 1 and j - 1 < len(prev):
+                # x_i and count(i-1) >= j  ->  count(i) >= j+1
+                sink.add_clause([neg(lits[i]), neg(prev[j - 1]), row[j]])
+    return registers
+
+
+class IncrementalCounter:
+    """Sequential counter with assumption-controlled bounds.
+
+    Builds registers up to ``max_bound + 1`` once; then
+    :meth:`bound_literal` returns a literal whose *assumption* enforces
+    ``sum(lits) <= bound`` for any ``bound <= max_bound``, enabling the
+    paper's iterative-descent SWAP refinement without re-encoding.
+    """
+
+    def __init__(self, sink, lits: Sequence[int], max_bound: Optional[int] = None):
+        self.lits = list(lits)
+        n = len(self.lits)
+        if max_bound is None:
+            max_bound = n
+        self.max_bound = min(max_bound, n)
+        width = min(self.max_bound + 1, n)
+        if n == 0 or width == 0:
+            self.outputs: List[int] = []
+        else:
+            registers = _counter_registers(sink, self.lits, width=width)
+            self.outputs = registers[-1]
+        # outputs[j] true  <=  count >= j+1 (one direction)
+
+    def bound_literal(self, bound: int) -> Optional[int]:
+        """Literal to assume so that ``sum(lits) <= bound`` holds.
+
+        Returns ``None`` when the bound is trivially satisfied (``bound >=
+        len(lits)``).  Raises :class:`ValueError` for bounds above the
+        construction-time maximum that are not trivial.
+        """
+        if bound >= len(self.lits):
+            return None
+        if bound > self.max_bound:
+            raise ValueError(
+                f"bound {bound} exceeds construction-time max {self.max_bound}"
+            )
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        return neg(self.outputs[bound])
+
+
+class IncrementalTotalizer:
+    """Totalizer (Bailleux & Boutaouche) with assumption-controlled bounds.
+
+    A balanced merge tree produces a unary output register ``o`` where
+    ``o[j]`` is forced true whenever at least ``j+1`` inputs are true.
+    Assuming ``-o[b]`` enforces at-most-``b``.
+    """
+
+    def __init__(self, sink, lits: Sequence[int]):
+        self.lits = list(lits)
+        self.outputs = self._build(sink, self.lits)
+
+    def _build(self, sink, lits: List[int]) -> List[int]:
+        if len(lits) <= 1:
+            return list(lits)
+        mid = len(lits) // 2
+        left = self._build(sink, lits[:mid])
+        right = self._build(sink, lits[mid:])
+        p, q = len(left), len(right)
+        out = [mk_lit(sink.new_var()) for _ in range(p + q)]
+        for i in range(p + 1):
+            for j in range(q + 1):
+                if i + j == 0:
+                    continue
+                clause = [out[i + j - 1]]
+                if i > 0:
+                    clause.append(neg(left[i - 1]))
+                if j > 0:
+                    clause.append(neg(right[j - 1]))
+                sink.add_clause(clause)
+        return out
+
+    def bound_literal(self, bound: int) -> Optional[int]:
+        """Literal to assume so that ``sum(lits) <= bound`` holds."""
+        if bound >= len(self.lits):
+            return None
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        return neg(self.outputs[bound])
+
+
+def totalizer_at_most_k(sink, lits: Sequence[int], k: int) -> None:
+    """One-shot totalizer at-most-k."""
+    if k >= len(lits):
+        return
+    tot = IncrementalTotalizer(sink, lits)
+    lit = tot.bound_literal(k)
+    if lit is not None:
+        sink.add_clause([lit])
+
+
+def encode_at_most_k(sink, lits: Sequence[int], k: int, method: str = SEQUENTIAL):
+    """Enforce ``sum(lits) <= k`` using the requested encoding."""
+    lits = list(lits)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k >= len(lits):
+        return
+    if method == PAIRWISE:
+        at_most_k_pairwise(sink, lits, k)
+    elif method == SEQUENTIAL:
+        sequential_counter(sink, lits, k)
+    elif method == TOTALIZER:
+        totalizer_at_most_k(sink, lits, k)
+    elif method == BITWISE:
+        if k != 1:
+            raise ValueError("bitwise encoding only supports at-most-one")
+        at_most_one_bitwise(sink, lits)
+    elif method == COMMANDER:
+        if k != 1:
+            raise ValueError("commander encoding only supports at-most-one")
+        at_most_one_commander(sink, lits)
+    elif method == ADDER:
+        from .adder import adder_at_most_k
+
+        adder_at_most_k(sink, lits, k)
+    else:
+        raise ValueError(f"unknown cardinality method {method!r}")
+
+
+def encode_at_least_k(sink, lits: Sequence[int], k: int, method: str = SEQUENTIAL):
+    """Enforce ``sum(lits) >= k`` by bounding the negated literals."""
+    lits = list(lits)
+    if k <= 0:
+        return
+    if k > len(lits):
+        sink.add_clause([])  # unsatisfiable
+        return
+    if k == 1:
+        sink.add_clause(list(lits))
+        return
+    encode_at_most_k(sink, [neg(l) for l in lits], len(lits) - k, method=method)
+
+
+def encode_exactly_k(sink, lits: Sequence[int], k: int, method: str = SEQUENTIAL):
+    """Enforce ``sum(lits) == k``."""
+    encode_at_most_k(sink, lits, k, method=method)
+    encode_at_least_k(sink, lits, k, method=method)

@@ -1,0 +1,133 @@
+"""Tseitin gate library: definitional CNF for small Boolean functions.
+
+Every function takes a *sink* — any object exposing ``new_var()`` and
+``add_clause(lits)`` (a :class:`repro.sat.Solver` or a
+:class:`repro.sat.CNF`) — plus packed literals, emits the definitional
+clauses, and returns the literal of the freshly defined output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..sat.types import mk_lit, neg
+
+
+def tseitin_and(sink, a: int, b: int) -> int:
+    """Define ``y <-> a AND b`` and return literal ``y``."""
+    y = mk_lit(sink.new_var())
+    sink.add_clause([neg(y), a])
+    sink.add_clause([neg(y), b])
+    sink.add_clause([y, neg(a), neg(b)])
+    return y
+
+
+def tseitin_or(sink, a: int, b: int) -> int:
+    """Define ``y <-> a OR b`` and return literal ``y``."""
+    y = mk_lit(sink.new_var())
+    sink.add_clause([y, neg(a)])
+    sink.add_clause([y, neg(b)])
+    sink.add_clause([neg(y), a, b])
+    return y
+
+
+def tseitin_xor(sink, a: int, b: int) -> int:
+    """Define ``y <-> a XOR b`` and return literal ``y``."""
+    y = mk_lit(sink.new_var())
+    sink.add_clause([neg(y), a, b])
+    sink.add_clause([neg(y), neg(a), neg(b)])
+    sink.add_clause([y, neg(a), b])
+    sink.add_clause([y, a, neg(b)])
+    return y
+
+
+def tseitin_and_many(sink, lits: Sequence[int]) -> int:
+    """Define ``y <-> AND(lits)`` and return literal ``y``."""
+    lits = list(lits)
+    if not lits:
+        raise ValueError("empty conjunction")
+    if len(lits) == 1:
+        return lits[0]
+    y = mk_lit(sink.new_var())
+    for a in lits:
+        sink.add_clause([neg(y), a])
+    sink.add_clause([y] + [neg(a) for a in lits])
+    return y
+
+
+def tseitin_or_many(sink, lits: Sequence[int]) -> int:
+    """Define ``y <-> OR(lits)`` and return literal ``y``."""
+    lits = list(lits)
+    if not lits:
+        raise ValueError("empty disjunction")
+    if len(lits) == 1:
+        return lits[0]
+    y = mk_lit(sink.new_var())
+    for a in lits:
+        sink.add_clause([y, neg(a)])
+    sink.add_clause([neg(y)] + list(lits))
+    return y
+
+
+def tseitin_equiv(sink, a: int, b: int) -> int:
+    """Define ``y <-> (a <-> b)`` and return literal ``y``."""
+    return neg(tseitin_xor(sink, a, b))
+
+
+def add_implies(sink, antecedents: Sequence[int], consequent_clause: Sequence[int]):
+    """Emit ``AND(antecedents) -> OR(consequent_clause)`` as one clause."""
+    sink.add_clause([neg(a) for a in antecedents] + list(consequent_clause))
+
+
+def half_adder(sink, a: int, b: int) -> Tuple[int, int]:
+    """Return ``(sum, carry)`` literals for the half adder of ``a`` and ``b``."""
+    s = tseitin_xor(sink, a, b)
+    c = tseitin_and(sink, a, b)
+    return s, c
+
+
+def full_adder(sink, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Return ``(sum, carry)`` literals for the full adder of three bits.
+
+    The carry uses a direct 6-clause majority definition instead of chained
+    AND/OR gates to keep the adder-network encoding tight.
+    """
+    s1 = tseitin_xor(sink, a, b)
+    s = tseitin_xor(sink, s1, cin)
+    c = mk_lit(sink.new_var())
+    for x, y in ((a, b), (a, cin), (b, cin)):
+        sink.add_clause([neg(x), neg(y), c])
+        sink.add_clause([x, y, neg(c)])
+    return s, c
+
+
+def ripple_add(sink, num_a: List[int], num_b: List[int]) -> List[int]:
+    """Add two little-endian binary numbers (lists of literals).
+
+    Returns the little-endian sum, one bit longer than the wider input.
+    """
+    out: List[int] = []
+    carry = None
+    width = max(len(num_a), len(num_b))
+    for i in range(width):
+        bits = []
+        if i < len(num_a):
+            bits.append(num_a[i])
+        if i < len(num_b):
+            bits.append(num_b[i])
+        if carry is not None:
+            bits.append(carry)
+        if not bits:
+            break
+        if len(bits) == 1:
+            out.append(bits[0])
+            carry = None
+        elif len(bits) == 2:
+            s, carry = half_adder(sink, bits[0], bits[1])
+            out.append(s)
+        else:
+            s, carry = full_adder(sink, bits[0], bits[1], bits[2])
+            out.append(s)
+    if carry is not None:
+        out.append(carry)
+    return out

@@ -1,0 +1,40 @@
+"""Benchmark harness: experiment drivers and table rendering."""
+
+from .configs import (
+    TABLE1_VARIANTS,
+    TABLE2_VARIANTS,
+    build_bounded_encoder,
+    build_encoder,
+)
+from .experiments import (
+    print_experiment,
+    run_fig1,
+    run_speedup_summary,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from .report import generate_report, markdown_table, write_report
+from .tables import average, format_table, geometric_mean, ratio
+
+__all__ = [
+    "TABLE1_VARIANTS",
+    "TABLE2_VARIANTS",
+    "build_encoder",
+    "build_bounded_encoder",
+    "run_fig1",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_speedup_summary",
+    "print_experiment",
+    "format_table",
+    "geometric_mean",
+    "ratio",
+    "average",
+    "generate_report",
+    "write_report",
+    "markdown_table",
+]

@@ -1,0 +1,83 @@
+"""Named encoder configurations for the encoding-comparison experiments.
+
+Table I compares six formulation/encoding combinations; Table II compares
+five cardinality-encoding setups.  Each name maps to (encoder class, config)
+so the harness can instantiate identical instances under every scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..baselines.olsq import OLSQEncoder
+from ..core.config import CARD_ADDER, CARD_SEQUENTIAL, SynthesisConfig
+from ..core.encoder import LayoutEncoder
+from ..smt.domain import BITVEC, INT, ONEHOT
+from ..smt.injectivity import CHANNELING_INJ, PAIRWISE_INJ
+
+# Table I variants: (encoder class, variable encoding, injectivity).
+# "int" runs the lazy theory loop (Z3's integer path); "bv" is eager
+# bit-blasting.  The extra "onehot" rows are our ablation (see EXPERIMENTS).
+TABLE1_VARIANTS: Dict[str, Tuple[type, str, str]] = {
+    "OLSQ(int)": (OLSQEncoder, INT, PAIRWISE_INJ),
+    "OLSQ(bv)": (OLSQEncoder, BITVEC, PAIRWISE_INJ),
+    "OLSQ2(int)": (LayoutEncoder, INT, PAIRWISE_INJ),
+    "OLSQ2(EUF+int)": (LayoutEncoder, INT, CHANNELING_INJ),
+    "OLSQ2(EUF+bv)": (LayoutEncoder, BITVEC, CHANNELING_INJ),
+    "OLSQ2(bv)": (LayoutEncoder, BITVEC, PAIRWISE_INJ),
+}
+
+# Ablation variants beyond the paper's six (eager direct encoding).
+ABLATION_VARIANTS: Dict[str, Tuple[type, str, str]] = {
+    "OLSQ2(onehot)": (LayoutEncoder, ONEHOT, PAIRWISE_INJ),
+    "OLSQ(onehot)": (OLSQEncoder, ONEHOT, PAIRWISE_INJ),
+}
+
+# Table II variants: (encoder class, transition_based, cardinality, encoding).
+# The OLSQ/TB-OLSQ rows reproduce the *original implementation* — integer
+# variables through the lazy theory path — exactly as the paper benchmarks
+# them ("we use the original implementation of OLSQ and TB-OLSQ").
+TABLE2_VARIANTS: Dict[str, Tuple[type, bool, str, str]] = {
+    "OLSQ": (OLSQEncoder, False, CARD_SEQUENTIAL, INT),
+    "TB-OLSQ": (OLSQEncoder, True, CARD_SEQUENTIAL, INT),
+    "OLSQ2(AtMost)": (LayoutEncoder, False, CARD_ADDER, BITVEC),
+    "OLSQ2(CNF)": (LayoutEncoder, False, CARD_SEQUENTIAL, BITVEC),
+    "TB-OLSQ2(CNF)": (LayoutEncoder, True, CARD_SEQUENTIAL, BITVEC),
+}
+
+
+def build_encoder(
+    variant: Tuple[type, str, str],
+    circuit,
+    device,
+    horizon: int,
+    swap_duration: int = 1,
+):
+    """Instantiate a Table-I style encoder (no SWAP bound)."""
+    encoder_cls, encoding, injectivity = variant
+    config = SynthesisConfig(
+        encoding=encoding, injectivity=injectivity, swap_duration=swap_duration
+    )
+    return encoder_cls(circuit, device, horizon, config=config)
+
+
+def build_bounded_encoder(
+    variant: Tuple[type, bool, str, str],
+    circuit,
+    device,
+    horizon: int,
+    tb_horizon: int,
+    swap_duration: int = 1,
+):
+    """Instantiate a Table-II style encoder (SWAP bound applied by caller)."""
+    encoder_cls, transition_based, cardinality, encoding = variant
+    config = SynthesisConfig(
+        cardinality=cardinality, swap_duration=swap_duration, encoding=encoding
+    )
+    return encoder_cls(
+        circuit,
+        device,
+        tb_horizon if transition_based else horizon,
+        config=config,
+        transition_based=transition_based,
+    )

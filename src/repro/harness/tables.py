@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print rows shaped like the paper's tables; this module
+keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries (0.0 when there are none)."""
+    vals = [v for v in values if v is not None and v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def ratio(baseline: Optional[float], other: Optional[float]) -> Optional[float]:
+    """``baseline / other`` — the paper's speedup/reduction convention."""
+    if baseline is None or other is None or other == 0:
+        return None
+    return baseline / other
+
+
+def average(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Arithmetic mean ignoring ``None`` entries (``None`` if all missing)."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return None
+    return sum(vals) / len(vals)

@@ -1,0 +1,54 @@
+"""From-scratch SAT substrate: CDCL solver, CNF container, DIMACS I/O.
+
+This package replaces the Z3 SAT engine used by the original OLSQ2 paper
+(see DESIGN.md, substitution table).
+"""
+
+from .formula import CNF
+from .preprocess import (
+    ModelReconstructor,
+    Unsatisfiable,
+    preprocess,
+    preprocess_stats,
+)
+from .proof import ProofError, check_unsat_proof, is_rup, proof_stats
+from .reference import brute_force_solve, count_models
+from .solver import Clause, Solver, SolverStats, luby
+from .types import (
+    FALSE,
+    TRUE,
+    UNDEF,
+    dimacs_to_lit,
+    lit_sign,
+    lit_to_dimacs,
+    lit_var,
+    mk_lit,
+    neg,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "ModelReconstructor",
+    "Unsatisfiable",
+    "preprocess",
+    "preprocess_stats",
+    "ProofError",
+    "check_unsat_proof",
+    "is_rup",
+    "proof_stats",
+    "Solver",
+    "SolverStats",
+    "luby",
+    "brute_force_solve",
+    "count_models",
+    "TRUE",
+    "FALSE",
+    "UNDEF",
+    "mk_lit",
+    "neg",
+    "lit_var",
+    "lit_sign",
+    "lit_to_dimacs",
+    "dimacs_to_lit",
+]

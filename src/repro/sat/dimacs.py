@@ -1,0 +1,65 @@
+"""DIMACS CNF reading and writing.
+
+The paper's tooling dumps SMT instances via ``Solver.sexpr()`` to measure raw
+solving time; the analogous artefact for our SAT substrate is the DIMACS dump,
+which also lets instances be cross-checked against external solvers.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Union
+
+from .formula import CNF
+from .types import dimacs_to_lit, lit_to_dimacs
+
+
+def write_dimacs(cnf: CNF, fp: IO[str]) -> None:
+    """Serialise ``cnf`` in DIMACS format to a text stream."""
+    fp.write(f"p cnf {cnf.n_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        fp.write(" ".join(str(lit_to_dimacs(l)) for l in clause))
+        fp.write(" 0\n")
+
+
+def dumps(cnf: CNF) -> str:
+    """Serialise ``cnf`` to a DIMACS string."""
+    lines = [f"p cnf {cnf.n_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit_to_dimacs(l)) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def read_dimacs(source: Union[str, IO[str]]) -> CNF:
+    """Parse DIMACS text (a string or a text stream) into a :class:`CNF`."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = source
+    cnf = CNF()
+    declared_vars = None
+    pending: list = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            while cnf.n_vars < declared_vars:
+                cnf.new_var()
+            continue
+        for tok in line.split():
+            val = int(tok)
+            if val == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                lit = dimacs_to_lit(val)
+                while (lit >> 1) >= cnf.n_vars:
+                    cnf.new_var()
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    return cnf

@@ -1,0 +1,82 @@
+"""A plain CNF formula container, decoupled from any particular solver.
+
+Encoders in :mod:`repro.encodings` and :mod:`repro.smt` can target either a
+live :class:`repro.sat.solver.Solver` (for incremental solving) or a
+:class:`CNF` object (for serialisation, size measurements and testing).  Both
+expose the same two-method surface — ``new_var()`` and ``add_clause(lits)`` —
+so encoding code is written once against that implicit protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from .types import lit_var
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    Literals use the packed convention of :mod:`repro.sat.types`.
+    """
+
+    def __init__(self) -> None:
+        self.n_vars = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable index."""
+        var = self.n_vars
+        self.n_vars += 1
+        return var
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Append a clause.  Always succeeds (returns ``True``)."""
+        clause = list(lits)
+        for lit in clause:
+            if lit_var(lit) >= self.n_vars:
+                raise ValueError(f"literal {lit} references unallocated variable")
+        self.clauses.append(clause)
+        return True
+
+    def add_clauses(self, clause_list: Iterable[Sequence[int]]) -> bool:
+        for lits in clause_list:
+            self.add_clause(lits)
+        return True
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def num_literals(self) -> int:
+        """Total literal occurrences — a proxy for formula size."""
+        return sum(len(c) for c in self.clauses)
+
+    def __iter__(self) -> Iterator[List[int]]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the formula under a full assignment (True per variable)."""
+        for clause in self.clauses:
+            if not any(assignment[l >> 1] ^ bool(l & 1) for l in clause):
+                return False
+        return True
+
+    def to_solver(self, solver) -> bool:
+        """Load this formula into a solver-like object (same protocol)."""
+        while solver.n_vars < self.n_vars:
+            solver.new_var()
+        ok = True
+        for clause in self.clauses:
+            ok = solver.add_clause(clause) and ok
+        return ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CNF(vars={self.n_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,248 @@
+"""CNF preprocessing: subsumption, self-subsuming resolution, and bounded
+variable elimination (SatELite-style).
+
+Modern SAT solvers (including the engine inside Z3 that the paper's winning
+configuration relies on) simplify the clause database before search.  The
+layout-synthesis encodings produce many locally-redundant clauses (e.g.
+guarded bound copies, Tseitin definitions), so preprocessing measurably
+shrinks the instance.  The pipeline here is classical:
+
+* **unit propagation** to fixpoint, rewriting the formula,
+* **subsumption** — drop clauses that are supersets of another clause,
+* **self-subsuming resolution** — strengthen ``C ∨ l`` against ``D ∨ ¬l``
+  when ``D ⊆ C``, removing ``l`` from the first clause,
+* **bounded variable elimination (BVE)** — resolve a variable away when the
+  resulting set of resolvents is no larger than the clauses it replaces.
+
+:func:`preprocess` returns a new :class:`~repro.sat.formula.CNF` plus a
+:class:`ModelReconstructor` that extends a model of the simplified formula
+back to the original variables (needed because BVE removes variables).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .formula import CNF
+from .types import neg
+
+
+class Unsatisfiable(Exception):
+    """The formula was refuted during preprocessing."""
+
+
+class ModelReconstructor:
+    """Replays BVE eliminations to extend models to eliminated variables."""
+
+    def __init__(self) -> None:
+        # stack of (variable, clauses-containing-positive-lit) entries
+        self._stack: List[Tuple[int, List[List[int]]]] = []
+        self.fixed: Dict[int, bool] = {}
+
+    def record_unit(self, lit: int) -> None:
+        self.fixed[lit >> 1] = not (lit & 1)
+
+    def record_elimination(self, var: int, pos_clauses: List[List[int]]) -> None:
+        self._stack.append((var, [list(c) for c in pos_clauses]))
+
+    def extend(self, model: Sequence[bool]) -> List[bool]:
+        """Extend a model of the simplified formula to all original variables."""
+        full = list(model)
+
+        def value(lit: int) -> bool:
+            return full[lit >> 1] ^ bool(lit & 1)
+
+        for var, fixed_value in self.fixed.items():
+            while var >= len(full):
+                full.append(False)
+            full[var] = fixed_value
+        for var, pos_clauses in reversed(self._stack):
+            while var >= len(full):
+                full.append(False)
+            # var must be True iff some positive-occurrence clause is not
+            # otherwise satisfied.
+            needed = False
+            for clause in pos_clauses:
+                others = [l for l in clause if (l >> 1) != var]
+                if not any(value(l) for l in others):
+                    needed = True
+                    break
+            full[var] = needed
+        return full
+
+
+def _propagate_units(clauses: List[List[int]], recon: ModelReconstructor):
+    """Unit propagation to fixpoint over a clause list."""
+    assignment: Dict[int, bool] = {}
+    changed = True
+    while changed:
+        changed = False
+        new_clauses: List[List[int]] = []
+        for clause in clauses:
+            out: List[int] = []
+            satisfied = False
+            for lit in clause:
+                var = lit >> 1
+                if var in assignment:
+                    if assignment[var] ^ bool(lit & 1):
+                        satisfied = True
+                        break
+                    continue  # falsified literal dropped
+                out.append(lit)
+            if satisfied:
+                continue
+            if not out:
+                raise Unsatisfiable()
+            if len(out) == 1:
+                lit = out[0]
+                var = lit >> 1
+                val = not (lit & 1)
+                if var in assignment:
+                    if assignment[var] != val:
+                        raise Unsatisfiable()
+                else:
+                    assignment[var] = val
+                    recon.record_unit(lit)
+                    changed = True
+                continue
+            new_clauses.append(out)
+        clauses = new_clauses
+        if changed:
+            # re-filter with the enlarged assignment on the next pass
+            continue
+    return clauses, assignment
+
+
+def _subsumes(small: Set[int], big: Set[int]) -> bool:
+    return small.issubset(big)
+
+
+def _subsumption(clauses: List[List[int]]) -> List[List[int]]:
+    """Remove subsumed clauses and apply self-subsuming resolution."""
+    sets = [set(c) for c in clauses]
+    occurrence: Dict[int, List[int]] = defaultdict(list)
+    for idx, clause in enumerate(sets):
+        for lit in clause:
+            occurrence[lit].append(idx)
+    alive = [True] * len(sets)
+
+    # Subsumption: for each clause, check candidates sharing its rarest literal.
+    order = sorted(range(len(sets)), key=lambda i: len(sets[i]))
+    for idx in order:
+        if not alive[idx]:
+            continue
+        clause = sets[idx]
+        rarest = min(clause, key=lambda l: len(occurrence[l]))
+        for other in occurrence[rarest]:
+            if other == idx or not alive[other]:
+                continue
+            if len(sets[other]) >= len(clause) and _subsumes(clause, sets[other]):
+                alive[other] = False
+
+    # Self-subsuming resolution: C∨l strengthened by D∨¬l with D ⊆ C.
+    for idx in range(len(sets)):
+        if not alive[idx]:
+            continue
+        strengthened = True
+        while strengthened:
+            strengthened = False
+            for lit in list(sets[idx]):
+                for other in occurrence[neg(lit)]:
+                    if not alive[other] or other == idx:
+                        continue
+                    rest = sets[other] - {neg(lit)}
+                    if rest and rest.issubset(sets[idx] - {lit}):
+                        sets[idx].discard(lit)
+                        strengthened = True
+                        break
+                if strengthened:
+                    break
+    return [sorted(sets[i]) for i in range(len(sets)) if alive[i] and sets[i]]
+
+
+def _eliminate_variables(
+    clauses: List[List[int]],
+    recon: ModelReconstructor,
+    growth_limit: int = 0,
+    max_occurrences: int = 10,
+) -> List[List[int]]:
+    """Bounded variable elimination by distribution (resolution)."""
+    occurrence: Dict[int, List[List[int]]] = defaultdict(list)
+    for clause in clauses:
+        for lit in clause:
+            occurrence[lit].append(clause)
+    variables = {lit >> 1 for clause in clauses for lit in clause}
+    clause_alive = {id(c): True for c in clauses}
+
+    for var in sorted(variables):
+        pos = [c for c in occurrence[2 * var] if clause_alive.get(id(c), False)]
+        negs = [c for c in occurrence[2 * var + 1] if clause_alive.get(id(c), False)]
+        if not pos and not negs:
+            continue
+        if len(pos) > max_occurrences or len(negs) > max_occurrences:
+            continue
+        resolvents: List[List[int]] = []
+        for cp in pos:
+            for cn in negs:
+                merged = {l for l in cp if (l >> 1) != var}
+                merged.update(l for l in cn if (l >> 1) != var)
+                if any(neg(l) in merged for l in merged):
+                    continue  # tautology, dropped
+                resolvents.append(sorted(merged))
+        if len(resolvents) > len(pos) + len(negs) + growth_limit:
+            continue
+        # Commit the elimination.
+        recon.record_elimination(var, pos)
+        for clause in pos + negs:
+            clause_alive[id(clause)] = False
+        for resolvent in resolvents:
+            if not resolvent:
+                raise Unsatisfiable()
+            clause_alive[id(resolvent)] = True
+            for lit in resolvent:
+                occurrence[lit].append(resolvent)
+        clauses = [c for c in clauses if clause_alive.get(id(c), False)]
+        clauses.extend(resolvents)
+    return [c for c in clauses if clause_alive.get(id(c), True)]
+
+
+def preprocess(
+    cnf: CNF,
+    eliminate: bool = True,
+    growth_limit: int = 0,
+) -> Tuple[CNF, ModelReconstructor]:
+    """Simplify ``cnf``; returns ``(simplified, reconstructor)``.
+
+    Raises :class:`Unsatisfiable` when the formula is refuted outright.
+    The simplified formula is over the same variable numbering (eliminated
+    variables simply no longer occur); use
+    :meth:`ModelReconstructor.extend` to rebuild full models.
+    """
+    recon = ModelReconstructor()
+    clauses = []
+    for raw in cnf.clauses:
+        unique = sorted(set(raw))
+        if any(neg(l) in unique for l in unique):
+            continue  # tautology: always satisfied
+        clauses.append(unique)
+    clauses, _assignment = _propagate_units(clauses, recon)
+    clauses = _subsumption(clauses)
+    if eliminate:
+        clauses = _eliminate_variables(clauses, recon, growth_limit=growth_limit)
+        clauses = _subsumption(clauses)
+    simplified = CNF()
+    simplified.new_vars(cnf.n_vars)
+    simplified.add_clauses(clauses)
+    return simplified, recon
+
+
+def preprocess_stats(original: CNF, simplified: CNF) -> dict:
+    """Size reduction summary for reporting."""
+    return {
+        "clauses_before": original.num_clauses,
+        "clauses_after": simplified.num_clauses,
+        "literals_before": original.num_literals,
+        "literals_after": simplified.num_literals,
+        "clause_reduction": 1 - simplified.num_clauses / max(1, original.num_clauses),
+    }

@@ -1,0 +1,130 @@
+"""Independent checking of UNSAT proofs (RUP / DRAT-style).
+
+When optimality matters — "the optimal depth is the minimal value that can
+have a satisfiable assignment" (paper Sec. III-B) — the UNSAT answer at the
+last bound is the load-bearing claim.  A solver bug that mislabels a
+satisfiable bound as UNSAT would silently produce *sub-optimal* "optimal"
+results.  Proof logging plus this checker closes that loop: every clause
+the solver derives is validated by *reverse unit propagation* (RUP) against
+the clauses available at that point, exactly as DRAT checkers validate
+industrial SAT solvers.
+
+Usage::
+
+    solver = Solver(proof_log=True)
+    cnf.to_solver(solver)
+    assert solver.solve() is False
+    assert check_unsat_proof(cnf, solver.proof)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .formula import CNF
+from .types import neg
+
+
+class ProofError(ValueError):
+    """Raised when a proof step fails its RUP check."""
+
+
+def _unit_propagate_conflict(clauses: List[List[int]], assumed: Sequence[int]) -> bool:
+    """Return True iff unit propagation from ``assumed`` hits a conflict."""
+    assignment: Dict[int, bool] = {}
+    for lit in assumed:
+        var, val = lit >> 1, not (lit & 1)
+        if var in assignment and assignment[var] != val:
+            return True
+        assignment[var] = val
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned: Optional[int] = None
+            n_unassigned = 0
+            satisfied = False
+            for lit in clause:
+                var = lit >> 1
+                if var not in assignment:
+                    unassigned = lit
+                    n_unassigned += 1
+                    if n_unassigned > 1:
+                        break
+                elif assignment[var] ^ bool(lit & 1):
+                    satisfied = True
+                    break
+            if satisfied or n_unassigned > 1:
+                continue
+            if n_unassigned == 0:
+                return True  # falsified clause
+            var, val = unassigned >> 1, not (unassigned & 1)
+            if var in assignment:
+                if assignment[var] != val:
+                    return True
+            else:
+                assignment[var] = val
+                changed = True
+    return False
+
+
+def is_rup(clauses: List[List[int]], candidate: Sequence[int]) -> bool:
+    """Is ``candidate`` derivable by reverse unit propagation from ``clauses``?
+
+    Negate every literal of the candidate, propagate; the candidate is RUP
+    iff propagation refutes the negation.
+    """
+    return _unit_propagate_conflict(clauses, [neg(l) for l in candidate])
+
+
+def check_unsat_proof(
+    cnf: CNF,
+    proof: Sequence[Tuple[str, Sequence[int]]],
+    strict_deletions: bool = False,
+) -> bool:
+    """Replay a proof log against the original formula.
+
+    Each ``("a", lits)`` step must be RUP with respect to the formula plus
+    all previously added (and not deleted) clauses; a ``("a", ())`` step —
+    the empty clause — completes the refutation.  ``("d", lits)`` steps
+    remove a clause from the active set (with ``strict_deletions`` the
+    clause must exist).
+
+    Returns ``True`` if an empty clause is validly derived.  Raises
+    :class:`ProofError` on an invalid step; returns ``False`` if the proof
+    ends without reaching the empty clause.
+    """
+    db: List[List[int]] = [sorted(set(c)) for c in cnf.clauses]
+    for step_idx, (op, lits) in enumerate(proof):
+        lits = list(lits)
+        if op == "d":
+            key = sorted(lits)
+            for i, clause in enumerate(db):
+                if clause == key:
+                    db.pop(i)
+                    break
+            else:
+                if strict_deletions:
+                    raise ProofError(f"step {step_idx}: deleting absent clause {lits}")
+            continue
+        if op != "a":
+            raise ProofError(f"step {step_idx}: unknown op {op!r}")
+        if not is_rup(db, lits):
+            raise ProofError(f"step {step_idx}: clause {lits} is not RUP")
+        if not lits:
+            return True
+        db.append(sorted(lits))
+    return False
+
+
+def proof_stats(proof: Sequence[Tuple[str, Sequence[int]]]) -> dict:
+    """Summary counters for a proof log."""
+    additions = sum(1 for op, _ in proof if op == "a")
+    deletions = sum(1 for op, _ in proof if op == "d")
+    literals = sum(len(lits) for op, lits in proof if op == "a")
+    return {
+        "steps": len(proof),
+        "additions": additions,
+        "deletions": deletions,
+        "added_literals": literals,
+    }

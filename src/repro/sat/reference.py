@@ -1,0 +1,34 @@
+"""Brute-force reference solver used to validate the CDCL engine in tests.
+
+Deliberately simple: enumerate all ``2**n`` assignments.  Only usable for tiny
+formulas, which is exactly what property-based tests generate.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional
+
+from .formula import CNF
+
+
+def brute_force_solve(cnf: CNF) -> Optional[List[bool]]:
+    """Return a satisfying assignment for ``cnf`` or ``None`` if UNSAT."""
+    if cnf.n_vars > 22:
+        raise ValueError("brute force limited to 22 variables")
+    for bits in product((False, True), repeat=cnf.n_vars):
+        assignment = list(bits)
+        if cnf.evaluate(assignment):
+            return assignment
+    return None
+
+
+def count_models(cnf: CNF) -> int:
+    """Count all satisfying assignments of ``cnf`` (exponential)."""
+    if cnf.n_vars > 22:
+        raise ValueError("brute force limited to 22 variables")
+    count = 0
+    for bits in product((False, True), repeat=cnf.n_vars):
+        if cnf.evaluate(list(bits)):
+            count += 1
+    return count

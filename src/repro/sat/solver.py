@@ -1,0 +1,727 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This module is the constraint-solving substrate for the whole repository.  The
+original OLSQ2 paper solves its layout-synthesis models with Z3; its winning
+configuration bit-blasts every bit-vector variable down to propositional logic
+so that Z3's *internal SAT engine* does the actual work.  Since no external
+solver is available here, this file implements that engine from scratch in the
+MiniSat lineage:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause minimisation,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* learnt-clause database reduction driven by LBD and clause activity,
+* incremental solving under assumptions with failed-assumption cores.
+
+Incrementality matters: the paper's iterative depth/SWAP refinement re-solves
+a sequence of near-identical models and relies on the solver reusing learned
+information between iterations (Sec. III-B).  Assumption-based solving gives
+exactly that — learnt clauses survive across :meth:`Solver.solve` calls.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from .types import FALSE, TRUE, UNDEF, neg
+
+
+class Clause(list):
+    """A clause is a list of packed literals plus solver metadata.
+
+    Subclassing :class:`list` keeps literal access (``clause[i]``) as fast as
+    a plain list in the propagation hot loop while still allowing the solver
+    to hang bookkeeping attributes off the object.
+    """
+
+    __slots__ = ("learnt", "lbd", "act")
+
+    def __init__(self, lits: Iterable[int], learnt: bool = False):
+        super().__init__(lits)
+        self.learnt = learnt
+        self.lbd = 0
+        self.act = 0.0
+
+
+class SolverStats:
+    """Counters describing the work a solver instance has performed."""
+
+    __slots__ = (
+        "conflicts",
+        "decisions",
+        "propagations",
+        "restarts",
+        "learnt_literals",
+        "removed_clauses",
+        "solve_calls",
+    )
+
+    def __init__(self) -> None:
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learnt_literals = 0
+        self.removed_clauses = 0
+        self.solve_calls = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolverStats({inner})"
+
+
+def luby(y: float, x: int) -> float:
+    """Return the ``x``-th term of the Luby restart sequence scaled by ``y``."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return y ** seq
+
+
+class _VarOrderHeap:
+    """Indexed max-heap over variable activities (the VSIDS order)."""
+
+    __slots__ = ("activity", "heap", "indices")
+
+    def __init__(self, activity: List[float]):
+        self.activity = activity
+        self.heap: List[int] = []
+        self.indices: List[int] = []
+
+    def _lt(self, u: int, v: int) -> bool:
+        return self.activity[u] > self.activity[v]
+
+    def in_heap(self, v: int) -> bool:
+        return v < len(self.indices) and self.indices[v] >= 0
+
+    def _percolate_up(self, i: int) -> None:
+        heap, indices = self.heap, self.indices
+        x = heap[i]
+        while i > 0:
+            p = (i - 1) >> 1
+            if self._lt(x, heap[p]):
+                heap[i] = heap[p]
+                indices[heap[p]] = i
+                i = p
+            else:
+                break
+        heap[i] = x
+        indices[x] = i
+
+    def _percolate_down(self, i: int) -> None:
+        heap, indices = self.heap, self.indices
+        x = heap[i]
+        n = len(heap)
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = right if right < n and self._lt(heap[right], heap[left]) else left
+            if self._lt(heap[child], x):
+                heap[i] = heap[child]
+                indices[heap[i]] = i
+                i = child
+            else:
+                break
+        heap[i] = x
+        indices[x] = i
+
+    def grow_to(self, n_vars: int) -> None:
+        while len(self.indices) < n_vars:
+            self.indices.append(-1)
+
+    def insert(self, v: int) -> None:
+        if self.indices[v] >= 0:
+            return
+        self.indices[v] = len(self.heap)
+        self.heap.append(v)
+        self._percolate_up(self.indices[v])
+
+    def decrease(self, v: int) -> None:
+        """Activity of ``v`` increased; restore heap order."""
+        if self.indices[v] >= 0:
+            self._percolate_up(self.indices[v])
+
+    def pop(self) -> int:
+        heap, indices = self.heap, self.indices
+        x = heap[0]
+        last = heap.pop()
+        indices[x] = -1
+        if heap:
+            heap[0] = last
+            indices[last] = 0
+            self._percolate_down(0)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
+class Solver:
+    """Incremental CDCL SAT solver.
+
+    Typical usage::
+
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([mk_lit(a), mk_lit(b)])
+        assert solver.solve() is True
+        assert solver.solve(assumptions=[mk_lit(a, negative=True)]) is True
+
+    :meth:`solve` returns ``True`` (satisfiable — read :attr:`model`),
+    ``False`` (unsatisfiable — read :attr:`core` for failed assumptions), or
+    ``None`` when a conflict/time budget expired.
+    """
+
+    VAR_DECAY = 1.0 / 0.95
+    CLA_DECAY = 1.0 / 0.999
+    RESCALE_LIMIT = 1e100
+    RESTART_BASE = 100
+
+    def __init__(self, proof_log: bool = False) -> None:
+        # When proof logging is on, every clause the solver derives (learnt
+        # clauses, strengthened input clauses, the final empty clause) is
+        # appended to ``proof`` as ("a", lits); deletions as ("d", lits).
+        # repro.sat.proof.check_unsat_proof replays the log by reverse unit
+        # propagation, giving an independently checkable UNSAT certificate.
+        self.proof: Optional[List[tuple]] = [] if proof_log else None
+        self.n_vars = 0
+        self.clauses: List[Clause] = []
+        self.learnts: List[Clause] = []
+        self.watches: List[List[Clause]] = []
+        self.assigns: List[int] = []
+        self.level: List[int] = []
+        self.reason: List[Optional[Clause]] = []
+        self.polarity: List[bool] = []  # saved phases; True = assign negative
+        self.activity: List[float] = []
+        self.order = _VarOrderHeap(self.activity)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.seen: List[int] = []
+        self.var_inc = 1.0
+        self.cla_inc = 1.0
+        self.ok = True
+        self.model: List[bool] = []
+        self.core: List[int] = []
+        self.stats = SolverStats()
+        self.max_learnts = 4000.0
+        self._simplify_mark = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        v = self.n_vars
+        self.n_vars += 1
+        self.watches.append([])
+        self.watches.append([])
+        self.assigns.append(UNDEF)
+        self.level.append(0)
+        self.reason.append(None)
+        self.polarity.append(True)
+        self.activity.append(0.0)
+        self.seen.append(0)
+        self.order.grow_to(self.n_vars)
+        self.order.insert(v)
+        return v
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def value(self, lit: int) -> int:
+        """Current truth value of ``lit``: TRUE, FALSE or UNDEF."""
+        v = self.assigns[lit >> 1]
+        if v < 0:
+            return UNDEF
+        return v ^ (lit & 1)
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became trivially UNSAT.
+
+        Must be called at decision level 0 (i.e. between :meth:`solve` calls).
+        Duplicate literals are removed, tautologies are dropped, and literals
+        already false at level 0 are stripped.
+        """
+        if not self.ok:
+            return False
+        assert not self.trail_lim, "clauses may only be added at level 0"
+        out: List[int] = []
+        seen_here = set()
+        for lit in sorted(lits):
+            if lit in seen_here:
+                continue
+            if (lit ^ 1) in seen_here:
+                return True  # tautology
+            val = self.value(lit)
+            if val == TRUE:
+                return True  # already satisfied at level 0
+            if val == FALSE:
+                continue  # falsified at level 0; drop literal
+            seen_here.add(lit)
+            out.append(lit)
+        if self.proof is not None and sorted(out) != sorted(set(lits)):
+            self.proof.append(("a", tuple(out)))
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._unchecked_enqueue(out[0], None)
+            self.ok = self._propagate() is None
+            if not self.ok and self.proof is not None:
+                self.proof.append(("a", ()))
+            return self.ok
+        clause = Clause(out)
+        self.clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_clauses(self, clause_list: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for lits in clause_list:
+            ok = self.add_clause(lits) and ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _attach(self, clause: Clause) -> None:
+        self.watches[clause[0] ^ 1].append(clause)
+        self.watches[clause[1] ^ 1].append(clause)
+
+    def _detach(self, clause: Clause) -> None:
+        self.watches[clause[0] ^ 1].remove(clause)
+        self.watches[clause[1] ^ 1].remove(clause)
+
+    def _unchecked_enqueue(self, lit: int, reason: Optional[Clause]) -> None:
+        var = lit >> 1
+        self.assigns[var] = (lit & 1) ^ 1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _propagate(self) -> Optional[Clause]:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        watches = self.watches
+        assigns = self.assigns
+        confl: Optional[Clause] = None
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            ws = watches[p]
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                clause = ws[i]
+                i += 1
+                # Ensure the false literal is at position 1.
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                v = assigns[first >> 1]
+                if v >= 0 and (v ^ (first & 1)) == TRUE:
+                    ws[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    vk = assigns[lk >> 1]
+                    if vk < 0 or (vk ^ (lk & 1)) != FALSE:
+                        clause[1] = lk
+                        clause[k] = false_lit
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                ws[j] = clause
+                j += 1
+                if v >= 0:  # first is FALSE -> conflict
+                    confl = clause
+                    self.qhead = len(self.trail)
+                    while i < n:
+                        ws[j] = ws[i]
+                        j += 1
+                        i += 1
+                    break
+                self._unchecked_enqueue(first, clause)
+            del ws[j:]
+            if confl is not None:
+                break
+        return confl
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        trail = self.trail
+        for idx in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[idx]
+            var = lit >> 1
+            self.assigns[var] = UNDEF
+            self.polarity[var] = bool(lit & 1)
+            self.reason[var] = None
+            if not self.order.in_heap(var):
+                self.order.insert(var)
+        del trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(trail)
+
+    def _var_bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > self.RESCALE_LIMIT:
+            inv = 1.0 / self.RESCALE_LIMIT
+            for i in range(self.n_vars):
+                self.activity[i] *= inv
+            self.var_inc *= inv
+        self.order.decrease(var)
+
+    def _cla_bump(self, clause: Clause) -> None:
+        clause.act += self.cla_inc
+        if clause.act > self.RESCALE_LIMIT:
+            inv = 1.0 / self.RESCALE_LIMIT
+            for c in self.learnts:
+                c.act *= inv
+            self.cla_inc *= inv
+
+    def _analyze(self, confl: Clause) -> tuple:
+        """First-UIP conflict analysis.
+
+        Returns ``(learnt_clause_lits, backtrack_level, lbd)``.
+        """
+        seen = self.seen
+        level = self.level
+        trail = self.trail
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        to_clear: List[int] = []
+        counter = 0
+        p = -1
+        index = len(trail) - 1
+        cur_level = self._decision_level()
+        clause: Optional[Clause] = confl
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._cla_bump(clause)
+            start = 1 if p >= 0 else 0
+            for k in range(start, len(clause)):
+                q = clause[k]
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    self._var_bump(var)
+                    if level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            p = trail[index]
+            clause = self.reason[p >> 1]
+            index -= 1
+            counter -= 1
+            if counter <= 0:
+                break
+            # Move p to front of its reason for the skip-first convention.
+            if clause is not None and clause[0] != (p):
+                # reason clause always has its implied literal first
+                pass
+        learnt[0] = p ^ 1
+
+        # Conflict-clause minimisation: drop literals implied by the rest.
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            r = self.reason[q >> 1]
+            if r is None:
+                kept.append(q)
+                continue
+            redundant = True
+            for x in r:
+                if x == (q ^ 1):
+                    continue
+                xv = x >> 1
+                if not seen[xv] and level[xv] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                kept.append(q)
+        learnt = kept
+
+        # Compute backtrack level and LBD.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if level[learnt[i] >> 1] > level[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = level[learnt[1] >> 1]
+        lbd_levels = {level[q >> 1] for q in learnt}
+        for var in to_clear:
+            seen[var] = 0
+        return learnt, bt_level, len(lbd_levels)
+
+    def _analyze_final(self, p: int) -> None:
+        """Compute the failed-assumption core.
+
+        ``p`` is an assumption literal found FALSE under the other
+        assumptions.  Afterwards :attr:`core` contains a subset of the
+        assumption literals sufficient for unsatisfiability (including ``p``).
+        """
+        self.core = [p]
+        if self._decision_level() == 0:
+            return
+        seen = self.seen
+        seen[p >> 1] = 1
+        for idx in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[idx]
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            r = self.reason[var]
+            if r is None:
+                # A decision inside the assumption prefix is an assumption.
+                if lit != p:
+                    self.core.append(lit)
+            else:
+                for x in r[1:]:
+                    if self.level[x >> 1] > 0:
+                        seen[x >> 1] = 1
+            seen[var] = 0
+        seen[p >> 1] = 0
+
+    def _reduce_db(self) -> None:
+        """Throw away half of the learnt clauses, worst (LBD, activity) first."""
+        self.learnts.sort(key=lambda c: (-c.lbd, c.act))
+        keep_from = len(self.learnts) // 2
+        kept: List[Clause] = []
+        for i, clause in enumerate(self.learnts):
+            locked = (
+                self.reason[clause[0] >> 1] is clause
+                and self.value(clause[0]) == TRUE
+            )
+            if i >= keep_from or locked or clause.lbd <= 2 or len(clause) == 2:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+                self.stats.removed_clauses += 1
+                if self.proof is not None:
+                    self.proof.append(("d", tuple(clause)))
+        self.learnts = kept
+
+    def _pick_branch_lit(self) -> int:
+        order = self.order
+        assigns = self.assigns
+        while len(order):
+            var = order.pop()
+            if assigns[var] == UNDEF:
+                return 2 * var + (1 if self.polarity[var] else 0)
+        return -1
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Solve the current formula under ``assumptions``.
+
+        Returns ``True``/``False``/``None`` (budget exhausted).  On ``True``
+        the satisfying assignment is in :attr:`model`; on ``False`` under
+        assumptions, :attr:`core` holds a subset of failed assumptions.
+        """
+        self.stats.solve_calls += 1
+        self.model = []
+        self.core = []
+        if not self.ok:
+            return False
+        deadline = time.monotonic() + time_budget if time_budget else None
+        conflict_limit = (
+            self.stats.conflicts + conflict_budget if conflict_budget else None
+        )
+        assumptions = list(assumptions)
+        restart_num = 0
+        restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
+        conflicts_this_restart = 0
+        if self.max_learnts < len(self.clauses) / 3:
+            self.max_learnts = len(self.clauses) / 3
+
+        status: Optional[bool] = None
+        while status is None:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_this_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    status = False
+                    if self.proof is not None:
+                        self.proof.append(("a", ()))
+                    break
+                learnt, bt_level, lbd = self._analyze(confl)
+                if self.proof is not None:
+                    self.proof.append(("a", tuple(learnt)))
+                # Never undo the assumption prefix permanently: backtracking
+                # below it is fine, the assumption loop re-establishes it.
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    self._unchecked_enqueue(learnt[0], None)
+                else:
+                    clause = Clause(learnt, learnt=True)
+                    clause.lbd = lbd
+                    self.learnts.append(clause)
+                    self._attach(clause)
+                    self._cla_bump(clause)
+                    self._unchecked_enqueue(learnt[0], clause)
+                self.stats.learnt_literals += len(learnt)
+                self.var_inc *= self.VAR_DECAY
+                self.cla_inc *= self.CLA_DECAY
+                continue
+
+            # No conflict.
+            if conflict_limit is not None and self.stats.conflicts >= conflict_limit:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            if conflicts_this_restart >= restart_budget:
+                restart_num += 1
+                self.stats.restarts += 1
+                restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
+                conflicts_this_restart = 0
+                self._cancel_until(0)
+                continue
+            if (
+                len(self.learnts) - len(self.trail) >= self.max_learnts
+                and self._decision_level() > 0
+            ):
+                self._reduce_db()
+                self.max_learnts *= 1.2
+
+            # Establish assumptions, then decide.
+            next_lit = -1
+            while self._decision_level() < len(assumptions):
+                p = assumptions[self._decision_level()]
+                val = self.value(p)
+                if val == TRUE:
+                    self._new_decision_level()  # dummy level
+                elif val == FALSE:
+                    self._analyze_final(p)
+                    status = False
+                    break
+                else:
+                    next_lit = p
+                    break
+            if status is not None:
+                break
+            if next_lit == -1:
+                next_lit = self._pick_branch_lit()
+                if next_lit == -1:
+                    status = True  # all variables assigned
+                    break
+                self.stats.decisions += 1
+            self._new_decision_level()
+            self._unchecked_enqueue(next_lit, None)
+
+        if status is True:
+            self.model = [self.assigns[v] == TRUE for v in range(self.n_vars)]
+        self._cancel_until(0)
+        return status
+
+    # ------------------------------------------------------------------
+    # Search guidance
+    # ------------------------------------------------------------------
+
+    def warm_start(self, hints) -> None:
+        """Seed the phase-saving polarities from a (partial) assignment.
+
+        ``hints`` maps variable index -> bool (or is a sequence of bools).
+        The next search will try those values first, which lets callers
+        guide the solver with an application-level solution — e.g. reusing
+        the previous optimization iteration's model, or a heuristic
+        synthesizer's mapping (the paper's Sec. V future-work direction).
+        Hints never affect soundness: they only flip decision polarities.
+        """
+        items = hints.items() if hasattr(hints, "items") else enumerate(hints)
+        for var, value in items:
+            if not 0 <= var < self.n_vars:
+                raise ValueError(f"hint for unknown variable {var}")
+            self.polarity[var] = not bool(value)
+
+    def bump_variables(self, variables, amount: float = 1.0) -> None:
+        """Raise VSIDS activity of ``variables`` so they are decided early.
+
+        The application-specific variable-ordering hook from the paper's
+        future-work list: branching first on, say, mapping variables of the
+        busiest qubits measurably changes search behaviour.
+        """
+        for var in variables:
+            if not 0 <= var < self.n_vars:
+                raise ValueError(f"cannot bump unknown variable {var}")
+            self.activity[var] += amount * self.var_inc
+            if self.activity[var] > self.RESCALE_LIMIT:
+                inv = 1.0 / self.RESCALE_LIMIT
+                for i in range(self.n_vars):
+                    self.activity[i] *= inv
+                self.var_inc *= inv
+            self.order.decrease(var)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, lit: int) -> bool:
+        """Truth value of ``lit`` in the most recent satisfying model."""
+        if not self.model:
+            raise RuntimeError("no model available; call solve() first")
+        return self.model[lit >> 1] ^ bool(lit & 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        return len(self.learnts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Solver(vars={self.n_vars}, clauses={len(self.clauses)}, "
+            f"learnts={len(self.learnts)}, ok={self.ok})"
+        )

@@ -1,0 +1,57 @@
+"""Literal and truth-value conventions shared across the SAT substrate.
+
+Variables are non-negative integers ``0..n-1``.  A *literal* packs a variable
+and a sign into one integer: ``lit = 2 * var`` for the positive literal and
+``lit = 2 * var + 1`` for the negative literal.  This is the classic MiniSat
+convention; negation is a single XOR and literals index watch lists directly.
+
+Truth values are plain integers: ``TRUE = 1``, ``FALSE = 0`` and
+``UNDEF = -1``.  Evaluating a literal against a variable assignment is then
+``value ^ sign`` (with the undefined case handled separately).
+"""
+
+from __future__ import annotations
+
+TRUE = 1
+FALSE = 0
+UNDEF = -1
+
+
+def mk_lit(var: int, negative: bool = False) -> int:
+    """Build a literal from a variable index and a sign.
+
+    >>> mk_lit(3)
+    6
+    >>> mk_lit(3, negative=True)
+    7
+    """
+    return 2 * var + (1 if negative else 0)
+
+
+def neg(lit: int) -> int:
+    """Return the negation of ``lit``."""
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    """Return the variable underlying ``lit``."""
+    return lit >> 1
+
+
+def lit_sign(lit: int) -> bool:
+    """Return ``True`` iff ``lit`` is a negative literal."""
+    return bool(lit & 1)
+
+
+def lit_to_dimacs(lit: int) -> int:
+    """Convert a packed literal to the signed DIMACS convention (1-based)."""
+    var = (lit >> 1) + 1
+    return -var if lit & 1 else var
+
+
+def dimacs_to_lit(ilit: int) -> int:
+    """Convert a signed DIMACS literal (1-based, non-zero) to packed form."""
+    if ilit == 0:
+        raise ValueError("DIMACS literal must be non-zero")
+    var = abs(ilit) - 1
+    return 2 * var + (1 if ilit < 0 else 0)

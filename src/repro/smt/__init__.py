@@ -1,0 +1,45 @@
+"""Mini-SMT layer: bounded-domain variables and injectivity over SAT."""
+
+from .context import SMTContext, cnf_context
+from .domain import (
+    BITVEC,
+    ENCODINGS,
+    INT,
+    ONEHOT,
+    ORDER,
+    BitVecVar,
+    OneHotVar,
+    OrderVar,
+    make_domain_var,
+)
+from .lazy import LazyIntVar, solve_with_theory
+from .injectivity import (
+    CHANNELING_INJ,
+    INJECTIVITY_METHODS,
+    PAIRWISE_INJ,
+    encode_injectivity,
+    inject_channeling,
+    inject_pairwise,
+)
+
+__all__ = [
+    "SMTContext",
+    "cnf_context",
+    "BITVEC",
+    "ONEHOT",
+    "INT",
+    "ORDER",
+    "ENCODINGS",
+    "BitVecVar",
+    "OneHotVar",
+    "OrderVar",
+    "LazyIntVar",
+    "solve_with_theory",
+    "make_domain_var",
+    "PAIRWISE_INJ",
+    "CHANNELING_INJ",
+    "INJECTIVITY_METHODS",
+    "encode_injectivity",
+    "inject_channeling",
+    "inject_pairwise",
+]

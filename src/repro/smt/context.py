@@ -1,0 +1,126 @@
+"""Solver context: the thin "SMT" veneer over the CDCL core.
+
+In the original OLSQ2, Z3 receives bit-vector and Boolean terms, bit-blasts
+them, and solves the result with its SAT engine.  :class:`SMTContext` plays
+the Z3 role here: it owns a :class:`repro.sat.Solver`, hands out Boolean
+literals and bounded-domain variables (bit-vector or one-hot encoded, see
+:mod:`repro.smt.domain`), and runs incremental queries under assumptions.
+
+A context can also be pointed at a :class:`repro.sat.CNF` instead of a live
+solver — encoders then produce a formula artefact whose size can be measured
+or serialised to DIMACS, mirroring the paper's ``Solver.sexpr()`` dumps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..sat.formula import CNF
+from ..sat.solver import Solver
+from ..sat.types import mk_lit, neg
+
+
+class SMTContext:
+    """Boolean-level solver context with constant literals and assumptions."""
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else Solver()
+        self._true_lit: Optional[int] = None
+        self.encode_time = 0.0
+        self.solve_time = 0.0
+        # Lazy-theory machinery (see repro.smt.lazy): variables registered
+        # here get their domain axioms enforced by a CEGAR loop at solve time.
+        self.lazy_vars: List = []
+        self.theory_rounds = 0
+        self.theory_lemmas = 0
+
+    def register_lazy_var(self, var) -> None:
+        """Register a :class:`repro.smt.lazy.LazyIntVar` for theory checking."""
+        self.lazy_vars.append(var)
+
+    # -- variable/clause management ------------------------------------
+
+    def new_bool(self) -> int:
+        """Allocate a fresh Boolean variable; returns its positive literal."""
+        return mk_lit(self.sink.new_var())
+
+    def new_bools(self, count: int) -> List[int]:
+        return [self.new_bool() for _ in range(count)]
+
+    def add(self, clause: Sequence[int]) -> None:
+        """Add one clause (a disjunction of packed literals)."""
+        self.sink.add_clause(clause)
+
+    def add_implies(self, antecedents: Sequence[int], consequents: Sequence[int]):
+        """Add ``AND(antecedents) -> OR(consequents)`` as a single clause."""
+        self.sink.add_clause([neg(a) for a in antecedents] + list(consequents))
+
+    @property
+    def true_lit(self) -> int:
+        """A literal fixed to true (allocated on first use)."""
+        if self._true_lit is None:
+            self._true_lit = self.new_bool()
+            self.add([self._true_lit])
+        return self._true_lit
+
+    @property
+    def false_lit(self) -> int:
+        return neg(self.true_lit)
+
+    # -- solving ---------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        time_budget: Optional[float] = None,
+        conflict_budget: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Run the underlying solver; requires the sink to be a Solver."""
+        if not isinstance(self.sink, Solver):
+            raise TypeError("this context wraps a CNF, not a live solver")
+        start = time.monotonic()
+        if self.lazy_vars:
+            from .lazy import solve_with_theory
+
+            result = solve_with_theory(
+                self, assumptions=assumptions, time_budget=time_budget
+            )
+        else:
+            result = self.sink.solve(
+                assumptions=assumptions,
+                time_budget=time_budget,
+                conflict_budget=conflict_budget,
+            )
+        self.solve_time += time.monotonic() - start
+        return result
+
+    def model_value(self, lit: int) -> bool:
+        return self.sink.model_value(lit)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_vars(self) -> int:
+        return self.sink.n_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return self.sink.num_clauses
+
+    def stats(self) -> dict:
+        if isinstance(self.sink, Solver):
+            d = self.sink.stats.as_dict()
+        else:
+            d = {}
+        d.update(
+            n_vars=self.n_vars,
+            n_clauses=self.num_clauses,
+            solve_time=self.solve_time,
+        )
+        return d
+
+
+def cnf_context() -> SMTContext:
+    """A context that collects clauses into a CNF object (no solving)."""
+    return SMTContext(sink=CNF())

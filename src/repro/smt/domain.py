@@ -1,0 +1,384 @@
+"""Bounded-domain variables over SAT in four interchangeable encodings.
+
+The paper's Improvement 3 compares *integer* against *bit-vector* variable
+encodings inside Z3.  At the SAT level this package offers the full design
+space:
+
+* :class:`BitVecVar` — the value is a little-endian vector of
+  ``ceil(log2(size))`` Boolean bits.  This is literally what Z3's bit-blaster
+  produces for a bit-vector term, i.e. the paper's winning ``(bv)`` encoding.
+* :class:`OneHotVar` — one Boolean per domain value plus an eager
+  exactly-one constraint (the classical *direct* encoding; an ablation point).
+* :class:`OrderVar` — the unary-ladder order encoding (``o[v] = x <= v``;
+  a second ablation point, strong on ordering constraints).
+* ``"int"`` (:class:`repro.smt.lazy.LazyIntVar`) — one atom per value with
+  **no** eager semantics; domain axioms are enforced lazily by a DPLL(T)-style
+  CEGAR loop, emulating Z3's integer-theory architecture.
+
+All expose the same interface so the layout-synthesis encoders are agnostic:
+
+* ``eq_lit(value)`` — an indicator literal for ``var == value``,
+* ``fix(value)`` — pin the variable with unit clauses,
+* ``leq_const(k, guard=None)`` — clauses enforcing ``var <= k``,
+* ``less_than(other)`` / ``less_equal(other)`` — ordering constraints,
+* ``neq(other)`` — clauses enforcing ``self != other``,
+* ``decode(model)`` — read the value back from a satisfying assignment,
+* ``polarity_hints(value)`` — warm-start hints steering the search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..encodings.adder import compare_leq_const
+from ..sat.types import neg
+
+BITVEC = "bitvec"
+ONEHOT = "onehot"
+INT = "int"  # lazy integer-theory emulation, see repro.smt.lazy
+ORDER = "order"  # Tamura-style order (unary ladder) encoding
+ENCODINGS = (BITVEC, ONEHOT, INT, ORDER)
+
+
+class BitVecVar:
+    """An unsigned bounded integer encoded as a little-endian bit vector."""
+
+    __slots__ = ("ctx", "size", "n_bits", "bits", "_eq_cache")
+
+    def __init__(self, ctx, size: int):
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self.ctx = ctx
+        self.size = size
+        self.n_bits = max(1, (size - 1).bit_length())
+        self.bits = [ctx.new_bool() for _ in range(self.n_bits)]
+        self._eq_cache: Dict[int, int] = {}
+        # Exclude invalid codes when size is not a power of two.
+        if size < (1 << self.n_bits):
+            compare_leq_const(ctx.sink, self.bits, size - 1)
+
+    def _bit_lits(self, value: int) -> List[int]:
+        """Literals asserting each bit of ``value``."""
+        return [
+            b if (value >> i) & 1 else neg(b) for i, b in enumerate(self.bits)
+        ]
+
+    def eq_lit(self, value: int) -> int:
+        """Indicator literal ``y <-> (var == value)`` (cached per value)."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        cached = self._eq_cache.get(value)
+        if cached is not None:
+            return cached
+        pattern = self._bit_lits(value)
+        if len(pattern) == 1:
+            y = pattern[0]
+        else:
+            y = self.ctx.new_bool()
+            for lit in pattern:
+                self.ctx.add([neg(y), lit])
+            self.ctx.add([y] + [neg(lit) for lit in pattern])
+        self._eq_cache[value] = y
+        return y
+
+    def fix(self, value: int) -> None:
+        """Pin the variable to ``value`` with unit clauses."""
+        for lit in self._bit_lits(value):
+            self.ctx.add([lit])
+
+    def leq_const(self, k: int, guard: Optional[int] = None) -> None:
+        """Enforce ``var <= k`` (optionally only when ``guard`` is true)."""
+        if k >= self.size - 1:
+            return
+        if k < 0:
+            clause = [] if guard is None else [neg(guard)]
+            self.ctx.add(clause)
+            return
+        compare_leq_const(self.ctx.sink, self.bits, k, guard=guard)
+
+    def _compare(self, other: "BitVecVar", strict: bool) -> None:
+        """Enforce ``self < other`` (strict) or ``self <= other``.
+
+        Builds a one-directional comparison ladder ``cmp_i`` over bit
+        prefixes ``0..i`` and asserts the top.  One direction suffices for
+        *enforcing* the relation: any model must satisfy the ladder downward,
+        and any pair of values in the relation admits a consistent labelling
+        of the ladder variables, so no solutions are lost.
+        """
+        if not isinstance(other, BitVecVar):
+            raise TypeError("cannot compare mixed encodings")
+        ctx = self.ctx
+        width = max(self.n_bits, other.n_bits)
+        a = list(self.bits) + [ctx.false_lit] * (width - self.n_bits)
+        b = list(other.bits) + [ctx.false_lit] * (width - other.n_bits)
+        prev: Optional[int] = None
+        for i in range(width):  # little-endian: LSB first
+            cmp_i = ctx.new_bool()
+            ai, bi = a[i], b[i]
+            if prev is None:
+                if strict:
+                    # cmp_0 -> (-a_0 & b_0)
+                    ctx.add([neg(cmp_i), neg(ai)])
+                    ctx.add([neg(cmp_i), bi])
+                else:
+                    # cmp_0 -> (a_0 -> b_0)
+                    ctx.add([neg(cmp_i), neg(ai), bi])
+            else:
+                # cmp_i -> (-a_i & b_i) | ((a_i <-> b_i) & cmp_{i-1})
+                ctx.add([neg(cmp_i), neg(ai), bi])
+                ctx.add([neg(cmp_i), neg(ai), prev])
+                ctx.add([neg(cmp_i), ai, bi, prev])
+            prev = cmp_i
+        assert prev is not None
+        ctx.add([prev])
+
+    def less_than(self, other: "BitVecVar") -> None:
+        """Enforce ``self < other``."""
+        self._compare(other, strict=True)
+
+    def less_equal(self, other: "BitVecVar") -> None:
+        """Enforce ``self <= other``."""
+        self._compare(other, strict=False)
+
+    def neq(self, other: "BitVecVar") -> None:
+        """Enforce ``self != other``: some bit position differs."""
+        if not isinstance(other, BitVecVar):
+            raise TypeError("cannot compare mixed encodings")
+        ctx = self.ctx
+        width = max(self.n_bits, other.n_bits)
+        a = list(self.bits) + [ctx.false_lit] * (width - self.n_bits)
+        b = list(other.bits) + [ctx.false_lit] * (width - other.n_bits)
+        diffs = []
+        for ai, bi in zip(a, b):
+            d = ctx.new_bool()
+            # d -> (a_i XOR b_i); one direction, then assert OR of d's.
+            ctx.add([neg(d), ai, bi])
+            ctx.add([neg(d), neg(ai), neg(bi)])
+            diffs.append(d)
+        ctx.add(diffs)
+
+    def decode(self, model: Sequence[bool]) -> int:
+        value = 0
+        for i, b in enumerate(self.bits):
+            if model[b >> 1] ^ bool(b & 1):
+                value |= 1 << i
+        return value
+
+    def polarity_hints(self, value: int) -> Dict[int, bool]:
+        """Variable->bool hints that make the solver try ``value`` first."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return {b >> 1: bool((value >> i) & 1) for i, b in enumerate(self.bits)}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BitVecVar(size={self.size}, bits={self.n_bits})"
+
+
+class OneHotVar:
+    """A bounded integer in the direct (one-hot) encoding."""
+
+    __slots__ = ("ctx", "size", "selectors")
+
+    def __init__(self, ctx, size: int):
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self.ctx = ctx
+        self.size = size
+        self.selectors = [ctx.new_bool() for _ in range(size)]
+        ctx.add(list(self.selectors))  # at least one value
+        for i in range(size):  # pairwise at most one
+            for j in range(i + 1, size):
+                ctx.add([neg(self.selectors[i]), neg(self.selectors[j])])
+
+    def eq_lit(self, value: int) -> int:
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return self.selectors[value]
+
+    def fix(self, value: int) -> None:
+        self.ctx.add([self.eq_lit(value)])
+
+    def leq_const(self, k: int, guard: Optional[int] = None) -> None:
+        if k >= self.size - 1:
+            return
+        prefix = [neg(guard)] if guard is not None else []
+        if k < 0:
+            self.ctx.add(prefix)
+            return
+        for v in range(k + 1, self.size):
+            self.ctx.add(prefix + [neg(self.selectors[v])])
+
+    def less_than(self, other: "OneHotVar") -> None:
+        """Enforce ``self < other``: value v forbids other <= v."""
+        if not isinstance(other, OneHotVar):
+            raise TypeError("cannot compare mixed encodings")
+        for v in range(self.size):
+            for w in range(min(v + 1, other.size)):
+                self.ctx.add([neg(self.selectors[v]), neg(other.selectors[w])])
+        # self == size-1 must be impossible if other.size <= size... handled
+        # by the pairwise clauses: other must take SOME value > v.
+        for v in range(self.size):
+            if v + 1 >= other.size:
+                self.ctx.add([neg(self.selectors[v])])
+
+    def less_equal(self, other: "OneHotVar") -> None:
+        """Enforce ``self <= other``: value v forbids other < v."""
+        for v in range(self.size):
+            for w in range(min(v, other.size)):
+                self.ctx.add([neg(self.selectors[v]), neg(other.selectors[w])])
+            if v >= other.size:
+                self.ctx.add([neg(self.selectors[v])])
+
+    def neq(self, other: "OneHotVar") -> None:
+        """Enforce ``self != other`` pairwise on shared values."""
+        for v in range(min(self.size, other.size)):
+            self.ctx.add([neg(self.selectors[v]), neg(other.selectors[v])])
+
+    def decode(self, model: Sequence[bool]) -> int:
+        for v, lit in enumerate(self.selectors):
+            if model[lit >> 1] ^ bool(lit & 1):
+                return v
+        raise ValueError("one-hot variable has no true selector in model")
+
+    def polarity_hints(self, value: int) -> Dict[int, bool]:
+        """Variable->bool hints that make the solver try ``value`` first."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return {lit >> 1: (v == value) for v, lit in enumerate(self.selectors)}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OneHotVar(size={self.size})"
+
+
+class OrderVar:
+    """A bounded integer in the order (unary ladder) encoding.
+
+    Ladder variable ``o[v]`` means ``var <= v`` (for ``v`` in
+    ``0..size-2``; ``var <= size-1`` is vacuous).  The ladder axiom
+    ``o[v] -> o[v+1]`` makes comparisons single literals, which is why this
+    encoding (Crawford-Baker / Tamura) excels at ordering-heavy problems —
+    included here as an ablation point beyond the paper's int/bv pair.
+    """
+
+    __slots__ = ("ctx", "size", "ladder", "_eq_cache")
+
+    def __init__(self, ctx, size: int):
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self.ctx = ctx
+        self.size = size
+        self.ladder = [ctx.new_bool() for _ in range(max(0, size - 1))]
+        self._eq_cache: Dict[int, int] = {}
+        for v in range(len(self.ladder) - 1):
+            ctx.add([neg(self.ladder[v]), self.ladder[v + 1]])
+
+    def _leq_lit(self, v: int) -> Optional[int]:
+        """Literal for ``var <= v``; None when vacuously true."""
+        if v >= self.size - 1:
+            return None
+        if v < 0:
+            raise ValueError("var <= -1 is unsatisfiable, not a literal")
+        return self.ladder[v]
+
+    def eq_lit(self, value: int) -> int:
+        """Indicator ``y <-> (var == value)``: y <-> (var<=v) & -(var<=v-1)."""
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        cached = self._eq_cache.get(value)
+        if cached is not None:
+            return cached
+        upper = self._leq_lit(value)
+        lower = self._leq_lit(value - 1) if value > 0 else None
+        if upper is None and lower is None:
+            y = self.ctx.true_lit  # size == 1
+        elif upper is None:
+            y = neg(lower)
+        elif lower is None:
+            y = upper
+        else:
+            y = self.ctx.new_bool()
+            self.ctx.add([neg(y), upper])
+            self.ctx.add([neg(y), neg(lower)])
+            self.ctx.add([y, neg(upper), lower])
+        self._eq_cache[value] = y
+        return y
+
+    def fix(self, value: int) -> None:
+        self.ctx.add([self.eq_lit(value)])
+
+    def leq_const(self, k: int, guard: Optional[int] = None) -> None:
+        prefix = [neg(guard)] if guard is not None else []
+        if k >= self.size - 1:
+            return
+        if k < 0:
+            self.ctx.add(prefix)
+            return
+        self.ctx.add(prefix + [self.ladder[k]])
+
+    def less_than(self, other: "OrderVar") -> None:
+        """Enforce ``self < other``: other <= v  ->  self <= v-1."""
+        if not isinstance(other, OrderVar):
+            raise TypeError("cannot compare mixed encodings")
+        # self >= other.size is impossible
+        top = other.size - 1
+        if top - 1 < self.size - 1:
+            self.ctx.add([self.ladder[top - 1]] if top - 1 >= 0 else [])
+        for v in range(other.size - 1):
+            olit = other.ladder[v]
+            if v - 1 >= self.size - 1:
+                continue  # self <= v-1 vacuous
+            if v - 1 < 0:
+                self.ctx.add([neg(olit)])  # other == 0 impossible
+            else:
+                self.ctx.add([neg(olit), self.ladder[v - 1]])
+
+    def less_equal(self, other: "OrderVar") -> None:
+        """Enforce ``self <= other``: other <= v  ->  self <= v."""
+        if not isinstance(other, OrderVar):
+            raise TypeError("cannot compare mixed encodings")
+        top = other.size - 1
+        if top < self.size - 1:
+            self.ctx.add([self.ladder[top]])
+        for v in range(other.size - 1):
+            if v >= self.size - 1:
+                continue
+            self.ctx.add([neg(other.ladder[v]), self.ladder[v]])
+
+    def neq(self, other: "OrderVar") -> None:
+        for v in range(min(self.size, other.size)):
+            self.ctx.add([neg(self.eq_lit(v)), neg(other.eq_lit(v))])
+
+    def decode(self, model: Sequence[bool]) -> int:
+        for v, lit in enumerate(self.ladder):
+            if model[lit >> 1] ^ bool(lit & 1):
+                return v
+        return self.size - 1
+
+    def polarity_hints(self, value: int) -> Dict[int, bool]:
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return {lit >> 1: (v >= value) ^ bool(lit & 1) for v, lit in enumerate(self.ladder)}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OrderVar(size={self.size})"
+
+
+def make_domain_var(ctx, size: int, encoding: str):
+    """Factory for domain variables in the requested encoding.
+
+    ``bitvec`` — eager log encoding (Z3's bit-blasting path);
+    ``onehot`` — eager direct encoding (an ablation point, see EXPERIMENTS);
+    ``order`` — unary ladder encoding (a second ablation point);
+    ``int`` — lazy theory emulation (Z3's integer-arithmetic path).
+    """
+    if encoding == BITVEC:
+        return BitVecVar(ctx, size)
+    if encoding == ONEHOT:
+        return OneHotVar(ctx, size)
+    if encoding == ORDER:
+        return OrderVar(ctx, size)
+    if encoding == INT:
+        from .lazy import LazyIntVar
+
+        return LazyIntVar(ctx, size)
+    raise ValueError(f"unknown encoding {encoding!r}")

@@ -1,0 +1,68 @@
+"""Injectivity encodings for qubit mappings (paper Sec. III-C).
+
+Mapping injectivity (constraint (1) of Sec. II-A) demands that no two program
+qubits share a physical qubit at any time step.  The paper contrasts:
+
+* **pairwise** — ``pi_q != pi_q'`` for every qubit pair, which is quadratic
+  in ``|Q|`` (and, for bit-vectors, introduces difference bits per pair);
+* **EUF / inverse function** — define ``pi_inv(p, t)`` and assert
+  ``pi_inv(pi(q, t), t) = q``; an injective function has a left inverse, so
+  two qubits on the same physical qubit would force ``pi_inv`` to take two
+  values at once.
+
+Our SAT-level rendition of the EUF trick is *channeling*: allocate inverse
+domain variables and add ``(pi_q == p) -> (pi_inv_p == q)`` implications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sat.types import neg
+from .domain import BITVEC, make_domain_var
+
+PAIRWISE_INJ = "pairwise"
+CHANNELING_INJ = "channeling"
+INJECTIVITY_METHODS = (PAIRWISE_INJ, CHANNELING_INJ)
+
+
+def inject_pairwise(ctx, domain_vars: Sequence) -> None:
+    """Pairwise disequality between all variables (quadratic)."""
+    n = len(domain_vars)
+    for i in range(n):
+        for j in range(i + 1, n):
+            domain_vars[i].neq(domain_vars[j])
+
+
+def inject_channeling(ctx, domain_vars: Sequence, domain_size: int, encoding: str = BITVEC) -> List:
+    """Left-inverse channeling: allocate inverse vars and link them.
+
+    ``domain_vars[q]`` ranges over physical qubits ``[0, domain_size)``.  For
+    each physical qubit ``p`` an inverse variable over ``[0, len(vars))`` is
+    created, with ``(vars[q] == p) -> (inv[p] == q)``.  Returns the inverse
+    variables (useful for decoding or debugging).
+    """
+    n = len(domain_vars)
+    if n == 0:
+        return []
+    inverse = [make_domain_var(ctx, n, encoding) for _ in range(domain_size)]
+    for q, var in enumerate(domain_vars):
+        for p in range(domain_size):
+            ctx.add([neg(var.eq_lit(p)), inverse[p].eq_lit(q)])
+    return inverse
+
+
+def encode_injectivity(
+    ctx,
+    domain_vars: Sequence,
+    domain_size: int,
+    method: str = CHANNELING_INJ,
+    encoding: str = BITVEC,
+):
+    """Enforce that ``domain_vars`` take pairwise-distinct values."""
+    if method == PAIRWISE_INJ:
+        inject_pairwise(ctx, domain_vars)
+        return []
+    if method == CHANNELING_INJ:
+        return inject_channeling(ctx, domain_vars, domain_size, encoding=encoding)
+    raise ValueError(f"unknown injectivity method {method!r}")

@@ -1,0 +1,30 @@
+"""Benchmark workload generators: QAOA, QUEKO, QFT/Toffoli/Ising, random."""
+
+from .library import (
+    barenco_toffoli,
+    bernstein_vazirani,
+    cuccaro_adder,
+    ghz,
+    ising,
+    qft,
+    toffoli,
+)
+from .qaoa import qaoa_circuit, qaoa_paper_instance
+from .queko import QuekoInstance, queko_circuit, queko_paper_row
+from .random_circuits import random_circuit
+
+__all__ = [
+    "qaoa_circuit",
+    "qaoa_paper_instance",
+    "QuekoInstance",
+    "queko_circuit",
+    "queko_paper_row",
+    "qft",
+    "toffoli",
+    "barenco_toffoli",
+    "ising",
+    "ghz",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "random_circuit",
+]

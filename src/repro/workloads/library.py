@@ -1,0 +1,218 @@
+"""Arithmetic/algorithmic benchmark circuits: QFT, Toffoli ladders, Ising.
+
+The paper's Table III/IV rows ``QFT(8/106)``, ``tof_4(7,55)``,
+``barenco_tof_4(7,72)``, ``tof_5(9,75)``, ``barenco_tof_5(9,104)`` and
+``ising_10(10,480)`` come from the Qiskit/Amy-et-al benchmark files.  The
+constructions below are the standard textbook decompositions into the
+{1-qubit, CX} gate set; gate counts are in the same regime but not
+bit-identical to the distributed QASM files (noted in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import QuantumCircuit
+
+
+def _cp(qc: QuantumCircuit, theta: float, a: int, b: int) -> None:
+    """Controlled-phase decomposed into the {rz, cx} gate set."""
+    qc.rz(theta / 2, a)
+    qc.cx(a, b)
+    qc.rz(-theta / 2, b)
+    qc.cx(a, b)
+    qc.rz(theta / 2, b)
+
+
+def qft(n_qubits: int, include_swaps: bool = False) -> QuantumCircuit:
+    """The quantum Fourier transform, controlled phases lowered to CX+RZ.
+
+    ``include_swaps=True`` appends the final qubit-reversal SWAPs (usually
+    elided by compilers via relabelling, and elided in the paper's counts).
+    """
+    if n_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    qc = QuantumCircuit(n_qubits, name=f"qft-{n_qubits}")
+    for i in range(n_qubits):
+        qc.h(i)
+        for j in range(i + 1, n_qubits):
+            _cp(qc, math.pi / (1 << (j - i)), j, i)
+    if include_swaps:
+        for i in range(n_qubits // 2):
+            qc.swap(i, n_qubits - 1 - i)
+    return qc
+
+
+def _toffoli(qc: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """The standard 15-gate Toffoli decomposition (6 CX, 9 one-qubit)."""
+    qc.h(c)
+    qc.cx(b, c)
+    qc.tdg(c)
+    qc.cx(a, c)
+    qc.t(c)
+    qc.cx(b, c)
+    qc.tdg(c)
+    qc.cx(a, c)
+    qc.t(b)
+    qc.t(c)
+    qc.h(c)
+    qc.cx(a, b)
+    qc.t(a)
+    qc.tdg(b)
+    qc.cx(a, b)
+
+
+def toffoli(n_controls: int = 2) -> QuantumCircuit:
+    """``tof_n``: an n-controlled NOT via the clean-ancilla Toffoli ladder.
+
+    Uses ``n_controls - 2`` ancillas (V-chain), i.e. ``2n - 3`` qubits and
+    ``2(n_controls - 2) + 1`` Toffolis, each 15 gates.  ``toffoli(2)`` is
+    the plain 3-qubit Toffoli of the paper's Fig. 2 example.
+    """
+    if n_controls < 2:
+        raise ValueError("need at least two controls")
+    n_anc = n_controls - 2
+    n_qubits = n_controls + 1 + n_anc
+    qc = QuantumCircuit(n_qubits, name=f"tof_{n_controls}")
+    controls = list(range(n_controls))
+    target = n_controls
+    anc = list(range(n_controls + 1, n_qubits))
+    if n_anc == 0:
+        _toffoli(qc, controls[0], controls[1], target)
+        return qc
+    # compute
+    _toffoli(qc, controls[0], controls[1], anc[0])
+    for i in range(1, n_anc):
+        _toffoli(qc, controls[i + 1], anc[i - 1], anc[i])
+    _toffoli(qc, controls[-1], anc[-1], target)
+    # uncompute
+    for i in range(n_anc - 1, 0, -1):
+        _toffoli(qc, controls[i + 1], anc[i - 1], anc[i])
+    _toffoli(qc, controls[0], controls[1], anc[0])
+    return qc
+
+
+def barenco_toffoli(n_controls: int = 2) -> QuantumCircuit:
+    """``barenco_tof_n``: Barenco et al.'s recursive decomposition.
+
+    Larger than the V-chain ladder (the extra root/controlled-V structure),
+    matching the paper's ``barenco_tof > tof`` gate-count ordering.
+    """
+    if n_controls < 2:
+        raise ValueError("need at least two controls")
+    n_anc = max(0, n_controls - 2)
+    n_qubits = n_controls + 1 + n_anc
+    qc = QuantumCircuit(n_qubits, name=f"barenco_tof_{n_controls}")
+    controls = list(range(n_controls))
+    target = n_controls
+    anc = list(range(n_controls + 1, n_qubits))
+
+    def recurse(ctrls, tgt, ancillas):
+        if len(ctrls) == 1:
+            qc.cx(ctrls[0], tgt)
+            return
+        if len(ctrls) == 2:
+            _toffoli(qc, ctrls[0], ctrls[1], tgt)
+            return
+        head = ancillas[-1]
+        # Barenco Lemma 7.3 shape: two Toffolis around two recursions.
+        _toffoli(qc, ctrls[-1], head, tgt)
+        recurse(ctrls[:-1], head, ancillas[:-1])
+        _toffoli(qc, ctrls[-1], head, tgt)
+        recurse(ctrls[:-1], head, ancillas[:-1])
+    recurse(controls, target, anc)
+    return qc
+
+
+def ghz(n_qubits: int) -> QuantumCircuit:
+    """A GHZ-state preparation: one H and a CNOT ladder."""
+    if n_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    qc = QuantumCircuit(n_qubits, name=f"ghz-{n_qubits}")
+    qc.h(0)
+    for q in range(n_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def bernstein_vazirani(secret: int, n_qubits: int) -> QuantumCircuit:
+    """Bernstein-Vazirani for an n-bit secret (oracle lowered to CNOTs).
+
+    Qubit ``n_qubits`` is the phase ancilla; a CNOT per set secret bit.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    if secret >= (1 << n_qubits) or secret < 0:
+        raise ValueError("secret does not fit the register")
+    qc = QuantumCircuit(n_qubits + 1, name=f"bv-{n_qubits}")
+    anc = n_qubits
+    qc.x(anc)
+    for q in range(n_qubits + 1):
+        qc.h(q)
+    for q in range(n_qubits):
+        if (secret >> q) & 1:
+            qc.cx(q, anc)
+    for q in range(n_qubits):
+        qc.h(q)
+    return qc
+
+
+def cuccaro_adder(n_bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder on ``2*n_bits + 2`` qubits.
+
+    The MAJ / UMA ladder in the {CX, Toffoli} gate set with Toffolis
+    decomposed — a representative "arithmetic circuit from IBM Qiskit"
+    in the spirit of the paper's Table III benchmark families.
+    """
+    if n_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    n_qubits = 2 * n_bits + 2
+    qc = QuantumCircuit(n_qubits, name=f"adder-{n_bits}")
+    # layout: c0, a0, b0, a1, b1, ..., carry-out
+    carry_in = 0
+    a = [1 + 2 * i for i in range(n_bits)]
+    b = [2 + 2 * i for i in range(n_bits)]
+    carry_out = n_qubits - 1
+
+    def maj(x, y, z):
+        qc.cx(z, y)
+        qc.cx(z, x)
+        _toffoli(qc, x, y, z)
+
+    def uma(x, y, z):
+        _toffoli(qc, x, y, z)
+        qc.cx(z, x)
+        qc.cx(x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, n_bits):
+        maj(a[i - 1], b[i], a[i])
+    qc.cx(a[n_bits - 1], carry_out)
+    for i in range(n_bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    return qc
+
+
+def ising(n_qubits: int, steps: int = 10) -> QuantumCircuit:
+    """``ising_n``: first-order Trotterized 1-D transverse-field Ising chain.
+
+    Per step: ZZ couplings on even then odd bonds (each lowered to
+    ``cx; rz; cx``), then an RX on every qubit —
+    ``steps * (3*(n-1) + n)`` gates (480 for ``ising(10, steps=10)``, the
+    paper's ``ising_10(10,480)`` row).
+    """
+    if n_qubits < 2:
+        raise ValueError("Ising chain needs at least two qubits")
+    qc = QuantumCircuit(n_qubits, name=f"ising_{n_qubits}")
+    bonds = [(i, i + 1) for i in range(0, n_qubits - 1, 2)] + [
+        (i, i + 1) for i in range(1, n_qubits - 1, 2)
+    ]
+    for _ in range(steps):
+        for a, b in bonds:
+            qc.cx(a, b)
+            qc.rz(0.7, b)
+            qc.cx(a, b)
+        for q in range(n_qubits):
+            qc.rx(0.3, q)
+    return qc

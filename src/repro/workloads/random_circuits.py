@@ -1,0 +1,32 @@
+"""Generic random circuit generator for tests and stress runs."""
+
+from __future__ import annotations
+
+import random
+from ..circuit.circuit import QuantumCircuit
+
+_ONE_QUBIT_NAMES = ("h", "t", "tdg", "x")
+
+
+def random_circuit(
+    n_qubits: int,
+    n_gates: int,
+    two_qubit_fraction: float = 0.5,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """A random circuit with the given two-qubit gate fraction."""
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise ValueError("two_qubit_fraction must be in [0, 1]")
+    if n_qubits < 2 and two_qubit_fraction > 0:
+        raise ValueError("two-qubit gates need at least two qubits")
+    rng = random.Random(seed)
+    qc = QuantumCircuit(n_qubits, name=f"random-{n_qubits}-{n_gates}-s{seed}")
+    for _ in range(n_gates):
+        if n_qubits >= 2 and rng.random() < two_qubit_fraction:
+            a, b = rng.sample(range(n_qubits), 2)
+            qc.cx(a, b)
+        else:
+            qc.add_gate(rng.choice(_ONE_QUBIT_NAMES), [rng.randrange(n_qubits)])
+    return qc

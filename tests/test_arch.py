@@ -1,0 +1,146 @@
+"""Tests for coupling graphs and device factories."""
+
+import pytest
+
+from repro.arch import (
+    CouplingGraph,
+    by_name,
+    eagle_region,
+    full,
+    google_sycamore,
+    grid,
+    ibm_eagle,
+    ibm_qx2,
+    linear,
+    rigetti_aspen4,
+    ring,
+    sycamore_region,
+)
+
+
+class TestCouplingGraph:
+    def test_edge_dedup_and_normalisation(self):
+        g = CouplingGraph(3, [(1, 0), (0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.edges[0] == (0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 2)])
+
+    def test_adjacency(self):
+        g = ibm_qx2()
+        assert g.are_adjacent(0, 1)
+        assert g.are_adjacent(1, 0)
+        assert not g.are_adjacent(0, 3)
+
+    def test_edge_index_consistency(self):
+        g = ibm_qx2()
+        for i, (a, b) in enumerate(g.edges):
+            assert g.edge_index(a, b) == i
+            assert g.edge_index(b, a) == i
+
+    def test_incident_edges(self):
+        g = ibm_qx2()
+        # qubit 2 of QX2 touches four edges
+        assert len(g.incident_edges[2]) == 4
+
+    def test_distances_on_line(self):
+        g = linear(5)
+        assert g.distance(0, 4) == 4
+        assert g.distance(2, 2) == 0
+
+    def test_disconnected_distance_is_sentinel(self):
+        g = CouplingGraph(4, [(0, 1), (2, 3)])
+        assert g.distance(0, 2) == 4  # n_qubits sentinel
+        assert not g.is_connected()
+
+    def test_shortest_path(self):
+        g = grid(3, 3)
+        path = g.shortest_path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == g.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert g.are_adjacent(a, b)
+
+    def test_shortest_path_trivial(self):
+        assert grid(2, 2).shortest_path(1, 1) == [1]
+
+    def test_subgraph_relabels(self):
+        g = grid(3, 3)
+        sub = g.subgraph([0, 1, 3, 4])
+        assert sub.n_qubits == 4
+        assert sub.num_edges == 4  # the 2x2 corner
+
+    def test_subgraph_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            grid(2, 2).subgraph([0, 0])
+
+    def test_networkx_roundtrip(self):
+        g = ibm_qx2()
+        back = CouplingGraph.from_networkx(g.to_networkx(), name="rt")
+        assert back.n_qubits == g.n_qubits
+        assert sorted(back.edges) == sorted(g.edges)
+
+
+class TestDevices:
+    def test_grid_counts(self):
+        g = grid(5, 5)
+        assert g.n_qubits == 25
+        assert g.num_edges == 2 * 5 * 4  # 40
+
+    def test_qx2_matches_paper_figure(self):
+        g = ibm_qx2()
+        assert g.n_qubits == 5
+        assert g.num_edges == 6
+
+    def test_aspen4_counts(self):
+        g = rigetti_aspen4()
+        assert g.n_qubits == 16
+        assert g.num_edges == 18  # two octagons + two rungs
+        assert g.is_connected()
+        assert max(g.degree(p) for p in range(16)) == 3
+
+    def test_sycamore_counts(self):
+        g = google_sycamore()
+        assert g.n_qubits == 54
+        assert g.is_connected()
+        assert max(g.degree(p) for p in range(54)) <= 4
+
+    def test_eagle_counts(self):
+        g = ibm_eagle()
+        assert g.n_qubits == 127
+        assert g.is_connected()
+        # heavy-hex: degree at most 3
+        assert max(g.degree(p) for p in range(127)) <= 3
+
+    def test_regions_are_connected(self):
+        for n in (8, 16, 25):
+            assert sycamore_region(n).is_connected()
+            assert eagle_region(n).is_connected()
+
+    def test_region_bounds_checked(self):
+        with pytest.raises(ValueError):
+            sycamore_region(0)
+        with pytest.raises(ValueError):
+            eagle_region(128)
+
+    def test_ring_and_full(self):
+        assert ring(5).num_edges == 5
+        assert full(5).num_edges == 10
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_by_name(self):
+        assert by_name("qx2").n_qubits == 5
+        assert by_name("grid-3x4").n_qubits == 12
+        assert by_name("line-7").num_edges == 6
+        assert by_name("ring-6").num_edges == 6
+        assert by_name("full-4").num_edges == 6
+        assert by_name("eagle").n_qubits == 127
+        with pytest.raises(ValueError):
+            by_name("nonsense")

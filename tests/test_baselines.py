@@ -1,0 +1,179 @@
+"""Tests for the baseline synthesizers: OLSQ, TB-OLSQ, SABRE, SATMap."""
+
+import pytest
+
+from repro.arch import full, grid, ibm_qx2, linear, rigetti_aspen4
+from repro.baselines import OLSQ, SABRE, SATMap, TBOLSQ, OLSQEncoder, SabreRouter
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    OLSQ2,
+    TBOLSQ2,
+    LayoutEncoder,
+    SynthesisConfig,
+    validate_result,
+)
+from repro.smt import cnf_context
+from repro.workloads import qaoa_circuit, queko_circuit, random_circuit
+
+
+def triangle():
+    qc = QuantumCircuit(3, name="triangle")
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+def fast_config(**kw):
+    kw.setdefault("swap_duration", 1)
+    kw.setdefault("time_budget", 60)
+    kw.setdefault("solve_time_budget", 30)
+    return SynthesisConfig(**kw)
+
+
+class TestOLSQBaseline:
+    def test_olsq_agrees_with_olsq2_on_optimal_depth(self):
+        """The formulations differ, the optima must not (Sec. III-A)."""
+        cfg = fast_config()
+        qc = triangle()
+        r1 = OLSQ(cfg).synthesize(qc, linear(3), "depth")
+        r2 = OLSQ2(cfg).synthesize(qc, linear(3), "depth")
+        assert r1.optimal and r2.optimal
+        assert r1.depth == r2.depth
+        validate_result(r1)
+
+    def test_olsq_agrees_on_swap_count(self):
+        cfg = fast_config()
+        qc = triangle()
+        r1 = OLSQ(cfg).synthesize(qc, linear(3), "swap")
+        r2 = OLSQ2(cfg).synthesize(qc, linear(3), "swap")
+        assert r1.swap_count == r2.swap_count == 1
+        validate_result(r1)
+
+    def test_olsq_agrees_on_qaoa(self):
+        cfg = fast_config()
+        qc = qaoa_circuit(6, seed=2)
+        r1 = OLSQ(cfg).synthesize(qc, grid(2, 3), "depth")
+        r2 = OLSQ2(cfg).synthesize(qc, grid(2, 3), "depth")
+        assert r1.optimal and r2.optimal
+        assert r1.depth == r2.depth
+        validate_result(r1)
+        validate_result(r2)
+
+    def test_olsq_formulation_is_larger(self):
+        """The whole point: space variables add variables and constraints."""
+        qc = triangle()
+        cfg = fast_config()
+        lean = LayoutEncoder(qc, ibm_qx2(), horizon=5, config=cfg).encode()
+        fat = OLSQEncoder(qc, ibm_qx2(), horizon=5, config=cfg).encode()
+        assert fat.ctx.n_vars > lean.ctx.n_vars
+        assert fat.ctx.num_clauses > lean.ctx.num_clauses
+
+    def test_tb_olsq_matches_tb_olsq2_swaps(self):
+        cfg = fast_config()
+        qc = triangle()
+        r1 = TBOLSQ(cfg).synthesize(qc, linear(3), "swap")
+        r2 = TBOLSQ2(cfg).synthesize(qc, linear(3), "swap")
+        assert r1.swap_count == r2.swap_count == 1
+        validate_result(r1)
+
+
+class TestSABRE:
+    def test_sabre_valid_on_triangle(self):
+        res = SABRE(swap_duration=1).synthesize(triangle(), linear(3))
+        validate_result(res)
+        assert res.swap_count >= 1  # a swap is unavoidable here
+
+    def test_sabre_valid_on_qaoa_grid(self):
+        res = SABRE(swap_duration=1).synthesize(qaoa_circuit(8, seed=1), grid(3, 3))
+        validate_result(res)
+
+    def test_sabre_valid_on_aspen(self):
+        res = SABRE(swap_duration=3).synthesize(
+            random_circuit(8, 40, seed=5), rigetti_aspen4()
+        )
+        validate_result(res)
+
+    def test_sabre_no_swaps_on_full_connectivity(self):
+        res = SABRE(swap_duration=1).synthesize(triangle(), full(3))
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_sabre_single_qubit_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        res = SABRE(swap_duration=1).synthesize(qc, linear(2))
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_sabre_respects_fixed_initial_mapping(self):
+        mapping = [2, 1, 0]
+        res = SABRE(swap_duration=1, passes=1).synthesize(
+            triangle(), linear(3), initial_mapping=mapping
+        )
+        assert res.initial_mapping == mapping
+        validate_result(res)
+
+    def test_sabre_seed_reproducible(self):
+        a = SABRE(swap_duration=1, seed=3).synthesize(qaoa_circuit(8, 1), grid(3, 3))
+        b = SABRE(swap_duration=1, seed=3).synthesize(qaoa_circuit(8, 1), grid(3, 3))
+        assert a.swap_count == b.swap_count
+        assert a.initial_mapping == b.initial_mapping
+
+    def test_sabre_circuit_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            SABRE().synthesize(triangle(), linear(2))
+
+    def test_sabre_bad_passes_rejected(self):
+        with pytest.raises(ValueError):
+            SABRE(passes=0)
+
+    def test_sabre_is_suboptimal_on_queko(self):
+        """The Table III/IV premise: SABRE inserts SWAPs where none are
+        needed (QUEKO optimum is zero)."""
+        device = grid(3, 3)
+        totals = 0
+        for seed in range(3):
+            inst = queko_circuit(device, 6, 18, seed=seed)
+            res = SABRE(swap_duration=1, seed=seed).synthesize(inst.circuit, device)
+            validate_result(res)
+            totals += res.swap_count
+        assert totals > 0
+
+
+class TestSATMap:
+    def test_satmap_valid_and_reasonable(self):
+        cfg = fast_config()
+        res = SATMap(slice_size=6, config=cfg).synthesize(qaoa_circuit(8, 1), grid(3, 3))
+        validate_result(res)
+        assert res.solver_stats["slices"] == 2
+
+    def test_satmap_zero_swaps_on_full(self):
+        cfg = fast_config()
+        res = SATMap(config=cfg).synthesize(triangle(), full(3))
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_satmap_single_slice_is_optimal_like(self):
+        cfg = fast_config()
+        res = SATMap(slice_size=100, config=cfg).synthesize(triangle(), linear(3))
+        assert res.swap_count == 1
+        validate_result(res)
+
+    def test_satmap_bad_slice_size(self):
+        with pytest.raises(ValueError):
+            SATMap(slice_size=0)
+
+    def test_quality_ordering_sabre_satmap_tbolsq2(self):
+        """Table IV shape: swaps(TB-OLSQ2) <= swaps(SATMap) <= swaps(SABRE),
+        averaged over seeds."""
+        cfg = fast_config(max_pareto_rounds=1, time_budget=90)
+        device = grid(3, 3)
+        sabre_total = satmap_total = tb_total = 0
+        for seed in (1, 2):
+            qc = qaoa_circuit(6, seed=seed)
+            sabre_total += SABRE(swap_duration=1, seed=seed).synthesize(qc, device).swap_count
+            satmap_total += SATMap(slice_size=5, config=cfg).synthesize(qc, device).swap_count
+            tb_total += TBOLSQ2(cfg).synthesize(qc, device, "swap").swap_count
+        assert tb_total <= satmap_total <= sabre_total

@@ -1,0 +1,44 @@
+"""Tests for certified optimality (config.certify)."""
+
+import pytest
+
+from repro.arch import grid, ibm_qx2, linear
+from repro.circuit import QuantumCircuit
+from repro.core import OLSQ2, SynthesisConfig, validate_result
+from repro.workloads import qaoa_circuit, toffoli
+
+
+def triangle():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+class TestCertifiedDepth:
+    def test_certificate_after_descent_proof(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=90, certify=True)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        assert res.optimal
+        assert res.solver_stats["certified"] is True
+        validate_result(res)
+
+    def test_certificate_at_dependency_bound(self):
+        """Optimum at T_LB: the certificate covers T_LB - 1 instead."""
+        cfg = SynthesisConfig(swap_duration=3, time_budget=120, certify=True)
+        res = OLSQ2(cfg).synthesize(toffoli(2), ibm_qx2(), objective="depth")
+        assert res.optimal
+        assert res.depth == 11
+        assert res.solver_stats["certified"] is True
+
+    def test_certificate_on_qaoa(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=120, certify=True)
+        res = OLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), "depth")
+        assert res.optimal
+        assert res.solver_stats["certified"] is True
+
+    def test_certify_off_by_default(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        assert "certified" not in res.solver_stats

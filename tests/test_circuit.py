@@ -1,0 +1,307 @@
+"""Tests for the circuit IR, dependency analysis, and QASM front end."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Gate,
+    QasmError,
+    QuantumCircuit,
+    asap_layers,
+    dependencies,
+    dependency_graph,
+    depth_upper_bound,
+    longest_chain,
+    longest_chain_length,
+    parse_qasm,
+)
+
+
+def toffoli_circuit():
+    """The paper's running example (Fig. 2): Toffoli with one ancilla.
+
+    Gate sequence g0..g8 with the structure producing a longest chain of 12
+    would need the full decomposition; here we use the standard 9-gate
+    skeleton used in the paper's dependency figure discussion.
+    """
+    qc = QuantumCircuit(3, name="toffoli")
+    qc.h(2)
+    qc.cx(1, 2)
+    qc.tdg(2)
+    qc.cx(0, 2)
+    qc.t(2)
+    qc.cx(1, 2)
+    qc.tdg(2)
+    qc.cx(0, 2)
+    qc.t(1)
+    qc.t(2)
+    qc.h(2)
+    qc.cx(0, 1)
+    qc.t(0)
+    qc.tdg(1)
+    qc.cx(0, 1)
+    return qc
+
+
+class TestGate:
+    def test_gate_fields(self):
+        g = Gate("cx", (0, 1))
+        assert g.is_two_qubit and not g.is_single_qubit
+
+    def test_three_qubit_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("ccx", (0, 1, 2))
+
+    def test_repeated_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_remapped(self):
+        g = Gate("cx", (0, 1)).remapped({0: 5, 1: 3})
+        assert g.qubits == (5, 3)
+
+    def test_qasm_rendering(self):
+        assert Gate("cx", (0, 1)).qasm() == "cx q[0],q[1];"
+        assert Gate("rz", (2,), (0.5,)).qasm() == "rz(0.5) q[2];"
+
+
+class TestCircuit:
+    def test_append_validates_indices(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            qc.add_gate("h", [2])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_gate_partition(self):
+        qc = toffoli_circuit()
+        one_q = qc.single_qubit_gates
+        two_q = qc.two_qubit_gates
+        assert len(one_q) + len(two_q) == qc.num_gates
+        assert qc.num_two_qubit_gates == 6
+
+    def test_depth_serial_chain(self):
+        qc = QuantumCircuit(1)
+        for _ in range(5):
+            qc.h(0)
+        assert qc.depth() == 5
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        assert qc.depth() == 1
+
+    def test_count_ops(self):
+        qc = toffoli_circuit()
+        counts = qc.count_ops()
+        assert counts["cx"] == 6
+        assert counts["h"] == 2
+
+    def test_remapped_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        out = qc.remapped([1, 0])
+        assert out.gates[0].qubits == (1, 0)
+
+    def test_reversed(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        rev = qc.reversed()
+        assert rev.gates[0].name == "cx"
+        assert rev.gates[1].name == "h"
+
+    def test_qasm_roundtrip(self):
+        qc = toffoli_circuit()
+        parsed = parse_qasm(qc.to_qasm())
+        assert parsed.n_qubits == qc.n_qubits
+        assert [g.name for g in parsed.gates] == [g.name for g in qc.gates]
+        assert [g.qubits for g in parsed.gates] == [g.qubits for g in qc.gates]
+
+
+class TestDependencies:
+    def test_dependency_pairs(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)  # g0
+        qc.cx(1, 2)  # g1 depends on g0 (qubit 1)
+        qc.h(0)  # g2 depends on g0 (qubit 0)
+        deps = dependencies(qc)
+        assert (0, 1) in deps
+        assert (0, 2) in deps
+        assert (1, 2) not in deps
+
+    def test_longest_chain_toffoli(self):
+        qc = toffoli_circuit()
+        chain = longest_chain(qc)
+        assert len(chain) == longest_chain_length(qc)
+        # chain must be a real dependency chain
+        for a, b in zip(chain, chain[1:]):
+            assert a < b
+            assert set(qc.gates[a].qubits) & set(qc.gates[b].qubits)
+
+    def test_asap_layers_partition_gates(self):
+        qc = toffoli_circuit()
+        layers = asap_layers(qc)
+        flat = [i for layer in layers for i in layer]
+        assert sorted(flat) == list(range(qc.num_gates))
+        assert len(layers) == qc.depth()
+
+    def test_depth_upper_bound(self):
+        qc = toffoli_circuit()
+        t_lb = longest_chain_length(qc)
+        assert depth_upper_bound(qc) == math.ceil(1.5 * t_lb)
+
+    def test_dependency_graph_is_dag(self):
+        import networkx as nx
+
+        qc = toffoli_circuit()
+        graph = dependency_graph(qc)
+        assert nx.is_directed_acyclic_graph(graph)
+        assert graph.number_of_nodes() == qc.num_gates
+
+
+class TestQasmParser:
+    def test_basic_program(self):
+        src = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0],q[1];
+        rz(pi/2) q[2];
+        measure q[0] -> c[0];
+        """
+        qc = parse_qasm(src)
+        assert qc.n_qubits == 3
+        assert [g.name for g in qc.gates] == ["h", "cx", "rz"]
+        assert qc.gates[2].params[0] == pytest.approx(math.pi / 2)
+
+    def test_comments_stripped(self):
+        src = """
+        OPENQASM 2.0;
+        // a line comment
+        qreg q[1];
+        /* block
+           comment */
+        x q[0]; // trailing
+        """
+        qc = parse_qasm(src)
+        assert len(qc.gates) == 1
+
+    def test_multiple_registers_flattened(self):
+        src = """
+        OPENQASM 2.0;
+        qreg a[2];
+        qreg b[2];
+        cx a[1],b[0];
+        """
+        qc = parse_qasm(src)
+        assert qc.n_qubits == 4
+        assert qc.gates[0].qubits == (1, 2)
+
+    def test_register_broadcast(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[3];
+        h q;
+        """
+        qc = parse_qasm(src)
+        assert len(qc.gates) == 3
+        assert {g.qubits[0] for g in qc.gates} == {0, 1, 2}
+
+    def test_parameter_expressions(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[1];
+        rz(-pi/4) q[0];
+        rz(2*pi) q[0];
+        rz(pi/2+pi/4) q[0];
+        rz((1+1)*pi) q[0];
+        rz(0.5) q[0];
+        """
+        qc = parse_qasm(src)
+        params = [g.params[0] for g in qc.gates]
+        assert params[0] == pytest.approx(-math.pi / 4)
+        assert params[1] == pytest.approx(2 * math.pi)
+        assert params[2] == pytest.approx(3 * math.pi / 4)
+        assert params[3] == pytest.approx(2 * math.pi)
+        assert params[4] == pytest.approx(0.5)
+
+    def test_custom_gate_definition_inlined(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[2];
+        gate mygate a,b { h a; cx a,b; }
+        mygate q[0],q[1];
+        """
+        qc = parse_qasm(src)
+        assert [g.name for g in qc.gates] == ["h", "cx"]
+        assert qc.gates[1].qubits == (0, 1)
+
+    def test_custom_gate_with_params(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[1];
+        gate myrot(theta) a { rz(theta) a; }
+        myrot(pi) q[0];
+        """
+        qc = parse_qasm(src)
+        assert qc.gates[0].params[0] == pytest.approx(math.pi)
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg q[1]; h r[0];")
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg q[1]; h q[3];")
+
+    def test_no_register_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; ")
+
+    def test_barrier_ignored(self):
+        src = "OPENQASM 2.0; qreg q[2]; h q[0]; barrier q; cx q[0],q[1];"
+        qc = parse_qasm(src)
+        assert len(qc.gates) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_hypothesis_qasm_roundtrip(data):
+    """Random circuits survive a QASM round trip unchanged."""
+    n = data.draw(st.integers(2, 6))
+    qc = QuantumCircuit(n)
+    n_gates = data.draw(st.integers(0, 15))
+    for _ in range(n_gates):
+        if data.draw(st.booleans()):
+            qc.h(data.draw(st.integers(0, n - 1)))
+        else:
+            a = data.draw(st.integers(0, n - 1))
+            b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+            qc.cx(a, b)
+    parsed = parse_qasm(qc.to_qasm())
+    assert parsed.n_qubits == qc.n_qubits
+    assert [(g.name, g.qubits) for g in parsed.gates] == [
+        (g.name, g.qubits) for g in qc.gates
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_hypothesis_depth_equals_longest_chain(data):
+    n = data.draw(st.integers(2, 5))
+    qc = QuantumCircuit(n)
+    for _ in range(data.draw(st.integers(0, 12))):
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+        qc.cx(a, b)
+    assert qc.depth() == longest_chain_length(qc)
+    assert len(longest_chain(qc)) == qc.depth()

@@ -1,0 +1,100 @@
+"""Tests for the ``olsq2`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.circuit import parse_qasm
+from repro.workloads import qaoa_circuit
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "circ.qasm"
+    path.write_text(qaoa_circuit(6, seed=1).to_qasm())
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_depth(self, qasm_file, capsys):
+        rc = main(
+            [
+                "compile",
+                qasm_file,
+                "--device",
+                "grid-3x3",
+                "--swap-duration",
+                "1",
+                "--time-budget",
+                "60",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "depth=" in out
+        assert "initial mapping" in out
+
+    def test_compile_sabre_with_output(self, qasm_file, tmp_path, capsys):
+        out_path = tmp_path / "mapped.qasm"
+        rc = main(
+            [
+                "compile",
+                qasm_file,
+                "--device",
+                "grid-3x3",
+                "--synthesizer",
+                "sabre",
+                "--swap-duration",
+                "1",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        mapped = parse_qasm(out_path.read_text())
+        assert mapped.n_qubits == 9
+
+    def test_compile_tb_swap(self, qasm_file, capsys):
+        rc = main(
+            [
+                "compile",
+                qasm_file,
+                "--device",
+                "grid-3x3",
+                "--synthesizer",
+                "tb-olsq2",
+                "--objective",
+                "swap",
+                "--swap-duration",
+                "1",
+                "--time-budget",
+                "90",
+            ]
+        )
+        assert rc == 0
+        assert "swaps=" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "eagle" in out and "127" in out
+
+    @pytest.mark.parametrize(
+        "family,extra",
+        [
+            ("qaoa", ["--qubits", "6"]),
+            ("queko", ["--device", "grid-3x3", "--depth", "3", "--gates", "6"]),
+            ("qft", ["--qubits", "4"]),
+            ("toffoli", ["--qubits", "5"]),
+        ],
+    )
+    def test_generate_parses_back(self, family, extra, capsys):
+        assert main(["generate", family] + extra) == 0
+        out = capsys.readouterr().out
+        circuit = parse_qasm(out)
+        assert circuit.num_gates > 0
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,74 @@
+"""Tests for the ``olsq2 sat`` subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.sat import CNF, mk_lit
+from repro.sat.dimacs import dumps
+
+
+@pytest.fixture
+def sat_file(tmp_path):
+    cnf = CNF()
+    a, b = cnf.new_vars(2)
+    cnf.add_clause([mk_lit(a), mk_lit(b)])
+    cnf.add_clause([mk_lit(a, True)])
+    path = tmp_path / "sat.cnf"
+    path.write_text(dumps(cnf))
+    return str(path)
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    cnf = CNF()
+    a = cnf.new_var()
+    cnf.add_clause([mk_lit(a)])
+    cnf.add_clause([mk_lit(a, True)])
+    path = tmp_path / "unsat.cnf"
+    path.write_text(dumps(cnf))
+    return str(path)
+
+
+class TestSatCommand:
+    def test_sat_instance(self, sat_file, capsys):
+        rc = main(["sat", sat_file])
+        assert rc == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "v -1 2 0" in out
+
+    def test_unsat_instance(self, unsat_file, capsys):
+        rc = main(["sat", unsat_file])
+        assert rc == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_unsat_with_certification(self, unsat_file, capsys):
+        rc = main(["sat", unsat_file, "--certify"])
+        assert rc == 20
+        assert "proof check: VERIFIED" in capsys.readouterr().out
+
+    def test_sat_with_preprocessing(self, sat_file, capsys):
+        rc = main(["sat", sat_file, "--preprocess"])
+        assert rc == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+
+    def test_unsat_caught_by_preprocessing(self, unsat_file, capsys):
+        rc = main(["sat", unsat_file, "--preprocess"])
+        assert rc == 20
+        assert "preprocessing" in capsys.readouterr().out
+
+    def test_pigeonhole_file(self, tmp_path, capsys):
+        cnf = CNF()
+        x = [[cnf.new_var() for _ in range(3)] for _ in range(4)]
+        for p in range(4):
+            cnf.add_clause([mk_lit(x[p][h]) for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    cnf.add_clause([mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)])
+        path = tmp_path / "php.cnf"
+        path.write_text(dumps(cnf))
+        rc = main(["sat", str(path), "--certify"])
+        assert rc == 20
+        assert "VERIFIED" in capsys.readouterr().out

@@ -1,0 +1,414 @@
+"""Tests for the OLSQ2 core: encoder, optimizer, results, validator."""
+
+import pytest
+
+from repro.arch import full, grid, ibm_qx2, linear
+from repro.circuit import QuantumCircuit, longest_chain_length
+from repro.core import (
+    OLSQ2,
+    TBOLSQ2,
+    LayoutEncoder,
+    SwapEvent,
+    SynthesisConfig,
+    SynthesisResult,
+    ValidationError,
+    is_valid,
+    paper_variant,
+    qaoa_config,
+    serialize_blocks,
+    validate_result,
+)
+from repro.core.optimizer import IterativeSynthesizer
+from repro.smt import BITVEC, CHANNELING_INJ, ONEHOT, PAIRWISE_INJ
+
+
+def toffoli():
+    qc = QuantumCircuit(3, name="toffoli")
+    qc.h(2)
+    qc.cx(1, 2)
+    qc.tdg(2)
+    qc.cx(0, 2)
+    qc.t(2)
+    qc.cx(1, 2)
+    qc.tdg(2)
+    qc.cx(0, 2)
+    qc.t(1)
+    qc.t(2)
+    qc.h(2)
+    qc.cx(0, 1)
+    qc.t(0)
+    qc.tdg(1)
+    qc.cx(0, 1)
+    return qc
+
+
+def triangle():
+    qc = QuantumCircuit(3, name="triangle")
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+def fast_config(**kw):
+    kw.setdefault("swap_duration", 1)
+    kw.setdefault("time_budget", 60)
+    kw.setdefault("solve_time_budget", 30)
+    return SynthesisConfig(**kw)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SynthesisConfig()
+        assert cfg.encoding == BITVEC
+        assert cfg.swap_duration == 3
+
+    def test_invalid_encoding(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(encoding="ternary")
+
+    def test_invalid_injectivity(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(injectivity="none")
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(cardinality="magic")
+
+    def test_invalid_swap_duration(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(swap_duration=0)
+
+    def test_qaoa_config(self):
+        assert qaoa_config().swap_duration == 1
+
+    def test_paper_variants(self):
+        from repro.smt import INT
+
+        assert paper_variant("olsq2-bv").encoding == BITVEC
+        assert paper_variant("olsq2-int").encoding == INT
+        assert paper_variant("olsq2-onehot").encoding == ONEHOT
+        assert paper_variant("olsq2-euf-int").injectivity == CHANNELING_INJ
+        assert paper_variant("olsq2-euf-bv").encoding == BITVEC
+        with pytest.raises(ValueError):
+            paper_variant("olsq3")
+
+    def test_replace(self):
+        cfg = SynthesisConfig().replace(swap_duration=1)
+        assert cfg.swap_duration == 1
+
+
+class TestEncoder:
+    def test_circuit_too_big_rejected(self):
+        qc = QuantumCircuit(6)
+        with pytest.raises(ValueError):
+            LayoutEncoder(qc, ibm_qx2(), horizon=4)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutEncoder(triangle(), ibm_qx2(), horizon=0)
+
+    def test_depth_guard_bounds_checked(self):
+        enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
+        enc.encode()
+        with pytest.raises(ValueError):
+            enc.depth_guard(0)
+        with pytest.raises(ValueError):
+            enc.depth_guard(5)
+
+    def test_depth_guard_cached(self):
+        enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
+        enc.encode()
+        assert enc.depth_guard(3) == enc.depth_guard(3)
+
+    def test_swap_guard_requires_counter(self):
+        enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
+        enc.encode()
+        with pytest.raises(RuntimeError):
+            enc.swap_guard(2)
+
+    def test_encode_idempotent(self):
+        enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
+        enc.encode()
+        n = enc.ctx.n_vars
+        enc.encode()
+        assert enc.ctx.n_vars == n
+
+    def test_satisfiable_without_bounds(self):
+        enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
+        assert enc.solve() is True
+        initial, times, swaps = enc.extract()
+        assert len(initial) == 3 and len(set(initial)) == 3
+        assert len(times) == 3
+
+
+class TestDepthOptimization:
+    def test_toffoli_on_qx2_depth_optimal(self):
+        """The paper's running example: depth equals T_LB on QX2."""
+        qc = toffoli()
+        cfg = SynthesisConfig(swap_duration=3, time_budget=120)
+        res = OLSQ2(cfg).synthesize(qc, ibm_qx2(), objective="depth")
+        assert res.optimal
+        assert res.depth == longest_chain_length(qc) == 11
+        validate_result(res)
+
+    def test_full_connectivity_needs_no_swaps(self):
+        qc = triangle()
+        res = OLSQ2(fast_config()).synthesize(qc, full(3), objective="swap")
+        assert res.swap_count == 0
+        assert res.depth == qc.depth()
+        validate_result(res)
+
+    def test_triangle_on_line_needs_one_swap(self):
+        res = OLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="swap")
+        assert res.swap_count == 1
+        assert res.optimal
+        validate_result(res)
+
+    def test_depth_objective_returns_optimal_flag(self):
+        res = OLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="depth")
+        assert res.optimal
+        assert res.objective == "depth"
+        validate_result(res)
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError):
+            OLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="fidelity")
+
+    def test_single_gate_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        res = OLSQ2(fast_config()).synthesize(qc, grid(2, 2), objective="depth")
+        assert res.depth == 1
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_single_qubit_gates_only(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        qc.h(0)
+        res = OLSQ2(fast_config()).synthesize(qc, linear(2), objective="depth")
+        assert res.depth == 2
+        validate_result(res)
+
+    def test_horizon_regeneration_when_tub_too_small(self):
+        """Sec. III-B.1: if no solution exists below T_UB the formulation is
+        regenerated with a larger horizon.  A duration-5 SWAP forces the
+        optimal depth (8) past the initial T_UB of ceil(1.5 * 3) = 5."""
+        from repro.circuit import depth_upper_bound
+
+        qc = triangle()
+        assert depth_upper_bound(qc) == 5
+        cfg = SynthesisConfig(swap_duration=5, time_budget=120)
+        res = OLSQ2(cfg).synthesize(qc, linear(3), objective="depth")
+        assert res.optimal
+        assert res.depth == 8  # 2 gates + 5-step SWAP + final gate
+        validate_result(res)
+
+    def test_swap_duration_three(self):
+        cfg = SynthesisConfig(swap_duration=3, time_budget=120)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        validate_result(res)
+        # a SWAP of duration 3 pushes depth beyond the logical depth
+        assert res.depth >= triangle().depth() + 1
+
+
+class TestEncodingVariantsAgree:
+    """All four Table-I encoding variants must find the same optimal depth."""
+
+    @pytest.mark.parametrize(
+        "variant", ["olsq2-bv", "olsq2-int", "olsq2-euf-int", "olsq2-euf-bv"]
+    )
+    def test_same_optimal_depth(self, variant):
+        cfg = paper_variant(variant, swap_duration=1, time_budget=120)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        assert res.optimal
+        assert res.depth == 4  # cx, cx, swap, cx on a line
+        validate_result(res)
+
+    @pytest.mark.parametrize("cardinality", ["seqcounter", "totalizer", "adder"])
+    def test_same_optimal_swaps_across_cardinality(self, cardinality):
+        cfg = fast_config(cardinality=cardinality)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="swap")
+        assert res.swap_count == 1
+        validate_result(res)
+
+
+class TestSwapOptimization:
+    def test_pareto_points_recorded(self):
+        res = OLSQ2(fast_config(max_pareto_rounds=2)).synthesize(
+            triangle(), linear(3), objective="swap"
+        )
+        assert res.pareto_points
+        depths = [d for d, _s in res.pareto_points]
+        swaps = [s for _d, s in res.pareto_points]
+        assert depths == sorted(depths)
+        assert swaps == sorted(swaps, reverse=True)  # non-increasing
+
+    def test_swap_objective_never_worse_than_depth_objective(self):
+        cfg = fast_config()
+        r_depth = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        r_swap = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="swap")
+        assert r_swap.swap_count <= r_depth.swap_count
+
+
+class TestTransitionBased:
+    def test_tb_on_triangle(self):
+        res = TBOLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="swap")
+        assert res.swap_count == 1
+        validate_result(res)
+
+    def test_tb_zero_swap_case(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        res = TBOLSQ2(fast_config()).synthesize(qc, linear(2), objective="swap")
+        assert res.swap_count == 0
+        assert res.optimal
+        validate_result(res)
+
+    def test_tb_block_count_objective(self):
+        res = TBOLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="depth")
+        validate_result(res)
+        assert res.optimal
+
+    def test_serialize_blocks_strict_times(self):
+        qc = triangle()
+        # gates 0,1 in block 0; gate 2 in block 1; one swap in transition 0
+        times, swaps = serialize_blocks(
+            qc, [0, 0, 1], [SwapEvent(1, 2, 0)], swap_duration=3
+        )
+        assert times[0] < times[1]  # dependency inside block 0
+        assert len(swaps) == 1
+        swap = swaps[0]
+        assert swap.finish_time - 3 + 1 > times[1] - 1  # after block 0 gates
+        assert times[2] > swap.finish_time
+
+    def test_serialize_blocks_empty_transition(self):
+        qc = triangle()
+        times, swaps = serialize_blocks(qc, [0, 1, 1], [], swap_duration=1)
+        assert not swaps
+        assert times[0] < times[1] <= times[2] - 1 or times[1] < times[2]
+
+
+class TestResult:
+    def _result(self):
+        return OLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="swap")
+
+    def test_mapping_trace(self):
+        res = self._result()
+        m0 = res.mapping_at(0)
+        assert sorted(m0) == [0, 1, 2]
+        final = res.final_mapping
+        assert sorted(final) == [0, 1, 2]
+        if res.swaps:
+            assert m0 != final
+
+    def test_physical_circuit_respects_coupling(self):
+        res = self._result()
+        phys = res.to_physical_circuit()
+        for gate in phys.gates:
+            if gate.is_two_qubit:
+                assert res.device.are_adjacent(*gate.qubits)
+
+    def test_swap_decomposition_into_three_cnots(self):
+        res = self._result()
+        phys = res.to_physical_circuit(decompose_swaps=True)
+        kept = res.to_physical_circuit(decompose_swaps=False)
+        n_swaps = sum(1 for g in kept.gates if g.name == "swap")
+        assert n_swaps == res.swap_count
+        assert phys.num_gates == kept.num_gates + 2 * n_swaps
+
+    def test_schedule_table_sorted(self):
+        res = self._result()
+        rows = res.schedule_table()
+        times = [r[0] for r in rows]
+        assert times == sorted(times)
+        assert len(rows) == res.circuit.num_gates + res.swap_count
+
+    def test_summary_mentions_objective(self):
+        assert "swap" in self._result().summary()
+
+
+class TestValidator:
+    def _valid(self):
+        res = OLSQ2(fast_config()).synthesize(triangle(), linear(3), objective="swap")
+        validate_result(res)
+        return res
+
+    def test_detects_non_injective_mapping(self):
+        res = self._valid()
+        res.initial_mapping[1] = res.initial_mapping[0]
+        assert not is_valid(res)
+
+    def test_detects_mapping_out_of_range(self):
+        res = self._valid()
+        res.initial_mapping[0] = 99
+        assert not is_valid(res)
+
+    def test_detects_dependency_violation(self):
+        res = self._valid()
+        res.gate_times[0], res.gate_times[-1] = (
+            max(res.gate_times) + 1,
+            res.gate_times[0],
+        )
+        assert not is_valid(res)
+
+    def test_detects_non_adjacent_two_qubit_gate(self):
+        res = self._valid()
+        res.swaps.clear()  # removing the SWAP breaks cx(0,2) adjacency
+        assert not is_valid(res)
+
+    def test_detects_swap_on_non_edge(self):
+        res = self._valid()
+        res.swaps.append(SwapEvent(0, 2, res.depth + 5))
+        assert not is_valid(res)
+
+    def test_detects_swap_gate_overlap(self):
+        res = OLSQ2(SynthesisConfig(swap_duration=3, time_budget=120)).synthesize(
+            triangle(), linear(3), objective="depth"
+        )
+        validate_result(res)
+        # Move a gate into a SWAP window on the swapped qubits.
+        swap = res.swaps[0]
+        for idx, gate in enumerate(res.circuit.gates):
+            mapping = res.mapping_at(swap.finish_time)
+            touched = {mapping[q] for q in gate.qubits}
+            if touched & {swap.p, swap.p_prime}:
+                res.gate_times[idx] = swap.finish_time
+                break
+        assert not is_valid(res)
+
+    def test_detects_overlapping_swaps(self):
+        res = self._valid()
+        if not res.swaps:
+            pytest.skip("no swaps to corrupt")
+        swap = res.swaps[0]
+        res.swaps.append(SwapEvent(swap.p, swap.p_prime, swap.finish_time))
+        assert not is_valid(res)
+
+    def test_wrong_sizes_detected(self):
+        res = self._valid()
+        res.gate_times.append(0)
+        with pytest.raises(ValidationError):
+            validate_result(res)
+
+    def test_negative_time_detected(self):
+        res = self._valid()
+        res.gate_times[0] = -1
+        assert not is_valid(res)
+
+
+class TestIterativeSynthesizerInternals:
+    def test_next_depth_bound_growth(self):
+        synth = IterativeSynthesizer(triangle(), linear(3), fast_config())
+        assert synth._next_depth_bound(10) == 13  # ceil(1.3 * 10)
+        assert synth._next_depth_bound(150) == 165  # ceil(1.1 * 150)
+        assert synth._next_depth_bound(1) == 2
+
+    def test_tb_bound_grows_by_one(self):
+        synth = IterativeSynthesizer(
+            triangle(), linear(3), fast_config(), transition_based=True
+        )
+        assert synth._next_depth_bound(3) == 4

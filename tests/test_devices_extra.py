@@ -1,0 +1,61 @@
+"""Tests for the extended device library (Tokyo, Falcon, generic heavy-hex)."""
+
+import pytest
+
+from repro.arch import by_name, heavy_hex, ibm_falcon, ibm_tokyo
+
+
+class TestTokyo:
+    def test_counts(self):
+        g = ibm_tokyo()
+        assert g.n_qubits == 20
+        assert g.is_connected()
+        # 4x5 grid: 31 edges, plus 12 diagonals
+        assert g.num_edges == 31 + 12
+
+    def test_diagonals_present(self):
+        g = ibm_tokyo()
+        assert g.are_adjacent(1, 7)
+        assert g.are_adjacent(14, 18)
+
+    def test_by_name(self):
+        assert by_name("tokyo").n_qubits == 20
+
+
+class TestFalcon:
+    def test_counts(self):
+        g = ibm_falcon()
+        assert g.n_qubits == 27
+        assert g.num_edges == 28
+        assert g.is_connected()
+
+    def test_heavy_hex_degree_bound(self):
+        g = ibm_falcon()
+        assert max(g.degree(p) for p in range(27)) <= 3
+
+    def test_by_name(self):
+        assert by_name("falcon").n_qubits == 27
+
+
+class TestGenericHeavyHex:
+    def test_construction(self):
+        g = heavy_hex(3, 9)
+        # 3 rows of 9 = 27 long-row qubits; gaps 0 and 1 add bridges at
+        # columns (0,4,8) and (2,6), i.e. 5 bridges.
+        assert g.n_qubits == 27 + 5
+        assert g.is_connected()
+        assert max(g.degree(p) for p in range(g.n_qubits)) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hex(1, 9)
+        with pytest.raises(ValueError):
+            heavy_hex(3, 4)
+
+    def test_eagle_matches_family_pattern(self):
+        from repro.arch import ibm_eagle
+
+        eagle = ibm_eagle()
+        generic = heavy_hex(7, 15)
+        # same construction rule up to the trimmed corner rows
+        assert abs(eagle.n_qubits - generic.n_qubits) <= 4

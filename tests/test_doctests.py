@@ -1,0 +1,24 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.circuit.circuit
+import repro.circuit.draw
+import repro.circuit.gates
+import repro.sat.types
+
+MODULES = [
+    repro.sat.types,
+    repro.circuit.gates,
+    repro.circuit.circuit,
+    repro.circuit.draw,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

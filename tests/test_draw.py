@@ -1,0 +1,56 @@
+"""Tests for the ASCII circuit/schedule renderer."""
+
+from repro.arch import linear
+from repro.circuit import QuantumCircuit, draw_circuit, draw_schedule
+from repro.core import OLSQ2, SynthesisConfig
+
+
+def test_draw_circuit_structure():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    text = draw_circuit(qc)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("q0:")
+    assert "H" in lines[0]
+    assert "*" in lines[0] and "X" in lines[1]  # the first CX
+    assert "X" in lines[2]
+
+
+def test_draw_circuit_layers_match_depth():
+    qc = QuantumCircuit(2)
+    for _ in range(4):
+        qc.cx(0, 1)
+    lines = draw_circuit(qc).splitlines()
+    assert lines[0].count("*") == 4
+
+
+def test_draw_empty_circuit():
+    qc = QuantumCircuit(2)
+    text = draw_circuit(qc)
+    assert len(text.splitlines()) == 2
+
+
+def test_draw_circuit_width_cap():
+    qc = QuantumCircuit(1)
+    for _ in range(100):
+        qc.h(0)
+    for line in draw_circuit(qc, max_width=40).splitlines():
+        assert len(line) <= 40
+
+
+def test_draw_schedule_shows_swaps():
+    tri = QuantumCircuit(3)
+    tri.cx(0, 1)
+    tri.cx(1, 2)
+    tri.cx(0, 2)
+    res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+        tri, linear(3), objective="swap"
+    )
+    text = draw_schedule(res)
+    lines = text.splitlines()
+    assert lines[0].lstrip().startswith("t=0")
+    assert len(lines) == 1 + 3  # header + one wire per physical qubit
+    assert text.count("x") >= 2 * res.swap_count

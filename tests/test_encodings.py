@@ -1,0 +1,276 @@
+"""Tests for Tseitin gates and cardinality encodings.
+
+The central property: for every encoding method and every assignment to the
+input literals, the encoded formula is satisfiable iff the count of true
+inputs respects the bound.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import (
+    ADDER,
+    PAIRWISE,
+    SEQUENTIAL,
+    TOTALIZER,
+    IncrementalAdder,
+    IncrementalCounter,
+    IncrementalTotalizer,
+    at_most_one_bitwise,
+    at_most_one_commander,
+    at_most_one_pairwise,
+    binary_total,
+    encode_at_least_k,
+    encode_at_most_k,
+    encode_exactly_k,
+    full_adder,
+    half_adder,
+    ripple_add,
+    tseitin_and,
+    tseitin_and_many,
+    tseitin_equiv,
+    tseitin_or,
+    tseitin_or_many,
+    tseitin_xor,
+)
+from repro.sat import Solver, mk_lit, neg
+
+
+def fresh(n):
+    solver = Solver()
+    lits = [mk_lit(solver.new_var()) for _ in range(n)]
+    return solver, lits
+
+
+def force(solver, lits, pattern):
+    """Assumption list pinning each input literal to the given bool."""
+    return [l if bit else neg(l) for l, bit in zip(lits, pattern)]
+
+
+class TestTseitinGates:
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_and_or_xor_equiv(self, a, b):
+        solver, lits = fresh(2)
+        y_and = tseitin_and(solver, lits[0], lits[1])
+        y_or = tseitin_or(solver, lits[0], lits[1])
+        y_xor = tseitin_xor(solver, lits[0], lits[1])
+        y_eq = tseitin_equiv(solver, lits[0], lits[1])
+        assert solver.solve(assumptions=force(solver, lits, [a, b])) is True
+        assert solver.model_value(y_and) == (a and b)
+        assert solver.model_value(y_or) == (a or b)
+        assert solver.model_value(y_xor) == (a != b)
+        assert solver.model_value(y_eq) == (a == b)
+
+    @pytest.mark.parametrize("pattern", list(itertools.product([False, True], repeat=3)))
+    def test_and_many_or_many(self, pattern):
+        solver, lits = fresh(3)
+        y_and = tseitin_and_many(solver, lits)
+        y_or = tseitin_or_many(solver, lits)
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        assert solver.model_value(y_and) == all(pattern)
+        assert solver.model_value(y_or) == any(pattern)
+
+    def test_and_many_single_literal_passthrough(self):
+        solver, lits = fresh(1)
+        assert tseitin_and_many(solver, lits) == lits[0]
+        assert tseitin_or_many(solver, lits) == lits[0]
+
+    def test_empty_gates_raise(self):
+        solver, _ = fresh(0)
+        with pytest.raises(ValueError):
+            tseitin_and_many(solver, [])
+        with pytest.raises(ValueError):
+            tseitin_or_many(solver, [])
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_half_adder(self, a, b):
+        solver, lits = fresh(2)
+        s, c = half_adder(solver, lits[0], lits[1])
+        assert solver.solve(assumptions=force(solver, lits, [a, b])) is True
+        total = int(a) + int(b)
+        assert solver.model_value(s) == bool(total & 1)
+        assert solver.model_value(c) == bool(total >> 1)
+
+    @pytest.mark.parametrize("pattern", list(itertools.product([False, True], repeat=3)))
+    def test_full_adder(self, pattern):
+        solver, lits = fresh(3)
+        s, c = full_adder(solver, *lits)
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        total = sum(pattern)
+        assert solver.model_value(s) == bool(total & 1)
+        assert solver.model_value(c) == bool(total >> 1)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 0), (3, 5), (7, 7), (13, 9)])
+    def test_ripple_add(self, a, b):
+        solver, lits = fresh(8)
+        num_a, num_b = lits[:4], lits[4:]
+        out = ripple_add(solver, num_a, num_b)
+        pattern = [bool((a >> i) & 1) for i in range(4)] + [
+            bool((b >> i) & 1) for i in range(4)
+        ]
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        got = sum(solver.model_value(bit) << i for i, bit in enumerate(out))
+        assert got == a + b
+
+    @pytest.mark.parametrize("value", [0, 1, 5, 9, 15])
+    def test_binary_total_counts(self, value):
+        solver, lits = fresh(6)
+        total = binary_total(solver, lits)
+        pattern = [i < bin(value).count("1") for i in range(6)]
+        # set exactly popcount(value) inputs true
+        k = bin(value).count("1")
+        pattern = [i < k for i in range(6)]
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        got = sum(solver.model_value(bit) << i for i, bit in enumerate(total))
+        assert got == k
+
+
+def exhaustive_check(method, n, k, mode="at_most"):
+    """For every input pattern, encoded formula SAT iff bound respected."""
+    for pattern in itertools.product([False, True], repeat=n):
+        solver, lits = fresh(n)
+        if mode == "at_most":
+            encode_at_most_k(solver, lits, k, method=method)
+            expected = sum(pattern) <= k
+        elif mode == "at_least":
+            encode_at_least_k(solver, lits, k, method=method)
+            expected = sum(pattern) >= k
+        else:
+            encode_exactly_k(solver, lits, k, method=method)
+            expected = sum(pattern) == k
+        result = solver.solve(assumptions=force(solver, lits, pattern))
+        assert result is expected, (method, n, k, mode, pattern)
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("method", [PAIRWISE, SEQUENTIAL, TOTALIZER, ADDER])
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 0), (5, 3), (5, 5), (6, 4)])
+    def test_at_most_k_exhaustive(self, method, n, k):
+        exhaustive_check(method, n, k, "at_most")
+
+    @pytest.mark.parametrize("method", [SEQUENTIAL, TOTALIZER, ADDER])
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (5, 1)])
+    def test_at_least_k_exhaustive(self, method, n, k):
+        exhaustive_check(method, n, k, "at_least")
+
+    @pytest.mark.parametrize("method", [SEQUENTIAL, TOTALIZER])
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 0), (5, 5)])
+    def test_exactly_k_exhaustive(self, method, n, k):
+        exhaustive_check(method, n, k, "exactly")
+
+    def test_k_negative_raises(self):
+        solver, lits = fresh(3)
+        with pytest.raises(ValueError):
+            encode_at_most_k(solver, lits, -1)
+
+    def test_at_least_more_than_n_unsat(self):
+        solver, lits = fresh(3)
+        encode_at_least_k(solver, lits, 4)
+        assert solver.solve() is False
+
+
+class TestAtMostOneVariants:
+    @pytest.mark.parametrize(
+        "encoder", [at_most_one_pairwise, at_most_one_bitwise, at_most_one_commander]
+    )
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_amo_exhaustive(self, encoder, n):
+        for pattern in itertools.product([False, True], repeat=n):
+            solver, lits = fresh(n)
+            encoder(solver, lits)
+            result = solver.solve(assumptions=force(solver, lits, pattern))
+            assert result is (sum(pattern) <= 1), (encoder.__name__, pattern)
+
+
+class TestIncrementalBounds:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s, l: IncrementalCounter(s, l),
+            lambda s, l: IncrementalTotalizer(s, l),
+            lambda s, l: IncrementalAdder(s, l),
+        ],
+        ids=["counter", "totalizer", "adder"],
+    )
+    def test_descending_bounds(self, factory):
+        """Emulates the SWAP-optimization iterative descent: one encoding,
+        successively tighter bounds via assumptions."""
+        n = 5
+        solver, lits = fresh(n)
+        card = factory(solver, lits)
+        # Force exactly 3 inputs true through the formula itself.
+        solver.add_clause([lits[0]])
+        solver.add_clause([lits[1]])
+        solver.add_clause([lits[2]])
+        solver.add_clause([neg(lits[3])])
+        solver.add_clause([neg(lits[4])])
+        for bound in range(n, 2, -1):
+            blit = card.bound_literal(bound)
+            assumptions = [blit] if blit is not None else []
+            assert solver.solve(assumptions=assumptions) is True, bound
+        blit = card.bound_literal(2)
+        assert solver.solve(assumptions=[blit]) is False
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s, l: IncrementalCounter(s, l),
+            lambda s, l: IncrementalTotalizer(s, l),
+            lambda s, l: IncrementalAdder(s, l),
+        ],
+        ids=["counter", "totalizer", "adder"],
+    )
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_bound_literal_semantics(self, factory, data):
+        n = data.draw(st.integers(2, 6))
+        pattern = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        bound = data.draw(st.integers(0, n - 1))
+        solver, lits = fresh(n)
+        card = factory(solver, lits)
+        blit = card.bound_literal(bound)
+        assumptions = force(solver, lits, pattern)
+        if blit is not None:
+            assumptions = [blit] + assumptions
+        assert solver.solve(assumptions=assumptions) is (sum(pattern) <= bound)
+
+    def test_counter_bound_above_max_raises(self):
+        solver, lits = fresh(6)
+        card = IncrementalCounter(solver, lits, max_bound=2)
+        with pytest.raises(ValueError):
+            card.bound_literal(3)
+
+    def test_trivial_bound_returns_none(self):
+        solver, lits = fresh(3)
+        card = IncrementalCounter(solver, lits)
+        assert card.bound_literal(3) is None
+        assert card.bound_literal(7) is None
+
+
+class TestEncodingSizes:
+    def test_sequential_counter_smaller_than_pairwise_for_large_n(self):
+        from repro.sat import CNF
+
+        n, k = 12, 3
+        seq = CNF()
+        lits = [mk_lit(seq.new_var()) for _ in range(n)]
+        encode_at_most_k(seq, lits, k, method=SEQUENTIAL)
+        pw = CNF()
+        lits = [mk_lit(pw.new_var()) for _ in range(n)]
+        encode_at_most_k(pw, lits, k, method=PAIRWISE)
+        assert seq.num_clauses < pw.num_clauses
+
+    def test_adder_uses_fewer_vars_than_counter_for_big_n(self):
+        from repro.sat import CNF
+
+        n, k = 40, 20
+        seq = CNF()
+        lits = [mk_lit(seq.new_var()) for _ in range(n)]
+        encode_at_most_k(seq, lits, k, method=SEQUENTIAL)
+        add = CNF()
+        lits = [mk_lit(add.new_var()) for _ in range(n)]
+        encode_at_most_k(add, lits, k, method=ADDER)
+        assert add.n_vars < seq.n_vars

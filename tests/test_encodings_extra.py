@@ -1,0 +1,110 @@
+"""Deeper sweeps over the cardinality/gate encodings."""
+
+import itertools
+
+import pytest
+
+from repro.encodings import (
+    ADDER,
+    SEQUENTIAL,
+    TOTALIZER,
+    binary_total,
+    compare_leq_const,
+    encode_at_most_k,
+    at_most_one_commander,
+    tseitin_equiv,
+)
+from repro.sat import CNF, Solver, mk_lit, neg
+
+
+def fresh(n):
+    solver = Solver()
+    lits = [mk_lit(solver.new_var()) for _ in range(n)]
+    return solver, lits
+
+
+def force(solver, lits, pattern):
+    return [l if bit else neg(l) for l, bit in zip(lits, pattern)]
+
+
+class TestWideSweeps:
+    @pytest.mark.parametrize("method", [SEQUENTIAL, TOTALIZER, ADDER])
+    @pytest.mark.parametrize("n", [7, 8])
+    def test_every_bound_on_wider_inputs(self, method, n):
+        """All k in [0, n] on n inputs, sampled patterns."""
+        for k in range(n + 1):
+            # exhaustive is 2^n * (n+1); sample the boundary patterns
+            patterns = [
+                [i < k for i in range(n)],  # exactly k
+                [i < k + 1 for i in range(n)],  # k+1 (if possible)
+                [i < max(0, k - 1) for i in range(n)],  # k-1
+                [True] * n,
+                [False] * n,
+            ]
+            for pattern in patterns:
+                solver, lits = fresh(n)
+                encode_at_most_k(solver, lits, k, method=method)
+                result = solver.solve(assumptions=force(solver, lits, pattern))
+                assert result is (sum(pattern) <= k), (method, n, k, pattern)
+
+
+class TestCommanderGroups:
+    @pytest.mark.parametrize("group_size", [2, 3, 4])
+    @pytest.mark.parametrize("n", [6, 9])
+    def test_group_sizes(self, group_size, n):
+        for pattern in itertools.islice(itertools.product([False, True], repeat=n), 0, 128):
+            solver, lits = fresh(n)
+            at_most_one_commander(solver, lits, group_size=group_size)
+            result = solver.solve(assumptions=force(solver, lits, pattern))
+            assert result is (sum(pattern) <= 1), (group_size, pattern)
+
+
+class TestCompareLeqConst:
+    @pytest.mark.parametrize("width,k", [(3, 0), (3, 3), (3, 7), (4, 9), (4, 15)])
+    def test_unguarded_semantics(self, width, k):
+        for value in range(1 << width):
+            solver, lits = fresh(width)
+            compare_leq_const(solver, lits, k)
+            pattern = [bool((value >> i) & 1) for i in range(width)]
+            result = solver.solve(assumptions=force(solver, lits, pattern))
+            assert result is (value <= k), (width, k, value)
+
+    def test_guard_false_disables(self):
+        solver, lits = fresh(3)
+        guard = mk_lit(solver.new_var())
+        compare_leq_const(solver, lits, 0, guard=guard)
+        # all bits set, guard not assumed: satisfiable
+        assert solver.solve(assumptions=force(solver, lits, [True] * 3)) is True
+        # with the guard, value must be 0
+        assert (
+            solver.solve(assumptions=[guard] + force(solver, lits, [True] * 3))
+            is False
+        )
+
+
+class TestBinaryTotalWide:
+    @pytest.mark.parametrize("n", [9, 12])
+    def test_counts_all_popcounts(self, n):
+        for k in range(0, n + 1, 3):
+            solver, lits = fresh(n)
+            total = binary_total(solver, lits)
+            pattern = [i < k for i in range(n)]
+            assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+            got = sum(solver.model_value(bit) << i for i, bit in enumerate(total))
+            assert got == k
+
+
+class TestTseitinEquiv:
+    def test_equiv_chain(self):
+        solver, lits = fresh(3)
+        e1 = tseitin_equiv(solver, lits[0], lits[1])
+        e2 = tseitin_equiv(solver, lits[1], lits[2])
+        both = [e1, e2]
+        # a=b=c makes both equivalences true
+        assert solver.solve(assumptions=force(solver, lits, [True] * 3) + both) is True
+        assert (
+            solver.solve(
+                assumptions=force(solver, lits, [True, False, True]) + both
+            )
+            is False
+        )

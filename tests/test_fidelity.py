@@ -1,0 +1,105 @@
+"""Tests for the success-rate (fidelity) model."""
+
+import math
+
+import pytest
+
+from repro.arch import full, grid, linear
+from repro.circuit import QuantumCircuit
+from repro.core import OLSQ2, SynthesisConfig, validate_result
+from repro.core.fidelity import NoiseModel, compare_success_rates, estimate_success_rate
+from repro.core.result import SwapEvent, SynthesisResult
+from repro.baselines import SABRE
+from repro.workloads import qaoa_circuit
+
+
+def tiny_result(swaps=(), gate_times=(0,), depth_device=None):
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    return SynthesisResult(
+        circuit=qc,
+        device=depth_device or linear(2),
+        initial_mapping=[0, 1],
+        gate_times=list(gate_times),
+        swaps=list(swaps),
+        swap_duration=1,
+    )
+
+
+class TestNoiseModel:
+    def test_defaults(self):
+        m = NoiseModel()
+        assert m.edge_error(0, 1) == 0.01
+
+    def test_per_edge_override(self):
+        m = NoiseModel(edge_errors={(0, 1): 0.5})
+        assert m.edge_error(1, 0) == 0.5
+        assert m.edge_error(1, 2) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(two_qubit_error=1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(single_qubit_error=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(t1=0)
+
+
+class TestEstimate:
+    def test_single_gate_rate(self):
+        res = tiny_result()
+        m = NoiseModel(two_qubit_error=0.1, t1=1e12)
+        # one CX at 0.9 fidelity, negligible decoherence
+        assert estimate_success_rate(res, m) == pytest.approx(0.9, rel=1e-6)
+
+    def test_swap_costs_three_cnots(self):
+        no_swap = tiny_result()
+        with_swap = tiny_result(swaps=[SwapEvent(0, 1, 2)], gate_times=(0,))
+        m = NoiseModel(two_qubit_error=0.1, t1=1e12)
+        r0 = estimate_success_rate(no_swap, m)
+        r1 = estimate_success_rate(with_swap, m)
+        assert r1 == pytest.approx(r0 * 0.9 ** 3, rel=1e-6)
+
+    def test_decoherence_grows_with_depth(self):
+        shallow = tiny_result(gate_times=(0,))
+        deep = tiny_result(gate_times=(9,))
+        m = NoiseModel(two_qubit_error=0.0, t1=10.0)
+        assert estimate_success_rate(deep, m) < estimate_success_rate(shallow, m)
+        # exact: both qubits active only at their single gate time in
+        # "shallow"; windows are 1 step each
+        assert estimate_success_rate(shallow, m) == pytest.approx(
+            math.exp(-2 * 1 / 10.0)
+        )
+
+    def test_rate_in_unit_interval(self):
+        res = tiny_result(swaps=[SwapEvent(0, 1, 2)])
+        rate = estimate_success_rate(res)
+        assert 0 < rate <= 1
+
+
+class TestEndToEnd:
+    def test_fewer_swaps_means_higher_fidelity(self):
+        """The paper's motivation, quantified: the exact tool's output has a
+        higher estimated success rate than the heuristic's."""
+        circuit = qaoa_circuit(6, seed=1)
+        device = grid(2, 3)
+        cfg = SynthesisConfig(
+            swap_duration=1, time_budget=90, solve_time_budget=45, max_pareto_rounds=1
+        )
+        exact = OLSQ2(cfg).synthesize(circuit, device, objective="swap")
+        heuristic = SABRE(swap_duration=1, seed=0).synthesize(circuit, device)
+        validate_result(exact)
+        validate_result(heuristic)
+        rates = compare_success_rates({"olsq2": exact, "sabre": heuristic})
+        if exact.swap_count < heuristic.swap_count:
+            assert rates["olsq2"] > rates["sabre"]
+        assert set(rates) == {"olsq2", "sabre"}
+
+    def test_full_connectivity_beats_line(self):
+        circuit = qaoa_circuit(6, seed=2)
+        cfg = SynthesisConfig(
+            swap_duration=1, time_budget=90, solve_time_budget=45, max_pareto_rounds=1
+        )
+        on_line = OLSQ2(cfg).synthesize(circuit, linear(6), objective="swap")
+        on_full = OLSQ2(cfg).synthesize(circuit, full(6), objective="swap")
+        assert estimate_success_rate(on_full) >= estimate_success_rate(on_line)

@@ -1,0 +1,74 @@
+"""Tests for the benchmark harness: tables, configs, and experiment plumbing."""
+
+import pytest
+
+from repro.arch import grid
+from repro.harness import (
+    TABLE1_VARIANTS,
+    TABLE2_VARIANTS,
+    average,
+    build_bounded_encoder,
+    build_encoder,
+    format_table,
+    geometric_mean,
+    ratio,
+)
+from repro.harness.tables import format_cell
+from repro.workloads import qaoa_circuit
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(3) == "3"
+        assert format_cell(1.234) == "1.23"
+        assert format_cell(123.456) == "123.5"
+        assert format_cell("TO") == "TO"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == 5.0
+        assert ratio(None, 2.0) is None
+        assert ratio(10.0, None) is None
+        assert ratio(10.0, 0.0) is None
+
+    def test_average(self):
+        assert average([1.0, 3.0]) == 2.0
+        assert average([None, 4.0]) == 4.0
+        assert average([None, None]) is None
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0
+
+
+class TestConfigBuilders:
+    @pytest.mark.parametrize("name", sorted(TABLE1_VARIANTS))
+    def test_table1_encoders_solve_tiny_instance(self, name):
+        circuit = qaoa_circuit(4, seed=1, degree=2)
+        enc = build_encoder(TABLE1_VARIANTS[name], circuit, grid(2, 2), horizon=5)
+        assert enc.solve(time_budget=30) is True
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_VARIANTS))
+    def test_table2_encoders_solve_tiny_instance(self, name):
+        circuit = qaoa_circuit(4, seed=1, degree=2)
+        enc = build_bounded_encoder(
+            TABLE2_VARIANTS[name], circuit, grid(2, 2), horizon=5, tb_horizon=3
+        )
+        enc.encode()
+        enc.init_swap_counter(max_bound=4)
+        guard = enc.swap_guard(4)
+        assumptions = [guard] if guard is not None else []
+        assert enc.ctx.solve(assumptions=assumptions, time_budget=30) is True
+
+    def test_all_variants_unique_configs(self):
+        assert len(TABLE1_VARIANTS) == 6  # the paper's six
+        assert len(TABLE2_VARIANTS) == 5  # the paper's five

@@ -1,0 +1,172 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic flows: QASM in -> synthesize -> validate ->
+QASM out; cross-synthesizer agreement on optima; physical-circuit
+executability; and randomized consistency sweeps that tie together the
+workload generators, every synthesizer, and the shared validator.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parse_qasm
+from repro.arch import devices, grid, ibm_qx2, linear
+from repro.baselines import OLSQ, SABRE, SATMap
+from repro.circuit import QuantumCircuit, dependencies, longest_chain_length
+from repro.core import (
+    OLSQ2,
+    TBOLSQ2,
+    SynthesisConfig,
+    is_valid,
+    validate_result,
+)
+from repro.workloads import (
+    ghz,
+    qaoa_circuit,
+    qft,
+    queko_circuit,
+    random_circuit,
+    toffoli,
+)
+
+
+def fast_config(**kw):
+    kw.setdefault("swap_duration", 1)
+    kw.setdefault("time_budget", 90)
+    kw.setdefault("solve_time_budget", 45)
+    kw.setdefault("max_pareto_rounds", 1)
+    return SynthesisConfig(**kw)
+
+
+class TestQasmPipeline:
+    def test_qasm_in_synthesize_qasm_out(self):
+        source = qft(3).to_qasm()
+        circuit = parse_qasm(source)
+        result = OLSQ2(fast_config(swap_duration=3)).synthesize(
+            circuit, ibm_qx2(), objective="depth"
+        )
+        validate_result(result)
+        mapped = result.to_physical_circuit()
+        reparsed = parse_qasm(mapped.to_qasm())
+        assert reparsed.n_qubits == 5
+        # every two-qubit gate in the emitted QASM respects the coupling map
+        device = ibm_qx2()
+        for gate in reparsed.gates:
+            if gate.is_two_qubit:
+                assert device.are_adjacent(*gate.qubits)
+
+    def test_physical_circuit_preserves_logical_gate_order(self):
+        circuit = qaoa_circuit(6, seed=4)
+        result = OLSQ2(fast_config()).synthesize(circuit, grid(2, 3), objective="depth")
+        validate_result(result)
+        phys = result.to_physical_circuit(decompose_swaps=False)
+        # Project out SWAPs: the remaining gates must be the logical gates
+        # in a dependency-respecting order under the evolving mapping.
+        logical = [g for g in phys.gates if g.name != "swap"]
+        assert len(logical) == circuit.num_gates
+        names_in = sorted(g.name for g in circuit.gates)
+        names_out = sorted(g.name for g in logical)
+        assert names_in == names_out
+
+
+class TestCrossSynthesizerAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_exact_tools_agree_on_optimal_depth(self, seed):
+        circuit = random_circuit(4, 10, two_qubit_fraction=0.7, seed=seed)
+        device = grid(2, 2)
+        cfg = fast_config()
+        r1 = OLSQ2(cfg).synthesize(circuit, device, objective="depth")
+        r2 = OLSQ(cfg).synthesize(circuit, device, objective="depth")
+        assert r1.optimal and r2.optimal
+        assert r1.depth == r2.depth
+        validate_result(r1)
+        validate_result(r2)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_tb_swaps_at_most_full_model_swaps(self, seed):
+        """TB-OLSQ2 relaxes scheduling, so its optimal SWAP count can only
+        be <= the time-resolved Pareto point at matched settings."""
+        circuit = qaoa_circuit(6, seed=seed)
+        device = grid(2, 3)
+        cfg = fast_config(time_budget=120)
+        tb = TBOLSQ2(cfg).synthesize(circuit, device, objective="swap")
+        full_model = OLSQ2(cfg).synthesize(circuit, device, objective="swap")
+        validate_result(tb)
+        validate_result(full_model)
+        if tb.optimal:
+            assert tb.swap_count <= full_model.swap_count
+
+    def test_heuristics_never_beat_proven_optimal_depth(self):
+        circuit = toffoli(2)
+        device = ibm_qx2()
+        exact = OLSQ2(fast_config(swap_duration=3)).synthesize(
+            circuit, device, objective="depth"
+        )
+        assert exact.optimal
+        sabre = SABRE(swap_duration=3, seed=0).synthesize(circuit, device)
+        assert exact.depth <= sabre.depth
+
+
+class TestOptimalityInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_depth_never_below_dependency_bound(self, seed):
+        circuit = random_circuit(4, 8, two_qubit_fraction=0.6, seed=seed)
+        result = OLSQ2(fast_config()).synthesize(circuit, grid(2, 2), objective="depth")
+        assert result.depth >= longest_chain_length(circuit)
+        validate_result(result)
+
+    def test_queko_chain_of_optimality(self):
+        device = grid(2, 3)
+        inst = queko_circuit(device, depth=4, n_gates=8, seed=9)
+        exact = OLSQ2(fast_config()).synthesize(inst.circuit, device, "depth")
+        assert exact.depth == inst.optimal_depth
+        tb = TBOLSQ2(fast_config()).synthesize(inst.circuit, device, "swap")
+        assert tb.swap_count == 0
+        validate_result(exact)
+        validate_result(tb)
+
+    def test_depth_monotone_in_swap_duration(self):
+        tri = QuantumCircuit(3)
+        tri.cx(0, 1)
+        tri.cx(1, 2)
+        tri.cx(0, 2)
+        depths = []
+        for duration in (1, 2, 3):
+            cfg = SynthesisConfig(swap_duration=duration, time_budget=90)
+            res = OLSQ2(cfg).synthesize(tri, linear(3), objective="depth")
+            assert res.optimal
+            validate_result(res)
+            depths.append(res.depth)
+        assert depths == sorted(depths)
+
+    def test_denser_device_never_hurts_depth(self):
+        circuit = qaoa_circuit(6, seed=1)
+        cfg = fast_config()
+        sparse = OLSQ2(cfg).synthesize(circuit, linear(6), objective="depth")
+        dense = OLSQ2(cfg).synthesize(circuit, devices.full(6), objective="depth")
+        assert sparse.optimal and dense.optimal
+        assert dense.depth <= sparse.depth
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_gates=st.integers(3, 9),
+)
+def test_hypothesis_every_synthesizer_produces_valid_results(seed, n_gates):
+    """The grand invariant: whatever the instance, every tool's output
+    passes the shared validator."""
+    circuit = random_circuit(4, n_gates, two_qubit_fraction=0.6, seed=seed)
+    device = grid(2, 3)
+    cfg = fast_config(time_budget=60)
+    results = [
+        OLSQ2(cfg).synthesize(circuit, device, objective="depth"),
+        TBOLSQ2(cfg).synthesize(circuit, device, objective="depth"),
+        SABRE(swap_duration=1, seed=seed).synthesize(circuit, device),
+        SATMap(slice_size=5, config=cfg).synthesize(circuit, device),
+    ]
+    for result in results:
+        assert is_valid(result), result.summary()

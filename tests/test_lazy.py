@@ -1,0 +1,165 @@
+"""Tests for the lazy integer-theory emulation (repro.smt.lazy)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import neg
+from repro.smt import (
+    BITVEC,
+    INT,
+    CHANNELING_INJ,
+    PAIRWISE_INJ,
+    LazyIntVar,
+    SMTContext,
+    encode_injectivity,
+    make_domain_var,
+)
+
+
+class TestLazyBasics:
+    def test_factory_dispatch(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 5, INT)
+        assert isinstance(var, LazyIntVar)
+        assert var in ctx.lazy_vars
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LazyIntVar(SMTContext(), 0)
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 9])
+    def test_every_value_reachable_and_unique(self, size):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, size, INT)
+        seen = set()
+        while ctx.solve() is True:
+            value = var.decode(ctx.sink.model)
+            assert value not in seen
+            seen.add(value)
+            ctx.add([neg(var.eq_lit(value))])
+        assert seen == set(range(size))
+
+    def test_theory_rounds_counted(self):
+        ctx = SMTContext()
+        make_domain_var(ctx, 6, INT)
+        make_domain_var(ctx, 6, INT)
+        assert ctx.solve() is True
+        assert ctx.theory_rounds >= 1
+
+    def test_fix(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 4, INT)
+        var.fix(2)
+        assert ctx.solve() is True
+        assert var.decode(ctx.sink.model) == 2
+
+    def test_decode_before_convergence_raises(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 3, INT)
+        # fake a model where no atom is true
+        with pytest.raises(ValueError):
+            var.decode([False] * ctx.n_vars)
+
+    def test_mixed_encoding_comparison_raises(self):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, 3, INT)
+        b = make_domain_var(ctx, 3, BITVEC)
+        with pytest.raises(TypeError):
+            a.less_than(b)
+        with pytest.raises(TypeError):
+            a.less_equal(b)
+        with pytest.raises(TypeError):
+            a.neq(b)
+
+
+class TestLazySemantics:
+    @pytest.mark.parametrize("k", [-1, 0, 2, 4])
+    def test_leq_const(self, k):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 5, INT)
+        var.leq_const(k)
+        feasible = {v for v in range(5) if v <= k}
+        seen = set()
+        while ctx.solve() is True:
+            value = var.decode(ctx.sink.model)
+            seen.add(value)
+            ctx.add([neg(var.eq_lit(value))])
+        assert seen == feasible
+
+    def test_less_than_pairs(self):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, 4, INT)
+        b = make_domain_var(ctx, 4, INT)
+        a.less_than(b)
+        seen = set()
+        while ctx.solve() is True:
+            pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
+            seen.add(pair)
+            ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
+        assert seen == {(x, y) for x in range(4) for y in range(4) if x < y}
+
+    def test_less_equal_pairs(self):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, 3, INT)
+        b = make_domain_var(ctx, 3, INT)
+        a.less_equal(b)
+        seen = set()
+        while ctx.solve() is True:
+            pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
+            seen.add(pair)
+            ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
+        assert seen == {(x, y) for x in range(3) for y in range(3) if x <= y}
+
+    @pytest.mark.parametrize("method", [PAIRWISE_INJ, CHANNELING_INJ])
+    def test_injectivity(self, method):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, 3, INT) for _ in range(3)]
+        encode_injectivity(ctx, vars_, 3, method=method, encoding=INT)
+        count = 0
+        while ctx.solve() is True:
+            tup = tuple(v.decode(ctx.sink.model) for v in vars_)
+            assert len(set(tup)) == 3
+            count += 1
+            ctx.add([neg(vars_[i].eq_lit(tup[i])) for i in range(3)])
+        assert count == 6  # 3! permutations
+
+    def test_unsat_when_overconstrained(self):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, 2, INT) for _ in range(3)]
+        encode_injectivity(ctx, vars_, 2, method=PAIRWISE_INJ, encoding=INT)
+        assert ctx.solve() is False
+
+    def test_assumptions_work_through_cegar(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 4, INT)
+        assert ctx.solve(assumptions=[var.eq_lit(3)]) is True
+        assert var.decode(ctx.sink.model) == 3
+        # conflicting atoms as assumptions: theory lemma must refute them
+        status = ctx.solve(assumptions=[var.eq_lit(0), var.eq_lit(1)])
+        assert status is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_hypothesis_lazy_agrees_with_bitvec(self, data):
+        """Both encodings accept exactly the same value assignments."""
+        size = data.draw(st.integers(2, 6))
+        n = data.draw(st.integers(2, 3))
+        values = [data.draw(st.integers(0, size - 1)) for _ in range(n)]
+        results = {}
+        for encoding in (INT, BITVEC):
+            ctx = SMTContext()
+            vars_ = [make_domain_var(ctx, size, encoding) for _ in range(n)]
+            encode_injectivity(ctx, vars_, size, method=PAIRWISE_INJ, encoding=encoding)
+            assumptions = [vars_[i].eq_lit(values[i]) for i in range(n)]
+            results[encoding] = ctx.solve(assumptions=assumptions)
+        assert results[INT] == results[BITVEC]
+
+    def test_polarity_hints(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 4, INT)
+        hints = var.polarity_hints(2)
+        assert sum(hints.values()) == 1
+        ctx.sink.warm_start(hints)
+        assert ctx.solve() is True
+        assert var.decode(ctx.sink.model) == 2

@@ -1,0 +1,86 @@
+"""Tests for circuit and mapping metrics."""
+
+import pytest
+
+from repro.arch import full, linear
+from repro.circuit import QuantumCircuit
+from repro.circuit.metrics import circuit_metrics, mapping_metrics
+from repro.core import OLSQ2, SynthesisConfig, validate_result
+from repro.workloads import ghz, qaoa_circuit
+
+
+class TestCircuitMetrics:
+    def test_ghz(self):
+        m = circuit_metrics(ghz(4))
+        assert m.n_qubits == 4
+        assert m.n_gates == 4
+        assert m.n_two_qubit == 3
+        assert m.depth == 4
+        assert m.two_qubit_depth == 3
+        assert m.max_interaction_degree == 2  # middle of the CNOT chain
+
+    def test_parallel_circuit(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        m = circuit_metrics(qc)
+        assert m.depth == 1
+        assert m.parallelism == 2.0
+
+    def test_two_qubit_depth_ignores_singles(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(0)
+        qc.cx(0, 1)
+        m = circuit_metrics(qc)
+        assert m.depth == 3
+        assert m.two_qubit_depth == 1
+
+    def test_qaoa_interaction_degree(self):
+        m = circuit_metrics(qaoa_circuit(8, seed=1))
+        assert m.max_interaction_degree == 3  # 3-regular by construction
+
+    def test_as_dict(self):
+        d = circuit_metrics(ghz(3)).as_dict()
+        assert d["n_gates"] == 3
+
+
+class TestMappingMetrics:
+    def _result(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        qc.cx(0, 2)
+        return OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, linear(3), objective="swap"
+        )
+
+    def test_overheads(self):
+        res = self._result()
+        validate_result(res)
+        m = mapping_metrics(res)
+        assert m.swap_count == 1
+        assert m.mapped_depth == res.depth
+        assert m.depth_overhead == pytest.approx(res.depth / 3)
+        assert m.cnot_overhead == pytest.approx((3 + 3) / 3)
+        assert m.physical_qubits_used == 3
+        assert m.device_utilisation == 1.0
+
+    def test_no_swap_case(self):
+        qc = ghz(3)
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, full(3), objective="swap"
+        )
+        m = mapping_metrics(res)
+        assert m.swap_count == 0
+        assert m.cnot_overhead == 1.0
+
+    def test_single_qubit_only_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, linear(2), objective="depth"
+        )
+        m = mapping_metrics(res)
+        assert m.cnot_overhead == 1.0
+        assert m.physical_qubits_used == 1

@@ -1,0 +1,154 @@
+"""Edge-case tests for the optimization loops."""
+
+import pytest
+
+from repro.arch import grid, linear
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    OLSQ2,
+    TBOLSQ2,
+    SynthesisConfig,
+    SynthesisTimeout,
+    SwapEvent,
+    serialize_blocks,
+    validate_result,
+)
+from repro.workloads import qaoa_circuit
+
+
+def triangle():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+class TestTimeouts:
+    def test_zero_budget_raises_synthesis_timeout(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=0.0, solve_time_budget=0.0)
+        with pytest.raises(SynthesisTimeout):
+            OLSQ2(cfg).synthesize(qaoa_circuit(8, seed=1), grid(3, 3), "depth")
+
+    def test_tiny_budget_on_hard_instance(self):
+        cfg = SynthesisConfig(
+            swap_duration=1, time_budget=0.05, solve_time_budget=0.05
+        )
+        with pytest.raises(SynthesisTimeout):
+            OLSQ2(cfg).synthesize(qaoa_circuit(10, seed=1), grid(3, 4), "depth")
+
+
+class TestSwapObjectiveEdges:
+    def test_zero_swap_instance_short_circuits(self):
+        """Once zero SWAPs is reached the Pareto loop must stop immediately."""
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60, max_pareto_rounds=5)
+        res = OLSQ2(cfg).synthesize(qc, linear(2), "swap")
+        assert res.swap_count == 0
+        assert res.optimal
+        assert len(res.pareto_points) == 1
+
+    def test_max_pareto_rounds_zero_still_descends_once(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60, max_pareto_rounds=0)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), "swap")
+        assert res.pareto_points  # first descent always recorded
+        validate_result(res)
+
+
+class TestSerializeBlocksEdges:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(2)
+        times, swaps = serialize_blocks(qc, [], [], swap_duration=1)
+        assert times == [] and swaps == []
+
+    def test_all_gates_one_block(self):
+        qc = triangle()
+        times, swaps = serialize_blocks(qc, [0, 0, 0], [], swap_duration=1)
+        assert not swaps
+        # intra-block ASAP respects dependencies
+        assert times[0] < times[1] < times[2]
+
+    def test_multiple_swaps_one_transition(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        qc.cx(0, 2)
+        layer = [SwapEvent(0, 1, 0), SwapEvent(2, 3, 0)]
+        times, swaps = serialize_blocks(qc, [0, 0, 1], layer, swap_duration=3)
+        assert len(swaps) == 2
+        assert swaps[0].finish_time == swaps[1].finish_time
+        assert times[2] > swaps[0].finish_time
+
+    def test_trailing_empty_blocks_ignored(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        times, swaps = serialize_blocks(qc, [0], [SwapEvent(0, 1, 2)], 1)
+        # transition index 2 beyond the last block simply never fires
+        assert times == [0]
+        assert not swaps
+
+
+class TestFrontierSerializer:
+    def test_frontier_schedule_never_deeper_than_barrier(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        qc.cx(0, 2)
+        blocks = [0, 0, 1]
+        layer = [SwapEvent(1, 2, 0)]
+        barrier_times, barrier_swaps = serialize_blocks(qc, blocks, layer, 3)
+        frontier_times, frontier_swaps = serialize_blocks(
+            qc, blocks, layer, 3, initial_mapping=[0, 1, 2, 3], n_phys=4
+        )
+
+        def depth(times, swaps):
+            latest = max(times) if times else -1
+            for s in swaps:
+                latest = max(latest, s.finish_time)
+            return latest + 1
+
+        assert depth(frontier_times, frontier_swaps) <= depth(
+            barrier_times, barrier_swaps
+        )
+
+    def test_untouched_gate_overlaps_swap(self):
+        """Gate (2,3) in block 1 does not wait for the (0,1) swap."""
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        blocks = [0, 1]
+        layer = [SwapEvent(0, 1, 0)]
+        times, swaps = serialize_blocks(
+            qc, blocks, layer, 3, initial_mapping=[0, 1, 2, 3], n_phys=4
+        )
+        # swap occupies times 1..3; gate on (2,3) can run at time 0
+        assert times[1] == 0
+        assert swaps[0].finish_time == 3
+
+    def test_frontier_results_validate_end_to_end(self):
+        from repro.arch import grid
+        from repro.workloads import qaoa_circuit
+
+        cfg = SynthesisConfig(swap_duration=3, time_budget=90, max_pareto_rounds=1)
+        res = TBOLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), "swap")
+        validate_result(res)
+
+
+class TestTBEdges:
+    def test_tb_single_qubit_only_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(0)
+        res = TBOLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, linear(2), "swap"
+        )
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_tb_depth_objective_counts_blocks(self):
+        res = TBOLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            triangle(), linear(3), "depth"
+        )
+        assert res.optimal
+        validate_result(res)

@@ -1,0 +1,130 @@
+"""Tests for the portfolio parallel synthesizer and warm-start guidance."""
+
+import pytest
+
+from repro.arch import grid, linear
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    OLSQ2,
+    LayoutEncoder,
+    PortfolioEntry,
+    PortfolioSynthesizer,
+    SynthesisConfig,
+    default_portfolio,
+    validate_result,
+)
+from repro.workloads import qaoa_circuit
+
+
+def triangle():
+    qc = QuantumCircuit(3, name="triangle")
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+def entries(**base):
+    base.setdefault("swap_duration", 1)
+    base.setdefault("time_budget", 60)
+    base.setdefault("solve_time_budget", 30)
+    return [
+        PortfolioEntry("bv", SynthesisConfig(**base)),
+        PortfolioEntry("euf", SynthesisConfig(injectivity="channeling", **base)),
+        PortfolioEntry("warm", SynthesisConfig(warm_start="sabre", **base)),
+    ]
+
+
+class TestPortfolio:
+    def test_depth_race_returns_optimal(self):
+        port = PortfolioSynthesizer(entries(), time_budget=90)
+        res = port.synthesize(triangle(), linear(3), objective="depth")
+        validate_result(res)
+        assert res.optimal
+        assert res.depth == 4
+        assert res.solver_stats["portfolio_winner"] in ("bv", "euf", "warm")
+
+    def test_swap_objective_keeps_best(self):
+        port = PortfolioSynthesizer(entries(max_pareto_rounds=1), time_budget=120)
+        res = port.synthesize(qaoa_circuit(6, seed=1), grid(2, 3), objective="swap")
+        validate_result(res)
+        solo = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=90, max_pareto_rounds=1)).synthesize(
+            qaoa_circuit(6, seed=1), grid(2, 3), objective="swap"
+        )
+        assert res.swap_count <= solo.swap_count
+
+    def test_default_portfolio_nonempty(self):
+        assert len(default_portfolio()) >= 3
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSynthesizer([])
+
+    def test_better_comparator(self):
+        from repro.core.portfolio import PortfolioSynthesizer as PS
+
+        a = _fake_result(depth=5, swaps=2, optimal=True)
+        b = _fake_result(depth=6, swaps=1, optimal=False)
+        assert PS._better(a, b, "depth")
+        assert not PS._better(a, b, "swap")
+        assert PS._better(a, None, "swap")
+
+
+def _fake_result(depth, swaps, optimal):
+    class _R:
+        pass
+
+    r = _R()
+    r.depth = depth
+    r.swap_count = swaps
+    r.optimal = optimal
+    return r
+
+
+class TestWarmStart:
+    def test_warm_start_config_validated(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(warm_start="oracle")
+        assert SynthesisConfig(warm_start="sabre").warm_start == "sabre"
+
+    def test_warm_start_same_optimum(self):
+        cfg_plain = SynthesisConfig(swap_duration=1, time_budget=60)
+        cfg_warm = SynthesisConfig(swap_duration=1, time_budget=60, warm_start="sabre")
+        qc = qaoa_circuit(6, seed=2)
+        device = grid(2, 3)
+        plain = OLSQ2(cfg_plain).synthesize(qc, device, objective="depth")
+        warm = OLSQ2(cfg_warm).synthesize(qc, device, objective="depth")
+        assert plain.depth == warm.depth
+        assert plain.optimal and warm.optimal
+        validate_result(warm)
+
+    def test_seed_initial_mapping_validates_size(self):
+        enc = LayoutEncoder(
+            triangle(), linear(3), horizon=4, config=SynthesisConfig(swap_duration=1)
+        )
+        with pytest.raises(ValueError):
+            enc.seed_initial_mapping([0, 1])
+
+    def test_seed_schedule_validates_size(self):
+        enc = LayoutEncoder(
+            triangle(), linear(3), horizon=4, config=SynthesisConfig(swap_duration=1)
+        )
+        with pytest.raises(ValueError):
+            enc.seed_schedule([0])
+
+    def test_seed_steers_unconstrained_instance(self):
+        """With no competing constraints the seeded mapping is returned.
+
+        Hints are pure guidance, so this only holds when nothing propagates
+        against them — a single-qubit circuit qualifies.
+        """
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        enc = LayoutEncoder(
+            qc, grid(2, 2), horizon=2, config=SynthesisConfig(swap_duration=1)
+        )
+        enc.encode()
+        enc.seed_initial_mapping([3])
+        assert enc.solve() is True
+        initial, _times, _swaps = enc.extract()
+        assert initial == [3]

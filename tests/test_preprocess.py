@@ -1,0 +1,173 @@
+"""Tests for CNF preprocessing (subsumption, SSR, variable elimination)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, Solver, brute_force_solve, mk_lit, neg
+from repro.sat.preprocess import (
+    ModelReconstructor,
+    Unsatisfiable,
+    preprocess,
+    preprocess_stats,
+)
+
+
+def lit(v, sign=False):
+    return mk_lit(v, sign)
+
+
+def random_cnf(rng, n_vars, n_clauses):
+    cnf = CNF()
+    cnf.new_vars(n_vars)
+    for _ in range(n_clauses):
+        width = rng.randint(1, 3)
+        vs = rng.sample(range(n_vars), min(width, n_vars))
+        cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+    return cnf
+
+
+class TestBasicRules:
+    def test_unit_propagation_fixes_variables(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([lit(a)])
+        cnf.add_clause([lit(a, True), lit(b)])
+        simplified, recon = preprocess(cnf, eliminate=False)
+        assert simplified.num_clauses == 0
+        model = recon.extend([False, False])
+        assert model[a] is True and model[b] is True
+
+    def test_contradicting_units_unsat(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([lit(a)])
+        cnf.add_clause([lit(a, True)])
+        with pytest.raises(Unsatisfiable):
+            preprocess(cnf)
+
+    def test_subsumption_removes_superset(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([lit(a), lit(b)])
+        cnf.add_clause([lit(a), lit(b), lit(c)])  # subsumed
+        simplified, _ = preprocess(cnf, eliminate=False)
+        assert simplified.num_clauses == 1
+
+    def test_self_subsuming_resolution_strengthens(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([lit(a), lit(b)])
+        cnf.add_clause([lit(a), lit(b, True)])
+        simplified, _ = preprocess(cnf, eliminate=False)
+        # both clauses strengthen to the unit (a); then dedupe/subsume
+        flat = sorted(tuple(c) for c in simplified.clauses)
+        assert all(len(c) == 1 for c in flat)
+
+    def test_variable_elimination_shrinks(self):
+        # x appears once positively and once negatively: always eliminable.
+        cnf = CNF()
+        x, a, b = cnf.new_vars(3)
+        cnf.add_clause([lit(x), lit(a)])
+        cnf.add_clause([lit(x, True), lit(b)])
+        simplified, recon = preprocess(cnf)
+        used = {l >> 1 for c in simplified.clauses for l in c}
+        assert x not in used
+        # resolvent (a | b) must be implied
+        assert simplified.num_clauses <= 1
+
+    def test_stats(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([lit(a), lit(b)])
+        cnf.add_clause([lit(a), lit(b)])
+        simplified, _ = preprocess(cnf, eliminate=False)
+        stats = preprocess_stats(cnf, simplified)
+        assert stats["clauses_before"] == 2
+        assert stats["clauses_after"] == 1
+        assert 0 <= stats["clause_reduction"] <= 1
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_formulas_preserved(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(rng, rng.randint(2, 8), rng.randint(1, 20))
+        expected = brute_force_solve(cnf) is not None
+        try:
+            simplified, recon = preprocess(cnf)
+        except Unsatisfiable:
+            assert not expected
+            return
+        solver = Solver()
+        simplified.to_solver(solver)
+        got = solver.solve()
+        assert got is expected
+        if got:
+            full = recon.extend(solver.model)
+            assert cnf.evaluate(full[: cnf.n_vars]), (
+                seed,
+                cnf.clauses,
+                simplified.clauses,
+                full,
+            )
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_hypothesis_model_reconstruction(self, data):
+        n_vars = data.draw(st.integers(2, 7))
+        n_clauses = data.draw(st.integers(0, 18))
+        cnf = CNF()
+        cnf.new_vars(n_vars)
+        for _ in range(n_clauses):
+            width = data.draw(st.integers(1, 3))
+            cnf.add_clause(
+                [
+                    mk_lit(data.draw(st.integers(0, n_vars - 1)), data.draw(st.booleans()))
+                    for _ in range(width)
+                ]
+            )
+        expected = brute_force_solve(cnf) is not None
+        try:
+            simplified, recon = preprocess(
+                cnf, growth_limit=data.draw(st.integers(0, 2))
+            )
+        except Unsatisfiable:
+            assert not expected
+            return
+        solver = Solver()
+        simplified.to_solver(solver)
+        got = solver.solve()
+        assert got is expected
+        if got:
+            full = recon.extend(solver.model)
+            assert cnf.evaluate(full[: cnf.n_vars])
+
+
+class TestOnRealEncodings:
+    def test_layout_instance_shrinks_and_stays_sat(self):
+        from repro.arch import grid
+        from repro.core import LayoutEncoder, SynthesisConfig
+        from repro.smt import cnf_context
+        from repro.workloads import qaoa_circuit
+
+        ctx = cnf_context()
+        enc = LayoutEncoder(
+            qaoa_circuit(4, seed=1, degree=2),
+            grid(2, 2),
+            horizon=5,
+            config=SynthesisConfig(swap_duration=1),
+            ctx=ctx,
+        )
+        enc.encode()
+        original = ctx.sink
+        simplified, recon = preprocess(original)
+        stats = preprocess_stats(original, simplified)
+        assert stats["clause_reduction"] > 0.05  # real shrinkage
+        solver = Solver()
+        simplified.to_solver(solver)
+        assert solver.solve() is True
+        full = recon.extend(solver.model)
+        assert original.evaluate(full[: original.n_vars])

@@ -1,0 +1,163 @@
+"""Tests for UNSAT proof logging and the RUP checker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, Solver, brute_force_solve, mk_lit
+from repro.sat.proof import ProofError, check_unsat_proof, is_rup, proof_stats
+
+
+def lit(v, sign=False):
+    return mk_lit(v, sign)
+
+
+def pigeonhole_cnf(n_pigeons, n_holes):
+    cnf = CNF()
+    x = [[cnf.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+    for p in range(n_pigeons):
+        cnf.add_clause([lit(x[p][h]) for h in range(n_holes)])
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                cnf.add_clause([lit(x[p1][h], True), lit(x[p2][h], True)])
+    return cnf
+
+
+def solve_with_proof(cnf):
+    solver = Solver(proof_log=True)
+    cnf.to_solver(solver)
+    return solver.solve(), solver.proof
+
+
+class TestRup:
+    def test_unit_is_rup_from_itself(self):
+        clauses = [[lit(0)]]
+        assert is_rup(clauses, [lit(0)])
+
+    def test_resolvent_is_rup(self):
+        clauses = [[lit(0), lit(1)], [lit(0, True), lit(1)]]
+        assert is_rup(clauses, [lit(1)])
+
+    def test_unrelated_clause_is_not_rup(self):
+        clauses = [[lit(0), lit(1)]]
+        assert not is_rup(clauses, [lit(2)])
+
+
+class TestSolverProofs:
+    def test_trivial_contradiction_proof(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([lit(a)])
+        cnf.add_clause([lit(a, True)])
+        status, proof = solve_with_proof(cnf)
+        assert status is False
+        assert check_unsat_proof(cnf, proof)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_pigeonhole_proofs_check(self, n):
+        cnf = pigeonhole_cnf(n + 1, n)
+        status, proof = solve_with_proof(cnf)
+        assert status is False
+        assert check_unsat_proof(cnf, proof)
+        stats = proof_stats(proof)
+        assert stats["additions"] >= 1
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_unsat_formulas_produce_valid_proofs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 7)
+        cnf = CNF()
+        cnf.new_vars(n)
+        for _ in range(rng.randint(3 * n, 6 * n)):
+            vs = rng.sample(range(n), min(3, n))
+            cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+        expected = brute_force_solve(cnf)
+        status, proof = solve_with_proof(cnf)
+        if expected is None:
+            assert status is False
+            assert check_unsat_proof(cnf, proof)
+        else:
+            assert status is True
+
+    def test_proof_off_by_default(self):
+        solver = Solver()
+        assert solver.proof is None
+
+    def test_tampered_proof_rejected(self):
+        cnf = pigeonhole_cnf(4, 3)
+        status, proof = solve_with_proof(cnf)
+        assert status is False
+        # inject a bogus derivation before the real steps
+        bogus = [("a", (lit(0), lit(1, True)))] + list(proof)
+        tampered_ok = True
+        try:
+            tampered_ok = check_unsat_proof(cnf, bogus)
+        except ProofError:
+            tampered_ok = False
+        # the bogus clause may coincidentally be RUP; ensure a definitely
+        # broken clause is rejected
+        definitely_bogus = [("a", (lit(cnf.n_vars - 1),))] + list(proof)
+        with pytest.raises(ProofError):
+            check_unsat_proof(cnf, definitely_bogus)
+
+    def test_incomplete_proof_returns_false(self):
+        cnf = pigeonhole_cnf(4, 3)
+        status, proof = solve_with_proof(cnf)
+        truncated = [step for step in proof if step[1]]  # drop empty clause
+        assert check_unsat_proof(cnf, truncated) is False
+
+    def test_strict_deletion_of_absent_clause(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([lit(a)])
+        proof = [("d", (lit(a, True),)), ("a", ())]
+        with pytest.raises(ProofError):
+            check_unsat_proof(cnf, proof, strict_deletions=True)
+
+    def test_unknown_op_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ProofError):
+            check_unsat_proof(cnf, [("x", ())])
+
+
+class TestOptimizationProofs:
+    def test_depth_optimality_unsat_is_certifiable(self):
+        """The load-bearing UNSAT at bound T*-1 can be independently
+        certified by re-solving a proof-logging solver on the instance."""
+        from repro.arch import linear
+        from repro.circuit import QuantumCircuit
+        from repro.core import LayoutEncoder, SynthesisConfig
+        from repro.smt import SMTContext
+
+        tri = QuantumCircuit(3)
+        tri.cx(0, 1)
+        tri.cx(1, 2)
+        tri.cx(0, 2)
+        # depth 4 is optimal on a line (see core tests); bound 3 is UNSAT.
+        solver = Solver(proof_log=True)
+        ctx = SMTContext(sink=solver)
+        enc = LayoutEncoder(
+            tri, linear(3), horizon=5, config=SynthesisConfig(swap_duration=1), ctx=ctx
+        )
+        enc.encode()
+        guard = enc.depth_guard(3)
+        # make the bound unconditional so UNSAT is a formula property
+        solver.add_clause([guard])
+        assert solver.solve() is False
+        snapshot = CNF()
+        # the proof must check against what the solver was given; rebuild
+        # by replaying encode on a CNF sink
+        from repro.smt import cnf_context
+
+        ctx2 = cnf_context()
+        enc2 = LayoutEncoder(
+            tri, linear(3), horizon=5, config=SynthesisConfig(swap_duration=1), ctx=ctx2
+        )
+        enc2.encode()
+        guard2 = enc2.depth_guard(3)
+        ctx2.sink.add_clause([guard2])
+        assert check_unsat_proof(ctx2.sink, solver.proof)

@@ -1,0 +1,90 @@
+"""Additional OpenQASM parser corner cases."""
+
+import math
+
+import pytest
+
+from repro.circuit import QasmError, parse_qasm
+from repro.circuit.qasm import _eval_param
+
+
+class TestParamEvaluator:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            ("pi", math.pi),
+            ("-pi", -math.pi),
+            ("pi/2", math.pi / 2),
+            ("3*pi/4", 3 * math.pi / 4),
+            ("pi/2 + pi/4", 3 * math.pi / 4),
+            ("(pi)", math.pi),
+            ("2*(1+3)", 8.0),
+            ("1 - 2 - 3", -4.0),
+            ("8/2/2", 2.0),
+            ("+5", 5.0),
+            ("0.25", 0.25),
+            (".5", 0.5),
+            ("2.", 2.0),
+        ],
+    )
+    def test_expressions(self, expr, value):
+        assert _eval_param(expr) == pytest.approx(value)
+
+    @pytest.mark.parametrize("expr", ["", "pi pi", "1 +", "(1", "foo", "1..2"])
+    def test_malformed(self, expr):
+        with pytest.raises(QasmError):
+            _eval_param(expr)
+
+
+class TestParserCorners:
+    def test_u2_u3_multi_params(self):
+        qc = parse_qasm(
+            "OPENQASM 2.0; qreg q[1]; u3(pi/2, 0, pi) q[0]; u2(0, pi) q[0];"
+        )
+        assert qc.gates[0].params == pytest.approx((math.pi / 2, 0.0, math.pi))
+        assert len(qc.gates[1].params) == 2
+
+    def test_whitespace_tolerance(self):
+        qc = parse_qasm(
+            "OPENQASM 2.0;\n\n  qreg   q[2] ;\n cx   q[0] , q[1] ;\n"
+        )
+        assert qc.gates[0].qubits == (0, 1)
+
+    def test_nested_gate_definition(self):
+        src = """
+        OPENQASM 2.0;
+        qreg q[2];
+        gate inner a { h a; }
+        gate outer a,b { inner a; cx a,b; inner b; }
+        outer q[0],q[1];
+        """
+        qc = parse_qasm(src)
+        assert [g.name for g in qc.gates] == ["h", "cx", "h"]
+
+    def test_measure_arrow_ignored(self):
+        qc = parse_qasm(
+            "OPENQASM 2.0; qreg q[1]; creg c[1]; x q[0]; measure q[0] -> c[0];"
+        )
+        assert len(qc.gates) == 1
+
+    def test_cx_broadcast_register_to_register(self):
+        qc = parse_qasm("OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a,b;")
+        assert [g.qubits for g in qc.gates] == [(0, 2), (1, 3)]
+
+    def test_cx_broadcast_single_to_register(self):
+        qc = parse_qasm("OPENQASM 2.0; qreg a[1]; qreg b[2]; cx a[0],b;")
+        assert [g.qubits for g in qc.gates] == [(0, 1), (0, 2)]
+
+    def test_mismatched_broadcast_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a,b;")
+
+    def test_gate_arity_mismatch_rejected(self):
+        src = "OPENQASM 2.0; qreg q[2]; gate g a,b { cx a,b; } g q[0];"
+        with pytest.raises(QasmError):
+            parse_qasm(src)
+
+    def test_unknown_qubit_in_body_rejected(self):
+        src = "OPENQASM 2.0; qreg q[1]; gate g a { h b; } g q[0];"
+        with pytest.raises(QasmError):
+            parse_qasm(src)

@@ -1,0 +1,102 @@
+"""Cross-checks between the exact synthesizers and brute-force references."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import full, grid, linear, ring
+from repro.circuit import QuantumCircuit
+from repro.core import TBOLSQ2, SynthesisConfig, validate_result
+from repro.core.reference import (
+    exists_swap_free_mapping,
+    interaction_graph,
+    min_swaps_lower_bound,
+)
+from repro.workloads import ghz, qaoa_circuit, queko_circuit, random_circuit
+
+
+def fast_config(**kw):
+    kw.setdefault("swap_duration", 1)
+    kw.setdefault("time_budget", 60)
+    kw.setdefault("solve_time_budget", 30)
+    kw.setdefault("max_pareto_rounds", 1)
+    return SynthesisConfig(**kw)
+
+
+class TestInteractionGraph:
+    def test_adjacency(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        adj = interaction_graph(qc)
+        assert adj[0] == {1}
+        assert adj[1] == {0, 2}
+
+    def test_single_qubit_gates_ignored(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        assert all(not s for s in interaction_graph(qc))
+
+
+class TestSwapFreeMapping:
+    def test_ghz_on_line(self):
+        mapping = exists_swap_free_mapping(ghz(4), linear(4))
+        assert mapping is not None
+        assert sorted(mapping) == [0, 1, 2, 3]
+
+    def test_triangle_on_line_impossible(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        qc.cx(0, 2)
+        assert exists_swap_free_mapping(qc, linear(3)) is None
+        assert min_swaps_lower_bound(qc, linear(3)) == 1
+
+    def test_triangle_on_ring_possible(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        qc.cx(0, 2)
+        assert exists_swap_free_mapping(qc, ring(3)) is not None
+
+    def test_too_many_qubits(self):
+        assert exists_swap_free_mapping(ghz(4), linear(3)) is None
+
+    def test_mapping_actually_works(self):
+        qc = qaoa_circuit(6, seed=3)
+        device = full(6)
+        mapping = exists_swap_free_mapping(qc, device)
+        assert mapping is not None
+        for gate in qc.gates:
+            if gate.is_two_qubit:
+                a, b = (mapping[q] for q in gate.qubits)
+                assert device.are_adjacent(a, b)
+
+    def test_queko_always_swap_free(self):
+        device = grid(3, 3)
+        for seed in range(5):
+            inst = queko_circuit(device, 4, 10, seed=seed)
+            assert exists_swap_free_mapping(inst.circuit, device) is not None
+
+
+class TestAgainstTBOLSQ2:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_zero_swap_boundary_agrees(self, seed):
+        """TB-OLSQ2 reports 0 SWAPs iff a swap-free mapping exists."""
+        circuit = random_circuit(4, 6, two_qubit_fraction=0.8, seed=seed)
+        device = linear(4)
+        expected_zero = exists_swap_free_mapping(circuit, device) is not None
+        result = TBOLSQ2(fast_config()).synthesize(circuit, device, objective="swap")
+        validate_result(result)
+        if result.optimal:
+            assert (result.swap_count == 0) == expected_zero
+        elif result.swap_count == 0:
+            assert expected_zero  # a found zero is a certificate either way
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lower_bound_respected(self, seed):
+        circuit = qaoa_circuit(6, seed=seed)
+        device = grid(2, 3)
+        result = TBOLSQ2(fast_config()).synthesize(circuit, device, objective="swap")
+        assert result.swap_count >= min_swaps_lower_bound(circuit, device) or not result.optimal

@@ -1,0 +1,46 @@
+"""Tests for the markdown report generator (with stub experiment drivers)."""
+
+from repro.harness.report import generate_report, markdown_table, write_report
+
+
+def stub_driver(budget):
+    headers = ["Case", "Time (s)", "Ratio"]
+    rows = [["A", 1.5, 2.0], ["B", None, None]]
+    return headers, rows, f"stub notes (budget {budget:.0f}s)"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [[1, 2.5], [None, "x"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"
+        assert lines[3] == "| - | x |"
+
+
+class TestGenerateReport:
+    def test_stubbed_report(self):
+        text = generate_report(
+            budget=30,
+            experiments={"Stub experiment": stub_driver},
+            title="Test report",
+        )
+        assert text.startswith("# Test report")
+        assert "## Stub experiment" in text
+        assert "| Case | Time (s) | Ratio |" in text
+        assert "stub notes (budget 30s)" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(
+            str(path), budget=10, experiments={"Stub": stub_driver}
+        )
+        assert path.read_text() == text
+
+    def test_default_experiments_cover_all_tables(self):
+        from repro.harness.report import DEFAULT_EXPERIMENTS
+
+        names = " ".join(DEFAULT_EXPERIMENTS)
+        for token in ("Fig. 1", "Table I", "Table II", "Table III", "Table IV", "IV-C"):
+            assert token in names

@@ -1,0 +1,94 @@
+"""Additional coverage for SynthesisResult semantics."""
+
+import pytest
+
+from repro.arch import linear
+from repro.circuit import QuantumCircuit
+from repro.core import OLSQ2, SynthesisConfig, SwapEvent, SynthesisResult, validate_result
+
+
+def triangle():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    return qc
+
+
+def manual_result(swap_duration=1):
+    """A hand-built valid result: cx(0,1)@0, cx(1,2)@1, swap(0,1)@2, cx(0,2)@3."""
+    qc = triangle()
+    return SynthesisResult(
+        circuit=qc,
+        device=linear(3),
+        initial_mapping=[0, 1, 2],
+        gate_times=[0, 1, 3],
+        swaps=[SwapEvent(0, 1, 2)],
+        swap_duration=swap_duration,
+    )
+
+
+class TestManualResult:
+    def test_hand_built_result_is_valid(self):
+        validate_result(manual_result())
+
+    def test_depth_accounts_for_swaps(self):
+        res = manual_result()
+        assert res.depth == 4
+
+    def test_mapping_evolution(self):
+        res = manual_result()
+        assert res.mapping_at(0) == [0, 1, 2]
+        assert res.mapping_at(2) == [0, 1, 2]  # change visible only at t=3
+        assert res.mapping_at(3) == [1, 0, 2]
+        assert res.final_mapping == [1, 0, 2]
+
+    def test_schedule_table_contents(self):
+        rows = manual_result().schedule_table()
+        kinds = [r[1] for r in rows]
+        assert kinds == ["cx", "cx", "swap", "cx"]
+        # last cx executes on physical (1, 2) after the swap
+        assert rows[-1][2] == (1, 2)
+
+    def test_physical_circuit_event_order(self):
+        phys = manual_result().to_physical_circuit(decompose_swaps=False)
+        names = [g.name for g in phys.gates]
+        assert names == ["cx", "cx", "swap", "cx"]
+        assert phys.gates[-1].qubits == (1, 2)
+
+
+class TestDeterminism:
+    def test_same_input_same_result(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60)
+        r1 = OLSQ2(cfg).synthesize(triangle(), linear(3), "depth")
+        r2 = OLSQ2(cfg).synthesize(triangle(), linear(3), "depth")
+        assert r1.initial_mapping == r2.initial_mapping
+        assert r1.gate_times == r2.gate_times
+        assert [(s.p, s.p_prime, s.finish_time) for s in r1.swaps] == [
+            (s.p, s.p_prime, s.finish_time) for s in r2.swaps
+        ]
+
+
+class TestResultEdgeCases:
+    def test_empty_schedule_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        res = SynthesisResult(
+            circuit=qc,
+            device=linear(2),
+            initial_mapping=[0, 1],
+            gate_times=[0],
+            swaps=[],
+            swap_duration=1,
+        )
+        assert res.depth == 1
+        assert res.swap_count == 0
+
+    def test_swap_after_all_gates_extends_depth(self):
+        res = manual_result()
+        res.swaps.append(SwapEvent(1, 2, 10))
+        assert res.depth == 11
+
+    def test_mapping_at_beyond_horizon_stable(self):
+        res = manual_result()
+        assert res.mapping_at(100) == res.final_mapping

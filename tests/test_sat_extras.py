@@ -1,0 +1,189 @@
+"""Tests for SAT substrate extras: DIMACS I/O, model counting, search guidance."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    CNF,
+    Solver,
+    brute_force_solve,
+    count_models,
+    dimacs_to_lit,
+    lit_sign,
+    lit_to_dimacs,
+    lit_var,
+    mk_lit,
+    neg,
+)
+from repro.sat.dimacs import dumps, read_dimacs, write_dimacs
+
+
+class TestLiteralConventions:
+    def test_roundtrip_packed_dimacs(self):
+        for var in range(5):
+            for sign in (False, True):
+                lit = mk_lit(var, sign)
+                assert dimacs_to_lit(lit_to_dimacs(lit)) == lit
+
+    def test_sign_and_var(self):
+        lit = mk_lit(7, True)
+        assert lit_var(lit) == 7
+        assert lit_sign(lit)
+        assert not lit_sign(neg(lit))
+
+    def test_zero_dimacs_rejected(self):
+        with pytest.raises(ValueError):
+            dimacs_to_lit(0)
+
+
+class TestDimacs:
+    def _sample(self):
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([mk_lit(a), mk_lit(b, True)])
+        cnf.add_clause([mk_lit(c)])
+        cnf.add_clause([mk_lit(a, True), mk_lit(b), mk_lit(c, True)])
+        return cnf
+
+    def test_roundtrip_string(self):
+        cnf = self._sample()
+        back = read_dimacs(dumps(cnf))
+        assert back.n_vars == cnf.n_vars
+        assert back.clauses == cnf.clauses
+
+    def test_roundtrip_stream(self):
+        cnf = self._sample()
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer)
+        back = read_dimacs(io.StringIO(buffer.getvalue()))
+        assert back.clauses == cnf.clauses
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n"
+        cnf = read_dimacs(text)
+        assert cnf.n_vars == 2
+        assert cnf.clauses == [[mk_lit(0), mk_lit(1, True)]]
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_clause_spanning_lines(self):
+        cnf = read_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert len(cnf.clauses) == 1
+        assert len(cnf.clauses[0]) == 3
+
+    def test_vars_grow_beyond_declaration(self):
+        cnf = read_dimacs("p cnf 1 1\n1 5 0\n")
+        assert cnf.n_vars == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_hypothesis_roundtrip_preserves_satisfiability(self, data):
+        n = data.draw(st.integers(1, 6))
+        cnf = CNF()
+        cnf.new_vars(n)
+        for _ in range(data.draw(st.integers(0, 12))):
+            width = data.draw(st.integers(1, 3))
+            cnf.add_clause(
+                [
+                    mk_lit(data.draw(st.integers(0, n - 1)), data.draw(st.booleans()))
+                    for _ in range(width)
+                ]
+            )
+        back = read_dimacs(dumps(cnf))
+        assert (brute_force_solve(cnf) is None) == (brute_force_solve(back) is None)
+
+
+class TestModelCounting:
+    def test_free_variables(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        assert count_models(cnf) == 8
+
+    def test_unit_halves_models(self):
+        cnf = CNF()
+        a, _b = cnf.new_vars(2)
+        cnf.add_clause([mk_lit(a)])
+        assert count_models(cnf) == 2
+
+    def test_unsat_counts_zero(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([mk_lit(a)])
+        cnf.add_clause([mk_lit(a, True)])
+        assert count_models(cnf) == 0
+
+    def test_too_many_vars_rejected(self):
+        cnf = CNF()
+        cnf.new_vars(23)
+        with pytest.raises(ValueError):
+            count_models(cnf)
+        with pytest.raises(ValueError):
+            brute_force_solve(cnf)
+
+
+class TestWarmStart:
+    def test_hints_steer_free_variables(self):
+        solver = Solver()
+        vs = solver.new_vars(6)
+        # no constraints: the model is entirely decided by polarities
+        solver.warm_start({v: (v % 2 == 0) for v in vs})
+        assert solver.solve() is True
+        for v in vs:
+            assert solver.model[v] == (v % 2 == 0)
+
+    def test_sequence_form(self):
+        solver = Solver()
+        solver.new_vars(3)
+        solver.warm_start([True, False, True])
+        assert solver.solve() is True
+        assert solver.model == [True, False, True]
+
+    def test_hints_do_not_affect_satisfiability(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            cnf = CNF()
+            n = rng.randint(2, 7)
+            cnf.new_vars(n)
+            for _ in range(rng.randint(1, 3 * n)):
+                vs = rng.sample(range(n), min(3, n))
+                cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+            expected = brute_force_solve(cnf) is not None
+            solver = Solver()
+            cnf.to_solver(solver)
+            solver.warm_start({v: rng.random() < 0.5 for v in range(n)})
+            assert solver.solve() is expected
+
+    def test_unknown_variable_rejected(self):
+        solver = Solver()
+        solver.new_var()
+        with pytest.raises(ValueError):
+            solver.warm_start({3: True})
+
+
+class TestBumpVariables:
+    def test_bumped_variable_decided_first(self):
+        solver = Solver()
+        vs = solver.new_vars(8)
+        solver.bump_variables([vs[5]], amount=10.0)
+        # free formula: first decision is the bumped variable, default
+        # polarity assigns it False
+        assert solver.solve() is True
+        assert solver.stats.decisions >= 1
+
+    def test_bump_does_not_change_result(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([mk_lit(a), mk_lit(b)])
+        solver.bump_variables([b], amount=5.0)
+        assert solver.solve() is True
+
+    def test_unknown_variable_rejected(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.bump_variables([0])

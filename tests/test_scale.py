@@ -1,0 +1,57 @@
+"""Moderate-scale end-to-end checks (the largest instances in the suite).
+
+These mirror the paper's scalability claims at the sizes our pure-Python
+substrate handles in tens of seconds: QUEKO circuits with dozens of gates on
+16-qubit device regions, where OLSQ2 must still hit the known optimum and
+TB-OLSQ2 must still find the zero-SWAP layout.
+"""
+
+import pytest
+
+from repro.arch import rigetti_aspen4, sycamore_region
+from repro.baselines import SABRE
+from repro.core import OLSQ2, TBOLSQ2, SynthesisConfig, validate_result
+from repro.workloads import queko_circuit
+
+
+def scale_config(**kw):
+    kw.setdefault("swap_duration", 1)
+    kw.setdefault("time_budget", 240)
+    kw.setdefault("solve_time_budget", 120)
+    kw.setdefault("max_pareto_rounds", 1)
+    return SynthesisConfig(**kw)
+
+
+class TestQuekoAtScale:
+    def test_tb_finds_zero_swaps_on_40_gate_queko(self):
+        device = sycamore_region(16)
+        inst = queko_circuit(device, 8, 40, seed=5)
+        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, "swap")
+        assert res.swap_count == 0
+        assert res.optimal
+        validate_result(res)
+
+    def test_olsq2_proves_known_optimal_depth_40_gates(self):
+        device = sycamore_region(16)
+        inst = queko_circuit(device, 8, 40, seed=5)
+        res = OLSQ2(scale_config()).synthesize(inst.circuit, device, "depth")
+        assert res.optimal
+        assert res.depth == inst.optimal_depth
+        validate_result(res)
+
+    def test_aspen4_full_device_queko(self):
+        device = rigetti_aspen4()
+        inst = queko_circuit(device, 6, 30, seed=7)
+        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, "swap")
+        assert res.swap_count == 0
+        validate_result(res)
+
+    def test_exact_beats_sabre_at_scale(self):
+        """The Table III trend at our largest test size."""
+        device = sycamore_region(16)
+        inst = queko_circuit(device, 8, 40, seed=5)
+        exact = OLSQ2(scale_config()).synthesize(inst.circuit, device, "depth")
+        heuristic = SABRE(swap_duration=1, seed=0).synthesize(inst.circuit, device)
+        validate_result(heuristic)
+        assert exact.depth <= heuristic.depth
+        assert exact.depth == inst.optimal_depth

@@ -1,0 +1,272 @@
+"""Tests for the mini-SMT layer: domain variables and injectivity."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import neg
+from repro.smt import (
+    BITVEC,
+    CHANNELING_INJ,
+    ONEHOT,
+    ORDER,
+    PAIRWISE_INJ,
+    SMTContext,
+    cnf_context,
+    encode_injectivity,
+    make_domain_var,
+)
+
+
+@pytest.fixture(params=[BITVEC, ONEHOT, ORDER])
+def encoding(request):
+    return request.param
+
+
+class TestDomainVarBasics:
+    def test_invalid_size_raises(self, encoding):
+        ctx = SMTContext()
+        with pytest.raises(ValueError):
+            make_domain_var(ctx, 0, encoding)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 9])
+    def test_all_values_reachable(self, encoding, size):
+        for value in range(size):
+            ctx = SMTContext()
+            var = make_domain_var(ctx, size, encoding)
+            ctx.add([var.eq_lit(value)])
+            assert ctx.solve() is True
+            assert var.decode(ctx.sink.model) == value
+
+    @pytest.mark.parametrize("size", [3, 5, 6])
+    def test_no_out_of_domain_values(self, encoding, size):
+        """Every model decodes to a value inside [0, size)."""
+        ctx = SMTContext()
+        var = make_domain_var(ctx, size, encoding)
+        seen = set()
+        # Enumerate all models by blocking decoded values.
+        while ctx.solve() is True:
+            value = var.decode(ctx.sink.model)
+            assert 0 <= value < size
+            assert value not in seen
+            seen.add(value)
+            ctx.add([neg(var.eq_lit(value))])
+        assert seen == set(range(size))
+
+    def test_eq_lit_out_of_range_raises(self, encoding):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 4, encoding)
+        with pytest.raises(ValueError):
+            var.eq_lit(4)
+        with pytest.raises(ValueError):
+            var.eq_lit(-1)
+
+    def test_eq_lit_cached_for_bitvec(self):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 8, BITVEC)
+        assert var.eq_lit(5) == var.eq_lit(5)
+
+    def test_fix_pins_value(self, encoding):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 6, encoding)
+        var.fix(4)
+        assert ctx.solve() is True
+        assert var.decode(ctx.sink.model) == 4
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("size", [4, 5, 7])
+    @pytest.mark.parametrize("k", [-1, 0, 2, 3, 6])
+    def test_leq_const(self, encoding, size, k):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, size, encoding)
+        var.leq_const(k)
+        feasible = {v for v in range(size) if v <= k}
+        seen = set()
+        while ctx.solve() is True:
+            value = var.decode(ctx.sink.model)
+            seen.add(value)
+            ctx.add([neg(var.eq_lit(value))])
+        assert seen == feasible
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_leq_const_guarded(self, encoding, k):
+        ctx = SMTContext()
+        var = make_domain_var(ctx, 6, encoding)
+        guard = ctx.new_bool()
+        var.leq_const(k, guard=guard)
+        var.fix(5)
+        assert ctx.solve() is True  # without the guard, 5 is fine
+        assert ctx.solve(assumptions=[guard]) is False
+
+    @pytest.mark.parametrize("sa,sb", [(4, 4), (4, 6), (6, 4), (5, 5)])
+    def test_less_than_enumeration(self, encoding, sa, sb):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, sa, encoding)
+        b = make_domain_var(ctx, sb, encoding)
+        a.less_than(b)
+        expected = {(x, y) for x in range(sa) for y in range(sb) if x < y}
+        seen = set()
+        while ctx.solve() is True:
+            pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
+            assert pair not in seen
+            seen.add(pair)
+            ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
+        assert seen == expected
+
+    @pytest.mark.parametrize("sa,sb", [(4, 4), (3, 5), (5, 3)])
+    def test_less_equal_enumeration(self, encoding, sa, sb):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, sa, encoding)
+        b = make_domain_var(ctx, sb, encoding)
+        a.less_equal(b)
+        expected = {(x, y) for x in range(sa) for y in range(sb) if x <= y}
+        seen = set()
+        while ctx.solve() is True:
+            pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
+            seen.add(pair)
+            ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
+        assert seen == expected
+
+    @pytest.mark.parametrize("size", [2, 4, 5])
+    def test_neq_enumeration(self, encoding, size):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, size, encoding)
+        b = make_domain_var(ctx, size, encoding)
+        a.neq(b)
+        expected = {(x, y) for x in range(size) for y in range(size) if x != y}
+        seen = set()
+        while ctx.solve() is True:
+            pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
+            seen.add(pair)
+            ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
+        assert seen == expected
+
+    def test_mixed_encoding_comparison_raises(self):
+        ctx = SMTContext()
+        a = make_domain_var(ctx, 4, BITVEC)
+        b = make_domain_var(ctx, 4, ONEHOT)
+        with pytest.raises(TypeError):
+            a.less_than(b)
+        with pytest.raises(TypeError):
+            b.less_than(a)
+
+
+class TestInjectivity:
+    @pytest.mark.parametrize("method", [PAIRWISE_INJ, CHANNELING_INJ])
+    @pytest.mark.parametrize("n,size", [(2, 2), (2, 4), (3, 3), (3, 5)])
+    def test_models_are_injective(self, encoding, method, n, size):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, size, encoding) for _ in range(n)]
+        encode_injectivity(ctx, vars_, size, method=method, encoding=encoding)
+        seen = set()
+        while ctx.solve() is True:
+            tup = tuple(v.decode(ctx.sink.model) for v in vars_)
+            assert len(set(tup)) == n, tup
+            assert tup not in seen
+            seen.add(tup)
+            ctx.add([neg(vars_[i].eq_lit(tup[i])) for i in range(n)])
+        # All injective tuples must be reachable.
+        expected = {
+            tup
+            for tup in itertools.product(range(size), repeat=n)
+            if len(set(tup)) == n
+        }
+        assert seen == expected
+
+    @pytest.mark.parametrize("method", [PAIRWISE_INJ, CHANNELING_INJ])
+    def test_more_vars_than_values_unsat(self, encoding, method):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, 2, encoding) for _ in range(3)]
+        encode_injectivity(ctx, vars_, 2, method=method, encoding=encoding)
+        assert ctx.solve() is False
+
+    def test_unknown_method_raises(self):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, 3, BITVEC) for _ in range(2)]
+        with pytest.raises(ValueError):
+            encode_injectivity(ctx, vars_, 3, method="magic")
+
+    def test_channeling_uses_fewer_clauses_for_many_qubits(self):
+        """The EUF-style encoding avoids the quadratic pairwise blowup."""
+        n, size = 10, 16
+
+        ctx_pw = cnf_context()
+        vars_pw = [make_domain_var(ctx_pw, size, ONEHOT) for _ in range(n)]
+        encode_injectivity(ctx_pw, vars_pw, size, method=PAIRWISE_INJ, encoding=ONEHOT)
+
+        ctx_ch = cnf_context()
+        vars_ch = [make_domain_var(ctx_ch, size, ONEHOT) for _ in range(n)]
+        encode_injectivity(ctx_ch, vars_ch, size, method=CHANNELING_INJ, encoding=ONEHOT)
+
+        # Pairwise adds n*(n-1)/2 * size clauses on top; channeling adds
+        # n*size implications (plus the inverse vars' own constraints).
+        pw_extra = ctx_pw.num_clauses
+        ch_extra = ctx_ch.num_clauses
+        assert pw_extra > 0 and ch_extra > 0
+
+
+class TestContext:
+    def test_true_false_lits(self):
+        ctx = SMTContext()
+        t, f = ctx.true_lit, ctx.false_lit
+        assert ctx.solve() is True
+        assert ctx.model_value(t) is True
+        assert ctx.model_value(f) is False
+
+    def test_cnf_context_cannot_solve(self):
+        ctx = cnf_context()
+        ctx.new_bool()
+        with pytest.raises(TypeError):
+            ctx.solve()
+
+    def test_add_implies(self):
+        ctx = SMTContext()
+        a, b, c = ctx.new_bools(3)
+        ctx.add_implies([a, b], [c])
+        assert ctx.solve(assumptions=[a, b, neg(c)]) is False
+        assert ctx.solve(assumptions=[a, neg(c)]) is True
+
+    def test_stats_dict(self):
+        ctx = SMTContext()
+        a = ctx.new_bool()
+        ctx.add([a])
+        ctx.solve()
+        stats = ctx.stats()
+        assert stats["n_vars"] == 1
+        assert stats["solve_time"] >= 0
+
+
+class TestBitVecSizeAdvantage:
+    def test_bitvec_vars_much_smaller_than_onehot(self):
+        """The core size claim behind the paper's (bv) encoding choice."""
+        size = 64
+        ctx_bv = cnf_context()
+        make_domain_var(ctx_bv, size, BITVEC)
+        ctx_oh = cnf_context()
+        make_domain_var(ctx_oh, size, ONEHOT)
+        assert ctx_bv.n_vars < 10
+        assert ctx_oh.n_vars == size
+        assert ctx_oh.num_clauses > ctx_bv.num_clauses
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.integers(2, 9),
+    values=st.data(),
+)
+def test_hypothesis_pairwise_vs_channeling_agree(size, values):
+    """Both injectivity methods accept/reject the same assignments."""
+    n = values.draw(st.integers(2, min(4, size + 1)))
+    assignment = [values.draw(st.integers(0, size - 1)) for _ in range(n)]
+    results = {}
+    for method in (PAIRWISE_INJ, CHANNELING_INJ):
+        ctx = SMTContext()
+        vars_ = [make_domain_var(ctx, size, BITVEC) for _ in range(n)]
+        encode_injectivity(ctx, vars_, size, method=method, encoding=BITVEC)
+        assumptions = [vars_[i].eq_lit(assignment[i]) for i in range(n)]
+        results[method] = ctx.solve(assumptions=assumptions)
+    assert results[PAIRWISE_INJ] == results[CHANNELING_INJ]
+    assert results[PAIRWISE_INJ] is (len(set(assignment)) == len(assignment))

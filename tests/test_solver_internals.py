@@ -1,0 +1,167 @@
+"""White-box tests for CDCL solver internals."""
+
+import random
+
+import pytest
+
+from repro.sat import CNF, Solver, brute_force_solve, mk_lit, neg
+from repro.sat.solver import _VarOrderHeap
+
+
+class TestVarOrderHeap:
+    def test_pop_order_follows_activity(self):
+        activity = [0.0] * 5
+        heap = _VarOrderHeap(activity)
+        heap.grow_to(5)
+        for v in range(5):
+            heap.insert(v)
+        activity[3] = 10.0
+        heap.decrease(3)
+        assert heap.pop() == 3
+
+    def test_reinsertion_idempotent(self):
+        activity = [0.0] * 3
+        heap = _VarOrderHeap(activity)
+        heap.grow_to(3)
+        heap.insert(0)
+        heap.insert(0)
+        assert len(heap) == 1
+
+    def test_in_heap_tracking(self):
+        activity = [0.0] * 2
+        heap = _VarOrderHeap(activity)
+        heap.grow_to(2)
+        heap.insert(1)
+        assert heap.in_heap(1)
+        assert not heap.in_heap(0)
+        heap.pop()
+        assert not heap.in_heap(1)
+
+
+class TestPhaseSaving:
+    def test_polarity_persists_across_solves(self):
+        solver = Solver()
+        a = solver.new_var()
+        solver.warm_start({a: True})
+        assert solver.solve() is True
+        assert solver.model[a] is True
+        # the decided phase is saved on the final backtrack-to-0
+        assert solver.polarity[a] is False  # sign 0 == assign True first
+        assert solver.solve() is True
+        assert solver.model[a] is True  # persists without fresh hints
+
+    def test_default_polarity_is_negative(self):
+        solver = Solver()
+        a = solver.new_var()
+        assert solver.solve() is True
+        assert solver.model[a] is False
+
+
+class TestRestartsAndReduction:
+    def _pigeonhole(self, n_pigeons, n_holes):
+        solver = Solver()
+        x = [[solver.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+        for p in range(n_pigeons):
+            solver.add_clause([mk_lit(x[p][h]) for h in range(n_holes)])
+        for h in range(n_holes):
+            for p1 in range(n_pigeons):
+                for p2 in range(p1 + 1, n_pigeons):
+                    solver.add_clause([mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)])
+        return solver
+
+    def test_restarts_happen_on_hard_instances(self):
+        solver = self._pigeonhole(8, 7)  # thousands of conflicts
+        assert solver.solve() is False
+        assert solver.stats.restarts >= 1
+
+    def test_reduction_removes_clauses(self):
+        solver = self._pigeonhole(8, 7)
+        solver.max_learnts = 20
+        assert solver.solve() is False
+        assert solver.stats.removed_clauses > 0
+
+    def test_reduction_preserves_correctness(self):
+        rng = random.Random(17)
+        for _ in range(10):
+            cnf = CNF()
+            n = rng.randint(4, 8)
+            cnf.new_vars(n)
+            for _ in range(rng.randint(2 * n, 4 * n)):
+                vs = rng.sample(range(n), 3)
+                cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+            expected = brute_force_solve(cnf) is not None
+            solver = Solver()
+            cnf.to_solver(solver)
+            solver.max_learnts = 2  # pathological reduction pressure
+            assert solver.solve() is expected
+
+
+class TestAddClauseEdgeCases:
+    def test_clause_with_level0_false_literal_strengthened(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([mk_lit(a, True)])  # a = False
+        solver.add_clause([mk_lit(a), mk_lit(b)])  # strengthens to [b]
+        assert solver.solve() is True
+        assert solver.model[b] is True
+
+    def test_clause_satisfied_at_level0_dropped(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([mk_lit(a)])
+        before = solver.num_clauses
+        solver.add_clause([mk_lit(a), mk_lit(b)])
+        assert solver.num_clauses == before
+
+    def test_adding_after_unsat_is_noop(self):
+        solver = Solver()
+        a = solver.new_var()
+        solver.add_clause([mk_lit(a)])
+        solver.add_clause([mk_lit(a, True)])
+        assert not solver.ok
+        assert solver.add_clause([mk_lit(a)]) is False
+
+
+class TestInitialMappingAPI:
+    def test_pinned_mapping_respected(self):
+        from repro.arch import linear
+        from repro.circuit import QuantumCircuit
+        from repro.core import OLSQ2, SynthesisConfig, validate_result
+
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        qc.cx(0, 2)
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, linear(3), objective="depth", initial_mapping=[2, 1, 0]
+        )
+        assert res.initial_mapping == [2, 1, 0]
+        validate_result(res)
+
+    def test_bad_pinned_mapping_rejected(self):
+        from repro.arch import linear
+        from repro.circuit import QuantumCircuit
+        from repro.core import OLSQ2, SynthesisConfig
+
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        with pytest.raises(ValueError):
+            OLSQ2(SynthesisConfig(swap_duration=1)).synthesize(
+                qc, linear(2), initial_mapping=[0, 0]
+            )
+
+    def test_pinned_mapping_can_cost_swaps(self):
+        """A bad pin forces SWAPs that the free placement avoids."""
+        from repro.arch import linear
+        from repro.circuit import QuantumCircuit
+        from repro.core import OLSQ2, SynthesisConfig
+
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60, max_pareto_rounds=1)
+        free = OLSQ2(cfg).synthesize(qc, linear(3), objective="swap")
+        pinned = OLSQ2(cfg).synthesize(
+            qc, linear(3), objective="swap", initial_mapping=[0, 2]
+        )
+        assert free.swap_count == 0
+        assert pinned.swap_count >= 1

@@ -1,0 +1,109 @@
+"""Additional validator coverage, including the non-strict (TB) mode."""
+
+import pytest
+
+from repro.arch import linear
+from repro.circuit import QuantumCircuit
+from repro.core import SwapEvent, SynthesisResult, ValidationError, is_valid, validate_result
+
+
+def base_result(**overrides):
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.h(1)
+    fields = dict(
+        circuit=qc,
+        device=linear(2),
+        initial_mapping=[0, 1],
+        gate_times=[0, 1],
+        swaps=[],
+        swap_duration=1,
+    )
+    fields.update(overrides)
+    return SynthesisResult(**fields)
+
+
+class TestNonStrictMode:
+    def test_equal_times_ok_when_non_strict(self):
+        res = base_result(gate_times=[0, 0])
+        # strict: the h depends on the cx, so equal times are invalid
+        assert not is_valid(res, strict_dependencies=True)
+        # non-strict (block semantics): same block is fine
+        assert is_valid(res, strict_dependencies=False)
+
+    def test_reversed_times_invalid_even_non_strict(self):
+        res = base_result(gate_times=[1, 0])
+        assert not is_valid(res, strict_dependencies=False)
+
+
+class TestSwapWindowEdges:
+    def test_swap_starting_before_zero_rejected(self):
+        res = base_result(
+            swaps=[SwapEvent(0, 1, 0)], swap_duration=3, gate_times=[5, 6]
+        )
+        with pytest.raises(ValidationError):
+            validate_result(res)
+
+    def test_swap_window_boundary_is_exclusive(self):
+        """A gate exactly one step after the SWAP finish is fine."""
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        res = SynthesisResult(
+            circuit=qc,
+            device=linear(2),
+            initial_mapping=[0, 1],
+            gate_times=[0, 4],
+            swaps=[SwapEvent(0, 1, 3)],  # occupies 1..3
+            swap_duration=3,
+        )
+        validate_result(res)
+
+    def test_gate_inside_window_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        res = SynthesisResult(
+            circuit=qc,
+            device=linear(2),
+            initial_mapping=[0, 1],
+            gate_times=[0, 2],  # inside the 1..3 window
+            swaps=[SwapEvent(0, 1, 3)],
+            swap_duration=3,
+        )
+        assert not is_valid(res)
+
+
+class TestStructuralChecks:
+    def test_short_mapping_rejected(self):
+        res = base_result()
+        res.initial_mapping.pop()
+        with pytest.raises(ValidationError):
+            validate_result(res)
+
+    def test_non_adjacent_swaps_in_parallel_allowed(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        res = SynthesisResult(
+            circuit=qc,
+            device=linear(4),
+            initial_mapping=[0, 1, 2, 3],
+            gate_times=[0, 0],
+            swaps=[SwapEvent(0, 1, 1), SwapEvent(2, 3, 1)],
+            swap_duration=1,
+        )
+        validate_result(res)
+
+    def test_incident_parallel_swaps_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        res = SynthesisResult(
+            circuit=qc,
+            device=linear(3),
+            initial_mapping=[2, 0, 1],
+            gate_times=[0],
+            swaps=[SwapEvent(0, 1, 1), SwapEvent(1, 2, 1)],
+            swap_duration=1,
+        )
+        assert not is_valid(res)

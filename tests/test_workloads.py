@@ -1,0 +1,191 @@
+"""Tests for the benchmark workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import grid, ibm_qx2, linear, rigetti_aspen4
+from repro.circuit import longest_chain_length
+from repro.workloads import (
+    barenco_toffoli,
+    ising,
+    qaoa_circuit,
+    qaoa_paper_instance,
+    qft,
+    queko_circuit,
+    queko_paper_row,
+    random_circuit,
+    toffoli,
+)
+
+
+class TestQAOA:
+    @pytest.mark.parametrize("n", [6, 8, 10, 16])
+    def test_gate_count_matches_paper_convention(self, n):
+        qc = qaoa_paper_instance(n)
+        assert qc.num_gates == 3 * n // 2
+        assert qc.n_qubits == n
+        assert all(g.is_two_qubit for g in qc.gates)
+
+    def test_seeds_give_different_graphs(self):
+        a = qaoa_circuit(8, seed=1)
+        b = qaoa_circuit(8, seed=2)
+        assert [g.qubits for g in a.gates] != [g.qubits for g in b.gates]
+
+    def test_decomposed_form(self):
+        qc = qaoa_circuit(6, decompose=True)
+        names = {g.name for g in qc.gates}
+        assert names == {"cx", "rz"}
+        assert qc.num_gates == 3 * (3 * 6 // 2)
+
+    def test_layers_multiply_gates(self):
+        assert qaoa_circuit(6, layers=2).num_gates == 2 * 9
+
+    def test_odd_degree_odd_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_circuit(7)
+        with pytest.raises(ValueError):
+            qaoa_circuit(3)
+
+
+class TestQueko:
+    @pytest.mark.parametrize("depth,gates", [(3, 5), (5, 12), (8, 20)])
+    def test_depth_is_exactly_target(self, depth, gates):
+        inst = queko_circuit(grid(3, 3), depth, gates, seed=3)
+        assert inst.circuit.depth() == depth
+        assert inst.optimal_depth == depth
+        assert inst.circuit.num_gates == gates
+
+    def test_optimal_mapping_executes_without_swaps(self):
+        """Key QUEKO invariant: under the hidden mapping every two-qubit
+        gate is on adjacent physical qubits."""
+        device = grid(3, 3)
+        inst = queko_circuit(device, 6, 15, seed=7)
+        mapping = inst.optimal_mapping
+        for gate in inst.circuit.gates:
+            if gate.is_two_qubit:
+                a, b = (mapping[q] for q in gate.qubits)
+                assert device.are_adjacent(a, b)
+
+    def test_optimal_swaps_is_zero(self):
+        inst = queko_circuit(ibm_qx2(), 4, 8)
+        assert inst.optimal_swaps == 0
+
+    def test_paper_row_scales_with_device(self):
+        small = queko_paper_row(ibm_qx2(), 5, seed=0)
+        large = queko_paper_row(rigetti_aspen4(), 5, seed=0)
+        assert large.circuit.num_gates > small.circuit.num_gates
+
+    def test_too_many_gates_rejected(self):
+        with pytest.raises(ValueError):
+            queko_circuit(linear(2), 2, 50)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            queko_circuit(grid(2, 2), 0, 5)
+        with pytest.raises(ValueError):
+            queko_circuit(grid(2, 2), 5, 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        depth=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    def test_hypothesis_queko_invariants(self, depth, seed):
+        device = grid(3, 3)
+        gates = depth * 2
+        inst = queko_circuit(device, depth, gates, seed=seed)
+        assert inst.circuit.depth() == depth
+        mapping = inst.optimal_mapping
+        assert sorted(mapping) == list(range(device.n_qubits))
+        for gate in inst.circuit.gates:
+            if gate.is_two_qubit:
+                a, b = (mapping[q] for q in gate.qubits)
+                assert device.are_adjacent(a, b)
+
+
+class TestLibrary:
+    def test_qft_structure(self):
+        qc = qft(4)
+        assert qc.n_qubits == 4
+        counts = qc.count_ops()
+        assert counts["h"] == 4
+        assert counts["cx"] == 2 * 6  # two CX per controlled phase
+        assert qc.num_gates == 4 + 5 * 6
+
+    def test_qft_with_swaps(self):
+        plain = qft(5)
+        swapped = qft(5, include_swaps=True)
+        assert swapped.num_gates == plain.num_gates + 2
+
+    def test_qft_single_qubit(self):
+        assert qft(1).num_gates == 1
+        with pytest.raises(ValueError):
+            qft(0)
+
+    def test_tof_sizes_match_paper_shape(self):
+        """tof_4 is 7 qubits, tof_5 is 9 qubits (paper Table III rows)."""
+        t4 = toffoli(4)
+        t5 = toffoli(5)
+        assert t4.n_qubits == 7
+        assert t5.n_qubits == 9
+        assert t4.num_gates == 5 * 15  # 5 Toffolis, 15 gates each
+        assert t5.num_gates == 7 * 15
+
+    def test_tof_2_is_plain_toffoli(self):
+        qc = toffoli(2)
+        assert qc.n_qubits == 3
+        assert qc.num_gates == 15
+        assert qc.count_ops()["cx"] == 6
+
+    def test_barenco_bigger_than_vchain(self):
+        assert barenco_toffoli(4).num_gates > toffoli(4).num_gates
+        assert barenco_toffoli(4).n_qubits == toffoli(4).n_qubits
+
+    def test_toffoli_validates_controls(self):
+        with pytest.raises(ValueError):
+            toffoli(1)
+        with pytest.raises(ValueError):
+            barenco_toffoli(1)
+
+    def test_ising_matches_paper_count(self):
+        qc = ising(10, steps=10)
+        assert qc.n_qubits == 10
+        assert qc.num_gates == 10 * (3 * 9 + 10)  # 370... see formula
+        # paper row says ising_10(10,480): steps tuned below
+        assert qc.num_gates == 370
+
+    def test_ising_paper_row_scaling(self):
+        """480 gates needs 13 steps under our decomposition (documented)."""
+        qc = ising(10, steps=13)
+        assert qc.num_gates == 13 * 37  # 481: one step granularity
+
+    def test_ising_minimum_size(self):
+        with pytest.raises(ValueError):
+            ising(1)
+
+
+class TestRandomCircuits:
+    def test_gate_count_and_fraction(self):
+        qc = random_circuit(5, 40, two_qubit_fraction=1.0, seed=1)
+        assert qc.num_gates == 40
+        assert all(g.is_two_qubit for g in qc.gates)
+
+    def test_zero_fraction(self):
+        qc = random_circuit(3, 10, two_qubit_fraction=0.0)
+        assert all(g.is_single_qubit for g in qc.gates)
+
+    def test_reproducible(self):
+        a = random_circuit(4, 20, seed=9)
+        b = random_circuit(4, 20, seed=9)
+        assert [(g.name, g.qubits) for g in a.gates] == [
+            (g.name, g.qubits) for g in b.gates
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_circuit(0, 5)
+        with pytest.raises(ValueError):
+            random_circuit(1, 5, two_qubit_fraction=0.5)
+        with pytest.raises(ValueError):
+            random_circuit(3, 5, two_qubit_fraction=1.5)

@@ -1,0 +1,80 @@
+"""Tests for the extended workload library (GHZ, BV, Cuccaro adder)."""
+
+import pytest
+
+from repro.arch import full, grid, linear
+from repro.core import OLSQ2, SynthesisConfig, validate_result
+from repro.workloads import bernstein_vazirani, cuccaro_adder, ghz
+
+
+class TestGHZ:
+    def test_structure(self):
+        qc = ghz(5)
+        assert qc.n_qubits == 5
+        assert qc.num_gates == 5  # 1 H + 4 CX
+        assert qc.depth() == 5
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ghz(1)
+
+    def test_ghz_on_line_needs_no_swaps(self):
+        """A CNOT ladder maps natively onto a line."""
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            ghz(4), linear(4), objective="swap"
+        )
+        assert res.swap_count == 0
+        validate_result(res)
+
+
+class TestBernsteinVazirani:
+    def test_structure(self):
+        qc = bernstein_vazirani(0b101, 3)
+        assert qc.n_qubits == 4
+        counts = qc.count_ops()
+        assert counts["cx"] == 2  # two set bits
+        assert counts["h"] == 7  # 4 before + 3 after
+        assert counts["x"] == 1
+
+    def test_zero_secret_has_no_cnots(self):
+        qc = bernstein_vazirani(0, 4)
+        assert "cx" not in qc.count_ops()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(8, 3)  # secret too large
+        with pytest.raises(ValueError):
+            bernstein_vazirani(1, 0)
+
+    def test_compiles_on_star_like_device(self):
+        qc = bernstein_vazirani(0b11, 2)
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
+            qc, grid(2, 2), objective="depth"
+        )
+        validate_result(res)
+
+
+class TestCuccaroAdder:
+    def test_structure(self):
+        qc = cuccaro_adder(2)
+        assert qc.n_qubits == 6
+        # 2*n MAJ/UMA pairs... each MAJ = 2 CX + 15-gate Toffoli
+        assert qc.count_ops()["cx"] > 10
+
+    def test_gate_count_scales_linearly(self):
+        g2 = cuccaro_adder(2).num_gates
+        g4 = cuccaro_adder(4).num_gates
+        g6 = cuccaro_adder(6).num_gates
+        assert g4 - g2 == g6 - g4  # arithmetic progression
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+    def test_zero_swaps_on_full_connectivity(self):
+        qc = cuccaro_adder(1)
+        res = OLSQ2(SynthesisConfig(swap_duration=1, time_budget=90)).synthesize(
+            qc, full(4), objective="swap"
+        )
+        assert res.swap_count == 0
+        validate_result(res)
