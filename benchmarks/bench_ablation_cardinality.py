@@ -19,6 +19,7 @@ from repro.arch import grid
 from repro.core import CARD_ADDER, CARD_SEQUENTIAL, CARD_TOTALIZER, LayoutEncoder, SynthesisConfig
 from repro.harness import format_table
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 TIMEOUT = 60.0
 METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
@@ -42,8 +43,8 @@ def run_ablation(timeout: float = TIMEOUT):
                 assumptions=[guard] if guard is not None else [], time_budget=timeout
             )
             seconds = time.monotonic() - start
-            row.append(seconds if status is not None else None)
-            row.append({True: "sat", False: "unsat", None: "TO"}[status])
+            row.append(seconds if status is not SatResult.UNKNOWN else None)
+            row.append("TO" if status is SatResult.UNKNOWN else str(status))
         rows.append(row)
     headers = ["S_B"]
     for m in METHODS:

@@ -17,6 +17,7 @@ from repro.arch import grid
 from repro.core import LayoutEncoder, SynthesisConfig
 from repro.harness import format_table
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 TIMEOUT = 90.0
 ENCODINGS = ("bitvec", "onehot", "order", "int")
@@ -36,7 +37,7 @@ def run_ablation(timeout: float = TIMEOUT):
             start = time.monotonic()
             status = enc.ctx.solve(time_budget=timeout)
             seconds = time.monotonic() - start
-            row.append(seconds if status is not None else None)
+            row.append(seconds if status is not SatResult.UNKNOWN else None)
             row.append(enc.ctx.n_vars)
         rows.append(row)
     headers = ["Case"]

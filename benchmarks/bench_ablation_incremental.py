@@ -18,6 +18,7 @@ from repro.circuit import depth_upper_bound, longest_chain_length
 from repro.core import LayoutEncoder, SynthesisConfig
 from repro.harness import format_table
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 TIMEOUT = 120.0
 
@@ -42,7 +43,7 @@ def incremental_mode(circuit, device, timeout):
             time_budget=max(0.1, deadline - time.monotonic()),
         )
         statuses.append(status)
-        if status is False:
+        if status is SatResult.UNSAT:
             break
     return statuses, time.monotonic() - start
 
@@ -60,7 +61,7 @@ def fresh_mode(circuit, device, timeout):
             time_budget=max(0.1, deadline - time.monotonic()),
         )
         statuses.append(status)
-        if status is False:
+        if status is SatResult.UNSAT:
             break
     return statuses, time.monotonic() - start
 

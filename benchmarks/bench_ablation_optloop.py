@@ -18,6 +18,7 @@ from repro.circuit import depth_upper_bound, longest_chain_length
 from repro.core import LayoutEncoder, OLSQ2, SynthesisConfig
 from repro.harness import format_table
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 TIMEOUT = 120.0
 
@@ -39,7 +40,7 @@ def naive_descent(circuit, device, timeout: float):
             assumptions=[enc.depth_guard(bound)],
             time_budget=deadline - time.monotonic(),
         )
-        if status is True:
+        if status is SatResult.SAT:
             best = bound
             bound -= 1
         else:

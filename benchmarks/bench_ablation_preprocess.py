@@ -16,7 +16,7 @@ from conftest import run_once
 from repro.arch import grid
 from repro.core import LayoutEncoder, SynthesisConfig
 from repro.harness import format_table
-from repro.sat import Solver, preprocess, preprocess_stats
+from repro.sat import preprocess, preprocess_stats, SatResult, Solver
 from repro.smt import cnf_context
 from repro.workloads import qaoa_circuit
 
@@ -51,7 +51,7 @@ def run_ablation(timeout: float = TIMEOUT):
         status_pre = solver.solve(time_budget=timeout)
         t_solve = time.monotonic() - start
         assert status_plain == status_pre
-        if status_pre is True:
+        if status_pre is SatResult.SAT:
             full = recon.extend(solver.model)
             assert original.evaluate(full[: original.n_vars])
 

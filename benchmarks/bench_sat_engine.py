@@ -9,7 +9,7 @@ import random
 
 import pytest
 
-from repro.sat import Solver, mk_lit
+from repro.sat import mk_lit, SatResult, Solver
 
 
 def _pigeonhole(n_pigeons, n_holes):
@@ -37,7 +37,7 @@ def _random_3sat(n_vars, ratio, seed):
 def test_bench_pigeonhole_unsat(benchmark):
     def run():
         solver = _pigeonhole(7, 6)
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
         return solver.stats.conflicts
 
     conflicts = benchmark.pedantic(run, rounds=3, iterations=1)
@@ -47,7 +47,7 @@ def test_bench_pigeonhole_unsat(benchmark):
 def test_bench_random_3sat_sat(benchmark):
     def run():
         solver = _random_3sat(150, 4.0, seed=7)
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
 
     benchmark.pedantic(run, rounds=3, iterations=1)
 
@@ -56,7 +56,7 @@ def test_bench_random_3sat_hard(benchmark):
     def run():
         solver = _random_3sat(100, 4.3, seed=11)
         result = solver.solve(conflict_budget=20000)
-        assert result is not None
+        assert result is not SatResult.UNKNOWN
 
     benchmark.pedantic(run, rounds=3, iterations=1)
 

@@ -9,13 +9,14 @@ Run:  python examples/sat_toolkit.py
 """
 
 from repro.sat import (
-    CNF,
-    Solver,
     check_unsat_proof,
+    CNF,
     mk_lit,
     preprocess,
     preprocess_stats,
     proof_stats,
+    SatResult,
+    Solver,
 )
 from repro.sat.dimacs import dumps
 
@@ -45,7 +46,7 @@ def main() -> None:
     solver = Solver(proof_log=True)
     cnf.to_solver(solver)
     status = solver.solve()
-    print(f"status: {'UNSAT' if status is False else status}")
+    print(f"status: {status.value.upper()}")
     print(f"search: {solver.stats.conflicts} conflicts, "
           f"{solver.stats.restarts} restarts")
     stats = proof_stats(solver.proof)
@@ -66,7 +67,7 @@ def main() -> None:
     )
     solver2 = Solver()
     simplified.to_solver(solver2)
-    assert solver2.solve() is True
+    assert solver2.solve() is SatResult.SAT
     model = recon.extend(solver2.model)
     assert sat_cnf.evaluate(model[: sat_cnf.n_vars])
     print("simplified model extends to a model of the original: OK")

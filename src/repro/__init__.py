@@ -33,6 +33,7 @@ from .core import (
     TBOLSQ2,
     SynthesisConfig,
     SynthesisResult,
+    Synthesizer,
     is_valid,
     validate_result,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "TBOLSQ2",
     "SynthesisConfig",
     "SynthesisResult",
+    "Synthesizer",
     "validate_result",
     "is_valid",
 ]

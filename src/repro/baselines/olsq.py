@@ -40,10 +40,10 @@ class OLSQEncoder(LayoutEncoder):
         # their consistency constraints are *added on top*, reproducing the
         # redundancy OLSQ2 removes.  (OLSQ's own adjacency constraints are
         # implied by ours plus consistency, so solutions coincide.)
-        self._make_space_variables()
-        self._encode_space_consistency()
+        self._traced("space_variables", self._make_space_variables)
+        self._traced("space_consistency", self._encode_space_consistency)
         if not self.transition_based:
-            self._encode_space_swap_exclusion()
+            self._traced("space_swap_exclusion", self._encode_space_swap_exclusion)
         return self
 
     def _make_space_variables(self) -> None:

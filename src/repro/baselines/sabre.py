@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
+from ..core.interface import check_initial_mapping, check_objective
 from ..core.result import SwapEvent, SynthesisResult
 
 EXTENDED_SET_SIZE = 20
@@ -195,15 +196,19 @@ class SABRE:
         self,
         circuit: QuantumCircuit,
         device: CouplingGraph,
+        *,
+        objective: str = "depth",
         initial_mapping: Optional[Sequence[int]] = None,
     ) -> SynthesisResult:
+        # SABRE is a heuristic: it accepts either objective (the routing
+        # pass is the same) and simply records which one was requested.
+        check_objective("SABRE", objective)
+        mapping = check_initial_mapping(circuit, device, initial_mapping)
         if circuit.n_qubits > device.n_qubits:
             raise ValueError("circuit larger than device")
         rng = random.Random(self.seed)
-        if initial_mapping is None:
+        if mapping is None:
             mapping = rng.sample(range(device.n_qubits), circuit.n_qubits)
-        else:
-            mapping = list(initial_mapping)
 
         forward = SabreRouter(circuit, device, rng)
         reverse = SabreRouter(circuit.reversed(), device, rng)

@@ -17,14 +17,16 @@ greedy — the same quality profile as SATMap relative to TB-OLSQ2.
 from __future__ import annotations
 
 import time as _time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..core.config import SynthesisConfig
 from ..core.encoder import LayoutEncoder
+from ..core.interface import check_initial_mapping, check_objective
 from ..core.optimizer import serialize_blocks
 from ..core.result import SwapEvent, SynthesisResult
+from ..sat.result import SatResult
 
 
 class SATMapTimeout(RuntimeError):
@@ -62,12 +64,21 @@ class SATMap:
         self.config = config or SynthesisConfig()
 
     def synthesize(
-        self, circuit: QuantumCircuit, device: CouplingGraph
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        *,
+        objective: str = "swap",
+        initial_mapping: Optional[Sequence[int]] = None,
     ) -> SynthesisResult:
+        # SATMap's slicing gives up on global depth; it only ever minimises
+        # SWAPs, so a depth request is an error rather than a silent no-op.
+        check_objective("SATMap", objective, supported=("swap",))
         started = _time.monotonic()
         deadline = started + self.config.time_budget
         slices = self._slices(circuit)
-        mapping: Optional[List[int]] = None
+        # A caller-supplied mapping pins slice 0's entry (normally free).
+        mapping = check_initial_mapping(circuit, device, initial_mapping)
         initial: Optional[List[int]] = None
         gate_times = [0] * circuit.num_gates
         swaps: List[SwapEvent] = []
@@ -149,9 +160,9 @@ class SATMap:
             )
             iterations += 1
             status = encoder.solve(time_budget=deadline - _time.monotonic())
-            if status is True:
+            if status is SatResult.SAT:
                 solution = _SliceSolution(encoder)
-            elif status is None:
+            elif status is SatResult.UNKNOWN:
                 raise SATMapTimeout("slice solve timed out")
             else:
                 horizon += 1
@@ -165,7 +176,7 @@ class SATMap:
                 assumptions=assumptions, time_budget=deadline - _time.monotonic()
             )
             iterations += 1
-            if status is not True:
+            if status is not SatResult.SAT:
                 break
             solution = _SliceSolution(encoder)
             bound = len(solution.transition_swaps)

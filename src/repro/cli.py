@@ -45,6 +45,16 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--swap-duration", type=int, default=3)
     comp.add_argument("--time-budget", type=float, default=600.0)
     comp.add_argument("--output", help="write the mapped circuit as QASM here")
+    comp.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a structured JSONL trace of the run to this path",
+    )
+    comp.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print a per-phase timing breakdown after synthesis",
+    )
     comp.add_argument("--verbose", action="store_true")
 
     sub.add_parser("devices", help="list built-in coupling graphs")
@@ -82,22 +92,48 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_compile(args) -> int:
+    from .telemetry import JsonlSink, MemorySink, StderrSink, Tracer
+
     circuit = load_qasm(args.qasm)
     device = devices.by_name(args.device)
-    if args.synthesizer == "sabre":
-        result = SABRE(swap_duration=args.swap_duration).synthesize(circuit, device)
-    else:
-        config = SynthesisConfig(
-            swap_duration=args.swap_duration,
-            time_budget=args.time_budget,
-            solve_time_budget=args.time_budget / 2,
-            verbose=args.verbose,
-        )
-        cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
-        result = cls(config).synthesize(circuit, device, objective=args.objective)
+    tracer = None
+    memory = None
+    if args.trace or args.trace_summary or args.verbose:
+        sinks = []
+        if args.trace:
+            sinks.append(JsonlSink(args.trace))
+        if args.trace_summary:
+            memory = MemorySink()
+            sinks.append(memory)
+        if args.verbose:
+            sinks.append(StderrSink())
+        tracer = Tracer(sinks=sinks)
+    try:
+        if args.synthesizer == "sabre":
+            result = SABRE(swap_duration=args.swap_duration).synthesize(
+                circuit, device, objective=args.objective
+            )
+        else:
+            config = SynthesisConfig(
+                swap_duration=args.swap_duration,
+                time_budget=args.time_budget,
+                solve_time_budget=args.time_budget / 2,
+                tracer=tracer,
+            )
+            cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
+            result = cls(config).synthesize(circuit, device, objective=args.objective)
+    finally:
+        if tracer is not None:
+            tracer.close()
     validate_result(result)
     print(result.summary())
     print(f"initial mapping: {result.initial_mapping}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if memory is not None:
+        from .harness import trace_summary
+
+        print(trace_summary(memory))
     if args.output:
         with open(args.output, "w") as fp:
             fp.write(result.to_physical_circuit().to_qasm())
@@ -161,7 +197,7 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_sat(args) -> int:
-    from .sat import Solver, check_unsat_proof, lit_to_dimacs, preprocess
+    from .sat import SatResult, Solver, check_unsat_proof, lit_to_dimacs, preprocess
     from .sat.dimacs import read_dimacs
     from .sat.preprocess import Unsatisfiable
 
@@ -181,10 +217,10 @@ def _cmd_sat(args) -> int:
     solver = Solver(proof_log=args.certify and not args.preprocess)
     formula.to_solver(solver)
     status = solver.solve(time_budget=args.time_budget)
-    if status is None:
+    if status is SatResult.UNKNOWN:
         print("s UNKNOWN")
         return 0
-    if status:
+    if status is SatResult.SAT:
         model = recon.extend(solver.model) if recon else solver.model
         print("s SATISFIABLE")
         lits = [

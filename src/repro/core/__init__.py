@@ -11,7 +11,13 @@ from .config import (
 )
 from .encoder import LayoutEncoder
 from .fidelity import NoiseModel, compare_success_rates, estimate_success_rate
-from .olsq2 import OBJECTIVES, OLSQ2, TBOLSQ2
+from .interface import (
+    OBJECTIVES,
+    Synthesizer,
+    check_initial_mapping,
+    check_objective,
+)
+from .olsq2 import OLSQ2, TBOLSQ2
 from .optimizer import IterativeSynthesizer, SynthesisTimeout, serialize_blocks
 from .portfolio import PortfolioEntry, PortfolioSynthesizer, default_portfolio
 from .reference import exists_swap_free_mapping, min_swaps_lower_bound
@@ -30,6 +36,9 @@ __all__ = [
     "OLSQ2",
     "TBOLSQ2",
     "OBJECTIVES",
+    "Synthesizer",
+    "check_objective",
+    "check_initial_mapping",
     "IterativeSynthesizer",
     "SynthesisTimeout",
     "serialize_blocks",

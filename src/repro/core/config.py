@@ -4,13 +4,19 @@ Bundles every knob the paper ablates (Sec. III): variable encoding
 (bit-vector vs one-hot/"integer"), injectivity encoding (pairwise vs
 EUF-style channeling), cardinality encoding for the SWAP bound (sequential
 counter CNF vs totalizer vs adder-network/"AtMost"), the SWAP gate duration,
-the T_UB ratio, and the optimization time budget.
+the T_UB ratio, and the optimization time budget — plus the observability
+hooks (``tracer`` / ``progress_callback``) every synthesizer honours.
+
+All string-valued knobs are validated in ``__post_init__``: a typo like
+``SynthesisConfig(encoding="bogus")`` fails at construction with the list
+of valid choices, not deep inside the encoder.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
 
 from ..encodings.cardinality import SEQUENTIAL
 from ..smt.domain import BITVEC, ENCODINGS, INT, ONEHOT
@@ -21,6 +27,17 @@ CARD_TOTALIZER = "totalizer"
 CARD_ADDER = "adder"
 CARDINALITY_METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
 
+WARM_START_SOURCES = (None, "sabre")
+
+
+def _choice(name: str, value, valid) -> None:
+    """Reject ``value`` unless it is one of ``valid``, listing the choices."""
+    if value not in valid:
+        choices = sorted(str(v) for v in valid if v is not None)
+        raise ValueError(
+            f"unknown {name} {value!r}; valid choices: {', '.join(choices)}"
+        )
+
 
 @dataclass
 class SynthesisConfig:
@@ -30,6 +47,17 @@ class SynthesisConfig:
     variables, pairwise injectivity, sequential-counter CNF cardinality,
     SWAP duration 3 (set to 1 for QAOA per Sec. IV), and the
     ``T_UB = 1.5 x T_LB`` horizon.
+
+    Observability:
+
+    * ``tracer`` — a :class:`repro.telemetry.Tracer`; every phase of the
+      run (encoding, each solver query, each optimization iteration) is
+      recorded through it,
+    * ``progress_callback`` — shorthand for cooperative cancellation: it
+      receives every trace record and returning ``False`` aborts the run
+      cleanly with the best result found so far,
+    * ``verbose`` — **deprecated** alias for attaching a human-readable
+      stderr telemetry sink.
     """
 
     encoding: str = BITVEC
@@ -45,24 +73,63 @@ class SynthesisConfig:
     max_pareto_rounds: int = 4  # depth relaxations in the 2-D SWAP search
     warm_start: Optional[str] = None  # None or "sabre": heuristic search seeding
     certify: bool = False  # re-prove the final UNSAT bound with a checked RUP proof
+    tracer: Optional[Any] = field(default=None, compare=False)
+    progress_callback: Optional[Callable] = field(default=None, compare=False)
     verbose: bool = False
 
     def __post_init__(self):
-        if self.encoding not in ENCODINGS:
-            raise ValueError(f"unknown variable encoding {self.encoding!r}")
-        if self.injectivity not in INJECTIVITY_METHODS:
-            raise ValueError(f"unknown injectivity method {self.injectivity!r}")
-        if self.cardinality not in CARDINALITY_METHODS:
-            raise ValueError(f"unknown cardinality method {self.cardinality!r}")
+        _choice("variable encoding", self.encoding, ENCODINGS)
+        _choice("injectivity method", self.injectivity, INJECTIVITY_METHODS)
+        _choice("cardinality method", self.cardinality, CARDINALITY_METHODS)
+        _choice("warm-start source", self.warm_start, WARM_START_SOURCES)
         if self.swap_duration < 1:
             raise ValueError("swap duration must be >= 1")
         if self.tub_ratio < 1.0:
             raise ValueError("T_UB ratio must be >= 1")
-        if self.warm_start not in (None, "sabre"):
-            raise ValueError(f"unknown warm-start source {self.warm_start!r}")
+        # Zero is allowed (it means "no time left": the loops raise
+        # SynthesisTimeout on their first budget check); negatives are typos.
+        if self.time_budget < 0:
+            raise ValueError("time budget must be >= 0")
+        if self.solve_time_budget < 0:
+            raise ValueError("per-solve time budget must be >= 0")
+        if self.progress_callback is not None and not callable(self.progress_callback):
+            raise ValueError("progress_callback must be callable")
+        if self.verbose:
+            warnings.warn(
+                "SynthesisConfig(verbose=True) is deprecated; pass "
+                "tracer=Tracer(sinks=[StderrSink()]) from repro.telemetry "
+                "instead (verbose now merely installs that sink for you)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def replace(self, **kwargs) -> "SynthesisConfig":
         return replace(self, **kwargs)
+
+    def make_tracer(self):
+        """Resolve the effective tracer for one synthesis run.
+
+        Priority: an explicit ``tracer`` wins (with ``progress_callback``
+        attached to it if it has none); otherwise ``verbose`` /
+        ``progress_callback`` get a fresh :class:`~repro.telemetry.Tracer`
+        (with a stderr sink when verbose); otherwise the shared no-op
+        :data:`~repro.telemetry.NULL_TRACER`.
+        """
+        from ..telemetry import NULL_TRACER, StderrSink, Tracer
+
+        if self.tracer is not None:
+            tracer = self.tracer
+            if self.progress_callback is not None and tracer.progress_callback is None:
+                tracer.progress_callback = self.progress_callback
+            if self.verbose and not any(
+                isinstance(s, StderrSink) for s in tracer.sinks
+            ):
+                tracer.add_sink(StderrSink())
+            return tracer
+        if self.verbose or self.progress_callback is not None:
+            sinks = [StderrSink()] if self.verbose else []
+            return Tracer(sinks=sinks, progress_callback=self.progress_callback)
+        return NULL_TRACER
 
 
 def qaoa_config(**kwargs) -> SynthesisConfig:

@@ -32,10 +32,13 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import dependencies
 from ..encodings.adder import IncrementalAdder
 from ..encodings.cardinality import IncrementalCounter, IncrementalTotalizer
+from ..sat.result import SatResult
+from ..sat.solver import Solver
 from ..sat.types import neg
 from ..smt.context import SMTContext
 from ..smt.domain import make_domain_var
 from ..smt.injectivity import encode_injectivity
+from ..telemetry import NULL_TRACER
 from .config import CARD_ADDER, CARD_SEQUENTIAL, CARD_TOTALIZER, SynthesisConfig
 from .result import SwapEvent
 
@@ -58,6 +61,7 @@ class LayoutEncoder:
         transition_based: bool = False,
         ctx: Optional[SMTContext] = None,
         initial_mapping: Optional[List[int]] = None,
+        tracer=None,
     ):
         if circuit.n_qubits > device.n_qubits:
             raise ValueError(
@@ -72,6 +76,11 @@ class LayoutEncoder:
         self.config = config or SynthesisConfig()
         self.transition_based = transition_based
         self.ctx = ctx or SMTContext()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer is not NULL_TRACER and isinstance(self.ctx.sink, Solver):
+            # Let the solver publish per-solve stats snapshots into the
+            # same trace (and poll cancellation at restarts).
+            self.ctx.sink.tracer = self.tracer
         if initial_mapping is not None:
             if len(initial_mapping) != circuit.n_qubits:
                 raise ValueError("initial mapping size != circuit qubits")
@@ -94,18 +103,33 @@ class LayoutEncoder:
         if self._encoded:
             return self
         self._encoded = True
-        self._make_variables()
-        if self.initial_mapping is not None:
-            for q, p in enumerate(self.initial_mapping):
-                self.pi[q][0].fix(p)
-        self._encode_injectivity()
-        self._encode_dependencies()
-        self._encode_two_qubit_adjacency()
-        self._encode_mapping_transformation()
-        if not self.transition_based:
-            self._encode_swap_gate_exclusion()
-        self._encode_swap_swap_exclusion()
+        with self.tracer.span(
+            "encode",
+            horizon=self.horizon,
+            transition_based=self.transition_based,
+            encoding=self.config.encoding,
+        ) as span:
+            self._traced("variables", self._make_variables)
+            if self.initial_mapping is not None:
+                for q, p in enumerate(self.initial_mapping):
+                    self.pi[q][0].fix(p)
+            self._traced("injectivity", self._encode_injectivity)
+            self._traced("dependencies", self._encode_dependencies)
+            self._traced("adjacency", self._encode_two_qubit_adjacency)
+            self._traced("transformation", self._encode_mapping_transformation)
+            if not self.transition_based:
+                self._traced("swap_gate_exclusion", self._encode_swap_gate_exclusion)
+            self._traced("swap_swap_exclusion", self._encode_swap_swap_exclusion)
+            span.set(n_vars=self.ctx.n_vars, n_clauses=self.ctx.num_clauses)
         return self
+
+    def _traced(self, family: str, build) -> None:
+        """Run one constraint-family builder under a span that records the
+        variable/clause counts it contributed."""
+        with self.tracer.span("encode." + family) as span:
+            v0, c0 = self.ctx.n_vars, self.ctx.num_clauses
+            build()
+            span.set(vars=self.ctx.n_vars - v0, clauses=self.ctx.num_clauses - c0)
 
     def _make_variables(self) -> None:
         ctx, cfg = self.ctx, self.config
@@ -356,7 +380,7 @@ class LayoutEncoder:
 
     # -- solving / extraction ----------------------------------------------------
 
-    def solve(self, assumptions=(), time_budget=None) -> Optional[bool]:
+    def solve(self, assumptions=(), time_budget=None) -> SatResult:
         self.encode()
         return self.ctx.solve(assumptions=assumptions, time_budget=time_budget)
 

@@ -1,0 +1,91 @@
+"""The unified synthesizer surface.
+
+Every synthesizer in the repository — exact (``OLSQ2``, ``TBOLSQ2``),
+baseline (``OLSQ``, ``TBOLSQ``, ``SABRE``, ``SATMap``) and meta
+(``PortfolioSynthesizer``) — conforms to one calling convention::
+
+    synthesize(circuit, device, *, objective="depth", initial_mapping=None)
+
+``objective`` and ``initial_mapping`` are keyword-only.  A backend that
+does not support a requested option must raise a :class:`ValueError`
+naming what it *does* support (e.g. SATMap rejects ``objective="depth"``)
+instead of silently ignoring it — the pre-redesign behaviour that made
+cross-backend comparisons quietly incomparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from .result import SynthesisResult
+
+OBJECTIVES = ("depth", "swap")
+
+
+@runtime_checkable
+class Synthesizer(Protocol):
+    """Anything that maps a circuit onto a device's coupling graph."""
+
+    def synthesize(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        *,
+        objective: str = "depth",
+        initial_mapping: Optional[Sequence[int]] = None,
+    ) -> SynthesisResult:
+        """Synthesize ``circuit`` onto ``device``.
+
+        ``objective`` selects what to optimise (``"depth"`` or ``"swap"``);
+        ``initial_mapping`` (program qubit -> physical qubit) pins the t=0
+        placement, ``None`` leaves it to the backend.
+        """
+        ...  # pragma: no cover - protocol
+
+
+def check_objective(
+    backend: str, objective: str, supported: Sequence[str] = OBJECTIVES
+) -> str:
+    """Validate ``objective`` for ``backend``; returns it on success.
+
+    Raises :class:`ValueError` both for strings outside the global
+    :data:`OBJECTIVES` vocabulary and for objectives the specific backend
+    cannot honour.
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {OBJECTIVES}, got {objective!r}"
+        )
+    if objective not in supported:
+        raise ValueError(
+            f"{backend} does not support objective={objective!r}; "
+            f"supported: {tuple(supported)}"
+        )
+    return objective
+
+
+def check_initial_mapping(
+    circuit: QuantumCircuit,
+    device: CouplingGraph,
+    initial_mapping: Optional[Sequence[int]],
+) -> Optional[List[int]]:
+    """Normalise and validate an initial mapping (``None`` passes through)."""
+    if initial_mapping is None:
+        return None
+    mapping = list(initial_mapping)
+    if len(mapping) != circuit.n_qubits:
+        raise ValueError(
+            f"initial mapping covers {len(mapping)} qubits, "
+            f"circuit has {circuit.n_qubits}"
+        )
+    if len(set(mapping)) != len(mapping):
+        raise ValueError("initial mapping must be injective")
+    for p in mapping:
+        if not 0 <= p < device.n_qubits:
+            raise ValueError(
+                f"initial mapping targets physical qubit {p}, "
+                f"device has {device.n_qubits}"
+            )
+    return mapping

@@ -13,15 +13,16 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from .config import SynthesisConfig
+from .interface import OBJECTIVES, check_initial_mapping, check_objective
 from .optimizer import IterativeSynthesizer
 from .result import SynthesisResult
 
-OBJECTIVES = ("depth", "swap")
+__all__ = ["OBJECTIVES", "OLSQ2", "TBOLSQ2"]
 
 
 class OLSQ2:
@@ -48,8 +49,9 @@ class OLSQ2:
         self,
         circuit: QuantumCircuit,
         device: CouplingGraph,
+        *,
         objective: str = "depth",
-        initial_mapping=None,
+        initial_mapping: Optional[Sequence[int]] = None,
     ) -> SynthesisResult:
         """Synthesize ``circuit`` onto ``device``.
 
@@ -58,11 +60,11 @@ class OLSQ2:
         continuing a partially-executed program; leave ``None`` to let the
         solver choose optimally.
         """
-        if objective not in OBJECTIVES:
-            raise ValueError(f"objective must be one of {OBJECTIVES}")
+        check_objective(type(self).__name__, objective)
+        mapping = check_initial_mapping(circuit, device, initial_mapping)
         encoder_kwargs = {}
-        if initial_mapping is not None:
-            encoder_kwargs["initial_mapping"] = list(initial_mapping)
+        if mapping is not None:
+            encoder_kwargs["initial_mapping"] = mapping
         synthesizer = IterativeSynthesizer(
             circuit,
             device,

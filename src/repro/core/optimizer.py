@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import depth_upper_bound, longest_chain_length
+from ..sat.result import SatResult
 from .config import SynthesisConfig
 from .encoder import LayoutEncoder
 from .result import SwapEvent, SynthesisResult
@@ -33,6 +34,12 @@ from .result import SwapEvent, SynthesisResult
 
 class SynthesisTimeout(RuntimeError):
     """Raised when no valid solution was found within the time budget."""
+
+
+class SynthesisCancelled(SynthesisTimeout):
+    """Raised when the progress callback cancelled the run before any
+    solution existed.  (Cancellation *after* a solution is found returns
+    that best-so-far result instead of raising.)"""
 
 
 class IterativeSynthesizer:
@@ -54,17 +61,18 @@ class IterativeSynthesizer:
         self.encoder_cls = encoder_cls
         self.encoder_kwargs = dict(encoder_kwargs or {})
         self.encoder: Optional[LayoutEncoder] = None
+        self.tracer = self.config.make_tracer()
         self._deadline = 0.0
         self.iterations = 0
 
     # -- helpers ---------------------------------------------------------
 
-    def _log(self, msg: str) -> None:
-        if self.config.verbose:
-            print(f"[olsq2] {msg}")
-
     def _remaining(self) -> float:
         return self._deadline - _time.monotonic()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.tracer.cancelled
 
     def _initial_horizon(self) -> int:
         if self.transition_based:
@@ -74,16 +82,13 @@ class IterativeSynthesizer:
         return max(2, depth_upper_bound(self.circuit, self.config.tub_ratio))
 
     def _build_encoder(self, horizon: int) -> LayoutEncoder:
-        self._log(
-            f"encoding horizon={horizon} "
-            f"({'blocks' if self.transition_based else 'time steps'})"
-        )
         encoder = self.encoder_cls(
             self.circuit,
             self.device,
             horizon,
             config=self.config,
             transition_based=self.transition_based,
+            tracer=self.tracer,
             **self.encoder_kwargs,
         )
         encoder.encode()
@@ -96,17 +101,38 @@ class IterativeSynthesizer:
         """Heuristic search guidance (paper Sec. V): phase hints from SABRE."""
         from ..baselines.sabre import SABRE  # runtime import; avoids a cycle
 
-        heuristic = SABRE(
-            swap_duration=self.config.swap_duration, seed=0
-        ).synthesize(self.circuit, self.device)
-        encoder.seed_initial_mapping(heuristic.initial_mapping)
+        with self.tracer.span("warm_start", source="sabre"):
+            heuristic = SABRE(
+                swap_duration=self.config.swap_duration, seed=0
+            ).synthesize(self.circuit, self.device)
+            encoder.seed_initial_mapping(heuristic.initial_mapping)
 
-    def _solve(self, assumptions) -> Optional[bool]:
+    def _extract(self) -> Tuple[List[int], List[int], List[SwapEvent]]:
+        with self.tracer.span("extract"):
+            return self.encoder.extract()
+
+    def _solve(self, assumptions, phase: str, bound: int) -> SatResult:
+        """One bounded solver query, recorded as a ``solve`` span."""
+        if self.tracer.cancelled:
+            return SatResult.UNKNOWN
         budget = min(self._remaining(), self.config.solve_time_budget)
         if budget <= 0:
-            return None
+            return SatResult.UNKNOWN
         self.iterations += 1
-        return self.encoder.solve(assumptions=assumptions, time_budget=budget)
+        with self.tracer.span(
+            "solve",
+            phase=phase,
+            bound=bound,
+            horizon=self.encoder.horizon,
+            iteration=self.iterations,
+        ) as span:
+            started = _time.monotonic()
+            status = self.encoder.solve(assumptions=assumptions, time_budget=budget)
+            verdict = status.value
+            if status is SatResult.UNKNOWN and self.tracer.cancelled:
+                verdict = "cancelled"
+            span.set(verdict=verdict, time=_time.monotonic() - started)
+        return status
 
     def _next_depth_bound(self, bound: int) -> int:
         ratio = (
@@ -160,6 +186,13 @@ class IterativeSynthesizer:
 
     def optimize_depth(self) -> SynthesisResult:
         """Minimise circuit depth (TB: block count).  Sec. III-B.1."""
+        with self.tracer.span(
+            "optimize", objective="depth", transition_based=self.transition_based
+        ) as span:
+            result = self._optimize_depth(span)
+        return result
+
+    def _optimize_depth(self, span) -> SynthesisResult:
         started = _time.monotonic()
         self._deadline = started + self.config.time_budget
         t_lb = 1 if self.transition_based else longest_chain_length(self.circuit)
@@ -175,13 +208,19 @@ class IterativeSynthesizer:
             if bound > self.encoder.horizon:
                 horizon = max(bound, math.ceil(self.encoder.horizon * 1.5))
                 self._build_encoder(horizon)
-            self._log(f"depth bound {bound}")
-            status = self._solve([self.encoder.depth_guard(bound)])
-            if status is True:
-                best = self.encoder.extract()
+            status = self._solve(
+                [self.encoder.depth_guard(bound)], phase="relax", bound=bound
+            )
+            if status is SatResult.SAT:
+                best = self._extract()
                 best_bound = bound
-            elif status is False:
+            elif status is SatResult.UNSAT:
                 bound = self._next_depth_bound(bound)
+            elif self.tracer.cancelled:
+                raise SynthesisCancelled(
+                    f"cancelled by progress callback before any schedule "
+                    f"was found (last depth bound {bound})"
+                )
             else:
                 raise SynthesisTimeout(
                     f"no schedule found within the time budget "
@@ -194,18 +233,20 @@ class IterativeSynthesizer:
         proven_unsat_bound = None
         while not optimal and best_bound > t_lb:
             probe = best_bound - 1
-            self._log(f"depth descend {probe}")
-            status = self._solve([self.encoder.depth_guard(probe)])
-            if status is True:
-                best = self.encoder.extract()
+            status = self._solve(
+                [self.encoder.depth_guard(probe)], phase="descend", bound=probe
+            )
+            if status is SatResult.SAT:
+                best = self._extract()
                 best_bound = probe
                 if best_bound == t_lb:
                     optimal = True
-            elif status is False:
+            elif status is SatResult.UNSAT:
                 optimal = True
                 proven_unsat_bound = probe
             else:
-                break  # timeout: keep best, not proven optimal
+                break  # timeout or cancellation: keep best, not proven optimal
+        span.set(depth=best_bound, optimal=optimal, iterations=self.iterations)
         result = self._make_result(best, "depth", optimal, started)
         if self.config.certify and optimal:
             # Certify the UNSAT bound the descent proved; when the optimum
@@ -250,7 +291,7 @@ class IterativeSynthesizer:
         solver = Solver(proof_log=True)
         build(SMTContext(sink=solver))
         budget = max(1.0, self._remaining())
-        if solver.solve(time_budget=budget) is not False:
+        if solver.solve(time_budget=budget) is not SatResult.UNSAT:
             return False
         mirror = cnf_context()
         build(mirror)
@@ -264,8 +305,16 @@ class IterativeSynthesizer:
         Sec. III-B.2: start from a depth-optimal solution (tight depth bound
         trims the space), descend the SWAP bound by one until UNSAT, then
         relax the depth bound and retry; stop when relaxation brings no
-        improvement, the budget runs out, or zero SWAPs is reached.
+        improvement, the budget runs out, cancellation is requested, or
+        zero SWAPs is reached.
         """
+        with self.tracer.span(
+            "optimize", objective="swap", transition_based=self.transition_based
+        ) as span:
+            result = self._optimize_swaps(span)
+        return result
+
+    def _optimize_swaps(self, span) -> SynthesisResult:
         started = _time.monotonic()
         depth_result = self.optimize_depth()
         self._deadline = started + self.config.time_budget
@@ -293,26 +342,29 @@ class IterativeSynthesizer:
                 assumptions = [encoder.depth_guard(depth_bound)]
                 if guard is not None:
                     assumptions.append(guard)
-                self._log(f"swap descend {probe} at depth bound {depth_bound}")
-                status = self._solve(assumptions)
-                if status is True:
-                    extraction = encoder.extract()
+                status = self._solve(assumptions, phase="swap_descend", bound=probe)
+                if status is SatResult.SAT:
+                    extraction = self._extract()
                     bound_at_depth = len(extraction[2])
                     if bound_at_depth < best_swaps:
                         best_swaps = bound_at_depth
                         best_extraction = extraction
                         improved_this_round = True
-                elif status is False:
+                elif status is SatResult.UNSAT:
                     proven_pareto = True
                     break
                 else:
-                    break  # timeout
+                    break  # timeout or cancellation: keep best-so-far
             pareto.append((depth_bound, bound_at_depth))
             if best_swaps == 0:
                 proven_pareto = True
                 break
             rounds += 1
-            if rounds > self.config.max_pareto_rounds or self._remaining() <= 0:
+            if (
+                rounds > self.config.max_pareto_rounds
+                or self._remaining() <= 0
+                or self.tracer.cancelled
+            ):
                 break
             if rounds > 1 and not improved_this_round:
                 break  # condition (2): relaxing depth no longer helps
@@ -323,6 +375,13 @@ class IterativeSynthesizer:
                 encoder = self._build_encoder(horizon)
                 encoder.init_swap_counter(max_bound=best_swaps)
 
+        span.set(
+            swaps=best_swaps,
+            optimal=proven_pareto,
+            rounds=rounds,
+            iterations=self.iterations,
+            cancelled=self.tracer.cancelled,
+        )
         result = self._make_result(
             best_extraction, "swap", proven_pareto, started, pareto
         )

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from .config import SynthesisConfig
+from .interface import check_initial_mapping, check_objective
 from .olsq2 import OLSQ2, TBOLSQ2
 from .optimizer import SynthesisTimeout
 from .result import SynthesisResult
@@ -68,11 +69,13 @@ def default_portfolio(
     ]
 
 
-def _worker(entry: PortfolioEntry, circuit, device, objective, queue) -> None:
+def _worker(entry: PortfolioEntry, circuit, device, objective, initial_mapping, queue) -> None:
     """Run one configuration; push (name, result-or-None, error) to the queue."""
     try:
         cls = TBOLSQ2 if entry.transition_based else OLSQ2
-        result = cls(entry.config).synthesize(circuit, device, objective=objective)
+        result = cls(entry.config).synthesize(
+            circuit, device, objective=objective, initial_mapping=initial_mapping
+        )
         validate_result(result, strict_dependencies=True)
         queue.put((entry.name, result, None))
     except SynthesisTimeout as exc:
@@ -101,14 +104,18 @@ class PortfolioSynthesizer:
         self,
         circuit: QuantumCircuit,
         device: CouplingGraph,
+        *,
         objective: str = "depth",
+        initial_mapping: Optional[Sequence[int]] = None,
     ) -> SynthesisResult:
+        check_objective("PortfolioSynthesizer", objective)
+        mapping = check_initial_mapping(circuit, device, initial_mapping)
         ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
         queue: mp.Queue = ctx.Queue()
         processes = [
             ctx.Process(
                 target=_worker,
-                args=(entry, circuit, device, objective, queue),
+                args=(entry, circuit, device, objective, mapping, queue),
                 daemon=True,
             )
             for entry in self.entries

@@ -17,6 +17,7 @@ from .experiments import (
 )
 from .report import generate_report, markdown_table, write_report
 from .tables import average, format_table, geometric_mean, ratio
+from .tracing import trace_summary
 
 __all__ = [
     "TABLE1_VARIANTS",
@@ -30,6 +31,7 @@ __all__ = [
     "run_table4",
     "run_speedup_summary",
     "print_experiment",
+    "trace_summary",
     "format_table",
     "geometric_mean",
     "ratio",

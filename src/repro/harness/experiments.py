@@ -20,6 +20,7 @@ from ..core.config import SynthesisConfig
 from ..core.olsq2 import OLSQ2, TBOLSQ2
 from ..core.optimizer import SynthesisTimeout
 from ..core.validator import validate_result
+from ..sat.result import SatResult
 from ..workloads.qaoa import qaoa_circuit
 from ..workloads.queko import queko_circuit
 from ..workloads.library import qft, toffoli
@@ -66,9 +67,12 @@ def run_fig1(timeout: float = DEFAULT_SOLVE_TIMEOUT):
                 [
                     f"{rows_}x{cols}",
                     f"{n}/{circuit.num_gates}",
-                    t1 if s1 is not None else None,
-                    t2 if s2 is not None else None,
-                    ratio(t1 if s1 is not None else None, t2 if s2 is not None else None),
+                    t1 if s1 is not SatResult.UNKNOWN else None,
+                    t2 if s2 is not SatResult.UNKNOWN else None,
+                    ratio(
+                        t1 if s1 is not SatResult.UNKNOWN else None,
+                        t2 if s2 is not SatResult.UNKNOWN else None,
+                    ),
                 ]
             )
     headers = ["Grid", "Qubit/Gate", "OLSQ (s)", "OLSQ2 (s)", "Speedup"]
@@ -105,7 +109,7 @@ def run_table1(timeout: float = DEFAULT_SOLVE_TIMEOUT):
         for name in names:
             enc = build_encoder(TABLE1_VARIANTS[name], circuit, device, horizon)
             status, seconds = _timed_solve(enc, timeout=timeout)
-            times[name] = seconds if status is not None else None
+            times[name] = seconds if status is not SatResult.UNKNOWN else None
             all_times[name].append(times[name])
         base = times["OLSQ(int)"]
         for name in names:
@@ -162,7 +166,7 @@ def run_table2(timeout: float = DEFAULT_SOLVE_TIMEOUT):
             start = time.monotonic()
             status = enc.ctx.solve(assumptions=assumptions, time_budget=timeout)
             seconds = time.monotonic() - start
-            times[name] = seconds if status is not None else None
+            times[name] = seconds if status is not SatResult.UNKNOWN else None
             all_times[name].append(times[name])
         base = times["OLSQ"]
         for name in names:
@@ -269,7 +273,9 @@ def run_table4(time_budget: float = 120.0):
             max_pareto_rounds=1,
         )
         try:
-            satmap = SATMap(slice_size=10, config=cfg).synthesize(circuit, device)
+            satmap = SATMap(slice_size=10, config=cfg).synthesize(
+                circuit, device, objective="swap"
+            )
             validate_result(satmap)
             satmap_swaps = satmap.swap_count
         except SATMapTimeout:

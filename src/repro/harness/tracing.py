@@ -1,0 +1,35 @@
+"""Rendering of telemetry traces for the benchmark harness.
+
+:func:`trace_summary` turns any trace source (a
+:class:`~repro.telemetry.MemorySink`, a JSONL path, or an iterable of
+records) into the same aligned ASCII table format the experiment drivers
+use, so a run's per-phase timing breakdown can sit next to its result
+tables in a report::
+
+    phase        | count | total (s) | self (s) | mean (s) | share
+    -------------+-------+-----------+----------+----------+------
+    optimize     |     1 |    1.9312 |   0.0021 |   1.9312 |  0.1%
+    solve        |     9 |    1.8452 |   1.8441 |   0.2145 | 95.5%
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..telemetry import summary_rows
+from .tables import format_table
+
+
+def trace_summary(trace, title: Optional[str] = "per-phase breakdown") -> str:
+    """Render a per-phase timing table for ``trace``.
+
+    ``trace`` is anything :func:`repro.telemetry.summary_rows` accepts: a
+    ``MemorySink``, a path to a JSONL trace file, an open stream, or an
+    iterable of trace records/dicts.  Returns the formatted table (empty
+    string when the trace holds no completed spans).
+    """
+    headers, rows = summary_rows(trace)
+    if not rows:
+        return ""
+    return format_table(headers, rows, title=title)

@@ -13,6 +13,7 @@ from .preprocess import (
 )
 from .proof import ProofError, check_unsat_proof, is_rup, proof_stats
 from .reference import brute_force_solve, count_models
+from .result import SatResult
 from .solver import Clause, Solver, SolverStats, luby
 from .types import (
     FALSE,
@@ -37,6 +38,7 @@ __all__ = [
     "check_unsat_proof",
     "is_rup",
     "proof_stats",
+    "SatResult",
     "Solver",
     "SolverStats",
     "luby",

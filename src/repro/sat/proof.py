@@ -13,7 +13,7 @@ Usage::
 
     solver = Solver(proof_log=True)
     cnf.to_solver(solver)
-    assert solver.solve() is False
+    assert solver.solve() is SatResult.UNSAT
     assert check_unsat_proof(cnf, solver.proof)
 """
 

@@ -1,0 +1,71 @@
+"""The solver verdict type.
+
+Historically :meth:`repro.sat.Solver.solve` returned the tri-state
+``True`` / ``False`` / ``None``, which made call sites easy to get subtly
+wrong (``if status:`` silently conflating UNSAT with timeout).
+:class:`SatResult` names the three outcomes while staying drop-in
+compatible with truthiness-style code:
+
+* ``bool(result)`` is ``True`` exactly for :attr:`SatResult.SAT`,
+* ``result == True`` / ``== False`` / ``== None`` match ``SAT`` /
+  ``UNSAT`` / ``UNKNOWN`` respectively (equality, not identity — code
+  using ``is True`` must migrate to ``is SatResult.SAT``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+
+class SatResult(Enum):
+    """Outcome of a SAT query: satisfiable, unsatisfiable, or undecided
+    (conflict/time budget exhausted, or cancelled)."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is SatResult.SAT
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SatResult):
+            return self is other
+        if other is None:
+            return self is SatResult.UNKNOWN
+        if other is True:
+            return self is SatResult.SAT
+        if other is False:
+            return self is SatResult.UNSAT
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    __hash__ = Enum.__hash__
+
+    @classmethod
+    def from_bool(cls, status: Optional[bool]) -> "SatResult":
+        """Lift the legacy tri-state into the enum (idempotent)."""
+        if isinstance(status, SatResult):
+            return status
+        if status is True:
+            return cls.SAT
+        if status is False:
+            return cls.UNSAT
+        if status is None:
+            return cls.UNKNOWN
+        raise TypeError(f"not a solver status: {status!r}")
+
+    def to_bool(self) -> Optional[bool]:
+        """Project back onto the legacy tri-state."""
+        if self is SatResult.SAT:
+            return True
+        if self is SatResult.UNSAT:
+            return False
+        return None
+
+    def __str__(self) -> str:
+        return self.value

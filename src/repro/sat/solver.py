@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence
 
+from .result import SatResult
 from .types import FALSE, TRUE, UNDEF, neg
 
 
@@ -56,6 +57,7 @@ class SolverStats:
         "learnt_literals",
         "removed_clauses",
         "solve_calls",
+        "lbd_counts",
     )
 
     def __init__(self) -> None:
@@ -66,9 +68,17 @@ class SolverStats:
         self.learnt_literals = 0
         self.removed_clauses = 0
         self.solve_calls = 0
+        # LBD value -> number of clauses learnt with that LBD (cumulative).
+        self.lbd_counts: dict = {}
 
     def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+        d = {name: getattr(self, name) for name in self.__slots__ if name != "lbd_counts"}
+        d["lbd_counts"] = dict(self.lbd_counts)
+        return d
+
+    def snapshot(self) -> dict:
+        """Flat scalar counters (no histogram) — cheap to diff per solve()."""
+        return {name: getattr(self, name) for name in self.__slots__ if name != "lbd_counts"}
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -176,12 +186,15 @@ class Solver:
         solver = Solver()
         a, b = solver.new_var(), solver.new_var()
         solver.add_clause([mk_lit(a), mk_lit(b)])
-        assert solver.solve() is True
-        assert solver.solve(assumptions=[mk_lit(a, negative=True)]) is True
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve(assumptions=[mk_lit(a, negative=True)])
 
-    :meth:`solve` returns ``True`` (satisfiable — read :attr:`model`),
-    ``False`` (unsatisfiable — read :attr:`core` for failed assumptions), or
-    ``None`` when a conflict/time budget expired.
+    :meth:`solve` returns a :class:`repro.sat.SatResult`:
+    :attr:`~SatResult.SAT` (read :attr:`model`), :attr:`~SatResult.UNSAT`
+    (read :attr:`core` for failed assumptions), or
+    :attr:`~SatResult.UNKNOWN` when a conflict/time budget expired or the
+    attached tracer was cancelled.  The enum is truthy exactly on SAT and
+    ``==``-compatible with the legacy ``True``/``False``/``None``.
     """
 
     VAR_DECAY = 1.0 / 0.95
@@ -196,6 +209,12 @@ class Solver:
         # repro.sat.proof.check_unsat_proof replays the log by reverse unit
         # propagation, giving an independently checkable UNSAT certificate.
         self.proof: Optional[List[tuple]] = [] if proof_log else None
+        # Optional repro.telemetry.Tracer; when set, every solve() emits a
+        # "solver.solve" stats-snapshot event and restarts become both
+        # "solver.restart" events and cooperative-cancellation poll points.
+        # Kept as a plain None-default attribute (not NULL_TRACER) so the
+        # disabled-path cost is a single identity check per solve().
+        self.tracer = None
         self.n_vars = 0
         self.clauses: List[Clause] = []
         self.learnts: List[Clause] = []
@@ -556,19 +575,23 @@ class Solver:
         assumptions: Sequence[int] = (),
         conflict_budget: Optional[int] = None,
         time_budget: Optional[float] = None,
-    ) -> Optional[bool]:
+    ) -> SatResult:
         """Solve the current formula under ``assumptions``.
 
-        Returns ``True``/``False``/``None`` (budget exhausted).  On ``True``
-        the satisfying assignment is in :attr:`model`; on ``False`` under
-        assumptions, :attr:`core` holds a subset of failed assumptions.
+        Returns a :class:`SatResult` (``UNKNOWN`` when a budget was
+        exhausted or the tracer cancelled).  On ``SAT`` the satisfying
+        assignment is in :attr:`model`; on ``UNSAT`` under assumptions,
+        :attr:`core` holds a subset of failed assumptions.
         """
         self.stats.solve_calls += 1
         self.model = []
         self.core = []
+        tracer = self.tracer
+        before = self.stats.snapshot() if tracer is not None else None
+        started = time.monotonic()
         if not self.ok:
-            return False
-        deadline = time.monotonic() + time_budget if time_budget else None
+            return self._finish(SatResult.UNSAT, before, started)
+        deadline = started + time_budget if time_budget else None
         conflict_limit = (
             self.stats.conflicts + conflict_budget if conflict_budget else None
         )
@@ -606,6 +629,7 @@ class Solver:
                     self._attach(clause)
                     self._cla_bump(clause)
                     self._unchecked_enqueue(learnt[0], clause)
+                self.stats.lbd_counts[lbd] = self.stats.lbd_counts.get(lbd, 0) + 1
                 self.stats.learnt_literals += len(learnt)
                 self.var_inc *= self.VAR_DECAY
                 self.cla_inc *= self.CLA_DECAY
@@ -622,6 +646,18 @@ class Solver:
                 restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
                 conflicts_this_restart = 0
                 self._cancel_until(0)
+                if self.tracer is not None:
+                    # Restarts are the solver's safe points: surface progress
+                    # and poll the cooperative-cancellation flag so a long
+                    # solve can be aborted between restarts.
+                    self.tracer.event(
+                        "solver.restart",
+                        restarts=self.stats.restarts,
+                        conflicts=self.stats.conflicts,
+                        learnts=len(self.learnts),
+                    )
+                    if self.tracer.cancelled:
+                        break
                 continue
             if (
                 len(self.learnts) - len(self.trail) >= self.max_learnts
@@ -658,7 +694,29 @@ class Solver:
         if status is True:
             self.model = [self.assigns[v] == TRUE for v in range(self.n_vars)]
         self._cancel_until(0)
-        return status
+        return self._finish(SatResult.from_bool(status), before, started)
+
+    def _finish(
+        self, result: SatResult, before: Optional[dict], started: float
+    ) -> SatResult:
+        """Emit the per-solve stats snapshot (when a tracer is attached)."""
+        if self.tracer is not None:
+            after = self.stats.snapshot()
+            attrs = {"result": result.value, "time": time.monotonic() - started}
+            # Per-call deltas tell the optimization loop where each
+            # iteration's effort went; cumulative values mirror as_dict().
+            for key, value in after.items():
+                attrs[key] = value
+                if before is not None:
+                    attrs["d_" + key] = value - before[key]
+            attrs["n_vars"] = self.n_vars
+            attrs["n_clauses"] = len(self.clauses)
+            attrs["n_learnts"] = len(self.learnts)
+            attrs["lbd_counts"] = {
+                str(k): v for k, v in sorted(self.stats.lbd_counts.items())
+            }
+            self.tracer.event("solver.solve", **attrs)
+        return result
 
     # ------------------------------------------------------------------
     # Search guidance

@@ -17,6 +17,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..sat.formula import CNF
+from ..sat.result import SatResult
 from ..sat.solver import Solver
 from ..sat.types import mk_lit, neg
 
@@ -75,8 +76,11 @@ class SMTContext:
         assumptions: Sequence[int] = (),
         time_budget: Optional[float] = None,
         conflict_budget: Optional[int] = None,
-    ) -> Optional[bool]:
-        """Run the underlying solver; requires the sink to be a Solver."""
+    ) -> "SatResult":
+        """Run the underlying solver; requires the sink to be a Solver.
+
+        Returns a :class:`repro.sat.SatResult` (SAT / UNSAT / UNKNOWN).
+        """
         if not isinstance(self.sink, Solver):
             raise TypeError("this context wraps a CNF, not a live solver")
         start = time.monotonic()

@@ -34,6 +34,7 @@ from __future__ import annotations
 import time as _time
 from typing import List, Optional, Sequence
 
+from ..sat.result import SatResult
 from ..sat.types import neg
 
 
@@ -132,11 +133,11 @@ def solve_with_theory(
     ctx,
     assumptions: Sequence[int] = (),
     time_budget: Optional[float] = None,
-) -> Optional[bool]:
+) -> SatResult:
     """The CEGAR loop: skeleton solve + lazy domain-axiom refinement.
 
-    Returns ``True``/``False``/``None`` with the same semantics as
-    :meth:`repro.sat.Solver.solve`; on ``True`` every lazy variable decodes
+    Returns a :class:`repro.sat.SatResult` with the same semantics as
+    :meth:`repro.sat.Solver.solve`; on ``SAT`` every lazy variable decodes
     uniquely.  Statistics land in ``ctx.theory_rounds`` / ``ctx.theory_lemmas``.
     """
     deadline = _time.monotonic() + time_budget if time_budget else None
@@ -145,9 +146,9 @@ def solve_with_theory(
         if deadline is not None:
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
-                return None
+                return SatResult.UNKNOWN
         status = ctx.sink.solve(assumptions=assumptions, time_budget=remaining)
-        if status is not True:
+        if status is not SatResult.SAT:
             return status
         ctx.theory_rounds += 1
         model = ctx.sink.model
@@ -164,7 +165,7 @@ def solve_with_theory(
                             [neg(var.atoms[values[i]]), neg(var.atoms[values[j]])]
                         )
         if not lemmas:
-            return True
+            return SatResult.SAT
         ctx.theory_lemmas += len(lemmas)
         for clause in lemmas:
             ctx.sink.add_clause(clause)

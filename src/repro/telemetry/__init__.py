@@ -1,0 +1,55 @@
+"""Structured telemetry and tracing for the synthesis stack.
+
+The observability substrate the perf roadmap is benchmarked through:
+hierarchical spans, typed events, pluggable sinks.  Zero third-party
+dependencies; near-zero overhead when disabled (the shared
+:data:`NULL_TRACER` no-ops every call).
+
+Quickstart::
+
+    from repro import OLSQ2, SynthesisConfig
+    from repro.telemetry import Tracer, JsonlSink, MemorySink
+
+    tracer = Tracer(sinks=[JsonlSink("trace.jsonl")])
+    config = SynthesisConfig(tracer=tracer)
+    result = OLSQ2(config).synthesize(qc, dev, objective="depth")
+    tracer.close()
+
+    from repro.harness import trace_summary
+    print(trace_summary("trace.jsonl"))       # per-phase time breakdown
+
+Cooperative cancellation::
+
+    def watchdog(record):
+        return False if should_stop() else True   # False => abort cleanly
+
+    config = SynthesisConfig(progress_callback=watchdog)
+
+CLI equivalent: ``olsq2 compile circuit.qasm --trace trace.jsonl``.
+"""
+
+from .events import Event, SpanEnd, SpanStart, TraceRecord, record_from_dict
+from .sinks import JsonlSink, MemorySink, StderrSink, dumps_trace, read_trace
+from .summary import PhaseStat, aggregate_spans, summary_rows, total_time
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanStart",
+    "SpanEnd",
+    "Event",
+    "TraceRecord",
+    "record_from_dict",
+    "MemorySink",
+    "JsonlSink",
+    "StderrSink",
+    "read_trace",
+    "dumps_trace",
+    "PhaseStat",
+    "aggregate_spans",
+    "summary_rows",
+    "total_time",
+]

@@ -1,0 +1,119 @@
+"""Typed trace records.
+
+Three record kinds flow through a :class:`repro.telemetry.Tracer`:
+
+* :class:`SpanStart` / :class:`SpanEnd` — a *span* is a named, timed region
+  of work (``encode``, ``solve``, one optimizer iteration...).  Spans nest:
+  every record carries its span id and its parent's id, so a trace is a
+  forest reconstructable from the flat record stream.
+* :class:`Event` — a point-in-time observation attached to the innermost
+  open span (a solver-stats snapshot, a restart, a bound verdict).
+
+Every record serialises to a flat JSON-safe dict (:meth:`to_dict`) and back
+(:func:`record_from_dict`), which is what the JSONL sink writes and
+:func:`repro.telemetry.read_trace` reads — the round-trip is lossless for
+JSON-representable attribute values.
+
+Timestamps are seconds relative to the owning tracer's epoch (a monotonic
+clock), so arithmetic on them is meaningful within one trace but they are
+not wall-clock dates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+
+@dataclass
+class SpanStart:
+    """Marks the opening of a span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    ts: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "span_start"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class SpanEnd:
+    """Marks the closing of a span; carries the merged final attributes."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    ts: float
+    duration: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "span_end"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Event:
+    """A point event inside (or outside) any span."""
+
+    name: str
+    span_id: Optional[int]
+    ts: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "span_id": self.span_id,
+            "ts": self.ts,
+            "attrs": dict(self.attrs),
+        }
+
+
+TraceRecord = Union[SpanStart, SpanEnd, Event]
+
+_KINDS = {
+    SpanStart.kind: SpanStart,
+    SpanEnd.kind: SpanEnd,
+    Event.kind: Event,
+}
+
+
+def record_from_dict(data: Dict[str, Any]) -> TraceRecord:
+    """Rebuild a typed record from its :meth:`to_dict` form."""
+    try:
+        kind = data["kind"]
+    except (KeyError, TypeError):
+        raise ValueError(f"not a trace record: {data!r}") from None
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace record kind {kind!r}")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"malformed {kind} record: {exc}") from None

@@ -1,0 +1,144 @@
+"""Trace sinks: where emitted records go.
+
+A sink is anything with ``emit(record)`` and ``close()``.  Three are
+provided:
+
+* :class:`MemorySink` — collects records in a list (tests, programmatic
+  analysis, :func:`repro.telemetry.summary.aggregate_spans`),
+* :class:`JsonlSink` — one JSON object per line; the interchange format of
+  ``olsq2 compile --trace`` and :func:`read_trace`,
+* :class:`StderrSink` — human-readable, indentation shows span nesting;
+  the replacement for the old ``config.verbose`` print path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import IO, Iterator, List, Optional, Union
+
+from .events import Event, SpanEnd, SpanStart, TraceRecord, record_from_dict
+
+
+class MemorySink:
+    """Collect records in memory."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def spans(self) -> List[SpanEnd]:
+        """The completed spans, in closing order."""
+        return [r for r in self.records if isinstance(r, SpanEnd)]
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        out = [r for r in self.records if isinstance(r, Event)]
+        if name is not None:
+            out = [r for r in out if r.name == name]
+        return out
+
+
+class JsonlSink:
+    """Write records as JSON Lines to a path or an open text stream."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, (str, bytes)):
+            self._fp: IO[str] = open(target, "w")
+            self._owned = True
+        else:
+            self._fp = target
+            self._owned = False
+
+    def emit(self, record: TraceRecord) -> None:
+        self._fp.write(json.dumps(record.to_dict(), default=str) + "\n")
+
+    def close(self) -> None:
+        self._fp.flush()
+        if self._owned:
+            self._fp.close()
+
+
+class StderrSink:
+    """Render records as indented, human-readable lines.
+
+    ``>`` opens a span, ``<`` closes it (with its duration), ``*`` is a
+    point event.  Despite the name, any text stream can be targeted.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, prefix: str = "[olsq2] "):
+        self._stream = stream
+        self.prefix = prefix
+        self._depth = 0
+
+    def _out(self) -> IO[str]:
+        # Resolve lazily so pytest's capture / late stderr redirection work.
+        return self._stream if self._stream is not None else sys.stderr
+
+    @staticmethod
+    def _fmt_attrs(attrs: dict) -> str:
+        if not attrs:
+            return ""
+        return " " + " ".join(f"{k}={v}" for k, v in attrs.items())
+
+    def emit(self, record: TraceRecord) -> None:
+        if isinstance(record, SpanStart):
+            line = f"> {record.name}{self._fmt_attrs(record.attrs)}"
+            indent = "  " * self._depth
+            self._depth += 1
+        elif isinstance(record, SpanEnd):
+            self._depth = max(0, self._depth - 1)
+            indent = "  " * self._depth
+            line = f"< {record.name} ({record.duration:.3f}s){self._fmt_attrs(record.attrs)}"
+        else:
+            indent = "  " * self._depth
+            line = f"* {record.name}{self._fmt_attrs(record.attrs)}"
+        print(f"{self.prefix}{indent}{line}", file=self._out())
+
+    def close(self) -> None:
+        pass
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[TraceRecord]:
+    """Parse a JSONL trace (as written by :class:`JsonlSink`) back into records."""
+    if isinstance(source, (str, bytes)):
+        fp: IO[str] = open(source)
+        owned = True
+    else:
+        fp = source
+        owned = False
+    try:
+        records = []
+        for line_no, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {line_no}: invalid JSON ({exc})") from None
+            records.append(record_from_dict(data))
+        return records
+    finally:
+        if owned:
+            fp.close()
+
+
+def dumps_trace(records) -> str:
+    """Serialise records to a JSONL string (inverse of :func:`read_trace`)."""
+    buf = io.StringIO()
+    sink = JsonlSink(buf)
+    for record in records:
+        sink.emit(record)
+    return buf.getvalue()

@@ -1,0 +1,107 @@
+"""Per-phase aggregation of a trace.
+
+Turns a flat record stream into the table every perf PR gets benchmarked
+against: for each span name, how many times it ran and how much wall time
+it consumed — plus *self* time (time not covered by child spans), which is
+what actually pinpoints where a phase's cost lives when spans nest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .events import SpanEnd, TraceRecord, record_from_dict
+from .sinks import MemorySink, read_trace
+
+
+def coerce_records(trace) -> List[TraceRecord]:
+    """Accept a JSONL path, an open stream, a MemorySink, or an iterable of
+    records / ``to_dict()`` dicts; return a list of typed records."""
+    if isinstance(trace, MemorySink):
+        return list(trace.records)
+    if isinstance(trace, (str, bytes)):
+        return read_trace(trace)
+    if hasattr(trace, "read"):
+        return read_trace(trace)
+    records = []
+    for item in trace:
+        if isinstance(item, dict):
+            records.append(record_from_dict(item))
+        else:
+            records.append(item)
+    return records
+
+
+class PhaseStat:
+    """Aggregate statistics for one span name."""
+
+    __slots__ = ("name", "count", "total", "self_time", "max_duration")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_time = 0.0
+        self.max_duration = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def aggregate_spans(trace) -> List[PhaseStat]:
+    """Group completed spans by name; order by total time, descending.
+
+    *Self* time is each span's duration minus its direct children's
+    durations, so a parent phase that merely wraps sub-phases shows up
+    with near-zero self time instead of double-counting.
+    """
+    records = coerce_records(trace)
+    spans = [r for r in records if isinstance(r, SpanEnd)]
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration
+            )
+    stats: Dict[str, PhaseStat] = {}
+    for span in spans:
+        stat = stats.get(span.name)
+        if stat is None:
+            stat = stats[span.name] = PhaseStat(span.name)
+        stat.count += 1
+        stat.total += span.duration
+        stat.self_time += max(0.0, span.duration - child_time.get(span.span_id, 0.0))
+        stat.max_duration = max(stat.max_duration, span.duration)
+    return sorted(stats.values(), key=lambda s: -s.total)
+
+
+def summary_rows(
+    trace,
+) -> Tuple[List[str], List[List[Union[str, int, float, None]]]]:
+    """``(headers, rows)`` of the per-phase breakdown, harness-table shaped."""
+    stats = aggregate_spans(trace)
+    top_level = sum(s.self_time for s in stats)
+    headers = ["phase", "count", "total (s)", "self (s)", "mean (s)", "share"]
+    rows: List[List[Union[str, int, float, None]]] = []
+    for stat in stats:
+        share = stat.self_time / top_level if top_level > 0 else None
+        rows.append(
+            [
+                stat.name,
+                stat.count,
+                stat.total,
+                stat.self_time,
+                stat.mean,
+                f"{100.0 * share:.1f}%" if share is not None else None,
+            ]
+        )
+    return headers, rows
+
+
+def total_time(trace, name: Optional[str] = None) -> float:
+    """Total recorded span time, optionally restricted to one span name."""
+    spans = [r for r in coerce_records(trace) if isinstance(r, SpanEnd)]
+    if name is not None:
+        spans = [s for s in spans if s.name == name]
+    return sum(s.duration for s in spans)

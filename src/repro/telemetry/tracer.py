@@ -1,0 +1,204 @@
+"""The tracer: hierarchical spans, events, sinks, cooperative cancellation.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Every instrumented module holds a tracer
+   reference unconditionally; when tracing is disabled that reference is
+   the shared :data:`NULL_TRACER`, whose ``span()``/``event()`` allocate
+   nothing.  The hot solver loop instead keeps ``tracer = None`` and
+   guards with one identity check per ``solve()`` call.
+2. **Single-threaded simplicity.**  A tracer belongs to one synthesis run;
+   the span stack is a plain list.  (The portfolio synthesizer runs whole
+   workers in separate *processes*, each with its own tracer.)
+3. **Cooperative cancellation.**  An optional ``progress_callback`` sees
+   every record; returning ``False`` (exactly — ``None`` means "carry
+   on") flips :attr:`Tracer.cancelled`, which instrumented loops poll at
+   their next safe point and abort cleanly, keeping the best result found
+   so far.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from .events import Event, SpanEnd, SpanStart, TraceRecord
+
+ProgressCallback = Callable[[TraceRecord], Optional[bool]]
+
+
+class Span:
+    """Handle to an open span; ``set()`` annotates it before it closes."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_ts", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ts: float,
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ts = start_ts
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; they appear on the span's closing record."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Span({self.name!r}, id={self.span_id})"
+
+
+class Tracer:
+    """Emits structured trace records to pluggable sinks.
+
+    Usage::
+
+        tracer = Tracer(sinks=[JsonlSink("trace.jsonl")])
+        with tracer.span("solve", bound=7) as sp:
+            ...
+            sp.set(verdict="sat")
+        tracer.event("solver.restart", conflicts=123)
+        tracer.close()
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Sequence = (),
+        progress_callback: Optional[ProgressCallback] = None,
+    ):
+        self.sinks: List = list(sinks)
+        self.progress_callback = progress_callback
+        self._stack: List[Span] = []
+        self._next_id = 0
+        self._epoch = time.monotonic()
+        self._cancelled = False
+
+    # -- plumbing ---------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def _emit(self, record: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+        cb = self.progress_callback
+        if cb is not None and cb(record) is False:
+            self._cancelled = True
+
+    # -- cancellation -----------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the progress callback asked to stop."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Programmatic cancellation (same effect as the callback)."""
+        self._cancelled = True
+
+    # -- recording --------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; closes (and emits) even on exceptions."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        start = self._now()
+        span = Span(name, span_id, parent, start, dict(attrs))
+        self._emit(SpanStart(name, span_id, parent, start, dict(attrs)))
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            end = self._now()
+            self._emit(
+                SpanEnd(name, span_id, parent, end, end - start, dict(span.attrs))
+            )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        parent = self._stack[-1].span_id if self._stack else None
+        self._emit(Event(name, parent, self._now(), attrs))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Reusable no-op stand-in for both Span and its context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer; safe to share (stateless) and to close repeatedly."""
+
+    enabled = False
+    cancelled = False
+    progress_callback = None
+    sinks: List = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def cancel(self) -> None:  # pragma: no cover - never meaningful
+        pass
+
+    def add_sink(self, sink) -> None:
+        raise TypeError(
+            "cannot attach sinks to the null tracer; build a telemetry.Tracer"
+        )
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

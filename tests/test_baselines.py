@@ -36,8 +36,8 @@ class TestOLSQBaseline:
         """The formulations differ, the optima must not (Sec. III-A)."""
         cfg = fast_config()
         qc = triangle()
-        r1 = OLSQ(cfg).synthesize(qc, linear(3), "depth")
-        r2 = OLSQ2(cfg).synthesize(qc, linear(3), "depth")
+        r1 = OLSQ(cfg).synthesize(qc, linear(3), objective="depth")
+        r2 = OLSQ2(cfg).synthesize(qc, linear(3), objective="depth")
         assert r1.optimal and r2.optimal
         assert r1.depth == r2.depth
         validate_result(r1)
@@ -45,16 +45,16 @@ class TestOLSQBaseline:
     def test_olsq_agrees_on_swap_count(self):
         cfg = fast_config()
         qc = triangle()
-        r1 = OLSQ(cfg).synthesize(qc, linear(3), "swap")
-        r2 = OLSQ2(cfg).synthesize(qc, linear(3), "swap")
+        r1 = OLSQ(cfg).synthesize(qc, linear(3), objective="swap")
+        r2 = OLSQ2(cfg).synthesize(qc, linear(3), objective="swap")
         assert r1.swap_count == r2.swap_count == 1
         validate_result(r1)
 
     def test_olsq_agrees_on_qaoa(self):
         cfg = fast_config()
         qc = qaoa_circuit(6, seed=2)
-        r1 = OLSQ(cfg).synthesize(qc, grid(2, 3), "depth")
-        r2 = OLSQ2(cfg).synthesize(qc, grid(2, 3), "depth")
+        r1 = OLSQ(cfg).synthesize(qc, grid(2, 3), objective="depth")
+        r2 = OLSQ2(cfg).synthesize(qc, grid(2, 3), objective="depth")
         assert r1.optimal and r2.optimal
         assert r1.depth == r2.depth
         validate_result(r1)
@@ -72,8 +72,8 @@ class TestOLSQBaseline:
     def test_tb_olsq_matches_tb_olsq2_swaps(self):
         cfg = fast_config()
         qc = triangle()
-        r1 = TBOLSQ(cfg).synthesize(qc, linear(3), "swap")
-        r2 = TBOLSQ2(cfg).synthesize(qc, linear(3), "swap")
+        r1 = TBOLSQ(cfg).synthesize(qc, linear(3), objective="swap")
+        r2 = TBOLSQ2(cfg).synthesize(qc, linear(3), objective="swap")
         assert r1.swap_count == r2.swap_count == 1
         validate_result(r1)
 
@@ -175,5 +175,5 @@ class TestSATMap:
             qc = qaoa_circuit(6, seed=seed)
             sabre_total += SABRE(swap_duration=1, seed=seed).synthesize(qc, device).swap_count
             satmap_total += SATMap(slice_size=5, config=cfg).synthesize(qc, device).swap_count
-            tb_total += TBOLSQ2(cfg).synthesize(qc, device, "swap").swap_count
+            tb_total += TBOLSQ2(cfg).synthesize(qc, device, objective="swap").swap_count
         assert tb_total <= satmap_total <= sabre_total

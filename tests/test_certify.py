@@ -34,7 +34,7 @@ class TestCertifiedDepth:
 
     def test_certificate_on_qaoa(self):
         cfg = SynthesisConfig(swap_duration=1, time_budget=120, certify=True)
-        res = OLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), "depth")
+        res = OLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), objective="depth")
         assert res.optimal
         assert res.solver_stats["certified"] is True
 

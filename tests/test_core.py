@@ -20,6 +20,7 @@ from repro.core import (
 )
 from repro.core.optimizer import IterativeSynthesizer
 from repro.smt import BITVEC, CHANNELING_INJ, ONEHOT, PAIRWISE_INJ
+from repro.sat import SatResult
 
 
 def toffoli():
@@ -136,7 +137,7 @@ class TestEncoder:
 
     def test_satisfiable_without_bounds(self):
         enc = LayoutEncoder(triangle(), ibm_qx2(), horizon=4, config=fast_config())
-        assert enc.solve() is True
+        assert enc.solve() is SatResult.SAT
         initial, times, swaps = enc.extract()
         assert len(initial) == 3 and len(set(initial)) == 3
         assert len(times) == 3

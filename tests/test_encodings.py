@@ -36,7 +36,7 @@ from repro.encodings import (
     tseitin_or_many,
     tseitin_xor,
 )
-from repro.sat import Solver, mk_lit, neg
+from repro.sat import mk_lit, neg, SatResult, Solver
 
 
 def fresh(n):
@@ -58,7 +58,7 @@ class TestTseitinGates:
         y_or = tseitin_or(solver, lits[0], lits[1])
         y_xor = tseitin_xor(solver, lits[0], lits[1])
         y_eq = tseitin_equiv(solver, lits[0], lits[1])
-        assert solver.solve(assumptions=force(solver, lits, [a, b])) is True
+        assert solver.solve(assumptions=force(solver, lits, [a, b])) is SatResult.SAT
         assert solver.model_value(y_and) == (a and b)
         assert solver.model_value(y_or) == (a or b)
         assert solver.model_value(y_xor) == (a != b)
@@ -69,7 +69,7 @@ class TestTseitinGates:
         solver, lits = fresh(3)
         y_and = tseitin_and_many(solver, lits)
         y_or = tseitin_or_many(solver, lits)
-        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is SatResult.SAT
         assert solver.model_value(y_and) == all(pattern)
         assert solver.model_value(y_or) == any(pattern)
 
@@ -89,7 +89,7 @@ class TestTseitinGates:
     def test_half_adder(self, a, b):
         solver, lits = fresh(2)
         s, c = half_adder(solver, lits[0], lits[1])
-        assert solver.solve(assumptions=force(solver, lits, [a, b])) is True
+        assert solver.solve(assumptions=force(solver, lits, [a, b])) is SatResult.SAT
         total = int(a) + int(b)
         assert solver.model_value(s) == bool(total & 1)
         assert solver.model_value(c) == bool(total >> 1)
@@ -98,7 +98,7 @@ class TestTseitinGates:
     def test_full_adder(self, pattern):
         solver, lits = fresh(3)
         s, c = full_adder(solver, *lits)
-        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is SatResult.SAT
         total = sum(pattern)
         assert solver.model_value(s) == bool(total & 1)
         assert solver.model_value(c) == bool(total >> 1)
@@ -111,7 +111,7 @@ class TestTseitinGates:
         pattern = [bool((a >> i) & 1) for i in range(4)] + [
             bool((b >> i) & 1) for i in range(4)
         ]
-        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is SatResult.SAT
         got = sum(solver.model_value(bit) << i for i, bit in enumerate(out))
         assert got == a + b
 
@@ -123,7 +123,7 @@ class TestTseitinGates:
         # set exactly popcount(value) inputs true
         k = bin(value).count("1")
         pattern = [i < k for i in range(6)]
-        assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+        assert solver.solve(assumptions=force(solver, lits, pattern)) is SatResult.SAT
         got = sum(solver.model_value(bit) << i for i, bit in enumerate(total))
         assert got == k
 
@@ -142,7 +142,7 @@ def exhaustive_check(method, n, k, mode="at_most"):
             encode_exactly_k(solver, lits, k, method=method)
             expected = sum(pattern) == k
         result = solver.solve(assumptions=force(solver, lits, pattern))
-        assert result is expected, (method, n, k, mode, pattern)
+        assert result == expected, (method, n, k, mode, pattern)
 
 
 class TestAtMostK:
@@ -169,7 +169,7 @@ class TestAtMostK:
     def test_at_least_more_than_n_unsat(self):
         solver, lits = fresh(3)
         encode_at_least_k(solver, lits, 4)
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
 
 
 class TestAtMostOneVariants:
@@ -182,7 +182,7 @@ class TestAtMostOneVariants:
             solver, lits = fresh(n)
             encoder(solver, lits)
             result = solver.solve(assumptions=force(solver, lits, pattern))
-            assert result is (sum(pattern) <= 1), (encoder.__name__, pattern)
+            assert result == (sum(pattern) <= 1), (encoder.__name__, pattern)
 
 
 class TestIncrementalBounds:
@@ -210,9 +210,9 @@ class TestIncrementalBounds:
         for bound in range(n, 2, -1):
             blit = card.bound_literal(bound)
             assumptions = [blit] if blit is not None else []
-            assert solver.solve(assumptions=assumptions) is True, bound
+            assert solver.solve(assumptions=assumptions) is SatResult.SAT, bound
         blit = card.bound_literal(2)
-        assert solver.solve(assumptions=[blit]) is False
+        assert solver.solve(assumptions=[blit]) is SatResult.UNSAT
 
     @pytest.mark.parametrize(
         "factory",
@@ -235,7 +235,7 @@ class TestIncrementalBounds:
         assumptions = force(solver, lits, pattern)
         if blit is not None:
             assumptions = [blit] + assumptions
-        assert solver.solve(assumptions=assumptions) is (sum(pattern) <= bound)
+        assert solver.solve(assumptions=assumptions) == (sum(pattern) <= bound)
 
     def test_counter_bound_above_max_raises(self):
         solver, lits = fresh(6)

@@ -14,7 +14,7 @@ from repro.encodings import (
     at_most_one_commander,
     tseitin_equiv,
 )
-from repro.sat import CNF, Solver, mk_lit, neg
+from repro.sat import CNF, mk_lit, neg, SatResult, Solver
 
 
 def fresh(n):
@@ -45,7 +45,7 @@ class TestWideSweeps:
                 solver, lits = fresh(n)
                 encode_at_most_k(solver, lits, k, method=method)
                 result = solver.solve(assumptions=force(solver, lits, pattern))
-                assert result is (sum(pattern) <= k), (method, n, k, pattern)
+                assert result == (sum(pattern) <= k), (method, n, k, pattern)
 
 
 class TestCommanderGroups:
@@ -56,7 +56,7 @@ class TestCommanderGroups:
             solver, lits = fresh(n)
             at_most_one_commander(solver, lits, group_size=group_size)
             result = solver.solve(assumptions=force(solver, lits, pattern))
-            assert result is (sum(pattern) <= 1), (group_size, pattern)
+            assert result == (sum(pattern) <= 1), (group_size, pattern)
 
 
 class TestCompareLeqConst:
@@ -67,18 +67,18 @@ class TestCompareLeqConst:
             compare_leq_const(solver, lits, k)
             pattern = [bool((value >> i) & 1) for i in range(width)]
             result = solver.solve(assumptions=force(solver, lits, pattern))
-            assert result is (value <= k), (width, k, value)
+            assert result == (value <= k), (width, k, value)
 
     def test_guard_false_disables(self):
         solver, lits = fresh(3)
         guard = mk_lit(solver.new_var())
         compare_leq_const(solver, lits, 0, guard=guard)
         # all bits set, guard not assumed: satisfiable
-        assert solver.solve(assumptions=force(solver, lits, [True] * 3)) is True
+        assert solver.solve(assumptions=force(solver, lits, [True] * 3)) is SatResult.SAT
         # with the guard, value must be 0
         assert (
             solver.solve(assumptions=[guard] + force(solver, lits, [True] * 3))
-            is False
+            is SatResult.UNSAT
         )
 
 
@@ -89,7 +89,7 @@ class TestBinaryTotalWide:
             solver, lits = fresh(n)
             total = binary_total(solver, lits)
             pattern = [i < k for i in range(n)]
-            assert solver.solve(assumptions=force(solver, lits, pattern)) is True
+            assert solver.solve(assumptions=force(solver, lits, pattern)) is SatResult.SAT
             got = sum(solver.model_value(bit) << i for i, bit in enumerate(total))
             assert got == k
 
@@ -101,10 +101,10 @@ class TestTseitinEquiv:
         e2 = tseitin_equiv(solver, lits[1], lits[2])
         both = [e1, e2]
         # a=b=c makes both equivalences true
-        assert solver.solve(assumptions=force(solver, lits, [True] * 3) + both) is True
+        assert solver.solve(assumptions=force(solver, lits, [True] * 3) + both) is SatResult.SAT
         assert (
             solver.solve(
                 assumptions=force(solver, lits, [True, False, True]) + both
             )
-            is False
+            is SatResult.UNSAT
         )

@@ -15,6 +15,7 @@ from repro.harness import (
 )
 from repro.harness.tables import format_cell
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 
 class TestTables:
@@ -55,7 +56,7 @@ class TestConfigBuilders:
     def test_table1_encoders_solve_tiny_instance(self, name):
         circuit = qaoa_circuit(4, seed=1, degree=2)
         enc = build_encoder(TABLE1_VARIANTS[name], circuit, grid(2, 2), horizon=5)
-        assert enc.solve(time_budget=30) is True
+        assert enc.solve(time_budget=30) is SatResult.SAT
 
     @pytest.mark.parametrize("name", sorted(TABLE2_VARIANTS))
     def test_table2_encoders_solve_tiny_instance(self, name):
@@ -67,7 +68,7 @@ class TestConfigBuilders:
         enc.init_swap_counter(max_bound=4)
         guard = enc.swap_guard(4)
         assumptions = [guard] if guard is not None else []
-        assert enc.ctx.solve(assumptions=assumptions, time_budget=30) is True
+        assert enc.ctx.solve(assumptions=assumptions, time_budget=30) is SatResult.SAT
 
     def test_all_variants_unique_configs(self):
         assert len(TABLE1_VARIANTS) == 6  # the paper's six

@@ -121,9 +121,9 @@ class TestOptimalityInvariants:
     def test_queko_chain_of_optimality(self):
         device = grid(2, 3)
         inst = queko_circuit(device, depth=4, n_gates=8, seed=9)
-        exact = OLSQ2(fast_config()).synthesize(inst.circuit, device, "depth")
+        exact = OLSQ2(fast_config()).synthesize(inst.circuit, device, objective="depth")
         assert exact.depth == inst.optimal_depth
-        tb = TBOLSQ2(fast_config()).synthesize(inst.circuit, device, "swap")
+        tb = TBOLSQ2(fast_config()).synthesize(inst.circuit, device, objective="swap")
         assert tb.swap_count == 0
         validate_result(exact)
         validate_result(tb)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import neg
+from repro.sat import neg, SatResult
 from repro.smt import (
     BITVEC,
     INT,
@@ -33,7 +33,7 @@ class TestLazyBasics:
         ctx = SMTContext()
         var = make_domain_var(ctx, size, INT)
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             value = var.decode(ctx.sink.model)
             assert value not in seen
             seen.add(value)
@@ -44,14 +44,14 @@ class TestLazyBasics:
         ctx = SMTContext()
         make_domain_var(ctx, 6, INT)
         make_domain_var(ctx, 6, INT)
-        assert ctx.solve() is True
+        assert ctx.solve() is SatResult.SAT
         assert ctx.theory_rounds >= 1
 
     def test_fix(self):
         ctx = SMTContext()
         var = make_domain_var(ctx, 4, INT)
         var.fix(2)
-        assert ctx.solve() is True
+        assert ctx.solve() is SatResult.SAT
         assert var.decode(ctx.sink.model) == 2
 
     def test_decode_before_convergence_raises(self):
@@ -81,7 +81,7 @@ class TestLazySemantics:
         var.leq_const(k)
         feasible = {v for v in range(5) if v <= k}
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             value = var.decode(ctx.sink.model)
             seen.add(value)
             ctx.add([neg(var.eq_lit(value))])
@@ -93,7 +93,7 @@ class TestLazySemantics:
         b = make_domain_var(ctx, 4, INT)
         a.less_than(b)
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
             seen.add(pair)
             ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
@@ -105,7 +105,7 @@ class TestLazySemantics:
         b = make_domain_var(ctx, 3, INT)
         a.less_equal(b)
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
             seen.add(pair)
             ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
@@ -117,7 +117,7 @@ class TestLazySemantics:
         vars_ = [make_domain_var(ctx, 3, INT) for _ in range(3)]
         encode_injectivity(ctx, vars_, 3, method=method, encoding=INT)
         count = 0
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             tup = tuple(v.decode(ctx.sink.model) for v in vars_)
             assert len(set(tup)) == 3
             count += 1
@@ -128,16 +128,16 @@ class TestLazySemantics:
         ctx = SMTContext()
         vars_ = [make_domain_var(ctx, 2, INT) for _ in range(3)]
         encode_injectivity(ctx, vars_, 2, method=PAIRWISE_INJ, encoding=INT)
-        assert ctx.solve() is False
+        assert ctx.solve() is SatResult.UNSAT
 
     def test_assumptions_work_through_cegar(self):
         ctx = SMTContext()
         var = make_domain_var(ctx, 4, INT)
-        assert ctx.solve(assumptions=[var.eq_lit(3)]) is True
+        assert ctx.solve(assumptions=[var.eq_lit(3)]) is SatResult.SAT
         assert var.decode(ctx.sink.model) == 3
         # conflicting atoms as assumptions: theory lemma must refute them
         status = ctx.solve(assumptions=[var.eq_lit(0), var.eq_lit(1)])
-        assert status is False
+        assert status is SatResult.UNSAT
 
     @settings(max_examples=30, deadline=None)
     @given(st.data())
@@ -161,5 +161,5 @@ class TestLazySemantics:
         hints = var.polarity_hints(2)
         assert sum(hints.values()) == 1
         ctx.sink.warm_start(hints)
-        assert ctx.solve() is True
+        assert ctx.solve() is SatResult.SAT
         assert var.decode(ctx.sink.model) == 2

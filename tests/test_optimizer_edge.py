@@ -28,14 +28,14 @@ class TestTimeouts:
     def test_zero_budget_raises_synthesis_timeout(self):
         cfg = SynthesisConfig(swap_duration=1, time_budget=0.0, solve_time_budget=0.0)
         with pytest.raises(SynthesisTimeout):
-            OLSQ2(cfg).synthesize(qaoa_circuit(8, seed=1), grid(3, 3), "depth")
+            OLSQ2(cfg).synthesize(qaoa_circuit(8, seed=1), grid(3, 3), objective="depth")
 
     def test_tiny_budget_on_hard_instance(self):
         cfg = SynthesisConfig(
             swap_duration=1, time_budget=0.05, solve_time_budget=0.05
         )
         with pytest.raises(SynthesisTimeout):
-            OLSQ2(cfg).synthesize(qaoa_circuit(10, seed=1), grid(3, 4), "depth")
+            OLSQ2(cfg).synthesize(qaoa_circuit(10, seed=1), grid(3, 4), objective="depth")
 
 
 class TestSwapObjectiveEdges:
@@ -44,14 +44,14 @@ class TestSwapObjectiveEdges:
         qc = QuantumCircuit(2)
         qc.cx(0, 1)
         cfg = SynthesisConfig(swap_duration=1, time_budget=60, max_pareto_rounds=5)
-        res = OLSQ2(cfg).synthesize(qc, linear(2), "swap")
+        res = OLSQ2(cfg).synthesize(qc, linear(2), objective="swap")
         assert res.swap_count == 0
         assert res.optimal
         assert len(res.pareto_points) == 1
 
     def test_max_pareto_rounds_zero_still_descends_once(self):
         cfg = SynthesisConfig(swap_duration=1, time_budget=60, max_pareto_rounds=0)
-        res = OLSQ2(cfg).synthesize(triangle(), linear(3), "swap")
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="swap")
         assert res.pareto_points  # first descent always recorded
         validate_result(res)
 
@@ -131,7 +131,7 @@ class TestFrontierSerializer:
         from repro.workloads import qaoa_circuit
 
         cfg = SynthesisConfig(swap_duration=3, time_budget=90, max_pareto_rounds=1)
-        res = TBOLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), "swap")
+        res = TBOLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), objective="swap")
         validate_result(res)
 
 
@@ -141,14 +141,14 @@ class TestTBEdges:
         qc.h(0)
         qc.h(0)
         res = TBOLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
-            qc, linear(2), "swap"
+            qc, linear(2), objective="swap"
         )
         assert res.swap_count == 0
         validate_result(res)
 
     def test_tb_depth_objective_counts_blocks(self):
         res = TBOLSQ2(SynthesisConfig(swap_duration=1, time_budget=60)).synthesize(
-            triangle(), linear(3), "depth"
+            triangle(), linear(3), objective="depth"
         )
         assert res.optimal
         validate_result(res)

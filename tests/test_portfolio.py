@@ -14,6 +14,7 @@ from repro.core import (
     validate_result,
 )
 from repro.workloads import qaoa_circuit
+from repro.sat import SatResult
 
 
 def triangle():
@@ -125,6 +126,6 @@ class TestWarmStart:
         )
         enc.encode()
         enc.seed_initial_mapping([3])
-        assert enc.solve() is True
+        assert enc.solve() is SatResult.SAT
         initial, _times, _swaps = enc.extract()
         assert initial == [3]

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import CNF, Solver, brute_force_solve, mk_lit, neg
+from repro.sat import brute_force_solve, CNF, mk_lit, neg, SatResult, Solver
 from repro.sat.preprocess import (
     ModelReconstructor,
     Unsatisfiable,
@@ -104,7 +104,7 @@ class TestEquisatisfiability:
         solver = Solver()
         simplified.to_solver(solver)
         got = solver.solve()
-        assert got is expected
+        assert got == expected
         if got:
             full = recon.extend(solver.model)
             assert cnf.evaluate(full[: cnf.n_vars]), (
@@ -140,7 +140,7 @@ class TestEquisatisfiability:
         solver = Solver()
         simplified.to_solver(solver)
         got = solver.solve()
-        assert got is expected
+        assert got == expected
         if got:
             full = recon.extend(solver.model)
             assert cnf.evaluate(full[: cnf.n_vars])
@@ -168,6 +168,6 @@ class TestOnRealEncodings:
         assert stats["clause_reduction"] > 0.05  # real shrinkage
         solver = Solver()
         simplified.to_solver(solver)
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         full = recon.extend(solver.model)
         assert original.evaluate(full[: original.n_vars])

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import CNF, Solver, brute_force_solve, mk_lit
+from repro.sat import brute_force_solve, CNF, mk_lit, SatResult, Solver
 from repro.sat.proof import ProofError, check_unsat_proof, is_rup, proof_stats
 
 
@@ -53,14 +53,14 @@ class TestSolverProofs:
         cnf.add_clause([lit(a)])
         cnf.add_clause([lit(a, True)])
         status, proof = solve_with_proof(cnf)
-        assert status is False
+        assert status is SatResult.UNSAT
         assert check_unsat_proof(cnf, proof)
 
     @pytest.mark.parametrize("n", [3, 4, 5])
     def test_pigeonhole_proofs_check(self, n):
         cnf = pigeonhole_cnf(n + 1, n)
         status, proof = solve_with_proof(cnf)
-        assert status is False
+        assert status is SatResult.UNSAT
         assert check_unsat_proof(cnf, proof)
         stats = proof_stats(proof)
         assert stats["additions"] >= 1
@@ -77,10 +77,10 @@ class TestSolverProofs:
         expected = brute_force_solve(cnf)
         status, proof = solve_with_proof(cnf)
         if expected is None:
-            assert status is False
+            assert status is SatResult.UNSAT
             assert check_unsat_proof(cnf, proof)
         else:
-            assert status is True
+            assert status is SatResult.SAT
 
     def test_proof_off_by_default(self):
         solver = Solver()
@@ -89,7 +89,7 @@ class TestSolverProofs:
     def test_tampered_proof_rejected(self):
         cnf = pigeonhole_cnf(4, 3)
         status, proof = solve_with_proof(cnf)
-        assert status is False
+        assert status is SatResult.UNSAT
         # inject a bogus derivation before the real steps
         bogus = [("a", (lit(0), lit(1, True)))] + list(proof)
         tampered_ok = True
@@ -147,7 +147,7 @@ class TestOptimizationProofs:
         guard = enc.depth_guard(3)
         # make the bound unconditional so UNSAT is a formula property
         solver.add_clause([guard])
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
         snapshot = CNF()
         # the proof must check against what the solver was given; rebuild
         # by replaying encode on a CNF sink

@@ -60,8 +60,8 @@ class TestManualResult:
 class TestDeterminism:
     def test_same_input_same_result(self):
         cfg = SynthesisConfig(swap_duration=1, time_budget=60)
-        r1 = OLSQ2(cfg).synthesize(triangle(), linear(3), "depth")
-        r2 = OLSQ2(cfg).synthesize(triangle(), linear(3), "depth")
+        r1 = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        r2 = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
         assert r1.initial_mapping == r2.initial_mapping
         assert r1.gate_times == r2.gate_times
         assert [(s.p, s.p_prime, s.finish_time) for s in r1.swaps] == [

@@ -8,9 +8,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat import (
-    CNF,
-    Solver,
     brute_force_solve,
+    CNF,
     count_models,
     dimacs_to_lit,
     lit_sign,
@@ -18,6 +17,8 @@ from repro.sat import (
     lit_var,
     mk_lit,
     neg,
+    SatResult,
+    Solver,
 )
 from repro.sat.dimacs import dumps, read_dimacs, write_dimacs
 
@@ -133,7 +134,7 @@ class TestWarmStart:
         vs = solver.new_vars(6)
         # no constraints: the model is entirely decided by polarities
         solver.warm_start({v: (v % 2 == 0) for v in vs})
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         for v in vs:
             assert solver.model[v] == (v % 2 == 0)
 
@@ -141,7 +142,7 @@ class TestWarmStart:
         solver = Solver()
         solver.new_vars(3)
         solver.warm_start([True, False, True])
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model == [True, False, True]
 
     def test_hints_do_not_affect_satisfiability(self):
@@ -157,7 +158,7 @@ class TestWarmStart:
             solver = Solver()
             cnf.to_solver(solver)
             solver.warm_start({v: rng.random() < 0.5 for v in range(n)})
-            assert solver.solve() is expected
+            assert solver.solve() == expected
 
     def test_unknown_variable_rejected(self):
         solver = Solver()
@@ -173,7 +174,7 @@ class TestBumpVariables:
         solver.bump_variables([vs[5]], amount=10.0)
         # free formula: first decision is the bumped variable, default
         # polarity assigns it False
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.stats.decisions >= 1
 
     def test_bump_does_not_change_result(self):
@@ -181,7 +182,7 @@ class TestBumpVariables:
         a, b = solver.new_vars(2)
         solver.add_clause([mk_lit(a), mk_lit(b)])
         solver.bump_variables([b], amount=5.0)
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
 
     def test_unknown_variable_rejected(self):
         solver = Solver()

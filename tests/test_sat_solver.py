@@ -7,13 +7,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat import (
-    CNF,
-    Solver,
     brute_force_solve,
+    CNF,
     count_models,
     luby,
     mk_lit,
     neg,
+    SatResult,
+    Solver,
 )
 
 
@@ -24,21 +25,21 @@ def lit(v, sign=False):
 class TestBasics:
     def test_empty_formula_is_sat(self):
         solver = Solver()
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model == []
 
     def test_single_unit_clause(self):
         solver = Solver()
         a = solver.new_var()
         solver.add_clause([lit(a)])
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[a] is True
 
     def test_negative_unit_clause(self):
         solver = Solver()
         a = solver.new_var()
         solver.add_clause([lit(a, True)])
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[a] is False
 
     def test_contradictory_units_unsat(self):
@@ -46,26 +47,26 @@ class TestBasics:
         a = solver.new_var()
         assert solver.add_clause([lit(a)])
         assert not solver.add_clause([lit(a, True)])
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
 
     def test_empty_clause_unsat(self):
         solver = Solver()
         solver.new_var()
         assert not solver.add_clause([])
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
 
     def test_tautology_dropped(self):
         solver = Solver()
         a = solver.new_var()
         assert solver.add_clause([lit(a), lit(a, True)])
         assert solver.num_clauses == 0
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
 
     def test_duplicate_literals_merged(self):
         solver = Solver()
         a, b = solver.new_var(), solver.new_var()
         solver.add_clause([lit(a), lit(a), lit(b)])
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
 
     def test_two_var_implication_chain(self):
         solver = Solver()
@@ -73,7 +74,7 @@ class TestBasics:
         solver.add_clause([lit(vs[0])])
         for u, v in zip(vs, vs[1:]):
             solver.add_clause([lit(u, True), lit(v)])  # u -> v
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert all(solver.model[v] for v in vs)
 
     def test_pigeonhole_3_into_2_unsat(self):
@@ -86,7 +87,7 @@ class TestBasics:
             for p1 in range(3):
                 for p2 in range(p1 + 1, 3):
                     solver.add_clause([lit(x[p1][h], True), lit(x[p2][h], True)])
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
 
     def test_pigeonhole_5_into_4_unsat(self):
         solver = Solver()
@@ -98,7 +99,7 @@ class TestBasics:
             for p1 in range(n_pigeons):
                 for p2 in range(p1 + 1, n_pigeons):
                     solver.add_clause([lit(x[p1][h], True), lit(x[p2][h], True)])
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
         assert solver.stats.conflicts > 0
 
     def test_model_value_helper(self):
@@ -121,14 +122,14 @@ class TestAssumptions:
         solver = Solver()
         a, b = solver.new_var(), solver.new_var()
         solver.add_clause([lit(a), lit(b)])
-        assert solver.solve(assumptions=[lit(a, True)]) is True
+        assert solver.solve(assumptions=[lit(a, True)]) is SatResult.SAT
         assert solver.model[a] is False
         assert solver.model[b] is True
 
     def test_conflicting_assumptions_unsat_with_core(self):
         solver = Solver()
         a = solver.new_var()
-        assert solver.solve(assumptions=[lit(a), lit(a, True)]) is False
+        assert solver.solve(assumptions=[lit(a), lit(a, True)]) is SatResult.UNSAT
         assert lit(a, True) in solver.core or lit(a) in solver.core
 
     def test_assumption_against_formula(self):
@@ -136,16 +137,16 @@ class TestAssumptions:
         a, b = solver.new_var(), solver.new_var()
         solver.add_clause([lit(a, True), lit(b)])  # a -> b
         solver.add_clause([lit(b, True)])  # not b
-        assert solver.solve(assumptions=[lit(a)]) is False
+        assert solver.solve(assumptions=[lit(a)]) is SatResult.UNSAT
         assert lit(a) in solver.core
 
     def test_solver_reusable_after_assumption_unsat(self):
         solver = Solver()
         a, b = solver.new_var(), solver.new_var()
         solver.add_clause([lit(a), lit(b)])
-        assert solver.solve(assumptions=[lit(a, True), lit(b, True)]) is False
-        assert solver.solve() is True
-        assert solver.solve(assumptions=[lit(b, True)]) is True
+        assert solver.solve(assumptions=[lit(a, True), lit(b, True)]) is SatResult.UNSAT
+        assert solver.solve() is SatResult.SAT
+        assert solver.solve(assumptions=[lit(b, True)]) is SatResult.SAT
         assert solver.model[a] is True
 
     def test_incremental_bound_tightening_pattern(self):
@@ -159,8 +160,8 @@ class TestAssumptions:
         # Under sel2: forbid xs[2] and xs[3].
         solver.add_clause([lit(sel2, True), lit(xs[2], True)])
         solver.add_clause([lit(sel2, True), lit(xs[3], True)])
-        assert solver.solve(assumptions=[lit(sel1)]) is True
-        assert solver.solve(assumptions=[lit(sel1), lit(sel2)]) is True
+        assert solver.solve(assumptions=[lit(sel1)]) is SatResult.SAT
+        assert solver.solve(assumptions=[lit(sel1), lit(sel2)]) is SatResult.SAT
         m = solver.model
         assert not (m[xs[0]] and m[xs[1]])
         assert not m[xs[2]] and not m[xs[3]]
@@ -169,7 +170,7 @@ class TestAssumptions:
         solver = Solver()
         a = solver.new_var()
         solver.add_clause([lit(a)])
-        assert solver.solve(assumptions=[lit(a)]) is True
+        assert solver.solve(assumptions=[lit(a)]) is SatResult.SAT
 
 
 class TestBudgets:
@@ -183,7 +184,7 @@ class TestBudgets:
             for p1 in range(n_pigeons):
                 for p2 in range(p1 + 1, n_pigeons):
                     solver.add_clause([lit(x[p1][h], True), lit(x[p2][h], True)])
-        assert solver.solve(conflict_budget=5) is None
+        assert solver.solve(conflict_budget=5) is SatResult.UNKNOWN
 
     def test_budget_exhaustion_keeps_solver_usable(self):
         solver = Solver()
@@ -195,8 +196,8 @@ class TestBudgets:
             for p1 in range(n_pigeons):
                 for p2 in range(p1 + 1, n_pigeons):
                     solver.add_clause([lit(x[p1][h], True), lit(x[p2][h], True)])
-        assert solver.solve(conflict_budget=3) is None
-        assert solver.solve() is False  # finish the job afterwards
+        assert solver.solve(conflict_budget=3) is SatResult.UNKNOWN
+        assert solver.solve() is SatResult.UNSAT  # finish the job afterwards
 
 
 class TestLuby:
@@ -226,9 +227,9 @@ class TestAgainstBruteForce:
         cnf.to_solver(solver)
         result = solver.solve()
         if expected is None:
-            assert result is False
+            assert result is SatResult.UNSAT
         else:
-            assert result is True
+            assert result is SatResult.SAT
             assert cnf.evaluate(solver.model[: cnf.n_vars])
 
     @pytest.mark.parametrize("seed", range(20))
@@ -248,9 +249,9 @@ class TestAgainstBruteForce:
         cnf.to_solver(solver)
         result = solver.solve(assumptions=assumptions)
         if expected is None:
-            assert result is False
+            assert result is SatResult.UNSAT
         else:
-            assert result is True
+            assert result is SatResult.SAT
             assert constrained.evaluate(solver.model[: cnf.n_vars])
 
 
@@ -280,7 +281,7 @@ class TestHypothesis:
         solver = Solver()
         cnf.to_solver(solver)
         result = solver.solve()
-        assert result is (expected_sat)
+        assert result == expected_sat
         if result:
             assert cnf.evaluate(solver.model[: cnf.n_vars])
 
@@ -301,7 +302,7 @@ class TestHypothesis:
             for a in assumptions:
                 conjoined.add_clause([a])
             expected = brute_force_solve(conjoined) is not None
-            assert solver.solve(assumptions=assumptions) is expected
+            assert solver.solve(assumptions=assumptions) == expected
 
     @settings(max_examples=60, deadline=None)
     @given(cnf_strategy())
@@ -310,7 +311,7 @@ class TestHypothesis:
         cnf.to_solver(solver)
         assumptions = [mk_lit(v, v % 2 == 0) for v in range(cnf.n_vars)]
         result = solver.solve(assumptions=assumptions)
-        if result is False and solver.core:
+        if result is SatResult.UNSAT and solver.core:
             assert set(solver.core).issubset(set(assumptions))
 
 

@@ -26,7 +26,7 @@ class TestQuekoAtScale:
     def test_tb_finds_zero_swaps_on_40_gate_queko(self):
         device = sycamore_region(16)
         inst = queko_circuit(device, 8, 40, seed=5)
-        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, "swap")
+        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, objective="swap")
         assert res.swap_count == 0
         assert res.optimal
         validate_result(res)
@@ -34,7 +34,7 @@ class TestQuekoAtScale:
     def test_olsq2_proves_known_optimal_depth_40_gates(self):
         device = sycamore_region(16)
         inst = queko_circuit(device, 8, 40, seed=5)
-        res = OLSQ2(scale_config()).synthesize(inst.circuit, device, "depth")
+        res = OLSQ2(scale_config()).synthesize(inst.circuit, device, objective="depth")
         assert res.optimal
         assert res.depth == inst.optimal_depth
         validate_result(res)
@@ -42,7 +42,7 @@ class TestQuekoAtScale:
     def test_aspen4_full_device_queko(self):
         device = rigetti_aspen4()
         inst = queko_circuit(device, 6, 30, seed=7)
-        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, "swap")
+        res = TBOLSQ2(scale_config()).synthesize(inst.circuit, device, objective="swap")
         assert res.swap_count == 0
         validate_result(res)
 
@@ -50,7 +50,7 @@ class TestQuekoAtScale:
         """The Table III trend at our largest test size."""
         device = sycamore_region(16)
         inst = queko_circuit(device, 8, 40, seed=5)
-        exact = OLSQ2(scale_config()).synthesize(inst.circuit, device, "depth")
+        exact = OLSQ2(scale_config()).synthesize(inst.circuit, device, objective="depth")
         heuristic = SABRE(swap_duration=1, seed=0).synthesize(inst.circuit, device)
         validate_result(heuristic)
         assert exact.depth <= heuristic.depth

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import neg
+from repro.sat import neg, SatResult
 from repro.smt import (
     BITVEC,
     CHANNELING_INJ,
@@ -37,7 +37,7 @@ class TestDomainVarBasics:
             ctx = SMTContext()
             var = make_domain_var(ctx, size, encoding)
             ctx.add([var.eq_lit(value)])
-            assert ctx.solve() is True
+            assert ctx.solve() is SatResult.SAT
             assert var.decode(ctx.sink.model) == value
 
     @pytest.mark.parametrize("size", [3, 5, 6])
@@ -47,7 +47,7 @@ class TestDomainVarBasics:
         var = make_domain_var(ctx, size, encoding)
         seen = set()
         # Enumerate all models by blocking decoded values.
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             value = var.decode(ctx.sink.model)
             assert 0 <= value < size
             assert value not in seen
@@ -72,7 +72,7 @@ class TestDomainVarBasics:
         ctx = SMTContext()
         var = make_domain_var(ctx, 6, encoding)
         var.fix(4)
-        assert ctx.solve() is True
+        assert ctx.solve() is SatResult.SAT
         assert var.decode(ctx.sink.model) == 4
 
 
@@ -85,7 +85,7 @@ class TestComparisons:
         var.leq_const(k)
         feasible = {v for v in range(size) if v <= k}
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             value = var.decode(ctx.sink.model)
             seen.add(value)
             ctx.add([neg(var.eq_lit(value))])
@@ -98,8 +98,8 @@ class TestComparisons:
         guard = ctx.new_bool()
         var.leq_const(k, guard=guard)
         var.fix(5)
-        assert ctx.solve() is True  # without the guard, 5 is fine
-        assert ctx.solve(assumptions=[guard]) is False
+        assert ctx.solve() is SatResult.SAT  # without the guard, 5 is fine
+        assert ctx.solve(assumptions=[guard]) is SatResult.UNSAT
 
     @pytest.mark.parametrize("sa,sb", [(4, 4), (4, 6), (6, 4), (5, 5)])
     def test_less_than_enumeration(self, encoding, sa, sb):
@@ -109,7 +109,7 @@ class TestComparisons:
         a.less_than(b)
         expected = {(x, y) for x in range(sa) for y in range(sb) if x < y}
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
             assert pair not in seen
             seen.add(pair)
@@ -124,7 +124,7 @@ class TestComparisons:
         a.less_equal(b)
         expected = {(x, y) for x in range(sa) for y in range(sb) if x <= y}
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
             seen.add(pair)
             ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
@@ -138,7 +138,7 @@ class TestComparisons:
         a.neq(b)
         expected = {(x, y) for x in range(size) for y in range(size) if x != y}
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             pair = (a.decode(ctx.sink.model), b.decode(ctx.sink.model))
             seen.add(pair)
             ctx.add([neg(a.eq_lit(pair[0])), neg(b.eq_lit(pair[1]))])
@@ -162,7 +162,7 @@ class TestInjectivity:
         vars_ = [make_domain_var(ctx, size, encoding) for _ in range(n)]
         encode_injectivity(ctx, vars_, size, method=method, encoding=encoding)
         seen = set()
-        while ctx.solve() is True:
+        while ctx.solve() is SatResult.SAT:
             tup = tuple(v.decode(ctx.sink.model) for v in vars_)
             assert len(set(tup)) == n, tup
             assert tup not in seen
@@ -181,7 +181,7 @@ class TestInjectivity:
         ctx = SMTContext()
         vars_ = [make_domain_var(ctx, 2, encoding) for _ in range(3)]
         encode_injectivity(ctx, vars_, 2, method=method, encoding=encoding)
-        assert ctx.solve() is False
+        assert ctx.solve() is SatResult.UNSAT
 
     def test_unknown_method_raises(self):
         ctx = SMTContext()
@@ -212,7 +212,7 @@ class TestContext:
     def test_true_false_lits(self):
         ctx = SMTContext()
         t, f = ctx.true_lit, ctx.false_lit
-        assert ctx.solve() is True
+        assert ctx.solve() is SatResult.SAT
         assert ctx.model_value(t) is True
         assert ctx.model_value(f) is False
 
@@ -226,8 +226,8 @@ class TestContext:
         ctx = SMTContext()
         a, b, c = ctx.new_bools(3)
         ctx.add_implies([a, b], [c])
-        assert ctx.solve(assumptions=[a, b, neg(c)]) is False
-        assert ctx.solve(assumptions=[a, neg(c)]) is True
+        assert ctx.solve(assumptions=[a, b, neg(c)]) is SatResult.UNSAT
+        assert ctx.solve(assumptions=[a, neg(c)]) is SatResult.SAT
 
     def test_stats_dict(self):
         ctx = SMTContext()
@@ -269,4 +269,4 @@ def test_hypothesis_pairwise_vs_channeling_agree(size, values):
         assumptions = [vars_[i].eq_lit(assignment[i]) for i in range(n)]
         results[method] = ctx.solve(assumptions=assumptions)
     assert results[PAIRWISE_INJ] == results[CHANNELING_INJ]
-    assert results[PAIRWISE_INJ] is (len(set(assignment)) == len(assignment))
+    assert results[PAIRWISE_INJ] == (len(set(assignment)) == len(assignment))

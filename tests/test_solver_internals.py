@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.sat import CNF, Solver, brute_force_solve, mk_lit, neg
+from repro.sat import brute_force_solve, CNF, mk_lit, neg, SatResult, Solver
 from repro.sat.solver import _VarOrderHeap
 
 
@@ -43,17 +43,17 @@ class TestPhaseSaving:
         solver = Solver()
         a = solver.new_var()
         solver.warm_start({a: True})
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[a] is True
         # the decided phase is saved on the final backtrack-to-0
         assert solver.polarity[a] is False  # sign 0 == assign True first
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[a] is True  # persists without fresh hints
 
     def test_default_polarity_is_negative(self):
         solver = Solver()
         a = solver.new_var()
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[a] is False
 
 
@@ -71,13 +71,13 @@ class TestRestartsAndReduction:
 
     def test_restarts_happen_on_hard_instances(self):
         solver = self._pigeonhole(8, 7)  # thousands of conflicts
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
         assert solver.stats.restarts >= 1
 
     def test_reduction_removes_clauses(self):
         solver = self._pigeonhole(8, 7)
         solver.max_learnts = 20
-        assert solver.solve() is False
+        assert solver.solve() is SatResult.UNSAT
         assert solver.stats.removed_clauses > 0
 
     def test_reduction_preserves_correctness(self):
@@ -93,7 +93,7 @@ class TestRestartsAndReduction:
             solver = Solver()
             cnf.to_solver(solver)
             solver.max_learnts = 2  # pathological reduction pressure
-            assert solver.solve() is expected
+            assert solver.solve() == expected
 
 
 class TestAddClauseEdgeCases:
@@ -102,7 +102,7 @@ class TestAddClauseEdgeCases:
         a, b = solver.new_vars(2)
         solver.add_clause([mk_lit(a, True)])  # a = False
         solver.add_clause([mk_lit(a), mk_lit(b)])  # strengthens to [b]
-        assert solver.solve() is True
+        assert solver.solve() is SatResult.SAT
         assert solver.model[b] is True
 
     def test_clause_satisfied_at_level0_dropped(self):

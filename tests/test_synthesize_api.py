@@ -1,0 +1,242 @@
+"""Conformance tests for the unified ``synthesize()`` surface.
+
+Every synthesizer — exact, baseline, and portfolio — must expose::
+
+    synthesize(circuit, device, *, objective=..., initial_mapping=None)
+
+with keyword-only options, shared validation, and clear errors for
+anything a backend cannot honour.
+"""
+
+import inspect
+
+import pytest
+
+from repro.arch import linear
+from repro.baselines.olsq import OLSQ, TBOLSQ
+from repro.baselines.sabre import SABRE
+from repro.baselines.satmap import SATMap
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    OBJECTIVES,
+    OLSQ2,
+    TBOLSQ2,
+    PortfolioEntry,
+    PortfolioSynthesizer,
+    SynthesisConfig,
+    Synthesizer,
+    check_initial_mapping,
+    check_objective,
+    validate_result,
+)
+from repro.sat import SatResult
+
+
+def fast_config(**kwargs):
+    kwargs.setdefault("swap_duration", 1)
+    kwargs.setdefault("time_budget", 60)
+    return SynthesisConfig(**kwargs)
+
+
+def tiny_portfolio():
+    entry = PortfolioEntry("bv", fast_config())
+    return PortfolioSynthesizer([entry], time_budget=60)
+
+
+SYNTHESIZERS = {
+    "OLSQ2": lambda: OLSQ2(fast_config()),
+    "TBOLSQ2": lambda: TBOLSQ2(fast_config()),
+    "OLSQ": lambda: OLSQ(fast_config()),
+    "TBOLSQ": lambda: TBOLSQ(fast_config()),
+    "SABRE": lambda: SABRE(swap_duration=1),
+    "SATMap": lambda: SATMap(config=fast_config()),
+    "Portfolio": tiny_portfolio,
+}
+
+# the objective each backend is exercised with in the end-to-end check
+RUN_OBJECTIVE = {name: "swap" for name in SYNTHESIZERS}
+RUN_OBJECTIVE.update({"OLSQ2": "depth", "OLSQ": "depth", "Portfolio": "depth"})
+
+
+def two_gate_circuit():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    return qc
+
+
+@pytest.mark.parametrize("name", sorted(SYNTHESIZERS))
+class TestUnifiedSignature:
+    def test_signature_shape(self, name):
+        synth = SYNTHESIZERS[name]()
+        sig = inspect.signature(synth.synthesize)
+        params = list(sig.parameters.values())
+        assert [p.name for p in params[:2]] == ["circuit", "device"]
+        by_name = sig.parameters
+        for option in ("objective", "initial_mapping"):
+            assert option in by_name, f"{name} lacks {option}"
+            assert by_name[option].kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"{name}.synthesize: {option} must be keyword-only"
+            )
+        assert by_name["initial_mapping"].default is None
+
+    def test_satisfies_protocol(self, name):
+        assert isinstance(SYNTHESIZERS[name](), Synthesizer)
+
+    def test_rejects_unknown_objective(self, name):
+        synth = SYNTHESIZERS[name]()
+        with pytest.raises(ValueError, match="objective"):
+            synth.synthesize(two_gate_circuit(), linear(3), objective="fidelity")
+
+    def test_rejects_bad_initial_mapping(self, name):
+        synth = SYNTHESIZERS[name]()
+        objective = RUN_OBJECTIVE[name]
+        with pytest.raises(ValueError, match="mapping"):
+            synth.synthesize(
+                two_gate_circuit(),
+                linear(3),
+                objective=objective,
+                initial_mapping=[0, 0, 1],  # not injective
+            )
+        with pytest.raises(ValueError, match="mapping"):
+            synth.synthesize(
+                two_gate_circuit(),
+                linear(3),
+                objective=objective,
+                initial_mapping=[0, 1],  # wrong length
+            )
+        with pytest.raises(ValueError, match="mapping"):
+            synth.synthesize(
+                two_gate_circuit(),
+                linear(3),
+                objective=objective,
+                initial_mapping=[0, 1, 7],  # off-device
+            )
+
+    def test_end_to_end_small_instance(self, name):
+        synth = SYNTHESIZERS[name]()
+        result = synth.synthesize(
+            two_gate_circuit(), linear(3), objective=RUN_OBJECTIVE[name]
+        )
+        validate_result(result)
+        assert result.swap_count == 0  # adjacent chain needs no SWAPs
+
+
+class TestBackendSpecificRules:
+    def test_satmap_rejects_depth_objective(self):
+        with pytest.raises(ValueError, match="SATMap.*depth|depth.*SATMap"):
+            SATMap(config=fast_config()).synthesize(
+                two_gate_circuit(), linear(3), objective="depth"
+            )
+
+    def test_satmap_defaults_to_swap(self):
+        result = SATMap(config=fast_config()).synthesize(two_gate_circuit(), linear(3))
+        validate_result(result)
+
+    def test_sabre_accepts_both_objectives(self):
+        for objective in OBJECTIVES:
+            result = SABRE(swap_duration=1).synthesize(
+                two_gate_circuit(), linear(3), objective=objective
+            )
+            validate_result(result)
+
+    def test_initial_mapping_is_honoured_by_exact_synthesizer(self):
+        mapping = [2, 1, 0]
+        result = OLSQ2(fast_config()).synthesize(
+            two_gate_circuit(), linear(3), objective="depth", initial_mapping=mapping
+        )
+        assert result.initial_mapping == mapping
+        validate_result(result)
+
+    def test_initial_mapping_is_honoured_by_sabre(self):
+        mapping = [2, 1, 0]
+        result = SABRE(swap_duration=1).synthesize(
+            two_gate_circuit(), linear(3), initial_mapping=mapping
+        )
+        validate_result(result)
+
+    def test_satmap_pins_slice_zero_entry(self):
+        mapping = [2, 1, 0]
+        result = SATMap(config=fast_config()).synthesize(
+            two_gate_circuit(), linear(3), initial_mapping=mapping
+        )
+        assert result.initial_mapping == mapping
+        validate_result(result)
+
+
+class TestValidationHelpers:
+    def test_check_objective_vocabulary(self):
+        assert check_objective("X", "depth") == "depth"
+        with pytest.raises(ValueError, match="one of"):
+            check_objective("X", "latency")
+        with pytest.raises(ValueError, match="X does not support"):
+            check_objective("X", "depth", supported=("swap",))
+
+    def test_check_initial_mapping_passthrough_and_copy(self):
+        qc = two_gate_circuit()
+        assert check_initial_mapping(qc, linear(3), None) is None
+        src = (2, 0, 1)
+        out = check_initial_mapping(qc, linear(3), src)
+        assert out == [2, 0, 1]
+
+
+class TestConfigValidation:
+    def test_unknown_encoding_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="valid choices"):
+            SynthesisConfig(encoding="bogus")
+
+    def test_unknown_injectivity_rejected(self):
+        with pytest.raises(ValueError, match="injectivity"):
+            SynthesisConfig(injectivity="magic")
+
+    def test_unknown_cardinality_rejected(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            SynthesisConfig(cardinality="unary")
+
+    def test_unknown_warm_start_rejected(self):
+        with pytest.raises(ValueError, match="warm-start"):
+            SynthesisConfig(warm_start="oracle")
+
+    def test_error_lists_the_valid_choices(self):
+        with pytest.raises(ValueError) as err:
+            SynthesisConfig(encoding="bogus")
+        for choice in ("bitvec", "onehot"):
+            assert choice in str(err.value)
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(time_budget=-1)
+        with pytest.raises(ValueError):
+            SynthesisConfig(solve_time_budget=-0.5)
+
+    def test_non_callable_progress_callback_rejected(self):
+        with pytest.raises(ValueError, match="callable"):
+            SynthesisConfig(progress_callback="not a function")
+
+
+class TestSatResultCompat:
+    def test_truthiness(self):
+        assert SatResult.SAT
+        assert not SatResult.UNSAT
+        assert not SatResult.UNKNOWN
+
+    def test_equality_with_legacy_values(self):
+        assert SatResult.SAT == True  # noqa: E712 - the compat contract
+        assert SatResult.UNSAT == False  # noqa: E712
+        assert SatResult.UNKNOWN == None  # noqa: E711
+        assert SatResult.SAT != False  # noqa: E712
+        assert SatResult.SAT != None  # noqa: E711
+
+    def test_hashable_and_usable_in_sets(self):
+        assert {SatResult.SAT, SatResult.SAT} == {SatResult.SAT}
+
+    def test_from_bool_round_trip(self):
+        assert SatResult.from_bool(True) is SatResult.SAT
+        assert SatResult.from_bool(False) is SatResult.UNSAT
+        assert SatResult.from_bool(None) is SatResult.UNKNOWN
+        assert SatResult.from_bool(SatResult.SAT) is SatResult.SAT
+        assert SatResult.SAT.to_bool() is True
+        assert SatResult.UNKNOWN.to_bool() is None
+
+    def test_str_is_the_verdict(self):
+        assert str(SatResult.UNSAT) == "unsat"

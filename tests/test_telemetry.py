@@ -1,0 +1,306 @@
+"""Tests for the structured tracing subsystem (``repro.telemetry``)."""
+
+import io
+import json
+
+import pytest
+
+from repro.arch import grid
+from repro.core import OLSQ2, SynthesisConfig
+from repro.harness import trace_summary
+from repro.sat import CNF, SatResult, Solver, mk_lit
+from repro.telemetry import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    StderrSink,
+    Tracer,
+    aggregate_spans,
+    dumps_trace,
+    read_trace,
+    record_from_dict,
+    total_time,
+)
+from repro.workloads import qaoa_circuit
+
+
+def pigeonhole_solver(n_pigeons, n_holes):
+    cnf = CNF()
+    grid_vars = [[cnf.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+    for row in grid_vars:
+        cnf.add_clause([mk_lit(v) for v in row])
+    for h in range(n_holes):
+        for i in range(n_pigeons):
+            for j in range(i + 1, n_pigeons):
+                cnf.add_clause([mk_lit(grid_vars[i][h], True), mk_lit(grid_vars[j][h], True)])
+    solver = Solver()
+    cnf.to_solver(solver)
+    return solver
+
+
+class TestSpans:
+    def test_span_nesting_records_parent_ids(self):
+        mem = MemorySink()
+        tracer = Tracer(sinks=[mem])
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", depth=3):
+                tracer.event("tick", n=1)
+            outer.set(done=True)
+        starts = {r.name: r for r in mem.records if r.kind == "span_start"}
+        ends = {r.name: r for r in mem.records if r.kind == "span_end"}
+        events = [r for r in mem.records if r.kind == "event"]
+        assert starts["outer"].parent_id is None
+        assert starts["inner"].parent_id == starts["outer"].span_id
+        assert events[0].span_id == starts["inner"].span_id
+        assert ends["inner"].attrs["depth"] == 3
+        assert ends["outer"].attrs["done"] is True
+        assert ends["outer"].duration >= ends["inner"].duration >= 0
+
+    def test_span_end_emitted_on_exception(self):
+        mem = MemorySink()
+        tracer = Tracer(sinks=[mem])
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        ends = [r for r in mem.records if r.kind == "span_end"]
+        assert len(ends) == 1 and ends[0].name == "doomed"
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span is None
+        with tracer.span("a"):
+            with tracer.span("b") as b:
+                assert tracer.current_span is b
+        assert tracer.current_span is None
+
+
+class TestSinksAndRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(str(path))])
+        with tracer.span("phase", k=1):
+            tracer.event("marker", value="x")
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+        records = read_trace(str(path))
+        assert [r.kind for r in records] == ["span_start", "event", "span_end"]
+        assert records[2].attrs["k"] == 1
+        # dict round trip preserves everything
+        for rec in records:
+            assert record_from_dict(rec.to_dict()).to_dict() == rec.to_dict()
+
+    def test_dumps_trace_matches_file_contents(self):
+        mem = MemorySink()
+        tracer = Tracer(sinks=[mem])
+        with tracer.span("s"):
+            pass
+        text = dumps_trace(mem.records)
+        parsed = read_trace(io.StringIO(text))
+        assert [r.to_dict() for r in parsed] == [r.to_dict() for r in mem.records]
+
+    def test_record_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"kind": "martian"})
+        with pytest.raises(ValueError):
+            record_from_dict({"no": "kind"})
+
+    def test_read_trace_reports_bad_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "event", "name": "a", "span_id": null, "ts": 0.0}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(str(path))
+
+    def test_stderr_sink_renders_indented_lines(self):
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[StderrSink(stream=stream)])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("beat")
+        out = stream.getvalue()
+        assert "> outer" in out
+        assert "  > inner" in out
+        assert "* beat" in out
+        assert "< inner" in out
+
+    def test_memory_sink_filters(self):
+        mem = MemorySink()
+        tracer = Tracer(sinks=[mem])
+        with tracer.span("s"):
+            tracer.event("a")
+            tracer.event("b")
+        assert len(mem.spans()) == 1
+        assert [e.name for e in mem.events()] == ["a", "b"]
+        assert [e.name for e in mem.events(name="b")] == ["b"]
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", x=1) as span:
+            span.set(y=2)
+        NULL_TRACER.event("nothing")
+        NULL_TRACER.close()
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER.cancelled
+
+    def test_null_tracer_rejects_sinks(self):
+        with pytest.raises(TypeError):
+            NullTracer().add_sink(MemorySink())
+
+
+class TestSolverInstrumentation:
+    def test_solver_solve_event_carries_stats_snapshot(self):
+        mem = MemorySink()
+        solver = pigeonhole_solver(5, 4)
+        solver.tracer = Tracer(sinks=[mem])
+        assert solver.solve() is SatResult.UNSAT
+        events = mem.events(name="solver.solve")
+        assert len(events) == 1
+        attrs = events[0].attrs
+        assert attrs["result"] == "unsat"
+        assert attrs["conflicts"] > 0
+        assert attrs["d_conflicts"] == attrs["conflicts"]  # first call: delta == total
+        assert attrs["propagations"] > 0
+        assert attrs["n_vars"] == solver.n_vars
+        assert attrs["time"] >= 0
+        # the LBD histogram is cumulative over learnt clauses
+        assert sum(attrs["lbd_counts"].values()) > 0
+
+    def test_solver_deltas_reset_between_calls(self):
+        mem = MemorySink()
+        solver = pigeonhole_solver(4, 3)
+        solver.tracer = Tracer(sinks=[mem])
+        solver.solve()
+        solver.solve()
+        first, second = mem.events(name="solver.solve")
+        assert second.attrs["solve_calls"] == 2
+        # second call was a no-op re-solve of an UNSAT instance: tiny delta
+        assert second.attrs["d_conflicts"] <= first.attrs["d_conflicts"]
+
+    def test_untraced_solver_has_no_overhead_hooks(self):
+        solver = pigeonhole_solver(4, 3)
+        assert solver.tracer is None
+        assert solver.solve() is SatResult.UNSAT
+
+
+class TestSynthesisTracing:
+    def synthesize_traced(self, objective="depth"):
+        mem = MemorySink()
+        tracer = Tracer(sinks=[mem])
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60, tracer=tracer)
+        result = OLSQ2(cfg).synthesize(
+            qaoa_circuit(6, seed=1), grid(2, 3), objective=objective
+        )
+        return result, mem
+
+    def test_optimize_span_wraps_whole_run(self):
+        result, mem = self.synthesize_traced()
+        assert result.optimal
+        roots = [s for s in mem.spans() if s.name == "optimize"]
+        assert len(roots) == 1
+        assert roots[0].attrs["objective"] == "depth"
+        assert roots[0].attrs["depth"] == result.depth
+        assert roots[0].attrs["optimal"] is True
+
+    def test_per_iteration_solve_spans_sum_to_wall_time(self):
+        result, mem = self.synthesize_traced()
+        root = total_time(mem, "optimize")
+        children = sum(
+            s.total
+            for s in aggregate_spans(mem)
+            if s.name in ("encode", "solve", "extract", "warm_start")
+        )
+        # the optimize span is bookkeeping around encode/solve/extract:
+        # its children must account for its duration to within 5%
+        assert children <= root
+        assert children >= 0.95 * root
+
+    def test_solve_spans_record_phase_bound_and_verdict(self):
+        result, mem = self.synthesize_traced()
+        solves = [s for s in mem.spans() if s.name == "solve"]
+        assert solves
+        for s in solves:
+            assert s.attrs["phase"] in ("relax", "descend", "swap_descend", "certify")
+            assert s.attrs["verdict"] in ("sat", "unsat", "unknown", "cancelled")
+            assert isinstance(s.attrs["bound"], int)
+            assert s.attrs["time"] >= 0
+        assert any(s.attrs["verdict"] == "sat" for s in solves)
+
+    def test_encoder_spans_report_variable_and_clause_counts(self):
+        result, mem = self.synthesize_traced()
+        encode = [s for s in mem.spans() if s.name == "encode"][0]
+        assert encode.attrs["n_vars"] > 0
+        assert encode.attrs["n_clauses"] > 0
+        families = {
+            s.name: s for s in mem.spans() if s.name.startswith("encode.")
+        }
+        assert "encode.injectivity" in families
+        assert "encode.dependencies" in families
+        total_clauses = sum(s.attrs["clauses"] for s in families.values())
+        assert total_clauses == encode.attrs["n_clauses"]
+
+    def test_trace_summary_renders_phase_table(self):
+        result, mem = self.synthesize_traced()
+        text = trace_summary(mem)
+        assert "phase" in text and "share" in text
+        assert "solve" in text and "encode" in text
+        assert trace_summary(MemorySink()) == ""
+
+
+class TestCancellation:
+    def test_cancellation_mid_descent_returns_best_so_far(self):
+        solves = []
+
+        def callback(record):
+            if record.kind == "span_end" and record.name == "solve":
+                solves.append(record)
+                if len(solves) >= 2:
+                    return False
+            return True
+
+        cfg = SynthesisConfig(
+            swap_duration=1, time_budget=60, progress_callback=callback
+        )
+        synth = OLSQ2(cfg)
+        result = synth.synthesize(
+            qaoa_circuit(6, seed=1), grid(2, 3), objective="swap"
+        )
+        assert synth.last_synthesizer.cancelled
+        assert not result.optimal  # aborted before the proof
+        assert result.swap_count >= 0  # but a valid plan came back
+        assert len(solves) == 2  # no further queries after the abort
+
+    def test_cancel_before_first_solution_raises(self):
+        from repro.core.optimizer import SynthesisCancelled, SynthesisTimeout
+
+        cfg = SynthesisConfig(
+            swap_duration=1,
+            time_budget=60,
+            progress_callback=lambda record: False,  # cancel immediately
+        )
+        with pytest.raises(SynthesisTimeout):  # SynthesisCancelled subclasses it
+            OLSQ2(cfg).synthesize(qaoa_circuit(6, seed=1), grid(2, 3), objective="depth")
+        assert issubclass(SynthesisCancelled, SynthesisTimeout)
+
+
+class TestConfigTracerResolution:
+    def test_default_config_uses_null_tracer(self):
+        assert SynthesisConfig().make_tracer() is NULL_TRACER
+
+    def test_explicit_tracer_wins(self):
+        tracer = Tracer()
+        assert SynthesisConfig(tracer=tracer).make_tracer() is tracer
+
+    def test_progress_callback_gets_a_fresh_tracer(self):
+        cb = lambda record: True
+        tracer = SynthesisConfig(progress_callback=cb).make_tracer()
+        assert tracer.progress_callback is cb
+
+    def test_verbose_is_deprecated_and_installs_stderr_sink(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = SynthesisConfig(verbose=True)
+        tracer = cfg.make_tracer()
+        assert any(isinstance(s, StderrSink) for s in tracer.sinks)
