@@ -1,0 +1,235 @@
+"""Fixed-workload perf regression harness (PR 2 acceptance numbers).
+
+Runs a small, deterministic workload suite against the in-tree solver and
+writes the measurements to a JSON file (``BENCH_PR2.json`` at the repo root
+by default):
+
+* **prop_network** — a pure unit-propagation workload (long binary
+  implication chains plus wide size-4 clauses, solved repeatedly with no
+  conflicts), isolating watcher/arena throughput from search heuristics;
+* **sat_engine** — the :mod:`bench_sat_engine` workloads (pigeonhole UNSAT
+  + random 3-SAT), measuring end-to-end CDCL wall time and props/sec;
+* **queko_synthesis** — ``optimize_depth`` on QUEKO circuits built for a
+  2x3 grid but synthesized on a 6-qubit line, so SWAPs push the optimum
+  past the dependency bound and the relax phase must grow the horizon —
+  exercising :meth:`LayoutEncoder.extend_horizon` learnt-clause reuse.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py [--out FILE] [--tiny]
+
+``--tiny`` shrinks every workload for CI smoke runs (seconds, not minutes).
+The JSON is self-describing; ``baseline`` captures the pre-PR numbers
+measured on the same machine for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.arch import grid, linear
+from repro.core import SynthesisConfig
+from repro.core.optimizer import IterativeSynthesizer
+from repro.sat import SatResult, Solver, mk_lit
+from repro.telemetry import MemorySink, Tracer
+from repro.workloads.queko import queko_circuit
+
+#: Numbers measured at the pre-PR commit (rebuild loop, object-based clause
+#: storage) with this same script, recorded so the JSON is a complete
+#: before/after document on its own.
+BASELINE = {
+    "prop_network": {"props_per_sec": 1198323, "wall_sec": 0.1001},
+    "sat_engine": {
+        "wall_sec": 3.193,
+        "props_per_sec": 96001,
+        "conflicts": 11794,
+    },
+    "queko_synthesis": {
+        "conflicts": 11041,
+        "propagations": 967207,
+        "wall_sec": 3.7754,
+        "depths": [5, 7, 5, 6, 5, 4],
+    },
+}
+
+
+def bench_prop_network(n_vars: int, rounds: int) -> dict:
+    """Unit-propagation throughput, isolated from search.
+
+    A long binary implication chain plus wide size-4 clauses; each round
+    asserts the chain head on a fresh decision level and times exactly one
+    ``_propagate`` call that derives every variable.  Warm-up rounds are
+    excluded so watcher lists reach their steady state first — this
+    measures the propagation loop itself, not heap/model/restart overhead.
+    """
+    import repro.sat.solver as satmod
+
+    no_clause = getattr(satmod, "NO_CLAUSE", None)  # absent pre-arena
+    solver = Solver()
+    solver.new_vars(n_vars)
+    for v in range(n_vars - 1):
+        solver.add_clause([mk_lit(v, True), mk_lit(v + 1)])
+    rng = random.Random(42)
+    for _ in range(n_vars):
+        vs = rng.sample(range(1, n_vars), 4)
+        solver.add_clause([mk_lit(vs[0], True)] + [mk_lit(v) for v in vs[1:]])
+    warmup = max(3, rounds // 10)
+    props = 0
+    wall = 0.0
+    for rnd in range(rounds + warmup):
+        solver._new_decision_level()
+        solver._unchecked_enqueue(mk_lit(0), no_clause)
+        before = solver.stats.propagations
+        start = time.perf_counter()
+        confl = solver._propagate()
+        elapsed = time.perf_counter() - start
+        solver._cancel_until(0)
+        assert confl in (None, -1), "propagation workload must be conflict-free"
+        if rnd >= warmup:
+            props += solver.stats.propagations - before
+            wall += elapsed
+    return {
+        "propagations": props,
+        "wall_sec": round(wall, 4),
+        "props_per_sec": int(props / wall),
+    }
+
+
+def _pigeonhole(n_pigeons: int, n_holes: int) -> Solver:
+    solver = Solver()
+    x = [[solver.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+    for p in range(n_pigeons):
+        solver.add_clause([mk_lit(x[p][h]) for h in range(n_holes)])
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                solver.add_clause([mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)])
+    return solver
+
+
+def _random_3sat(n_vars: int, ratio: float, seed: int) -> Solver:
+    rng = random.Random(seed)
+    solver = Solver()
+    solver.new_vars(n_vars)
+    for _ in range(int(ratio * n_vars)):
+        vs = rng.sample(range(n_vars), 3)
+        solver.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+    return solver
+
+
+def bench_sat_engine(tiny: bool) -> dict:
+    """The bench_sat_engine.py workloads, timed end to end."""
+    jobs = []
+    if tiny:
+        jobs.append(("pigeonhole-6-5", _pigeonhole(6, 5), SatResult.UNSAT))
+        seeds = (7,)
+    else:
+        jobs.append(("pigeonhole-8-7", _pigeonhole(8, 7), SatResult.UNSAT))
+        seeds = (7, 11, 13)
+    for seed in seeds:
+        jobs.append((f"3sat-150-{seed}", _random_3sat(150, 4.2, seed), None))
+    start = time.perf_counter()
+    props = conflicts = 0
+    for name, solver, expect in jobs:
+        verdict = solver.solve(conflict_budget=20000)
+        if expect is not None:
+            assert verdict is expect, f"{name}: {verdict}"
+        props += solver.stats.propagations
+        conflicts += solver.stats.conflicts
+    wall = time.perf_counter() - start
+    return {
+        "workloads": [name for name, _, _ in jobs],
+        "propagations": props,
+        "conflicts": conflicts,
+        "wall_sec": round(wall, 4),
+        "props_per_sec": int(props / wall),
+    }
+
+
+def bench_queko_synthesis(tiny: bool) -> dict:
+    """optimize_depth with mid-run horizon growth (learnt-clause reuse)."""
+    seeds = (3, 5) if tiny else (1, 2, 3, 4, 5, 7)
+    source = grid(2, 3)
+    target = linear(6)
+    depths = []
+    conflicts = props = 0
+    start = time.perf_counter()
+    for seed in seeds:
+        inst = queko_circuit(source, depth=4, n_gates=12, seed=seed)
+        sink = MemorySink()
+        cfg = SynthesisConfig(
+            swap_duration=1,
+            tub_ratio=1.0,
+            time_budget=600,
+            solve_time_budget=300,
+            tracer=Tracer(sinks=[sink]),
+        )
+        result = IterativeSynthesizer(inst.circuit, target, cfg).optimize_depth()
+        depths.append(result.depth)
+        for event in sink.events("solver.solve"):
+            conflicts += event.attrs.get("d_conflicts", 0)
+            props += event.attrs.get("d_propagations", 0)
+    wall = time.perf_counter() - start
+    return {
+        "seeds": list(seeds),
+        "depths": depths,
+        "conflicts": conflicts,
+        "propagations": props,
+        "wall_sec": round(wall, 4),
+        "props_per_sec": int(props / wall),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+        help="output JSON path (default: BENCH_PR2.json at the repo root)",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true", help="shrunken workloads for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "tiny": args.tiny,
+        "baseline": None if args.tiny else BASELINE,
+        "results": {},
+    }
+    print("prop_network ...", flush=True)
+    report["results"]["prop_network"] = bench_prop_network(
+        n_vars=800 if args.tiny else 3000, rounds=10 if args.tiny else 40
+    )
+    print("sat_engine ...", flush=True)
+    report["results"]["sat_engine"] = bench_sat_engine(args.tiny)
+    print("queko_synthesis ...", flush=True)
+    report["results"]["queko_synthesis"] = bench_queko_synthesis(args.tiny)
+
+    if not args.tiny:
+        for key in ("prop_network", "sat_engine"):
+            now = report["results"][key]["props_per_sec"]
+            then = BASELINE[key]["props_per_sec"]
+            report["results"][key]["speedup_vs_baseline"] = round(now / then, 2)
+        queko = report["results"]["queko_synthesis"]
+        queko["conflicts_vs_baseline"] = round(
+            queko["conflicts"] / BASELINE["queko_synthesis"]["conflicts"], 2
+        )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["results"], indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,9 @@ Constraint groups (Sec. II-A numbering):
 The encoder also owns the *incremental bound machinery*: depth bounds and
 SWAP-count bounds are activated per solve via assumption literals, so the
 optimization loops in :mod:`repro.core.optimizer` reuse all learned clauses
-across iterations (Sec. III-B).
+across iterations (Sec. III-B).  Gate-time variables use the extensible
+:class:`repro.smt.stepvar.StepVar` encoding so :meth:`LayoutEncoder.extend_horizon` can grow the formula *in place* when the relax phase needs
+more time steps — the solver (and everything it has learned) survives.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from ..sat.types import neg
 from ..smt.context import SMTContext
 from ..smt.domain import make_domain_var
 from ..smt.injectivity import encode_injectivity
+from ..smt.stepvar import StepVar
 from ..telemetry import NULL_TRACER
 from .config import CARD_ADDER, CARD_SEQUENTIAL, CARD_TOTALIZER, SynthesisConfig
 from .result import SwapEvent
@@ -89,12 +92,16 @@ class LayoutEncoder:
         self.initial_mapping = initial_mapping
 
         self.pi: List[List] = []  # [q][t] -> domain var over P
-        self.time: List = []  # [g] -> domain var over horizon
+        self.time: List[StepVar] = []  # [g] -> extensible step var
         self.sigma: List[List[int]] = []  # [e][t] -> swap literal
         self.swap_lits: List[Tuple[int, int, int]] = []  # (lit, e_idx, t)
         self._depth_guards: Dict[int, int] = {}
         self._swap_counter = None
         self._encoded = False
+        # Activation literal of the *current* horizon: assumed at every
+        # solve (via the context's persistent assumptions) and implied by
+        # every depth guard; it arms the at-least-one of each time var.
+        self._act: Optional[int] = None
 
     # -- encoding ----------------------------------------------------------
 
@@ -139,10 +146,8 @@ class LayoutEncoder:
             [make_domain_var(ctx, n_phys, cfg.encoding) for _ in range(horizon)]
             for _ in range(self.circuit.n_qubits)
         ]
-        self.time = [
-            make_domain_var(ctx, horizon, cfg.encoding)
-            for _ in range(self.circuit.num_gates)
-        ]
+        self.time = [StepVar(ctx, horizon) for _ in range(self.circuit.num_gates)]
+        self._activate_horizon()
         # SWAP literals.  Non-TB: sigma[e][t] = swap finishing at t; only
         # t in [S_D-1, horizon-1) is meaningful.  TB: sigma[e][k] = swap in
         # the transition after block k, k in [0, horizon-1).
@@ -158,6 +163,28 @@ class LayoutEncoder:
                 else:
                     self.swap_lits.append((lit, e_idx, t))
             self.sigma.append(col)
+
+    def _activate_horizon(self) -> None:
+        """(Re-)arm the guarded at-least-one of every time variable.
+
+        A fresh activation literal ``act`` is created with
+        ``act -> (z_0 | ... | z_{H-1})`` per gate; it replaces the previous
+        horizon's literal in the context's persistent assumptions, so old
+        at-least-ones retire silently when the horizon grows.
+        """
+        act = self.ctx.new_bool()
+        for var in self.time:
+            self.ctx.add([neg(act)] + list(var.selectors))
+        if self._act is not None:
+            self.ctx.persistent_assumptions.remove(self._act)
+        self._act = act
+        self.ctx.persistent_assumptions.append(act)
+
+    @property
+    def horizon_act(self) -> int:
+        """The current horizon's activation literal (see extend_horizon)."""
+        self.encode()
+        return self._act
 
     def _encode_injectivity(self) -> None:
         for t in range(self.horizon):
@@ -290,6 +317,175 @@ class LayoutEncoder:
                             break
                         ctx.add([neg(self.sigma[e][t]), neg(self.sigma[e][t2])])
 
+    # -- incremental horizon extension ------------------------------------------
+
+    def _supports_extension(self) -> bool:
+        """Whether :meth:`extend_horizon` can grow this encoder in place.
+
+        Subclasses with extra constraint families (e.g. the OLSQ baseline's
+        space variables) must override their own extension or fall back to a
+        rebuild; a built SWAP cardinality layer is pinned to the current
+        ``swap_lits`` and cannot be widened, so it also forces a rebuild.
+        """
+        return type(self) is LayoutEncoder and self._swap_counter is None
+
+    def extend_horizon(self, new_horizon: int) -> bool:
+        """Grow the encoded formula in place to ``new_horizon`` time steps.
+
+        Appends the new steps' variables and constraints to the *existing*
+        solver, so learnt clauses, VSIDS activities, and saved phases all
+        survive (the point of Sec. III-B's incremental loop).  Returns
+        ``False`` when this encoder cannot extend (see
+        :meth:`_supports_extension`) — the caller should rebuild instead.
+        A ``new_horizon`` at or below the current one is a successful no-op.
+        """
+        self.encode()
+        if new_horizon <= self.horizon:
+            return True
+        if not self._supports_extension():
+            return False
+        with self.tracer.span(
+            "extend", old_horizon=self.horizon, new_horizon=new_horizon
+        ) as span:
+            v0, c0 = self.ctx.n_vars, self.ctx.num_clauses
+            self._extend_to(new_horizon)
+            span.set(vars=self.ctx.n_vars - v0, clauses=self.ctx.num_clauses - c0)
+        return True
+
+    def _extend_to(self, new_h: int) -> None:
+        ctx, cfg = self.ctx, self.config
+        old_h = self.horizon
+        n_phys = self.device.n_qubits
+        edges = self.device.edges
+        incident = self.device.incident_edges
+
+        # Variables: wider time domains, new mapping columns, new SWAPs.
+        for var in self.time:
+            var.grow(new_h)
+        for q in range(self.circuit.n_qubits):
+            self.pi[q].extend(
+                make_domain_var(ctx, n_phys, cfg.encoding)
+                for _ in range(old_h, new_h)
+            )
+        old_nt, new_nt = old_h - 1, new_h - 1
+        new_swap_lits: List[Tuple[int, int, int]] = []
+        for e_idx in range(self.device.num_edges):
+            col = self.sigma[e_idx]
+            for t in range(old_nt, new_nt):
+                lit = ctx.new_bool()
+                col.append(lit)
+                if not self.transition_based and t < cfg.swap_duration - 1:
+                    ctx.add([neg(lit)])
+                else:
+                    entry = (lit, e_idx, t)
+                    self.swap_lits.append(entry)
+                    new_swap_lits.append(entry)
+
+        # Constraints, mirroring encode() restricted to the new steps.
+        for t in range(old_h, new_h):
+            encode_injectivity(
+                ctx,
+                [self.pi[q][t] for q in range(self.circuit.n_qubits)],
+                n_phys,
+                method=cfg.injectivity,
+                encoding=cfg.encoding,
+            )
+        for var in self.time:
+            var.extend_orders(old_h)
+        for g_idx, gate in self.circuit.two_qubit_gates:
+            q, q_prime = gate.qubits
+            for t in range(old_h, new_h):
+                z = self.time[g_idx].eq_lit(t)
+                selectors = []
+                for a, b in edges:
+                    sel = ctx.new_bool()
+                    selectors.append(sel)
+                    ctx.add([neg(sel), self.pi[q][t].eq_lit(a), self.pi[q][t].eq_lit(b)])
+                    ctx.add(
+                        [
+                            neg(sel),
+                            self.pi[q_prime][t].eq_lit(a),
+                            self.pi[q_prime][t].eq_lit(b),
+                        ]
+                    )
+                ctx.add([neg(z)] + selectors)
+        for t in range(max(1, old_h), new_h):
+            for q in range(self.circuit.n_qubits):
+                prev_var, cur_var = self.pi[q][t - 1], self.pi[q][t]
+                for p_ in range(n_phys):
+                    x_prev = prev_var.eq_lit(p_)
+                    stay = [neg(x_prev)]
+                    stay.extend(self.sigma[e][t - 1] for e in incident[p_])
+                    stay.append(cur_var.eq_lit(p_))
+                    ctx.add(stay)
+                    for e in incident[p_]:
+                        a, b = edges[e]
+                        other = b if a == p_ else a
+                        ctx.add(
+                            [
+                                neg(x_prev),
+                                neg(self.sigma[e][t - 1]),
+                                cur_var.eq_lit(other),
+                            ]
+                        )
+        if not self.transition_based:
+            duration = cfg.swap_duration
+            for lit, e_idx, t in new_swap_lits:
+                a, b = edges[e_idx]
+                window = range(max(0, t - duration + 1), t + 1)
+                for g_idx, gate in enumerate(self.circuit.gates):
+                    for t_prime in window:
+                        z = self.time[g_idx].eq_lit(t_prime)
+                        for q in gate.qubits:
+                            ctx.add([neg(z), neg(self.pi[q][t].eq_lit(a)), neg(lit)])
+                            ctx.add([neg(z), neg(self.pi[q][t].eq_lit(b)), neg(lit)])
+        self._extend_swap_swap_exclusion(old_nt, new_nt)
+
+        self.horizon = new_h
+        self._activate_horizon()
+
+        # Cached depth guards keep their meaning: forbid every new time
+        # step (all are >= the old horizon > bound - 1) and every new SWAP.
+        for bound, guard in self._depth_guards.items():
+            for var in self.time:
+                for t in range(old_h, new_h):
+                    ctx.add([neg(guard), neg(var.selectors[t])])
+            for lit, _e, t in new_swap_lits:
+                if t >= bound - 1:
+                    ctx.add([neg(guard), neg(lit)])
+
+    def _extend_swap_swap_exclusion(self, old_nt: int, new_nt: int) -> None:
+        """The swap/swap pairs whose later endpoint lands in the new steps."""
+        ctx = self.ctx
+        duration = 1 if self.transition_based else self.config.swap_duration
+        incident_pairs = []
+        for p_ in range(self.device.n_qubits):
+            inc = self.device.incident_edges[p_]
+            for i in range(len(inc)):
+                for j in range(i + 1, len(inc)):
+                    incident_pairs.append((inc[i], inc[j]))
+        incident_pairs = sorted(set(incident_pairs))
+        for t in range(new_nt):
+            for e1, e2 in incident_pairs:
+                for dt in range(duration):
+                    t2 = t + dt
+                    if t2 >= new_nt:
+                        break
+                    if t2 < old_nt:
+                        continue  # both endpoints predate the extension
+                    ctx.add([neg(self.sigma[e1][t]), neg(self.sigma[e2][t2])])
+                    if dt > 0:
+                        ctx.add([neg(self.sigma[e2][t]), neg(self.sigma[e1][t2])])
+            if duration > 1:
+                for e in range(self.device.num_edges):
+                    for dt in range(1, duration):
+                        t2 = t + dt
+                        if t2 >= new_nt:
+                            break
+                        if t2 < old_nt:
+                            continue
+                        ctx.add([neg(self.sigma[e][t]), neg(self.sigma[e][t2])])
+
     # -- incremental bounds -----------------------------------------------------
 
     def depth_guard(self, bound: int) -> int:
@@ -304,6 +500,9 @@ class LayoutEncoder:
         if guard is not None:
             return guard
         guard = self.ctx.new_bool()
+        # The guard arms the current horizon (so a certifying caller may
+        # assert the guard as a unit clause and needs no assumptions).
+        self.ctx.add([neg(guard), self._act])
         for time_var in self.time:
             time_var.leq_const(bound - 1, guard=guard)
         for lit, _e, t in self.swap_lits:

@@ -207,7 +207,11 @@ class IterativeSynthesizer:
         while best is None:
             if bound > self.encoder.horizon:
                 horizon = max(bound, math.ceil(self.encoder.horizon * 1.5))
-                self._build_encoder(horizon)
+                # Extend the live formula so learnt clauses, activities and
+                # saved phases survive horizon growth; rebuild only when the
+                # encoder cannot extend (subclasses, built SWAP counters).
+                if not self.encoder.extend_horizon(horizon):
+                    self._build_encoder(horizon)
             status = self._solve(
                 [self.encoder.depth_guard(bound)], phase="relax", bound=bound
             )

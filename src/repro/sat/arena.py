@@ -1,0 +1,184 @@
+"""Flat clause arena: cache-friendly clause storage for the CDCL core.
+
+The original solver chased per-clause ``Clause(list)`` objects through
+per-literal watcher lists of object references — every propagation step
+touched several heap objects and their attribute dictionaries/slots.  The
+arena replaces all of that with flat, index-addressed storage in the style
+of MiniSat's region allocator:
+
+* all literals of all clauses live in **one** flat buffer (``lits``);
+* a clause is an integer **reference** (``cref``) indexing parallel
+  metadata arrays: ``start`` (offset into ``lits``), ``size`` (literal
+  count; ``-1`` marks a dead clause), ``learnt`` flag, ``lbd``, and
+  floating-point ``act`` (clause activity);
+* deletion is O(1): mark dead and account the wasted literals.  Watcher
+  entries pointing at dead clauses are dropped lazily during propagation,
+  so :meth:`Solver._reduce_db` never scans watch lists;
+* when the wasted fraction crosses ``GC_FRACTION`` the solver triggers
+  :meth:`compact`, which rebuilds ``lits`` densely.  Crefs are *stable*
+  across compaction (only ``start`` moves), so watcher lists and reason
+  pointers never need remapping.  Dead crefs become reusable only after
+  the solver has purged its watch lists (see :meth:`recycle`), which makes
+  lazy watcher removal safe: a stale watcher can never alias a new clause.
+
+The arena deliberately knows nothing about solving — it is a typed heap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+#: Trigger compaction when this fraction of ``lits`` is dead storage.
+GC_FRACTION = 0.25
+
+
+class ClauseArena:
+    """Flat storage for clauses addressed by stable integer references."""
+
+    __slots__ = (
+        "lits",
+        "start",
+        "size",
+        "learnt",
+        "lbd",
+        "spos",
+        "act",
+        "wasted",
+        "_pending_free",
+        "_free",
+        "n_live",
+    )
+
+    def __init__(self) -> None:
+        # All int-valued buffers are plain lists: in CPython, list indexing
+        # is faster than array('i') indexing (no per-access int boxing),
+        # while still being one contiguous buffer of machine words
+        # (pointers).  The hot loops index ``lits``/``start``/``size`` on
+        # every non-blocked watcher visit.
+        self.lits: List[int] = []
+        self.start: List[int] = []
+        self.size: List[int] = []  # -1 == dead
+        self.learnt: List[int] = []
+        self.lbd: List[int] = []
+        # Circular new-watch search position (clause-relative, >= 2): the
+        # propagator resumes its replacement-literal scan where the last
+        # one left off instead of rescanning the false prefix each visit
+        # (Gent's "watched literals with positional memory").
+        self.spos: List[int] = []
+        self.act: List[float] = []
+        #: literals occupied by dead clauses (reclaimed by compact()).
+        self.wasted = 0
+        # Dead crefs whose watcher entries may still linger; they move to
+        # the reusable free list only after the solver purges its watches.
+        self._pending_free: List[int] = []
+        self._free: List[int] = []
+        self.n_live = 0
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self, literals: Sequence[int], learnt: bool = False) -> int:
+        """Store a clause; returns its (stable) reference."""
+        cref = self._free.pop() if self._free else -1
+        base = len(self.lits)
+        self.lits.extend(literals)
+        if cref < 0:
+            cref = len(self.start)
+            self.start.append(base)
+            self.size.append(len(literals))
+            self.learnt.append(1 if learnt else 0)
+            self.lbd.append(0)
+            self.spos.append(2)
+            self.act.append(0.0)
+        else:
+            self.start[cref] = base
+            self.size[cref] = len(literals)
+            self.learnt[cref] = 1 if learnt else 0
+            self.lbd[cref] = 0
+            self.spos[cref] = 2
+            self.act[cref] = 0.0
+        self.n_live += 1
+        return cref
+
+    def free(self, cref: int) -> None:
+        """Mark ``cref`` dead.  Its cref is recycled only after a purge."""
+        sz = self.size[cref]
+        if sz < 0:
+            return
+        self.wasted += sz
+        self.size[cref] = -1
+        self._pending_free.append(cref)
+        self.n_live -= 1
+
+    # -- access --------------------------------------------------------
+
+    def literals(self, cref: int) -> List[int]:
+        """The clause's literals as a fresh list (slow path / logging)."""
+        base = self.start[cref]
+        return list(self.lits[base : base + self.size[cref]])
+
+    def is_dead(self, cref: int) -> bool:
+        return self.size[cref] < 0
+
+    def __len__(self) -> int:
+        return self.n_live
+
+    # -- garbage collection --------------------------------------------
+
+    def needs_gc(self) -> bool:
+        return self.wasted > 0 and self.wasted >= GC_FRACTION * len(self.lits)
+
+    def compact(self) -> None:
+        """Rebuild ``lits`` densely.  Crefs stay valid; only offsets move."""
+        new_lits: List[int] = []
+        start, size, lits = self.start, self.size, self.lits
+        for cref in range(len(start)):
+            sz = size[cref]
+            if sz < 0:
+                continue
+            base = start[cref]
+            start[cref] = len(new_lits)
+            new_lits.extend(lits[base : base + sz])
+        self.lits = new_lits
+        self.wasted = 0
+
+    def recycle(self) -> None:
+        """Make pending-dead crefs reusable.
+
+        Only call after every watcher entry referencing them is gone
+        (the solver's watch purge); otherwise a stale watcher could alias
+        a newly allocated clause.
+        """
+        self._free.extend(self._pending_free)
+        self._pending_free.clear()
+
+    def live_refs(self) -> Iterable[int]:
+        """All live clause references (in allocation order)."""
+        size = self.size
+        return (cref for cref in range(len(size)) if size[cref] >= 0)
+
+    def check_invariants(self) -> None:
+        """Internal consistency checks (used by tests; O(total literals))."""
+        seen_spans = []
+        for cref in range(len(self.start)):
+            sz = self.size[cref]
+            if sz < 0:
+                continue
+            base = self.start[cref]
+            if base < 0 or base + sz > len(self.lits):
+                raise AssertionError(f"cref {cref} span out of bounds")
+            seen_spans.append((base, base + sz, cref))
+        seen_spans.sort()
+        for (a_lo, a_hi, a), (b_lo, b_hi, b) in zip(seen_spans, seen_spans[1:]):
+            if b_lo < a_hi:
+                raise AssertionError(f"crefs {a} and {b} overlap in the arena")
+        dead = sum(1 for sz in self.size if sz < 0)
+        if dead != len(self._pending_free) + len(self._free):
+            raise AssertionError("dead-cref accounting out of sync")
+        if self.n_live != len(self.size) - dead:
+            raise AssertionError("live-count accounting out of sync")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ClauseArena(live={self.n_live}, slots={len(self.size)}, "
+            f"lits={len(self.lits)}, wasted={self.wasted})"
+        )

@@ -118,9 +118,22 @@ def _subsumes(small: Set[int], big: Set[int]) -> bool:
     return small.issubset(big)
 
 
+def _signature(clause) -> int:
+    """64-bit Bloom-style clause signature: one bit per ``lit & 63``.
+
+    ``sig(C) & ~sig(D) != 0`` proves C ⊄ D without touching the sets, which
+    rejects almost every candidate pair in the subsumption inner loops.
+    """
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (lit & 63)
+    return sig
+
+
 def _subsumption(clauses: List[List[int]]) -> List[List[int]]:
     """Remove subsumed clauses and apply self-subsuming resolution."""
     sets = [set(c) for c in clauses]
+    sigs = [_signature(c) for c in sets]
     occurrence: Dict[int, List[int]] = defaultdict(list)
     for idx, clause in enumerate(sets):
         for lit in clause:
@@ -133,11 +146,15 @@ def _subsumption(clauses: List[List[int]]) -> List[List[int]]:
         if not alive[idx]:
             continue
         clause = sets[idx]
+        sig = sigs[idx]
+        size = len(clause)
         rarest = min(clause, key=lambda l: len(occurrence[l]))
         for other in occurrence[rarest]:
             if other == idx or not alive[other]:
                 continue
-            if len(sets[other]) >= len(clause) and _subsumes(clause, sets[other]):
+            if sig & ~sigs[other]:
+                continue  # some literal of ``clause`` cannot be in ``other``
+            if len(sets[other]) >= size and _subsumes(clause, sets[other]):
                 alive[other] = False
 
     # Self-subsuming resolution: C∨l strengthened by D∨¬l with D ⊆ C.
@@ -148,12 +165,18 @@ def _subsumption(clauses: List[List[int]]) -> List[List[int]]:
         while strengthened:
             strengthened = False
             for lit in list(sets[idx]):
+                # D ⊆ (C - l) ∪ {¬l} is necessary for the strengthening, so
+                # D's signature must fit inside that union's signature.
+                allowed = sigs[idx] | (1 << (neg(lit) & 63))
                 for other in occurrence[neg(lit)]:
                     if not alive[other] or other == idx:
+                        continue
+                    if sigs[other] & ~allowed:
                         continue
                     rest = sets[other] - {neg(lit)}
                     if rest and rest.issubset(sets[idx] - {lit}):
                         sets[idx].discard(lit)
+                        sigs[idx] = _signature(sets[idx])
                         strengthened = True
                         break
                 if strengthened:

@@ -7,17 +7,32 @@ so that Z3's *internal SAT engine* does the actual work.  Since no external
 solver is available here, this file implements that engine from scratch in the
 MiniSat lineage:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation over a **flat clause arena**
+  (:mod:`repro.sat.arena`) with blocker literals, so most watcher visits
+  never touch clause storage at all,
 * first-UIP conflict analysis with clause minimisation,
 * VSIDS variable activities with phase saving,
-* Luby-sequence restarts,
-* learnt-clause database reduction driven by LBD and clause activity,
+* Luby-sequence restarts (memoised sequence),
+* learnt-clause database reduction driven by LBD and clause activity, with
+  O(1) lazy deletion and periodic arena compaction,
 * incremental solving under assumptions with failed-assumption cores.
 
 Incrementality matters: the paper's iterative depth/SWAP refinement re-solves
 a sequence of near-identical models and relies on the solver reusing learned
 information between iterations (Sec. III-B).  Assumption-based solving gives
-exactly that — learnt clauses survive across :meth:`Solver.solve` calls.
+exactly that — learnt clauses survive across :meth:`Solver.solve` calls — and
+:meth:`repro.core.encoder.LayoutEncoder.extend_horizon` extends the *formula*
+in place so they also survive horizon growth.
+
+Performance notes (pure Python): clauses are addressed by integer refs into
+one flat literal list (plain lists beat ``array('i')`` under CPython because
+reads return cached int objects instead of boxing); binary and ternary
+clauses bypass the arena entirely via scan-only ``watches_bin`` /
+``watches_ter`` lists with reasons packed into the reason integer; n-ary
+watcher lists are flat ``[cref, blocker, cref, blocker, ...]`` lists scanned
+with swap-remove and circular new-watch search; the hot loops hoist every
+attribute access into locals.  See ``docs/PERFORMANCE.md`` for the layout
+rationale and measured effect.
 """
 
 from __future__ import annotations
@@ -25,16 +40,40 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence
 
+from .arena import ClauseArena
 from .result import SatResult
 from .types import FALSE, TRUE, UNDEF, neg
 
+#: Sentinel clause reference meaning "no clause" (decision / no conflict).
+NO_CLAUSE = -1
+
+# Binary and ternary clauses are fully inlined into dedicated watch lists
+# and into the reason array, so propagating them never touches the arena.
+# A reason value ``r < NO_CLAUSE`` packs the clause's *other* literals into
+# ``k = BIN_BASE - r``: even ``k`` is a binary reason (other literal
+# ``k >> 1``); odd ``k`` is a ternary reason (literals ``k >> 33`` and
+# ``(k >> 1) & 0xFFFFFFFF``).  Conflicts in these clauses use the constant
+# tag ``BIN_BASE`` plus the ``_confl_lits`` side channel.
+BIN_BASE = -2
+
+_TER_MASK = 0xFFFFFFFF
+
+
+def _packed_reason_lits(tag: int) -> tuple:
+    """The packed literals inside a binary/ternary reason value."""
+    k = BIN_BASE - tag
+    if k & 1:
+        return (k >> 33, (k >> 1) & _TER_MASK)
+    return (k >> 1,)
+
 
 class Clause(list):
-    """A clause is a list of packed literals plus solver metadata.
+    """A clause as a list of packed literals plus solver metadata.
 
-    Subclassing :class:`list` keeps literal access (``clause[i]``) as fast as
-    a plain list in the propagation hot loop while still allowing the solver
-    to hang bookkeeping attributes off the object.
+    The solver itself now stores clauses in the flat :class:`ClauseArena`
+    and addresses them by integer reference; this class remains as the
+    public value type for callers that want a self-contained clause object
+    (e.g. pulling clauses out of a solver for inspection).
     """
 
     __slots__ = ("learnt", "lbd", "act")
@@ -85,17 +124,23 @@ class SolverStats:
         return f"SolverStats({inner})"
 
 
+# The Luby sequence as exponents of 2, built from the doubling identity
+# S_k = S_{k-1} + S_{k-1} + [k-1]; luby(y, x) == y ** _LUBY_EXP[x].
+_LUBY_EXP: List[int] = [0]
+
+
 def luby(y: float, x: int) -> float:
-    """Return the ``x``-th term of the Luby restart sequence scaled by ``y``."""
-    size, seq = 1, 0
-    while size < x + 1:
-        seq += 1
-        size = 2 * size + 1
-    while size - 1 != x:
-        size = (size - 1) // 2
-        seq -= 1
-        x = x % size
-    return y ** seq
+    """Return the ``x``-th term of the Luby restart sequence scaled by ``y``.
+
+    The integer exponent sequence is memoised, so per-restart calls are a
+    list index instead of the classic loop + float pow.
+    """
+    exp = _LUBY_EXP
+    while x >= len(exp):
+        k = (len(exp) + 1).bit_length() - 1  # len == 2**k - 1 here
+        exp.extend(exp)
+        exp.append(k)
+    return y ** exp[x]
 
 
 class _VarOrderHeap:
@@ -115,13 +160,15 @@ class _VarOrderHeap:
         return v < len(self.indices) and self.indices[v] >= 0
 
     def _percolate_up(self, i: int) -> None:
-        heap, indices = self.heap, self.indices
+        heap, indices, activity = self.heap, self.indices, self.activity
         x = heap[i]
+        ax = activity[x]
         while i > 0:
             p = (i - 1) >> 1
-            if self._lt(x, heap[p]):
-                heap[i] = heap[p]
-                indices[heap[p]] = i
+            hp = heap[p]
+            if ax > activity[hp]:
+                heap[i] = hp
+                indices[hp] = i
                 i = p
             else:
                 break
@@ -129,18 +176,24 @@ class _VarOrderHeap:
         indices[x] = i
 
     def _percolate_down(self, i: int) -> None:
-        heap, indices = self.heap, self.indices
+        heap, indices, activity = self.heap, self.indices, self.activity
         x = heap[i]
+        ax = activity[x]
         n = len(heap)
         while True:
             left = 2 * i + 1
             if left >= n:
                 break
             right = left + 1
-            child = right if right < n and self._lt(heap[right], heap[left]) else left
-            if self._lt(heap[child], x):
-                heap[i] = heap[child]
-                indices[heap[i]] = i
+            child = (
+                right
+                if right < n and activity[heap[right]] > activity[heap[left]]
+                else left
+            )
+            hc = heap[child]
+            if activity[hc] > ax:
+                heap[i] = hc
+                indices[hc] = i
                 i = child
             else:
                 break
@@ -195,12 +248,18 @@ class Solver:
     :attr:`~SatResult.UNKNOWN` when a conflict/time budget expired or the
     attached tracer was cancelled.  The enum is truthy exactly on SAT and
     ``==``-compatible with the legacy ``True``/``False``/``None``.
+
+    Clauses live in :attr:`arena` and are addressed by integer reference;
+    :attr:`clauses` and :attr:`learnts` are lists of such references.
     """
 
     VAR_DECAY = 1.0 / 0.95
     CLA_DECAY = 1.0 / 0.999
     RESCALE_LIMIT = 1e100
     RESTART_BASE = 100
+    #: Route size-3 clauses through the scan-only ternary watch lists
+    #: instead of the generic two-watch scheme (see :meth:`_attach`).
+    TERNARY_SPECIAL = True
 
     def __init__(self, proof_log: bool = False) -> None:
         # When proof logging is on, every clause the solver derives (learnt
@@ -216,16 +275,34 @@ class Solver:
         # disabled-path cost is a single identity check per solve().
         self.tracer = None
         self.n_vars = 0
-        self.clauses: List[Clause] = []
-        self.learnts: List[Clause] = []
-        self.watches: List[List[Clause]] = []
-        self.assigns: List[int] = []
+        self.arena = ClauseArena()
+        self.clauses: List[int] = []  # crefs of problem clauses
+        self.learnts: List[int] = []  # crefs of learnt clauses
+        # Per-literal watcher lists, flat: [cref0, blocker0, cref1, ...].
+        self.watches: List[List[int]] = []
+        # Per-literal binary watch lists: watches_bin[p] holds, for every
+        # binary clause {p^1, other}, the literal ``other``.  These lists
+        # are scan-only during propagation (binary clauses are never
+        # deleted), so the hot loop never rewrites them.
+        self.watches_bin: List[List[int]] = []
+        # Per-literal ternary watch lists: watches_ter[p] holds flat
+        # (a, b) pairs, one per size-3 clause containing ``p ^ 1``; the
+        # clause is examined whenever any of its literals becomes false,
+        # so nothing is ever rewritten or dereferenced through the arena.
+        self.watches_ter: List[List[int]] = []
+        # Truth value per *literal* (TRUE/FALSE/UNDEF): one read answers
+        # "is this literal true?" with no shift/mask arithmetic, which is
+        # where a Python hot loop spends its time.  assigns_lit[l] and
+        # assigns_lit[l ^ 1] are kept complementary (or both UNDEF).
+        self.assigns_lit: List[int] = []
         self.level: List[int] = []
-        self.reason: List[Optional[Clause]] = []
+        self.reason: List[int] = []  # cref or NO_CLAUSE
         self.polarity: List[bool] = []  # saved phases; True = assign negative
         self.activity: List[float] = []
         self.order = _VarOrderHeap(self.activity)
+        # Preallocated trail buffer; trail_size is the live prefix length.
         self.trail: List[int] = []
+        self.trail_size = 0
         self.trail_lim: List[int] = []
         self.qhead = 0
         self.seen: List[int] = []
@@ -236,7 +313,9 @@ class Solver:
         self.core: List[int] = []
         self.stats = SolverStats()
         self.max_learnts = 4000.0
-        self._simplify_mark = 0
+        # Literal pair of the most recent binary-clause conflict (valid when
+        # _propagate returned a tag < NO_CLAUSE).
+        self._confl_lits = (0, 0)
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -248,12 +327,18 @@ class Solver:
         self.n_vars += 1
         self.watches.append([])
         self.watches.append([])
-        self.assigns.append(UNDEF)
+        self.watches_bin.append([])
+        self.watches_bin.append([])
+        self.watches_ter.append([])
+        self.watches_ter.append([])
+        self.assigns_lit.append(UNDEF)
+        self.assigns_lit.append(UNDEF)
         self.level.append(0)
-        self.reason.append(None)
+        self.reason.append(NO_CLAUSE)
         self.polarity.append(True)
         self.activity.append(0.0)
         self.seen.append(0)
+        self.trail.append(0)
         self.order.grow_to(self.n_vars)
         self.order.insert(v)
         return v
@@ -264,10 +349,7 @@ class Solver:
 
     def value(self, lit: int) -> int:
         """Current truth value of ``lit``: TRUE, FALSE or UNDEF."""
-        v = self.assigns[lit >> 1]
-        if v < 0:
-            return UNDEF
-        return v ^ (lit & 1)
+        return self.assigns_lit[lit]
 
     def add_clause(self, lits: Sequence[int]) -> bool:
         """Add a clause; returns ``False`` if the formula became trivially UNSAT.
@@ -299,14 +381,14 @@ class Solver:
             self.ok = False
             return False
         if len(out) == 1:
-            self._unchecked_enqueue(out[0], None)
-            self.ok = self._propagate() is None
+            self._unchecked_enqueue(out[0], NO_CLAUSE)
+            self.ok = self._propagate() == NO_CLAUSE
             if not self.ok and self.proof is not None:
                 self.proof.append(("a", ()))
             return self.ok
-        clause = Clause(out)
-        self.clauses.append(clause)
-        self._attach(clause)
+        cref = self.arena.alloc(out)
+        self.clauses.append(cref)
+        self._attach(cref)
         return True
 
     def add_clauses(self, clause_list: Iterable[Sequence[int]]) -> bool:
@@ -315,103 +397,251 @@ class Solver:
             ok = self.add_clause(lits) and ok
         return ok
 
+    def clause_literals(self, cref: int) -> List[int]:
+        """The literals of clause ``cref`` (a fresh list)."""
+        return self.arena.literals(cref)
+
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
 
-    def _attach(self, clause: Clause) -> None:
-        self.watches[clause[0] ^ 1].append(clause)
-        self.watches[clause[1] ^ 1].append(clause)
+    def _attach(self, cref: int) -> None:
+        arena = self.arena
+        base = arena.start[cref]
+        l0 = arena.lits[base]
+        l1 = arena.lits[base + 1]
+        if arena.size[cref] == 2:
+            # Binary clause: its whole content lives in the binary watch
+            # lists, so propagation never dereferences the arena for it.
+            self.watches_bin[l0 ^ 1].append(l1)
+            self.watches_bin[l1 ^ 1].append(l0)
+            return
+        if self.TERNARY_SPECIAL and arena.size[cref] == 3:
+            # Ternary clause: scan-only entries under all three literals.
+            l2 = arena.lits[base + 2]
+            self.watches_ter[l0 ^ 1].extend((l1, l2))
+            self.watches_ter[l1 ^ 1].extend((l0, l2))
+            self.watches_ter[l2 ^ 1].extend((l0, l1))
+            return
+        w0 = self.watches[l0 ^ 1]
+        w0.append(cref)
+        w0.append(l1)
+        w1 = self.watches[l1 ^ 1]
+        w1.append(cref)
+        w1.append(l0)
 
-    def _detach(self, clause: Clause) -> None:
-        self.watches[clause[0] ^ 1].remove(clause)
-        self.watches[clause[1] ^ 1].remove(clause)
-
-    def _unchecked_enqueue(self, lit: int, reason: Optional[Clause]) -> None:
+    def _unchecked_enqueue(self, lit: int, reason: int) -> None:
         var = lit >> 1
-        self.assigns[var] = (lit & 1) ^ 1
+        self.assigns_lit[lit] = TRUE
+        self.assigns_lit[lit ^ 1] = FALSE
         self.level[var] = len(self.trail_lim)
         self.reason[var] = reason
-        self.trail.append(lit)
+        self.trail[self.trail_size] = lit
+        self.trail_size += 1
 
-    def _propagate(self) -> Optional[Clause]:
-        """Unit propagation; returns a conflicting clause or ``None``."""
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting cref or ``NO_CLAUSE``.
+
+        The hot loop of the whole repository.  Every watcher entry carries a
+        *blocker* literal (the other watched literal at attach time): when
+        the blocker is already true the clause is satisfied and the arena is
+        never touched.  Watchers of dead clauses are dropped lazily here,
+        which is what lets :meth:`_reduce_db` delete in O(1).
+        """
         watches = self.watches
-        assigns = self.assigns
-        confl: Optional[Clause] = None
-        while self.qhead < len(self.trail):
-            p = self.trail[self.qhead]
-            self.qhead += 1
-            self.stats.propagations += 1
+        watches_bin = self.watches_bin
+        watches_ter = self.watches_ter
+        assigns_lit = self.assigns_lit
+        level = self.level
+        reason = self.reason
+        arena = self.arena
+        alits = arena.lits
+        astart = arena.start
+        asize = arena.size
+        aspos = arena.spos
+        trail = self.trail
+        qhead = self.qhead
+        qstart = qhead
+        trail_size = self.trail_size
+        dlevel = len(self.trail_lim)
+        confl = NO_CLAUSE
+        while qhead < trail_size:
+            p = trail[qhead]
+            qhead += 1
             false_lit = p ^ 1
+            breason = BIN_BASE - (false_lit << 1)
+            # Binary clauses first: one flat list of implied literals,
+            # no watcher rewriting, no arena access.
+            for other in watches_bin[p]:
+                vo = assigns_lit[other]
+                if vo < 0:
+                    assigns_lit[other] = 1
+                    assigns_lit[other ^ 1] = 0
+                    var = other >> 1
+                    level[var] = dlevel
+                    reason[var] = breason
+                    trail[trail_size] = other
+                    trail_size += 1
+                elif vo == 0:  # other is FALSE -> conflict
+                    confl = BIN_BASE
+                    self._confl_lits = (other, false_lit)
+                    break
+            if confl != NO_CLAUSE:
+                break
+            # Ternary clauses: scan the (a, b) pairs; a clause is acted on
+            # only when one co-literal is false and the other unassigned
+            # (unit) or false too (conflict) -- no rewriting, no arena.
+            wt = watches_ter[p]
+            if wt:
+                tbase = (false_lit << 33) | 1
+                for ti in range(0, len(wt), 2):
+                    a = wt[ti]
+                    va = assigns_lit[a]
+                    if va > 0:
+                        continue
+                    b = wt[ti + 1]
+                    vb = assigns_lit[b]
+                    if vb > 0:
+                        continue
+                    if va < 0:
+                        if vb < 0:
+                            continue  # two unassigned: not unit yet
+                        assigns_lit[a] = 1
+                        assigns_lit[a ^ 1] = 0
+                        var = a >> 1
+                        level[var] = dlevel
+                        reason[var] = BIN_BASE - (tbase | (b << 1))
+                        trail[trail_size] = a
+                        trail_size += 1
+                    elif vb < 0:
+                        assigns_lit[b] = 1
+                        assigns_lit[b ^ 1] = 0
+                        var = b >> 1
+                        level[var] = dlevel
+                        reason[var] = BIN_BASE - (tbase | (a << 1))
+                        trail[trail_size] = b
+                        trail_size += 1
+                    else:  # all three false -> conflict
+                        confl = BIN_BASE
+                        self._confl_lits = (false_lit, a, b)
+                        break
+                if confl != NO_CLAUSE:
+                    break
             ws = watches[p]
-            i = j = 0
+            if not ws:
+                continue
             n = len(ws)
+            # Fast read-only scan: as long as blockers are true the list
+            # needs no rewriting at all.
+            i = 0
+            while i < n and assigns_lit[ws[i + 1]] > 0:
+                i += 2
+            if i == n:
+                continue
+            # Swap-remove scan: surviving watchers are left in place (no
+            # copy-back at all); a watcher that moves to another literal is
+            # deleted by swapping the current tail pair into its slot, and
+            # that pair is then processed in the same position.
             while i < n:
-                clause = ws[i]
-                i += 1
-                # Ensure the false literal is at position 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
-                v = assigns[first >> 1]
-                if v >= 0 and (v ^ (first & 1)) == TRUE:
-                    ws[j] = clause
-                    j += 1
+                blocker = ws[i + 1]
+                if assigns_lit[blocker] > 0:
+                    i += 2
                     continue
-                # Look for a new literal to watch.
+                cref = ws[i]
+                sz = asize[cref]
+                if sz < 0:  # dead clause: drop its watcher lazily
+                    n -= 2
+                    ws[i] = ws[n]
+                    ws[i + 1] = ws[n + 1]
+                    continue
+                base = astart[cref]
+                # Ensure the false literal is at position 1.
+                first = alits[base]
+                if first == false_lit:
+                    first = alits[base + 1]
+                    alits[base] = first
+                    alits[base + 1] = false_lit
+                v0 = assigns_lit[first]
+                if first != blocker and v0 > 0:
+                    ws[i + 1] = first  # better blocker for future scans
+                    i += 2
+                    continue
+                # Look for a new literal to watch, resuming the circular
+                # scan where this clause's previous search stopped so a
+                # long false prefix is never rescanned (positional memory).
+                sp = aspos[cref]
                 found = False
-                for k in range(2, len(clause)):
-                    lk = clause[k]
-                    vk = assigns[lk >> 1]
-                    if vk < 0 or (vk ^ (lk & 1)) != FALSE:
-                        clause[1] = lk
-                        clause[k] = false_lit
-                        watches[lk ^ 1].append(clause)
+                for k in range(base + sp, base + sz):
+                    lk = alits[k]
+                    if assigns_lit[lk] != 0:
                         found = True
                         break
+                if not found:
+                    for k in range(base + 2, base + sp):
+                        lk = alits[k]
+                        if assigns_lit[lk] != 0:
+                            found = True
+                            break
                 if found:
+                    alits[base + 1] = lk
+                    alits[k] = false_lit
+                    aspos[cref] = k - base
+                    wl = watches[lk ^ 1]
+                    wl.append(cref)
+                    wl.append(first)
+                    n -= 2
+                    ws[i] = ws[n]
+                    ws[i + 1] = ws[n + 1]
                     continue
                 # Clause is unit or conflicting.
-                ws[j] = clause
-                j += 1
-                if v >= 0:  # first is FALSE -> conflict
-                    confl = clause
-                    self.qhead = len(self.trail)
-                    while i < n:
-                        ws[j] = ws[i]
-                        j += 1
-                        i += 1
+                ws[i + 1] = first
+                if v0 == 0:  # first is FALSE -> conflict
+                    confl = cref
                     break
-                self._unchecked_enqueue(first, clause)
-            del ws[j:]
-            if confl is not None:
+                i += 2
+                assigns_lit[first] = 1
+                assigns_lit[first ^ 1] = 0
+                var = first >> 1
+                level[var] = dlevel
+                reason[var] = cref
+                trail[trail_size] = first
+                trail_size += 1
+            if n != len(ws):
+                del ws[n:]
+            if confl != NO_CLAUSE:
                 break
+        self.qhead = qhead
+        self.trail_size = trail_size
+        self.stats.propagations += qhead - qstart
         return confl
 
     def _decision_level(self) -> int:
         return len(self.trail_lim)
 
     def _new_decision_level(self) -> None:
-        self.trail_lim.append(len(self.trail))
+        self.trail_lim.append(self.trail_size)
 
     def _cancel_until(self, target_level: int) -> None:
-        if self._decision_level() <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
         bound = self.trail_lim[target_level]
         trail = self.trail
-        for idx in range(len(trail) - 1, bound - 1, -1):
+        assigns_lit = self.assigns_lit
+        polarity = self.polarity
+        reason = self.reason
+        order = self.order
+        for idx in range(self.trail_size - 1, bound - 1, -1):
             lit = trail[idx]
             var = lit >> 1
-            self.assigns[var] = UNDEF
-            self.polarity[var] = bool(lit & 1)
-            self.reason[var] = None
-            if not self.order.in_heap(var):
-                self.order.insert(var)
-        del trail[bound:]
+            assigns_lit[lit] = UNDEF
+            assigns_lit[lit ^ 1] = UNDEF
+            polarity[var] = bool(lit & 1)
+            reason[var] = NO_CLAUSE
+            if not order.in_heap(var):
+                order.insert(var)
+        self.trail_size = bound
         del self.trail_lim[target_level:]
-        self.qhead = len(trail)
+        self.qhead = bound
 
     def _var_bump(self, var: int) -> None:
         self.activity[var] += self.var_inc
@@ -422,15 +652,16 @@ class Solver:
             self.var_inc *= inv
         self.order.decrease(var)
 
-    def _cla_bump(self, clause: Clause) -> None:
-        clause.act += self.cla_inc
-        if clause.act > self.RESCALE_LIMIT:
+    def _cla_bump(self, cref: int) -> None:
+        act = self.arena.act
+        act[cref] += self.cla_inc
+        if act[cref] > self.RESCALE_LIMIT:
             inv = 1.0 / self.RESCALE_LIMIT
             for c in self.learnts:
-                c.act *= inv
+                act[c] *= inv
             self.cla_inc *= inv
 
-    def _analyze(self, confl: Clause) -> tuple:
+    def _analyze(self, confl: int) -> tuple:
         """First-UIP conflict analysis.
 
         Returns ``(learnt_clause_lits, backtrack_level, lbd)``.
@@ -438,20 +669,36 @@ class Solver:
         seen = self.seen
         level = self.level
         trail = self.trail
+        reason = self.reason
+        arena = self.arena
+        alits = arena.lits
+        astart = arena.start
+        asize = arena.size
+        alearnt = arena.learnt
         learnt: List[int] = [0]  # placeholder for the asserting literal
         to_clear: List[int] = []
         counter = 0
         p = -1
-        index = len(trail) - 1
-        cur_level = self._decision_level()
-        clause: Optional[Clause] = confl
+        index = self.trail_size - 1
+        cur_level = len(self.trail_lim)
+        cref = confl
         while True:
-            assert clause is not None
-            if clause.learnt:
-                self._cla_bump(clause)
-            start = 1 if p >= 0 else 0
-            for k in range(start, len(clause)):
-                q = clause[k]
+            if cref < NO_CLAUSE:
+                # Binary/ternary clause packed into the reference itself:
+                # as a reason the other literal(s) decode from the tag; as
+                # the initial conflict all false literals are in
+                # _confl_lits (the tag is just the BIN_BASE sentinel).
+                span = _packed_reason_lits(cref) if p >= 0 else self._confl_lits
+            else:
+                assert cref != NO_CLAUSE
+                if alearnt[cref]:
+                    self._cla_bump(cref)
+                base = astart[cref]
+                # Skip position 0 of reason clauses: it holds the implied
+                # literal (the propagation loop maintains that invariant).
+                start = base + 1 if p >= 0 else base
+                span = alits[start : base + asize[cref]]
+            for q in span:
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
                     seen[var] = 1
@@ -464,27 +711,32 @@ class Solver:
             while not seen[trail[index] >> 1]:
                 index -= 1
             p = trail[index]
-            clause = self.reason[p >> 1]
+            cref = reason[p >> 1]
             index -= 1
             counter -= 1
             if counter <= 0:
                 break
-            # Move p to front of its reason for the skip-first convention.
-            if clause is not None and clause[0] != (p):
-                # reason clause always has its implied literal first
-                pass
         learnt[0] = p ^ 1
 
         # Conflict-clause minimisation: drop literals implied by the rest.
         kept = [learnt[0]]
         for q in learnt[1:]:
-            r = self.reason[q >> 1]
-            if r is None:
+            r = reason[q >> 1]
+            if r == NO_CLAUSE:
                 kept.append(q)
                 continue
+            if r < NO_CLAUSE:
+                for x in _packed_reason_lits(r):
+                    xv = x >> 1
+                    if not seen[xv] and level[xv] > 0:
+                        kept.append(q)
+                        break
+                continue
             redundant = True
-            for x in r:
-                if x == (q ^ 1):
+            base = astart[r]
+            for k in range(base, base + asize[r]):
+                x = alits[k]
+                if x == q ^ 1:
                     continue
                 xv = x >> 1
                 if not seen[xv] and level[xv] > 0:
@@ -517,52 +769,94 @@ class Solver:
         assumption literals sufficient for unsatisfiability (including ``p``).
         """
         self.core = [p]
-        if self._decision_level() == 0:
+        if not self.trail_lim:
             return
         seen = self.seen
+        arena = self.arena
+        alits = arena.lits
+        astart = arena.start
+        asize = arena.size
         seen[p >> 1] = 1
-        for idx in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+        for idx in range(self.trail_size - 1, self.trail_lim[0] - 1, -1):
             lit = self.trail[idx]
             var = lit >> 1
             if not seen[var]:
                 continue
             r = self.reason[var]
-            if r is None:
+            if r == NO_CLAUSE:
                 # A decision inside the assumption prefix is an assumption.
                 if lit != p:
                     self.core.append(lit)
+            elif r < NO_CLAUSE:
+                for x in _packed_reason_lits(r):
+                    if self.level[x >> 1] > 0:
+                        seen[x >> 1] = 1
             else:
-                for x in r[1:]:
+                base = astart[r]
+                for k in range(base + 1, base + asize[r]):
+                    x = alits[k]
                     if self.level[x >> 1] > 0:
                         seen[x >> 1] = 1
             seen[var] = 0
         seen[p >> 1] = 0
 
     def _reduce_db(self) -> None:
-        """Throw away half of the learnt clauses, worst (LBD, activity) first."""
-        self.learnts.sort(key=lambda c: (-c.lbd, c.act))
-        keep_from = len(self.learnts) // 2
-        kept: List[Clause] = []
-        for i, clause in enumerate(self.learnts):
-            locked = (
-                self.reason[clause[0] >> 1] is clause
-                and self.value(clause[0]) == TRUE
-            )
-            if i >= keep_from or locked or clause.lbd <= 2 or len(clause) == 2:
-                kept.append(clause)
+        """Throw away half of the learnt clauses, worst (LBD, activity) first.
+
+        Deletion is O(1) per clause: the arena marks the cref dead and the
+        propagation loop drops its watcher entries lazily.  When enough of
+        the arena is dead storage, one garbage-collection pass purges the
+        watch lists and compacts the literal array.
+        """
+        arena = self.arena
+        act = arena.act
+        lbd = arena.lbd
+        astart = arena.start
+        asize = arena.size
+        alits = arena.lits
+        assigns_lit = self.assigns_lit
+        reason = self.reason
+        learnts = self.learnts
+        learnts.sort(key=lambda c: (-lbd[c], act[c]))
+        keep_from = len(learnts) // 2
+        kept: List[int] = []
+        for i, cref in enumerate(learnts):
+            base = astart[cref]
+            sz = asize[cref]
+            first = alits[base]
+            locked = reason[first >> 1] == cref and assigns_lit[first] > 0
+            if i >= keep_from or locked or lbd[cref] <= 2 or sz <= 3:
+                kept.append(cref)
             else:
-                self._detach(clause)
-                self.stats.removed_clauses += 1
                 if self.proof is not None:
-                    self.proof.append(("d", tuple(clause)))
+                    self.proof.append(("d", tuple(alits[base : base + sz])))
+                arena.free(cref)
+                self.stats.removed_clauses += 1
         self.learnts = kept
+        if arena.needs_gc():
+            self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        """Purge dead watchers, compact the arena, recycle dead crefs."""
+        asize = self.arena.size
+        for ws in self.watches:
+            j = 0
+            for i in range(0, len(ws), 2):
+                cref = ws[i]
+                if asize[cref] >= 0:
+                    ws[j] = cref
+                    ws[j + 1] = ws[i + 1]
+                    j += 2
+            del ws[j:]
+        self.arena.compact()
+        self.arena.recycle()
 
     def _pick_branch_lit(self) -> int:
         order = self.order
-        assigns = self.assigns
+        assigns_lit = self.assigns_lit
         while len(order):
             var = order.pop()
-            if assigns[var] == UNDEF:
+            if assigns_lit[var << 1] < 0:
                 return 2 * var + (1 if self.polarity[var] else 0)
         return -1
 
@@ -601,14 +895,15 @@ class Solver:
         conflicts_this_restart = 0
         if self.max_learnts < len(self.clauses) / 3:
             self.max_learnts = len(self.clauses) / 3
+        arena = self.arena
 
         status: Optional[bool] = None
         while status is None:
             confl = self._propagate()
-            if confl is not None:
+            if confl != NO_CLAUSE:
                 self.stats.conflicts += 1
                 conflicts_this_restart += 1
-                if self._decision_level() == 0:
+                if not self.trail_lim:
                     self.ok = False
                     status = False
                     if self.proof is not None:
@@ -621,14 +916,14 @@ class Solver:
                 # below it is fine, the assumption loop re-establishes it.
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
-                    self._unchecked_enqueue(learnt[0], None)
+                    self._unchecked_enqueue(learnt[0], NO_CLAUSE)
                 else:
-                    clause = Clause(learnt, learnt=True)
-                    clause.lbd = lbd
-                    self.learnts.append(clause)
-                    self._attach(clause)
-                    self._cla_bump(clause)
-                    self._unchecked_enqueue(learnt[0], clause)
+                    cref = arena.alloc(learnt, learnt=True)
+                    arena.lbd[cref] = lbd
+                    self.learnts.append(cref)
+                    self._attach(cref)
+                    self._cla_bump(cref)
+                    self._unchecked_enqueue(learnt[0], cref)
                 self.stats.lbd_counts[lbd] = self.stats.lbd_counts.get(lbd, 0) + 1
                 self.stats.learnt_literals += len(learnt)
                 self.var_inc *= self.VAR_DECAY
@@ -660,16 +955,16 @@ class Solver:
                         break
                 continue
             if (
-                len(self.learnts) - len(self.trail) >= self.max_learnts
-                and self._decision_level() > 0
+                len(self.learnts) - self.trail_size >= self.max_learnts
+                and self.trail_lim
             ):
                 self._reduce_db()
                 self.max_learnts *= 1.2
 
             # Establish assumptions, then decide.
             next_lit = -1
-            while self._decision_level() < len(assumptions):
-                p = assumptions[self._decision_level()]
+            while len(self.trail_lim) < len(assumptions):
+                p = assumptions[len(self.trail_lim)]
                 val = self.value(p)
                 if val == TRUE:
                     self._new_decision_level()  # dummy level
@@ -689,10 +984,11 @@ class Solver:
                     break
                 self.stats.decisions += 1
             self._new_decision_level()
-            self._unchecked_enqueue(next_lit, None)
+            self._unchecked_enqueue(next_lit, NO_CLAUSE)
 
         if status is True:
-            self.model = [self.assigns[v] == TRUE for v in range(self.n_vars)]
+            assigns_lit = self.assigns_lit
+            self.model = [assigns_lit[v << 1] > 0 for v in range(self.n_vars)]
         self._cancel_until(0)
         return self._finish(SatResult.from_bool(status), before, started)
 
@@ -777,6 +1073,57 @@ class Solver:
     @property
     def num_learnts(self) -> int:
         return len(self.learnts)
+
+    def check_watch_invariants(self) -> None:
+        """Verify watcher/arena consistency (test hook; O(watchers))."""
+        self.arena.check_invariants()
+        arena = self.arena
+        watched: dict = {}
+        bin_watched: set = set()
+        for lit, ws in enumerate(self.watches):
+            if len(ws) % 2:
+                raise AssertionError(f"odd watcher list length at literal {lit}")
+            for i in range(0, len(ws), 2):
+                cref = ws[i]
+                if cref < 0:
+                    raise AssertionError(f"negative cref in n-ary watches at {lit}")
+                if arena.is_dead(cref):
+                    continue  # lazily-pending removal is legal
+                watched.setdefault(cref, []).append(lit ^ 1)
+        for lit, bws in enumerate(self.watches_bin):
+            for other in bws:
+                bin_watched.add((lit ^ 1, other))
+        ter_watched: set = set()
+        for lit, tws in enumerate(self.watches_ter):
+            if len(tws) % 2:
+                raise AssertionError(f"odd ternary watch list length at {lit}")
+            for i in range(0, len(tws), 2):
+                ter_watched.add((lit ^ 1, frozenset((tws[i], tws[i + 1]))))
+        for cref in list(self.clauses) + list(self.learnts):
+            if arena.is_dead(cref):
+                continue
+            lits = arena.literals(cref)
+            if len(lits) == 2:
+                a, b = lits
+                if (a, b) not in bin_watched or (b, a) not in bin_watched:
+                    raise AssertionError(
+                        f"binary clause {cref} {lits} missing watcher pair"
+                    )
+                continue
+            if len(lits) == 3:
+                for x in lits:
+                    rest = frozenset(l for l in lits if l != x)
+                    if (x, rest) not in ter_watched:
+                        raise AssertionError(
+                            f"ternary clause {cref} {lits} missing entry on {x}"
+                        )
+                continue
+            w = watched.get(cref, [])
+            for want in lits[:2]:
+                if want not in w:
+                    raise AssertionError(
+                        f"clause {cref} watched on {w}, expected {lits[:2]}"
+                    )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -13,6 +13,7 @@ from .domain import (
     make_domain_var,
 )
 from .lazy import LazyIntVar, solve_with_theory
+from .stepvar import StepVar
 from .injectivity import (
     CHANNELING_INJ,
     INJECTIVITY_METHODS,
@@ -34,6 +35,7 @@ __all__ = [
     "OneHotVar",
     "OrderVar",
     "LazyIntVar",
+    "StepVar",
     "solve_with_theory",
     "make_domain_var",
     "PAIRWISE_INJ",

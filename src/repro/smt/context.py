@@ -35,6 +35,9 @@ class SMTContext:
         self.lazy_vars: List = []
         self.theory_rounds = 0
         self.theory_lemmas = 0
+        # Literals assumed at *every* solve (e.g. the encoder's horizon
+        # activation literal).  Owners append/remove entries directly.
+        self.persistent_assumptions: List[int] = []
 
     def register_lazy_var(self, var) -> None:
         """Register a :class:`repro.smt.lazy.LazyIntVar` for theory checking."""
@@ -84,6 +87,8 @@ class SMTContext:
         if not isinstance(self.sink, Solver):
             raise TypeError("this context wraps a CNF, not a live solver")
         start = time.monotonic()
+        if self.persistent_assumptions:
+            assumptions = self.persistent_assumptions + list(assumptions)
         if self.lazy_vars:
             from .lazy import solve_with_theory
 

@@ -1,0 +1,160 @@
+"""Extensible time-step variables for incremental horizon growth.
+
+The iterative optimization loops (paper Sec. III-B) repeatedly re-solve the
+layout model; when the relax phase discovers the horizon is too small, the
+formula must cover more time steps.  Ordinary domain variables
+(:mod:`repro.smt.domain`) bake their domain size into eager clauses — an
+unguarded at-least-one, "top value impossible" units in comparisons — so
+growing them would contradict clauses already handed to the solver.
+:class:`StepVar` is the extensible alternative used for the gate-time
+variables ``time[g]``:
+
+* one selector Boolean per time step with an eager pairwise at-most-one
+  (extension just adds the cross pairs for new steps);
+* **no** unguarded at-least-one.  The owner (the encoder) asserts
+  ``act -> (z_0 | ... | z_{H-1})`` with a fresh per-horizon *activation
+  literal* ``act``, assumed at every solve and re-issued after growth, so
+  old at-least-one clauses are silently retired instead of contradicted;
+* ordering constraints (``less_than``/``less_equal``) are pairwise conflict
+  clauses only — the "must take some value" half comes from the guarded
+  at-least-one, so no clause ever mentions the current top of the domain.
+  Each ordering is recorded so :meth:`extend_orders` can complete the
+  pairwise matrix after both sides have grown.
+
+With this, :meth:`repro.core.encoder.LayoutEncoder.extend_horizon` appends
+variables and clauses to the *live* solver and every learnt clause, VSIDS
+activity, and saved phase survives horizon growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sat.types import neg
+
+
+class StepVar:
+    """A bounded integer over time steps, growable after construction.
+
+    Implements the same interface as the :mod:`repro.smt.domain` variables
+    (``eq_lit``/``fix``/``leq_const``/``less_than``/``less_equal``/``neq``/
+    ``decode``/``polarity_hints``/``size``) and is valid only together with
+    its owner's guarded at-least-one (see module docstring).
+    """
+
+    __slots__ = ("ctx", "selectors", "_orders")
+
+    def __init__(self, ctx, size: int):
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self.ctx = ctx
+        self.selectors: List[int] = [ctx.new_bool() for _ in range(size)]
+        # (other, strict) ordering constraints, recorded for extension.
+        self._orders: List[Tuple["StepVar", bool]] = []
+        for i in range(size):
+            for j in range(i + 1, size):
+                ctx.add([neg(self.selectors[i]), neg(self.selectors[j])])
+
+    @property
+    def size(self) -> int:
+        return len(self.selectors)
+
+    # -- queries -------------------------------------------------------
+
+    def eq_lit(self, value: int) -> int:
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return self.selectors[value]
+
+    def fix(self, value: int) -> None:
+        self.ctx.add([self.eq_lit(value)])
+
+    def leq_const(self, k: int, guard=None) -> None:
+        """Forbid every value above ``k`` (optionally only under ``guard``)."""
+        prefix = [neg(guard)] if guard is not None else []
+        if k < 0:
+            self.ctx.add(prefix)
+            return
+        for v in range(k + 1, self.size):
+            self.ctx.add(prefix + [neg(self.selectors[v])])
+
+    # -- ordering ------------------------------------------------------
+
+    def less_than(self, other: "StepVar") -> None:
+        """Enforce ``self < other`` (given both guarded at-least-ones)."""
+        self._order(other, strict=True)
+
+    def less_equal(self, other: "StepVar") -> None:
+        """Enforce ``self <= other`` (given both guarded at-least-ones)."""
+        self._order(other, strict=False)
+
+    def _order(self, other: "StepVar", strict: bool) -> None:
+        if not isinstance(other, StepVar):
+            raise TypeError("cannot compare mixed encodings")
+        self._orders.append((other, strict))
+        self._order_clauses(other, strict, 0, 0)
+
+    def _order_clauses(
+        self, other: "StepVar", strict: bool, old_self: int, old_other: int
+    ) -> None:
+        """Pairwise conflicts; skips pairs already emitted below the olds."""
+        ctx = self.ctx
+        selectors = self.selectors
+        for v in range(self.size):
+            hi = min(v + 1 if strict else v, other.size)
+            lo = 0 if v >= old_self else old_other
+            for w in range(lo, hi):
+                ctx.add([neg(selectors[v]), neg(other.selectors[w])])
+
+    def neq(self, other: "StepVar") -> None:
+        for v in range(min(self.size, other.size)):
+            self.ctx.add([neg(self.selectors[v]), neg(other.selectors[v])])
+
+    # -- extension -----------------------------------------------------
+
+    def grow(self, new_size: int) -> List[int]:
+        """Append selectors (and their at-most-one pairs) up to ``new_size``.
+
+        Returns the new selector literals.  The caller must re-issue its
+        guarded at-least-one over the full selector list afterwards, and
+        call :meth:`extend_orders` once every related variable has grown.
+        """
+        old = self.size
+        if new_size <= old:
+            return []
+        ctx = self.ctx
+        for _ in range(old, new_size):
+            self.selectors.append(ctx.new_bool())
+        for b in range(old, new_size):
+            zb = neg(self.selectors[b])
+            for a in range(b):
+                ctx.add([neg(self.selectors[a]), zb])
+        return self.selectors[old:]
+
+    def extend_orders(self, old_size: int) -> None:
+        """Complete recorded ordering matrices after growth.
+
+        ``old_size`` is the size *both* sides had when the orderings were
+        last complete (the encoder grows all time variables in lockstep).
+        """
+        for other, strict in self._orders:
+            self._order_clauses(other, strict, old_size, old_size)
+
+    # -- model reading -------------------------------------------------
+
+    def decode(self, model: Sequence[bool]) -> int:
+        for v, lit in enumerate(self.selectors):
+            if model[lit >> 1] ^ bool(lit & 1):
+                return v
+        raise ValueError(
+            "step variable has no true selector in model (was the horizon "
+            "activation literal assumed?)"
+        )
+
+    def polarity_hints(self, value: int) -> Dict[int, bool]:
+        if not 0 <= value < self.size:
+            raise ValueError(f"value {value} outside domain [0, {self.size})")
+        return {lit >> 1: (v == value) ^ bool(lit & 1) for v, lit in enumerate(self.selectors)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"StepVar(size={self.size})"
