@@ -1,7 +1,7 @@
-"""Fixed-workload perf regression harness (PR 2 acceptance numbers).
+"""Fixed-workload perf regression harness (PR 2 + PR 3 acceptance numbers).
 
 Runs a small, deterministic workload suite against the in-tree solver and
-writes the measurements to a JSON file (``BENCH_PR2.json`` at the repo root
+writes the measurements to a JSON file (``BENCH_PR3.json`` at the repo root
 by default):
 
 * **prop_network** — a pure unit-propagation workload (long binary
@@ -12,7 +12,13 @@ by default):
 * **queko_synthesis** — ``optimize_depth`` on QUEKO circuits built for a
   2x3 grid but synthesized on a 6-qubit line, so SWAPs push the optimum
   past the dependency bound and the relax phase must grow the horizon —
-  exercising :meth:`LayoutEncoder.extend_horizon` learnt-clause reuse.
+  exercising :meth:`LayoutEncoder.extend_horizon` learnt-clause reuse;
+* **parallel_portfolio** — the PR 3 acceptance workload: the same QUEKO
+  SWAP-minimisation instance solved sequentially, by the *independent*
+  :class:`PortfolioSynthesizer`, and by the *cooperating*
+  :class:`ParallelDescent` (bound splitting + clause sharing) at 1/2/4
+  workers, recording wall time, conflicts, and clauses
+  shared/imported/pruned per worker count.
 
 Usage::
 
@@ -186,12 +192,110 @@ def bench_queko_synthesis(tiny: bool) -> dict:
     }
 
 
+def bench_parallel_portfolio(tiny: bool) -> dict:
+    """Sequential vs independent vs cooperating portfolio (PR 3 numbers).
+
+    On a single-core box the cooperating portfolio cannot win on raw
+    parallelism; the interesting comparison is *total work*: bound
+    splitting stops N workers from each re-walking the full descent, and
+    clause sharing lets one worker's conflicts prune another's search, so
+    the cooperating runs should match the sequential optimum with fewer
+    summed conflicts (and less wall time) than the independent race at
+    the same worker count.
+    """
+    from repro.core import (
+        ParallelDescent,
+        PortfolioEntry,
+        PortfolioSynthesizer,
+    )
+
+    source = grid(2, 3)
+    target = linear(6)
+    # Tiny keeps CI in seconds; the full instance is hard enough (~15 s
+    # sequential) that probe work dominates worker startup, which is what
+    # makes cooperation visible on wall clock even on one core.
+    if tiny:
+        inst = queko_circuit(source, depth=4, n_gates=12, seed=3)
+        workload = "queko-2x3-d4g12s3-on-line6"
+    else:
+        inst = queko_circuit(source, depth=6, n_gates=18, seed=1)
+        workload = "queko-2x3-d6g18s1-on-line6"
+    budget = 60.0 if tiny else 240.0
+    base = dict(
+        swap_duration=1,
+        tub_ratio=1.0,
+        time_budget=budget,
+        solve_time_budget=budget / 2,
+    )
+    variants = [
+        SynthesisConfig(**base),
+        SynthesisConfig(cardinality="totalizer", **base),
+        SynthesisConfig(injectivity="channeling", **base),
+        SynthesisConfig(cardinality="adder", **base),
+    ]
+
+    def entries(n):
+        return [
+            PortfolioEntry(f"w{i}", variants[i % len(variants)])
+            for i in range(n)
+        ]
+
+    report: dict = {
+        "workload": workload,
+        "objective": "swap",
+        "runs": {},
+    }
+
+    start = time.perf_counter()
+    seq = IterativeSynthesizer(
+        inst.circuit, target, SynthesisConfig(**base)
+    ).optimize_swaps()
+    report["runs"]["sequential"] = {
+        "wall_sec": round(time.perf_counter() - start, 4),
+        "swaps": seq.swap_count,
+        "optimal": seq.optimal,
+        "conflicts": seq.solver_stats.get("conflicts", 0),
+    }
+    print(f"  sequential: {report['runs']['sequential']}", flush=True)
+
+    counts = (2,) if tiny else (1, 2, 4)
+    for n in counts:
+        start = time.perf_counter()
+        res = PortfolioSynthesizer(entries(n), time_budget=budget).synthesize(
+            inst.circuit, target, objective="swap"
+        )
+        report["runs"][f"independent-{n}"] = {
+            "wall_sec": round(time.perf_counter() - start, 4),
+            "swaps": res.swap_count,
+            "optimal": res.optimal,
+            "winner_conflicts": res.solver_stats.get("conflicts", 0),
+        }
+        print(f"  independent-{n}: {report['runs'][f'independent-{n}']}", flush=True)
+    for n in counts:
+        start = time.perf_counter()
+        res = ParallelDescent(
+            entries=entries(n), time_budget=budget, slice_budget=0.5
+        ).synthesize(inst.circuit, target, objective="swap")
+        par = res.solver_stats["parallel"]
+        report["runs"][f"cooperating-{n}"] = {
+            "wall_sec": round(time.perf_counter() - start, 4),
+            "swaps": res.swap_count,
+            "optimal": res.optimal,
+            "conflicts": par["conflicts"],
+            "clauses_shared": par["clauses_exported"],
+            "clauses_imported": par["clauses_imported"],
+            "probes_pruned": par["pruned_probes"],
+        }
+        print(f"  cooperating-{n}: {report['runs'][f'cooperating-{n}']}", flush=True)
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
-        help="output JSON path (default: BENCH_PR2.json at the repo root)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
+        help="output JSON path (default: BENCH_PR3.json at the repo root)",
     )
     parser.add_argument(
         "--tiny", action="store_true", help="shrunken workloads for CI smoke runs"
@@ -213,6 +317,8 @@ def main(argv=None) -> int:
     report["results"]["sat_engine"] = bench_sat_engine(args.tiny)
     print("queko_synthesis ...", flush=True)
     report["results"]["queko_synthesis"] = bench_queko_synthesis(args.tiny)
+    print("parallel_portfolio ...", flush=True)
+    report["results"]["parallel_portfolio"] = bench_parallel_portfolio(args.tiny)
 
     if not args.tiny:
         for key in ("prop_network", "sat_engine"):

@@ -43,7 +43,7 @@ class CouplingGraph:
             self.adjacency[b].append(a)
             self.incident_edges[a].append(i)
             self.incident_edges[b].append(i)
-        self._dist: Optional[List[List[int]]] = None
+        self._dist: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     # -- basic queries -----------------------------------------------------
 
@@ -66,11 +66,14 @@ class CouplingGraph:
 
     # -- distances -----------------------------------------------------------
 
-    def distance_matrix(self) -> List[List[int]]:
+    def distance_matrix(self) -> Tuple[Tuple[int, ...], ...]:
         """All-pairs shortest-path distances (BFS; cached).
 
         Unreachable pairs get distance ``n_qubits`` (an impossible real
-        distance, safely larger than any path).
+        distance, safely larger than any path).  The matrix is returned as
+        a read-only tuple-of-tuples: every caller shares the one cached
+        instance, so handing out a mutable list would let any of them
+        silently corrupt the distances for everyone else.
         """
         if self._dist is None:
             n = self.n_qubits
@@ -86,7 +89,7 @@ class CouplingGraph:
                         if row[v] == inf:
                             row[v] = row[u] + 1
                             queue.append(v)
-            self._dist = dist
+            self._dist = tuple(tuple(row) for row in dist)
         return self._dist
 
     def distance(self, p: int, q: int) -> int:

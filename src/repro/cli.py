@@ -44,6 +44,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument("--swap-duration", type=int, default=3)
     comp.add_argument("--time-budget", type=float, default=600.0)
+    comp.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a cooperating portfolio of N worker processes "
+        "(bound splitting + learnt-clause sharing); 0 = sequential",
+    )
+    comp.add_argument(
+        "--no-share",
+        action="store_true",
+        help="with --parallel: split bounds but do not share learnt clauses",
+    )
     comp.add_argument("--output", help="write the mapped circuit as QASM here")
     comp.add_argument(
         "--trace",
@@ -111,6 +124,29 @@ def _cmd_compile(args) -> int:
     try:
         if args.synthesizer == "sabre":
             result = SABRE(swap_duration=args.swap_duration).synthesize(
+                circuit, device, objective=args.objective
+            )
+        elif args.parallel > 0:
+            from .core import ParallelDescent, PortfolioEntry, default_portfolio
+
+            base = default_portfolio(
+                swap_duration=args.swap_duration, time_budget=args.time_budget
+            )
+            entries = [
+                PortfolioEntry(
+                    f"{base[i % len(base)].name}#{i}",
+                    base[i % len(base)].config,
+                    args.synthesizer == "tb-olsq2",
+                )
+                for i in range(args.parallel)
+            ]
+            synthesizer = ParallelDescent(
+                entries=entries,
+                time_budget=args.time_budget,
+                share=not args.no_share,
+                tracer=tracer,
+            )
+            result = synthesizer.synthesize(
                 circuit, device, objective=args.objective
             )
         else:

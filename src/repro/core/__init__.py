@@ -19,6 +19,7 @@ from .interface import (
 )
 from .olsq2 import OLSQ2, TBOLSQ2
 from .optimizer import IterativeSynthesizer, SynthesisTimeout, serialize_blocks
+from .parallel import ParallelDescent
 from .portfolio import PortfolioEntry, PortfolioSynthesizer, default_portfolio
 from .reference import exists_swap_free_mapping, min_swaps_lower_bound
 from .result import SwapEvent, SynthesisResult
@@ -42,6 +43,7 @@ __all__ = [
     "IterativeSynthesizer",
     "SynthesisTimeout",
     "serialize_blocks",
+    "ParallelDescent",
     "PortfolioEntry",
     "PortfolioSynthesizer",
     "default_portfolio",

@@ -102,6 +102,13 @@ class LayoutEncoder:
         # solve (via the context's persistent assumptions) and implied by
         # every depth guard; it arms the at-least-one of each time var.
         self._act: Optional[int] = None
+        # Number of variables after _make_variables at the *initial*
+        # horizon: the pi/time/sigma prefix whose numbering is identical
+        # across every encoder built for the same (circuit, device,
+        # horizon, encoding) — the clause-sharing window (see share_key).
+        self.base_vars = 0
+        self._horizon0 = horizon
+        self._share_key: Optional[tuple] = None
 
     # -- encoding ----------------------------------------------------------
 
@@ -117,6 +124,8 @@ class LayoutEncoder:
             encoding=self.config.encoding,
         ) as span:
             self._traced("variables", self._make_variables)
+            self.base_vars = self.ctx.n_vars
+            self._horizon0 = self.horizon
             if self.initial_mapping is not None:
                 for q, p in enumerate(self.initial_mapping):
                     self.pi[q][0].fix(p)
@@ -185,6 +194,45 @@ class LayoutEncoder:
         """The current horizon's activation literal (see extend_horizon)."""
         self.encode()
         return self._act
+
+    def share_key(self) -> tuple:
+        """The clause-sharing context key for this encoder's base prefix.
+
+        Two workers may exchange learnt clauses over variables below
+        :attr:`base_vars` exactly when their keys are equal: the key pins
+        everything that determines both the *numbering* (circuit shape,
+        device size, initial horizon, variable encoding) and the
+        *semantics* (transition model, SWAP duration, pinned initial
+        mapping) of those variables.  Knobs that only add auxiliary
+        variables above the prefix (injectivity method, cardinality
+        encoding, warm-start hints) deliberately stay out of the key —
+        sharing across those configurations is the whole point.  The key
+        is fixed at first encode: clauses over the initial-horizon prefix
+        stay sound when a worker later extends its horizon in place, since
+        extension only ever appends clauses and every model of the shorter
+        formula extends to the longer one.
+        """
+        self.encode()
+        if self._share_key is None:
+            mapping = (
+                tuple(self.initial_mapping)
+                if self.initial_mapping is not None
+                else None
+            )
+            self._share_key = (
+                "olsq2",
+                self.config.encoding,
+                self.transition_based,
+                self.config.swap_duration,
+                self._horizon0,
+                self.base_vars,
+                self.circuit.num_gates,
+                self.circuit.n_qubits,
+                self.device.n_qubits,
+                self.device.num_edges,
+                mapping,
+            )
+        return self._share_key
 
     def _encode_injectivity(self) -> None:
         for t in range(self.horizon):

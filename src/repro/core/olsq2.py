@@ -36,9 +36,12 @@ class OLSQ2:
 
     transition_based = False
 
-    def __init__(self, config: Optional[SynthesisConfig] = None):
+    def __init__(self, config: Optional[SynthesisConfig] = None, share=None):
         self.config = config or SynthesisConfig()
         self.last_synthesizer: Optional[IterativeSynthesizer] = None
+        # Optional repro.sat.sharing.ShareEndpoint: lets this synthesizer's
+        # solvers trade learnt clauses with portfolio siblings.
+        self.share = share
 
     def _encoder_cls(self):
         from .encoder import LayoutEncoder
@@ -72,6 +75,7 @@ class OLSQ2:
             transition_based=self.transition_based,
             encoder_cls=self._encoder_cls(),
             encoder_kwargs=encoder_kwargs,
+            share=self.share,
         )
         self.last_synthesizer = synthesizer
         if objective == "depth":

@@ -27,6 +27,8 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import depth_upper_bound, longest_chain_length
 from ..sat.result import SatResult
+from ..sat.sharing import ShareClient
+from ..sat.solver import Solver
 from .config import SynthesisConfig
 from .encoder import LayoutEncoder
 from .result import SwapEvent, SynthesisResult
@@ -53,6 +55,7 @@ class IterativeSynthesizer:
         transition_based: bool = False,
         encoder_cls=LayoutEncoder,
         encoder_kwargs: Optional[dict] = None,
+        share=None,
     ):
         self.circuit = circuit
         self.device = device
@@ -64,6 +67,10 @@ class IterativeSynthesizer:
         self.tracer = self.config.make_tracer()
         self._deadline = 0.0
         self.iterations = 0
+        # Optional repro.sat.sharing.ShareEndpoint: when set, every encoder
+        # this synthesizer builds gets a ShareClient so its solver trades
+        # learnt clauses with sibling portfolio workers (see sat.sharing).
+        self.share = share
 
     # -- helpers ---------------------------------------------------------
 
@@ -92,6 +99,13 @@ class IterativeSynthesizer:
             **self.encoder_kwargs,
         )
         encoder.encode()
+        if self.share is not None and isinstance(encoder.ctx.sink, Solver):
+            # A rebuild at a larger horizon renumbers the base prefix, so
+            # each encoder gets a fresh client keyed to its own numbering;
+            # workers on mismatched keys simply drop each other's batches.
+            encoder.ctx.sink.share = ShareClient(
+                self.share, encoder.share_key(), encoder.base_vars
+            )
         if self.config.warm_start == "sabre":
             self._seed_from_sabre(encoder)
         self.encoder = encoder
@@ -128,6 +142,11 @@ class IterativeSynthesizer:
         ) as span:
             started = _time.monotonic()
             status = self.encoder.solve(assumptions=assumptions, time_budget=budget)
+            sink = self.encoder.ctx.sink
+            if self.share is not None and isinstance(sink, Solver):
+                # Post-solve safe point: flush exports and install foreign
+                # clauses even when the query finished without a restart.
+                sink.share_sync()
             verdict = status.value
             if status is SatResult.UNKNOWN and self.tracer.cancelled:
                 verdict = "cancelled"

@@ -1,0 +1,642 @@
+"""Cooperating parallel portfolio: bound splitting + clause sharing.
+
+:class:`~repro.core.portfolio.PortfolioSynthesizer` races *independent*
+workers: every process walks the full Sec. III-B optimization loop on its
+own, so N workers do roughly N times the work of one.  This module makes
+the workers cooperate along two channels:
+
+1. **Bound splitting** — the Sec. III-B loops are sequences of bounded
+   SAT probes ("is depth <= B feasible?").  :class:`ParallelDescent`
+   turns the portfolio into a team of *probe servers*: the coordinator
+   hands each worker a distinct bound from the open interval
+   ``[lb, ub)``, and every verdict shrinks the interval for everyone —
+   an UNSAT at ``B`` prunes every probe at or below ``B`` (monotone:
+   tightening a bound only shrinks the feasible set), a SAT achieving
+   ``d`` retargets every probe at or above ``d``.  With one worker the
+   schedule degenerates to the classic relax-then-descend walk of
+   :class:`~repro.core.optimizer.IterativeSynthesizer`, so the optimum
+   found is the same by construction.
+
+2. **Learnt-clause sharing** — each worker's CDCL solver exports its
+   good learnt clauses (LBD/size-filtered, restricted to the common
+   variable prefix) through a :class:`~repro.sat.sharing.ShareRelay`,
+   so a conflict analysed in one process prunes the search of all the
+   others.  See ``repro.sat.sharing`` for the soundness argument.
+
+Workers are processes (the CDCL loop holds the GIL); the coordinator
+keeps a command queue per worker and one shared result queue.  A worker
+solves in short slices and re-checks its command queue between slices,
+so retargeting latency is bounded by ``slice_budget`` seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import queue as _queue
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import longest_chain_length
+from ..sat.result import SatResult
+from ..sat.sharing import ShareRelay
+from ..sat.solver import Solver
+from ..telemetry import NULL_TRACER
+from .interface import check_initial_mapping, check_objective
+from .optimizer import IterativeSynthesizer, SynthesisTimeout
+from .portfolio import PortfolioEntry, default_portfolio
+from .result import SynthesisResult
+from .validator import validate_result
+
+# Command tuples: ("probe", phase, depth_bound, swap_bound, counter_max)
+# or ("stop",).  Result tuples: ("ready", wid, name),
+# ("verdict", wid, phase, depth_bound, swap_bound, verdict, result,
+#  achieved, stats) or ("error", wid, text).
+
+
+def _worker_stats(synth: IterativeSynthesizer) -> dict:
+    encoder = synth.encoder
+    if encoder is None:
+        return {}
+    stats = encoder.ctx.stats()
+    share = getattr(encoder.ctx.sink, "share", None)
+    if share is not None:
+        for k, v in share.stats.as_dict().items():
+            stats["share_" + k] = v
+    return stats
+
+
+def _descent_worker(
+    wid: int,
+    name: str,
+    config,
+    transition_based: bool,
+    circuit,
+    device,
+    initial_mapping,
+    cmd_q,
+    res_q,
+    endpoint,
+    slice_budget: float,
+    deadline: float,
+) -> None:
+    """Probe server: answer bounded feasibility questions until told to stop.
+
+    Each probe is solved in ``slice_budget``-second slices; between slices
+    the worker exchanges clauses with the bus and drains its command queue
+    so the coordinator can retarget it (keeping only the newest command).
+    """
+    try:
+        synth = IterativeSynthesizer(
+            circuit,
+            device,
+            config=config,
+            transition_based=transition_based,
+            encoder_kwargs=(
+                {"initial_mapping": initial_mapping}
+                if initial_mapping is not None
+                else {}
+            ),
+            share=endpoint,
+        )
+        encoder = synth._build_encoder(synth._initial_horizon())
+        res_q.put(("ready", wid, name))
+        cmd = cmd_q.get()
+        while cmd[0] != "stop":
+            _, phase, depth_bound, swap_bound, counter_max = cmd
+            started = time.monotonic()
+            if depth_bound > encoder.horizon:
+                horizon = max(depth_bound, math.ceil(encoder.horizon * 1.5))
+                if not encoder.extend_horizon(horizon):
+                    encoder = synth._build_encoder(horizon)
+            if phase == "swap" and encoder._swap_counter is None:
+                encoder.init_swap_counter(max_bound=counter_max)
+            assumptions = [encoder.depth_guard(depth_bound)]
+            if phase == "swap":
+                guard = encoder.swap_guard(swap_bound)
+                if guard is not None:
+                    assumptions.append(guard)
+            cmd = None
+            while cmd is None:
+                budget = min(slice_budget, deadline - time.monotonic())
+                if budget <= 0:
+                    res_q.put(
+                        ("verdict", wid, phase, depth_bound, swap_bound,
+                         "unknown", None, None, _worker_stats(synth))
+                    )
+                    cmd = cmd_q.get()
+                    break
+                status = encoder.solve(assumptions=assumptions, time_budget=budget)
+                sink = encoder.ctx.sink
+                if isinstance(sink, Solver):
+                    sink.share_sync()
+                if status is SatResult.SAT:
+                    extraction = encoder.extract()
+                    result = synth._make_result(
+                        extraction,
+                        "depth" if phase == "depth" else "swap",
+                        False,
+                        started,
+                    )
+                    validate_result(result, strict_dependencies=True)
+                    achieved = (
+                        synth._current_bound_of(result),
+                        len(extraction[2]),
+                    )
+                    res_q.put(
+                        ("verdict", wid, phase, depth_bound, swap_bound,
+                         "sat", result, achieved, _worker_stats(synth))
+                    )
+                    cmd = cmd_q.get()
+                elif status is SatResult.UNSAT:
+                    res_q.put(
+                        ("verdict", wid, phase, depth_bound, swap_bound,
+                         "unsat", None, None, _worker_stats(synth))
+                    )
+                    cmd = cmd_q.get()
+                else:
+                    # Slice expired: adopt the newest retarget, if any.
+                    try:
+                        while True:
+                            cmd = cmd_q.get_nowait()
+                    except _queue.Empty:
+                        pass
+        res_q.put(("verdict", wid, "stopped", 0, 0, "stopped", None, None,
+                   _worker_stats(synth)))
+    except Exception as exc:  # pragma: no cover - surfaced to coordinator
+        res_q.put(("error", wid, f"{type(exc).__name__}: {exc}"))
+
+
+class _WorkerPool:
+    """Coordinator-side bookkeeping: who is probing what, who is idle."""
+
+    def __init__(self, cmd_qs, res_q, names: List[str]):
+        self.cmd_qs = cmd_qs
+        self.res_q = res_q
+        self.names = names
+        n = len(names)
+        self.alive: Set[int] = set(range(n))
+        self.idle: Set[int] = set(range(n))
+        #: wid -> (phase, depth_bound, swap_bound) of the newest command.
+        self.assigned: Dict[int, Optional[Tuple[str, int, Optional[int]]]] = {}
+        self.stats: Dict[int, dict] = {}
+        self.errors: List[Tuple[str, str]] = []
+
+    def send(self, wid: int, cmd) -> None:
+        self.assigned[wid] = (cmd[1], cmd[2], cmd[3])
+        self.idle.discard(wid)
+        self.cmd_qs[wid].put(cmd)
+
+    def taken_bounds(self, phase: str, depth_bound: Optional[int]) -> Set[int]:
+        """Bounds currently being probed (for this phase/round)."""
+        out: Set[int] = set()
+        for wid, probe in self.assigned.items():
+            if wid not in self.alive or probe is None or probe[0] != phase:
+                continue
+            if phase == "swap":
+                if probe[1] == depth_bound:
+                    out.add(probe[2])
+            else:
+                out.add(probe[1])
+        return out
+
+    def recv(self, timeout: float):
+        try:
+            return self.res_q.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+    def note_verdict(self, wid, phase, depth_bound, swap_bound) -> None:
+        """A worker goes idle iff the verdict answers its *newest* command
+        (a verdict for an older probe means a retarget is already queued)."""
+        if self.assigned.get(wid) == (phase, depth_bound, swap_bound):
+            self.assigned[wid] = None
+            self.idle.add(wid)
+
+    def reap(self, procs) -> None:
+        """Drop workers whose process died without reporting an error."""
+        for wid in list(self.alive):
+            if not procs[wid].is_alive():
+                self.alive.discard(wid)
+                self.idle.discard(wid)
+                self.errors.append((self.names[wid], "worker process died"))
+
+
+class ParallelDescent:
+    """Cooperating parallel descent over the Sec. III-B optimization loops.
+
+    Parameters
+    ----------
+    entries:
+        Portfolio configurations, one worker each.  All entries must agree
+        on ``transition_based`` (bound units must be comparable).  Default:
+        :func:`~repro.core.portfolio.default_portfolio`, cycled to
+        ``n_workers`` entries.
+    n_workers:
+        Worker count when ``entries`` is not given (default 2).
+    share:
+        Exchange learnt clauses between workers (needs >= 2 workers).
+    slice_budget:
+        Seconds per solver slice; bounds the retargeting latency.
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Sequence[PortfolioEntry]] = None,
+        n_workers: Optional[int] = None,
+        time_budget: float = 300.0,
+        share: bool = True,
+        slice_budget: float = 1.0,
+        share_buffer: int = 64,
+        swap_duration: int = 3,
+        tracer=None,
+    ):
+        if entries is None:
+            base = default_portfolio(
+                swap_duration=swap_duration, time_budget=time_budget
+            )
+            n = n_workers if n_workers is not None else 2
+            entries = [
+                PortfolioEntry(
+                    f"{base[i % len(base)].name}#{i}",
+                    base[i % len(base)].config,
+                    base[i % len(base)].transition_based,
+                )
+                for i in range(max(1, n))
+            ]
+        elif n_workers is not None and n_workers != len(entries):
+            entries = [entries[i % len(entries)] for i in range(max(1, n_workers))]
+        self.entries = list(entries)
+        if not self.entries:
+            raise ValueError("ParallelDescent needs at least one entry")
+        if len({e.transition_based for e in self.entries}) > 1:
+            raise ValueError(
+                "ParallelDescent workers must share one transition model; "
+                "mixing time-resolved and transition-based entries would "
+                "make their depth bounds incomparable"
+            )
+        self.time_budget = time_budget
+        self.share = share
+        self.slice_budget = slice_budget
+        self.share_buffer = share_buffer
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.outcomes: List[Tuple[str, Optional[str]]] = []
+
+    # -- public API -------------------------------------------------------
+
+    def synthesize(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        *,
+        objective: str = "depth",
+        initial_mapping: Optional[Sequence[int]] = None,
+    ) -> SynthesisResult:
+        check_objective("ParallelDescent", objective)
+        mapping = check_initial_mapping(circuit, device, initial_mapping)
+        n = len(self.entries)
+        started = time.monotonic()
+        ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
+        )
+        relay = None
+        endpoints: List[Optional[object]] = [None] * n
+        if self.share and n > 1:
+            relay = ShareRelay(
+                n,
+                buffer=self.share_buffer,
+                queue_factory=lambda: ctx.Queue(self.share_buffer),
+            )
+            endpoints = [relay.endpoint(i) for i in range(n)]
+            relay.start()
+        res_q = ctx.Queue()
+        cmd_qs = [ctx.Queue() for _ in range(n)]
+        # Workers outlive the depth deadline when a swap phase follows
+        # (the sequential loop also re-arms its deadline between phases).
+        worker_deadline = started + self.time_budget * (
+            2 if objective == "swap" else 1
+        ) + 30.0
+        procs = []
+        for wid, entry in enumerate(self.entries):
+            cfg = entry.config.replace(
+                tracer=None, progress_callback=None, verbose=False
+            )
+            procs.append(
+                ctx.Process(
+                    target=_descent_worker,
+                    args=(wid, entry.name, cfg, entry.transition_based,
+                          circuit, device, mapping, cmd_qs[wid], res_q,
+                          endpoints[wid], self.slice_budget, worker_deadline),
+                    daemon=True,
+                )
+            )
+        for proc in procs:
+            proc.start()
+        pool = _WorkerPool(cmd_qs, res_q, [e.name for e in self.entries])
+        counters = {"pruned": 0}
+        try:
+            with self.tracer.span(
+                "parallel.synthesize",
+                workers=n,
+                objective=objective,
+                share=relay is not None,
+            ):
+                result = self._run(
+                    circuit, objective, pool, procs, counters, started
+                )
+        finally:
+            for q in cmd_qs:
+                try:
+                    q.put_nowait(("stop",))
+                except Exception:
+                    pass
+            # Give workers one slice to exit cleanly and report their final
+            # counters; whatever is still alive after that gets terminated.
+            stop_deadline = time.monotonic() + min(2.0, 2 * self.slice_budget)
+            waiting = set(pool.alive)
+            while waiting and time.monotonic() < stop_deadline:
+                msg = pool.recv(timeout=0.1)
+                if msg is None:
+                    pool.reap(procs)
+                    waiting &= pool.alive
+                    continue
+                if msg[0] == "verdict":
+                    pool.stats[msg[1]] = msg[8]
+                    if msg[2] == "stopped":
+                        waiting.discard(msg[1])
+                elif msg[0] == "error":
+                    waiting.discard(msg[1])
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5)
+            if relay is not None:
+                relay.stop()
+        self.outcomes = [(name, err) for name, err in pool.errors]
+        result.wall_time = time.monotonic() - started
+        result.solver_stats = dict(result.solver_stats)
+        per_worker = {
+            pool.names[wid]: pool.stats.get(wid, {}) for wid in range(n)
+        }
+        parallel = {
+            "workers": n,
+            "share": relay is not None,
+            "pruned_probes": counters["pruned"],
+            "clauses_exported": sum(
+                s.get("exported_clauses", 0) for s in per_worker.values()
+            ),
+            "clauses_imported": sum(
+                s.get("imported_clauses", 0) for s in per_worker.values()
+            ),
+            "conflicts": sum(
+                s.get("conflicts", 0) for s in per_worker.values()
+            ),
+            "per_worker": per_worker,
+        }
+        if relay is not None:
+            parallel["relay"] = relay.stats()
+        result.solver_stats["parallel"] = parallel
+        self.tracer.event("parallel.summary", **{
+            k: v for k, v in parallel.items() if k != "per_worker"
+        })
+        return result
+
+    # -- phases -----------------------------------------------------------
+
+    def _run(self, circuit, objective, pool, procs, counters, started):
+        tb = self.entries[0].transition_based
+        t_lb = max(1, 1 if tb else longest_chain_length(circuit))
+        deadline = started + self.time_budget
+        best: Dict[str, object] = {"result": None, "name": "", "key": None}
+
+        def apply_depth_sat(payload, achieved, d, s, wid, stale):
+            key = (achieved[0], achieved[1])
+            if best["result"] is None or key < best["key"]:
+                best.update(result=payload, name=pool.names[wid], key=key)
+            return achieved[0]
+
+        with self.tracer.span("parallel.phase", phase="depth") as span:
+            lb, ub, proven = self._race(
+                pool, procs, "depth", t_lb, None, None,
+                [t_lb], tb, apply_depth_sat, deadline, counters,
+            )
+            span.set(lb=lb, ub=ub, proven=proven)
+        if best["result"] is None:
+            raise SynthesisTimeout(
+                "no worker found a schedule within the time budget; "
+                f"errors: {pool.errors}"
+            )
+        if objective == "depth":
+            result = best["result"]
+            result.optimal = proven
+            result.solver_stats = dict(result.solver_stats)
+            result.solver_stats["portfolio_winner"] = best["name"]
+            return result
+        return self._swap_phase(
+            pool, procs, best, ub, counters, started
+        )
+
+    def _swap_phase(self, pool, procs, best, depth_ub, counters, started):
+        """2-D Pareto search (Sec. III-B.2), with each round's swap descent
+        parallelised the same way as the depth phase."""
+        deadline = time.monotonic() + self.time_budget
+        depth_result = best["result"]
+        depth_bound = depth_ub
+        best_swaps = len(getattr(depth_result, "_raw_swaps", depth_result.swaps))
+        counter_max = best_swaps
+        max_rounds = self.entries[0].config.max_pareto_rounds
+        pareto: List[Tuple[int, int]] = []
+        proven_any = False
+        rounds = 0
+        while True:
+            entering = best_swaps
+            round_floor = {"value": best_swaps}
+
+            def apply_swap_sat(payload, achieved, d, s, wid, stale,
+                               _floor=round_floor, _depth=depth_bound):
+                nonlocal best_swaps
+                if not stale and d == _depth:
+                    _floor["value"] = min(_floor["value"], achieved[1])
+                if achieved[1] < best_swaps:
+                    best_swaps = achieved[1]
+                    best.update(result=payload, name=pool.names[wid])
+                    return achieved[1]
+                return None
+
+            with self.tracer.span(
+                "parallel.phase", phase="swap", round=rounds + 1,
+                depth_bound=depth_bound,
+            ) as span:
+                _lb, ub, proven = self._race(
+                    pool, procs, "swap", 0, best_swaps, depth_bound,
+                    None, False, apply_swap_sat, deadline, counters,
+                    counter_max=counter_max,
+                )
+                best_swaps = min(best_swaps, ub)
+                span.set(swaps=best_swaps, proven=proven)
+            pareto.append((depth_bound, round_floor["value"]))
+            proven_any = proven_any or proven
+            rounds += 1
+            if best_swaps == 0:
+                proven_any = True
+                break
+            if (
+                rounds > max_rounds
+                or time.monotonic() >= deadline
+                or not pool.alive
+            ):
+                break
+            if rounds > 1 and best_swaps >= entering:
+                break  # relaxing depth no longer helps
+            depth_bound += 1
+
+        result = best["result"]
+        result.objective = "swap"
+        result.optimal = proven_any
+        result.pareto_points = pareto
+        result.solver_stats = dict(result.solver_stats)
+        result.solver_stats["portfolio_winner"] = best["name"]
+        return result
+
+    # -- the interval race ------------------------------------------------
+
+    def _race(
+        self,
+        pool: _WorkerPool,
+        procs,
+        phase: str,
+        lb: int,
+        ub: Optional[int],
+        depth_bound: Optional[int],
+        rung_state: Optional[List[int]],
+        tb: bool,
+        apply_sat,
+        deadline: float,
+        counters: dict,
+        counter_max: Optional[int] = None,
+    ) -> Tuple[int, Optional[int], bool]:
+        """Drive the pool over probe bounds in ``[lb, ub)`` until the
+        interval empties (optimality proven) or the deadline passes.
+
+        ``ub is None`` starts in *relax* mode: probes walk the geometric
+        ladder in ``rung_state`` until the first SAT establishes ``ub``.
+        Returns ``(lb, ub, proven)``.
+        """
+        cfg = self.entries[0].config
+
+        def next_rung(b: int) -> int:
+            if tb:
+                return b + 1
+            ratio = (
+                cfg.depth_relax_small
+                if b < cfg.depth_relax_threshold
+                else cfg.depth_relax_large
+            )
+            return max(b + 1, math.ceil(ratio * b))
+
+        def make_cmd(b: int):
+            if phase == "swap":
+                return ("probe", "swap", depth_bound, b, counter_max)
+            return ("probe", "depth", b, None, None)
+
+        def pick() -> Optional[int]:
+            if ub is None:
+                b = rung_state[0]
+                rung_state[0] = next_rung(b)
+                return b
+            hi = ub - 1
+            if hi < lb:
+                return None
+            taken = pool.taken_bounds(phase, depth_bound)
+            k = max(1, len(pool.alive))
+            width = hi - lb
+            # Quantile split of the open interval: worker 0 probes the
+            # classic descend bound ub-1, the rest bisect what remains.
+            for j in range(k):
+                b = hi - (j * width) // k
+                if b >= lb and b not in taken:
+                    return b
+            for b in range(hi, lb - 1, -1):
+                if b not in taken:
+                    return b
+            return None
+
+        while True:
+            if ub is not None and lb >= ub:
+                return lb, ub, True
+            if time.monotonic() >= deadline or not pool.alive:
+                return lb, ub, False
+            for wid in sorted(pool.idle & pool.alive):
+                b = pick()
+                if b is None:
+                    break
+                pool.send(wid, make_cmd(b))
+                self.tracer.event(
+                    "parallel.dispatch", worker=wid, phase=phase,
+                    bound=b, depth_bound=depth_bound,
+                )
+            # Retarget busy workers whose probe the interval has outrun,
+            # plus ones still chewing on a previous phase's or round's probe.
+            for wid in sorted(pool.alive - pool.idle):
+                probe = pool.assigned.get(wid)
+                if probe is None:
+                    continue
+                if probe[0] == phase and (
+                    phase != "swap" or probe[1] == depth_bound
+                ):
+                    b = probe[2] if phase == "swap" else probe[1]
+                    if not (b < lb or (ub is not None and b >= ub)):
+                        continue
+                    reason = "unsat_below" if b < lb else "sat_above"
+                else:
+                    b = probe[2] if probe[0] == "swap" else probe[1]
+                    reason = "stale"
+                nb = pick()
+                if nb is None:
+                    continue
+                counters["pruned"] += 1
+                self.tracer.event(
+                    "parallel.prune", worker=wid, phase=phase, bound=b,
+                    reason=reason,
+                )
+                pool.send(wid, make_cmd(nb))
+            msg = pool.recv(
+                timeout=min(0.25, max(0.01, deadline - time.monotonic()))
+            )
+            if msg is None:
+                pool.reap(procs)
+                continue
+            kind = msg[0]
+            if kind == "ready":
+                continue
+            if kind == "error":
+                wid = msg[1]
+                pool.errors.append((pool.names[wid], msg[2]))
+                pool.alive.discard(wid)
+                pool.idle.discard(wid)
+                continue
+            _, wid, vphase, d, s, verdict, payload, achieved, stats = msg
+            pool.stats[wid] = stats
+            pool.note_verdict(wid, vphase, d, s)
+            self.tracer.event(
+                "parallel.verdict", worker=wid, phase=vphase,
+                depth_bound=d, swap_bound=s, verdict=verdict,
+            )
+            if verdict == "sat":
+                # A solution is a solution even when the probe is stale
+                # (e.g. a depth-phase answer landing mid-swap-phase).
+                new_ub = apply_sat(payload, achieved, d, s, wid, vphase != phase)
+                if new_ub is not None:
+                    ub = new_ub if ub is None else min(ub, new_ub)
+            elif verdict == "unsat" and vphase == phase:
+                if phase == "swap":
+                    # UNSAT at a *tighter* depth proves nothing here.
+                    if d == depth_bound and s >= lb:
+                        lb = s + 1
+                elif d >= lb:
+                    lb = d + 1

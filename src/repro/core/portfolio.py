@@ -23,12 +23,14 @@ portfolio genuinely uses multiple cores.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as _queue
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
+from ..sat.sharing import ShareRelay
 from .config import SynthesisConfig
 from .interface import check_initial_mapping, check_objective
 from .olsq2 import OLSQ2, TBOLSQ2
@@ -69,11 +71,19 @@ def default_portfolio(
     ]
 
 
-def _worker(entry: PortfolioEntry, circuit, device, objective, initial_mapping, queue) -> None:
+def _worker(
+    entry: PortfolioEntry,
+    circuit,
+    device,
+    objective,
+    initial_mapping,
+    queue,
+    share=None,
+) -> None:
     """Run one configuration; push (name, result-or-None, error) to the queue."""
     try:
         cls = TBOLSQ2 if entry.transition_based else OLSQ2
-        result = cls(entry.config).synthesize(
+        result = cls(entry.config, share=share).synthesize(
             circuit, device, objective=objective, initial_mapping=initial_mapping
         )
         validate_result(result, strict_dependencies=True)
@@ -91,6 +101,8 @@ class PortfolioSynthesizer:
         self,
         entries: Optional[Sequence[PortfolioEntry]] = None,
         time_budget: float = 300.0,
+        share: bool = False,
+        share_buffer: int = 64,
     ):
         self.entries = list(entries) if entries is not None else default_portfolio(
             time_budget=time_budget
@@ -98,6 +110,11 @@ class PortfolioSynthesizer:
         if not self.entries:
             raise ValueError("portfolio needs at least one entry")
         self.time_budget = time_budget
+        # Learnt-clause sharing between workers (see repro.sat.sharing).
+        # Off by default: the independent race is the paper's Sec. V
+        # proposal; ParallelDescent turns it on.
+        self.share = share
+        self.share_buffer = share_buffer
         self.outcomes: List[Tuple[str, Optional[str]]] = []
 
     def synthesize(
@@ -112,13 +129,24 @@ class PortfolioSynthesizer:
         mapping = check_initial_mapping(circuit, device, initial_mapping)
         ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
         queue: mp.Queue = ctx.Queue()
+        relay = None
+        endpoints: List[Optional[object]] = [None] * len(self.entries)
+        if self.share and len(self.entries) > 1:
+            relay = ShareRelay(
+                len(self.entries),
+                buffer=self.share_buffer,
+                queue_factory=lambda: ctx.Queue(self.share_buffer),
+            )
+            endpoints = [relay.endpoint(i) for i in range(len(self.entries))]
+            relay.start()
         processes = [
             ctx.Process(
                 target=_worker,
-                args=(entry, circuit, device, objective, mapping, queue),
+                args=(entry, circuit, device, objective, mapping, queue,
+                      endpoints[i]),
                 daemon=True,
             )
-            for entry in self.entries
+            for i, entry in enumerate(self.entries)
         ]
         for proc in processes:
             proc.start()
@@ -132,22 +160,28 @@ class PortfolioSynthesizer:
                 timeout = max(0.05, deadline - time.monotonic())
                 try:
                     name, result, error = queue.get(timeout=timeout)
-                except Exception:
-                    break  # queue.Empty: overall deadline reached
+                except _queue.Empty:
+                    break  # overall deadline reached
                 pending -= 1
                 self.outcomes.append((name, error))
                 if result is None:
                     continue
                 if self._better(result, best, objective):
                     best, best_name = result, name
-                if best is not None and best.optimal and objective == "depth":
-                    break  # first optimality proof settles the race
+                if best is not None and best.optimal:
+                    # First optimality proof settles the race for either
+                    # objective: all exact configurations agree on the
+                    # optimal depth, and a proven-Pareto SWAP result cannot
+                    # be beaten on the primary key either.
+                    break
         finally:
             for proc in processes:
                 if proc.is_alive():
                     proc.terminate()
             for proc in processes:
                 proc.join(timeout=5)
+            if relay is not None:
+                relay.stop()
         if best is None:
             raise SynthesisTimeout(
                 "no portfolio configuration produced a solution in budget; "

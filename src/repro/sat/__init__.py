@@ -14,6 +14,12 @@ from .preprocess import (
 from .proof import ProofError, check_unsat_proof, is_rup, proof_stats
 from .reference import brute_force_solve, count_models
 from .result import SatResult
+from .sharing import (
+    ShareClient,
+    ShareEndpoint,
+    ShareRelay,
+    clause_signature,
+)
 from .solver import Clause, Solver, SolverStats, luby
 from .types import (
     FALSE,
@@ -39,6 +45,10 @@ __all__ = [
     "is_rup",
     "proof_stats",
     "SatResult",
+    "ShareClient",
+    "ShareEndpoint",
+    "ShareRelay",
+    "clause_signature",
     "Solver",
     "SolverStats",
     "luby",

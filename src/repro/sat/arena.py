@@ -76,8 +76,13 @@ class ClauseArena:
 
     # -- allocation ----------------------------------------------------
 
-    def alloc(self, literals: Sequence[int], learnt: bool = False) -> int:
-        """Store a clause; returns its (stable) reference."""
+    def alloc(self, literals: Sequence[int], learnt: bool = False, lbd: int = 0) -> int:
+        """Store a clause; returns its (stable) reference.
+
+        ``lbd`` seeds the clause's literal-block-distance metadata so
+        callers that know it at allocation time (conflict analysis, clause
+        import) need not write ``self.lbd[cref]`` separately.
+        """
         cref = self._free.pop() if self._free else -1
         base = len(self.lits)
         self.lits.extend(literals)
@@ -86,14 +91,14 @@ class ClauseArena:
             self.start.append(base)
             self.size.append(len(literals))
             self.learnt.append(1 if learnt else 0)
-            self.lbd.append(0)
+            self.lbd.append(lbd)
             self.spos.append(2)
             self.act.append(0.0)
         else:
             self.start[cref] = base
             self.size[cref] = len(literals)
             self.learnt[cref] = 1 if learnt else 0
-            self.lbd[cref] = 0
+            self.lbd[cref] = lbd
             self.spos[cref] = 2
             self.act[cref] = 0.0
         self.n_live += 1

@@ -1,0 +1,255 @@
+"""Learnt-clause sharing between cooperating solver instances.
+
+The paper's future-work section (Sec. V) proposes a parallel portfolio over
+"a wide range of objective bounds [and] different encoding methods".  An
+independent portfolio throws away every clause the losing workers learn;
+this module is the channel that lets them cooperate instead, in the style
+of clause-sharing portfolio SAT solvers (ManySAT, HordeSat lineage).
+
+Pieces, from the solver outward:
+
+* :func:`clause_signature` — deterministic 64-bit FNV-1a signature of a
+  clause, used for cheap per-worker duplicate suppression (a false
+  collision merely drops one shareable clause, which is always safe);
+* :class:`ShareClient` — attached to a :class:`repro.sat.Solver` as its
+  ``share`` hook: collects freshly learnt clauses passing an LBD/size/
+  variable-range filter, and exchanges them with the bus at restart
+  boundaries (the solver's level-0 safe points);
+* :class:`ShareEndpoint` — one worker's pair of queue handles (outbound to
+  everyone, inbound from everyone), picklable across ``multiprocessing``;
+* :class:`ShareRelay` — the hub owned by the coordinating process: a
+  background thread fans every published batch out to every *other*
+  worker's bounded inbound queue, dropping batches when a consumer lags
+  (sharing is best-effort; correctness never depends on delivery).
+
+Soundness: a learnt clause is a logical consequence of the emitting
+worker's *formula* (never of its assumptions — conflict analysis resolves
+assumptions away or keeps them as literals of the clause).  Two workers
+may exchange clauses only when the variables mentioned have the same
+meaning in both, so every batch carries a *context key* describing the
+variable numbering it was learnt under (see
+:meth:`repro.core.encoder.LayoutEncoder.share_key`); receivers drop
+batches whose key differs from their own.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Export at most this many clauses per exchange (bounded buffer).
+MAX_BATCH = 256
+#: Default shared-clause quality filter: LBD <= 4 or binary, and small.
+MAX_SHARED_LBD = 4
+MAX_SHARED_SIZE = 8
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def clause_signature(lits: Iterable[int]) -> int:
+    """Order-independent 64-bit signature of a clause.
+
+    FNV-1a over each literal, combined with XOR so permutations of the
+    same literal multiset collide by construction; deterministic across
+    processes (unlike ``hash``), so exporter-side and importer-side dedup
+    sets agree on what has been seen.
+    """
+    acc = 0
+    for lit in lits:
+        h = _FNV_OFFSET
+        x = lit & _MASK64
+        while True:
+            h = ((h ^ (x & 0xFF)) * _FNV_PRIME) & _MASK64
+            x >>= 8
+            if not x:
+                break
+        acc ^= h
+    return acc
+
+
+class ShareStats:
+    """Counters for one worker's sharing activity."""
+
+    __slots__ = ("exported", "imported", "dropped_full", "dropped_key", "dropped_dup")
+
+    def __init__(self) -> None:
+        self.exported = 0
+        self.imported = 0
+        self.dropped_full = 0  # publish hit a full outbound queue
+        self.dropped_key = 0  # foreign batch had a mismatched context key
+        self.dropped_dup = 0  # clause already seen (signature dedup)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ShareEndpoint:
+    """One worker's handles on the share bus (picklable across fork/spawn)."""
+
+    def __init__(self, worker_id: int, outbound, inbound):
+        self.worker_id = worker_id
+        self.outbound = outbound
+        self.inbound = inbound
+
+    def publish(self, key, clauses: Sequence[Tuple[Tuple[int, ...], int]]) -> bool:
+        """Best-effort non-blocking publish; False when the bus was full."""
+        try:
+            self.outbound.put_nowait((self.worker_id, key, list(clauses)))
+            return True
+        except queue.Full:
+            return False
+
+    def drain(self) -> List[Tuple[object, List[Tuple[Tuple[int, ...], int]]]]:
+        """All batches currently waiting on the inbound queue."""
+        out = []
+        while True:
+            try:
+                _wid, key, clauses = self.inbound.get_nowait()
+            except queue.Empty:
+                break
+            out.append((key, clauses))
+        return out
+
+
+class ShareClient:
+    """The solver-side half of clause sharing.
+
+    Attach as ``solver.share``; the solver then calls :meth:`offer` for
+    every learnt clause and :meth:`exchange` at restart boundaries (and
+    callers may invoke :meth:`repro.sat.Solver.share_sync` between solves).
+    ``var_limit`` restricts sharing to the common variable prefix — clauses
+    mentioning any variable at or beyond it (encoder-private auxiliaries,
+    bound guards) are never exported.
+    """
+
+    def __init__(
+        self,
+        endpoint: ShareEndpoint,
+        key,
+        var_limit: int,
+        max_lbd: int = MAX_SHARED_LBD,
+        max_size: int = MAX_SHARED_SIZE,
+        max_batch: int = MAX_BATCH,
+    ):
+        self.endpoint = endpoint
+        self.key = key
+        self.lit_limit = 2 * var_limit
+        self.max_lbd = max_lbd
+        self.max_size = max_size
+        self.max_batch = max_batch
+        self.stats = ShareStats()
+        self._seen: set = set()
+        self._out: List[Tuple[Tuple[int, ...], int]] = []
+
+    def offer(self, lits: Sequence[int], lbd: int) -> None:
+        """Consider one freshly learnt clause for export."""
+        n = len(lits)
+        if n > self.max_size or (n > 2 and lbd > self.max_lbd):
+            return
+        limit = self.lit_limit
+        for lit in lits:
+            if lit >= limit:
+                return
+        if len(self._out) >= self.max_batch:
+            self.stats.dropped_full += 1
+            return
+        sig = clause_signature(lits)
+        if sig in self._seen:
+            self.stats.dropped_dup += 1
+            return
+        self._seen.add(sig)
+        self._out.append((tuple(sorted(lits)), lbd))
+
+    def take_imports(self) -> List[Tuple[int, ...]]:
+        """Publish pending exports, then collect deduplicated foreign clauses."""
+        if self._out:
+            if self.endpoint.publish(self.key, self._out):
+                self.stats.exported += len(self._out)
+            else:
+                self.stats.dropped_full += len(self._out)
+            self._out = []
+        fresh: List[Tuple[int, ...]] = []
+        for key, clauses in self.endpoint.drain():
+            if key != self.key:
+                self.stats.dropped_key += len(clauses)
+                continue
+            for lits, _lbd in clauses:
+                sig = clause_signature(lits)
+                if sig in self._seen:
+                    self.stats.dropped_dup += 1
+                    continue
+                self._seen.add(sig)
+                fresh.append(tuple(lits))
+        return fresh
+
+
+class ShareRelay:
+    """The coordinator-side hub: fan each batch out to all other workers.
+
+    ``queue_factory`` builds the bounded queues — pass
+    ``lambda: mp_context.Queue(maxsize)`` for a process portfolio or leave
+    the default (:class:`queue.Queue`) for in-process tests.  The relay
+    thread is a daemon and never blocks on a slow consumer: batches that
+    do not fit a worker's inbound queue are counted and dropped.
+    """
+
+    def __init__(self, n_workers: int, buffer: int = 64, queue_factory=None):
+        if queue_factory is None:
+            queue_factory = lambda: queue.Queue(maxsize=64)  # noqa: E731
+        self.n_workers = n_workers
+        self.outbound = queue_factory()
+        self.inbounds = [queue_factory() for _ in range(n_workers)]
+        self.relayed = 0
+        self.dropped = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def endpoint(self, worker_id: int) -> ShareEndpoint:
+        return ShareEndpoint(worker_id, self.outbound, self.inbounds[worker_id])
+
+    def start(self) -> "ShareRelay":
+        self._thread = threading.Thread(
+            target=self._run, name="clause-share-relay", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                msg = self.outbound.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            self._fan_out(msg)
+
+    def _fan_out(self, msg) -> None:
+        sender = msg[0]
+        for wid, inbound in enumerate(self.inbounds):
+            if wid == sender:
+                continue
+            try:
+                inbound.put_nowait(msg)
+                self.relayed += 1
+            except queue.Full:
+                self.dropped += 1
+
+    def pump(self) -> None:
+        """Synchronously fan out everything pending (for threadless tests)."""
+        while True:
+            try:
+                msg = self.outbound.get_nowait()
+            except queue.Empty:
+                break
+            self._fan_out(msg)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def stats(self) -> dict:
+        return {"relayed": self.relayed, "dropped": self.dropped}

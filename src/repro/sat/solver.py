@@ -96,6 +96,8 @@ class SolverStats:
         "learnt_literals",
         "removed_clauses",
         "solve_calls",
+        "exported_clauses",
+        "imported_clauses",
         "lbd_counts",
     )
 
@@ -107,6 +109,8 @@ class SolverStats:
         self.learnt_literals = 0
         self.removed_clauses = 0
         self.solve_calls = 0
+        self.exported_clauses = 0
+        self.imported_clauses = 0
         # LBD value -> number of clauses learnt with that LBD (cumulative).
         self.lbd_counts: dict = {}
 
@@ -274,6 +278,11 @@ class Solver:
         # Kept as a plain None-default attribute (not NULL_TRACER) so the
         # disabled-path cost is a single identity check per solve().
         self.tracer = None
+        # Optional repro.sat.sharing.ShareClient: when set, freshly learnt
+        # clauses passing the share filter are exported and foreign clauses
+        # are imported at restart boundaries (the level-0 safe points).
+        # None keeps the solo-solver cost at one identity check per conflict.
+        self.share = None
         self.n_vars = 0
         self.arena = ClauseArena()
         self.clauses: List[int] = []  # crefs of problem clauses
@@ -918,14 +927,15 @@ class Solver:
                 if len(learnt) == 1:
                     self._unchecked_enqueue(learnt[0], NO_CLAUSE)
                 else:
-                    cref = arena.alloc(learnt, learnt=True)
-                    arena.lbd[cref] = lbd
+                    cref = arena.alloc(learnt, learnt=True, lbd=lbd)
                     self.learnts.append(cref)
                     self._attach(cref)
                     self._cla_bump(cref)
                     self._unchecked_enqueue(learnt[0], cref)
                 self.stats.lbd_counts[lbd] = self.stats.lbd_counts.get(lbd, 0) + 1
                 self.stats.learnt_literals += len(learnt)
+                if self.share is not None:
+                    self.share.offer(learnt, lbd)
                 self.var_inc *= self.VAR_DECAY
                 self.cla_inc *= self.CLA_DECAY
                 continue
@@ -941,6 +951,13 @@ class Solver:
                 restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
                 conflicts_this_restart = 0
                 self._cancel_until(0)
+                if self.share is not None:
+                    # Restart = level-0 safe point: flush exports, install
+                    # foreign clauses.  An import can refute the formula.
+                    self._share_exchange()
+                    if not self.ok:
+                        status = False
+                        break
                 if self.tracer is not None:
                     # Restarts are the solver's safe points: surface progress
                     # and poll the cooperative-cancellation flag so a long
@@ -1051,6 +1068,77 @@ class Solver:
                     self.activity[i] *= inv
                 self.var_inc *= inv
             self.order.decrease(var)
+
+    # ------------------------------------------------------------------
+    # Clause sharing (cooperating portfolio workers)
+    # ------------------------------------------------------------------
+
+    def share_sync(self) -> None:
+        """Exchange shared clauses now, if a share client is attached.
+
+        Public safe-point hook for callers that sit between :meth:`solve`
+        calls (the solver itself syncs at every restart); a no-op unless at
+        decision level 0.
+        """
+        if self.share is not None and not self.trail_lim:
+            self._share_exchange()
+
+    def _share_exchange(self) -> None:
+        share = self.share
+        imported = share.take_imports()
+        if imported:
+            self.import_shared(imported)
+        self.stats.exported_clauses = share.stats.exported
+
+    def import_shared(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Install foreign learnt clauses at decision level 0.
+
+        The caller asserts the clauses are logical consequences of this
+        solver's formula (the share bus guarantees it by matching context
+        keys).  Each clause is simplified against the level-0 assignment
+        and then added as a learnt clause pinned at LBD 2, which
+        :meth:`_reduce_db` never evicts.  Returns the solver's ``ok`` flag
+        (an import may refute the formula outright).
+
+        No-op under proof logging: imported clauses are not locally
+        derivable, so they would poison the RUP certificate.
+        """
+        assert not self.trail_lim, "imports only at decision level 0"
+        if self.proof is not None:
+            return self.ok
+        arena = self.arena
+        n_vars = self.n_vars
+        for lits in clauses:
+            if not self.ok:
+                break
+            out: List[int] = []
+            skip = False
+            for lit in lits:
+                if lit >> 1 >= n_vars:
+                    skip = True  # foreign variable: context mismatch guard
+                    break
+                val = self.assigns_lit[lit]
+                if val > 0:
+                    skip = True  # satisfied at level 0
+                    break
+                if val == 0:
+                    continue  # falsified at level 0; strip
+                out.append(lit)
+            if skip:
+                continue
+            self.stats.imported_clauses += 1
+            if not out:
+                self.ok = False
+                break
+            if len(out) == 1:
+                self._unchecked_enqueue(out[0], NO_CLAUSE)
+                self.ok = self._propagate() == NO_CLAUSE
+                continue
+            # Locked low at LBD 2: survives every reduce_db pass.
+            cref = arena.alloc(out, learnt=True, lbd=2)
+            self.learnts.append(cref)
+            self._attach(cref)
+        return self.ok
 
     # ------------------------------------------------------------------
     # Model access

@@ -1,0 +1,53 @@
+"""Shared test fixtures and a minimal ``timeout`` marker.
+
+The multiprocess tests (portfolio, parallel descent, clause sharing) must
+never hang the suite: a worker deadlock would otherwise stall CI until the
+job-level kill.  The ``pytest-timeout`` plugin provides exactly this, but
+it is not part of the baked toolchain, so when it is absent we implement
+the marker ourselves with ``SIGALRM`` (POSIX only; on platforms without
+``SIGALRM`` the marker degrades to a no-op, which only costs the safety
+net, not correctness).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+try:  # the real plugin wins when present
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_HAVE_ALARM = hasattr(signal, "SIGALRM")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(SIGALRM fallback when pytest-timeout is not installed)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if _HAVE_PLUGIN or marker is None or not _HAVE_ALARM:
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else int(marker.kwargs["seconds"])
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(max(1, seconds))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,134 @@
+"""ParallelDescent: cooperating bound-splitting portfolio.
+
+The acceptance property is agreement: whatever the worker count, the
+cooperating portfolio must report the same optimum (with the same
+optimality flag) as the sequential Sec. III-B loops — bound splitting and
+clause sharing are allowed to change *how fast* the answer arrives, never
+*which* answer arrives.
+"""
+
+import pytest
+
+from repro.arch import devices
+from repro.circuit import QuantumCircuit
+from repro.core import (
+    OLSQ2,
+    ParallelDescent,
+    PortfolioEntry,
+    SynthesisConfig,
+    SynthesisTimeout,
+    validate_result,
+)
+
+
+def chain_circuit():
+    qc = QuantumCircuit(4)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(2, 3)
+    qc.cx(0, 2)
+    qc.cx(1, 3)
+    return qc
+
+
+def entry(name="w", **kwargs):
+    kwargs.setdefault("time_budget", 60.0)
+    return PortfolioEntry(name, SynthesisConfig(**kwargs))
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParallelDescent(entries=[])
+
+    def test_rejects_mixed_transition_models(self):
+        cfg = SynthesisConfig()
+        with pytest.raises(ValueError, match="transition model"):
+            ParallelDescent(
+                entries=[
+                    PortfolioEntry("a", cfg, transition_based=False),
+                    PortfolioEntry("b", cfg, transition_based=True),
+                ]
+            )
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            ParallelDescent(entries=[entry()]).synthesize(
+                chain_circuit(), devices.ibm_qx2(), objective="fidelity"
+            )
+
+    def test_cycles_entries_to_n_workers(self):
+        pd = ParallelDescent(entries=[entry("a"), entry("b")], n_workers=3)
+        assert [e.name for e in pd.entries] == ["a", "b", "a"]
+
+
+class TestDepthAgreement:
+    @pytest.mark.timeout(180)
+    def test_single_worker_matches_sequential_optimum(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        seq = OLSQ2(SynthesisConfig(time_budget=60.0)).synthesize(
+            qc, dev, objective="depth"
+        )
+        par = ParallelDescent(
+            entries=[entry()], time_budget=60.0, slice_budget=0.3
+        ).synthesize(qc, dev, objective="depth")
+        assert seq.optimal and par.optimal
+        assert par.depth == seq.depth
+        validate_result(par, strict_dependencies=True)
+
+    @pytest.mark.timeout(180)
+    def test_two_cooperating_workers_match_sequential_optimum(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        seq = OLSQ2(SynthesisConfig(time_budget=60.0)).synthesize(
+            qc, dev, objective="depth"
+        )
+        par = ParallelDescent(
+            n_workers=2, time_budget=60.0, slice_budget=0.3
+        ).synthesize(qc, dev, objective="depth")
+        assert par.optimal
+        assert par.depth == seq.depth
+        validate_result(par, strict_dependencies=True)
+        stats = par.solver_stats["parallel"]
+        assert stats["workers"] == 2
+        assert stats["share"] is True
+        # The cooperative channels must actually have been live.
+        assert "clauses_exported" in stats and "clauses_imported" in stats
+        assert set(stats["per_worker"]) == {"bv#0", "bv+euf#1"}
+
+    @pytest.mark.timeout(180)
+    def test_share_can_be_disabled(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        par = ParallelDescent(
+            n_workers=2, time_budget=60.0, slice_budget=0.3, share=False
+        ).synthesize(qc, dev, objective="depth")
+        stats = par.solver_stats["parallel"]
+        assert stats["share"] is False
+        assert stats["clauses_imported"] == 0
+
+
+class TestSwapAgreement:
+    @pytest.mark.timeout(240)
+    def test_swap_objective_matches_sequential(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        seq = OLSQ2(SynthesisConfig(time_budget=60.0)).synthesize(
+            qc, dev, objective="swap"
+        )
+        par = ParallelDescent(
+            n_workers=2, time_budget=60.0, slice_budget=0.3
+        ).synthesize(qc, dev, objective="swap")
+        assert par.objective == "swap"
+        assert par.swap_count == seq.swap_count
+        assert par.optimal == seq.optimal
+        assert par.pareto_points  # the 2-D search recorded its rounds
+        validate_result(par, strict_dependencies=True)
+
+
+class TestFailureModes:
+    @pytest.mark.timeout(60)
+    def test_timeout_raises_synthesis_timeout(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        pd = ParallelDescent(
+            entries=[entry(time_budget=0.0)], time_budget=0.0, slice_budget=0.2
+        )
+        with pytest.raises(SynthesisTimeout):
+            pd.synthesize(qc, dev, objective="depth")

@@ -1,0 +1,204 @@
+"""Clause sharing: signature/filter units plus differential soundness.
+
+The load-bearing property is that importing another solver's learnt
+clauses can never flip a verdict: on the same formula, a solver seeded
+with foreign learnt clauses must agree with the brute-force reference,
+and its models must still satisfy the original formula.
+"""
+
+import queue
+import random
+
+import pytest
+
+from repro.sat import (
+    CNF,
+    SatResult,
+    ShareClient,
+    ShareEndpoint,
+    ShareRelay,
+    Solver,
+    brute_force_solve,
+    clause_signature,
+    mk_lit,
+)
+
+
+def random_cnf(n_vars, n_clauses, rng):
+    """Mostly-ternary random CNF: wide enough that refutations need real
+    conflict analysis (unit-heavy formulas die to propagation alone and
+    nothing is ever learnt, let alone shared)."""
+    cnf = CNF()
+    cnf.new_vars(n_vars)
+    for _ in range(n_clauses):
+        size = 3 if rng.random() < 0.9 else 2
+        variables = rng.sample(range(n_vars), size)
+        cnf.add_clause(
+            [mk_lit(v, negative=rng.random() < 0.5) for v in variables]
+        )
+    return cnf
+
+
+class TestClauseSignature:
+    def test_order_independent(self):
+        assert clause_signature([2, 5, 9]) == clause_signature([9, 2, 5])
+
+    def test_distinguishes_clauses(self):
+        sigs = {
+            clause_signature(c)
+            for c in ([2], [3], [2, 5], [2, 7], [2, 5, 9], [4, 5, 9])
+        }
+        assert len(sigs) == 6
+
+    def test_deterministic_value(self):
+        # Pinned value: exporter and importer processes must agree.
+        assert clause_signature([0]) == clause_signature((0,))
+        assert clause_signature([]) == 0
+
+
+def make_pair(key_a="k", key_b="k", var_limit=64):
+    """Two in-process endpoints wired through a threadless relay."""
+    relay = ShareRelay(2, queue_factory=lambda: queue.Queue(64))
+    a = ShareClient(relay.endpoint(0), key_a, var_limit)
+    b = ShareClient(relay.endpoint(1), key_b, var_limit)
+    return relay, a, b
+
+
+class TestShareClient:
+    def test_filters_large_and_high_lbd(self):
+        _, client, _ = make_pair()
+        client.offer([0, 2, 4], lbd=9)  # ternary, LBD too high
+        client.offer(list(range(0, 40, 2)), lbd=1)  # too long
+        assert client._out == []
+        client.offer([0, 2], lbd=9)  # binary: always shareable
+        client.offer([0, 2, 4], lbd=2)
+        assert len(client._out) == 2
+
+    def test_var_limit_excludes_private_aux(self):
+        _, client, _ = make_pair(var_limit=3)
+        client.offer([0, 6], lbd=1)  # var 3 == limit -> private
+        assert client._out == []
+        client.offer([0, 4], lbd=1)  # vars 0,2 < 3 -> fine
+        assert len(client._out) == 1
+
+    def test_dedup_by_signature(self):
+        _, client, _ = make_pair()
+        client.offer([0, 2], lbd=1)
+        client.offer([2, 0], lbd=1)  # same clause, permuted
+        assert len(client._out) == 1
+        assert client.stats.dropped_dup == 1
+
+    def test_roundtrip_and_sender_exclusion(self):
+        relay, a, b = make_pair()
+        a.offer([0, 2], lbd=1)
+        assert a.take_imports() == []  # publishes, nothing inbound yet
+        relay.pump()
+        assert b.take_imports() == [(0, 2)]
+        # The sender must never get its own clause back.
+        assert a.take_imports() == []
+        assert a.stats.exported == 1
+
+    def test_key_mismatch_drops_batch(self):
+        relay, a, b = make_pair(key_a=("h", 5), key_b=("h", 6))
+        a.offer([0, 2], lbd=1)
+        a.take_imports()
+        relay.pump()
+        assert b.take_imports() == []
+        assert b.stats.dropped_key == 1
+
+    def test_full_outbound_is_counted_not_raised(self):
+        endpoint = ShareEndpoint(0, queue.Queue(maxsize=1), queue.Queue())
+        client = ShareClient(endpoint, "k", 64)
+        endpoint.outbound.put(("blocker",))
+        client.offer([0, 2], lbd=1)
+        assert client.take_imports() == []
+        assert client.stats.dropped_full == 1
+        assert client.stats.exported == 0
+
+
+class TestImportSoundness:
+    """Differential test: shared clauses never change any verdict."""
+
+    def _run_pair(self, cnf, var_limit=None):
+        relay, a, b = make_pair(var_limit=var_limit or cnf.n_vars)
+        exporter = Solver()
+        cnf.to_solver(exporter)
+        exporter.share = a
+        status_a = exporter.solve()
+        exporter.share_sync()  # flush any exports pending since last restart
+        relay.pump()
+
+        importer = Solver()
+        cnf.to_solver(importer)
+        importer.share = b
+        importer.share_sync()  # pull the foreign clauses before solving
+        status_b = importer.solve()
+        return status_a, status_b, importer, b
+
+    @pytest.mark.timeout(120)
+    def test_agrees_with_reference_on_random_formulas(self):
+        rng = random.Random(20230713)
+        exchanged = 0
+        for round_no in range(30):
+            n_vars = rng.randint(6, 12)
+            # Straddle the SAT/UNSAT phase transition (ratio ~4.3).
+            n_clauses = int(n_vars * rng.uniform(3.0, 5.5))
+            cnf = random_cnf(n_vars, n_clauses, rng)
+            expected = brute_force_solve(cnf)
+            status_a, status_b, importer, client = self._run_pair(cnf)
+            want = SatResult.SAT if expected is not None else SatResult.UNSAT
+            assert status_a is want, f"exporter disagrees on round {round_no}"
+            assert status_b is want, f"importer disagrees on round {round_no}"
+            if want is SatResult.SAT:
+                assert cnf.evaluate(importer.model)
+            exchanged += importer.stats.imported_clauses
+        assert exchanged > 0, "the exchange channel never carried a clause"
+
+    @pytest.mark.timeout(60)
+    def test_import_prunes_importer_search(self):
+        # Pigeonhole 4 -> 3: every refutation needs real conflict analysis,
+        # so the exporter is guaranteed to learn shareable short clauses.
+        cnf = CNF()
+        holes = 3
+        x = [[cnf.new_var() for _ in range(holes)] for _ in range(holes + 1)]
+        for p in range(holes + 1):
+            cnf.add_clause([mk_lit(x[p][h]) for h in range(holes)])
+            for q in range(p + 1, holes + 1):
+                for h in range(holes):
+                    cnf.add_clause(
+                        [mk_lit(x[p][h], True), mk_lit(x[q][h], True)]
+                    )
+        _, status_b, importer, _ = self._run_pair(cnf)
+        assert status_b is SatResult.UNSAT
+        assert importer.stats.imported_clauses > 0
+
+    def test_import_at_level0_strips_false_literals(self):
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([mk_lit(a)])  # a is true at level 0
+        # (-a | b) should import as the unit (b).
+        assert solver.import_shared([(mk_lit(a, True), mk_lit(b))])
+        assert solver.solve() is SatResult.SAT
+        assert solver.model[b] is True
+
+    def test_import_can_refute_the_formula(self):
+        solver = Solver()
+        a = solver.new_var()
+        solver.add_clause([mk_lit(a)])
+        assert not solver.import_shared([(mk_lit(a, True),)])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_import_skips_out_of_range_variables(self):
+        solver = Solver()
+        solver.new_var()
+        assert solver.import_shared([(mk_lit(5),)])  # unknown var: dropped
+        assert solver.solve() is SatResult.SAT
+
+    def test_import_disabled_under_proof_logging(self):
+        solver = Solver(proof_log=True)
+        a = solver.new_var()
+        solver.add_clause([mk_lit(a)])
+        # Importing unchecked foreign clauses would poison the certificate.
+        assert solver.import_shared([(mk_lit(a, True),)])
+        assert solver.stats.imported_clauses == 0
+        assert solver.solve() is SatResult.SAT
