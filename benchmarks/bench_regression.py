@@ -1,7 +1,7 @@
-"""Fixed-workload perf regression harness (PR 2 + PR 3 acceptance numbers).
+"""Fixed-workload perf regression harness (PR 2-4 acceptance numbers).
 
 Runs a small, deterministic workload suite against the in-tree solver and
-writes the measurements to a JSON file (``BENCH_PR3.json`` at the repo root
+writes the measurements to a JSON file (``BENCH_PR4.json`` at the repo root
 by default):
 
 * **prop_network** — a pure unit-propagation workload (long binary
@@ -18,7 +18,15 @@ by default):
   :class:`PortfolioSynthesizer`, and by the *cooperating*
   :class:`ParallelDescent` (bound splitting + clause sharing) at 1/2/4
   workers, recording wall time, conflicts, and clauses
-  shared/imported/pruned per worker count.
+  shared/imported/pruned per worker count;
+* **proof_checker** — the PR 4 acceptance workload: an ascending ladder
+  of UNSAT refutations (pigeonhole + over-constrained random 3-SAT),
+  certified by the old naive fixpoint RUP checker
+  (:func:`check_unsat_proof_slow`) and the new watched-literal one
+  (:func:`check_unsat_proof`) under one fixed wall-clock budget per
+  refutation; the acceptance bar is that the new checker certifies a
+  refutation at least 10x larger (in proof steps) than the largest the
+  old checker manages within the same budget.
 
 Usage::
 
@@ -290,12 +298,103 @@ def bench_parallel_portfolio(tiny: bool) -> dict:
     return report
 
 
+def bench_proof_checker(tiny: bool) -> dict:
+    """Old (naive fixpoint) vs new (watched-literal) RUP checker.
+
+    Builds an ascending ladder of UNSAT refutations, then asks each
+    checker: what is the largest refutation (in proof steps) you can fully
+    certify within one fixed wall-clock budget?  The ladder is walked in
+    size order and stops for a checker once a check exceeds the budget (or
+    once the projected time would blow far past it), so the slow checker
+    never burns minutes on hopeless sizes.
+    """
+    from repro.sat import CNF
+    from repro.sat.proof import check_unsat_proof, check_unsat_proof_slow
+
+    budget = 4.0 if tiny else 10.0
+    hard_cap = 8 * budget
+
+    def php(n):
+        cnf = CNF()
+        x = [[cnf.new_var() for _ in range(n)] for _ in range(n + 1)]
+        for p in range(n + 1):
+            cnf.add_clause([mk_lit(x[p][h]) for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    cnf.add_clause(
+                        [mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)]
+                    )
+        return cnf
+
+    def r3sat(n, seed):
+        rng = random.Random(seed)
+        cnf = CNF()
+        cnf.new_vars(n)
+        for _ in range(int(5.2 * n)):
+            vs = rng.sample(range(n), 3)
+            cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+        return cnf
+
+    specs = [("php-5-4", php(4)), ("php-6-5", php(5))]
+    # The jump from 130 to 200 variables is deliberate: proof length grows
+    # ~16x across it, so the rung separates a near-linear checker from a
+    # quadratic one without burning minutes on intermediate sizes.
+    sizes = (60, 100, 130, 200, 250)
+    specs += [(f"r3sat-{n}", r3sat(n, seed=n)) for n in sizes]
+
+    ladder = []
+    for name, cnf in specs:
+        solver = Solver(proof_log=True)
+        cnf.to_solver(solver)
+        if solver.solve(time_budget=60.0) is not SatResult.UNSAT:
+            continue  # a rare satisfiable draw: not a refutation workload
+        ladder.append((name, cnf, solver.proof))
+    ladder.sort(key=lambda item: len(item[2]))
+
+    def largest_within_budget(checker):
+        best = 0
+        runs = []
+        last_time, last_steps = 0.0, 0
+        for name, cnf, proof in ladder:
+            if last_steps:
+                # Extrapolate quadratically in proof length: a checker whose
+                # projected time blows far past the budget never starts, so
+                # the naive checker cannot burn minutes on hopeless rungs.
+                est = last_time * (len(proof) / last_steps) ** 2
+                if est > hard_cap:
+                    continue
+            start = time.perf_counter()
+            ok = checker(cnf, proof)
+            elapsed = time.perf_counter() - start
+            assert ok, f"{name}: refutation did not certify"
+            runs.append(
+                {"workload": name, "steps": len(proof), "wall_sec": round(elapsed, 4)}
+            )
+            last_time, last_steps = elapsed, len(proof)
+            if elapsed <= budget:
+                best = max(best, len(proof))
+            else:
+                break
+        return best, runs
+
+    old_best, old_runs = largest_within_budget(check_unsat_proof_slow)
+    new_best, new_runs = largest_within_budget(check_unsat_proof)
+    return {
+        "budget_sec": budget,
+        "ladder_steps": [len(proof) for _, _, proof in ladder],
+        "old_checker": {"largest_steps": old_best, "runs": old_runs},
+        "new_checker": {"largest_steps": new_best, "runs": new_runs},
+        "size_ratio": round(new_best / max(1, old_best), 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
-        help="output JSON path (default: BENCH_PR3.json at the repo root)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR4.json"),
+        help="output JSON path (default: BENCH_PR4.json at the repo root)",
     )
     parser.add_argument(
         "--tiny", action="store_true", help="shrunken workloads for CI smoke runs"
@@ -319,6 +418,8 @@ def main(argv=None) -> int:
     report["results"]["queko_synthesis"] = bench_queko_synthesis(args.tiny)
     print("parallel_portfolio ...", flush=True)
     report["results"]["parallel_portfolio"] = bench_parallel_portfolio(args.tiny)
+    print("proof_checker ...", flush=True)
+    report["results"]["proof_checker"] = bench_proof_checker(args.tiny)
 
     if not args.tiny:
         for key in ("prop_network", "sat_engine"):

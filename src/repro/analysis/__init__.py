@@ -1,0 +1,41 @@
+"""Static verification layer: formula lint and optimality certificates.
+
+Three pillars (see docs/ARCHITECTURE.md):
+
+* :mod:`repro.analysis.lint` — pre-solve CNF/encoding diagnostics checked
+  against the constraint-group metadata the encoder emits,
+* :mod:`repro.sat.proof` — the watched-literal RUP proof checker the
+  certificates are built on (lives in the SAT layer; re-exported here),
+* :mod:`repro.analysis.certify` — machine-checkable per-synthesis
+  certificates: validated model plus checked refutations of the
+  next-tighter bounds.
+"""
+
+from ..sat.proof import ProofError, check_unsat_proof, check_unsat_proof_slow
+from .certify import (
+    Certificate,
+    CertificationError,
+    RefutationCertificate,
+    RefutationRecord,
+    certify_bound,
+    check_records,
+    mirror_encoder,
+)
+from .lint import Diagnostic, LintReport, lint_cnf, lint_encoder
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "lint_cnf",
+    "lint_encoder",
+    "Certificate",
+    "CertificationError",
+    "RefutationCertificate",
+    "RefutationRecord",
+    "certify_bound",
+    "check_records",
+    "mirror_encoder",
+    "ProofError",
+    "check_unsat_proof",
+    "check_unsat_proof_slow",
+]

@@ -1,0 +1,347 @@
+"""Machine-checkable optimality certificates (paper Sec. III-B).
+
+A synthesis run's *optimality* claim decomposes into two halves:
+
+* the SAT half — the returned schedule at depth ``d`` (SWAP count ``s``)
+  really is valid.  This is certified by re-validating the extracted model
+  with :func:`repro.core.validator.validate_result`, an independent
+  semantic check that never looks at the solver.
+* the UNSAT half — no schedule exists at ``d - 1`` (``s - 1``).  This is
+  certified by replaying the solver's RUP proof log against an
+  independently re-encoded copy of the formula with
+  :func:`repro.sat.proof.check_unsat_proof`.
+
+The UNSAT half has two flavours:
+
+**Live proofs** — when the optimiser's solver was created with
+``proof_log=True``, every learnt clause of the whole incremental run is on
+the log, and each UNSAT verdict under assumptions ends in a logged
+failed-core step.  A :class:`RefutationRecord` captures the verdict's
+context (encoder, assumptions, proof length); :func:`check_records` then
+replays the encoder's operation journal onto a CNF sink
+(:func:`mirror_encoder`) — the encoding is deterministic, so variable
+numbering matches — and checks each record's proof prefix under its
+assumptions.  Soundness of checking an early prefix against the *final*
+clause set follows from RUP monotonicity: every mirror clause is an axiom
+of the final formula, and the certified claim ("the final formula plus
+this record's assumption literals is unsatisfiable") is exactly the bound
+infeasibility the optimiser relied on, because guards and activation
+literals keep their meaning across in-place horizon extension.
+
+**Post-hoc re-solve** — when no live proof exists (a worker process raced
+ahead, clause imports were enabled, a custom context was injected),
+:func:`certify_bound` re-encodes the instance on a fresh proof-logging
+solver with the claimed bounds asserted as unit clauses, re-solves, and
+checks that proof.  Costlier, but fully independent of the original run —
+this is what :class:`repro.core.parallel.ParallelDescent` uses, since its
+workers' verdicts may rest on imported clauses that are not locally
+derivable (the proof-logging-vs-clause-sharing exclusivity rule).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sat.proof import check_unsat_proof
+from ..sat.result import SatResult
+from ..sat.solver import Solver
+from ..smt.context import cnf_context
+
+
+class CertificationError(RuntimeError):
+    """Raised when certificate construction itself cannot proceed."""
+
+
+@dataclass
+class RefutationCertificate:
+    """One checked (or check-attempted) UNSAT claim."""
+
+    phase: str  # "depth" | "swap"
+    depth_bound: Optional[int]  # refuted depth bound, or active depth (swap)
+    swap_bound: Optional[int]  # refuted SWAP bound (swap phase only)
+    assumptions: Tuple[int, ...]
+    proof_steps: int
+    n_vars: int
+    n_clauses: int
+    checked: bool
+    reason: str = ""  # failure explanation when not checked
+    check_time: float = 0.0
+    ignored_deletions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "depth_bound": self.depth_bound,
+            "swap_bound": self.swap_bound,
+            "assumptions": len(self.assumptions),
+            "proof_steps": self.proof_steps,
+            "n_vars": self.n_vars,
+            "n_clauses": self.n_clauses,
+            "checked": self.checked,
+            "reason": self.reason,
+            "check_time": round(self.check_time, 4),
+            "ignored_deletions": self.ignored_deletions,
+        }
+
+
+@dataclass
+class Certificate:
+    """The full optimality certificate of one synthesis run."""
+
+    objective: str
+    depth: int
+    swap_count: int
+    model_valid: bool
+    refutations: List[RefutationCertificate] = field(default_factory=list)
+    expected_refutations: int = 0
+    check_time: float = 0.0
+
+    @property
+    def refutations_ok(self) -> bool:
+        return (
+            len(self.refutations) >= self.expected_refutations
+            and all(r.checked for r in self.refutations)
+        )
+
+    @property
+    def complete(self) -> bool:
+        """Model validated AND every load-bearing UNSAT claim checked."""
+        return self.model_valid and self.refutations_ok
+
+    def summary(self) -> str:
+        verdict = "COMPLETE" if self.complete else "INCOMPLETE"
+        lines = [
+            f"certificate [{verdict}] objective={self.objective} "
+            f"depth={self.depth} swaps={self.swap_count} "
+            f"model_valid={self.model_valid}"
+        ]
+        for ref in self.refutations:
+            bound = (
+                f"swap<={ref.swap_bound} @ depth<={ref.depth_bound}"
+                if ref.phase == "swap"
+                else f"depth<={ref.depth_bound}"
+            )
+            status = "OK" if ref.checked else f"FAILED ({ref.reason})"
+            lines.append(
+                f"  refutation {bound}: {status} "
+                f"({ref.proof_steps} steps, {ref.check_time:.2f}s)"
+            )
+        if len(self.refutations) < self.expected_refutations:
+            lines.append(
+                f"  missing {self.expected_refutations - len(self.refutations)}"
+                " expected refutation(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "depth": self.depth,
+            "swap_count": self.swap_count,
+            "model_valid": self.model_valid,
+            "complete": self.complete,
+            "expected_refutations": self.expected_refutations,
+            "check_time": round(self.check_time, 4),
+            "refutations": [r.to_dict() for r in self.refutations],
+        }
+
+
+@dataclass
+class RefutationRecord:
+    """A captured live UNSAT verdict, checkable later via the proof log.
+
+    ``proof_len`` snapshots the solver's proof length at verdict time;
+    replaying that prefix (the terminal failed-core step included) under
+    ``assumptions`` certifies the claim.  The encoder reference keeps the
+    solver (and its proof list) plus the operation journal alive even if
+    the optimiser later rebuilds at a larger horizon.
+    """
+
+    encoder: Any  # repro.core.encoder.LayoutEncoder (duck-typed)
+    phase: str
+    depth_bound: Optional[int]
+    swap_bound: Optional[int]
+    assumptions: Tuple[int, ...]
+    proof_len: int
+
+
+def mirror_encoder(encoder: Any) -> Any:
+    """Re-encode ``encoder``'s instance onto a CNF sink, replaying its
+    operation journal so the mirror reproduces the live solver's exact
+    variable numbering (encoding is deterministic; the journal pins the
+    variable-allocating call sequence: horizon extensions, bound guards,
+    cardinality layers, warm-start equality auxiliaries)."""
+    mirror = type(encoder)(
+        encoder.circuit,
+        encoder.device,
+        encoder._horizon0,
+        config=encoder.config,
+        transition_based=encoder.transition_based,
+        ctx=cnf_context(),
+        initial_mapping=encoder.initial_mapping,
+    )
+    mirror.encode()
+    for op, arg in encoder.journal:
+        if op == "extend":
+            mirror.extend_horizon(arg)
+        elif op == "depth_guard":
+            mirror.depth_guard(arg)
+        elif op == "swap_counter":
+            mirror.init_swap_counter(arg)
+        elif op == "swap_guard":
+            mirror.swap_guard(arg)
+        elif op == "seed_mapping":
+            mirror.seed_initial_mapping(list(arg))
+        elif op == "seed_schedule":
+            mirror.seed_schedule(list(arg))
+        else:  # pragma: no cover - journal is append-only, ops fixed above
+            raise CertificationError(f"unknown journal op {op!r}")
+    return mirror
+
+
+def check_records(records: Sequence[RefutationRecord]) -> List[RefutationCertificate]:
+    """Check each captured live verdict against its encoder's CNF mirror.
+
+    Mirrors are built once per distinct encoder and shared across that
+    encoder's records.  A mirror whose variable count disagrees with the
+    live solver marks its records unchecked rather than raising — a failed
+    certificate is a result, not a crash.
+    """
+    mirrors: Dict[int, Any] = {}
+    out: List[RefutationCertificate] = []
+    for record in records:
+        encoder = record.encoder
+        started = _time.monotonic()
+        checked = False
+        reason = ""
+        stats: Dict[str, int] = {}
+        mirror = mirrors.get(id(encoder))
+        if mirror is None:
+            mirror = mirror_encoder(encoder)
+            mirrors[id(encoder)] = mirror
+        cnf = mirror.ctx.sink
+        solver = encoder.ctx.sink
+        if not isinstance(solver, Solver) or solver.proof is None:
+            reason = "no proof log on the live solver"
+        elif mirror.ctx.n_vars != encoder.ctx.n_vars:
+            reason = (
+                f"mirror re-encoding drifted: {mirror.ctx.n_vars} vars vs "
+                f"{encoder.ctx.n_vars} live"
+            )
+        else:
+            try:
+                checked = check_unsat_proof(
+                    cnf,
+                    solver.proof[: record.proof_len],
+                    assumptions=record.assumptions,
+                    stats=stats,
+                )
+                if not checked:
+                    reason = "proof replay did not refute the assumptions"
+            except ValueError as exc:  # ProofError is a ValueError
+                reason = str(exc)
+        out.append(
+            RefutationCertificate(
+                phase=record.phase,
+                depth_bound=record.depth_bound,
+                swap_bound=record.swap_bound,
+                assumptions=record.assumptions,
+                proof_steps=record.proof_len,
+                n_vars=cnf.n_vars,
+                n_clauses=cnf.num_clauses,
+                checked=checked,
+                reason=reason,
+                check_time=_time.monotonic() - started,
+                ignored_deletions=stats.get("ignored_deletions", 0),
+            )
+        )
+    return out
+
+
+def certify_bound(
+    circuit: Any,
+    device: Any,
+    horizon: int,
+    depth_bound: int,
+    swap_bound: Optional[int] = None,
+    swap_counter_max: Optional[int] = None,
+    config: Any = None,
+    transition_based: bool = False,
+    encoder_cls: Any = None,
+    encoder_kwargs: Optional[dict] = None,
+    initial_mapping: Optional[List[int]] = None,
+    time_budget: float = 60.0,
+) -> RefutationCertificate:
+    """Post-hoc refutation certificate: prove ``depth <= depth_bound`` (and
+    optionally ``swaps <= swap_bound`` at that depth) infeasible from
+    scratch on a proof-logging solver, then check the proof against an
+    identically re-encoded CNF.
+
+    Independent of any prior run, so it certifies verdicts that have no
+    usable live proof — parallel workers with clause imports enabled, or
+    solvers built on injected contexts.
+    """
+    if encoder_cls is None:
+        from ..core.encoder import LayoutEncoder
+
+        encoder_cls = LayoutEncoder
+    phase = "depth" if swap_bound is None else "swap"
+
+    def build(ctx: Any) -> None:
+        encoder = encoder_cls(
+            circuit,
+            device,
+            horizon,
+            config=config,
+            transition_based=transition_based,
+            ctx=ctx,
+            initial_mapping=initial_mapping,
+            **(encoder_kwargs or {}),
+        )
+        encoder.encode()
+        ctx.sink.add_clause([encoder.depth_guard(depth_bound)])
+        if swap_bound is not None:
+            max_bound = (
+                swap_counter_max if swap_counter_max is not None else swap_bound + 1
+            )
+            encoder.init_swap_counter(max_bound=max_bound)
+            guard = encoder.swap_guard(swap_bound)
+            if guard is not None:
+                ctx.sink.add_clause([guard])
+
+    started = _time.monotonic()
+    from ..smt.context import SMTContext
+
+    solver = Solver(proof_log=True)
+    build(SMTContext(sink=solver))
+    status = solver.solve(time_budget=time_budget)
+    checked = False
+    reason = ""
+    proof = solver.proof or []
+    stats: Dict[str, int] = {}
+    mirror = cnf_context()
+    if status is not SatResult.UNSAT:
+        reason = f"re-solve returned {status.name}, not UNSAT"
+    else:
+        build(mirror)
+        try:
+            checked = check_unsat_proof(mirror.sink, proof, stats=stats)
+            if not checked:
+                reason = "proof replay did not derive the empty clause"
+        except ValueError as exc:
+            reason = str(exc)
+    return RefutationCertificate(
+        phase=phase,
+        depth_bound=depth_bound,
+        swap_bound=swap_bound,
+        assumptions=(),
+        proof_steps=len(proof),
+        n_vars=mirror.sink.n_vars,
+        n_clauses=mirror.sink.num_clauses,
+        checked=checked,
+        reason=reason,
+        check_time=_time.monotonic() - started,
+        ignored_deletions=stats.get("ignored_deletions", 0),
+    )

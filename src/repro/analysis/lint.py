@@ -1,0 +1,385 @@
+"""Pre-solve formula lint: structural diagnostics for encoder output.
+
+The encoder families of Sec. III-A each promise a recognisable clause
+shape — pairwise at-most-one matrices over StepVar selectors, act-guarded
+at-least-ones, one-hot exactly-one groups, the Sinz sequential-counter
+ladder for the SWAP bound.  A refactor that silently drops half an AMO
+matrix does not make the solver crash; it makes it return *better-looking
+wrong answers*.  This linter cross-checks the produced CNF against the
+constraint-group metadata :meth:`LayoutEncoder.constraint_groups` emits, on
+top of generic CNF hygiene (tautologies, duplicate clauses, variables that
+never occur anywhere).
+
+It also enforces the clause-sharing soundness invariant from the parallel
+portfolio: worker-private constructs (depth guards, cardinality layers)
+must put at least one literal outside the shared ``base_vars`` prefix into
+every clause they add.  A purely-prefix private clause would let the CDCL
+core derive prefix-only learnt clauses from worker-local bounds — exactly
+the clauses ``ShareClient`` exports to siblings that do not share those
+bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..sat.formula import CNF
+from ..sat.types import neg
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+# Cap on per-finding diagnostics of one code; the rest fold into a summary.
+_MAX_PER_CODE = 10
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: str
+    message: str
+    clause: Optional[int] = None  # index into cnf.clauses, when applicable
+    var: Optional[int] = None  # variable index, when applicable
+    group: Optional[str] = None  # constraint-group label, when applicable
+
+    def __str__(self) -> str:
+        where = ""
+        if self.clause is not None:
+            where = f" [clause {self.clause}]"
+        elif self.var is not None:
+            where = f" [var {self.var}]"
+        if self.group is not None:
+            where += f" [group {self.group}]"
+        return f"{self.severity}: {self.code}: {self.message}{where}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint pass."""
+
+    n_vars: int
+    n_clauses: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors
+
+    def summary(self) -> str:
+        lines = [
+            f"linted {self.n_vars} vars, {self.n_clauses} clauses: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend(str(d) for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_vars": self.n_vars,
+            "n_clauses": self.n_clauses,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "message": d.message,
+                    "clause": d.clause,
+                    "var": d.var,
+                    "group": d.group,
+                }
+                for d in self.diagnostics
+            ],
+        }
+
+
+class _Emitter:
+    """Collects diagnostics, folding floods of one code into a summary."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, diag: Diagnostic) -> None:
+        count = self._counts.get(diag.code, 0) + 1
+        self._counts[diag.code] = count
+        if count <= _MAX_PER_CODE:
+            self.diagnostics.append(diag)
+
+    def finish(self) -> List[Diagnostic]:
+        for code, count in sorted(self._counts.items()):
+            overflow = count - _MAX_PER_CODE
+            if overflow > 0:
+                severity = next(
+                    d.severity for d in self.diagnostics if d.code == code
+                )
+                self.diagnostics.append(
+                    Diagnostic(
+                        code,
+                        severity,
+                        f"... and {overflow} more {code} finding(s) suppressed",
+                    )
+                )
+        return self.diagnostics
+
+
+def _clause_keys(cnf: CNF) -> FrozenSet[Tuple[int, ...]]:
+    return frozenset(tuple(sorted(set(c))) for c in cnf.clauses)
+
+
+def _has(keys: FrozenSet[Tuple[int, ...]], lits: Sequence[int]) -> bool:
+    return tuple(sorted(set(lits))) in keys
+
+
+def lint_cnf(
+    cnf: CNF,
+    groups: Optional[Sequence[dict]] = None,
+    share_prefix: Optional[int] = None,
+) -> LintReport:
+    """Lint a CNF, optionally against encoder constraint-group metadata.
+
+    ``groups`` is the output of :meth:`LayoutEncoder.constraint_groups`;
+    ``share_prefix`` is the encoder's ``base_vars`` (the clause-sharing
+    window).  Both default to plain CNF hygiene checks only.
+    """
+    out = _Emitter()
+    seen_clauses: Dict[Tuple[int, ...], int] = {}
+    occurs = bytearray(cnf.n_vars)
+    for idx, clause in enumerate(cnf.clauses):
+        lits = list(clause)
+        distinct = set(lits)
+        for lit in distinct:
+            occurs[lit >> 1] = 1
+        if not lits:
+            out.emit(
+                Diagnostic(
+                    "empty-clause",
+                    ERROR,
+                    "formula contains the empty clause (trivially UNSAT)",
+                    clause=idx,
+                )
+            )
+            continue
+        if len(distinct) < len(lits):
+            out.emit(
+                Diagnostic(
+                    "duplicate-literal",
+                    INFO,
+                    "clause repeats a literal",
+                    clause=idx,
+                )
+            )
+        if any((lit ^ 1) in distinct for lit in distinct):
+            out.emit(
+                Diagnostic(
+                    "tautology",
+                    WARNING,
+                    "clause contains a literal and its negation",
+                    clause=idx,
+                )
+            )
+            continue
+        key = tuple(sorted(distinct))
+        first = seen_clauses.setdefault(key, idx)
+        if first != idx:
+            out.emit(
+                Diagnostic(
+                    "duplicate-clause",
+                    WARNING,
+                    f"clause duplicates clause {first}",
+                    clause=idx,
+                )
+            )
+    for var in range(cnf.n_vars):
+        if not occurs[var]:
+            out.emit(
+                Diagnostic(
+                    "unused-var",
+                    WARNING,
+                    "variable occurs in no clause (unconstrained)",
+                    var=var,
+                )
+            )
+    if groups:
+        keys = frozenset(seen_clauses)
+        for group in groups:
+            _lint_group(out, cnf, keys, group, share_prefix)
+    return LintReport(
+        n_vars=cnf.n_vars,
+        n_clauses=cnf.num_clauses,
+        diagnostics=out.finish(),
+    )
+
+
+def _lint_group(
+    out: _Emitter,
+    cnf: CNF,
+    keys: FrozenSet[Tuple[int, ...]],
+    group: dict,
+    share_prefix: Optional[int],
+) -> None:
+    kind = group.get("kind")
+    label = group.get("label")
+    if kind in ("amo", "exactly_one"):
+        lits = list(group["lits"])
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                if not _has(keys, [neg(lits[i]), neg(lits[j])]):
+                    out.emit(
+                        Diagnostic(
+                            "amo-missing-pair",
+                            ERROR,
+                            f"at-most-one lacks the ({i},{j}) exclusion pair",
+                            group=label,
+                        )
+                    )
+    if kind in ("alo", "exactly_one"):
+        lits = list(group["lits"])
+        guard = group.get("guard")
+        expected = ([neg(guard)] if guard is not None else []) + lits
+        if not _has(keys, expected):
+            out.emit(
+                Diagnostic(
+                    "alo-missing",
+                    ERROR,
+                    "at-least-one clause absent"
+                    + (" (guarded form)" if guard is not None else ""),
+                    group=label,
+                )
+            )
+    if kind == "ladder":
+        _lint_ladder(out, keys, group)
+    if kind == "private" and share_prefix is not None:
+        lo, hi = group.get("clause_range", (0, 0))
+        lit_limit = 2 * share_prefix
+        for idx in range(lo, min(hi, len(cnf.clauses))):
+            clause = cnf.clauses[idx]
+            if clause and all(lit < lit_limit for lit in clause):
+                out.emit(
+                    Diagnostic(
+                        "share-prefix-leak",
+                        ERROR,
+                        "worker-private clause lies entirely inside the "
+                        "shared variable prefix; consequences of it could "
+                        "be exported to workers without this bound",
+                        clause=idx,
+                        group=label,
+                    )
+                )
+
+
+def _lint_ladder(out: _Emitter, keys: FrozenSet[Tuple[int, ...]], group: dict) -> None:
+    """Verify a Sinz sequential-counter register block (see
+    ``repro.encodings.cardinality._counter_registers``)."""
+    label = group.get("label")
+    inputs = list(group["inputs"])
+    rows = [list(row) for row in group["rows"]]
+    if len(rows) != len(inputs):
+        out.emit(
+            Diagnostic(
+                "ladder-broken",
+                ERROR,
+                f"{len(inputs)} inputs but {len(rows)} register rows",
+                group=label,
+            )
+        )
+        return
+    for i, row in enumerate(rows):
+        if not row:
+            out.emit(
+                Diagnostic(
+                    "ladder-broken", ERROR, f"row {i} is empty", group=label
+                )
+            )
+            continue
+        if not _has(keys, [neg(inputs[i]), row[0]]):
+            out.emit(
+                Diagnostic(
+                    "ladder-broken",
+                    ERROR,
+                    f"missing seed clause x_{i} -> s[{i}][0]",
+                    group=label,
+                )
+            )
+        if i == 0:
+            continue
+        prev = rows[i - 1]
+        for j in range(len(row)):
+            if j < len(prev) and not _has(keys, [neg(prev[j]), row[j]]):
+                out.emit(
+                    Diagnostic(
+                        "ladder-broken",
+                        ERROR,
+                        f"missing carry clause s[{i - 1}][{j}] -> s[{i}][{j}]",
+                        group=label,
+                    )
+                )
+            if (
+                j >= 1
+                and j - 1 < len(prev)
+                and not _has(keys, [neg(inputs[i]), neg(prev[j - 1]), row[j]])
+            ):
+                out.emit(
+                    Diagnostic(
+                        "ladder-broken",
+                        ERROR,
+                        f"missing increment clause x_{i} & s[{i - 1}][{j - 1}]"
+                        f" -> s[{i}][{j}]",
+                        group=label,
+                    )
+                )
+
+
+def lint_encoder(
+    circuit,
+    device,
+    horizon: int,
+    config=None,
+    transition_based: bool = False,
+    initial_mapping: Optional[List[int]] = None,
+    depth_bound: Optional[int] = None,
+    swap_bound: Optional[int] = None,
+) -> LintReport:
+    """Encode an instance onto a CNF sink and lint the result.
+
+    Optional ``depth_bound``/``swap_bound`` also build the incremental
+    bound machinery (depth guard, SWAP cardinality layer) so its clauses —
+    including the share-prefix invariant — are covered by the lint.
+    """
+    from ..core.encoder import LayoutEncoder  # runtime import; avoids a cycle
+    from ..smt.context import cnf_context
+
+    encoder = LayoutEncoder(
+        circuit,
+        device,
+        horizon,
+        config=config,
+        transition_based=transition_based,
+        ctx=cnf_context(),
+        initial_mapping=initial_mapping,
+    )
+    encoder.encode()
+    if depth_bound is not None:
+        encoder.depth_guard(depth_bound)
+    if swap_bound is not None:
+        encoder.init_swap_counter(max_bound=swap_bound)
+        encoder.swap_guard(max(0, swap_bound - 1))
+    return lint_cnf(
+        encoder.ctx.sink,
+        groups=encoder.constraint_groups(),
+        share_prefix=encoder.base_vars,
+    )

@@ -57,6 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --parallel: split bounds but do not share learnt clauses",
     )
+    comp.add_argument(
+        "--certify",
+        action="store_true",
+        help="attach a machine-checkable optimality certificate: validated "
+        "model plus checked RUP refutations of the next-tighter bounds",
+    )
     comp.add_argument("--output", help="write the mapped circuit as QASM here")
     comp.add_argument(
         "--trace",
@@ -91,6 +97,42 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", help="for 'all': write a markdown report to this path"
     )
+
+    ana = sub.add_parser(
+        "analyze",
+        help="lint a formula before solving: CNF hygiene, constraint-group "
+        "structure, clause-sharing soundness",
+    )
+    ana.add_argument(
+        "path", help="a DIMACS .cnf file, or an OpenQASM 2.0 file to encode"
+    )
+    ana.add_argument(
+        "--device", default="qx2", help="device for QASM input (see 'devices')"
+    )
+    ana.add_argument(
+        "--horizon",
+        type=int,
+        default=0,
+        help="encoding horizon for QASM input (0 = the T_UB heuristic)",
+    )
+    ana.add_argument(
+        "--depth-bound",
+        type=int,
+        default=None,
+        help="also build and lint the depth guard at this bound",
+    )
+    ana.add_argument(
+        "--swap-bound",
+        type=int,
+        default=None,
+        help="also build and lint the SWAP cardinality layer at this bound",
+    )
+    ana.add_argument(
+        "--transition-based",
+        action="store_true",
+        help="lint the TB-OLSQ2 encoding instead of the time-resolved one",
+    )
+    ana.add_argument("--swap-duration", type=int, default=3)
 
     sat = sub.add_parser("sat", help="solve a DIMACS CNF with the built-in solver")
     sat.add_argument("dimacs", help="path to a DIMACS .cnf file")
@@ -145,6 +187,7 @@ def _cmd_compile(args) -> int:
                 time_budget=args.time_budget,
                 share=not args.no_share,
                 tracer=tracer,
+                certify=args.certify,
             )
             result = synthesizer.synthesize(
                 circuit, device, objective=args.objective
@@ -155,6 +198,7 @@ def _cmd_compile(args) -> int:
                 time_budget=args.time_budget,
                 solve_time_budget=args.time_budget / 2,
                 tracer=tracer,
+                certify=args.certify,
             )
             cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
             result = cls(config).synthesize(circuit, device, objective=args.objective)
@@ -164,6 +208,16 @@ def _cmd_compile(args) -> int:
     validate_result(result)
     print(result.summary())
     print(f"initial mapping: {result.initial_mapping}")
+    status = 0
+    if args.certify:
+        certificate = result.certificate
+        if certificate is None:
+            print("no certificate produced (synthesizer does not support one)")
+            status = 1
+        else:
+            print(certificate.summary())
+            if not certificate.complete:
+                status = 1
     if args.trace:
         print(f"trace written to {args.trace}")
     if memory is not None:
@@ -174,7 +228,7 @@ def _cmd_compile(args) -> int:
         with open(args.output, "w") as fp:
             fp.write(result.to_physical_circuit().to_qasm())
         print(f"mapped circuit written to {args.output}")
-    return 0
+    return status
 
 
 def _cmd_devices(_args) -> int:
@@ -232,6 +286,42 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Lint a CNF file, or encode a QASM circuit and lint the encoding."""
+    from .analysis import lint_cnf, lint_encoder
+
+    if args.path.endswith((".cnf", ".dimacs")):
+        from .sat.dimacs import read_dimacs
+
+        try:
+            with open(args.path) as fp:
+                cnf = read_dimacs(fp)
+        except ValueError as exc:
+            print(f"error: parse: {exc}")
+            return 1
+        report = lint_cnf(cnf)
+    else:
+        circuit = load_qasm(args.path)
+        device = devices.by_name(args.device)
+        horizon = args.horizon
+        if horizon <= 0:
+            from .circuit.dag import depth_upper_bound
+
+            horizon = max(2, depth_upper_bound(circuit))
+        config = SynthesisConfig(swap_duration=args.swap_duration)
+        report = lint_encoder(
+            circuit,
+            device,
+            horizon,
+            config=config,
+            transition_based=args.transition_based,
+            depth_bound=args.depth_bound,
+            swap_bound=args.swap_bound,
+        )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_sat(args) -> int:
     from .sat import SatResult, Solver, check_unsat_proof, lit_to_dimacs, preprocess
     from .sat.dimacs import read_dimacs
@@ -281,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "devices": _cmd_devices,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
+        "analyze": _cmd_analyze,
         "sat": _cmd_sat,
     }
     return handlers[args.command](args)

@@ -109,6 +109,15 @@ class LayoutEncoder:
         self.base_vars = 0
         self._horizon0 = horizon
         self._share_key: Optional[tuple] = None
+        # Operation journal: every variable-allocating call after encode(),
+        # in order, so repro.analysis.certify can replay this encoder onto a
+        # CNF sink and reproduce the exact variable numbering (the encoding
+        # itself is deterministic; the journal pins the call sequence).
+        self.journal: List[Tuple[str, object]] = []
+        # Worker-private constraint groups (bounds, counters): label plus
+        # the clause-index range they contributed.  The ranges are only
+        # meaningful on a CNF sink, which keeps every clause verbatim.
+        self._private_groups: List[dict] = []
 
     # -- encoding ----------------------------------------------------------
 
@@ -398,6 +407,7 @@ class LayoutEncoder:
             v0, c0 = self.ctx.n_vars, self.ctx.num_clauses
             self._extend_to(new_horizon)
             span.set(vars=self.ctx.n_vars - v0, clauses=self.ctx.num_clauses - c0)
+        self.journal.append(("extend", new_horizon))
         return True
 
     def _extend_to(self, new_h: int) -> None:
@@ -547,6 +557,7 @@ class LayoutEncoder:
         guard = self._depth_guards.get(bound)
         if guard is not None:
             return guard
+        c0 = self.ctx.num_clauses
         guard = self.ctx.new_bool()
         # The guard arms the current horizon (so a certifying caller may
         # assert the guard as a unit clause and needs no assumptions).
@@ -557,6 +568,15 @@ class LayoutEncoder:
             if t >= bound - 1:
                 self.ctx.add([neg(guard), neg(lit)])
         self._depth_guards[bound] = guard
+        self.journal.append(("depth_guard", bound))
+        self._private_groups.append(
+            {
+                "kind": "private",
+                "label": f"depth_guard[{bound}]",
+                "guard": guard,
+                "clause_range": (c0, self.ctx.num_clauses),
+            }
+        )
         return guard
 
     def init_swap_counter(self, max_bound: int) -> None:
@@ -569,6 +589,7 @@ class LayoutEncoder:
             return
         lits = [lit for lit, _e, _t in self.swap_lits]
         method = self.config.cardinality
+        c0 = self.ctx.num_clauses
         if method == CARD_SEQUENTIAL:
             self._swap_counter = IncrementalCounter(
                 self.ctx.sink, lits, max_bound=max_bound
@@ -579,12 +600,36 @@ class LayoutEncoder:
             self._swap_counter = IncrementalAdder(self.ctx.sink, lits)
         else:  # pragma: no cover - config validates
             raise ValueError(f"unknown cardinality method {method!r}")
+        self.journal.append(("swap_counter", max_bound))
+        self._private_groups.append(
+            {
+                "kind": "private",
+                "label": f"swap_counter[{method}]",
+                "guard": None,
+                "clause_range": (c0, self.ctx.num_clauses),
+            }
+        )
 
     def swap_guard(self, bound: int) -> Optional[int]:
         """Assumption literal enforcing total SWAP count <= ``bound``."""
         if self._swap_counter is None:
             raise RuntimeError("call init_swap_counter() first")
-        return self._swap_counter.bound_literal(bound)
+        c0 = self.ctx.num_clauses
+        lit = self._swap_counter.bound_literal(bound)
+        self.journal.append(("swap_guard", bound))
+        if self.ctx.num_clauses != c0:
+            # Some cardinality layers (the adder) lazily encode each new
+            # bound's comparison; track those clauses like any other
+            # worker-private bound group.
+            self._private_groups.append(
+                {
+                    "kind": "private",
+                    "label": f"swap_guard[{bound}]",
+                    "guard": lit,
+                    "clause_range": (c0, self.ctx.num_clauses),
+                }
+            )
+        return lit
 
     # -- search guidance -----------------------------------------------------
 
@@ -599,6 +644,7 @@ class LayoutEncoder:
         self.encode()
         if len(mapping) != self.circuit.n_qubits:
             raise ValueError("mapping size != number of program qubits")
+        self.journal.append(("seed_mapping", tuple(mapping)))
         hints: Dict[int, bool] = {}
         for q, p in enumerate(mapping):
             var = self.pi[q][0]
@@ -608,13 +654,19 @@ class LayoutEncoder:
             for value in range(var.size):
                 lit = var.eq_lit(value)
                 hints[lit >> 1] = (value == p) ^ bool(lit & 1)
-        self.ctx.sink.warm_start(hints)
+        # A CNF sink has no notion of phase saving; the eq_lit walk above
+        # still matters there, so a certification mirror replaying this call
+        # allocates the same equality auxiliaries as the live solver did.
+        warm = getattr(self.ctx.sink, "warm_start", None)
+        if warm is not None:
+            warm(hints)
 
     def seed_schedule(self, gate_times: List[int]) -> None:
         """Warm-start the solver toward a given gate schedule."""
         self.encode()
         if len(gate_times) != self.circuit.num_gates:
             raise ValueError("schedule size != number of gates")
+        self.journal.append(("seed_schedule", tuple(gate_times)))
         hints: Dict[int, bool] = {}
         for g_idx, t in enumerate(gate_times):
             if 0 <= t < self.horizon:
@@ -623,7 +675,71 @@ class LayoutEncoder:
                 for value in range(var.size):
                     lit = var.eq_lit(value)
                     hints[lit >> 1] = (value == t) ^ bool(lit & 1)
-        self.ctx.sink.warm_start(hints)
+        warm = getattr(self.ctx.sink, "warm_start", None)
+        if warm is not None:
+            warm(hints)
+
+    # -- static-analysis metadata --------------------------------------------
+
+    def constraint_groups(self) -> List[dict]:
+        """Structured metadata about the encoding's constraint groups.
+
+        Consumed by :mod:`repro.analysis.lint` to verify that the CNF the
+        encoder produced actually contains the clauses each group promises:
+
+        * ``amo``/``alo`` — a gate-time variable's pairwise at-most-one and
+          its act-guarded at-least-one (the selectors plus guard literal),
+        * ``exactly_one`` — a one-hot mapping variable's value group,
+        * ``ladder`` — the sequential counter's register rows (Sinz LT_{n,k}),
+        * ``private`` — worker-local bound machinery (depth guards, SWAP
+          cardinality) whose every clause must carry at least one literal
+          outside the shared :attr:`base_vars` prefix, so it can never leak
+          through ``ShareClient`` exports into a sibling solver that does
+          not share the same bounds.
+
+        ``private`` clause ranges index into ``ctx.sink.clauses`` and are
+        only meaningful on a CNF sink (a live solver drops and simplifies
+        clauses as it goes).
+        """
+        self.encode()
+        from ..smt.domain import OneHotVar
+
+        groups: List[dict] = []
+        for g_idx, var in enumerate(self.time):
+            selectors = list(var.selectors)
+            groups.append(
+                {"kind": "amo", "label": f"time[{g_idx}]", "lits": selectors}
+            )
+            groups.append(
+                {
+                    "kind": "alo",
+                    "label": f"time[{g_idx}]",
+                    "lits": selectors,
+                    "guard": self._act,
+                }
+            )
+        for q, column in enumerate(self.pi):
+            for t, dom in enumerate(column):
+                if isinstance(dom, OneHotVar):
+                    groups.append(
+                        {
+                            "kind": "exactly_one",
+                            "label": f"pi[{q}][{t}]",
+                            "lits": list(dom.selectors),
+                        }
+                    )
+        counter = self._swap_counter
+        if isinstance(counter, IncrementalCounter) and counter.registers:
+            groups.append(
+                {
+                    "kind": "ladder",
+                    "label": "swap_counter",
+                    "inputs": list(counter.lits),
+                    "rows": [list(row) for row in counter.registers],
+                }
+            )
+        groups.extend(self._private_groups)
+        return groups
 
     # -- solving / extraction ----------------------------------------------------
 

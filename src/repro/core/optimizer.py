@@ -23,15 +23,23 @@ import math
 import time as _time
 from typing import List, Optional, Tuple
 
+from ..analysis.certify import (
+    Certificate,
+    RefutationRecord,
+    certify_bound,
+    check_records,
+)
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import depth_upper_bound, longest_chain_length
 from ..sat.result import SatResult
 from ..sat.sharing import ShareClient
 from ..sat.solver import Solver
+from ..smt.context import SMTContext
 from .config import SynthesisConfig
 from .encoder import LayoutEncoder
 from .result import SwapEvent, SynthesisResult
+from .validator import is_valid
 
 
 class SynthesisTimeout(RuntimeError):
@@ -71,6 +79,13 @@ class IterativeSynthesizer:
         # this synthesizer builds gets a ShareClient so its solver trades
         # learnt clauses with sibling portfolio workers (see sat.sharing).
         self.share = share
+        # Live UNSAT verdicts captured for certificate checking
+        # (config.certify); reset at the start of each depth optimization.
+        self._refutations: List[RefutationRecord] = []
+        self._depth_cert_target: Optional[int] = None
+        # While the SWAP loop runs its inner depth pass, defer certificate
+        # assembly to the end so the depth records are checked only once.
+        self._in_swap_phase = False
 
     # -- helpers ---------------------------------------------------------
 
@@ -89,6 +104,14 @@ class IterativeSynthesizer:
         return max(2, depth_upper_bound(self.circuit, self.config.tub_ratio))
 
     def _build_encoder(self, horizon: int) -> LayoutEncoder:
+        kwargs = dict(self.encoder_kwargs)
+        if self.config.certify and "ctx" not in kwargs:
+            # Live proof logging: every learnt clause of the whole
+            # incremental run lands on one log, so UNSAT verdicts under
+            # assumptions certify without re-solving.  Clause *imports* are
+            # automatically refused under proof logging (the sharing
+            # exclusivity rule); exports remain sound and stay on.
+            kwargs["ctx"] = SMTContext(sink=Solver(proof_log=True))
         encoder = self.encoder_cls(
             self.circuit,
             self.device,
@@ -96,7 +119,7 @@ class IterativeSynthesizer:
             config=self.config,
             transition_based=self.transition_based,
             tracer=self.tracer,
-            **self.encoder_kwargs,
+            **kwargs,
         )
         encoder.encode()
         if self.share is not None and isinstance(encoder.ctx.sink, Solver):
@@ -214,6 +237,7 @@ class IterativeSynthesizer:
     def _optimize_depth(self, span) -> SynthesisResult:
         started = _time.monotonic()
         self._deadline = started + self.config.time_budget
+        self._refutations = []
         t_lb = 1 if self.transition_based else longest_chain_length(self.circuit)
         t_lb = max(1, t_lb)
         horizon = self._initial_horizon()
@@ -231,13 +255,13 @@ class IterativeSynthesizer:
                 # encoder cannot extend (subclasses, built SWAP counters).
                 if not self.encoder.extend_horizon(horizon):
                     self._build_encoder(horizon)
-            status = self._solve(
-                [self.encoder.depth_guard(bound)], phase="relax", bound=bound
-            )
+            guard = self.encoder.depth_guard(bound)
+            status = self._solve([guard], phase="relax", bound=bound)
             if status is SatResult.SAT:
                 best = self._extract()
                 best_bound = bound
             elif status is SatResult.UNSAT:
+                self._record_unsat("depth", bound, None, (guard,))
                 bound = self._next_depth_bound(bound)
             elif self.tracer.cancelled:
                 raise SynthesisCancelled(
@@ -256,9 +280,8 @@ class IterativeSynthesizer:
         proven_unsat_bound = None
         while not optimal and best_bound > t_lb:
             probe = best_bound - 1
-            status = self._solve(
-                [self.encoder.depth_guard(probe)], phase="descend", bound=probe
-            )
+            guard = self.encoder.depth_guard(probe)
+            status = self._solve([guard], phase="descend", bound=probe)
             if status is SatResult.SAT:
                 best = self._extract()
                 best_bound = probe
@@ -267,6 +290,7 @@ class IterativeSynthesizer:
             elif status is SatResult.UNSAT:
                 optimal = True
                 proven_unsat_bound = probe
+                self._record_unsat("depth", probe, None, (guard,))
             else:
                 break  # timeout or cancellation: keep best, not proven optimal
         span.set(depth=best_bound, optimal=optimal, iterations=self.iterations)
@@ -279,46 +303,153 @@ class IterativeSynthesizer:
             target = proven_unsat_bound
             if target is None and best_bound > 1:
                 target = best_bound - 1
-            if target is not None:
-                result.solver_stats["certified"] = self._certify_depth_unsat(target)
+            self._depth_cert_target = target
+            if not self._in_swap_phase:
+                self._attach_certificate(result, "depth", target)
+                if target is not None:
+                    result.solver_stats["certified"] = (
+                        result.certificate.refutations_ok
+                    )
+        else:
+            self._depth_cert_target = None
         return result
 
-    def _certify_depth_unsat(self, bound: int) -> bool:
-        """Independently certify that depth <= ``bound`` is unsatisfiable.
+    # -- certification -----------------------------------------------------
 
-        Re-encodes the instance on a fresh proof-logging solver with the
-        bound asserted unconditionally, re-solves, and replays the RUP
-        proof against the identical CNF (the encoding is deterministic).
-        The certificate covers the load-bearing half of the optimality
-        claim; the SAT half is certified by the validated model itself.
-        """
-        from ..sat.proof import check_unsat_proof
-        from ..sat.solver import Solver
-        from ..smt.context import SMTContext, cnf_context
-
-        def build(ctx):
-            encoder = self.encoder_cls(
-                self.circuit,
-                self.device,
-                self.encoder.horizon,
-                config=self.config,
-                transition_based=self.transition_based,
-                ctx=ctx,
-                **self.encoder_kwargs,
+    def _record_unsat(
+        self,
+        phase: str,
+        depth_bound: Optional[int],
+        swap_bound: Optional[int],
+        assumptions: Tuple[int, ...],
+    ) -> None:
+        """Capture a live UNSAT verdict for later certificate checking."""
+        if not self.config.certify:
+            return
+        sink = self.encoder.ctx.sink
+        if not isinstance(sink, Solver) or sink.proof is None:
+            return
+        full = tuple(self.encoder.ctx.persistent_assumptions) + tuple(assumptions)
+        self._refutations.append(
+            RefutationRecord(
+                encoder=self.encoder,
+                phase=phase,
+                depth_bound=depth_bound,
+                swap_bound=swap_bound,
+                assumptions=full,
+                proof_len=len(sink.proof),
             )
-            encoder.encode()
-            guard = encoder.depth_guard(bound)
-            ctx.sink.add_clause([guard])
-            return encoder
+        )
 
-        solver = Solver(proof_log=True)
-        build(SMTContext(sink=solver))
-        budget = max(1.0, self._remaining())
-        if solver.solve(time_budget=budget) is not SatResult.UNSAT:
-            return False
-        mirror = cnf_context()
-        build(mirror)
-        return check_unsat_proof(mirror.sink, solver.proof)
+    def _probe_depth_refutation(self, bound: int) -> None:
+        """Issue one extra live probe to obtain the UNSAT proof at ``bound``
+        (needed when the optimum was found without a descent probe)."""
+        guard = self.encoder.depth_guard(bound)
+        status = self._solve([guard], phase="certify", bound=bound)
+        if status is SatResult.UNSAT:
+            self._record_unsat("depth", bound, None, (guard,))
+
+    def _attach_certificate(
+        self,
+        result: SynthesisResult,
+        objective: str,
+        depth_target: Optional[int],
+        swap_expected: int = 0,
+        swap_fallback: Optional[Tuple[int, int, int]] = None,
+    ) -> None:
+        """Build the optimality certificate and attach it to ``result``.
+
+        ``depth_target`` is the depth bound whose infeasibility the
+        optimality claim rests on (None when the optimum is depth 1 and the
+        claim is vacuous).  ``swap_expected`` counts Pareto rounds that
+        ended in a proven UNSAT; ``swap_fallback`` is the headline
+        ``(depth_bound, swap_bound, counter_max)`` to certify post-hoc when
+        no live proof exists.
+        """
+        started = _time.monotonic()
+        expected = swap_expected
+        records = list(self._refutations)
+        if depth_target is not None:
+            expected += 1
+            if not any(
+                r.phase == "depth" and r.depth_bound == depth_target
+                for r in records
+            ):
+                self._probe_depth_refutation(depth_target)
+                records = list(self._refutations)
+        # The relax and descend phases can both prove the same bound UNSAT
+        # (the descent re-probes the last relax failure); keep the latest
+        # record per distinct claim so each is checked once.
+        seen = set()
+        deduped: List[RefutationRecord] = []
+        for record in reversed(records):
+            key = (
+                record.phase,
+                record.depth_bound,
+                record.swap_bound,
+                id(record.encoder),
+            )
+            if key not in seen:
+                seen.add(key)
+                deduped.append(record)
+        records = list(reversed(deduped))
+        refutations = check_records(records)
+        if not records:
+            # No live proof log (e.g. an injected context): fall back to
+            # independent re-solve certificates for the headline bounds.
+            kwargs = {
+                k: v for k, v in self.encoder_kwargs.items() if k != "ctx"
+            }
+            budget = max(1.0, self._remaining())
+            if depth_target is not None:
+                refutations.append(
+                    certify_bound(
+                        self.circuit,
+                        self.device,
+                        self.encoder.horizon,
+                        depth_bound=depth_target,
+                        config=self.config,
+                        transition_based=self.transition_based,
+                        encoder_cls=self.encoder_cls,
+                        encoder_kwargs=kwargs,
+                        time_budget=budget,
+                    )
+                )
+            if swap_fallback is not None and swap_expected:
+                depth_bound, swap_bound, counter_max = swap_fallback
+                expected = (1 if depth_target is not None else 0) + 1
+                refutations.append(
+                    certify_bound(
+                        self.circuit,
+                        self.device,
+                        self.encoder.horizon,
+                        depth_bound=depth_bound,
+                        swap_bound=swap_bound,
+                        swap_counter_max=counter_max,
+                        config=self.config,
+                        transition_based=self.transition_based,
+                        encoder_cls=self.encoder_cls,
+                        encoder_kwargs=kwargs,
+                        time_budget=budget,
+                    )
+                )
+        certificate = Certificate(
+            objective=objective,
+            depth=result.depth,
+            swap_count=result.swap_count,
+            model_valid=is_valid(result),
+            refutations=refutations,
+            expected_refutations=expected,
+            check_time=_time.monotonic() - started,
+        )
+        result.certificate = certificate
+        if self.tracer is not None:
+            self.tracer.event(
+                "certify",
+                complete=certificate.complete,
+                refutations=len(refutations),
+                expected=expected,
+            )
 
     # -- SWAP optimization ----------------------------------------------------
 
@@ -339,7 +470,11 @@ class IterativeSynthesizer:
 
     def _optimize_swaps(self, span) -> SynthesisResult:
         started = _time.monotonic()
-        depth_result = self.optimize_depth()
+        self._in_swap_phase = True
+        try:
+            depth_result = self.optimize_depth()
+        finally:
+            self._in_swap_phase = False
         self._deadline = started + self.config.time_budget
 
         encoder = self.encoder
@@ -350,9 +485,11 @@ class IterativeSynthesizer:
             self._raw_swaps(depth_result),
         )
         best_swaps = len(best_extraction[2])
+        best_depth_bound = depth_bound
         pareto: List[Tuple[int, int]] = []
         encoder.init_swap_counter(max_bound=best_swaps)
         proven_pareto = False
+        swap_unsat_rounds = 0
 
         rounds = 0
         while True:
@@ -372,9 +509,14 @@ class IterativeSynthesizer:
                     if bound_at_depth < best_swaps:
                         best_swaps = bound_at_depth
                         best_extraction = extraction
+                        best_depth_bound = depth_bound
                         improved_this_round = True
                 elif status is SatResult.UNSAT:
                     proven_pareto = True
+                    swap_unsat_rounds += 1
+                    self._record_unsat(
+                        "swap", depth_bound, probe, tuple(assumptions)
+                    )
                     break
                 else:
                     break  # timeout or cancellation: keep best-so-far
@@ -408,6 +550,24 @@ class IterativeSynthesizer:
         result = self._make_result(
             best_extraction, "swap", proven_pareto, started, pareto
         )
+        if self.config.certify:
+            depth_target = (
+                self._depth_cert_target if depth_result.optimal else None
+            )
+            fallback = None
+            if proven_pareto and best_swaps > 0 and swap_unsat_rounds:
+                fallback = (best_depth_bound, best_swaps - 1, best_swaps)
+            self._attach_certificate(
+                result,
+                "swap",
+                depth_target,
+                swap_expected=swap_unsat_rounds,
+                swap_fallback=fallback,
+            )
+            if proven_pareto:
+                result.solver_stats["certified"] = (
+                    result.certificate.refutations_ok
+                )
         return result
 
     # -- raw-form helpers (undo TB serialization for reuse) --------------------

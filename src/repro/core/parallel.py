@@ -240,6 +240,14 @@ class ParallelDescent:
         Exchange learnt clauses between workers (needs >= 2 workers).
     slice_budget:
         Seconds per solver slice; bounds the retargeting latency.
+    certify:
+        Attach a machine-checkable optimality certificate to the result.
+        Workers' UNSAT verdicts may rest on *imported* learnt clauses that
+        are not locally derivable, so their proof logs cannot certify them
+        (the proof-logging-vs-clause-sharing exclusivity rule); instead the
+        coordinator re-proves the headline bounds post-hoc on a fresh
+        proof-logging solver via :func:`repro.analysis.certify.certify_bound`
+        after the race finishes.
     """
 
     def __init__(
@@ -252,6 +260,7 @@ class ParallelDescent:
         share_buffer: int = 64,
         swap_duration: int = 3,
         tracer=None,
+        certify: bool = False,
     ):
         if entries is None:
             base = default_portfolio(
@@ -282,7 +291,12 @@ class ParallelDescent:
         self.slice_budget = slice_budget
         self.share_buffer = share_buffer
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.certify = certify
         self.outcomes: List[Tuple[str, Optional[str]]] = []
+        # Headline bounds to certify post-hoc (set by _run/_swap_phase):
+        # refuted depth bound, and (depth_bound, swap_bound, counter_max).
+        self._depth_cert: Optional[int] = None
+        self._swap_cert: Optional[Tuple[int, int, int]] = None
 
     # -- public API -------------------------------------------------------
 
@@ -401,10 +415,80 @@ class ParallelDescent:
         if relay is not None:
             parallel["relay"] = relay.stats()
         result.solver_stats["parallel"] = parallel
+        if self.certify:
+            self._attach_certificate(result, circuit, device, mapping, objective)
         self.tracer.event("parallel.summary", **{
             k: v for k, v in parallel.items() if k != "per_worker"
         })
+        result.wall_time = time.monotonic() - started
         return result
+
+    def _attach_certificate(
+        self, result, circuit, device, mapping, objective
+    ) -> None:
+        """Post-hoc certificate: re-prove the headline UNSAT bounds on a
+        fresh proof-logging solver (workers' own proofs are unusable when
+        clause imports were on) and validate the returned model."""
+        from ..analysis.certify import Certificate, certify_bound
+        from .validator import is_valid
+
+        cfg = self.entries[0].config
+        tb = self.entries[0].transition_based
+        horizon = IterativeSynthesizer(
+            circuit, device, config=cfg, transition_based=tb
+        )._initial_horizon()
+        budget = min(60.0, self.time_budget)
+        refutations = []
+        expected = 0
+        if result.optimal and self._depth_cert is not None:
+            expected += 1
+            refutations.append(
+                certify_bound(
+                    circuit,
+                    device,
+                    max(horizon, self._depth_cert),
+                    depth_bound=self._depth_cert,
+                    config=cfg,
+                    transition_based=tb,
+                    initial_mapping=mapping,
+                    time_budget=budget,
+                )
+            )
+        if result.optimal and objective == "swap" and self._swap_cert is not None:
+            depth_bound, swap_bound, counter_max = self._swap_cert
+            expected += 1
+            refutations.append(
+                certify_bound(
+                    circuit,
+                    device,
+                    max(horizon, depth_bound),
+                    depth_bound=depth_bound,
+                    swap_bound=swap_bound,
+                    swap_counter_max=counter_max,
+                    config=cfg,
+                    transition_based=tb,
+                    initial_mapping=mapping,
+                    time_budget=budget,
+                )
+            )
+        certificate = Certificate(
+            objective=objective,
+            depth=result.depth,
+            swap_count=result.swap_count,
+            model_valid=is_valid(result),
+            refutations=refutations,
+            expected_refutations=expected,
+            check_time=sum(r.check_time for r in refutations),
+        )
+        result.certificate = certificate
+        if result.optimal:
+            result.solver_stats["certified"] = certificate.refutations_ok
+        self.tracer.event(
+            "certify",
+            complete=certificate.complete,
+            refutations=len(refutations),
+            expected=expected,
+        )
 
     # -- phases -----------------------------------------------------------
 
@@ -426,6 +510,12 @@ class ParallelDescent:
                 [t_lb], tb, apply_depth_sat, deadline, counters,
             )
             span.set(lb=lb, ub=ub, proven=proven)
+        # Headline UNSAT bound of the depth phase (monotonicity: the race
+        # refuted lb - 1 >= ub - 1, so ub - 1 is the tightest claim).
+        self._depth_cert = (
+            ub - 1 if proven and ub is not None and ub > 1 else None
+        )
+        self._swap_cert = None
         if best["result"] is None:
             raise SynthesisTimeout(
                 "no worker found a schedule within the time budget; "
@@ -481,6 +571,8 @@ class ParallelDescent:
                 span.set(swaps=best_swaps, proven=proven)
             pareto.append((depth_bound, round_floor["value"]))
             proven_any = proven_any or proven
+            if proven and best_swaps > 0:
+                self._swap_cert = (depth_bound, best_swaps - 1, best_swaps)
             rounds += 1
             if best_swaps == 0:
                 proven_any = True

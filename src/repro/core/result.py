@@ -50,6 +50,9 @@ class SynthesisResult:
     pareto_points: List[Tuple[int, int]] = field(default_factory=list)
     optimal: bool = False
     wall_time: float = 0.0
+    # Optimality certificate (repro.analysis.certify.Certificate) attached
+    # when the run was made with ``certify=True``; None otherwise.
+    certificate: object = None
 
     # -- derived quantities ------------------------------------------------
 

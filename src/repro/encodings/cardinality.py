@@ -149,9 +149,12 @@ class IncrementalCounter:
         width = min(self.max_bound + 1, n)
         if n == 0 or width == 0:
             self.outputs: List[int] = []
+            self.registers: List[List[int]] = []
         else:
-            registers = _counter_registers(sink, self.lits, width=width)
-            self.outputs = registers[-1]
+            # The full register rows are kept (not just the outputs) so the
+            # formula linter can verify the ladder's carry structure.
+            self.registers = _counter_registers(sink, self.lits, width=width)
+            self.outputs = self.registers[-1]
         # outputs[j] true  <=  count >= j+1 (one direction)
 
     def bound_literal(self, bound: int) -> Optional[int]:

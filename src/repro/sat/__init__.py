@@ -11,7 +11,14 @@ from .preprocess import (
     preprocess,
     preprocess_stats,
 )
-from .proof import ProofError, check_unsat_proof, is_rup, proof_stats
+from .proof import (
+    ProofError,
+    RupChecker,
+    check_unsat_proof,
+    check_unsat_proof_slow,
+    is_rup,
+    proof_stats,
+)
 from .reference import brute_force_solve, count_models
 from .result import SatResult
 from .sharing import (
@@ -41,7 +48,9 @@ __all__ = [
     "preprocess",
     "preprocess_stats",
     "ProofError",
+    "RupChecker",
     "check_unsat_proof",
+    "check_unsat_proof_slow",
     "is_rup",
     "proof_stats",
     "SatResult",

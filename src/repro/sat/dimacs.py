@@ -37,6 +37,7 @@ def read_dimacs(source: Union[str, IO[str]]) -> CNF:
         text = source
     cnf = CNF()
     declared_vars = None
+    declared_clauses = None
     pending: list = []
     for raw in text.splitlines():
         line = raw.strip()
@@ -47,6 +48,7 @@ def read_dimacs(source: Union[str, IO[str]]) -> CNF:
             if len(parts) != 4 or parts[1] != "cnf":
                 raise ValueError(f"malformed problem line: {line!r}")
             declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
             while cnf.n_vars < declared_vars:
                 cnf.new_var()
             continue
@@ -61,5 +63,13 @@ def read_dimacs(source: Union[str, IO[str]]) -> CNF:
                     cnf.new_var()
                 pending.append(lit)
     if pending:
-        cnf.add_clause(pending)
+        raise ValueError(
+            f"unterminated clause at end of input: {len(pending)} literal(s) "
+            "with no closing 0"
+        )
+    if declared_clauses is not None and cnf.num_clauses != declared_clauses:
+        raise ValueError(
+            f"problem line declares {declared_clauses} clause(s) but "
+            f"{cnf.num_clauses} were parsed"
+        )
     return cnf

@@ -9,6 +9,19 @@ the solver derives is validated by *reverse unit propagation* (RUP) against
 the clauses available at that point, exactly as DRAT checkers validate
 industrial SAT solvers.
 
+The checker propagates with two watched literals per clause and resolves
+deletions through a hash index keyed by the sorted literal tuple, the same
+structure DRAT-trim uses; the quadratic full-scan implementation it replaced
+is retained as :func:`check_unsat_proof_slow`, both as an oracle for
+differential tests and as the baseline for the proof-checker benchmark.
+
+Incremental, assumption-conditioned solves (``extend_horizon`` plus the
+persistent StepVar activation assumptions) do not end in an empty clause:
+the solver instead logs the failed-assumption core as a final RUP step, and
+the caller passes the assumption literals to :func:`check_unsat_proof` via
+``assumptions=``, which then demands that asserting them propagates to a
+conflict under the fully-replayed clause database.
+
 Usage::
 
     solver = Solver(proof_log=True)
@@ -19,14 +32,21 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .formula import CNF
 from .types import neg
 
+ProofStep = Tuple[str, Sequence[int]]
+
 
 class ProofError(ValueError):
     """Raised when a proof step fails its RUP check."""
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation: naive full-scan unit propagation.
+# ---------------------------------------------------------------------------
 
 
 def _unit_propagate_conflict(clauses: List[List[int]], assumed: Sequence[int]) -> bool:
@@ -58,6 +78,7 @@ def _unit_propagate_conflict(clauses: List[List[int]], assumed: Sequence[int]) -
                 continue
             if n_unassigned == 0:
                 return True  # falsified clause
+            assert unassigned is not None
             var, val = unassigned >> 1, not (unassigned & 1)
             if var in assignment:
                 if assignment[var] != val:
@@ -77,28 +98,23 @@ def is_rup(clauses: List[List[int]], candidate: Sequence[int]) -> bool:
     return _unit_propagate_conflict(clauses, [neg(l) for l in candidate])
 
 
-def check_unsat_proof(
+def check_unsat_proof_slow(
     cnf: CNF,
-    proof: Sequence[Tuple[str, Sequence[int]]],
+    proof: Sequence[ProofStep],
     strict_deletions: bool = False,
+    assumptions: Sequence[int] = (),
 ) -> bool:
-    """Replay a proof log against the original formula.
+    """Reference checker: full-scan propagation, linear deletion lookup.
 
-    Each ``("a", lits)`` step must be RUP with respect to the formula plus
-    all previously added (and not deleted) clauses; a ``("a", ())`` step —
-    the empty clause — completes the refutation.  ``("d", lits)`` steps
-    remove a clause from the active set (with ``strict_deletions`` the
-    clause must exist).
-
-    Returns ``True`` if an empty clause is validly derived.  Raises
-    :class:`ProofError` on an invalid step; returns ``False`` if the proof
-    ends without reaching the empty clause.
+    O(|db|) per propagation pass and per deletion — kept as the trusted
+    oracle for differential tests and as the benchmark baseline.  Semantics
+    match :func:`check_unsat_proof`.
     """
     db: List[List[int]] = [sorted(set(c)) for c in cnf.clauses]
-    for step_idx, (op, lits) in enumerate(proof):
-        lits = list(lits)
+    for step_idx, (op, raw) in enumerate(proof):
+        lits = list(raw)
         if op == "d":
-            key = sorted(lits)
+            key = sorted(set(lits))
             for i, clause in enumerate(db):
                 if clause == key:
                     db.pop(i)
@@ -113,12 +129,259 @@ def check_unsat_proof(
             raise ProofError(f"step {step_idx}: clause {lits} is not RUP")
         if not lits:
             return True
-        db.append(sorted(lits))
+        db.append(sorted(set(lits)))
+    if assumptions:
+        return _unit_propagate_conflict(db, list(assumptions))
     return False
 
 
-def proof_stats(proof: Sequence[Tuple[str, Sequence[int]]]) -> dict:
-    """Summary counters for a proof log."""
+# ---------------------------------------------------------------------------
+# Fast checker: two watched literals, hash-indexed deletion.
+# ---------------------------------------------------------------------------
+
+
+class RupChecker:
+    """Incremental RUP checker over a mutable clause database.
+
+    Clauses are stored once and watched on their first two literals; each
+    RUP query assigns the negated candidate plus all current unit clauses,
+    propagates along the watch lists, and undoes its trail afterwards.
+    Watch positions persist between queries (any position is valid under
+    the empty assignment), so repeated queries touch only the clauses that
+    actually propagate — the property that makes DRAT-trim-style checking
+    scale where a per-step database scan does not.
+
+    Deletion is resolved through ``self.index``, a multiset mapping the
+    sorted literal tuple to the live clause ids carrying it, so ``("d",
+    lits)`` steps cost a dict lookup regardless of database size.
+    """
+
+    def __init__(self, n_vars: int) -> None:
+        self.n_vars = 0
+        # clause id -> literal list, or None once deleted.
+        self.clauses: List[Optional[List[int]]] = []
+        # literal -> ids of clauses watching it (lazily pruned).
+        self.watches: List[List[int]] = []
+        # sorted literal tuple -> live clause ids with that key (multiset).
+        self.index: Dict[Tuple[int, ...], List[int]] = {}
+        # (clause id, literal) for unit clauses; dead ids skipped when seeding.
+        self.units: List[Tuple[int, int]] = []
+        self.has_empty = False
+        # per-literal assignment: truth[lit] == 1 iff lit is currently true.
+        self.truth = bytearray()
+        self.propagations = 0
+        self._grow(n_vars)
+
+    def _grow(self, n_vars: int) -> None:
+        if n_vars <= self.n_vars:
+            return
+        extend_by = 2 * (n_vars - self.n_vars)
+        self.truth.extend(bytes(extend_by))
+        for _ in range(extend_by):
+            self.watches.append([])
+        self.n_vars = n_vars
+
+    # -- database maintenance ------------------------------------------------
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Install a clause (duplicates removed; assumed already RUP-checked)."""
+        key = tuple(sorted(set(lits)))
+        if key:
+            self._grow((key[-1] >> 1) + 1)
+        cid = len(self.clauses)
+        clause = list(key)
+        self.clauses.append(clause)
+        self.index.setdefault(key, []).append(cid)
+        if not clause:
+            self.has_empty = True
+        elif len(clause) == 1:
+            self.units.append((cid, clause[0]))
+        else:
+            self.watches[clause[0]].append(cid)
+            self.watches[clause[1]].append(cid)
+
+    def delete_clause(self, lits: Sequence[int]) -> bool:
+        """Remove one instance of the clause; False if no live copy exists.
+
+        The watch lists are pruned lazily: dead ids are dropped the next
+        time propagation walks past them.
+        """
+        key = tuple(sorted(set(lits)))
+        ids = self.index.get(key)
+        if not ids:
+            return False
+        cid = ids.pop()
+        if not ids:
+            del self.index[key]
+        self.clauses[cid] = None
+        return True
+
+    # -- propagation ---------------------------------------------------------
+
+    def propagate_conflict(self, assumed: Iterable[int]) -> bool:
+        """Assert ``assumed``, seed unit clauses, propagate; True iff conflict.
+
+        The assignment is fully undone before returning, so the checker can
+        serve any number of queries.
+        """
+        if self.has_empty:
+            return True
+        truth = self.truth
+        clauses = self.clauses
+        watches = self.watches
+        trail: List[int] = []
+        conflict = False
+
+        def assert_lit(lit: int) -> bool:
+            """Make ``lit`` true; False on conflict with the current trail."""
+            if truth[lit]:
+                return True
+            if truth[lit ^ 1]:
+                return False
+            truth[lit] = 1
+            trail.append(lit)
+            return True
+
+        for cid, lit in self.units:
+            if clauses[cid] is None:
+                continue
+            if not assert_lit(lit):
+                conflict = True
+                break
+        if not conflict:
+            for lit in assumed:
+                if not assert_lit(lit):
+                    conflict = True
+                    break
+
+        head = 0
+        while not conflict and head < len(trail):
+            falsified = trail[head] ^ 1
+            head += 1
+            self.propagations += 1
+            ws = watches[falsified]
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                cid = ws[i]
+                i += 1
+                clause = clauses[cid]
+                if clause is None:
+                    continue  # lazily drop deleted clause's watcher
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if truth[other]:
+                    ws[j] = cid
+                    j += 1
+                    continue
+                for k in range(2, len(clause)):
+                    lit = clause[k]
+                    if not truth[lit ^ 1]:
+                        clause[1], clause[k] = lit, falsified
+                        watches[lit].append(cid)
+                        break
+                else:
+                    ws[j] = cid
+                    j += 1
+                    if truth[other ^ 1]:
+                        conflict = True
+                        break
+                    truth[other] = 1
+                    trail.append(other)
+            while i < n:  # conflict broke the scan: keep remaining watchers
+                ws[j] = ws[i]
+                j += 1
+                i += 1
+            del ws[j:]
+
+        for lit in trail:
+            truth[lit] = 0
+        return conflict
+
+    def is_rup(self, candidate: Sequence[int]) -> bool:
+        """Is ``candidate`` derivable by reverse unit propagation?"""
+        return self.propagate_conflict([neg(l) for l in candidate])
+
+
+def check_unsat_proof(
+    cnf: CNF,
+    proof: Sequence[ProofStep],
+    strict_deletions: bool = False,
+    assumptions: Sequence[int] = (),
+    stats: Optional[Dict[str, int]] = None,
+) -> bool:
+    """Replay a proof log against the original formula.
+
+    Each ``("a", lits)`` step must be RUP with respect to the formula plus
+    all previously added (and not deleted) clauses; a ``("a", ())`` step —
+    the empty clause — completes the refutation.  ``("d", lits)`` steps
+    remove a clause from the active set (with ``strict_deletions`` the
+    clause must exist; otherwise absent deletions are counted in
+    ``stats["ignored_deletions"]`` and skipped).
+
+    ``assumptions`` certifies an assumption-conditioned UNSAT (the verdict
+    the incremental optimiser relies on): if the replay ends without an
+    empty clause, the assumption literals are asserted and propagation must
+    refute them for the proof to be accepted.
+
+    Returns ``True`` if the refutation is validly derived.  Raises
+    :class:`ProofError` on an invalid step; returns ``False`` if the proof
+    ends without refuting the formula (or the assumptions).
+
+    When ``stats`` is a dict it is filled with replay counters: ``steps``,
+    ``additions``, ``deletions``, ``ignored_deletions`` and
+    ``propagations``.
+    """
+    checker = RupChecker(cnf.n_vars)
+    for clause in cnf.clauses:
+        checker.add_clause(clause)
+    counters = {
+        "steps": len(proof),
+        "additions": 0,
+        "deletions": 0,
+        "ignored_deletions": 0,
+        "propagations": 0,
+    }
+    if stats is not None:
+        stats.update(counters)  # visible even when a step raises
+        counters = stats
+    verified = False
+    try:
+        for step_idx, (op, raw) in enumerate(proof):
+            lits = list(raw)
+            if op == "d":
+                counters["deletions"] += 1
+                if not checker.delete_clause(lits):
+                    if strict_deletions:
+                        raise ProofError(
+                            f"step {step_idx}: deleting absent clause {lits}"
+                        )
+                    counters["ignored_deletions"] += 1
+                continue
+            if op != "a":
+                raise ProofError(f"step {step_idx}: unknown op {op!r}")
+            counters["additions"] += 1
+            if not checker.is_rup(lits):
+                raise ProofError(f"step {step_idx}: clause {lits} is not RUP")
+            if not lits:
+                verified = True
+                break
+            checker.add_clause(lits)
+        else:
+            if assumptions:
+                # Terminal check for assumption-conditioned UNSAT: the
+                # assumptions themselves must propagate to a conflict.
+                verified = checker.propagate_conflict(list(assumptions))
+    finally:
+        counters["propagations"] = checker.propagations
+    return verified
+
+
+def proof_stats(proof: Sequence[ProofStep]) -> Dict[str, int]:
+    """Summary counters for a proof log (no replay; see also the ``stats``
+    parameter of :func:`check_unsat_proof` for replay-time counters such as
+    ``ignored_deletions``)."""
     additions = sum(1 for op, _ in proof if op == "a")
     deletions = sum(1 for op, _ in proof if op == "d")
     literals = sum(len(lits) for op, lits in proof if op == "a")

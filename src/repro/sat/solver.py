@@ -987,6 +987,13 @@ class Solver:
                     self._new_decision_level()  # dummy level
                 elif val == FALSE:
                     self._analyze_final(p)
+                    if self.proof is not None:
+                        # Terminal step for assumption-conditioned UNSAT:
+                        # the failed core propagates to a conflict against
+                        # the current database (every reason clause is
+                        # logged), so its negation clause is RUP here.  The
+                        # checker accepts the log via ``assumptions=``.
+                        self.proof.append(("a", tuple(lit ^ 1 for lit in self.core)))
                     status = False
                     break
                 else:

@@ -42,3 +42,161 @@ class TestCertifiedDepth:
         cfg = SynthesisConfig(swap_duration=1, time_budget=60)
         res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
         assert "certified" not in res.solver_stats
+        assert res.certificate is None
+
+
+class TestCertificateObject:
+    def test_depth_certificate_structure(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=90, certify=True)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        cert = res.certificate
+        assert cert is not None and cert.complete
+        assert cert.model_valid
+        assert cert.objective == "depth" and cert.depth == res.depth
+        assert cert.expected_refutations >= 1
+        assert all(r.checked for r in cert.refutations)
+        assert any(
+            r.phase == "depth" and r.depth_bound == res.depth - 1
+            for r in cert.refutations
+        )
+        d = cert.to_dict()
+        assert d["complete"] is True
+        assert len(d["refutations"]) == len(cert.refutations)
+        assert "COMPLETE" in cert.summary()
+
+    def test_swap_certificate_covers_both_axes(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=120, certify=True)
+        res = OLSQ2(cfg).synthesize(triangle(), linear(3), objective="swap")
+        assert res.optimal
+        cert = res.certificate
+        assert cert is not None and cert.complete, cert and cert.summary()
+        assert res.solver_stats["certified"] is True
+        phases = {r.phase for r in cert.refutations}
+        assert phases == {"depth", "swap"}
+        # the headline swap claim: no schedule with fewer SWAPs
+        assert any(
+            r.phase == "swap" and r.swap_bound == res.swap_count - 1
+            for r in cert.refutations
+        )
+
+    def test_tb_certificate(self):
+        cfg = SynthesisConfig(swap_duration=1, time_budget=90, certify=True)
+        from repro.core import TBOLSQ2
+
+        res = TBOLSQ2(cfg).synthesize(triangle(), linear(3), objective="depth")
+        assert res.optimal
+        cert = res.certificate
+        assert cert is not None and cert.complete, cert and cert.summary()
+
+
+class TestParallelCertify:
+    def test_parallel_descent_post_hoc_certificate(self):
+        from repro.core.parallel import ParallelDescent
+        from repro.core.portfolio import PortfolioEntry
+
+        cfg = SynthesisConfig(swap_duration=1, time_budget=60)
+        pd = ParallelDescent(
+            entries=[
+                PortfolioEntry("a", cfg, False),
+                PortfolioEntry("b", cfg, False),
+            ],
+            time_budget=60,
+            certify=True,
+        )
+        res = pd.synthesize(triangle(), linear(3), objective="swap")
+        assert res.optimal
+        cert = res.certificate
+        assert cert is not None and cert.complete, cert and cert.summary()
+        assert res.solver_stats["certified"] is True
+        # post-hoc refutations are unconditional (no assumption literals)
+        assert all(r.assumptions == () for r in cert.refutations)
+
+
+class TestCertifyCli:
+    def test_compile_certify_prints_complete_certificate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "tri.qasm"
+        path.write_text(triangle().to_qasm())
+        rc = main(
+            [
+                "compile",
+                str(path),
+                "--device",
+                "line-3",
+                "--swap-duration",
+                "1",
+                "--time-budget",
+                "60",
+                "--objective",
+                "swap",
+                "--certify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "certificate [COMPLETE]" in out
+        assert "refutation" in out
+
+    def test_analyze_qasm_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "tri.qasm"
+        path.write_text(triangle().to_qasm())
+        rc = main(
+            [
+                "analyze",
+                str(path),
+                "--device",
+                "line-3",
+                "--swap-duration",
+                "1",
+                "--depth-bound",
+                "4",
+                "--swap-bound",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_analyze_rejects_malformed_dimacs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.cnf"
+        path.write_text("p cnf 2 2\n1 2 0\n1 -2\n")
+        rc = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "unterminated" in out
+
+    def test_analyze_lints_dimacs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "warn.cnf"
+        path.write_text("p cnf 2 2\n1 -1 0\n1 2 0\n")
+        rc = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tautology" in out
+
+
+class TestStrictDimacs:
+    def test_unterminated_trailing_clause_rejected(self):
+        from repro.sat.dimacs import read_dimacs
+
+        with pytest.raises(ValueError, match="unterminated"):
+            read_dimacs("p cnf 2 2\n1 2 0\n1 -2\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        from repro.sat.dimacs import read_dimacs
+
+        with pytest.raises(ValueError, match="declares 3 clause"):
+            read_dimacs("p cnf 2 3\n1 2 0\n-1 -2 0\n")
+
+    def test_headerless_input_stays_lenient(self):
+        from repro.sat.dimacs import read_dimacs
+
+        cnf = read_dimacs("1 2 0\n-1 -2 0\n")
+        assert cnf.num_clauses == 2

@@ -7,7 +7,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat import brute_force_solve, CNF, mk_lit, SatResult, Solver
-from repro.sat.proof import ProofError, check_unsat_proof, is_rup, proof_stats
+from repro.sat.proof import (
+    ProofError,
+    RupChecker,
+    check_unsat_proof,
+    check_unsat_proof_slow,
+    is_rup,
+    proof_stats,
+)
 
 
 def lit(v, sign=False):
@@ -122,6 +129,103 @@ class TestSolverProofs:
         cnf.new_var()
         with pytest.raises(ProofError):
             check_unsat_proof(cnf, [("x", ())])
+
+
+class TestFastChecker:
+    """The watched-literal checker must agree with the naive reference."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_differential_vs_slow_on_pigeonhole(self, n):
+        cnf = pigeonhole_cnf(n + 1, n)
+        status, proof = solve_with_proof(cnf)
+        assert status is SatResult.UNSAT
+        assert check_unsat_proof(cnf, proof) == check_unsat_proof_slow(cnf, proof)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_differential_vs_slow_on_random_unsat(self, seed):
+        rng = random.Random(1000 + seed)
+        n = rng.randint(3, 6)
+        cnf = CNF()
+        cnf.new_vars(n)
+        for _ in range(rng.randint(4 * n, 7 * n)):
+            vs = rng.sample(range(n), min(3, n))
+            cnf.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+        status, proof = solve_with_proof(cnf)
+        if status is SatResult.UNSAT:
+            assert check_unsat_proof(cnf, proof)
+            assert check_unsat_proof_slow(cnf, proof)
+
+    def test_stats_are_filled(self):
+        cnf = pigeonhole_cnf(4, 3)
+        status, proof = solve_with_proof(cnf)
+        stats = {}
+        assert check_unsat_proof(cnf, proof, stats=stats)
+        assert stats["steps"] == len(proof)
+        assert stats["additions"] >= 1
+        assert stats["propagations"] >= 1
+        assert stats["ignored_deletions"] >= 0
+
+    def test_ignored_deletions_counted_in_lenient_mode(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([lit(a)])
+        cnf.add_clause([lit(a, True), lit(b)])
+        cnf.add_clause([lit(b, True)])
+        proof = [("d", (lit(a), lit(b))), ("a", ())]  # deletes a phantom
+        stats = {}
+        assert check_unsat_proof(cnf, proof, stats=stats)
+        assert stats["ignored_deletions"] == 1
+
+    def test_duplicate_clause_deletion_removes_one_copy(self):
+        checker = RupChecker(2)
+        checker.add_clause([lit(0), lit(1)])
+        checker.add_clause([lit(0), lit(1)])  # identical copy
+        assert checker.delete_clause([lit(0), lit(1)])
+        # one copy must survive: unit-propagating -0 still forces 1
+        assert checker.is_rup([lit(0), lit(1)])
+        assert checker.delete_clause([lit(0), lit(1)])
+        assert not checker.delete_clause([lit(0), lit(1)])  # none left
+
+    def test_assumption_conditioned_unsat_certifies(self):
+        """A failed-assumptions UNSAT (no empty clause on the log) checks
+        via the terminal failed-core step under the same assumptions."""
+        cnf = CNF()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([lit(a, True), lit(b)])
+        cnf.add_clause([lit(b, True), lit(c)])
+        cnf.add_clause([lit(a, True), lit(c, True)])
+        solver = Solver(proof_log=True)
+        cnf.to_solver(solver)
+        assert solver.solve(assumptions=[lit(a)]) is SatResult.UNSAT
+        assert check_unsat_proof(cnf, solver.proof, assumptions=[lit(a)])
+        # without the assumption the formula is satisfiable: the same log
+        # must NOT certify unconditional unsatisfiability
+        assert check_unsat_proof(cnf, solver.proof) is False
+
+    def test_incremental_assumption_proofs_check_per_bound(self):
+        """Every UNSAT verdict of one incremental run is certifiable from
+        its own proof prefix, under that query's assumptions."""
+        cnf = CNF()
+        x = cnf.new_vars(4)
+        guards = cnf.new_vars(2)
+        # guard[0] -> all x false; guard[1] -> x0; plus x0-or-x1 base truth
+        for v in x:
+            cnf.add_clause([lit(guards[0], True), lit(v, True)])
+        cnf.add_clause([lit(guards[1], True), lit(x[0])])
+        cnf.add_clause([lit(x[0]), lit(x[1])])
+        solver = Solver(proof_log=True)
+        cnf.to_solver(solver)
+        assert (
+            solver.solve(assumptions=[lit(guards[0]), lit(guards[1])])
+            is SatResult.UNSAT
+        )
+        prefix = len(solver.proof)
+        assert solver.solve(assumptions=[lit(guards[1])]) is SatResult.SAT
+        assert check_unsat_proof(
+            cnf,
+            solver.proof[:prefix],
+            assumptions=[lit(guards[0]), lit(guards[1])],
+        )
 
 
 class TestOptimizationProofs:

@@ -1,0 +1,127 @@
+"""Mutation tests for the independent validator (core/validator.py).
+
+Each test takes a known-good SynthesisResult, perturbs it to violate one
+constraint class of Sec. II-A, and asserts that validate_result rejects the
+perturbed result.  This guards the guard: a validator that silently accepts
+broken schedules would let encoder bugs masquerade as better results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import linear
+from repro.circuit import QuantumCircuit
+from repro.core import OLSQ2, SynthesisConfig, validate_result
+from repro.core.result import SwapEvent
+from repro.core.validator import ValidationError, is_valid
+
+
+@pytest.fixture(scope="module")
+def good():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(0, 2)
+    cfg = SynthesisConfig(swap_duration=1, time_budget=60)
+    result = OLSQ2(cfg).synthesize(qc, linear(3), objective="swap")
+    validate_result(result)  # baseline sanity
+    assert result.swaps, "fixture needs at least one SWAP to mutate"
+    return result
+
+
+def mutate(result, **changes):
+    return dataclasses.replace(result, **changes)
+
+
+class TestInjectivity:
+    def test_duplicate_physical_qubit_rejected(self, good):
+        mapping = list(good.initial_mapping)
+        mapping[0] = mapping[1]
+        bad = mutate(good, initial_mapping=mapping)
+        with pytest.raises(ValidationError, match="injective"):
+            validate_result(bad)
+
+    def test_out_of_range_physical_qubit_rejected(self, good):
+        mapping = list(good.initial_mapping)
+        mapping[0] = good.device.n_qubits + 5
+        bad = mutate(good, initial_mapping=mapping)
+        assert not is_valid(bad)
+
+    def test_wrong_mapping_size_rejected(self, good):
+        bad = mutate(good, initial_mapping=good.initial_mapping[:-1])
+        with pytest.raises(ValidationError, match="size"):
+            validate_result(bad)
+
+
+class TestDependencyOrder:
+    def test_swapped_dependent_gate_times_rejected(self, good):
+        # Gates 0 (cx 0,1) and 1 (cx 1,2) share qubit 1: strict order.
+        times = list(good.gate_times)
+        times[0], times[1] = max(times[0], times[1]), min(times[0], times[1])
+        bad = mutate(good, gate_times=times)
+        with pytest.raises(ValidationError, match="dependency"):
+            validate_result(bad)
+
+    def test_equal_times_rejected_under_strict_dependencies(self, good):
+        times = list(good.gate_times)
+        times[1] = times[0]
+        bad = mutate(good, gate_times=times)
+        assert not is_valid(bad, strict_dependencies=True)
+
+    def test_negative_gate_time_rejected(self, good):
+        times = list(good.gate_times)
+        times[0] = -1
+        bad = mutate(good, gate_times=times)
+        assert not is_valid(bad)
+
+
+class TestAdjacency:
+    def test_gate_on_non_adjacent_qubits_rejected(self, good):
+        # On line-3 the permutation that separates some interacting pair:
+        # moving the SWAPs away breaks adjacency for at least one gate.
+        bad = mutate(good, swaps=[])
+        with pytest.raises(ValidationError, match="non-adjacent|non-edge"):
+            validate_result(bad)
+
+    def test_swap_on_non_edge_rejected(self, good):
+        swaps = list(good.swaps)
+        swap = swaps[0]
+        # (0, 2) is not an edge of line-3.
+        swaps[0] = SwapEvent(0, 2, swap.finish_time)
+        bad = mutate(good, swaps=swaps)
+        assert not is_valid(bad)
+
+
+class TestSwapOverlap:
+    def test_swap_overlapping_gate_rejected(self, good):
+        swaps = list(good.swaps)
+        swap = swaps[0]
+        # Re-finish the SWAP exactly when a gate uses one of its qubits.
+        mapping = good.mapping_at(good.gate_times[0])
+        gate = good.circuit.gates[0]
+        phys = mapping[gate.qubits[0]]
+        swaps[0] = SwapEvent(phys, swap.p_prime, good.gate_times[0])
+        bad = mutate(good, swaps=swaps)
+        assert not is_valid(bad)
+
+    def test_swaps_sharing_a_qubit_same_time_rejected(self, good):
+        # Synthetic minimal case: two same-edge SWAPs at the same time step
+        # cancel each other's mapping change, so the overlap rule is the
+        # only constraint they violate.
+        from repro.core.result import SynthesisResult
+
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        result = SynthesisResult(
+            circuit=qc,
+            device=linear(2),
+            initial_mapping=[0, 1],
+            gate_times=[3],
+            swaps=[SwapEvent(0, 1, 1)],
+            swap_duration=1,
+        )
+        validate_result(result)  # the single-SWAP form is fine
+        bad = mutate(result, swaps=result.swaps + [SwapEvent(0, 1, 1)])
+        with pytest.raises(ValidationError, match="overlapping SWAPs"):
+            validate_result(bad)
