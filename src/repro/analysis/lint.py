@@ -64,6 +64,10 @@ class LintReport:
     n_vars: int
     n_clauses: int
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Output of :func:`repro.sat.preprocess_stats` when the lint was asked
+    #: to also measure how much SatELite-style simplification shrinks the
+    #: formula (``lint_cnf(..., simplify=True)``); ``None`` otherwise.
+    preprocess: Optional[dict] = None
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -84,6 +88,18 @@ class LintReport:
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
         ]
         lines.extend(str(d) for d in self.diagnostics)
+        if self.preprocess is not None:
+            pp = self.preprocess
+            if pp.get("unsatisfiable"):
+                lines.append("simplify: formula refuted during preprocessing")
+            else:
+                lines.append(
+                    "simplify: {clauses_before} -> {clauses_after} clauses "
+                    "({pct:.1f}% removed), {literals_before} -> "
+                    "{literals_after} literals".format(
+                        pct=100 * pp["clause_reduction"], **pp
+                    )
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -104,6 +120,7 @@ class LintReport:
                 }
                 for d in self.diagnostics
             ],
+            "preprocess": self.preprocess,
         }
 
 
@@ -149,12 +166,19 @@ def lint_cnf(
     cnf: CNF,
     groups: Optional[Sequence[dict]] = None,
     share_prefix: Optional[int] = None,
+    simplify: bool = False,
 ) -> LintReport:
     """Lint a CNF, optionally against encoder constraint-group metadata.
 
     ``groups`` is the output of :meth:`LayoutEncoder.constraint_groups`;
     ``share_prefix`` is the encoder's ``base_vars`` (the clause-sharing
     window).  Both default to plain CNF hygiene checks only.
+
+    ``simplify=True`` additionally runs SatELite-style preprocessing
+    (:func:`repro.sat.preprocess`) on a copy of the formula and attaches
+    the size-reduction summary to :attr:`LintReport.preprocess`.  When a
+    ``share_prefix`` is given those variables are frozen, so the ratios
+    reflect what the synthesis pipeline itself is allowed to remove.
     """
     out = _Emitter()
     seen_clauses: Dict[Tuple[int, ...], int] = {}
@@ -218,10 +242,22 @@ def lint_cnf(
         keys = frozenset(seen_clauses)
         for group in groups:
             _lint_group(out, cnf, keys, group, share_prefix)
+    pp = None
+    if simplify:
+        from ..sat import Unsatisfiable, preprocess, preprocess_stats
+
+        frozen = range(share_prefix) if share_prefix is not None else ()
+        try:
+            simplified, _recon = preprocess(cnf, frozen=frozen)
+        except Unsatisfiable:
+            pp = {"unsatisfiable": True}
+        else:
+            pp = preprocess_stats(cnf, simplified)
     return LintReport(
         n_vars=cnf.n_vars,
         n_clauses=cnf.num_clauses,
         diagnostics=out.finish(),
+        preprocess=pp,
     )
 
 
@@ -353,12 +389,15 @@ def lint_encoder(
     initial_mapping: Optional[List[int]] = None,
     depth_bound: Optional[int] = None,
     swap_bound: Optional[int] = None,
+    simplify: bool = False,
 ) -> LintReport:
     """Encode an instance onto a CNF sink and lint the result.
 
     Optional ``depth_bound``/``swap_bound`` also build the incremental
     bound machinery (depth guard, SWAP cardinality layer) so its clauses —
     including the share-prefix invariant — are covered by the lint.
+    ``simplify=True`` reports how much preprocessing shrinks the encoding
+    with the share prefix frozen (see :func:`lint_cnf`).
     """
     from ..core.encoder import LayoutEncoder  # runtime import; avoids a cycle
     from ..smt.context import cnf_context
@@ -382,4 +421,5 @@ def lint_encoder(
         encoder.ctx.sink,
         groups=encoder.constraint_groups(),
         share_prefix=encoder.base_vars,
+        simplify=simplify,
     )

@@ -17,7 +17,7 @@ from typing import List, Optional
 from .arch import devices
 from .baselines.sabre import SABRE
 from .circuit.qasm import load_qasm
-from .core.config import SynthesisConfig
+from .core.config import SIMPLIFY_INPROCESS, SIMPLIFY_MODES, SynthesisConfig
 from .core.olsq2 import OLSQ2, TBOLSQ2
 from .core.validator import validate_result
 from .harness import experiments
@@ -44,6 +44,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument("--swap-duration", type=int, default=3)
     comp.add_argument("--time-budget", type=float, default=600.0)
+    comp.add_argument(
+        "--simplify",
+        choices=SIMPLIFY_MODES,
+        default=SIMPLIFY_INPROCESS,
+        help="formula simplification: 'off', 'inprocess' (restart-time "
+        "vivification/probing/subsumption plus an encode-time pass; the "
+        "default), or 'full' (additionally eliminates auxiliary variables "
+        "at encode time)",
+    )
     comp.add_argument(
         "--parallel",
         type=int,
@@ -133,6 +142,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lint the TB-OLSQ2 encoding instead of the time-resolved one",
     )
     ana.add_argument("--swap-duration", type=int, default=3)
+    ana.add_argument(
+        "--simplify",
+        action="store_true",
+        help="also run SatELite-style preprocessing on the formula and "
+        "report the size reduction next to the lint diagnostics (the "
+        "share prefix stays frozen for encoder input)",
+    )
 
     sat = sub.add_parser("sat", help="solve a DIMACS CNF with the built-in solver")
     sat.add_argument("dimacs", help="path to a DIMACS .cnf file")
@@ -177,7 +193,7 @@ def _cmd_compile(args) -> int:
             entries = [
                 PortfolioEntry(
                     f"{base[i % len(base)].name}#{i}",
-                    base[i % len(base)].config,
+                    base[i % len(base)].config.replace(simplify=args.simplify),
                     args.synthesizer == "tb-olsq2",
                 )
                 for i in range(args.parallel)
@@ -199,6 +215,7 @@ def _cmd_compile(args) -> int:
                 solve_time_budget=args.time_budget / 2,
                 tracer=tracer,
                 certify=args.certify,
+                simplify=args.simplify,
             )
             cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
             result = cls(config).synthesize(circuit, device, objective=args.objective)
@@ -299,7 +316,7 @@ def _cmd_analyze(args) -> int:
         except ValueError as exc:
             print(f"error: parse: {exc}")
             return 1
-        report = lint_cnf(cnf)
+        report = lint_cnf(cnf, simplify=args.simplify)
     else:
         circuit = load_qasm(args.path)
         device = devices.by_name(args.device)
@@ -317,6 +334,7 @@ def _cmd_analyze(args) -> int:
             transition_based=args.transition_based,
             depth_bound=args.depth_bound,
             swap_bound=args.swap_bound,
+            simplify=args.simplify,
         )
     print(report.summary())
     return 0 if report.ok else 1

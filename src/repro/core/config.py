@@ -29,6 +29,11 @@ CARDINALITY_METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
 
 WARM_START_SOURCES = (None, "sabre")
 
+SIMPLIFY_OFF = "off"
+SIMPLIFY_INPROCESS = "inprocess"
+SIMPLIFY_FULL = "full"
+SIMPLIFY_MODES = (SIMPLIFY_OFF, SIMPLIFY_INPROCESS, SIMPLIFY_FULL)
+
 
 def _choice(name: str, value, valid) -> None:
     """Reject ``value`` unless it is one of ``valid``, listing the choices."""
@@ -73,6 +78,12 @@ class SynthesisConfig:
     max_pareto_rounds: int = 4  # depth relaxations in the 2-D SWAP search
     warm_start: Optional[str] = None  # None or "sabre": heuristic search seeding
     certify: bool = False  # re-prove the final UNSAT bound with a checked RUP proof
+    # Formula simplification (repro.sat.inprocess): "off" disables it,
+    # "inprocess" (default) runs restart-time vivification / probing /
+    # subsumption plus a bounded encode-time pass, "full" additionally
+    # runs bounded variable elimination over the thawed auxiliary
+    # variables at encode time.
+    simplify: str = SIMPLIFY_INPROCESS
     tracer: Optional[Any] = field(default=None, compare=False)
     progress_callback: Optional[Callable] = field(default=None, compare=False)
     verbose: bool = False
@@ -82,6 +93,7 @@ class SynthesisConfig:
         _choice("injectivity method", self.injectivity, INJECTIVITY_METHODS)
         _choice("cardinality method", self.cardinality, CARDINALITY_METHODS)
         _choice("warm-start source", self.warm_start, WARM_START_SOURCES)
+        _choice("simplify mode", self.simplify, SIMPLIFY_MODES)
         if self.swap_duration < 1:
             raise ValueError("swap duration must be >= 1")
         if self.tub_ratio < 1.0:

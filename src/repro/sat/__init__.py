@@ -5,6 +5,7 @@ This package replaces the Z3 SAT engine used by the original OLSQ2 paper
 """
 
 from .formula import CNF
+from .inprocess import Inprocessor
 from .preprocess import (
     ModelReconstructor,
     Unsatisfiable,
@@ -43,6 +44,7 @@ from .types import (
 __all__ = [
     "CNF",
     "Clause",
+    "Inprocessor",
     "ModelReconstructor",
     "Unsatisfiable",
     "preprocess",

@@ -43,6 +43,8 @@ class ClauseArena:
         "lbd",
         "spos",
         "act",
+        "tier",
+        "touch",
         "wasted",
         "_pending_free",
         "_free",
@@ -66,6 +68,13 @@ class ClauseArena:
         # (Gent's "watched literals with positional memory").
         self.spos: List[int] = []
         self.act: List[float] = []
+        # Learnt-clause tier (see Solver._reduce_db): 0 = core (kept
+        # forever), 1 = tier2 (demoted when unused), 2 = local (reduced
+        # aggressively).  Problem clauses stay at 0 and never consult it.
+        self.tier: List[int] = []
+        # Conflict-count stamp of the last time conflict analysis walked
+        # the clause; drives tier2 -> local demotion.
+        self.touch: List[int] = []
         #: literals occupied by dead clauses (reclaimed by compact()).
         self.wasted = 0
         # Dead crefs whose watcher entries may still linger; they move to
@@ -94,6 +103,8 @@ class ClauseArena:
             self.lbd.append(lbd)
             self.spos.append(2)
             self.act.append(0.0)
+            self.tier.append(0)
+            self.touch.append(0)
         else:
             self.start[cref] = base
             self.size[cref] = len(literals)
@@ -101,6 +112,8 @@ class ClauseArena:
             self.lbd[cref] = lbd
             self.spos[cref] = 2
             self.act[cref] = 0.0
+            self.tier[cref] = 0
+            self.touch[cref] = 0
         self.n_live += 1
         return cref
 

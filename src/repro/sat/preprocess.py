@@ -22,7 +22,7 @@ back to the original variables (needed because BVE removes variables).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Sequence, Set, Tuple
 
 from .formula import CNF
 from .types import neg
@@ -189,8 +189,14 @@ def _eliminate_variables(
     recon: ModelReconstructor,
     growth_limit: int = 0,
     max_occurrences: int = 10,
+    frozen: AbstractSet[int] = frozenset(),
 ) -> List[List[int]]:
-    """Bounded variable elimination by distribution (resolution)."""
+    """Bounded variable elimination by distribution (resolution).
+
+    Variables in ``frozen`` are never eliminated — callers use this to
+    protect variables referenced externally (assumption literals,
+    activation guards, a shared variable prefix).
+    """
     occurrence: Dict[int, List[List[int]]] = defaultdict(list)
     for clause in clauses:
         for lit in clause:
@@ -198,7 +204,7 @@ def _eliminate_variables(
     variables = {lit >> 1 for clause in clauses for lit in clause}
     clause_alive = {id(c): True for c in clauses}
 
-    for var in sorted(variables):
+    for var in sorted(variables - frozen):
         pos = [c for c in occurrence[2 * var] if clause_alive.get(id(c), False)]
         negs = [c for c in occurrence[2 * var + 1] if clause_alive.get(id(c), False)]
         if not pos and not negs:
@@ -234,13 +240,16 @@ def preprocess(
     cnf: CNF,
     eliminate: bool = True,
     growth_limit: int = 0,
+    frozen: Iterable[int] = (),
 ) -> Tuple[CNF, ModelReconstructor]:
     """Simplify ``cnf``; returns ``(simplified, reconstructor)``.
 
     Raises :class:`Unsatisfiable` when the formula is refuted outright.
     The simplified formula is over the same variable numbering (eliminated
     variables simply no longer occur); use
-    :meth:`ModelReconstructor.extend` to rebuild full models.
+    :meth:`ModelReconstructor.extend` to rebuild full models.  Variables
+    in ``frozen`` are protected from elimination so callers may keep
+    referencing them (assumption literals, shared prefixes).
     """
     recon = ModelReconstructor()
     clauses = []
@@ -252,7 +261,9 @@ def preprocess(
     clauses, _assignment = _propagate_units(clauses, recon)
     clauses = _subsumption(clauses)
     if eliminate:
-        clauses = _eliminate_variables(clauses, recon, growth_limit=growth_limit)
+        clauses = _eliminate_variables(
+            clauses, recon, growth_limit=growth_limit, frozen=frozenset(frozen)
+        )
         clauses = _subsumption(clauses)
     simplified = CNF()
     simplified.new_vars(cnf.n_vars)

@@ -13,8 +13,13 @@ MiniSat lineage:
 * first-UIP conflict analysis with clause minimisation,
 * VSIDS variable activities with phase saving,
 * Luby-sequence restarts (memoised sequence),
-* learnt-clause database reduction driven by LBD and clause activity, with
-  O(1) lazy deletion and periodic arena compaction,
+* a three-tier learnt-clause database (core / tier2 / local, by LBD) with
+  O(1) lazy deletion, usage-driven promotion/demotion and periodic arena
+  compaction,
+* restart-time inprocessing (:mod:`repro.sat.inprocess`): clause
+  vivification, failed-literal probing with hyper-binary resolution and
+  equivalent-literal substitution, and subsumption — all at the level-0
+  safe points also used for clause sharing, all emitting RUP proof lines,
 * incremental solving under assumptions with failed-assumption cores.
 
 Incrementality matters: the paper's iterative depth/SWAP refinement re-solves
@@ -38,11 +43,15 @@ rationale and measured effect.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
 
 from .arena import ClauseArena
+from .preprocess import ModelReconstructor
 from .result import SatResult
 from .types import FALSE, TRUE, UNDEF, neg
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .inprocess import Inprocessor
 
 #: Sentinel clause reference meaning "no clause" (decision / no conflict).
 NO_CLAUSE = -1
@@ -98,6 +107,15 @@ class SolverStats:
         "solve_calls",
         "exported_clauses",
         "imported_clauses",
+        "inprocessings",
+        "vivified_clauses",
+        "vivified_literals",
+        "failed_literals",
+        "hyper_binaries",
+        "equivalent_literals",
+        "subsumed_clauses",
+        "strengthened_clauses",
+        "eliminated_vars",
         "lbd_counts",
     )
 
@@ -111,6 +129,20 @@ class SolverStats:
         self.solve_calls = 0
         self.exported_clauses = 0
         self.imported_clauses = 0
+        # Inprocessing counters (repro.sat.inprocess): passes run, clauses /
+        # literals removed by vivification, units from failed-literal
+        # probing, hyper-binary resolvents, literals merged by equivalence
+        # substitution, clauses subsumed, clauses strengthened (SSR +
+        # level-0 cleaning), variables removed by bounded elimination.
+        self.inprocessings = 0
+        self.vivified_clauses = 0
+        self.vivified_literals = 0
+        self.failed_literals = 0
+        self.hyper_binaries = 0
+        self.equivalent_literals = 0
+        self.subsumed_clauses = 0
+        self.strengthened_clauses = 0
+        self.eliminated_vars = 0
         # LBD value -> number of clauses learnt with that LBD (cumulative).
         self.lbd_counts: dict = {}
 
@@ -264,6 +296,18 @@ class Solver:
     #: Route size-3 clauses through the scan-only ternary watch lists
     #: instead of the generic two-watch scheme (see :meth:`_attach`).
     TERNARY_SPECIAL = True
+    #: Learnt clauses with LBD at or below this go to the *core* tier and
+    #: are never reduced away (glue clauses, imports).
+    TIER_CORE_LBD = 2
+    #: Learnt clauses with LBD at or below this start in *tier2*; anything
+    #: above starts in the aggressively-reduced *local* tier.
+    TIER2_LBD = 6
+    #: Conflicts between restart-time inprocessing passes.  High enough
+    #: that short solves (unit tests, easy bounds) never pay for a pass.
+    INPROCESS_INTERVAL = 3000
+    #: Conflicts accumulated since the last pass before a *new* solve()
+    #: call runs one at entry (incremental queries between restarts).
+    SOLVE_INPROCESS_DELTA = 500
 
     def __init__(self, proof_log: bool = False) -> None:
         # When proof logging is on, every clause the solver derives (learnt
@@ -272,6 +316,11 @@ class Solver:
         # repro.sat.proof.check_unsat_proof replays the log by reverse unit
         # propagation, giving an independently checkable UNSAT certificate.
         self.proof: Optional[List[tuple]] = [] if proof_log else None
+        # How many root-level (level-0) trail literals have been emitted
+        # into the proof as explicit unit additions.  Inprocessing logs
+        # each root unit once before deleting clauses satisfied by it, so
+        # the checker never loses a derivation the solver still relies on.
+        self._proof_root_logged = 0
         # Optional repro.telemetry.Tracer; when set, every solve() emits a
         # "solver.solve" stats-snapshot event and restarts become both
         # "solver.restart" events and cooperative-cancellation poll points.
@@ -286,7 +335,13 @@ class Solver:
         self.n_vars = 0
         self.arena = ClauseArena()
         self.clauses: List[int] = []  # crefs of problem clauses
-        self.learnts: List[int] = []  # crefs of learnt clauses
+        # Learnt clauses live in three tiers (Chanseok-Oh style): ``core``
+        # (LBD <= TIER_CORE_LBD, kept forever), ``tier2`` (mid LBD, demoted
+        # to local when unused between reductions) and ``local`` (reduced
+        # by activity).  ``self.learnts`` is a read-only concatenation.
+        self.learnts_core: List[int] = []
+        self.learnts_tier2: List[int] = []
+        self.learnts_local: List[int] = []
         # Per-literal watcher lists, flat: [cref0, blocker0, cref1, ...].
         self.watches: List[List[int]] = []
         # Per-literal binary watch lists: watches_bin[p] holds, for every
@@ -321,10 +376,28 @@ class Solver:
         self.model: List[bool] = []
         self.core: List[int] = []
         self.stats = SolverStats()
-        self.max_learnts = 4000.0
+        self.max_learnts = 1000.0
         # Literal pair of the most recent binary-clause conflict (valid when
         # _propagate returned a tag < NO_CLAUSE).
         self._confl_lits = (0, 0)
+        # Restart-time inprocessing (repro.sat.inprocess).  Enabled by
+        # default; the engine is constructed lazily on first use.  The
+        # conflict threshold for the next pass advances by
+        # INPROCESS_INTERVAL each time one runs.
+        self.inprocessing = True
+        self.inprocessor: Optional["Inprocessor"] = None
+        self._next_inprocess = self.INPROCESS_INTERVAL
+        self._last_inprocess = 0
+        self._last_reduce_conflicts = 0
+        # Variables bounded elimination may remove.  Everything is frozen
+        # unless explicitly thawed: callers (the encoder) thaw only
+        # variables they will never reference again, which is what keeps
+        # assumption literals, activation guards and the shared
+        # ``base_vars`` prefix intact across extend_horizon / sharing.
+        self._thawed: Set[int] = set()
+        self._eliminated: Set[int] = set()
+        # Witness stack extending models over eliminated variables.
+        self._recon: Optional[ModelReconstructor] = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -684,6 +757,9 @@ class Solver:
         astart = arena.start
         asize = arena.size
         alearnt = arena.learnt
+        atier = arena.tier
+        atouch = arena.touch
+        nconf = self.stats.conflicts
         learnt: List[int] = [0]  # placeholder for the asserting literal
         to_clear: List[int] = []
         counter = 0
@@ -702,6 +778,9 @@ class Solver:
                 assert cref != NO_CLAUSE
                 if alearnt[cref]:
                     self._cla_bump(cref)
+                    # Usage stamp: tier2 clauses not stamped between two
+                    # reductions are demoted to the local tier.
+                    atouch[cref] = nconf
                 base = astart[cref]
                 # Skip position 0 of reason clauses: it holds the implied
                 # literal (the propagation loop maintains that invariant).
@@ -809,39 +888,126 @@ class Solver:
             seen[var] = 0
         seen[p >> 1] = 0
 
-    def _reduce_db(self) -> None:
-        """Throw away half of the learnt clauses, worst (LBD, activity) first.
+    def _detach_small(self, cref: int) -> None:
+        """Eagerly remove a binary/ternary clause's scan-only watch entries.
 
-        Deletion is O(1) per clause: the arena marks the cref dead and the
-        propagation loop drops its watcher entries lazily.  When enough of
-        the arena is dead storage, one garbage-collection pass purges the
+        Binary and ternary watchers carry no clause reference, so a dead
+        clause of size <= 3 can never be dropped lazily by the propagation
+        loop — it would keep propagating forever.  Anything that frees such
+        a clause must call this first.
+        """
+        arena = self.arena
+        base = arena.start[cref]
+        sz = arena.size[cref]
+        lits = arena.lits
+        if sz == 2:
+            a, b = lits[base], lits[base + 1]
+            self.watches_bin[a ^ 1].remove(b)
+            self.watches_bin[b ^ 1].remove(a)
+            return
+        if sz == 3 and self.TERNARY_SPECIAL:
+            a, b, c = lits[base], lits[base + 1], lits[base + 2]
+            for x, y, z in ((a, b, c), (b, a, c), (c, a, b)):
+                wt = self.watches_ter[x ^ 1]
+                for i in range(0, len(wt), 2):
+                    p, q = wt[i], wt[i + 1]
+                    if (p == y and q == z) or (p == z and q == y):
+                        wt[i] = wt[-2]
+                        wt[i + 1] = wt[-1]
+                        del wt[-2:]
+                        break
+        # Size-3 clauses with TERNARY_SPECIAL off live in the n-ary watch
+        # lists and are dropped lazily like any other n-ary clause.
+
+    def _register_learnt(self, cref: int, lbd: int) -> None:
+        """File a learnt clause into its tier by LBD and stamp its usage."""
+        arena = self.arena
+        if lbd <= self.TIER_CORE_LBD:
+            self.learnts_core.append(cref)
+        elif lbd <= self.TIER2_LBD:
+            arena.tier[cref] = 1
+            self.learnts_tier2.append(cref)
+        else:
+            arena.tier[cref] = 2
+            self.learnts_local.append(cref)
+        arena.touch[cref] = self.stats.conflicts
+
+    def _reduce_db(self) -> None:
+        """Tiered learnt-clause reduction.
+
+        Core clauses are kept unconditionally.  Tier2 clauses not used by
+        conflict analysis since the previous reduction are demoted to the
+        local tier; local clauses promoted by analysis (tier flag rewritten
+        in place) move up to tier2.  The local tier then loses its least
+        active half.  Deletion is O(1) per n-ary clause (lazy watcher
+        drop); binary/ternary clauses are detached eagerly because their
+        scan-only watch lists cannot detect death.  When enough of the
+        arena is dead storage, one garbage-collection pass purges the
         watch lists and compacts the literal array.
         """
         arena = self.arena
         act = arena.act
-        lbd = arena.lbd
+        atier = arena.tier
+        atouch = arena.touch
         astart = arena.start
         asize = arena.size
         alits = arena.lits
         assigns_lit = self.assigns_lit
         reason = self.reason
-        learnts = self.learnts
-        learnts.sort(key=lambda c: (-lbd[c], act[c]))
-        keep_from = len(learnts) // 2
+        cutoff = self._last_reduce_conflicts
+        core = [c for c in self.learnts_core if asize[c] >= 0]
+        tier2: List[int] = []
+        local: List[int] = []
+        for cref in self.learnts_tier2:
+            if asize[cref] < 0:
+                continue
+            if atouch[cref] < cutoff:
+                atier[cref] = 2  # stale: demote
+                local.append(cref)
+            else:
+                tier2.append(cref)
+        for cref in self.learnts_local:
+            if asize[cref] < 0:
+                continue
+            local.append(cref)
+        local.sort(key=lambda c: act[c])
+        evict_until = len(local) // 2
         kept: List[int] = []
-        for i, cref in enumerate(learnts):
+        for i, cref in enumerate(local):
             base = astart[cref]
             sz = asize[cref]
             first = alits[base]
             locked = reason[first >> 1] == cref and assigns_lit[first] > 0
-            if i >= keep_from or locked or lbd[cref] <= 2 or sz <= 3:
+            if not locked and sz <= 3:
+                # Binary/ternary propagations store packed-literal reasons,
+                # not crefs, so the test above cannot see a locked small
+                # clause.  Deleting one anyway would poison the proof log:
+                # the solver keeps resolving through the packed reason while
+                # the checker honours the deletion, so a later learnt built
+                # on that implication is no longer RUP.  Match the packed
+                # literals instead.
+                lits_c = alits[base : base + sz]
+                for lit in lits_c:
+                    if assigns_lit[lit] > 0:
+                        r = reason[lit >> 1]
+                        if r < NO_CLAUSE and sorted(
+                            _packed_reason_lits(r)
+                        ) == sorted(x for x in lits_c if x != lit):
+                            locked = True
+                            break
+            if i >= evict_until or locked:
                 kept.append(cref)
-            else:
-                if self.proof is not None:
-                    self.proof.append(("d", tuple(alits[base : base + sz])))
-                arena.free(cref)
-                self.stats.removed_clauses += 1
-        self.learnts = kept
+                continue
+            if self.proof is not None:
+                self.proof.append(("d", tuple(alits[base : base + asize[cref]])))
+            if asize[cref] <= 3:
+                self._detach_small(cref)
+            arena.free(cref)
+            self.stats.removed_clauses += 1
+        self.learnts_core = core
+        self.learnts_tier2 = tier2
+        self.learnts_local = kept
+        self._last_reduce_conflicts = self.stats.conflicts
         if arena.needs_gc():
             self._garbage_collect()
 
@@ -899,6 +1065,21 @@ class Solver:
             self.stats.conflicts + conflict_budget if conflict_budget else None
         )
         assumptions = list(assumptions)
+        if (
+            self.inprocessing
+            and self.stats.conflicts - self._last_inprocess
+            >= self.SOLVE_INPROCESS_DELTA
+        ):
+            # Solve entry is a level-0 safe point too.  Incremental callers
+            # accumulate learnts and level-0 units *between* queries faster
+            # than any single query reaches the restart-time interval, so
+            # a fresh query over a grown database is where vivification and
+            # subsumption pay off.  Probing is skipped here: on structured
+            # incremental encodings its trail perturbation costs more
+            # conflicts than its failed literals save.
+            self._inprocess_step(probe=False, vivify=False)
+            if not self.ok:
+                return self._finish(SatResult.UNSAT, before, started)
         restart_num = 0
         restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
         conflicts_this_restart = 0
@@ -928,7 +1109,7 @@ class Solver:
                     self._unchecked_enqueue(learnt[0], NO_CLAUSE)
                 else:
                     cref = arena.alloc(learnt, learnt=True, lbd=lbd)
-                    self.learnts.append(cref)
+                    self._register_learnt(cref, lbd)
                     self._attach(cref)
                     self._cla_bump(cref)
                     self._unchecked_enqueue(learnt[0], cref)
@@ -958,6 +1139,14 @@ class Solver:
                     if not self.ok:
                         status = False
                         break
+                if self.inprocessing and self.stats.conflicts >= self._next_inprocess:
+                    # Inprocessing shares the clause-import safe-point
+                    # contract: level 0, assumptions undone, so every
+                    # derivation is an assumption-free formula consequence.
+                    self._inprocess_step()
+                    if not self.ok:
+                        status = False
+                        break
                 if self.tracer is not None:
                     # Restarts are the solver's safe points: surface progress
                     # and poll the cooperative-cancellation flag so a long
@@ -966,17 +1155,18 @@ class Solver:
                         "solver.restart",
                         restarts=self.stats.restarts,
                         conflicts=self.stats.conflicts,
-                        learnts=len(self.learnts),
+                        learnts=self.num_learnts,
                     )
                     if self.tracer.cancelled:
                         break
                 continue
             if (
-                len(self.learnts) - self.trail_size >= self.max_learnts
+                len(self.learnts_local) + len(self.learnts_tier2) - self.trail_size
+                >= self.max_learnts
                 and self.trail_lim
             ):
                 self._reduce_db()
-                self.max_learnts *= 1.2
+                self.max_learnts *= 1.1
 
             # Establish assumptions, then decide.
             next_lit = -1
@@ -1013,6 +1203,10 @@ class Solver:
         if status is True:
             assigns_lit = self.assigns_lit
             self.model = [assigns_lit[v << 1] > 0 for v in range(self.n_vars)]
+            if self._recon is not None:
+                # Bounded variable elimination removed variables; replay
+                # the elimination witnesses so the model covers them.
+                self.model = self._recon.extend(self.model)[: self.n_vars]
         self._cancel_until(0)
         return self._finish(SatResult.from_bool(status), before, started)
 
@@ -1031,7 +1225,7 @@ class Solver:
                     attrs["d_" + key] = value - before[key]
             attrs["n_vars"] = self.n_vars
             attrs["n_clauses"] = len(self.clauses)
-            attrs["n_learnts"] = len(self.learnts)
+            attrs["n_learnts"] = self.num_learnts
             attrs["lbd_counts"] = {
                 str(k): v for k, v in sorted(self.stats.lbd_counts.items())
             }
@@ -1141,11 +1335,103 @@ class Solver:
                 self._unchecked_enqueue(out[0], NO_CLAUSE)
                 self.ok = self._propagate() == NO_CLAUSE
                 continue
-            # Locked low at LBD 2: survives every reduce_db pass.
+            # Pinned at LBD 2: lands in the core tier, which reduction
+            # never touches.
             cref = arena.alloc(out, learnt=True, lbd=2)
-            self.learnts.append(cref)
+            self.learnts_core.append(cref)
             self._attach(cref)
         return self.ok
+
+    # ------------------------------------------------------------------
+    # Inprocessing (repro.sat.inprocess)
+    # ------------------------------------------------------------------
+
+    def _get_inprocessor(self) -> "Inprocessor":
+        if self.inprocessor is None:
+            from .inprocess import Inprocessor
+
+            self.inprocessor = Inprocessor(self)
+        return self.inprocessor
+
+    def _inprocess_step(self, probe: bool = True, vivify: bool = True) -> None:
+        """One bounded restart-time inprocessing pass (level 0 only)."""
+        before = self.stats.snapshot() if self.tracer is not None else None
+        self._get_inprocessor().run(probe=probe, vivify=vivify)
+        self.stats.inprocessings += 1
+        self._last_inprocess = self.stats.conflicts
+        self._next_inprocess = self.stats.conflicts + self.INPROCESS_INTERVAL
+        if self.tracer is not None and before is not None:
+            after = self.stats.snapshot()
+            deltas = {
+                "d_" + key: after[key] - before[key]
+                for key in (
+                    "vivified_clauses",
+                    "vivified_literals",
+                    "failed_literals",
+                    "hyper_binaries",
+                    "equivalent_literals",
+                    "subsumed_clauses",
+                    "strengthened_clauses",
+                )
+                if after[key] != before[key]
+            }
+            self.tracer.event(
+                "solver.inprocess",
+                conflicts=self.stats.conflicts,
+                learnts=self.num_learnts,
+                ok=self.ok,
+                **deltas,
+            )
+
+    def simplify(
+        self,
+        *,
+        subsume: bool = True,
+        probe: bool = True,
+        vivify: bool = True,
+        eliminate: bool = False,
+        budget: int = 200_000,
+    ) -> bool:
+        """Run one bounded simplification pass between :meth:`solve` calls.
+
+        The same engine the solver invokes at restart safe points, exposed
+        for startup simplification right after encoding.  ``eliminate``
+        additionally runs bounded variable elimination over the *thawed*
+        variables (see :meth:`thaw`); it is skipped automatically once any
+        learnt clauses exist.  ``budget`` caps the pass's propagation work.
+        Returns the solver's ``ok`` flag (simplification can refute the
+        formula outright).
+        """
+        if not self.ok:
+            return False
+        assert not self.trail_lim, "simplify() only at decision level 0"
+        self._get_inprocessor().run(
+            subsume=subsume,
+            probe=probe,
+            vivify=vivify,
+            eliminate=eliminate,
+            budget=budget,
+        )
+        self.stats.inprocessings += 1
+        return self.ok
+
+    def thaw(self, variables: Iterable[int]) -> None:
+        """Mark ``variables`` as fair game for bounded variable elimination.
+
+        Everything is frozen by default, which is what keeps assumption
+        literals, activation guards and the shared variable prefix intact;
+        thaw only variables no caller will ever reference again (e.g. the
+        encoder's one-shot auxiliary selectors).
+        """
+        for var in variables:
+            if not 0 <= var < self.n_vars:
+                raise ValueError(f"cannot thaw unknown variable {var}")
+            self._thawed.add(var)
+
+    def freeze(self, variables: Iterable[int]) -> None:
+        """Re-protect previously thawed ``variables`` from elimination."""
+        for var in variables:
+            self._thawed.discard(var)
 
     # ------------------------------------------------------------------
     # Model access
@@ -1167,7 +1453,20 @@ class Solver:
 
     @property
     def num_learnts(self) -> int:
-        return len(self.learnts)
+        return (
+            len(self.learnts_core)
+            + len(self.learnts_tier2)
+            + len(self.learnts_local)
+        )
+
+    @property
+    def learnts(self) -> List[int]:
+        """All learnt crefs across the three tiers (a fresh list).
+
+        Read-only view kept for introspection compatibility; mutate the
+        per-tier lists (or go through :meth:`_register_learnt`) instead.
+        """
+        return self.learnts_core + self.learnts_tier2 + self.learnts_local
 
     def check_watch_invariants(self) -> None:
         """Verify watcher/arena consistency (test hook; O(watchers))."""
