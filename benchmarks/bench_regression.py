@@ -1,7 +1,7 @@
 """Fixed-workload perf regression harness (PR 2-5 acceptance numbers).
 
 Runs a small, deterministic workload suite against the in-tree solver and
-writes the measurements to a JSON file (``BENCH_PR5.json`` at the repo root
+writes the measurements to a JSON file (``BENCH_PR6.json`` at the repo root
 by default):
 
 * **prop_network** — a pure unit-propagation workload (long binary
@@ -26,7 +26,12 @@ by default):
   (:func:`check_unsat_proof`) under one fixed wall-clock budget per
   refutation; the acceptance bar is that the new checker certifies a
   refutation at least 10x larger (in proof steps) than the largest the
-  old checker manages within the same budget.
+  old checker manages within the same budget;
+* **service** — the PR 6 acceptance workload: a batch of relabeled-
+  isomorphic circuit families driven through the async
+  :class:`repro.service.SynthesisService` cold, cache-warm, and
+  pool-warm, recording cache-hit rate, solver dispatches, and p50/p95
+  response latency per phase.
 
 Usage::
 
@@ -451,12 +456,125 @@ def bench_proof_checker(tiny: bool) -> dict:
     }
 
 
+def _percentile(values, pct: float) -> float:
+    """Nearest-rank percentile of a non-empty list (pct in [0, 100])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def bench_service(tiny: bool) -> dict:
+    """The PR 6 acceptance workload: batch service, warm vs cold pool.
+
+    A workload of base circuits plus relabeled-isomorphic copies is
+    driven through one :class:`SynthesisService` three times:
+
+    * **cold** — fresh pool, empty cache: every equivalence class costs
+      one solver dispatch, the copies are cache hits (the acceptance
+      criterion: k relabeled copies -> 1 dispatch, k-1 hits);
+    * **warm_cache** — the identical batch again: 100% cache hits, no
+      dispatches; this is the service's steady-state latency floor;
+    * **warm_pool** — cache cleared, batch again: every class solves
+      again, but on workers whose device caches and learnt-clause banks
+      the cold pass warmed, isolating pool warmth from result caching.
+
+    Latencies are per-response wall times (queueing included — this is
+    what a client observes), summarized as p50/p95.
+    """
+    import asyncio
+
+    from repro.circuit import Gate, QuantumCircuit
+    from repro.service import CompileRequest, SynthesisService
+    from repro.workloads import qaoa_circuit
+
+    rng = random.Random(9)
+    n_base = 2 if tiny else 4
+    n_copies = 2 if tiny else 3
+    device = "line-5"
+    cfg = SynthesisConfig(swap_duration=1, time_budget=60.0).to_dict()
+
+    def relabeled(circuit, perm):
+        out = QuantumCircuit(circuit.n_qubits)
+        for g in circuit.gates:
+            out.append(Gate(g.name, tuple(perm[q] for q in g.qubits), g.params))
+        return out
+
+    # Distinct (n_qubits, degree) pairs give structurally distinct base
+    # circuits.  Varying only the seed at 4 qubits would not: every
+    # 3-regular graph on 4 nodes is K4, so the canonicalizer would
+    # (rightly) collapse the seeds into a single equivalence class.
+    shapes = [(4, 3), (4, 1), (5, 2), (4, 2)][:n_base]
+    requests = []
+    for i, (n, degree) in enumerate(shapes):
+        base = qaoa_circuit(n, seed=i, degree=degree)
+        family = [base]
+        for _ in range(n_copies):
+            perm = list(range(base.n_qubits))
+            rng.shuffle(perm)
+            family.append(relabeled(base, perm))
+        for circuit in family:
+            requests.append(
+                CompileRequest.from_circuit(
+                    circuit, device, budget=60.0, config=dict(cfg)
+                )
+            )
+
+    async def drive():
+        phases = {}
+        async with SynthesisService(n_workers=1) as service:
+            for phase in ("cold", "warm_cache", "warm_pool"):
+                if phase == "warm_pool":
+                    service.cache.clear()
+                before = service.stats()
+                start = time.perf_counter()
+                responses = await service.submit_batch(requests)
+                wall = time.perf_counter() - start
+                after = service.stats()
+                assert all(r.ok for r in responses), [r.error for r in responses]
+                latencies = [r.wall_time for r in responses]
+                phases[phase] = {
+                    "wall_sec": round(wall, 4),
+                    "p50_sec": round(_percentile(latencies, 50), 4),
+                    "p95_sec": round(_percentile(latencies, 95), 4),
+                    "cache_hit_rate": round(
+                        (after["cache_hits"] - before["cache_hits"])
+                        / len(requests),
+                        3,
+                    ),
+                    "solver_dispatches": after["solver_dispatches"]
+                    - before["solver_dispatches"],
+                    "bank_clauses_served": after["pool"]["bank_clauses_served"]
+                    - before["pool"]["bank_clauses_served"],
+                }
+                print(f"  {phase}: {phases[phase]}", flush=True)
+            final = service.stats()
+        return phases, final
+
+    phases, final = asyncio.run(drive())
+    n_classes = n_base
+    assert phases["cold"]["solver_dispatches"] == n_classes, phases["cold"]
+    assert phases["warm_cache"]["solver_dispatches"] == 0, phases["warm_cache"]
+    return {
+        "requests": len(requests),
+        "equivalence_classes": n_classes,
+        "copies_per_class": n_copies + 1,
+        "device": device,
+        "phases": phases,
+        "final_stats": {
+            "cache": final["cache"],
+            "pool": final["pool"],
+            "coalesced": final["coalesced"],
+            "max_queue_depth": final["max_queue_depth"],
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR5.json"),
-        help="output JSON path (default: BENCH_PR5.json at the repo root)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR6.json"),
+        help="output JSON path (default: BENCH_PR6.json at the repo root)",
     )
     parser.add_argument(
         "--tiny", action="store_true", help="shrunken workloads for CI smoke runs"
@@ -483,6 +601,8 @@ def main(argv=None) -> int:
     report["results"]["parallel_portfolio"] = bench_parallel_portfolio(args.tiny)
     print("proof_checker ...", flush=True)
     report["results"]["proof_checker"] = bench_proof_checker(args.tiny)
+    print("service ...", flush=True)
+    report["results"]["service"] = bench_service(args.tiny)
 
     if not args.tiny:
         for key in ("prop_network", "sat_engine"):

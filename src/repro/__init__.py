@@ -34,7 +34,10 @@ from .core import (
     SynthesisConfig,
     SynthesisResult,
     Synthesizer,
+    available_backends,
     is_valid,
+    resolve_backend,
+    synthesize,
     validate_result,
 )
 
@@ -51,6 +54,9 @@ __all__ = [
     "SynthesisConfig",
     "SynthesisResult",
     "Synthesizer",
+    "synthesize",
+    "resolve_backend",
+    "available_backends",
     "validate_result",
     "is_valid",
 ]

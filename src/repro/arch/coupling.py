@@ -135,6 +135,25 @@ class CouplingGraph:
         ]
         return CouplingGraph(len(qubits), edges, name=name or f"{self.name}[sub{len(qubits)}]")
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: qubit count, name, and the edge list."""
+        return {
+            "n_qubits": self.n_qubits,
+            "name": self.name,
+            "edges": [list(e) for e in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CouplingGraph":
+        """Rebuild a coupling graph from :meth:`to_dict` output."""
+        return cls(
+            data["n_qubits"],
+            [(a, b) for a, b in data["edges"]],
+            name=data.get("name", ""),
+        )
+
     def to_networkx(self):
         import networkx as nx
 

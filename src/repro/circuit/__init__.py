@@ -1,5 +1,11 @@
 """Quantum circuit IR, dependency analysis, and OpenQASM 2.0 I/O."""
 
+from .canonical import (
+    canonical_circuit,
+    canonical_key,
+    canonical_relabeling,
+    circuit_fingerprint,
+)
 from .circuit import QuantumCircuit
 from .dag import (
     asap_layers,
@@ -25,6 +31,10 @@ __all__ = [
     "longest_chain",
     "longest_chain_length",
     "asap_layers",
+    "canonical_circuit",
+    "canonical_key",
+    "canonical_relabeling",
+    "circuit_fingerprint",
     "QasmError",
     "parse_qasm",
     "load_qasm",

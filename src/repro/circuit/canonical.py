@@ -1,0 +1,111 @@
+"""Canonical circuit form: a fingerprint invariant under qubit relabeling.
+
+Layout synthesis is label-blind: relabeling the program qubits of a
+circuit permutes the *rows* of the mapping ``pi_q^t`` but changes nothing
+about the physical schedule, the SWAP count, or the depth.  Two circuits
+that differ only by a qubit permutation therefore have interchangeable
+synthesis results — solve one, translate the mapping, and you have solved
+the other.  The service layer (:mod:`repro.service`) exploits this: its
+result cache is keyed by the canonical fingerprint computed here, and a
+hit is translated back through the relabeling returned alongside it.
+
+The canonical form is cheap and exact for this equivalence (it is *not*
+graph-isomorphism-complete — it does not try to identify circuits whose
+gate *lists* differ, even commutatively).  A qubit relabeling permutes the
+labels inside each gate but cannot reorder the gate list itself, so
+walking the gates in program order and renaming each qubit by first
+appearance yields the same relabeled gate sequence no matter which
+labeling we started from.  Qubits never touched by a gate contribute only
+their count.
+
+>>> qc = QuantumCircuit(3); qc.cx(2, 0); qc.h(2)
+>>> qd = QuantumCircuit(3); qd.cx(0, 1); qd.h(0)
+>>> circuit_fingerprint(qc) == circuit_fingerprint(qd)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+
+def canonical_relabeling(circuit: QuantumCircuit) -> List[int]:
+    """The first-appearance relabeling: ``perm[q]`` is the canonical index
+    of program qubit ``q``.
+
+    Qubits are numbered 0, 1, 2, ... in the order they first appear in the
+    gate list (a two-qubit gate introduces its qubits in operand order);
+    qubits no gate touches are appended afterwards in ascending original
+    order.  Any relabeling of ``circuit`` produces the same canonical
+    circuit because the gate list order — the only thing the walk depends
+    on — is unchanged by relabeling.
+    """
+    perm: List[int] = [-1] * circuit.n_qubits
+    nxt = 0
+    for gate in circuit.gates:
+        for q in gate.qubits:
+            if perm[q] < 0:
+                perm[q] = nxt
+                nxt += 1
+    for q in range(circuit.n_qubits):
+        if perm[q] < 0:
+            perm[q] = nxt
+            nxt += 1
+    return perm
+
+
+def canonical_circuit(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, List[int]]:
+    """The canonical relabeled copy of ``circuit`` plus the relabeling.
+
+    Returns ``(canon, perm)`` with ``perm = canonical_relabeling(circuit)``
+    and ``canon`` the same gate sequence acting on ``perm[q]`` wherever
+    ``circuit`` acts on ``q``.  A synthesis result for ``canon`` converts
+    to one for ``circuit`` by ``mapping[q] = canon_mapping[perm[q]]`` —
+    gate times and SWAPs live in physical space and carry over verbatim.
+    """
+    perm = canonical_relabeling(circuit)
+    canon = QuantumCircuit(circuit.n_qubits, name=circuit.name)
+    for gate in circuit.gates:
+        canon.append(Gate(gate.name, tuple(perm[q] for q in gate.qubits), gate.params))
+    return canon, perm
+
+
+def canonical_key(circuit: QuantumCircuit) -> Tuple:
+    """A hashable tuple identifying ``circuit`` up to qubit relabeling.
+
+    The circuit *name* is deliberately excluded — it is metadata, not
+    structure.  ``n_qubits`` is included because the synthesized mapping
+    has one entry per program qubit, touched or not.
+    """
+    perm = canonical_relabeling(circuit)
+    return (
+        circuit.n_qubits,
+        tuple(
+            (g.name, tuple(perm[q] for q in g.qubits), g.params)
+            for g in circuit.gates
+        ),
+    )
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """A sha256 hex digest of :func:`canonical_key`.
+
+    Equal for any two circuits that differ only by a qubit relabeling;
+    collisions between structurally different circuits require a sha256
+    collision.  Stable across processes and sessions (no ``hash()``
+    randomization), so it is usable as a persistent cache key.
+    """
+    n_qubits, gates = canonical_key(circuit)
+    h = hashlib.sha256()
+    h.update(f"q{n_qubits}".encode())
+    for name, qubits, params in gates:
+        h.update(
+            ("|" + name + ":" + ",".join(map(str, qubits))).encode()
+        )
+        if params:
+            h.update((":" + ",".join(repr(p) for p in params)).encode())
+    return h.hexdigest()

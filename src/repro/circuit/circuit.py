@@ -147,6 +147,28 @@ class QuantumCircuit:
 
     # -- serialisation ---------------------------------------------------------
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form: qubit count, name, and the gate list.
+
+        Losslessly round-trips through :meth:`from_dict` (gates keep name,
+        qubit tuple, and parameters; program order is the list order).
+        """
+        return {
+            "n_qubits": self.n_qubits,
+            "name": self.name,
+            "gates": [
+                [g.name, list(g.qubits), list(g.params)] for g in self.gates
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantumCircuit":
+        """Rebuild a circuit from :meth:`to_dict` output."""
+        out = cls(data["n_qubits"], name=data.get("name", ""))
+        for name, qubits, params in data["gates"]:
+            out.append(Gate(name, tuple(qubits), tuple(params)))
+        return out
+
     def to_qasm(self) -> str:
         """Emit OpenQASM 2.0 with a single register ``q``."""
         lines = [

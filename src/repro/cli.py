@@ -5,7 +5,9 @@ Subcommands:
 * ``compile``  — synthesize an OpenQASM 2.0 circuit onto a device,
 * ``devices``  — list the built-in coupling graphs,
 * ``generate`` — emit benchmark circuits (QAOA / QUEKO / QFT / ...) as QASM,
-* ``bench``    — run one of the paper's experiment drivers.
+* ``bench``    — run one of the paper's experiment drivers,
+* ``request``  — build a service CompileRequest JSON from a QASM file,
+* ``serve``    — run a batch of CompileRequests through the async service.
 """
 
 from __future__ import annotations
@@ -15,10 +17,9 @@ import sys
 from typing import List, Optional
 
 from .arch import devices
-from .baselines.sabre import SABRE
 from .circuit.qasm import load_qasm
 from .core.config import SIMPLIFY_INPROCESS, SIMPLIFY_MODES, SynthesisConfig
-from .core.olsq2 import OLSQ2, TBOLSQ2
+from .core.registry import available_backends, resolve_backend
 from .core.validator import validate_result
 from .harness import experiments
 from .workloads import qaoa_circuit, qft, queko_circuit, toffoli
@@ -39,8 +40,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument(
         "--synthesizer",
-        choices=("olsq2", "tb-olsq2", "sabre"),
+        choices=tuple(available_backends()),
         default="olsq2",
+        help="backend from the registry (repro.core.registry)",
     )
     comp.add_argument("--swap-duration", type=int, default=3)
     comp.add_argument("--time-budget", type=float, default=600.0)
@@ -159,6 +161,65 @@ def _build_parser() -> argparse.ArgumentParser:
     sat.add_argument(
         "--preprocess", action="store_true", help="run SatELite-style preprocessing"
     )
+
+    req = sub.add_parser(
+        "request", help="build a service CompileRequest JSON from a QASM file"
+    )
+    req.add_argument("qasm", help="path to an OpenQASM 2.0 file")
+    req.add_argument("--device", default="qx2", help="device name (see 'devices')")
+    req.add_argument("--objective", choices=("depth", "swap"), default="depth")
+    req.add_argument(
+        "--backend", choices=tuple(available_backends()), default="olsq2"
+    )
+    req.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="per-request wall-time budget in seconds (over-budget requests "
+        "return their best-so-far result flagged 'partial')",
+    )
+    req.add_argument("--swap-duration", type=int, default=None)
+    req.add_argument("--time-budget", type=float, default=None)
+    req.add_argument(
+        "--config",
+        metavar="JSON",
+        help="full SynthesisConfig wire dict as JSON "
+        "(overrides --swap-duration/--time-budget)",
+    )
+    req.add_argument("--request-id", default=None)
+    req.add_argument("--output", help="write the request JSON here (default stdout)")
+
+    srv = sub.add_parser(
+        "serve", help="run a batch of CompileRequests through the async service"
+    )
+    srv.add_argument(
+        "batch",
+        help="JSON file holding a list of CompileRequest dicts (or "
+        '{"requests": [...]}); \'-\' reads stdin',
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent solver worker processes (0 = solve inline)",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=64, help="admission queue bound"
+    )
+    srv.add_argument(
+        "--output",
+        help="write the CompileResponse list as JSON here (default stdout)",
+    )
+    srv.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache/dispatch/queue statistics to stderr afterwards",
+    )
+    srv.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a structured JSONL event trace of the service run",
+    )
     return parser
 
 
@@ -180,11 +241,7 @@ def _cmd_compile(args) -> int:
             sinks.append(StderrSink())
         tracer = Tracer(sinks=sinks)
     try:
-        if args.synthesizer == "sabre":
-            result = SABRE(swap_duration=args.swap_duration).synthesize(
-                circuit, device, objective=args.objective
-            )
-        elif args.parallel > 0:
+        if args.parallel > 0:
             from .core import ParallelDescent, PortfolioEntry, default_portfolio
 
             base = default_portfolio(
@@ -217,8 +274,10 @@ def _cmd_compile(args) -> int:
                 certify=args.certify,
                 simplify=args.simplify,
             )
-            cls = TBOLSQ2 if args.synthesizer == "tb-olsq2" else OLSQ2
-            result = cls(config).synthesize(circuit, device, objective=args.objective)
+            synthesizer = resolve_backend(args.synthesizer, config)
+            result = synthesizer.synthesize(
+                circuit, device, objective=args.objective
+            )
     finally:
         if tracer is not None:
             tracer.close()
@@ -382,6 +441,107 @@ def _cmd_sat(args) -> int:
     return 20
 
 
+def _cmd_request(args) -> int:
+    """Client mode: serialize one CompileRequest for a later ``serve`` run."""
+    import json
+
+    from .service import CompileRequest
+
+    circuit = load_qasm(args.qasm)
+    if args.config:
+        config = json.loads(args.config)
+        SynthesisConfig.from_dict(config)  # fail fast on a typo'd knob
+    else:
+        knobs = {}
+        if args.swap_duration is not None:
+            knobs["swap_duration"] = args.swap_duration
+        if args.time_budget is not None:
+            knobs["time_budget"] = args.time_budget
+        config = SynthesisConfig(**knobs).to_dict() if knobs else None
+    request = CompileRequest.from_circuit(
+        circuit,
+        args.device,
+        objective=args.objective,
+        backend=args.backend,
+        budget=args.budget,
+        config=config,
+        request_id=args.request_id,
+    )
+    text = json.dumps(request.to_dict(), indent=2)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text + "\n")
+        print(f"request written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run a request batch through the async service and emit responses."""
+    import asyncio
+    import json
+
+    from .service import CompileRequest
+    from .service.server import serve_batch
+
+    if args.batch == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.batch) as fp:
+            data = json.load(fp)
+    if isinstance(data, dict):
+        data = data.get("requests", [])
+    if not isinstance(data, list):
+        print("error: batch must be a JSON list of CompileRequest dicts")
+        return 1
+    try:
+        requests = [CompileRequest.from_dict(d) for d in data]
+    except (TypeError, ValueError) as exc:
+        print(f"error: bad request in batch: {exc}")
+        return 1
+
+    tracer = None
+    if args.trace:
+        from .telemetry import JsonlSink, Tracer
+
+        tracer = Tracer(sinks=[JsonlSink(args.trace)])
+    try:
+        responses, stats = asyncio.run(
+            serve_batch(
+                requests,
+                n_workers=args.workers,
+                max_pending=args.max_pending,
+                tracer=tracer,
+            )
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    payload = json.dumps([r.to_dict() for r in responses], indent=2)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(payload + "\n")
+        print(f"{len(responses)} responses written to {args.output}")
+    else:
+        print(payload)
+    if args.stats:
+        print(
+            f"requests={stats['requests']} "
+            f"dispatches={stats['solver_dispatches']} "
+            f"cache_hits={stats['cache_hits']} "
+            f"coalesced={stats['coalesced']} "
+            f"errors={stats['errors']} "
+            f"max_queue_depth={stats['max_queue_depth']} "
+            f"bank_clauses_served={stats['pool']['bank_clauses_served']}",
+            file=sys.stderr,
+        )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0 if all(r.ok for r in responses) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -391,6 +551,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "analyze": _cmd_analyze,
         "sat": _cmd_sat,
+        "request": _cmd_request,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

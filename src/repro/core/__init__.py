@@ -22,6 +22,12 @@ from .optimizer import IterativeSynthesizer, SynthesisTimeout, serialize_blocks
 from .parallel import ParallelDescent
 from .portfolio import PortfolioEntry, PortfolioSynthesizer, default_portfolio
 from .reference import exists_swap_free_mapping, min_swaps_lower_bound
+from .registry import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+    synthesize,
+)
 from .result import SwapEvent, SynthesisResult
 from .validator import ValidationError, is_valid, validate_result
 
@@ -43,6 +49,10 @@ __all__ = [
     "IterativeSynthesizer",
     "SynthesisTimeout",
     "serialize_blocks",
+    "synthesize",
+    "resolve_backend",
+    "register_backend",
+    "available_backends",
     "ParallelDescent",
     "PortfolioEntry",
     "PortfolioSynthesizer",

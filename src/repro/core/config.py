@@ -14,9 +14,8 @@ of valid choices, not deep inside the encoder.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Optional
+from dataclasses import InitVar, dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Optional
 
 from ..encodings.cardinality import SEQUENTIAL
 from ..smt.domain import BITVEC, ENCODINGS, INT, ONEHOT
@@ -33,6 +32,18 @@ SIMPLIFY_OFF = "off"
 SIMPLIFY_INPROCESS = "inprocess"
 SIMPLIFY_FULL = "full"
 SIMPLIFY_MODES = (SIMPLIFY_OFF, SIMPLIFY_INPROCESS, SIMPLIFY_FULL)
+
+#: Sentinel distinguishing "verbose was not passed" from any user value, so
+#: the removed kwarg can be rejected with a migration hint instead of the
+#: bare TypeError a plain unknown keyword would produce.
+_VERBOSE_REMOVED = object()
+
+#: Fields dropped by ``to_dict`` — the process-local observability hooks.
+#: They hold live objects (a Tracer with open sinks, an arbitrary callable)
+#: that cannot survive serialization; a deserialized config starts with
+#: both unset and callers re-attach what they need.  This is the one rule
+#: the service wire format, the tuning store, and bench reports share.
+NON_SERIALIZABLE_FIELDS = ("tracer", "progress_callback")
 
 
 def _choice(name: str, value, valid) -> None:
@@ -60,9 +71,12 @@ class SynthesisConfig:
       recorded through it,
     * ``progress_callback`` — shorthand for cooperative cancellation: it
       receives every trace record and returning ``False`` aborts the run
-      cleanly with the best result found so far,
-    * ``verbose`` — **deprecated** alias for attaching a human-readable
-      stderr telemetry sink.
+      cleanly with the best result found so far.
+
+    The long-deprecated ``verbose`` flag is gone: pass
+    ``tracer=Tracer(sinks=[StderrSink()])`` from :mod:`repro.telemetry`
+    instead.  Both observability hooks are process-local and excluded from
+    :meth:`to_dict` (see :data:`NON_SERIALIZABLE_FIELDS`).
     """
 
     encoding: str = BITVEC
@@ -86,9 +100,17 @@ class SynthesisConfig:
     simplify: str = SIMPLIFY_INPROCESS
     tracer: Optional[Any] = field(default=None, compare=False)
     progress_callback: Optional[Callable] = field(default=None, compare=False)
-    verbose: bool = False
+    # Removed knob: accepted only so the rejection can name the replacement.
+    verbose: InitVar[Any] = _VERBOSE_REMOVED
 
-    def __post_init__(self):
+    def __post_init__(self, verbose):
+        if verbose is not _VERBOSE_REMOVED:
+            raise TypeError(
+                "SynthesisConfig(verbose=...) was removed after a five-PR "
+                "deprecation; attach a stderr telemetry sink instead: "
+                "SynthesisConfig(tracer=Tracer(sinks=[StderrSink()])) "
+                "with Tracer and StderrSink from repro.telemetry"
+            )
         _choice("variable encoding", self.encoding, ENCODINGS)
         _choice("injectivity method", self.injectivity, INJECTIVITY_METHODS)
         _choice("cardinality method", self.cardinality, CARDINALITY_METHODS)
@@ -106,14 +128,6 @@ class SynthesisConfig:
             raise ValueError("per-solve time budget must be >= 0")
         if self.progress_callback is not None and not callable(self.progress_callback):
             raise ValueError("progress_callback must be callable")
-        if self.verbose:
-            warnings.warn(
-                "SynthesisConfig(verbose=True) is deprecated; pass "
-                "tracer=Tracer(sinks=[StderrSink()]) from repro.telemetry "
-                "instead (verbose now merely installs that sink for you)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
 
     def replace(self, **kwargs) -> "SynthesisConfig":
         return replace(self, **kwargs)
@@ -122,26 +136,61 @@ class SynthesisConfig:
         """Resolve the effective tracer for one synthesis run.
 
         Priority: an explicit ``tracer`` wins (with ``progress_callback``
-        attached to it if it has none); otherwise ``verbose`` /
-        ``progress_callback`` get a fresh :class:`~repro.telemetry.Tracer`
-        (with a stderr sink when verbose); otherwise the shared no-op
-        :data:`~repro.telemetry.NULL_TRACER`.
+        attached to it if it has none); otherwise ``progress_callback``
+        gets a fresh :class:`~repro.telemetry.Tracer`; otherwise the
+        shared no-op :data:`~repro.telemetry.NULL_TRACER`.
         """
-        from ..telemetry import NULL_TRACER, StderrSink, Tracer
+        from ..telemetry import NULL_TRACER, Tracer
 
         if self.tracer is not None:
             tracer = self.tracer
             if self.progress_callback is not None and tracer.progress_callback is None:
                 tracer.progress_callback = self.progress_callback
-            if self.verbose and not any(
-                isinstance(s, StderrSink) for s in tracer.sinks
-            ):
-                tracer.add_sink(StderrSink())
             return tracer
-        if self.verbose or self.progress_callback is not None:
-            sinks = [StderrSink()] if self.verbose else []
-            return Tracer(sinks=sinks, progress_callback=self.progress_callback)
+        if self.progress_callback is not None:
+            return Tracer(progress_callback=self.progress_callback)
         return NULL_TRACER
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The config as a JSON-serializable dict.
+
+        Every knob round-trips losslessly through :meth:`from_dict`; only
+        the process-local observability hooks in
+        :data:`NON_SERIALIZABLE_FIELDS` are dropped (they hold live
+        objects that cannot cross a wire or a process boundary).
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in NON_SERIALIZABLE_FIELDS
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SynthesisConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typo'd knob must not silently become
+        a default), with the same construction-time validation as direct
+        instantiation.
+        """
+        dropped = set(data) & set(NON_SERIALIZABLE_FIELDS)
+        if dropped:
+            raise ValueError(
+                f"fields {sorted(dropped)} are process-local and not part "
+                "of the wire format; attach them after from_dict()"
+            )
+        valid = {
+            f.name for f in fields(cls) if f.name not in NON_SERIALIZABLE_FIELDS
+        }
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown SynthesisConfig fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return cls(**data)
 
 
 def qaoa_config(**kwargs) -> SynthesisConfig:

@@ -336,9 +336,7 @@ class ParallelDescent:
         ) + 30.0
         procs = []
         for wid, entry in enumerate(self.entries):
-            cfg = entry.config.replace(
-                tracer=None, progress_callback=None, verbose=False
-            )
+            cfg = entry.config.replace(tracer=None, progress_callback=None)
             procs.append(
                 ctx.Process(
                     target=_descent_worker,

@@ -1,0 +1,129 @@
+"""Backend registry and the one-call ``repro.synthesize`` entrypoint.
+
+Before this module, every caller that wanted "a synthesizer by name" —
+the CLI ``compile`` subcommand, the service workers, ad-hoc experiment
+scripts — hand-rolled its own ``if name == ...`` dispatch, each with a
+slightly different name vocabulary and config plumbing.  The registry is
+the single source of truth: a backend *name* maps to a *factory* taking
+``(config, share)`` and returning an object satisfying the
+:class:`~repro.core.interface.Synthesizer` protocol.
+
+    import repro
+    result = repro.synthesize(qc, dev, backend="tb-olsq2", objective="swap")
+
+Factories that do not understand a keyword (SABRE has no ``share``
+channel) simply ignore it; factories pull the knobs they honour out of
+the shared :class:`SynthesisConfig` so one config object drives every
+backend uniformly — the property the service wire format relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from .config import SynthesisConfig
+from .interface import Synthesizer
+from .result import SynthesisResult
+
+#: A factory builds a ready-to-run synthesizer from a config and an
+#: optional clause-sharing endpoint (ignored by backends without one).
+BackendFactory = Callable[[SynthesisConfig, Optional[object]], Synthesizer]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or override) a backend factory under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def available_backends() -> List[str]:
+    """Sorted names accepted by :func:`resolve_backend` / :func:`synthesize`."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend(
+    name: str,
+    config: Optional[SynthesisConfig] = None,
+    share: Optional[object] = None,
+) -> Synthesizer:
+    """Build the named backend; unknown names list the valid choices."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; "
+            f"valid choices: {', '.join(available_backends())}"
+        )
+    return factory(config or SynthesisConfig(), share)
+
+
+def synthesize(
+    circuit: QuantumCircuit,
+    device: CouplingGraph,
+    *,
+    backend: str = "olsq2",
+    objective: str = "depth",
+    initial_mapping: Optional[Sequence[int]] = None,
+    config: Optional[SynthesisConfig] = None,
+) -> SynthesisResult:
+    """One-call layout synthesis through the backend registry.
+
+    ``backend`` names the synthesizer (see :func:`available_backends`:
+    ``olsq2``, ``tb-olsq2``, ``olsq``, ``tb-olsq``, ``sabre``,
+    ``satmap``); the remaining keywords are the unified
+    :class:`~repro.core.interface.Synthesizer` surface.  This is the
+    entrypoint the CLI and the :mod:`repro.service` workers dispatch
+    through, so a backend registered here is immediately servable.
+    """
+    return resolve_backend(backend, config).synthesize(
+        circuit, device, objective=objective, initial_mapping=initial_mapping
+    )
+
+
+# -- built-in backends ----------------------------------------------------
+
+
+def _olsq2(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from .olsq2 import OLSQ2
+
+    return OLSQ2(config, share=share)
+
+
+def _tb_olsq2(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from .olsq2 import TBOLSQ2
+
+    return TBOLSQ2(config, share=share)
+
+
+def _olsq(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from ..baselines.olsq import OLSQ
+
+    return OLSQ(config)
+
+
+def _tb_olsq(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from ..baselines.olsq import TBOLSQ
+
+    return TBOLSQ(config)
+
+
+def _sabre(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from ..baselines.sabre import SABRE
+
+    return SABRE(swap_duration=config.swap_duration)
+
+
+def _satmap(config: SynthesisConfig, share: Optional[object]) -> Synthesizer:
+    from ..baselines.satmap import SATMap
+
+    return SATMap(config=config)
+
+
+register_backend("olsq2", _olsq2)
+register_backend("tb-olsq2", _tb_olsq2)
+register_backend("olsq", _olsq)
+register_backend("tb-olsq", _tb_olsq)
+register_backend("sabre", _sabre)
+register_backend("satmap", _satmap)

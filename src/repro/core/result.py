@@ -131,6 +131,66 @@ class SynthesisResult:
             f"wall={self.wall_time:.2f}s"
         )
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; losslessly round-trips via :meth:`from_dict`.
+
+        The one documented exception: ``certificate`` is dropped.  It wraps
+        live encoder/proof objects whose whole value is that they were
+        checked *in this process*; a deserialized copy could no longer be
+        re-verified, so shipping it would launder an unchecked claim into a
+        checked-looking one.  ``solver_stats`` ships as plain data with
+        dict keys coerced to strings (JSON would do that anyway; doing it
+        here makes ``to_dict`` output identical before and after a JSON
+        round trip).
+        """
+        return {
+            "circuit": self.circuit.to_dict(),
+            "device": self.device.to_dict(),
+            "initial_mapping": list(self.initial_mapping),
+            "gate_times": list(self.gate_times),
+            "swaps": [[s.p, s.p_prime, s.finish_time] for s in self.swaps],
+            "swap_duration": self.swap_duration,
+            "objective": self.objective,
+            "solver_stats": _json_stable(self.solver_stats),
+            "pareto_points": [list(p) for p in self.pareto_points],
+            "optimal": self.optimal,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SynthesisResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The reconstructed result carries real :class:`QuantumCircuit` /
+        :class:`CouplingGraph` objects, so every derived quantity
+        (``depth``, ``final_mapping``, ``to_physical_circuit()``) and the
+        independent :mod:`repro.core.validator` work on it unchanged.
+        """
+        return cls(
+            circuit=QuantumCircuit.from_dict(data["circuit"]),
+            device=CouplingGraph.from_dict(data["device"]),
+            initial_mapping=list(data["initial_mapping"]),
+            gate_times=list(data["gate_times"]),
+            swaps=[SwapEvent(p, pp, t) for p, pp, t in data["swaps"]],
+            swap_duration=data["swap_duration"],
+            objective=data["objective"],
+            solver_stats=dict(data.get("solver_stats") or {}),
+            pareto_points=[tuple(p) for p in data.get("pareto_points", [])],
+            optimal=data["optimal"],
+            wall_time=data.get("wall_time", 0.0),
+        )
+
+
+def _json_stable(value):
+    """Coerce dict keys to strings, recursively, matching JSON semantics."""
+    if isinstance(value, dict):
+        return {str(k): _json_stable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_stable(v) for v in value]
+    return value
+
 
 def _apply_swap(mapping: List[int], p: int, p_prime: int) -> None:
     """Exchange the program qubits sitting on ``p`` and ``p_prime`` (if any)."""

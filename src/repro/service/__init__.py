@@ -1,0 +1,36 @@
+"""Synthesis-as-a-service: async batch server, canonical request API,
+and warm solver pools.
+
+Layout synthesis is expensive and bursty — a compilation campaign
+submits hundreds of circuits, many of them isomorphic up to qubit
+relabeling (benchmark sweeps, parameter scans, re-runs).  This package
+turns the synthesizers into a long-lived service that exploits exactly
+that structure:
+
+* :mod:`repro.service.api` — the JSON wire format
+  (:class:`CompileRequest` / :class:`CompileResponse`);
+* :mod:`repro.service.cache` — the canonical :class:`ResultCache`,
+  keyed by the relabeling-invariant fingerprint from
+  :mod:`repro.circuit.canonical`;
+* :mod:`repro.service.pool` — persistent :class:`WorkerPool` processes
+  with warm device caches and cross-request learnt-clause banks;
+* :mod:`repro.service.server` — the asyncio :class:`SynthesisService`
+  (admission queue, singleflight coalescing, budget enforcement).
+"""
+
+from .api import STATUS_ERROR, STATUS_OK, CompileRequest, CompileResponse
+from .cache import ResultCache
+from .pool import ClauseBank, WorkerPool
+from .server import SynthesisService, serve_batch
+
+__all__ = [
+    "CompileRequest",
+    "CompileResponse",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "ResultCache",
+    "ClauseBank",
+    "WorkerPool",
+    "SynthesisService",
+    "serve_batch",
+]

@@ -1,0 +1,165 @@
+"""The service wire format: :class:`CompileRequest` / :class:`CompileResponse`.
+
+Everything a client says to the service and everything it hears back is
+one of these two dataclasses, and both are plain JSON on the wire:
+``to_dict()`` emits only JSON-native values, ``from_dict()`` rebuilds the
+object with the same strict unknown-key rejection as
+:meth:`repro.core.SynthesisConfig.from_dict` (a typo'd field name must
+fail loudly, not silently become a default).
+
+A request carries the circuit as OpenQASM 2.0 text — the one
+representation every client toolchain can already produce — plus the
+*name* of a device (resolved server-side via
+:func:`repro.arch.devices.by_name`; shipping a coupling graph per request
+would defeat the server's warm per-device state).  The optional
+``config`` field is a :meth:`SynthesisConfig.to_dict` dict, so every knob
+of the paper's formulation is reachable over the wire while the
+process-local observability hooks stay out by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Type
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.qasm import parse_qasm
+
+#: Response status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def _reject_unknown(cls: Type[Any], data: Dict[str, Any]) -> None:
+    valid = {f.name for f in fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)}; "
+            f"valid fields: {sorted(valid)}"
+        )
+
+
+@dataclass
+class CompileRequest:
+    """One layout-synthesis job as submitted by a client.
+
+    ``budget`` (seconds, optional) caps this request's wall time: it
+    overrides ``config.time_budget`` and additionally arms the
+    cooperative-cancellation hook inside the worker, so an over-budget
+    run returns its best-so-far result flagged ``partial`` rather than
+    hanging the queue.  ``initial_mapping`` pins program qubit ``q`` to
+    physical qubit ``initial_mapping[q]`` in the *request's own* qubit
+    labeling; the service translates it into canonical space and back.
+    """
+
+    qasm: str
+    device: str
+    objective: str = "depth"
+    backend: str = "olsq2"
+    budget: Optional[float] = None
+    initial_mapping: Optional[List[int]] = None
+    config: Optional[Dict[str, Any]] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.qasm.strip():
+            raise ValueError("CompileRequest.qasm must be non-empty QASM text")
+        if not self.device:
+            raise ValueError("CompileRequest.device must name a device")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("CompileRequest.budget must be >= 0 seconds")
+
+    def circuit(self) -> QuantumCircuit:
+        """Parse the QASM payload (raises ``QasmError`` on bad input)."""
+        return parse_qasm(self.qasm)
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: QuantumCircuit, device: str, **kwargs: Any
+    ) -> "CompileRequest":
+        """Build a request from an in-memory circuit (serialized as QASM)."""
+        return cls(qasm=circuit.to_qasm(), device=device, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qasm": self.qasm,
+            "device": self.device,
+            "objective": self.objective,
+            "backend": self.backend,
+            "budget": self.budget,
+            "initial_mapping": (
+                None if self.initial_mapping is None else list(self.initial_mapping)
+            ),
+            "config": None if self.config is None else dict(self.config),
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileRequest":
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class CompileResponse:
+    """The service's answer to one :class:`CompileRequest`.
+
+    ``result`` is a :meth:`repro.core.SynthesisResult.to_dict` dict in the
+    *request's* qubit labeling (cache hits are translated before they are
+    returned, so a response validates against the circuit the client
+    actually sent).  ``partial`` marks an anytime best-so-far result whose
+    optimality was not proven within the budget; ``cache_hit`` marks a
+    response served from the canonical result cache (including requests
+    coalesced onto an identical in-flight solve) rather than a fresh
+    solver dispatch.
+    """
+
+    request_id: str
+    status: str = STATUS_OK
+    result: Optional[Dict[str, Any]] = None
+    partial: bool = False
+    cache_hit: bool = False
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    solver_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in (STATUS_OK, STATUS_ERROR):
+            raise ValueError(
+                f"status must be {STATUS_OK!r} or {STATUS_ERROR!r}, "
+                f"got {self.status!r}"
+            )
+        if self.status == STATUS_OK and self.result is None:
+            raise ValueError("an ok response must carry a result")
+        if self.status == STATUS_ERROR and self.error is None:
+            raise ValueError("an error response must carry an error message")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def synthesis_result(self) -> Any:
+        """The result as a live :class:`repro.core.SynthesisResult`."""
+        if self.result is None:
+            raise ValueError(f"response {self.request_id} has no result: {self.error}")
+        from ..core.result import SynthesisResult
+
+        return SynthesisResult.from_dict(self.result)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "result": self.result,
+            "partial": self.partial,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "solver_stats": dict(self.solver_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileResponse":
+        _reject_unknown(cls, data)
+        return cls(**data)

@@ -1,0 +1,73 @@
+"""The canonical result cache: solve a circuit once per equivalence class.
+
+Keys are built by the server from the *canonical* fingerprint of the
+request circuit (:func:`repro.circuit.circuit_fingerprint`) plus every
+field that changes the answer — device, backend, objective, the pinned
+initial mapping translated into canonical space, and the config wire
+dict.  Values are :meth:`SynthesisResult.to_dict` dicts *in canonical
+qubit space*; the server translates a hit back through the requesting
+circuit's relabeling, so two clients who submit the same circuit under
+different qubit namings share one solve and each receives a mapping
+valid for their own labels.
+
+Only proven-optimal results are cached by default: a ``partial``
+(budget-truncated) result reflects how much time *that* request paid,
+and serving it to a later request with a larger budget would silently
+deliver less than the client asked for.  The server exposes a
+``cache_partial`` switch for deployments that prefer recall over that
+guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+#: A fully-resolved cache key (opaque to this module; built by the server).
+CacheKey = Tuple[Any, ...]
+
+
+class ResultCache:
+    """A bounded LRU of canonical-space result dicts with hit/miss counters."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        """The cached canonical result dict, or None; counts the lookup."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, result: Dict[str, Any]) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,435 @@
+"""Persistent solver workers with warm per-device and per-formula state.
+
+A cold OLSQ2 run pays for device construction (distance matrices), CNF
+template encoding, and — most of all — every learnt clause from scratch.
+The pool keeps worker *processes* alive across requests so that state
+survives:
+
+* **device cache** — coupling graphs resolved by name once per worker,
+  so repeated requests against ``eagle`` reuse its precomputed adjacency
+  and distance structure;
+* **clause bank** — learnt clauses exported by earlier runs, keyed by
+  ``(circuit fingerprint, device, encoder share_key)`` and replayed into
+  later solves of the *same formula prefix*.  Soundness is exactly the
+  PR-3 clause-sharing contract: the bank endpoint is a duck-typed
+  :class:`~repro.sat.sharing.ShareEndpoint`, so every clause still flows
+  through :class:`~repro.sat.sharing.ShareClient`'s LBD/size/var-prefix
+  filter and key check, and imports are refused by the solver under
+  proof logging.  Adding the fingerprint to the scope closes the one gap
+  a cross-request bank opens: ``share_key`` alone pins circuit *shape*
+  (gate count, qubit counts), which is enough inside a single-formula
+  portfolio but not across different circuits of identical shape.
+
+The bank pays off precisely where the result cache cannot: a re-request
+with a larger budget after a ``partial`` answer (partials are not
+cached), or the same circuit under a different objective or cardinality
+encoding (different cache key, same base formula).
+
+Requests are routed by a stable hash of ``(fingerprint, device)`` so a
+workload family keeps hitting the worker whose bank it warmed.  Workers
+are single-threaded by construction; the pool serializes dispatch per
+worker with a lock, and a worker that dies or overruns its deadline is
+respawned (losing its bank — warm state is an optimization, never a
+correctness dependency).
+
+``n_workers=0`` selects *inline* mode: jobs run in the calling process
+with the same warm caches, which keeps tests deterministic and lets the
+async server run without multiprocessing at all.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import zlib
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Reply "kind" values.
+KIND_OK = "ok"
+KIND_TIMEOUT = "timeout"
+KIND_ERROR = "error"
+
+#: Extra seconds a worker gets beyond the request budget before the pool
+#: declares it hung and respawns it.
+DEFAULT_GRACE = 15.0
+
+#: Fallback collection deadline for jobs that carry no budget of their own.
+DEFAULT_JOB_TIMEOUT = 600.0
+
+
+class ClauseBank:
+    """Bounded learnt-clause storage, scoped by (fingerprint, device).
+
+    Entries are ``(scope, share_key) -> clause batch`` in LRU order over a
+    global clause budget; depositing past the budget evicts the oldest
+    entries whole (a bank entry is only useful complete — replaying half
+    a batch is sound but not worth tracking).
+    """
+
+    def __init__(self, max_clauses: int = 4096) -> None:
+        self.max_clauses = max_clauses
+        self._entries: "OrderedDict[Tuple[Any, ...], List[Tuple[Tuple[int, ...], int]]]"
+        self._entries = OrderedDict()
+        self._total = 0
+        self.deposited = 0
+        self.served = 0
+        self.evicted = 0
+
+    def deposit(
+        self,
+        scope: Tuple[Any, ...],
+        key: Any,
+        clauses: List[Tuple[Tuple[int, ...], int]],
+    ) -> None:
+        slot = (scope, key)
+        bucket = self._entries.get(slot)
+        if bucket is None:
+            bucket = []
+            self._entries[slot] = bucket
+        bucket.extend(clauses)
+        self._entries.move_to_end(slot)
+        self._total += len(clauses)
+        self.deposited += len(clauses)
+        while self._total > self.max_clauses and len(self._entries) > 1:
+            _slot, old = self._entries.popitem(last=False)
+            self._total -= len(old)
+            self.evicted += len(old)
+
+    def batches(
+        self, scope: Tuple[Any, ...], exclude: Any = ()
+    ) -> List[Tuple[Any, List[Tuple[Tuple[int, ...], int]]]]:
+        """Banked (share_key, clauses) batches for ``scope``, minus keys
+        already in ``exclude`` (a container of share keys)."""
+        out = []
+        for (entry_scope, key), clauses in self._entries.items():
+            if entry_scope == scope and key not in exclude and clauses:
+                out.append((key, list(clauses)))
+                self.served += len(clauses)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "clauses": self._total,
+            "deposited": self.deposited,
+            "served": self.served,
+            "evicted": self.evicted,
+        }
+
+
+class _BankEndpoint:
+    """A duck-typed ShareEndpoint backed by the worker's clause bank.
+
+    ``publish`` deposits the solver's exported clauses for future requests;
+    ``drain`` serves each banked entry at most once per request — *not*
+    once total, because the optimizer attaches a fresh ShareClient (with a
+    fresh ``share_key``) every time it grows the horizon, and a bank entry
+    for a later horizon must still be deliverable then.  The attached
+    ShareClient key-checks and signature-dedups every batch, so serving is
+    always safe, merely useless when the formula differs.
+    """
+
+    def __init__(self, bank: ClauseBank, scope: Tuple[Any, ...]) -> None:
+        self.bank = bank
+        self.scope = scope
+        self._served_keys: Set[Any] = set()
+
+    def publish(
+        self, key: Any, clauses: List[Tuple[Tuple[int, ...], int]]
+    ) -> bool:
+        self.bank.deposit(self.scope, key, clauses)
+        return True
+
+    def drain(self) -> List[Tuple[Any, List[Tuple[Tuple[int, ...], int]]]]:
+        out = self.bank.batches(self.scope, self._served_keys)
+        for key, _clauses in out:
+            self._served_keys.add(key)
+        return out
+
+
+def run_job(
+    job: Dict[str, Any],
+    devices: Dict[str, Any],
+    bank: ClauseBank,
+) -> Dict[str, Any]:
+    """Execute one solve job against warm caches; never raises.
+
+    Shared verbatim by worker processes and the pool's inline mode, so
+    both paths have identical semantics.  ``job`` is the wire dict built
+    by the server (canonical-space circuit and initial mapping); the
+    reply carries a canonical-space result dict plus warm-state counters.
+    """
+    from ..arch.devices import by_name
+    from ..circuit.circuit import QuantumCircuit
+    from ..core.config import SynthesisConfig
+    from ..core.optimizer import SynthesisTimeout
+    from ..core.registry import resolve_backend
+
+    job_id = job.get("job_id")
+    warm: Dict[str, Any] = {"device_cached": job["device"] in devices}
+    served_before = bank.served
+    try:
+        circuit = QuantumCircuit.from_dict(job["circuit"])
+        device = devices.get(job["device"])
+        if device is None:
+            device = by_name(job["device"])
+            devices[job["device"]] = device
+        config = (
+            SynthesisConfig.from_dict(job["config"])
+            if job.get("config")
+            else SynthesisConfig()
+        )
+        budget = job.get("budget")
+        if budget is not None:
+            config = config.replace(
+                time_budget=budget,
+                solve_time_budget=min(config.solve_time_budget, budget),
+            )
+        # Per-request deadline rides the cooperative-cancellation hook:
+        # once it passes, the optimizer returns its best-so-far result
+        # (flagged non-optimal) instead of starting another solve.
+        deadline = time.monotonic() + config.time_budget
+        config = config.replace(
+            progress_callback=lambda record: time.monotonic() < deadline
+        )
+        endpoint = _BankEndpoint(bank, (job["fingerprint"], job["device"]))
+        synthesizer = resolve_backend(job["backend"], config, share=endpoint)
+        result = synthesizer.synthesize(
+            circuit,
+            device,
+            objective=job["objective"],
+            initial_mapping=job.get("initial_mapping"),
+        )
+    except SynthesisTimeout as exc:
+        warm["bank_clauses_served"] = bank.served - served_before
+        return {
+            "job_id": job_id,
+            "ok": False,
+            "kind": KIND_TIMEOUT,
+            "error": f"{type(exc).__name__}: {exc}",
+            "result": None,
+            "partial": False,
+            "warm": warm,
+        }
+    except Exception as exc:  # noqa: BLE001 - reply channel, never raise
+        warm["bank_clauses_served"] = bank.served - served_before
+        return {
+            "job_id": job_id,
+            "ok": False,
+            "kind": KIND_ERROR,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=8),
+            "result": None,
+            "partial": False,
+            "warm": warm,
+        }
+    warm["bank_clauses_served"] = bank.served - served_before
+    warm["bank"] = bank.stats()
+    return {
+        "job_id": job_id,
+        "ok": True,
+        "kind": KIND_OK,
+        "error": None,
+        "result": result.to_dict(),
+        "partial": not result.optimal,
+        "warm": warm,
+    }
+
+
+def _worker_main(
+    worker_id: int, jobs: Any, replies: Any, bank_clauses: int
+) -> None:
+    """Worker-process loop: warm caches live across jobs; None shuts down."""
+    devices: Dict[str, Any] = {}
+    bank = ClauseBank(bank_clauses)
+    while True:
+        job = jobs.get()
+        if job is None:
+            break
+        replies.put(run_job(job, devices, bank))
+
+
+class WorkerPool:
+    """A fixed set of persistent solver workers with affinity routing."""
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        bank_clauses: int = 4096,
+        grace: float = DEFAULT_GRACE,
+        mp_start_method: str = "fork",
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 means inline)")
+        self.n_workers = n_workers
+        self.bank_clauses = bank_clauses
+        self.grace = grace
+        self.mp_start_method = mp_start_method
+        self.dispatches = 0
+        self.respawns = 0
+        self.bank_clauses_served = 0
+        self._workers: List[Dict[str, Any]] = []
+        self._started = False
+        # Inline-mode warm state (n_workers == 0).
+        self._inline_devices: Dict[str, Any] = {}
+        self._inline_bank = ClauseBank(bank_clauses)
+
+    @property
+    def inline(self) -> bool:
+        return self.n_workers == 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        if self._started:
+            return self
+        self._started = True
+        if not self.inline:
+            for worker_id in range(self.n_workers):
+                self._workers.append(self._spawn(worker_id))
+        return self
+
+    def _spawn(self, worker_id: int) -> Dict[str, Any]:
+        import multiprocessing as mp
+        import threading
+
+        try:
+            ctx = mp.get_context(self.mp_start_method)
+        except ValueError:
+            ctx = mp.get_context()
+        jobs = ctx.Queue()
+        replies = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, jobs, replies, self.bank_clauses),
+            name=f"synth-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        return {
+            "id": worker_id,
+            "proc": proc,
+            "jobs": jobs,
+            "replies": replies,
+            "lock": threading.Lock(),
+            "jobs_done": 0,
+        }
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        for worker in self._workers:
+            try:
+                worker["jobs"].put_nowait(None)
+            except Exception:  # noqa: BLE001 - best-effort shutdown
+                pass
+        for worker in self._workers:
+            worker["proc"].join(timeout=2.0)
+            if worker["proc"].is_alive():
+                worker["proc"].terminate()
+                worker["proc"].join(timeout=2.0)
+        self._workers = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def worker_for(self, affinity: str) -> int:
+        """Stable affinity routing so a workload family reuses its bank."""
+        if self.inline:
+            return 0
+        return zlib.crc32(affinity.encode()) % self.n_workers
+
+    def job_timeout(self, job: Dict[str, Any]) -> float:
+        """How long the pool waits before declaring the worker hung."""
+        budget = job.get("budget")
+        if budget is None:
+            config = job.get("config") or {}
+            budget = config.get("time_budget", DEFAULT_JOB_TIMEOUT)
+        return float(budget) + self.grace
+
+    def run_job(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Synchronously execute ``job`` on its affinity worker.
+
+        Thread-safe: per-worker locking serializes dispatch onto each
+        (single-threaded) worker while different workers run in parallel.
+        Called by the async server via ``run_in_executor``.
+        """
+        if not self._started:
+            raise RuntimeError("WorkerPool.run_job before start()")
+        self.dispatches += 1
+        if self.inline:
+            reply = run_job(job, self._inline_devices, self._inline_bank)
+            self._note(reply)
+            return reply
+        idx = self.worker_for(f"{job['fingerprint']}|{job['device']}")
+        worker = self._workers[idx]
+        with worker["lock"]:
+            reply = self._run_on(worker, job)
+        reply["worker"] = idx
+        self._note(reply)
+        return reply
+
+    def _run_on(
+        self, worker: Dict[str, Any], job: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        import queue as queue_mod
+
+        if not worker["proc"].is_alive():
+            self._respawn(worker)
+        worker["jobs"].put(job)
+        try:
+            reply = worker["replies"].get(timeout=self.job_timeout(job))
+            worker["jobs_done"] += 1
+            return dict(reply)
+        except queue_mod.Empty:
+            # The worker blew through budget + grace: it is wedged (or the
+            # cooperative cancellation hook never fired inside a monster
+            # solve).  Kill it; its bank is gone, correctness is not.
+            worker["proc"].terminate()
+            worker["proc"].join(timeout=2.0)
+            self._respawn(worker)
+            return {
+                "job_id": job.get("job_id"),
+                "ok": False,
+                "kind": KIND_TIMEOUT,
+                "error": (
+                    f"worker exceeded deadline ({self.job_timeout(job):.1f}s) "
+                    "and was respawned"
+                ),
+                "result": None,
+                "partial": False,
+                "warm": {},
+            }
+
+    def _respawn(self, worker: Dict[str, Any]) -> None:
+        self.respawns += 1
+        fresh = self._spawn(worker["id"])
+        worker["proc"] = fresh["proc"]
+        worker["jobs"] = fresh["jobs"]
+        worker["replies"] = fresh["replies"]
+
+    def _note(self, reply: Dict[str, Any]) -> None:
+        served = (reply.get("warm") or {}).get("bank_clauses_served", 0)
+        self.bank_clauses_served += int(served)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "n_workers": self.n_workers,
+            "inline": self.inline,
+            "dispatches": self.dispatches,
+            "respawns": self.respawns,
+            "bank_clauses_served": self.bank_clauses_served,
+        }
+        if self.inline:
+            out["bank"] = self._inline_bank.stats()
+            out["devices_cached"] = len(self._inline_devices)
+        return out

@@ -1,0 +1,419 @@
+"""The asynchronous batch compilation service.
+
+Request lifecycle::
+
+    CompileRequest
+      -> parse + canonicalize          (label-invariant fingerprint, perm)
+      -> ResultCache lookup            (hit: translate mapping, done)
+      -> singleflight coalescing       (identical in-flight solve: await it)
+      -> admission queue               (bounded; backpressure on submit)
+      -> WorkerPool dispatch           (warm device cache + clause bank)
+      -> cache fill + translate        (canonical result -> request labels)
+    CompileResponse
+
+The cache and the singleflight table both live in *canonical* circuit
+space: two requests whose circuits differ only by a qubit relabeling
+share one solve, and each response's ``initial_mapping`` is translated
+back through that request's own relabeling (``mapping[q] =
+canonical_mapping[perm[q]]``; gate times and SWAPs live in physical
+space and carry over verbatim).  A batch of k isomorphic requests
+therefore costs exactly one solver dispatch — the other k-1 are
+``cache_hit`` responses, whether they arrived before or after the first
+one finished.
+
+Everything observable emits tracer *events* (not spans: requests
+interleave on the event loop, and :class:`repro.telemetry.Tracer` spans
+form a per-thread stack) — ``service.request``, ``service.cache_hit``,
+``service.dispatch``, ``service.response`` — each carrying the request
+id and the admission queue depth at that moment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.canonical import canonical_circuit
+from ..circuit.qasm import QasmError
+from .api import STATUS_ERROR, STATUS_OK, CompileRequest, CompileResponse
+from .cache import CacheKey, ResultCache
+from .pool import KIND_TIMEOUT, WorkerPool
+
+
+class SynthesisService:
+    """Async front end over a :class:`ResultCache` and a :class:`WorkerPool`.
+
+    Use as an async context manager (or call :meth:`start` / :meth:`stop`)::
+
+        async with SynthesisService(n_workers=2) as service:
+            responses = await service.submit_batch(requests)
+
+    ``n_workers=0`` runs solves inline (in executor threads of this
+    process) — deterministic and multiprocessing-free, for tests.
+    ``cache_partial`` opts budget-truncated results into the cache; by
+    default only proven-optimal results are cached so a later, larger
+    budget is honoured with a fresh solve.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        pool: Optional[WorkerPool] = None,
+        tracer: Optional[Any] = None,
+        max_pending: int = 64,
+        cache_partial: bool = False,
+    ) -> None:
+        from ..telemetry import NULL_TRACER
+
+        self.cache = cache if cache is not None else ResultCache()
+        self.pool = pool if pool is not None else WorkerPool(n_workers=n_workers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.max_pending = max_pending
+        self.cache_partial = cache_partial
+        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._dispatchers: List["asyncio.Task[None]"] = []
+        self._inflight: Dict[CacheKey, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._req_ids = itertools.count(1)
+        self._job_ids = itertools.count(1)
+        self._known_devices: Set[str] = set()
+        self.requests = 0
+        self.responses = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.errors = 0
+        self.max_queue_depth = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "SynthesisService":
+        if self._queue is not None:
+            return self
+        self.pool.start()
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        n_dispatchers = max(1, self.pool.n_workers)
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(i)) for i in range(n_dispatchers)
+        ]
+        return self
+
+    async def stop(self) -> None:
+        if self._queue is None:
+            return
+        for _ in self._dispatchers:
+            await self._queue.put(None)
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        self._queue = None
+        self.pool.stop()
+
+    async def __aenter__(self) -> "SynthesisService":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, request: CompileRequest) -> CompileResponse:
+        """Resolve one request: cache, coalesce, or dispatch; never raises."""
+        if self._queue is None:
+            raise RuntimeError("SynthesisService.submit before start()")
+        t0 = time.monotonic()
+        self.requests += 1
+        request_id = request.request_id or f"req-{next(self._req_ids):04d}"
+        depth = self._queue.qsize()
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+        self.tracer.event(
+            "service.request",
+            request_id=request_id,
+            device=request.device,
+            backend=request.backend,
+            objective=request.objective,
+            queue_depth=depth,
+        )
+
+        try:
+            self._validate(request)
+            circuit = request.circuit()
+            key, perm, canon = self._cache_key(request, circuit)
+        except (QasmError, ValueError, TypeError) as exc:
+            return self._finish(
+                request_id,
+                t0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+        circuit_dict = circuit.to_dict()
+
+        # 1. Result cache: a finished solve of this equivalence class.
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self.tracer.event(
+                "service.cache_hit", request_id=request_id, coalesced=False
+            )
+            return self._finish(
+                request_id, t0, result=_translate(cached, perm, circuit_dict),
+                cache_hit=True,
+            )
+
+        # 2. Singleflight: an identical solve already in flight.  Waiters
+        # count as cache hits — they consume no solver dispatch.
+        existing = self._inflight.get(key)
+        if existing is not None:
+            reply = await asyncio.shield(existing)
+            self.coalesced += 1
+            if reply.get("ok"):
+                self.cache_hits += 1
+                self.tracer.event(
+                    "service.cache_hit", request_id=request_id, coalesced=True
+                )
+                return self._finish(
+                    request_id,
+                    t0,
+                    result=_translate(reply["result"], perm, circuit_dict),
+                    partial=bool(reply.get("partial")),
+                    cache_hit=True,
+                )
+            return self._finish(
+                request_id, t0, error=str(reply.get("error")),
+            )
+
+        # 3. Miss: build a canonical-space job and enter the admission
+        # queue (blocks when max_pending jobs are already waiting).
+        job = self._make_job(request, canon, perm)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            await self._queue.put((job, future))
+            reply = await asyncio.shield(future)
+        finally:
+            self._inflight.pop(key, None)
+
+        if reply.get("ok"):
+            if not reply.get("partial") or self.cache_partial:
+                self.cache.put(key, reply["result"])
+            return self._finish(
+                request_id,
+                t0,
+                result=_translate(reply["result"], perm, circuit_dict),
+                partial=bool(reply.get("partial")),
+                solver_stats=(reply["result"].get("solver_stats") or {}),
+            )
+        kind = " (timeout)" if reply.get("kind") == KIND_TIMEOUT else ""
+        return self._finish(
+            request_id, t0, error=f"{reply.get('error')}{kind}",
+        )
+
+    async def submit_batch(
+        self, requests: Sequence[CompileRequest]
+    ) -> List[CompileResponse]:
+        """Submit concurrently; responses come back in request order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate(self, request: CompileRequest) -> None:
+        """Admission control: reject unresolvable requests before they
+        consume a queue slot or a solver dispatch."""
+        from ..arch.devices import by_name
+        from ..core.registry import available_backends
+
+        if request.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {request.backend!r}; "
+                f"valid choices: {', '.join(available_backends())}"
+            )
+        if request.device not in self._known_devices:
+            by_name(request.device)  # raises ValueError on unknown names
+            self._known_devices.add(request.device)
+        if request.config is not None:
+            from ..core.config import SynthesisConfig
+
+            SynthesisConfig.from_dict(request.config)
+
+    def _cache_key(
+        self, request: CompileRequest, circuit: Any
+    ) -> Tuple[CacheKey, List[int], Any]:
+        """(cache key, relabeling, canonical circuit) for one request.
+
+        The key pins everything that changes the answer: the canonical
+        fingerprint, device name, backend, objective, the pinned initial
+        mapping *translated into canonical space*, and the config wire
+        dict (serialized with sorted keys so dict ordering is irrelevant).
+        """
+        from ..circuit.canonical import circuit_fingerprint
+
+        canon, perm = canonical_circuit(circuit)
+        fingerprint = circuit_fingerprint(circuit)
+        canon_pin: Optional[Tuple[int, ...]] = None
+        if request.initial_mapping is not None:
+            pin = list(request.initial_mapping)
+            if len(pin) != circuit.n_qubits:
+                raise ValueError(
+                    f"initial_mapping has {len(pin)} entries for "
+                    f"{circuit.n_qubits} qubits"
+                )
+            translated = [0] * len(pin)
+            for q, phys in enumerate(pin):
+                translated[perm[q]] = phys
+            canon_pin = tuple(translated)
+        config_blob = (
+            json.dumps(request.config, sort_keys=True) if request.config else None
+        )
+        key: CacheKey = (
+            fingerprint,
+            request.device,
+            request.backend,
+            request.objective,
+            canon_pin,
+            config_blob,
+        )
+        return key, perm, canon
+
+    def _make_job(
+        self, request: CompileRequest, canon: Any, perm: List[int]
+    ) -> Dict[str, Any]:
+        from ..circuit.canonical import circuit_fingerprint
+
+        canon_pin: Optional[List[int]] = None
+        if request.initial_mapping is not None:
+            canon_pin = [0] * len(perm)
+            for q, phys in enumerate(request.initial_mapping):
+                canon_pin[perm[q]] = phys
+        return {
+            "job_id": next(self._job_ids),
+            "fingerprint": circuit_fingerprint(canon),
+            "circuit": canon.to_dict(),
+            "device": request.device,
+            "backend": request.backend,
+            "objective": request.objective,
+            "initial_mapping": canon_pin,
+            "config": request.config,
+            "budget": request.budget,
+        }
+
+    async def _dispatch_loop(self, dispatcher_id: int) -> None:
+        """One consumer of the admission queue; runs pool jobs in executor
+        threads so solves never block the event loop."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            job, future = item
+            self.tracer.event(
+                "service.dispatch",
+                job_id=job["job_id"],
+                dispatcher=dispatcher_id,
+                queue_depth=self._queue.qsize(),
+            )
+            try:
+                reply = await loop.run_in_executor(None, self.pool.run_job, job)
+            except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                reply = {
+                    "job_id": job["job_id"],
+                    "ok": False,
+                    "kind": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "result": None,
+                    "partial": False,
+                    "warm": {},
+                }
+            if not future.done():
+                future.set_result(reply)
+            self._queue.task_done()
+
+    def _finish(
+        self,
+        request_id: str,
+        t0: float,
+        result: Optional[Dict[str, Any]] = None,
+        partial: bool = False,
+        cache_hit: bool = False,
+        error: Optional[str] = None,
+        solver_stats: Optional[Dict[str, Any]] = None,
+    ) -> CompileResponse:
+        wall = time.monotonic() - t0
+        self.responses += 1
+        if error is not None:
+            self.errors += 1
+            response = CompileResponse(
+                request_id=request_id,
+                status=STATUS_ERROR,
+                error=error,
+                wall_time=wall,
+            )
+        else:
+            response = CompileResponse(
+                request_id=request_id,
+                status=STATUS_OK,
+                result=result,
+                partial=partial,
+                cache_hit=cache_hit,
+                wall_time=wall,
+                solver_stats=dict(solver_stats or {}),
+            )
+        self.tracer.event(
+            "service.response",
+            request_id=request_id,
+            status=response.status,
+            partial=response.partial,
+            cache_hit=response.cache_hit,
+            wall=wall,
+        )
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "max_queue_depth": self.max_queue_depth,
+            "solver_dispatches": self.pool.dispatches,
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+        }
+
+
+def _translate(
+    canon_result: Dict[str, Any], perm: List[int], circuit_dict: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Re-express a canonical-space result in the request's qubit labels.
+
+    Only two fields mention program qubits: the circuit itself (replaced
+    by the request's own) and the initial mapping, whose rows permute as
+    ``mapping[q] = canonical_mapping[perm[q]]``.  Gate times are indexed
+    by gate position (identical — canonicalization preserves gate order)
+    and SWAPs name physical qubits, so both carry over unchanged.
+    """
+    out = dict(canon_result)
+    out["circuit"] = circuit_dict
+    canon_map = canon_result["initial_mapping"]
+    out["initial_mapping"] = [canon_map[perm[q]] for q in range(len(perm))]
+    return out
+
+
+async def serve_batch(
+    requests: Sequence[CompileRequest],
+    n_workers: int = 1,
+    max_pending: int = 64,
+    tracer: Optional[Any] = None,
+) -> Tuple[List[CompileResponse], Dict[str, Any]]:
+    """One-shot convenience: start a service, run a batch, return
+    (responses, service stats).  This is what ``repro serve`` calls."""
+    async with SynthesisService(
+        n_workers=n_workers, max_pending=max_pending, tracer=tracer
+    ) as service:
+        responses = await service.submit_batch(requests)
+        stats = service.stats()
+    return responses, stats

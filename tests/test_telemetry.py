@@ -299,8 +299,19 @@ class TestConfigTracerResolution:
         tracer = SynthesisConfig(progress_callback=cb).make_tracer()
         assert tracer.progress_callback is cb
 
-    def test_verbose_is_deprecated_and_installs_stderr_sink(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = SynthesisConfig(verbose=True)
-        tracer = cfg.make_tracer()
-        assert any(isinstance(s, StderrSink) for s in tracer.sinks)
+    def test_verbose_is_removed_with_migration_hint(self):
+        # The five-PR deprecation is complete: passing verbose= now fails
+        # at construction, and the error names the replacement.
+        with pytest.raises(TypeError, match="StderrSink"):
+            SynthesisConfig(verbose=True)
+        with pytest.raises(TypeError, match="removed"):
+            SynthesisConfig(verbose=False)
+
+    def test_verbose_is_not_a_field(self):
+        # InitVar keeps the kwarg rejectable without making it state:
+        # replace() and to_dict() must not see a 'verbose' field.
+        from dataclasses import fields
+
+        assert "verbose" not in {f.name for f in fields(SynthesisConfig)}
+        assert "verbose" not in SynthesisConfig().to_dict()
+        SynthesisConfig().replace(swap_duration=1)  # replace still works
