@@ -56,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "at encode time)",
     )
     comp.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default="auto",
+        help="SAT-solver backend: 'native' requires the compiled kernel "
+        "(python -m repro.sat.kernel.build), 'python' forces the pure "
+        "interpreter loops, 'auto' picks native when built",
+    )
+    comp.add_argument(
         "--parallel",
         type=int,
         default=0,
@@ -161,6 +169,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sat.add_argument(
         "--preprocess", action="store_true", help="run SatELite-style preprocessing"
     )
+    sat.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default="auto",
+        help="solver backend (see 'compile --kernel')",
+    )
 
     req = sub.add_parser(
         "request", help="build a service CompileRequest JSON from a QASM file"
@@ -220,6 +234,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a structured JSONL event trace of the service run",
     )
+    srv.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default=None,
+        help="force a solver backend for every request in the batch "
+        "(overrides each request's config; see 'compile --kernel')",
+    )
     return parser
 
 
@@ -250,7 +271,9 @@ def _cmd_compile(args) -> int:
             entries = [
                 PortfolioEntry(
                     f"{base[i % len(base)].name}#{i}",
-                    base[i % len(base)].config.replace(simplify=args.simplify),
+                    base[i % len(base)].config.replace(
+                        simplify=args.simplify, kernel=args.kernel
+                    ),
                     args.synthesizer == "tb-olsq2",
                 )
                 for i in range(args.parallel)
@@ -273,6 +296,7 @@ def _cmd_compile(args) -> int:
                 tracer=tracer,
                 certify=args.certify,
                 simplify=args.simplify,
+                kernel=args.kernel,
             )
             synthesizer = resolve_backend(args.synthesizer, config)
             result = synthesizer.synthesize(
@@ -417,7 +441,9 @@ def _cmd_sat(args) -> int:
             print("c (refuted during preprocessing)")
             return 20
         print(f"c preprocessed to {formula.num_clauses} clauses")
-    solver = Solver(proof_log=args.certify and not args.preprocess)
+    solver = Solver(
+        proof_log=args.certify and not args.preprocess, kernel=args.kernel
+    )
     formula.to_solver(solver)
     status = solver.solve(time_budget=args.time_budget)
     if status is SatResult.UNKNOWN:
@@ -495,6 +521,13 @@ def _cmd_serve(args) -> int:
     if not isinstance(data, list):
         print("error: batch must be a JSON list of CompileRequest dicts")
         return 1
+    if args.kernel is not None:
+        # Force one solver backend batch-wide; requests' configs keep
+        # every other knob they specified.
+        data = [
+            {**d, "config": {**(d.get("config") or {}), "kernel": args.kernel}}
+            for d in data
+        ]
     try:
         requests = [CompileRequest.from_dict(d) for d in data]
     except (TypeError, ValueError) as exc:

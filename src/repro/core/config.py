@@ -98,6 +98,11 @@ class SynthesisConfig:
     # runs bounded variable elimination over the thawed auxiliary
     # variables at encode time.
     simplify: str = SIMPLIFY_INPROCESS
+    # SAT-solver backend (repro.sat.kernel): "python" forces the pure
+    # interpreter loops, "native" requires the compiled kernel, "auto"
+    # (default) uses the kernel when built, honouring the REPRO_KERNEL
+    # environment variable.  Both backends are byte-for-byte equivalent.
+    kernel: str = "auto"
     tracer: Optional[Any] = field(default=None, compare=False)
     progress_callback: Optional[Callable] = field(default=None, compare=False)
     # Removed knob: accepted only so the rejection can name the replacement.
@@ -116,6 +121,18 @@ class SynthesisConfig:
         _choice("cardinality method", self.cardinality, CARDINALITY_METHODS)
         _choice("warm-start source", self.warm_start, WARM_START_SOURCES)
         _choice("simplify mode", self.simplify, SIMPLIFY_MODES)
+        # Validate kernel choice *and* availability up front: asking for
+        # the native backend without the built extension should fail at
+        # config construction with the remedy, not deep inside a solve.
+        from ..sat.kernel import BACKENDS, native_available
+
+        _choice("solver kernel", self.kernel, BACKENDS)
+        if self.kernel == "native" and not native_available():
+            raise ValueError(
+                "kernel='native' requested but the compiled kernel is not "
+                "available; build it with 'python -m repro.sat.kernel.build' "
+                "or use kernel='auto' to fall back to the pure-Python solver"
+            )
         if self.swap_duration < 1:
             raise ValueError("swap duration must be >= 1")
         if self.tub_ratio < 1.0:

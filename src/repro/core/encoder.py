@@ -85,7 +85,9 @@ class LayoutEncoder:
         self.horizon = horizon
         self.config = config or SynthesisConfig()
         self.transition_based = transition_based
-        self.ctx = ctx or SMTContext()
+        # The default sink honours the config's kernel choice ("auto" /
+        # "python" / "native"); an explicitly passed ctx keeps its sink.
+        self.ctx = ctx or SMTContext(sink=Solver(kernel=self.config.kernel))
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer is not NULL_TRACER and isinstance(self.ctx.sink, Solver):
             # Let the solver publish per-solve stats snapshots into the

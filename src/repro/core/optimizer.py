@@ -111,7 +111,9 @@ class IterativeSynthesizer:
             # assumptions certify without re-solving.  Clause *imports* are
             # automatically refused under proof logging (the sharing
             # exclusivity rule); exports remain sound and stay on.
-            kwargs["ctx"] = SMTContext(sink=Solver(proof_log=True))
+            kwargs["ctx"] = SMTContext(
+                sink=Solver(proof_log=True, kernel=self.config.kernel)
+            )
         encoder = self.encoder_cls(
             self.circuit,
             self.device,

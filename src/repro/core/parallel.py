@@ -41,7 +41,7 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import longest_chain_length
 from ..sat.result import SatResult
-from ..sat.sharing import ShareRelay
+from ..sat.sharing import SharedClauseRing, ShareRelay
 from ..sat.solver import Solver
 from ..telemetry import NULL_TRACER
 from .interface import check_initial_mapping, check_objective
@@ -238,6 +238,11 @@ class ParallelDescent:
         Worker count when ``entries`` is not given (default 2).
     share:
         Exchange learnt clauses between workers (needs >= 2 workers).
+    share_transport:
+        ``"shm"`` — zero-copy shared-memory ring
+        (:class:`~repro.sat.sharing.SharedClauseRing`); ``"queue"`` — the
+        relay-thread queue bus; ``"auto"`` (default) — the ring, falling
+        back to queues if shared memory is unavailable on the platform.
     slice_budget:
         Seconds per solver slice; bounds the retargeting latency.
     certify:
@@ -256,6 +261,7 @@ class ParallelDescent:
         n_workers: Optional[int] = None,
         time_budget: float = 300.0,
         share: bool = True,
+        share_transport: str = "auto",
         slice_budget: float = 1.0,
         share_buffer: int = 64,
         swap_duration: int = 3,
@@ -286,8 +292,14 @@ class ParallelDescent:
                 "mixing time-resolved and transition-based entries would "
                 "make their depth bounds incomparable"
             )
+        if share_transport not in ("auto", "shm", "queue"):
+            raise ValueError(
+                f"share_transport must be 'auto', 'shm' or 'queue', "
+                f"got {share_transport!r}"
+            )
         self.time_budget = time_budget
         self.share = share
+        self.share_transport = share_transport
         self.slice_budget = slice_budget
         self.share_buffer = share_buffer
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -318,15 +330,35 @@ class ParallelDescent:
             else mp.get_context()
         )
         relay = None
+        ring = None
+        ring_final_stats = None
+        transport_used = None
         endpoints: List[Optional[object]] = [None] * n
         if self.share and n > 1:
-            relay = ShareRelay(
-                n,
-                buffer=self.share_buffer,
-                queue_factory=lambda: ctx.Queue(self.share_buffer),
-            )
-            endpoints = [relay.endpoint(i) for i in range(n)]
-            relay.start()
+            if self.share_transport in ("auto", "shm"):
+                # Zero-copy path: one shared-memory ring every worker
+                # appends to and reads from directly — no relay thread,
+                # no pickling, no per-hop queue copy.
+                try:
+                    ring = SharedClauseRing(
+                        capacity_words=max(1 << 14, self.share_buffer * 512),
+                        ctx=ctx,
+                    )
+                    endpoints = [ring.endpoint(i) for i in range(n)]
+                    transport_used = "shm"
+                except Exception:
+                    if self.share_transport == "shm":
+                        raise
+                    ring = None
+            if ring is None:
+                relay = ShareRelay(
+                    n,
+                    buffer=self.share_buffer,
+                    queue_factory=lambda: ctx.Queue(self.share_buffer),
+                )
+                endpoints = [relay.endpoint(i) for i in range(n)]
+                relay.start()
+                transport_used = "queue"
         res_q = ctx.Queue()
         cmd_qs = [ctx.Queue() for _ in range(n)]
         # Workers outlive the depth deadline when a swap phase follows
@@ -355,7 +387,8 @@ class ParallelDescent:
                 "parallel.synthesize",
                 workers=n,
                 objective=objective,
-                share=relay is not None,
+                share=transport_used is not None,
+                share_transport=transport_used,
             ):
                 result = self._run(
                     circuit, objective, pool, procs, counters, started
@@ -389,6 +422,10 @@ class ParallelDescent:
                 proc.join(timeout=5)
             if relay is not None:
                 relay.stop()
+            if ring is not None:
+                # Workers are gone; the coordinator owns the segment.
+                ring_final_stats = ring.stats()
+                ring.close(unlink=True)
         self.outcomes = [(name, err) for name, err in pool.errors]
         result.wall_time = time.monotonic() - started
         result.solver_stats = dict(result.solver_stats)
@@ -397,7 +434,8 @@ class ParallelDescent:
         }
         parallel = {
             "workers": n,
-            "share": relay is not None,
+            "share": transport_used is not None,
+            "share_transport": transport_used,
             "pruned_probes": counters["pruned"],
             "clauses_exported": sum(
                 s.get("exported_clauses", 0) for s in per_worker.values()
@@ -412,6 +450,8 @@ class ParallelDescent:
         }
         if relay is not None:
             parallel["relay"] = relay.stats()
+        if ring_final_stats is not None:
+            parallel["ring"] = ring_final_stats
         result.solver_stats["parallel"] = parallel
         if self.certify:
             self._attach_certificate(result, circuit, device, mapping, objective)

@@ -26,7 +26,10 @@ from .sharing import (
     ShareClient,
     ShareEndpoint,
     ShareRelay,
+    SharedClauseRing,
+    ShmShareEndpoint,
     clause_signature,
+    key_hash,
 )
 from .solver import Clause, Solver, SolverStats, luby
 from .types import (
@@ -59,7 +62,10 @@ __all__ = [
     "ShareClient",
     "ShareEndpoint",
     "ShareRelay",
+    "SharedClauseRing",
+    "ShmShareEndpoint",
     "clause_signature",
+    "key_hash",
     "Solver",
     "SolverStats",
     "luby",

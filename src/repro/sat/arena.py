@@ -26,16 +26,21 @@ The arena deliberately knows nothing about solving — it is a typed heap.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from array import array
+from typing import Iterable, List, Sequence, Union
 
 #: Trigger compaction when this fraction of ``lits`` is dead storage.
 GC_FRACTION = 0.25
+
+IntBuf = Union[List[int], "array[int]"]
+FloatBuf = Union[List[float], "array[float]"]
 
 
 class ClauseArena:
     """Flat storage for clauses addressed by stable integer references."""
 
     __slots__ = (
+        "typed",
         "lits",
         "start",
         "size",
@@ -49,32 +54,40 @@ class ClauseArena:
         "_pending_free",
         "_free",
         "n_live",
+        "version",
     )
 
-    def __init__(self) -> None:
-        # All int-valued buffers are plain lists: in CPython, list indexing
-        # is faster than array('i') indexing (no per-access int boxing),
-        # while still being one contiguous buffer of machine words
-        # (pointers).  The hot loops index ``lits``/``start``/``size`` on
-        # every non-blocked watcher visit.
-        self.lits: List[int] = []
-        self.start: List[int] = []
-        self.size: List[int] = []  # -1 == dead
-        self.learnt: List[int] = []
-        self.lbd: List[int] = []
+    def __init__(self, typed: bool = False) -> None:
+        # Two storage modes, same algorithms (both containers share the
+        # list subscript/append/extend API):
+        #
+        # - ``typed=False``: plain lists.  In CPython, list indexing is
+        #   faster than array('i') indexing (no per-access int boxing),
+        #   while still being one contiguous buffer of machine words
+        #   (pointers).  The pure-Python hot loops index ``lits``/
+        #   ``start``/``size`` on every non-blocked watcher visit.
+        # - ``typed=True``: array('i'/'d') buffers whose raw memory the
+        #   compiled kernel reads and writes zero-copy via cffi
+        #   ``from_buffer`` (see repro.sat.kernel).
+        self.typed = typed
+        self.lits: IntBuf = array("i") if typed else []
+        self.start: IntBuf = array("i") if typed else []
+        self.size: IntBuf = array("i") if typed else []  # -1 == dead
+        self.learnt: IntBuf = array("i") if typed else []
+        self.lbd: IntBuf = array("i") if typed else []
         # Circular new-watch search position (clause-relative, >= 2): the
         # propagator resumes its replacement-literal scan where the last
         # one left off instead of rescanning the false prefix each visit
         # (Gent's "watched literals with positional memory").
-        self.spos: List[int] = []
-        self.act: List[float] = []
+        self.spos: IntBuf = array("i") if typed else []
+        self.act: FloatBuf = array("d") if typed else []
         # Learnt-clause tier (see Solver._reduce_db): 0 = core (kept
         # forever), 1 = tier2 (demoted when unused), 2 = local (reduced
         # aggressively).  Problem clauses stay at 0 and never consult it.
-        self.tier: List[int] = []
+        self.tier: IntBuf = array("i") if typed else []
         # Conflict-count stamp of the last time conflict analysis walked
         # the clause; drives tier2 -> local demotion.
-        self.touch: List[int] = []
+        self.touch: IntBuf = array("i") if typed else []
         #: literals occupied by dead clauses (reclaimed by compact()).
         self.wasted = 0
         # Dead crefs whose watcher entries may still linger; they move to
@@ -82,6 +95,10 @@ class ClauseArena:
         self._pending_free: List[int] = []
         self._free: List[int] = []
         self.n_live = 0
+        # Bumped whenever a buffer may have grown or been replaced (every
+        # alloc / compact).  The native kernel caches raw buffer addresses
+        # and uses this to know when to re-bind them (Solver._k_sync).
+        self.version = 0
 
     # -- allocation ----------------------------------------------------
 
@@ -115,6 +132,7 @@ class ClauseArena:
             self.tier[cref] = 0
             self.touch[cref] = 0
         self.n_live += 1
+        self.version += 1
         return cref
 
     def free(self, cref: int) -> None:
@@ -147,7 +165,7 @@ class ClauseArena:
 
     def compact(self) -> None:
         """Rebuild ``lits`` densely.  Crefs stay valid; only offsets move."""
-        new_lits: List[int] = []
+        new_lits: IntBuf = array("i") if self.typed else []
         start, size, lits = self.start, self.size, self.lits
         for cref in range(len(start)):
             sz = size[cref]
@@ -158,6 +176,7 @@ class ClauseArena:
             new_lits.extend(lits[base : base + sz])
         self.lits = new_lits
         self.wasted = 0
+        self.version += 1
 
     def recycle(self) -> None:
         """Make pending-dead crefs reusable.

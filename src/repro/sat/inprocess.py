@@ -44,7 +44,7 @@ the formula:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from .preprocess import ModelReconstructor, _signature
 from .solver import BIN_BASE, NO_CLAUSE, Solver
@@ -72,7 +72,7 @@ class Inprocessor:
         self.solver = solver
         self._probe_cursor = 0
         self._vivify_cursor = 0
-        self._saved_phases: List[bool] = []
+        self._saved_phases: Sequence[int] = []
 
     # ------------------------------------------------------------------
     # Entry point
@@ -126,7 +126,9 @@ class Inprocessor:
         # Probing and vivification propagate and backtrack; without this
         # snapshot the cancellations would overwrite the saved phases of
         # every variable they touch and derail the subsequent search.
-        self._saved_phases = list(s.polarity)
+        # A slice copy keeps the container type (list or, under the native
+        # kernel, array('b')) so _finish can slice-assign it back.
+        self._saved_phases = s.polarity[:]
 
     def _finish(self) -> None:
         s = self.solver

@@ -20,7 +20,15 @@ Pieces, from the solver outward:
 * :class:`ShareRelay` — the hub owned by the coordinating process: a
   background thread fans every published batch out to every *other*
   worker's bounded inbound queue, dropping batches when a consumer lags
-  (sharing is best-effort; correctness never depends on delivery).
+  (sharing is best-effort; correctness never depends on delivery);
+* :class:`SharedClauseRing` / :class:`ShmShareEndpoint` — the zero-copy
+  transport: one ``multiprocessing.shared_memory`` ring of int32 words
+  that every worker appends batches to and every *other* worker reads
+  directly out of shared memory.  No relay thread, no pickling, no
+  per-hop copy through queue pipes; a reader that laps behind the writer
+  simply skips to the write head (best-effort, like the queue bus).
+  :class:`~repro.core.parallel.ParallelDescent` prefers this transport
+  and falls back to the queue relay if shared memory is unavailable.
 
 Soundness: a learnt clause is a logical consequence of the emitting
 worker's *formula* (never of its assumptions — conflict analysis resolves
@@ -34,8 +42,10 @@ batches whose key differs from their own.
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
+from array import array
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 #: Export at most this many clauses per exchange (bounded buffer).
@@ -253,3 +263,282 @@ class ShareRelay:
 
     def stats(self) -> dict:
         return {"relayed": self.relayed, "dropped": self.dropped}
+
+
+# ----------------------------------------------------------------------
+# Zero-copy transport: a shared-memory clause ring
+# ----------------------------------------------------------------------
+
+#: int64 header slots at the start of the segment.
+_H_WRITE = 0  # absolute write position, in data words (monotonic)
+_H_PUBLISHED = 1  # batches successfully appended
+_H_DROPPED = 2  # reader laps + oversize batches rejected at publish
+_HEADER_WORDS = 3
+
+
+def key_hash(key: object) -> int:
+    """Deterministic 64-bit FNV-1a hash of a share-context key.
+
+    The ring stores batches as flat integers, so the (arbitrary, hashable)
+    context key travels as this digest.  Like :func:`clause_signature`, a
+    collision can only cause a batch to be *accepted* by a worker with a
+    different-but-colliding key — with a 64-bit digest over keys that are
+    short structured tuples, never in practice; and sharing remains sound
+    because receivers still only learn clauses over their common prefix.
+    """
+    h = _FNV_OFFSET
+    for b in repr(key).encode():
+        h = ((h ^ b) * _FNV_PRIME) & _MASK64
+    return h
+
+
+class _KeyHash:
+    """A context-key digest that compares equal to the key it digests.
+
+    :meth:`ShareClient.take_imports` filters batches with
+    ``key != self.key`` where ``self.key`` is the receiver's *original*
+    key object.  Ring batches only carry the digest, so drain() wraps it
+    in this type, whose equality hashes the other side before comparing —
+    the client-side filter works unchanged on both transports.
+    """
+
+    __slots__ = ("h",)
+
+    def __init__(self, h: int) -> None:
+        self.h = h
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _KeyHash):
+            return self.h == other.h
+        return self.h == key_hash(other)
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self.h)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_KeyHash({self.h:#018x})"
+
+
+def _to_i32(x: int) -> int:
+    """Reinterpret an unsigned 32-bit value as a signed int32 word."""
+    return x - 0x100000000 if x >= 0x80000000 else x
+
+
+def _to_u32(x: int) -> int:
+    """Inverse of :func:`_to_i32`."""
+    return x + 0x100000000 if x < 0 else x
+
+
+class ShmShareEndpoint:
+    """One worker's handle on a :class:`SharedClauseRing`.
+
+    Same ``publish``/``drain`` duck type as :class:`ShareEndpoint`, so
+    :class:`ShareClient` works unchanged.  Picklable: carries only the
+    segment name, the lock and scalars; the mapping is attached lazily on
+    first use in whichever process the endpoint lands in.
+    """
+
+    def __init__(self, worker_id: int, name: str, capacity: int, lock) -> None:
+        self.worker_id = worker_id
+        self.name = name
+        self.capacity = capacity
+        self.lock = lock
+        #: absolute data-word position this reader has consumed up to.
+        self.cursor = 0
+        self.lapped = 0
+        self._shm = None
+        self._hdr: Optional[memoryview] = None
+        self._dat: Optional[memoryview] = None
+
+    def __getstate__(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "name": self.name,
+            "capacity": self.capacity,
+            "lock": self.lock,
+            "cursor": self.cursor,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["worker_id"], state["name"], state["capacity"], state["lock"]
+        )
+        self.cursor = state["cursor"]
+
+    def _ensure(self) -> None:
+        if self._shm is not None:
+            return
+        from multiprocessing import shared_memory
+
+        # Note on the resource tracker: Python < 3.13 registers this
+        # *attachment* too, but the workers share the coordinator's
+        # tracker process (fork/spawn both inherit it) and its cache is a
+        # set, so the duplicate is a no-op.  Do NOT unregister here — that
+        # would clobber the creator's single registration and break the
+        # final unlink.  The creator (SharedClauseRing.close) owns the
+        # segment's lifetime; the tracker is only the crash backstop.
+        shm = shared_memory.SharedMemory(name=self.name)
+        self._shm = shm
+        self._hdr = shm.buf[: 8 * _HEADER_WORDS].cast("q")
+        self._dat = shm.buf[8 * _HEADER_WORDS :].cast("i")
+
+    # -- the ShareEndpoint duck type -----------------------------------
+
+    def publish(self, key, clauses: Sequence[Tuple[Tuple[int, ...], int]]) -> bool:
+        """Append one batch; False when it exceeds the whole ring."""
+        self._ensure()
+        h = key_hash(key)
+        words = array("i", (0, self.worker_id, _to_i32(h & 0xFFFFFFFF),
+                            _to_i32(h >> 32), len(clauses)))
+        for lits, lbd in clauses:
+            words.append(lbd)
+            words.append(len(lits))
+            words.extend(lits)
+        words[0] = len(words)
+        cap = self.capacity
+        hdr, dat = self._hdr, self._dat
+        assert hdr is not None and dat is not None
+        if len(words) > cap:
+            with self.lock:
+                hdr[_H_DROPPED] += 1
+            return False
+        with self.lock:
+            w = hdr[_H_WRITE]
+            lo = w % cap
+            first = min(len(words), cap - lo)
+            dat[lo : lo + first] = words[:first]
+            if first < len(words):
+                dat[: len(words) - first] = words[first:]
+            hdr[_H_WRITE] = w + len(words)
+            hdr[_H_PUBLISHED] += 1
+        return True
+
+    def drain(self) -> List[Tuple[object, List[Tuple[Tuple[int, ...], int]]]]:
+        """Decode every batch published since the last drain.
+
+        The span copy happens under the lock (so a concurrent writer can
+        never overwrite words mid-read); decoding happens outside it.  A
+        reader that fell more than one ring behind has lost the record
+        boundaries and skips straight to the write head, counting the lap.
+        """
+        self._ensure()
+        cap = self.capacity
+        hdr, dat = self._hdr, self._dat
+        assert hdr is not None and dat is not None
+        with self.lock:
+            w = int(hdr[_H_WRITE])
+            cur = self.cursor
+            if w - cur > cap:
+                self.lapped += 1
+                hdr[_H_DROPPED] += 1
+                cur = w
+            if w == cur:
+                self.cursor = w
+                return []
+            lo, hi = cur % cap, w % cap
+            if lo < hi:
+                pending = dat[lo:hi].tolist()
+            else:
+                pending = dat[lo:].tolist() + dat[:hi].tolist()
+            self.cursor = w
+        out: List[Tuple[object, List[Tuple[Tuple[int, ...], int]]]] = []
+        pos = 0
+        end = len(pending)
+        while pos < end:
+            total = pending[pos]
+            wid = pending[pos + 1]
+            if wid != self.worker_id:  # skip our own batches
+                h = _to_u32(pending[pos + 2]) | (_to_u32(pending[pos + 3]) << 32)
+                n_clauses = pending[pos + 4]
+                clauses: List[Tuple[Tuple[int, ...], int]] = []
+                p = pos + 5
+                for _ in range(n_clauses):
+                    lbd = pending[p]
+                    size = pending[p + 1]
+                    clauses.append((tuple(pending[p + 2 : p + 2 + size]), lbd))
+                    p += 2 + size
+                out.append((_KeyHash(h), clauses))
+            pos += total
+        return out
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        # Release the cast views *before* closing the mapping — an
+        # exported memoryview makes SharedMemory.close() a BufferError.
+        self._hdr.release()  # type: ignore[union-attr]
+        self._dat.release()  # type: ignore[union-attr]
+        self._shm.close()
+        self._shm = self._hdr = self._dat = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class SharedClauseRing:
+    """A clause bus in one ``multiprocessing.shared_memory`` segment.
+
+    Layout: three int64 header words (absolute write position in data
+    words, published-batch count, dropped count) followed by ``capacity``
+    int32 data words used as a circular buffer of variable-length records::
+
+        [total_words, wid, key_lo, key_hi, n_clauses,
+         {lbd, size, lit0, lit1, ...} * n_clauses]
+
+    Writers append under one cross-process lock and never block on
+    readers: the ring overwrites oldest data, and each reader detects the
+    lap from its private cursor (see :meth:`ShmShareEndpoint.drain`).
+    Owned by the coordinator, which must call :meth:`close` with
+    ``unlink=True`` exactly once after the workers are gone.
+    """
+
+    def __init__(self, capacity_words: int = 1 << 16, ctx=None) -> None:
+        from multiprocessing import shared_memory
+
+        if capacity_words < 64:
+            raise ValueError("ring capacity must be at least 64 words")
+        mp_ctx = ctx if ctx is not None else multiprocessing
+        self.capacity = int(capacity_words)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=8 * _HEADER_WORDS + 4 * self.capacity
+        )
+        self.name = self._shm.name
+        self.lock = mp_ctx.Lock()
+        self._hdr = self._shm.buf[: 8 * _HEADER_WORDS].cast("q")
+        self._hdr[_H_WRITE] = 0
+        self._hdr[_H_PUBLISHED] = 0
+        self._hdr[_H_DROPPED] = 0
+
+    def endpoint(self, worker_id: int) -> ShmShareEndpoint:
+        return ShmShareEndpoint(worker_id, self.name, self.capacity, self.lock)
+
+    def stats(self) -> dict:
+        return {
+            "published": int(self._hdr[_H_PUBLISHED]),
+            "dropped": int(self._hdr[_H_DROPPED]),
+        }
+
+    def close(self, unlink: bool = False) -> None:
+        if self._shm is None:
+            return
+        self._hdr.release()
+        self._shm.close()
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._shm = None
+        self._hdr = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering guard
+        try:
+            self.close()
+        except Exception:
+            pass

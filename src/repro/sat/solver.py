@@ -43,9 +43,10 @@ rationale and measured effect.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
+from array import array
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Set
 
-from .arena import ClauseArena
+from .arena import ClauseArena, FloatBuf, IntBuf
 from .preprocess import ModelReconstructor
 from .result import SatResult
 from .types import FALSE, TRUE, UNDEF, neg
@@ -66,6 +67,16 @@ NO_CLAUSE = -1
 BIN_BASE = -2
 
 _TER_MASK = 0xFFFFFFFF
+
+
+def _addr(buf: Any) -> int:
+    """Raw base address of an ``array`` buffer.
+
+    Unlike ``ffi.from_buffer``, ``buffer_info()`` does not export the
+    buffer, so the array stays resizable; the caller (the kernel binding
+    layer) is responsible for rebinding after any growth.
+    """
+    return int(buf.buffer_info()[0])
 
 
 def _packed_reason_lits(tag: int) -> tuple:
@@ -117,7 +128,13 @@ class SolverStats:
         "strengthened_clauses",
         "eliminated_vars",
         "lbd_counts",
+        "kernel",
     )
+
+    #: Slots excluded from :meth:`snapshot`, which must stay numeric so the
+    #: per-solve telemetry can diff it (``lbd_counts`` is a histogram,
+    #: ``kernel`` a backend name string).
+    _NON_SCALAR = frozenset({"lbd_counts", "kernel"})
 
     def __init__(self) -> None:
         self.conflicts = 0
@@ -145,15 +162,27 @@ class SolverStats:
         self.eliminated_vars = 0
         # LBD value -> number of clauses learnt with that LBD (cumulative).
         self.lbd_counts: dict = {}
+        # The propagation/analysis backend actually driving this solver
+        # ("python" or "native"); set by Solver.__init__.
+        self.kernel = "python"
 
     def as_dict(self) -> dict:
-        d = {name: getattr(self, name) for name in self.__slots__ if name != "lbd_counts"}
+        d = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._NON_SCALAR
+        }
         d["lbd_counts"] = dict(self.lbd_counts)
+        d["kernel"] = self.kernel
         return d
 
     def snapshot(self) -> dict:
         """Flat scalar counters (no histogram) — cheap to diff per solve()."""
-        return {name: getattr(self, name) for name in self.__slots__ if name != "lbd_counts"}
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._NON_SCALAR
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -182,12 +211,19 @@ def luby(y: float, x: int) -> float:
 class _VarOrderHeap:
     """Indexed max-heap over variable activities (the VSIDS order)."""
 
-    __slots__ = ("activity", "heap", "indices")
+    __slots__ = ("activity", "heap", "indices", "n")
 
-    def __init__(self, activity: List[float]):
+    def __init__(self, activity: FloatBuf, typed: bool = False):
         self.activity = activity
-        self.heap: List[int] = []
-        self.indices: List[int] = []
+        # ``typed`` switches the heap arrays to array('i') so the compiled
+        # kernel can pop/reinsert/percolate in place (zero-copy view).
+        # ``heap`` is preallocated to one slot per variable with the live
+        # prefix length in ``n`` — C cannot append to a Python container,
+        # and a fixed-capacity heap never needs to (it holds at most every
+        # variable once).
+        self.heap: IntBuf = array("i") if typed else []
+        self.indices: IntBuf = array("i") if typed else []
+        self.n = 0
 
     def _lt(self, u: int, v: int) -> bool:
         return self.activity[u] > self.activity[v]
@@ -215,7 +251,7 @@ class _VarOrderHeap:
         heap, indices, activity = self.heap, self.indices, self.activity
         x = heap[i]
         ax = activity[x]
-        n = len(heap)
+        n = self.n
         while True:
             left = 2 * i + 1
             if left >= n:
@@ -239,13 +275,16 @@ class _VarOrderHeap:
     def grow_to(self, n_vars: int) -> None:
         while len(self.indices) < n_vars:
             self.indices.append(-1)
+            self.heap.append(0)  # capacity slot; live prefix is self.n
 
     def insert(self, v: int) -> None:
         if self.indices[v] >= 0:
             return
-        self.indices[v] = len(self.heap)
-        self.heap.append(v)
-        self._percolate_up(self.indices[v])
+        n = self.n
+        self.indices[v] = n
+        self.heap[n] = v
+        self.n = n + 1
+        self._percolate_up(n)
 
     def decrease(self, v: int) -> None:
         """Activity of ``v`` increased; restore heap order."""
@@ -255,16 +294,18 @@ class _VarOrderHeap:
     def pop(self) -> int:
         heap, indices = self.heap, self.indices
         x = heap[0]
-        last = heap.pop()
+        self.n -= 1
+        n = self.n
+        last = heap[n]
         indices[x] = -1
-        if heap:
+        if n:
             heap[0] = last
             indices[last] = 0
             self._percolate_down(0)
         return x
 
     def __len__(self) -> int:
-        return len(self.heap)
+        return self.n
 
 
 class Solver:
@@ -309,7 +350,45 @@ class Solver:
     #: call runs one at entry (incremental queries between restarts).
     SOLVE_INPROCESS_DELTA = 500
 
-    def __init__(self, proof_log: bool = False) -> None:
+    def __init__(
+        self, proof_log: bool = False, kernel: Optional[str] = None
+    ) -> None:
+        # Backend selection (see repro.sat.kernel): "python" keeps every
+        # structure a plain list (the fastest layout for the interpreter);
+        # "native" lays per-variable state and the arena out in typed
+        # array buffers and runs propagate/analyze in the
+        # compiled kernel over those buffers zero-copy.  Both backends are
+        # byte-for-byte equivalent (same trail, learnts, proof log).
+        from .kernel import load_native, resolve_backend
+
+        self.kernel = resolve_backend(kernel)
+        native = self.kernel == "native"
+        self._k_ffi: Any = None
+        self._k_lib: Any = None
+        self._kern: Any = None
+        if native:
+            mod = load_native()
+            assert mod is not None  # resolve_backend guarantees it
+            ffi, lib = mod.ffi, mod.lib
+            self._k_ffi = ffi
+            self._k_lib = lib
+            self._kern = ffi.gc(lib.k_new(), lib.k_free)
+            # Persistent scratch cdata reused across calls.
+            self._k_out = ffi.new("int64_t[6]")
+            self._k_confl = ffi.new("int32_t[3]")
+            self._k_ints = ffi.new("int64_t[3]")
+            self._k_dbl = ffi.new("double[2]")
+            self._k_learnt = ffi.new("int32_t[16]")
+            self._k_learnt_cap = 16
+            self._k_heapn = ffi.new("int32_t[1]")
+            # Binding generation markers: the kernel caches the raw base
+            # addresses of the Python-owned buffers (k_bind_vars /
+            # k_bind_arena), and every native entry point rebinds first
+            # when one of these is stale.  n_vars covers the per-variable
+            # buffers (they grow only in new_var); arena.version covers
+            # every arena buffer (bumped on each alloc/compact).
+            self._k_nvars = -1
+            self._k_aver = -1
         # When proof logging is on, every clause the solver derives (learnt
         # clauses, strengthened input clauses, the final empty clause) is
         # appended to ``proof`` as ("a", lits); deletions as ("d", lits).
@@ -333,7 +412,7 @@ class Solver:
         # None keeps the solo-solver cost at one identity check per conflict.
         self.share = None
         self.n_vars = 0
-        self.arena = ClauseArena()
+        self.arena = ClauseArena(typed=native)
         self.clauses: List[int] = []  # crefs of problem clauses
         # Learnt clauses live in three tiers (Chanseok-Oh style): ``core``
         # (LBD <= TIER_CORE_LBD, kept forever), ``tier2`` (mid LBD, demoted
@@ -358,24 +437,37 @@ class Solver:
         # "is this literal true?" with no shift/mask arithmetic, which is
         # where a Python hot loop spends its time.  assigns_lit[l] and
         # assigns_lit[l ^ 1] are kept complementary (or both UNDEF).
-        self.assigns_lit: List[int] = []
-        self.level: List[int] = []
-        self.reason: List[int] = []  # cref or NO_CLAUSE
-        self.polarity: List[bool] = []  # saved phases; True = assign negative
-        self.activity: List[float] = []
-        self.order = _VarOrderHeap(self.activity)
+        #
+        # Under the native kernel these (and level/reason/trail/seen/
+        # polarity/activity) become typed buffers the C side reads and
+        # writes through cffi ``from_buffer`` pointers: int8 truth values,
+        # int32 levels/trail, int64 reasons (packed ternary reasons exceed
+        # 32 bits), float64 activities.  Both container families share the
+        # list subscript/append API, so all cold-path code is written once.
+        self.assigns_lit: IntBuf = array("b") if native else []
+        self.level: IntBuf = array("i") if native else []
+        # cref or NO_CLAUSE (or a packed binary/ternary reason < NO_CLAUSE)
+        self.reason: IntBuf = array("q") if native else []
+        # saved phases; truthy = assign negative
+        self.polarity: IntBuf = array("b") if native else []
+        self.activity: FloatBuf = array("d") if native else []
+        self.order = _VarOrderHeap(self.activity, typed=native)
         # Preallocated trail buffer; trail_size is the live prefix length.
-        self.trail: List[int] = []
+        self.trail: IntBuf = array("i") if native else []
         self.trail_size = 0
         self.trail_lim: List[int] = []
         self.qhead = 0
-        self.seen: List[int] = []
+        # seen[] flags for conflict analysis.  array('B') rather than
+        # bytearray in native mode: the kernel binds its raw address via
+        # buffer_info(), which bytearray does not expose.
+        self.seen: IntBuf = array("B") if native else []
         self.var_inc = 1.0
         self.cla_inc = 1.0
         self.ok = True
         self.model: List[bool] = []
         self.core: List[int] = []
         self.stats = SolverStats()
+        self.stats.kernel = self.kernel
         self.max_learnts = 1000.0
         # Literal pair of the most recent binary-clause conflict (valid when
         # _propagate returned a tag < NO_CLAUSE).
@@ -495,8 +587,13 @@ class Solver:
         if arena.size[cref] == 2:
             # Binary clause: its whole content lives in the binary watch
             # lists, so propagation never dereferences the arena for it.
+            # The Python lists stay authoritative even in native mode
+            # (inprocessing reads them directly); the kernel keeps an
+            # identically-ordered C mirror because propagation scans it.
             self.watches_bin[l0 ^ 1].append(l1)
             self.watches_bin[l1 ^ 1].append(l0)
+            if self._kern is not None:
+                self._k_lib.k_attach_bin(self._kern, l0, l1)
             return
         if self.TERNARY_SPECIAL and arena.size[cref] == 3:
             # Ternary clause: scan-only entries under all three literals.
@@ -504,6 +601,15 @@ class Solver:
             self.watches_ter[l0 ^ 1].extend((l1, l2))
             self.watches_ter[l1 ^ 1].extend((l0, l2))
             self.watches_ter[l2 ^ 1].extend((l0, l1))
+            if self._kern is not None:
+                self._k_lib.k_attach_ter(self._kern, l0, l1, l2)
+            return
+        if self._kern is not None:
+            # N-ary watch lists are rewritten *by* propagation (blocker
+            # updates, swap-removes, watch moves), so in native mode they
+            # live only on the C side; k_copy_list reads them back for
+            # invariant checks.
+            self._k_lib.k_attach_nary(self._kern, cref, l0, l1)
             return
         w0 = self.watches[l0 ^ 1]
         w0.append(cref)
@@ -529,7 +635,12 @@ class Solver:
         the blocker is already true the clause is satisfied and the arena is
         never touched.  Watchers of dead clauses are dropped lazily here,
         which is what lets :meth:`_reduce_db` delete in O(1).
+
+        Under the native kernel the identical loop runs in C over the same
+        state (:meth:`_propagate_native` / kernel.c).
         """
+        if self._kern is not None:
+            return self._propagate_native()
         watches = self.watches
         watches_bin = self.watches_bin
         watches_ter = self.watches_ter
@@ -697,6 +808,82 @@ class Solver:
         self.stats.propagations += qhead - qstart
         return confl
 
+    def _k_bind_vars(self) -> None:
+        """(Re)bind the per-variable buffers' raw addresses into the kernel.
+
+        ``array.buffer_info()`` hands out the base address *without*
+        exporting the buffer, so Python stays free to grow the arrays; the
+        trade is that any growth may realloc and dangle the bound pointer.
+        Safe because the only growth site is :meth:`new_var`, after which
+        ``self._k_nvars != self.n_vars`` forces a rebind before the next
+        kernel call.
+        """
+        order = self.order
+        self._k_lib.k_bind_vars(
+            self._kern,
+            _addr(self.assigns_lit),
+            _addr(self.polarity),
+            _addr(self.seen),
+            _addr(self.level),
+            _addr(self.reason),
+            _addr(self.trail),
+            _addr(self.activity),
+            _addr(order.heap),
+            _addr(order.indices),
+            self.n_vars,
+        )
+        self._k_nvars = self.n_vars
+
+    def _k_bind_arena(self) -> None:
+        """(Re)bind the arena buffers; stale whenever arena.version moved
+        (every alloc may extend/realloc, every compact replaces ``lits``)."""
+        arena = self.arena
+        self._k_lib.k_bind_arena(
+            self._kern,
+            _addr(arena.lits),
+            _addr(arena.start),
+            _addr(arena.size),
+            _addr(arena.spos),
+            _addr(arena.learnt),
+            _addr(arena.act),
+            _addr(arena.touch),
+        )
+        self._k_aver = arena.version
+
+    def _k_sync(self) -> None:
+        """Rebind any kernel buffer views invalidated since the last call."""
+        if self._k_nvars != self.n_vars:
+            self._k_bind_vars()
+        if self._k_aver != self.arena.version:
+            self._k_bind_arena()
+
+    def _propagate_native(self) -> int:
+        """Unit propagation in the compiled kernel (byte-equivalent to
+        :meth:`_propagate`).
+
+        The hot path passes only scalars: buffer pointers are pre-bound in
+        the kernel and refreshed by the generation checks below.
+        """
+        lib = self._k_lib
+        if self._k_nvars != self.n_vars:
+            self._k_bind_vars()
+        if self._k_aver != self.arena.version:
+            self._k_bind_arena()
+        out = self._k_out
+        qstart = self.qhead
+        confl = lib.k_propagate(
+            self._kern, self.trail_size, self.qhead, len(self.trail_lim), out
+        )
+        self.qhead = out[0]
+        self.trail_size = out[1]
+        n_confl = out[2]
+        if n_confl == 2:
+            self._confl_lits = (out[3], out[4])
+        elif n_confl == 3:
+            self._confl_lits = (out[3], out[4], out[5])
+        self.stats.propagations += self.qhead - qstart
+        return int(confl)
+
     def _decision_level(self) -> int:
         return len(self.trail_lim)
 
@@ -707,20 +894,27 @@ class Solver:
         if len(self.trail_lim) <= target_level:
             return
         bound = self.trail_lim[target_level]
-        trail = self.trail
-        assigns_lit = self.assigns_lit
-        polarity = self.polarity
-        reason = self.reason
-        order = self.order
-        for idx in range(self.trail_size - 1, bound - 1, -1):
-            lit = trail[idx]
-            var = lit >> 1
-            assigns_lit[lit] = UNDEF
-            assigns_lit[lit ^ 1] = UNDEF
-            polarity[var] = bool(lit & 1)
-            reason[var] = NO_CLAUSE
-            if not order.in_heap(var):
-                order.insert(var)
+        if self._kern is not None:
+            self._k_sync()
+            order = self.order
+            order.n = self._k_lib.k_cancel_until(
+                self._kern, order.n, self.trail_size, bound
+            )
+        else:
+            trail = self.trail
+            assigns_lit = self.assigns_lit
+            polarity = self.polarity
+            reason = self.reason
+            order = self.order
+            for idx in range(self.trail_size - 1, bound - 1, -1):
+                lit = trail[idx]
+                var = lit >> 1
+                assigns_lit[lit] = UNDEF
+                assigns_lit[lit ^ 1] = UNDEF
+                polarity[var] = bool(lit & 1)
+                reason[var] = NO_CLAUSE
+                if not order.in_heap(var):
+                    order.insert(var)
         self.trail_size = bound
         del self.trail_lim[target_level:]
         self.qhead = bound
@@ -748,6 +942,8 @@ class Solver:
 
         Returns ``(learnt_clause_lits, backtrack_level, lbd)``.
         """
+        if self._kern is not None:
+            return self._analyze_native(confl)
         seen = self.seen
         level = self.level
         trail = self.trail
@@ -849,6 +1045,51 @@ class Solver:
             seen[var] = 0
         return learnt, bt_level, len(lbd_levels)
 
+    def _analyze_native(self, confl: int) -> tuple:
+        """First-UIP conflict analysis in the compiled kernel.
+
+        Statement-for-statement equivalent to :meth:`_analyze`, including
+        the VSIDS variable/clause bumps, rescales and heap percolation the
+        Python loop performs inline — those mutate ``var_inc``/``cla_inc``,
+        which is why the kernel hands the updated values back.
+        """
+        ffi = self._k_ffi
+        lib = self._k_lib
+        self._k_sync()
+        n_vars = self.n_vars
+        if self._k_learnt_cap < n_vars + 1:
+            self._k_learnt_cap = max(2 * self._k_learnt_cap, n_vars + 1)
+            self._k_learnt = ffi.new("int32_t[]", self._k_learnt_cap)
+        confl_buf = self._k_confl
+        confl_n = 0
+        if confl < NO_CLAUSE:
+            lits = self._confl_lits
+            confl_n = len(lits)
+            for i in range(confl_n):
+                confl_buf[i] = lits[i]
+        out_ints = self._k_ints
+        out_dbl = self._k_dbl
+        lib.k_analyze(
+            self._kern,
+            confl,
+            confl_buf,
+            confl_n,
+            n_vars,
+            len(self.arena.size),
+            self.trail_size,
+            len(self.trail_lim),
+            self.stats.conflicts,
+            self.var_inc,
+            self.cla_inc,
+            self._k_learnt,
+            out_ints,
+            out_dbl,
+        )
+        self.var_inc = out_dbl[0]
+        self.cla_inc = out_dbl[1]
+        learnt = list(ffi.unpack(self._k_learnt, out_ints[0]))
+        return learnt, int(out_ints[1]), int(out_ints[2])
+
     def _analyze_final(self, p: int) -> None:
         """Compute the failed-assumption core.
 
@@ -904,6 +1145,8 @@ class Solver:
             a, b = lits[base], lits[base + 1]
             self.watches_bin[a ^ 1].remove(b)
             self.watches_bin[b ^ 1].remove(a)
+            if self._kern is not None:
+                self._k_lib.k_detach_bin(self._kern, a, b)
             return
         if sz == 3 and self.TERNARY_SPECIAL:
             a, b, c = lits[base], lits[base + 1], lits[base + 2]
@@ -916,6 +1159,8 @@ class Solver:
                         wt[i + 1] = wt[-1]
                         del wt[-2:]
                         break
+            if self._kern is not None:
+                self._k_lib.k_detach_ter(self._kern, a, b, c)
         # Size-3 clauses with TERNARY_SPECIAL off live in the n-ary watch
         # lists and are dropped lazily like any other n-ary clause.
 
@@ -1013,21 +1258,33 @@ class Solver:
 
     def _garbage_collect(self) -> None:
         """Purge dead watchers, compact the arena, recycle dead crefs."""
-        asize = self.arena.size
-        for ws in self.watches:
-            j = 0
-            for i in range(0, len(ws), 2):
-                cref = ws[i]
-                if asize[cref] >= 0:
-                    ws[j] = cref
-                    ws[j + 1] = ws[i + 1]
-                    j += 2
-            del ws[j:]
+        if self._kern is not None:
+            self._k_sync()
+            self._k_lib.k_purge_dead(self._kern)
+        else:
+            asize = self.arena.size
+            for ws in self.watches:
+                j = 0
+                for i in range(0, len(ws), 2):
+                    cref = ws[i]
+                    if asize[cref] >= 0:
+                        ws[j] = cref
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                del ws[j:]
         self.arena.compact()
         self.arena.recycle()
 
     def _pick_branch_lit(self) -> int:
         order = self.order
+        if self._kern is not None:
+            if self._k_nvars != self.n_vars:
+                self._k_bind_vars()
+            heap_n = self._k_heapn
+            heap_n[0] = order.n
+            lit = self._k_lib.k_pick_branch(self._kern, heap_n)
+            order.n = heap_n[0]
+            return int(lit)
         assigns_lit = self.assigns_lit
         while len(order):
             var = order.pop()
@@ -1223,6 +1480,7 @@ class Solver:
                 attrs[key] = value
                 if before is not None:
                     attrs["d_" + key] = value - before[key]
+            attrs["kernel"] = self.kernel
             attrs["n_vars"] = self.n_vars
             attrs["n_clauses"] = len(self.clauses)
             attrs["n_learnts"] = self.num_learnts
@@ -1468,13 +1726,47 @@ class Solver:
         """
         return self.learnts_core + self.learnts_tier2 + self.learnts_local
 
+    def _kernel_list(self, which: int, lit: int) -> List[int]:
+        """Copy one C-side watch list out of the kernel (test/debug hook).
+
+        ``which``: 0 = binary, 1 = ternary, 2 = n-ary ``(cref, blocker)``
+        pairs.  Returns ``[]`` when no kernel is attached.
+        """
+        if self._kern is None:
+            return []
+        ffi = self._k_ffi
+        lib = self._k_lib
+        n = lib.k_copy_list(self._kern, which, lit, ffi.NULL, 0)
+        if n == 0:
+            return []
+        buf = ffi.new("int32_t[]", n)
+        lib.k_copy_list(self._kern, which, lit, buf, n)
+        return list(ffi.unpack(buf, n))
+
     def check_watch_invariants(self) -> None:
         """Verify watcher/arena consistency (test hook; O(watchers))."""
         self.arena.check_invariants()
         arena = self.arena
+        if self._kern is not None:
+            # The scan-only binary/ternary lists exist twice (authoritative
+            # Python + C mirror); they must match exactly, including order.
+            for lit in range(2 * self.n_vars):
+                if self._kernel_list(0, lit) != list(self.watches_bin[lit]):
+                    raise AssertionError(
+                        f"binary watch mirror out of sync at literal {lit}"
+                    )
+                if self._kernel_list(1, lit) != list(self.watches_ter[lit]):
+                    raise AssertionError(
+                        f"ternary watch mirror out of sync at literal {lit}"
+                    )
+            nary_lists: List[List[int]] = [
+                self._kernel_list(2, lit) for lit in range(2 * self.n_vars)
+            ]
+        else:
+            nary_lists = self.watches
         watched: dict = {}
         bin_watched: set = set()
-        for lit, ws in enumerate(self.watches):
+        for lit, ws in enumerate(nary_lists):
             if len(ws) % 2:
                 raise AssertionError(f"odd watcher list length at literal {lit}")
             for i in range(0, len(ws), 2):

@@ -19,7 +19,13 @@ from repro.core.encoder import LayoutEncoder
 from repro.core.optimizer import IterativeSynthesizer
 from repro.sat import CNF, SatResult, Solver, brute_force_solve, mk_lit
 from repro.sat.arena import ClauseArena
+from repro.sat.kernel import native_available
 from repro.workloads.queko import queko_circuit
+
+requires_native = pytest.mark.skipif(
+    not native_available(),
+    reason="compiled kernel not built (python -m repro.sat.kernel.build)",
+)
 
 
 def random_cnf(rng, n_vars, n_clauses, max_width=4):
@@ -225,3 +231,122 @@ class TestExtendHorizon:
         extended = run(force_rebuild=False)
         rebuilt = run(force_rebuild=True)
         assert extended.depth == rebuilt.depth
+
+
+@requires_native
+class TestKernelDifferential:
+    """Randomized python-vs-native differential harness (PR 7).
+
+    The compiled kernel claims *byte-for-byte* equivalence with the
+    interpreter loops — not just the same verdicts, but the same search:
+    identical trails, identical learnt clauses in identical order,
+    identical stats counters, and identical (RUP-checkable) proof logs.
+    Anything weaker would make ``kernel="auto"`` a semantic change.
+    """
+
+    @staticmethod
+    def _pair(build, **solver_kw):
+        """The same formula loaded into a python and a native solver."""
+        pair = []
+        for kernel in ("python", "native"):
+            solver = Solver(kernel=kernel, **solver_kw)
+            build(solver)
+            pair.append(solver)
+        return pair
+
+    @staticmethod
+    def _search_state(solver):
+        """Everything the search produced, normalized across backends.
+
+        The native backend stores per-variable state in typed ``array``
+        buffers (ints), the python backend in plain lists (ints/bools);
+        ``list()``/``bool()`` normalization makes them comparable without
+        hiding a real divergence.
+        """
+        return {
+            "trail": list(solver.trail[: solver.trail_size]),
+            "assigns": [
+                int(a) for a in solver.assigns_lit[: 2 * solver.n_vars]
+            ],
+            "learnts": [tuple(solver.arena.literals(c)) for c in solver.learnts],
+            "stats": solver.stats.snapshot(),
+            "lbd_counts": dict(solver.stats.lbd_counts),
+        }
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_cnf_search_identical(self, seed):
+        rng = random.Random(4000 + seed)
+        cnf = random_cnf(rng, n_vars=30, n_clauses=125, max_width=5)
+
+        def build(solver):
+            solver.new_vars(cnf.n_vars)
+            solver.add_clauses(cnf.clauses)
+
+        py, nat = self._pair(build)
+        v_py = py.solve(conflict_budget=5000)
+        v_nat = nat.solve(conflict_budget=5000)
+        assert v_py is v_nat
+        if v_py is SatResult.SAT:
+            assert [bool(x) for x in py.model] == [bool(x) for x in nat.model]
+            check_model(cnf, py.model)
+        assert self._search_state(py) == self._search_state(nat)
+        py.check_watch_invariants()
+        nat.check_watch_invariants()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_assumptions_identical(self, seed):
+        rng = random.Random(8800 + seed)
+        cnf = random_cnf(rng, n_vars=14, n_clauses=52)
+
+        def build(solver):
+            solver.new_vars(cnf.n_vars)
+            solver.add_clauses(cnf.clauses)
+
+        py, nat = self._pair(build)
+        for _ in range(5):
+            assumed = [
+                mk_lit(v, rng.random() < 0.5)
+                for v in rng.sample(range(cnf.n_vars), 3)
+            ]
+            assert py.solve(assumptions=assumed) is nat.solve(assumptions=assumed)
+            assert self._search_state(py)["stats"] == (
+                self._search_state(nat)["stats"]
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_unsat_proofs_identical_and_rup_checkable(self, seed):
+        from repro.sat.proof import check_unsat_proof
+
+        rng = random.Random(31 + seed)
+        cnf = random_cnf(rng, n_vars=12, n_clauses=90, max_width=3)
+
+        def build(solver):
+            solver.new_vars(cnf.n_vars)
+            solver.add_clauses(cnf.clauses)
+
+        py, nat = self._pair(build, proof_log=True)
+        if py.solve() is not SatResult.UNSAT:
+            pytest.skip("draw was satisfiable; not a refutation workload")
+        assert nat.solve() is SatResult.UNSAT
+        assert py.proof == nat.proof
+        assert check_unsat_proof(cnf, py.proof)
+        assert check_unsat_proof(cnf, nat.proof)
+
+    def test_hard_instance_mid_search_identical(self):
+        """Budget-sliced solving: state compared at every pause point."""
+
+        def build(solver):
+            rng = random.Random(17)
+            solver.new_vars(50)
+            for _ in range(215):
+                vs = rng.sample(range(50), 3)
+                solver.add_clause([mk_lit(v, rng.random() < 0.5) for v in vs])
+
+        py, nat = self._pair(build)
+        for budget in (150, 400, 900):
+            v_py = py.solve(conflict_budget=budget)
+            v_nat = nat.solve(conflict_budget=budget)
+            assert v_py is v_nat
+            assert self._search_state(py) == self._search_state(nat)
+            py.check_watch_invariants()
+            nat.check_watch_invariants()

@@ -58,6 +58,21 @@ class TestSatCommand:
         assert rc == 20
         assert "preprocessing" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("kernel", ["auto", "python"])
+    def test_kernel_flag(self, sat_file, capsys, kernel):
+        rc = main(["sat", sat_file, "--kernel", kernel])
+        assert rc == 10
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
+    def test_kernel_native_flag(self, sat_file, capsys):
+        from repro.sat.kernel import native_available
+
+        if not native_available():
+            pytest.skip("compiled kernel not built")
+        rc = main(["sat", sat_file, "--kernel", "native"])
+        assert rc == 10
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
     def test_pigeonhole_file(self, tmp_path, capsys):
         cnf = CNF()
         x = [[cnf.new_var() for _ in range(3)] for _ in range(4)]

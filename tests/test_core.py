@@ -80,6 +80,20 @@ class TestConfig:
         with pytest.raises(ValueError):
             SynthesisConfig(swap_duration=0)
 
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(kernel="fortran")
+
+    def test_kernel_native_requires_extension(self):
+        from repro.sat.kernel import native_available
+
+        if native_available():
+            assert SynthesisConfig(kernel="native").kernel == "native"
+        else:
+            # The rejection must name the remedy, not just refuse.
+            with pytest.raises(ValueError, match="repro.sat.kernel.build"):
+                SynthesisConfig(kernel="native")
+
     def test_qaoa_config(self):
         assert qaoa_config().swap_duration == 1
 

@@ -17,9 +17,11 @@ from repro.sat import (
     ShareClient,
     ShareEndpoint,
     ShareRelay,
+    SharedClauseRing,
     Solver,
     brute_force_solve,
     clause_signature,
+    key_hash,
     mk_lit,
 )
 
@@ -202,3 +204,120 @@ class TestImportSoundness:
         assert solver.import_shared([(mk_lit(a, True),)])
         assert solver.stats.imported_clauses == 0
         assert solver.solve() is SatResult.SAT
+
+
+class TestSharedClauseRing:
+    """The zero-copy shared-memory transport (PR 7).
+
+    Same publish/drain duck type as the queue endpoints, so these mirror
+    the relay tests above — plus the failure modes unique to a ring:
+    reader laps and oversize batches.
+    """
+
+    def _ring(self, capacity_words=256):
+        ring = SharedClauseRing(capacity_words=capacity_words)
+        self._open.append(ring)
+        return ring
+
+    def setup_method(self):
+        self._open = []
+
+    def teardown_method(self):
+        for ring in self._open:
+            ring.close(unlink=True)
+
+    def test_key_hash_wrapper_compares_like_the_key(self):
+        # drain() returns digests; ShareClient filters with `key != mine`.
+        ring = self._ring()
+        a, b = ring.endpoint(0), ring.endpoint(1)
+        assert a.publish(("ctx", 5), [((0, 2), 1)])
+        [(key, clauses)] = b.drain()
+        assert key == ("ctx", 5)
+        assert not key != ("ctx", 5)  # the ShareClient filter expression
+        assert key != ("ctx", 6)
+        assert clauses == [((0, 2), 1)]
+        a.close()
+        b.close()
+
+    def test_roundtrip_and_sender_exclusion(self):
+        ring = self._ring()
+        a, b = ring.endpoint(0), ring.endpoint(1)
+        assert a.publish("k", [((0, 2), 1), ((1, 3, 5), 2)])
+        assert a.drain() == []  # a sender never reads its own batch back
+        [(_, clauses)] = b.drain()
+        assert clauses == [((0, 2), 1), ((1, 3, 5), 2)]
+        assert b.drain() == []  # cursor advanced; nothing new
+        assert ring.stats() == {"published": 1, "dropped": 0}
+        a.close()
+        b.close()
+
+    def test_share_client_works_unchanged_over_shm(self):
+        ring = self._ring()
+        a = ShareClient(ring.endpoint(0), "k", 64)
+        b = ShareClient(ring.endpoint(1), "k", 64)
+        mismatched = ShareClient(ring.endpoint(2), "other", 64)
+        a.offer([0, 2], lbd=1)
+        assert a.take_imports() == []  # publish side
+        assert b.take_imports() == [(0, 2)]
+        assert mismatched.take_imports() == []
+        assert mismatched.stats.dropped_key == 1
+        for client in (a, b, mismatched):
+            client.endpoint.close()
+
+    def test_reader_lap_skips_to_head_and_counts_drop(self):
+        ring = self._ring(capacity_words=64)
+        w, r = ring.endpoint(0), ring.endpoint(1)
+        assert w.publish("k", [((0, 2), 1)])
+        [(_, first)] = r.drain()  # reader is live, cursor at the head
+        assert first == [((0, 2), 1)]
+        # Push far more than one ring of data while the reader sleeps.
+        for i in range(20):
+            assert w.publish("k", [((2 * i, 2 * i + 4, 2 * i + 8), 2)])
+        # A lapped reader has lost the record boundaries: it skips to the
+        # write head (returning nothing), counts the lap as one drop, and
+        # is back in sync for everything published afterwards.
+        assert r.drain() == []
+        assert ring.stats()["dropped"] == 1
+        assert w.publish("k", [((100, 102), 1)])
+        [(_, fresh)] = r.drain()
+        assert fresh == [((100, 102), 1)]
+        w.close()
+        r.close()
+
+    def test_oversize_batch_rejected_not_wedged(self):
+        ring = self._ring(capacity_words=64)
+        w, r = ring.endpoint(0), ring.endpoint(1)
+        huge = [(tuple(range(0, 200, 2)), 1)]
+        assert not w.publish("k", huge)
+        assert ring.stats() == {"published": 0, "dropped": 1}
+        # The ring still works after the rejection.
+        assert w.publish("k", [((0, 2), 1)])
+        assert len(r.drain()) == 1
+        w.close()
+        r.close()
+
+    def test_endpoint_crosses_a_process_boundary(self):
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        ring = SharedClauseRing(capacity_words=256, ctx=ctx)
+        self._open.append(ring)
+        child_end = ring.endpoint(1)
+
+        def child(endpoint):
+            endpoint.publish("k", [((4, 6), 1)])
+            endpoint.close()
+
+        proc = ctx.Process(target=child, args=(child_end,))
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        reader = ring.endpoint(0)
+        [(key, clauses)] = reader.drain()
+        assert key == "k"
+        assert clauses == [((4, 6), 1)]
+        reader.close()
+
+    def test_key_hash_deterministic(self):
+        assert key_hash(("a", 1)) == key_hash(("a", 1))
+        assert key_hash(("a", 1)) != key_hash(("a", 2))

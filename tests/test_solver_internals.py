@@ -45,8 +45,10 @@ class TestPhaseSaving:
         solver.warm_start({a: True})
         assert solver.solve() is SatResult.SAT
         assert solver.model[a] is True
-        # the decided phase is saved on the final backtrack-to-0
-        assert solver.polarity[a] is False  # sign 0 == assign True first
+        # the decided phase is saved on the final backtrack-to-0; compare
+        # truthiness, not identity — the native backend stores phases in an
+        # array('b') whose entries are ints, not bools
+        assert not solver.polarity[a]  # sign 0 == assign True first
         assert solver.solve() is SatResult.SAT
         assert solver.model[a] is True  # persists without fresh hints
 
