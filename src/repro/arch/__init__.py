@@ -1,6 +1,7 @@
-"""Device coupling graphs and the device factory library."""
+"""Device coupling graphs, the device factory library, and
+subarchitecture extraction (solve-small regions of big devices)."""
 
-from . import devices
+from . import devices, subarch
 from .coupling import CouplingGraph
 from .devices import (
     by_name,
@@ -18,10 +19,21 @@ from .devices import (
     ring,
     sycamore_region,
 )
+from .subarch import (
+    SubarchCandidate,
+    enumerate_candidates,
+    extract_candidates,
+    translate_result,
+)
 
 __all__ = [
     "CouplingGraph",
     "devices",
+    "subarch",
+    "SubarchCandidate",
+    "enumerate_candidates",
+    "extract_candidates",
+    "translate_result",
     "by_name",
     "grid",
     "linear",

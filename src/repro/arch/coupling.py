@@ -98,6 +98,35 @@ class CouplingGraph:
     def is_connected(self) -> bool:
         return all(d < self.n_qubits for d in self.distance_matrix()[0])
 
+    # -- shape invariants --------------------------------------------------
+
+    def max_degree(self) -> int:
+        return max(len(adj) for adj in self.adjacency)
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Vertex degrees, sorted descending — an isomorphism invariant."""
+        return tuple(sorted((len(adj) for adj in self.adjacency), reverse=True))
+
+    def distance_profile(self) -> Tuple[int, ...]:
+        """Count of unordered qubit pairs at each distance ``1..n-1``.
+
+        ``profile[d-1]`` is the number of pairs exactly ``d`` apart
+        (unreachable pairs are not counted).  Together with the degree
+        sequence this is the candidate signature used by
+        :mod:`repro.arch.subarch` to collapse isomorphic region choices:
+        isomorphic graphs always agree on both, so distinct signatures
+        are a proof of non-isomorphism (the converse is heuristic).
+        """
+        dist = self.distance_matrix()
+        counts = [0] * max(1, self.n_qubits - 1)
+        for p in range(self.n_qubits):
+            row = dist[p]
+            for q in range(p + 1, self.n_qubits):
+                d = row[q]
+                if 1 <= d < self.n_qubits:
+                    counts[d - 1] += 1
+        return tuple(counts)
+
     def shortest_path(self, src: int, dst: int) -> List[int]:
         """One shortest path from ``src`` to ``dst`` (inclusive)."""
         if src == dst:

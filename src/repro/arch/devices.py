@@ -11,15 +11,25 @@ The Sycamore and Eagle graphs follow the published lattice patterns (degree
 Exact vendor qubit numberings differ between calibrations; what layout
 synthesis depends on — qubit count, degree distribution, and lattice shape —
 matches the devices the paper targets.
+
+Every factory is memoized with :func:`functools.lru_cache`: repeated calls
+(`ibm_eagle()` alone builds 127 qubits of heavy-hex edges, and callers like
+the subarchitecture enumerator and the service pool resolve devices per
+request) return the one shared :class:`CouplingGraph` instance.  That is
+safe because the graphs are immutable in practice — construction freezes
+the edge list and ``distance_matrix()`` is already a cached read-only
+tuple-of-tuples view.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from .coupling import CouplingGraph
 
 
+@lru_cache(maxsize=None)
 def grid(rows: int, cols: int) -> CouplingGraph:
     """A rows-by-cols rectangular grid (the paper's sweep architectures)."""
     if rows < 1 or cols < 1:
@@ -35,12 +45,14 @@ def grid(rows: int, cols: int) -> CouplingGraph:
     return CouplingGraph(rows * cols, edges, name=f"grid-{rows}x{cols}")
 
 
+@lru_cache(maxsize=None)
 def ibm_qx2() -> CouplingGraph:
     """IBM QX2: 5 qubits, 6 edges (paper Fig. 3)."""
     edges = [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
     return CouplingGraph(5, edges, name="ibm-qx2")
 
 
+@lru_cache(maxsize=None)
 def rigetti_aspen4() -> CouplingGraph:
     """Rigetti Aspen-4: 16 qubits in two octagonal rings with two rungs."""
     edges: List[Tuple[int, int]] = []
@@ -53,6 +65,7 @@ def rigetti_aspen4() -> CouplingGraph:
     return CouplingGraph(16, edges, name="aspen-4")
 
 
+@lru_cache(maxsize=None)
 def google_sycamore() -> CouplingGraph:
     """Google Sycamore: 54 qubits on a diagonal square lattice (6 x 9).
 
@@ -75,6 +88,7 @@ def google_sycamore() -> CouplingGraph:
     return CouplingGraph(rows * cols, edges, name="sycamore")
 
 
+@lru_cache(maxsize=None)
 def ibm_eagle() -> CouplingGraph:
     """IBM Eagle: 127 qubits on the heavy-hex lattice.
 
@@ -123,6 +137,7 @@ def ibm_eagle() -> CouplingGraph:
     return CouplingGraph(next_id, edges, name="eagle")
 
 
+@lru_cache(maxsize=None)
 def ibm_tokyo() -> CouplingGraph:
     """IBM Q20 Tokyo: 20 qubits, 4x5 grid plus diagonal couplings.
 
@@ -147,6 +162,7 @@ def ibm_tokyo() -> CouplingGraph:
     return CouplingGraph(rows * cols, edges, name="tokyo")
 
 
+@lru_cache(maxsize=None)
 def heavy_hex(rows: int, row_width: int) -> CouplingGraph:
     """A generic heavy-hex lattice: ``rows`` long rows of ``row_width``
     qubits joined by bridge qubits every fourth column (offset by two in
@@ -174,6 +190,7 @@ def heavy_hex(rows: int, row_width: int) -> CouplingGraph:
     return CouplingGraph(next_id, edges, name=f"heavy-hex-{rows}x{row_width}")
 
 
+@lru_cache(maxsize=None)
 def ibm_falcon() -> CouplingGraph:
     """IBM Falcon-class heavy-hex processor (27 qubits, e.g. ibmq_mumbai)."""
     edges = [
@@ -185,11 +202,13 @@ def ibm_falcon() -> CouplingGraph:
     return CouplingGraph(27, edges, name="falcon")
 
 
+@lru_cache(maxsize=None)
 def linear(n: int) -> CouplingGraph:
     """A 1-by-n line — the most SWAP-hungry connected topology."""
     return CouplingGraph(n, [(i, i + 1) for i in range(n - 1)], name=f"line-{n}")
 
 
+@lru_cache(maxsize=None)
 def ring(n: int) -> CouplingGraph:
     """An n-qubit cycle."""
     if n < 3:
@@ -197,6 +216,7 @@ def ring(n: int) -> CouplingGraph:
     return CouplingGraph(n, [(i, (i + 1) % n) for i in range(n)], name=f"ring-{n}")
 
 
+@lru_cache(maxsize=None)
 def full(n: int) -> CouplingGraph:
     """All-to-all connectivity (no SWAPs ever needed)."""
     edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
@@ -224,6 +244,7 @@ def _bfs_region(device: CouplingGraph, n_qubits: int, name: str) -> CouplingGrap
     return device.subgraph(picked, name=name)
 
 
+@lru_cache(maxsize=None)
 def sycamore_region(n_qubits: int) -> CouplingGraph:
     """A connected ``n_qubits``-qubit region of the Sycamore lattice.
 
@@ -233,6 +254,7 @@ def sycamore_region(n_qubits: int) -> CouplingGraph:
     return _bfs_region(google_sycamore(), n_qubits, f"sycamore[{n_qubits}]")
 
 
+@lru_cache(maxsize=None)
 def eagle_region(n_qubits: int) -> CouplingGraph:
     """A connected ``n_qubits``-qubit region of the Eagle heavy-hex lattice."""
     return _bfs_region(ibm_eagle(), n_qubits, f"eagle[{n_qubits}]")

@@ -1,0 +1,265 @@
+"""Subarchitecture extraction: solve small, translate back (ROADMAP item 3).
+
+The SAT encoding scales with ``n_physical x timesteps``, so synthesizing a
+6-qubit circuit directly on ``ibm_eagle()`` (127 qubits) pays for 121
+physical qubits the circuit never touches.  Practical subarchitecture
+pruning (Milkevych & van de Pol, arXiv:2507.12976) cuts that cost: carve
+connected induced subgraphs just large enough to host the circuit, solve
+on the small graph, and relabel the result back to full-device qubits.
+
+Pipeline:
+
+1. **Anchor selection** — candidate regions grow from high-degree qubits
+   (ties broken by qubit id for determinism).  High-degree anchors seed
+   the densest regions, which host the most circuits swap-free.
+2. **BFS-region growth** — from each anchor, greedily add the frontier
+   qubit with the most edges back into the region (then highest device
+   degree), keeping every prefix connected by construction.
+3. **Signature pruning** — a candidate's *signature* is its induced
+   subgraph's ``(degree_sequence, distance_profile)``, both isomorphism
+   invariants: isomorphic regions share a signature, so only one copy of
+   each signature is kept and a region *dominated* by a kept one (no
+   better on any coordinate of either invariant) is dropped.  Lattice
+   devices are vertex-transitive up to boundary effects, so dozens of
+   anchors typically collapse to a handful of genuinely distinct shapes.
+4. **Translation** — a result solved on the relabelled candidate graph is
+   mapped back through ``candidate.qubits`` and re-checked by the
+   independent validator against the *full* device.
+
+Soundness: a translated model is a real schedule on the full device (the
+validator re-proves this), so candidate solving never produces wrong
+answers — but a bound proved *unsatisfiable on a candidate* says nothing
+about the full device.  Optimality claims therefore only survive
+translation when the achieved objective meets a device-independent lower
+bound (the dependency-chain depth bound, or the analytic SWAP bound of
+:func:`repro.core.optimizer.analytic_swap_lower_bound`); callers own that
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .coupling import CouplingGraph
+
+#: Candidate-enumeration defaults: how many distinct (post-pruning) regions
+#: to return, and how many anchors to grow before pruning.
+DEFAULT_MAX_CANDIDATES = 4
+DEFAULT_MAX_ANCHORS = 24
+
+
+@dataclass(frozen=True)
+class SubarchCandidate:
+    """One connected region of the device, relabelled to ``0..k-1``.
+
+    ``qubits[i]`` is the full-device label of local qubit ``i``; ``graph``
+    is the induced subgraph over exactly those qubits in that order.
+    """
+
+    qubits: Tuple[int, ...]
+    graph: CouplingGraph
+    anchor: int
+    signature: Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    def to_full(self, local: int) -> int:
+        """Full-device label of candidate-local physical qubit ``local``."""
+        return self.qubits[local]
+
+
+def candidate_signature(
+    graph: CouplingGraph,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The isomorphism-invariant signature used for candidate pruning."""
+    return (graph.degree_sequence(), graph.distance_profile())
+
+
+def dominates(
+    sig_a: Tuple[Tuple[int, ...], Tuple[int, ...]],
+    sig_b: Tuple[Tuple[int, ...], Tuple[int, ...]],
+) -> bool:
+    """True when region A is at least as well-connected as region B.
+
+    Coordinate-wise: A's sorted degree sequence is pointwise >= B's and
+    A's *cumulative* distance profile is pointwise >= B's (for every
+    ``d``, A has at least as many pairs within distance ``d``).  A
+    dominated region offers no placement A's shape lacks room for in
+    practice, so it is pruned; this is a search-space heuristic, not a
+    soundness requirement (any candidate yields validator-checked
+    results).
+    """
+    deg_a, prof_a = sig_a
+    deg_b, prof_b = sig_b
+    if len(deg_a) != len(deg_b):
+        return False
+    if any(a < b for a, b in zip(deg_a, deg_b)):
+        return False
+    cum_a = cum_b = 0
+    for a, b in zip(prof_a, prof_b):
+        cum_a += a
+        cum_b += b
+        if cum_a < cum_b:
+            return False
+    return True
+
+
+def _grow_region(device: CouplingGraph, anchor: int, width: int) -> Optional[List[int]]:
+    """Greedy densest-first BFS region of ``width`` qubits from ``anchor``."""
+    region = [anchor]
+    in_region = {anchor}
+    frontier = set(device.neighbors(anchor))
+    while len(region) < width:
+        if not frontier:
+            return None  # component exhausted before reaching width
+        best = max(
+            frontier,
+            key=lambda p: (
+                sum(1 for nb in device.adjacency[p] if nb in in_region),
+                device.degree(p),
+                -p,
+            ),
+        )
+        frontier.discard(best)
+        region.append(best)
+        in_region.add(best)
+        for nb in device.adjacency[best]:
+            if nb not in in_region:
+                frontier.add(nb)
+    return region
+
+
+def enumerate_candidates(
+    device: CouplingGraph,
+    width: int,
+    *,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    max_anchors: int = DEFAULT_MAX_ANCHORS,
+) -> List[SubarchCandidate]:
+    """Distinct connected ``width``-qubit regions of ``device``, best first.
+
+    Regions are grown from up to ``max_anchors`` high-degree anchors,
+    collapsed by signature (isomorphic duplicates solved once), pruned by
+    dominance, and ranked densest-first (more edges, then shorter
+    distances).  Returns at most ``max_candidates`` candidates; empty when
+    no connected component has ``width`` qubits.
+    """
+    if width < 1:
+        raise ValueError("candidate width must be >= 1")
+    if width >= device.n_qubits:
+        if width > device.n_qubits:
+            return []
+        whole = device.subgraph(tuple(range(device.n_qubits)), name=device.name)
+        return [
+            SubarchCandidate(
+                qubits=tuple(range(device.n_qubits)),
+                graph=whole,
+                anchor=0,
+                signature=candidate_signature(whole),
+            )
+        ]
+    anchors = sorted(range(device.n_qubits), key=lambda p: (-device.degree(p), p))
+    kept: List[SubarchCandidate] = []
+    seen_signatures = set()
+    for anchor in anchors[: max(1, max_anchors)]:
+        region = _grow_region(device, anchor, width)
+        if region is None:
+            continue
+        graph = device.subgraph(
+            region, name=f"{device.name or 'device'}[sub{width}@{anchor}]"
+        )
+        signature = candidate_signature(graph)
+        if signature in seen_signatures:
+            continue
+        if any(dominates(k.signature, signature) for k in kept):
+            continue
+        kept = [k for k in kept if not dominates(signature, k.signature)]
+        seen_signatures.add(signature)
+        kept.append(
+            SubarchCandidate(
+                qubits=tuple(region), graph=graph, anchor=anchor,
+                signature=signature,
+            )
+        )
+    kept.sort(
+        key=lambda c: (
+            -c.graph.num_edges,
+            sum(d * n for d, n in enumerate(c.signature[1], start=1)),
+            c.anchor,
+        )
+    )
+    return kept[: max(1, max_candidates)]
+
+
+def extract_candidates(
+    circuit,
+    device: CouplingGraph,
+    *,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    max_anchors: int = DEFAULT_MAX_ANCHORS,
+) -> List[SubarchCandidate]:
+    """Candidates sized to host ``circuit`` (its full program-qubit width)."""
+    return enumerate_candidates(
+        device,
+        circuit.n_qubits,
+        max_candidates=max_candidates,
+        max_anchors=max_anchors,
+    )
+
+
+def translate_result(result, qubits: Sequence[int], device: CouplingGraph):
+    """Relabel a candidate-local result to full-device physical labels.
+
+    ``result.device`` must be the induced subgraph whose local qubit ``i``
+    is full-device qubit ``qubits[i]``.  The translated result carries the
+    full ``device``, the mapped initial mapping and SWAP endpoints, and is
+    re-checked by the independent validator before being returned — a
+    mistranslation cannot escape as a plausible-looking schedule.
+
+    Gate times are label-free and survive unchanged, so depth and SWAP
+    count are preserved exactly.
+    """
+    # Function-level imports: repro.core imports repro.arch at package
+    # init, so a module-level import here would be circular.
+    from ..core.result import SwapEvent, SynthesisResult
+    from ..core.validator import validate_result
+
+    if result.device.n_qubits != len(qubits):
+        raise ValueError(
+            f"candidate has {len(qubits)} qubits but result was solved on "
+            f"{result.device.n_qubits}"
+        )
+    labels = list(qubits)
+    translated = SynthesisResult(
+        circuit=result.circuit,
+        device=device,
+        initial_mapping=[labels[p] for p in result.initial_mapping],
+        gate_times=list(result.gate_times),
+        swaps=[
+            SwapEvent(labels[s.p], labels[s.p_prime], s.finish_time)
+            for s in result.swaps
+        ],
+        swap_duration=result.swap_duration,
+        objective=result.objective,
+        solver_stats=dict(result.solver_stats),
+        pareto_points=list(result.pareto_points),
+        optimal=result.optimal,
+        wall_time=result.wall_time,
+        certificate=result.certificate,
+    )
+    # Keep the raw (pre-serialization) forms consistent for downstream
+    # consumers that reuse depth-phase solutions (transition-based flows).
+    raw_times = getattr(result, "_raw_times", None)
+    if raw_times is not None:
+        translated._raw_times = list(raw_times)
+    raw_swaps = getattr(result, "_raw_swaps", None)
+    if raw_swaps is not None:
+        translated._raw_swaps = [
+            SwapEvent(labels[s.p], labels[s.p_prime], s.finish_time)
+            for s in raw_swaps
+        ]
+    validate_result(translated, strict_dependencies=True)
+    return translated

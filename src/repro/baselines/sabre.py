@@ -99,9 +99,14 @@ class SabreRouter:
             # All front gates blocked: choose the best SWAP.
             stuck_guard += 1
             if stuck_guard > 4 * self.device.n_qubits * max(1, self.device.num_edges):
-                raise RuntimeError("SABRE routing failed to make progress")
+                raise RuntimeError(self._stuck_message(front, mapping))
             extended = self._extended_set(front, remaining)
             candidates = self._candidate_swaps(front, mapping)
+            if not candidates:
+                # No edge touches any front-layer qubit: the mapping placed
+                # them on isolated vertices or in separate components, and
+                # no sequence of SWAPs can ever connect them.
+                raise RuntimeError(self._stuck_message(front, mapping))
             best_swap, best_score = None, float("inf")
             for a, b in candidates:
                 score = self._score_swap(a, b, front, extended, mapping, decay)
@@ -124,6 +129,29 @@ class SabreRouter:
                 decay = [1.0] * self.device.n_qubits
                 steps_since_reset = 0
         return ops, mapping
+
+    def _stuck_message(self, front: List[int], mapping: List[int]) -> str:
+        """A diagnosable routing-failure message naming circuit and device.
+
+        Reached when the router cannot connect the front layer — typically
+        a disconnected coupling graph (or a pinned mapping placing
+        interacting qubits in separate components), where no SWAP sequence
+        can ever make the blocked gates adjacent.
+        """
+        blocked = []
+        for idx in front[:4]:
+            gate = self.circuit.gates[idx]
+            placed = ",".join(f"q{q}@p{mapping[q]}" for q in gate.qubits)
+            blocked.append(f"{gate.name}({placed})")
+        more = "" if len(front) <= 4 else f" and {len(front) - 4} more"
+        return (
+            f"SABRE routing failed to make progress on circuit "
+            f"{self.circuit.name or f'<{self.circuit.n_qubits} qubits, {self.circuit.num_gates} gates>'} "
+            f"/ device {self.device.name or f'<{self.device.n_qubits} qubits>'}: "
+            f"blocked gates [{'; '.join(blocked)}{more}] cannot be made "
+            f"adjacent — the device (or the reachable part of it under the "
+            f"given initial mapping) is likely disconnected"
+        )
 
     def _extended_set(self, front: List[int], remaining: List[int]) -> List[int]:
         """Successor two-qubit gates close behind the front layer."""

@@ -18,7 +18,13 @@ from typing import List, Optional
 
 from .arch import devices
 from .circuit.qasm import load_qasm
-from .core.config import SIMPLIFY_INPROCESS, SIMPLIFY_MODES, SynthesisConfig
+from .core.config import (
+    SIMPLIFY_INPROCESS,
+    SIMPLIFY_MODES,
+    SUBARCH_MODES,
+    SUBARCH_OFF,
+    SynthesisConfig,
+)
 from .core.registry import available_backends, resolve_backend
 from .core.validator import validate_result
 from .harness import experiments
@@ -70,6 +76,25 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run a cooperating portfolio of N worker processes "
         "(bound splitting + learnt-clause sharing); 0 = sequential",
+    )
+    comp.add_argument(
+        "--subarch",
+        choices=SUBARCH_MODES,
+        default=SUBARCH_OFF,
+        help="solve on an extracted circuit-width region of large devices: "
+        "'auto' when the device is at least twice the circuit width, 'on' "
+        "whenever it is strictly larger; results are translated back to "
+        "full-device labels and re-validated (with --parallel, workers "
+        "race distinct candidate regions while worker 0 proves bounds on "
+        "the full device)",
+    )
+    comp.add_argument(
+        "--warm-start",
+        choices=("none", "sabre"),
+        default="none",
+        help="seed the descent with a validated SABRE schedule: its depth "
+        "caps the relax ladder as a sound upper bound and its mapping "
+        "seeds solver phases",
     )
     comp.add_argument(
         "--no-share",
@@ -272,7 +297,12 @@ def _cmd_compile(args) -> int:
                 PortfolioEntry(
                     f"{base[i % len(base)].name}#{i}",
                     base[i % len(base)].config.replace(
-                        simplify=args.simplify, kernel=args.kernel
+                        simplify=args.simplify,
+                        kernel=args.kernel,
+                        subarch=args.subarch,
+                        warm_start=(
+                            None if args.warm_start == "none" else args.warm_start
+                        ),
                     ),
                     args.synthesizer == "tb-olsq2",
                 )
@@ -297,6 +327,10 @@ def _cmd_compile(args) -> int:
                 certify=args.certify,
                 simplify=args.simplify,
                 kernel=args.kernel,
+                subarch=args.subarch,
+                warm_start=(
+                    None if args.warm_start == "none" else args.warm_start
+                ),
             )
             synthesizer = resolve_backend(args.synthesizer, config)
             result = synthesizer.synthesize(

@@ -5,6 +5,10 @@ from .config import (
     CARD_SEQUENTIAL,
     CARD_TOTALIZER,
     CARDINALITY_METHODS,
+    SUBARCH_AUTO,
+    SUBARCH_MODES,
+    SUBARCH_OFF,
+    SUBARCH_ON,
     SynthesisConfig,
     paper_variant,
     qaoa_config,
@@ -18,7 +22,12 @@ from .interface import (
     check_objective,
 )
 from .olsq2 import OLSQ2, TBOLSQ2
-from .optimizer import IterativeSynthesizer, SynthesisTimeout, serialize_blocks
+from .optimizer import (
+    IterativeSynthesizer,
+    SynthesisTimeout,
+    analytic_swap_lower_bound,
+    serialize_blocks,
+)
 from .parallel import ParallelDescent
 from .portfolio import PortfolioEntry, PortfolioSynthesizer, default_portfolio
 from .reference import exists_swap_free_mapping, min_swaps_lower_bound
@@ -39,6 +48,11 @@ __all__ = [
     "CARD_TOTALIZER",
     "CARD_ADDER",
     "CARDINALITY_METHODS",
+    "SUBARCH_OFF",
+    "SUBARCH_AUTO",
+    "SUBARCH_ON",
+    "SUBARCH_MODES",
+    "analytic_swap_lower_bound",
     "LayoutEncoder",
     "OLSQ2",
     "TBOLSQ2",

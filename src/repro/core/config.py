@@ -28,6 +28,14 @@ CARDINALITY_METHODS = (CARD_SEQUENTIAL, CARD_TOTALIZER, CARD_ADDER)
 
 WARM_START_SOURCES = (None, "sabre")
 
+SUBARCH_OFF = "off"
+SUBARCH_AUTO = "auto"
+SUBARCH_ON = "on"
+SUBARCH_MODES = (SUBARCH_OFF, SUBARCH_AUTO, SUBARCH_ON)
+
+#: Default candidate-region count for the sequential subarch driver.
+DEFAULT_SUBARCH_CANDIDATES = 4
+
 SIMPLIFY_OFF = "off"
 SIMPLIFY_INPROCESS = "inprocess"
 SIMPLIFY_FULL = "full"
@@ -91,6 +99,20 @@ class SynthesisConfig:
     depth_relax_threshold: int = 100
     max_pareto_rounds: int = 4  # depth relaxations in the 2-D SWAP search
     warm_start: Optional[str] = None  # None or "sabre": heuristic search seeding
+    # Subarchitecture pruning (repro.arch.subarch): "off" always encodes
+    # the full device; "auto" (recommended for 50+ qubit devices) solves
+    # on an extracted circuit-width region when the device is at least
+    # twice the circuit width; "on" forces region extraction whenever the
+    # device is strictly larger than the circuit.  Results are always
+    # translated back to full-device labels and re-validated; optimality
+    # is only claimed when the achieved objective meets a
+    # device-independent lower bound.  Ignored when the caller pins an
+    # initial mapping (pinned physical labels may lie outside any region).
+    subarch: str = SUBARCH_OFF
+    # How many distinct (post-pruning) candidate regions to try in the
+    # sequential driver; ParallelDescent instead races one candidate per
+    # worker.
+    subarch_candidates: int = DEFAULT_SUBARCH_CANDIDATES
     certify: bool = False  # re-prove the final UNSAT bound with a checked RUP proof
     # Formula simplification (repro.sat.inprocess): "off" disables it,
     # "inprocess" (default) runs restart-time vivification / probing /
@@ -120,7 +142,10 @@ class SynthesisConfig:
         _choice("injectivity method", self.injectivity, INJECTIVITY_METHODS)
         _choice("cardinality method", self.cardinality, CARDINALITY_METHODS)
         _choice("warm-start source", self.warm_start, WARM_START_SOURCES)
+        _choice("subarch mode", self.subarch, SUBARCH_MODES)
         _choice("simplify mode", self.simplify, SIMPLIFY_MODES)
+        if self.subarch_candidates < 1:
+            raise ValueError("subarch candidate count must be >= 1")
         # Validate kernel choice *and* availability up front: asking for
         # the native backend without the built extension should fail at
         # config construction with the remedy, not deep inside a solve.

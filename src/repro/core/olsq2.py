@@ -13,13 +13,20 @@ Typical use::
 
 from __future__ import annotations
 
+import time as _time
 from typing import Optional, Sequence
 
 from ..arch.coupling import CouplingGraph
+from ..arch.subarch import extract_candidates, translate_result
 from ..circuit.circuit import QuantumCircuit
-from .config import SynthesisConfig
+from ..circuit.dag import longest_chain_length
+from .config import SUBARCH_ON, SynthesisConfig
 from .interface import OBJECTIVES, check_initial_mapping, check_objective
-from .optimizer import IterativeSynthesizer
+from .optimizer import (
+    IterativeSynthesizer,
+    SynthesisTimeout,
+    analytic_swap_lower_bound,
+)
 from .result import SynthesisResult
 
 __all__ = ["OBJECTIVES", "OLSQ2", "TBOLSQ2"]
@@ -65,13 +72,30 @@ class OLSQ2:
         """
         check_objective(type(self).__name__, objective)
         mapping = check_initial_mapping(circuit, device, initial_mapping)
+        if self._subarch_applies(circuit, device, mapping):
+            result = self._synthesize_subarch(circuit, device, objective)
+            if result is not None:
+                return result
+        return self._synthesize_direct(
+            circuit, device, objective, mapping, self.config
+        )
+
+    def _synthesize_direct(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        objective: str,
+        mapping: Optional[Sequence[int]],
+        config: SynthesisConfig,
+    ) -> SynthesisResult:
+        """One full-encoding run on exactly ``device`` (no region pruning)."""
         encoder_kwargs = {}
         if mapping is not None:
-            encoder_kwargs["initial_mapping"] = mapping
+            encoder_kwargs["initial_mapping"] = list(mapping)
         synthesizer = IterativeSynthesizer(
             circuit,
             device,
-            config=self.config,
+            config=config,
             transition_based=self.transition_based,
             encoder_cls=self._encoder_cls(),
             encoder_kwargs=encoder_kwargs,
@@ -81,6 +105,118 @@ class OLSQ2:
         if objective == "depth":
             return synthesizer.optimize_depth()
         return synthesizer.optimize_swaps()
+
+    # -- subarchitecture driver (ROADMAP item 3) --------------------------
+
+    def _subarch_applies(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        mapping: Optional[Sequence[int]],
+    ) -> bool:
+        """Whether to solve on extracted regions instead of the full device.
+
+        Never with a pinned initial mapping (its physical labels may lie
+        outside every region) and never under ``certify`` (certificates
+        refer to one concrete encoding; a region proof is not a full-device
+        proof).  ``auto`` additionally requires the device to be at least
+        twice the circuit width — below that the encoding saving cannot
+        amortize the candidate enumeration.
+        """
+        cfg = self.config
+        if cfg.subarch == "off" or cfg.certify or mapping is not None:
+            return False
+        if circuit.n_qubits < 1 or device.n_qubits <= circuit.n_qubits:
+            return False
+        if cfg.subarch == SUBARCH_ON:
+            return True
+        return device.n_qubits >= 2 * circuit.n_qubits
+
+    def _globally_optimal(
+        self,
+        local: SynthesisResult,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        objective: str,
+    ) -> bool:
+        """Candidate-local optimality promotes to full-device optimality
+        only when the achieved objective meets a device-independent lower
+        bound — a bound proved unsatisfiable *on a region* says nothing
+        about the rest of the device."""
+        if not local.optimal:
+            return False
+        if objective == "depth":
+            if self.transition_based:
+                # One transition block == a swap-free mapping exists; no
+                # device can do better than a single block.
+                synth = self.last_synthesizer
+                return synth is not None and synth._current_bound_of(local) <= 1
+            return local.depth == max(1, longest_chain_length(circuit))
+        return local.swap_count <= analytic_swap_lower_bound(circuit, device)
+
+    def _synthesize_subarch(
+        self,
+        circuit: QuantumCircuit,
+        device: CouplingGraph,
+        objective: str,
+    ) -> Optional[SynthesisResult]:
+        """Solve on extracted regions, translating winners back.
+
+        Candidates are tried densest-first on an even split of the time
+        budget; the first region whose result is provably optimal for the
+        *full* device short-circuits the rest.  Returns None (fall back to
+        the full encoding) when no region yields any schedule.
+        """
+        started = _time.monotonic()
+        candidates = extract_candidates(
+            circuit, device, max_candidates=self.config.subarch_candidates
+        )
+        if not candidates:
+            return None
+        best: Optional[SynthesisResult] = None
+        best_key = None
+        best_region = None
+        for index, candidate in enumerate(candidates):
+            remaining = self.config.time_budget - (_time.monotonic() - started)
+            if remaining <= 0:
+                break
+            share = max(1.0, remaining / (len(candidates) - index))
+            cfg = self.config.replace(
+                subarch="off",
+                time_budget=share,
+                solve_time_budget=min(self.config.solve_time_budget, share),
+                warm_start=self.config.warm_start or "sabre",
+            )
+            try:
+                local = self._synthesize_direct(
+                    circuit, candidate.graph, objective, None, cfg
+                )
+            except SynthesisTimeout:
+                continue
+            proven = self._globally_optimal(local, circuit, device, objective)
+            translated = translate_result(local, candidate.qubits, device)
+            translated.optimal = proven
+            translated.solver_stats["subarch"] = {
+                "region": list(candidate.qubits),
+                "anchor": candidate.anchor,
+                "candidates": len(candidates),
+                "candidate_index": index,
+                "global_proof": proven,
+            }
+            translated.wall_time = _time.monotonic() - started
+            if proven:
+                return translated
+            key = (
+                (translated.swap_count, translated.depth)
+                if objective == "swap"
+                else (translated.depth, translated.swap_count)
+            )
+            if best_key is None or key < best_key:
+                best, best_key, best_region = translated, key, index
+        if best is not None:
+            best.solver_stats["subarch"]["winning_candidate"] = best_region
+            best.wall_time = _time.monotonic() - started
+        return best
 
 
 class TBOLSQ2(OLSQ2):

@@ -42,6 +42,57 @@ from .result import SwapEvent, SynthesisResult
 from .validator import is_valid
 
 
+def analytic_swap_lower_bound(
+    circuit: QuantumCircuit, device: CouplingGraph
+) -> int:
+    """A sound mapping-independent SWAP-count lower bound.
+
+    Two counting arguments, both valid for *every* schedule on ``device``
+    (any initial mapping, any depth), with ``D`` the device's maximum
+    degree:
+
+    * **Adjacency budget** — every distinct interacting program pair must
+      be mapped to a device edge at some time step.  At ``t = 0`` at most
+      ``min(|E|, k*D/2)`` pairs are adjacent (``k`` mapped qubits cannot
+      induce more edges), and one SWAP exchanges two program qubits whose
+      pair was already adjacent, granting each at most ``D - 1`` new
+      neighbours: at most ``2(D - 1)`` newly adjacent pairs per SWAP.
+    * **Per-qubit budget** — a program qubit interacting with ``g``
+      distinct partners starts with at most ``D`` neighbours; a SWAP
+      moving it adds at most ``D - 1`` ever-seen neighbours, and a SWAP
+      next to it moves at most 2 program qubits into adjacency.
+
+    Both bounds degrade gracefully to 0 (never over-claim), so they are
+    safe to use as descent floors and as the ``lb`` seed of
+    :class:`~repro.core.parallel.ParallelDescent`'s interval.
+    """
+    pairs = set()
+    partners: List[set] = [set() for _ in range(circuit.n_qubits)]
+    for gate in circuit.gates:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            pairs.add((min(a, b), max(a, b)))
+            partners[a].add(b)
+            partners[b].add(a)
+    if not pairs:
+        return 0
+    max_deg = max(len(adj) for adj in device.adjacency)
+    if max_deg <= 1:
+        return 0  # degenerate coupling; infeasibility surfaces in encoding
+    k = min(circuit.n_qubits, device.n_qubits)
+    adjacency_budget = min(len(pairs), device.num_edges, (k * max_deg) // 2)
+    lower = 0
+    deficit = len(pairs) - adjacency_budget
+    if deficit > 0:
+        lower = -(-deficit // (2 * (max_deg - 1)))
+    per_swap_gain = max(max_deg - 1, 2)
+    for neighbours in partners:
+        need = len(neighbours) - max_deg
+        if need > 0:
+            lower = max(lower, -(-need // per_swap_gain))
+    return lower
+
+
 class SynthesisTimeout(RuntimeError):
     """Raised when no valid solution was found within the time budget."""
 
@@ -86,6 +137,15 @@ class IterativeSynthesizer:
         # While the SWAP loop runs its inner depth pass, defer certificate
         # assembly to the end so the depth records are checked only once.
         self._in_swap_phase = False
+        # Cached SABRE reference solution (config.warm_start == "sabre"):
+        # seeds solver phases AND provides a sound initial depth upper
+        # bound, so the relax ladder never overshoots the heuristic.
+        self._warm_result: Optional[SynthesisResult] = None
+        self._warm_attempted = False
+        # Interval telemetry of the last optimization: analytic lower
+        # bounds and warm upper bounds, surfaced in solver_stats so the
+        # benchmarks can report how tight the search started.
+        self.interval: dict = {}
 
     # -- helpers ---------------------------------------------------------
 
@@ -138,13 +198,71 @@ class IterativeSynthesizer:
 
     def _seed_from_sabre(self, encoder: LayoutEncoder) -> None:
         """Heuristic search guidance (paper Sec. V): phase hints from SABRE."""
+        heuristic = self._warm_reference()
+        if heuristic is not None:
+            encoder.seed_initial_mapping(heuristic.initial_mapping)
+
+    def _warm_reference(self) -> Optional[SynthesisResult]:
+        """The cached SABRE solution for this problem, or None.
+
+        A heuristic schedule is a feasible model of the encoding, so its
+        depth is a *sound* upper bound on the optimum — provided it really
+        is feasible, which the independent validator re-checks here before
+        the bound is trusted.  A pinned initial mapping is forwarded to
+        SABRE (a route ignoring the pin would bound a different, larger
+        feasible set).  SABRE failures (e.g. unroutable disconnected
+        placements) downgrade to "no warm start", never to an error.
+        """
+        if self.config.warm_start != "sabre":
+            return None
+        if self._warm_attempted:
+            return self._warm_result
+        self._warm_attempted = True
         from ..baselines.sabre import SABRE  # runtime import; avoids a cycle
 
-        with self.tracer.span("warm_start", source="sabre"):
-            heuristic = SABRE(
-                swap_duration=self.config.swap_duration, seed=0
-            ).synthesize(self.circuit, self.device)
-            encoder.seed_initial_mapping(heuristic.initial_mapping)
+        with self.tracer.span("warm_start", source="sabre") as span:
+            try:
+                heuristic = SABRE(
+                    swap_duration=self.config.swap_duration, seed=0
+                ).synthesize(
+                    self.circuit,
+                    self.device,
+                    initial_mapping=self.encoder_kwargs.get("initial_mapping"),
+                )
+            except (RuntimeError, ValueError):
+                heuristic = None
+            if heuristic is not None and is_valid(heuristic):
+                self._warm_result = heuristic
+                span.set(depth=heuristic.depth, swaps=heuristic.swap_count)
+            else:
+                span.set(depth=None)
+        return self._warm_result
+
+    def _result_from_warm(
+        self,
+        warm: SynthesisResult,
+        objective: str,
+        optimal: bool,
+        started: float,
+    ) -> SynthesisResult:
+        """Promote the SABRE reference into this run's returned result."""
+        result = SynthesisResult(
+            circuit=self.circuit,
+            device=self.device,
+            initial_mapping=list(warm.initial_mapping),
+            gate_times=list(warm.gate_times),
+            swaps=list(warm.swaps),
+            swap_duration=self.config.swap_duration,
+            objective=objective,
+            solver_stats=(
+                self.encoder.ctx.stats() if self.encoder is not None else {}
+            ),
+            optimal=optimal,
+            wall_time=_time.monotonic() - started,
+        )
+        result.solver_stats["warm_start_model"] = True
+        result.solver_stats["interval"] = dict(self.interval)
+        return result
 
     def _extract(self) -> Tuple[List[int], List[int], List[SwapEvent]]:
         with self.tracer.span("extract"):
@@ -224,6 +342,8 @@ class IterativeSynthesizer:
         # depth-phase solution without re-deriving block indices.
         result._raw_times = raw_times
         result._raw_swaps = raw_swaps
+        if self.interval:
+            result.solver_stats["interval"] = dict(self.interval)
         return result
 
     # -- depth optimization --------------------------------------------------
@@ -242,7 +362,29 @@ class IterativeSynthesizer:
         self._refutations = []
         t_lb = 1 if self.transition_based else longest_chain_length(self.circuit)
         t_lb = max(1, t_lb)
+        # Warm start: a validated SABRE schedule bounds the optimum from
+        # above, so the relax ladder never probes past it — and when the
+        # heuristic already meets the dependency-chain lower bound it *is*
+        # the optimum, no solver query required.  (Bound units are time
+        # steps, so the cap only applies to the time-resolved model.)
+        warm = None if self.transition_based else self._warm_reference()
+        warm_depth = warm.depth if warm is not None else None
+        self.interval = {"depth_lb": t_lb}
+        if warm_depth is not None:
+            self.interval["warm_depth_ub"] = warm_depth
+        if (
+            warm is not None
+            and warm_depth == t_lb
+            and not self._in_swap_phase
+            and not self.config.certify
+        ):
+            span.set(depth=warm_depth, optimal=True, iterations=self.iterations)
+            return self._result_from_warm(warm, "depth", True, started)
         horizon = self._initial_horizon()
+        if warm_depth is not None:
+            # No schedule beyond the warm bound will ever be probed, so
+            # the variable horizon (and with it the formula) shrinks to it.
+            horizon = max(2, min(horizon, warm_depth))
         self._build_encoder(horizon)
 
         bound = t_lb
@@ -264,7 +406,25 @@ class IterativeSynthesizer:
                 best_bound = bound
             elif status is SatResult.UNSAT:
                 self._record_unsat("depth", bound, None, (guard,))
+                if warm_depth is not None and bound >= warm_depth:
+                    # The encoder refuted the heuristic's own bound: that
+                    # would mean an encoding/heuristic mismatch — distrust
+                    # the cap and let the ladder continue rather than spin.
+                    warm = None
+                    warm_depth = None
                 bound = self._next_depth_bound(bound)
+                if warm_depth is not None:
+                    bound = min(bound, warm_depth)
+            elif warm is not None:
+                # Budget exhausted (or cancelled) before the solver found a
+                # schedule, but the validated heuristic model is one: return
+                # it instead of failing, optimal only if it meets T_LB.
+                optimal = bool(warm_depth == t_lb and not self.config.certify)
+                span.set(
+                    depth=warm_depth, optimal=optimal,
+                    iterations=self.iterations, warm_fallback=True,
+                )
+                return self._result_from_warm(warm, "depth", optimal, started)
             elif self.tracer.cancelled:
                 raise SynthesisCancelled(
                     f"cancelled by progress callback before any schedule "
@@ -489,6 +649,18 @@ class IterativeSynthesizer:
         best_swaps = len(best_extraction[2])
         best_depth_bound = depth_bound
         pareto: List[Tuple[int, int]] = []
+        # The analytic lower bound floors the descent: no probe below it can
+        # be SAT, so once the count reaches the floor optimality is proven
+        # without a (potentially very slow) final UNSAT query.  The floor is
+        # device-independent of the mapping, hence equally sound here and
+        # after subarchitecture translation.  Certified runs keep the floor
+        # at zero: the certificate contract promises a *checked* refutation
+        # of S*-1 per Pareto round, which the analytic shortcut would skip.
+        swap_floor = analytic_swap_lower_bound(self.circuit, self.device)
+        self.interval["swap_lb"] = swap_floor
+        if self.config.certify:
+            swap_floor = 0
+        self.interval["swap_ub_initial"] = best_swaps
         encoder.init_swap_counter(max_bound=best_swaps)
         proven_pareto = False
         swap_unsat_rounds = 0
@@ -498,7 +670,7 @@ class IterativeSynthesizer:
             # Iterative descent at the current depth bound.
             improved_this_round = False
             bound_at_depth = best_swaps
-            while bound_at_depth > 0:
+            while bound_at_depth > swap_floor:
                 probe = bound_at_depth - 1
                 guard = encoder.swap_guard(probe)
                 assumptions = [encoder.depth_guard(depth_bound)]
@@ -523,7 +695,7 @@ class IterativeSynthesizer:
                 else:
                     break  # timeout or cancellation: keep best-so-far
             pareto.append((depth_bound, bound_at_depth))
-            if best_swaps == 0:
+            if best_swaps <= swap_floor:
                 proven_pareto = True
                 break
             rounds += 1

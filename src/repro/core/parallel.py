@@ -38,6 +38,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arch.coupling import CouplingGraph
+from ..arch.subarch import extract_candidates, translate_result
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import longest_chain_length
 from ..sat.result import SatResult
@@ -45,10 +46,14 @@ from ..sat.sharing import SharedClauseRing, ShareRelay
 from ..sat.solver import Solver
 from ..telemetry import NULL_TRACER
 from .interface import check_initial_mapping, check_objective
-from .optimizer import IterativeSynthesizer, SynthesisTimeout
+from .optimizer import (
+    IterativeSynthesizer,
+    SynthesisTimeout,
+    analytic_swap_lower_bound,
+)
 from .portfolio import PortfolioEntry, default_portfolio
 from .result import SynthesisResult
-from .validator import validate_result
+from .validator import is_valid, validate_result
 
 # Command tuples: ("probe", phase, depth_bound, swap_bound, counter_max)
 # or ("stop",).  Result tuples: ("ready", wid, name),
@@ -75,6 +80,8 @@ def _descent_worker(
     transition_based: bool,
     circuit,
     device,
+    region,
+    full_device,
     initial_mapping,
     cmd_q,
     res_q,
@@ -87,6 +94,13 @@ def _descent_worker(
     Each probe is solved in ``slice_budget``-second slices; between slices
     the worker exchanges clauses with the bus and drains its command queue
     so the coordinator can retarget it (keeping only the newest command).
+
+    ``region`` (with ``full_device``) marks a *subarchitecture worker*: it
+    encodes only the ``region`` qubits of the full device and translates
+    every SAT model back to full-device labels before reporting it, so the
+    coordinator only ever sees full-device schedules.  The achieved bounds
+    are computed *before* translation (translation preserves depth and
+    SWAP count exactly).
     """
     try:
         synth = IterativeSynthesizer(
@@ -145,6 +159,10 @@ def _descent_worker(
                         synth._current_bound_of(result),
                         len(extraction[2]),
                     )
+                    if region is not None:
+                        # Relabel to full-device qubits; translate_result
+                        # re-validates against the full coupling graph.
+                        result = translate_result(result, region, full_device)
                     res_q.put(
                         ("verdict", wid, phase, depth_bound, swap_bound,
                          "sat", result, achieved, _worker_stats(synth))
@@ -309,6 +327,15 @@ class ParallelDescent:
         # refuted depth bound, and (depth_bound, swap_bound, counter_max).
         self._depth_cert: Optional[int] = None
         self._swap_cert: Optional[Tuple[int, int, int]] = None
+        # Subarchitecture portfolio dimension (set per synthesize() call):
+        # wid -> full-device qubit labels of the worker's region (None =
+        # full device), and the set of wids whose UNSAT verdicts are valid
+        # for the full device (region UNSATs are local knowledge only).
+        self._regions: List[Optional[Tuple[int, ...]]] = []
+        self._prover_wids: Set[int] = set()
+        # Interval telemetry of the last run (analytic lower bounds, warm
+        # upper bounds), surfaced in solver_stats["interval"].
+        self._interval: dict = {}
 
     # -- public API -------------------------------------------------------
 
@@ -324,6 +351,8 @@ class ParallelDescent:
         mapping = check_initial_mapping(circuit, device, initial_mapping)
         n = len(self.entries)
         started = time.monotonic()
+        self._interval = {}
+        self._assign_regions(circuit, device, mapping)
         ctx = (
             mp.get_context("fork")
             if "fork" in mp.get_all_start_methods()
@@ -369,11 +398,17 @@ class ParallelDescent:
         procs = []
         for wid, entry in enumerate(self.entries):
             cfg = entry.config.replace(tracer=None, progress_callback=None)
+            region = self._regions[wid]
+            worker_device = (
+                device if region is None else self._region_graphs[wid]
+            )
             procs.append(
                 ctx.Process(
                     target=_descent_worker,
                     args=(wid, entry.name, cfg, entry.transition_based,
-                          circuit, device, mapping, cmd_qs[wid], res_q,
+                          circuit, worker_device, region,
+                          None if region is None else device,
+                          mapping, cmd_qs[wid], res_q,
                           endpoints[wid], self.slice_budget, worker_deadline),
                     daemon=True,
                 )
@@ -391,7 +426,8 @@ class ParallelDescent:
                 share_transport=transport_used,
             ):
                 result = self._run(
-                    circuit, objective, pool, procs, counters, started
+                    circuit, device, mapping, objective, pool, procs,
+                    counters, started,
                 )
         finally:
             for q in cmd_qs:
@@ -452,7 +488,15 @@ class ParallelDescent:
             parallel["relay"] = relay.stats()
         if ring_final_stats is not None:
             parallel["ring"] = ring_final_stats
+        if any(r is not None for r in self._regions):
+            parallel["subarch_regions"] = {
+                pool.names[wid]: list(region)
+                for wid, region in enumerate(self._regions)
+                if region is not None
+            }
         result.solver_stats["parallel"] = parallel
+        if self._interval:
+            result.solver_stats["interval"] = dict(self._interval)
         if self.certify:
             self._attach_certificate(result, circuit, device, mapping, objective)
         self.tracer.event("parallel.summary", **{
@@ -460,6 +504,46 @@ class ParallelDescent:
         })
         result.wall_time = time.monotonic() - started
         return result
+
+    def _assign_regions(self, circuit, device, mapping) -> None:
+        """Decide the subarchitecture portfolio dimension for this run.
+
+        Worker 0 always stays on the full device — it is the *global
+        prover*: only its UNSAT verdicts (and those of other full-device
+        workers) may raise the shared lower bound, so optimality proofs
+        never rest on region-local infeasibility.  Workers 1..n-1 are
+        assigned distinct extracted candidate regions (cycled when there
+        are more workers than candidates); their SAT models are translated
+        back to full-device labels inside the worker, their UNSATs only
+        retire their own region.  Region assignment follows the first
+        entry's ``subarch`` config knob and is skipped entirely for a
+        pinned initial mapping (its labels may lie outside every region).
+        """
+        n = len(self.entries)
+        self._regions = [None] * n
+        self._region_graphs: List[Optional[CouplingGraph]] = [None] * n
+        self._prover_wids = set(range(n))
+        cfg = self.entries[0].config
+        if (
+            n < 2
+            or mapping is not None
+            or cfg.subarch == "off"
+            or device.n_qubits <= circuit.n_qubits
+            or circuit.n_qubits < 1
+        ):
+            return
+        if cfg.subarch != "on" and device.n_qubits < 2 * circuit.n_qubits:
+            return
+        candidates = extract_candidates(
+            circuit, device, max_candidates=max(1, n - 1)
+        )
+        if not candidates:
+            return
+        for wid in range(1, n):
+            candidate = candidates[(wid - 1) % len(candidates)]
+            self._regions[wid] = candidate.qubits
+            self._region_graphs[wid] = candidate.graph
+            self._prover_wids.discard(wid)
 
     def _attach_certificate(
         self, result, circuit, device, mapping, objective
@@ -530,11 +614,15 @@ class ParallelDescent:
 
     # -- phases -----------------------------------------------------------
 
-    def _run(self, circuit, objective, pool, procs, counters, started):
+    def _run(
+        self, circuit, device, mapping, objective, pool, procs, counters,
+        started,
+    ):
         tb = self.entries[0].transition_based
         t_lb = max(1, 1 if tb else longest_chain_length(circuit))
         deadline = started + self.time_budget
         best: Dict[str, object] = {"result": None, "name": "", "key": None}
+        self._interval["depth_lb"] = t_lb
 
         def apply_depth_sat(payload, achieved, d, s, wid, stale):
             key = (achieved[0], achieved[1])
@@ -542,9 +630,33 @@ class ParallelDescent:
                 best.update(result=payload, name=pool.names[wid], key=key)
             return achieved[0]
 
+        # Warm start: one coordinator-side SABRE run seeds the race with a
+        # validated full-device model, so the relax ladder is skipped and
+        # the interval opens at [t_lb, warm_depth) instead of unbounded.
+        # Sound because a validated heuristic schedule is a feasible model;
+        # TB entries are excluded (block counts and time-resolved depths
+        # are not comparable bound units).
+        warm_ub = None
+        if not tb and any(
+            e.config.warm_start == "sabre" for e in self.entries
+        ):
+            warm = self._warm_reference(circuit, device, mapping)
+            if warm is not None:
+                warm.objective = "depth"
+                warm.solver_stats = dict(warm.solver_stats)
+                warm.solver_stats["warm_start_model"] = True
+                raw_swaps = getattr(warm, "_raw_swaps", warm.swaps)
+                best.update(
+                    result=warm,
+                    name="sabre-warm",
+                    key=(warm.depth, len(raw_swaps)),
+                )
+                warm_ub = warm.depth
+                self._interval["warm_depth_ub"] = warm_ub
+
         with self.tracer.span("parallel.phase", phase="depth") as span:
             lb, ub, proven = self._race(
-                pool, procs, "depth", t_lb, None, None,
+                pool, procs, "depth", t_lb, warm_ub, None,
                 [t_lb], tb, apply_depth_sat, deadline, counters,
             )
             span.set(lb=lb, ub=ub, proven=proven)
@@ -566,10 +678,30 @@ class ParallelDescent:
             result.solver_stats["portfolio_winner"] = best["name"]
             return result
         return self._swap_phase(
-            pool, procs, best, ub, counters, started
+            circuit, device, pool, procs, best, ub, counters, started
         )
 
-    def _swap_phase(self, pool, procs, best, depth_ub, counters, started):
+    def _warm_reference(self, circuit, device, mapping):
+        """A validated full-device SABRE schedule, or None on any failure."""
+        from ..baselines.sabre import SABRE  # runtime import; avoids a cycle
+
+        cfg = self.entries[0].config
+        with self.tracer.span("warm_start", source="sabre") as span:
+            try:
+                heuristic = SABRE(
+                    swap_duration=cfg.swap_duration, seed=0
+                ).synthesize(circuit, device, initial_mapping=mapping)
+            except (RuntimeError, ValueError):
+                heuristic = None
+            if heuristic is not None and is_valid(heuristic):
+                span.set(depth=heuristic.depth, swaps=heuristic.swap_count)
+                return heuristic
+            span.set(depth=None)
+        return None
+
+    def _swap_phase(
+        self, circuit, device, pool, procs, best, depth_ub, counters, started
+    ):
         """2-D Pareto search (Sec. III-B.2), with each round's swap descent
         parallelised the same way as the depth phase."""
         deadline = time.monotonic() + self.time_budget
@@ -577,6 +709,17 @@ class ParallelDescent:
         depth_bound = depth_ub
         best_swaps = len(getattr(depth_result, "_raw_swaps", depth_result.swaps))
         counter_max = best_swaps
+        # The analytic bound floors every round's descent: probes below it
+        # cannot be SAT on any device region, so the race opens on
+        # [floor, best_swaps) and reaching the floor proves optimality
+        # without a final (often slowest) UNSAT query.  Certified runs keep
+        # the floor at zero — the post-hoc certificate re-proves S*-1, which
+        # the analytic shortcut would otherwise leave unrecorded.
+        swap_floor = analytic_swap_lower_bound(circuit, device)
+        self._interval["swap_lb"] = swap_floor
+        if self.certify:
+            swap_floor = 0
+        self._interval["swap_ub_initial"] = best_swaps
         max_rounds = self.entries[0].config.max_pareto_rounds
         pareto: List[Tuple[int, int]] = []
         proven_any = False
@@ -601,7 +744,7 @@ class ParallelDescent:
                 depth_bound=depth_bound,
             ) as span:
                 _lb, ub, proven = self._race(
-                    pool, procs, "swap", 0, best_swaps, depth_bound,
+                    pool, procs, "swap", swap_floor, best_swaps, depth_bound,
                     None, False, apply_swap_sat, deadline, counters,
                     counter_max=counter_max,
                 )
@@ -609,10 +752,10 @@ class ParallelDescent:
                 span.set(swaps=best_swaps, proven=proven)
             pareto.append((depth_bound, round_floor["value"]))
             proven_any = proven_any or proven
-            if proven and best_swaps > 0:
+            if proven and best_swaps > swap_floor:
                 self._swap_cert = (depth_bound, best_swaps - 1, best_swaps)
             rounds += 1
-            if best_swaps == 0:
+            if best_swaps <= swap_floor:
                 proven_any = True
                 break
             if (
@@ -656,8 +799,19 @@ class ParallelDescent:
         ``ub is None`` starts in *relax* mode: probes walk the geometric
         ladder in ``rung_state`` until the first SAT establishes ``ub``.
         Returns ``(lb, ub, proven)``.
+
+        Subarchitecture workers get *private* floors: their UNSAT verdicts
+        only retire bounds for their own region (the full device might
+        still satisfy them), so ``lb`` — and with it any optimality claim —
+        advances on full-device (prover) verdicts alone.  When every alive
+        worker's effective floor reaches ``ub`` with ``lb`` still below it,
+        the race is stalled (all regions exhausted, no prover left) and
+        returns unproven.
         """
         cfg = self.entries[0].config
+        provers = self._prover_wids if self._prover_wids else set(pool.alive)
+        #: wid -> region-local lower bound (UNSATs on that worker's region).
+        floors: Dict[int, int] = {}
 
         def next_rung(b: int) -> int:
             if tb:
@@ -674,24 +828,28 @@ class ParallelDescent:
                 return ("probe", "swap", depth_bound, b, counter_max)
             return ("probe", "depth", b, None, None)
 
-        def pick() -> Optional[int]:
+        def floor_of(wid: int) -> int:
+            return max(lb, floors.get(wid, lb))
+
+        def pick(wid: int) -> Optional[int]:
             if ub is None:
                 b = rung_state[0]
                 rung_state[0] = next_rung(b)
                 return b
+            lo = floor_of(wid)
             hi = ub - 1
-            if hi < lb:
+            if hi < lo:
                 return None
             taken = pool.taken_bounds(phase, depth_bound)
             k = max(1, len(pool.alive))
-            width = hi - lb
+            width = hi - lo
             # Quantile split of the open interval: worker 0 probes the
             # classic descend bound ub-1, the rest bisect what remains.
             for j in range(k):
                 b = hi - (j * width) // k
-                if b >= lb and b not in taken:
+                if b >= lo and b not in taken:
                     return b
-            for b in range(hi, lb - 1, -1):
+            for b in range(hi, lo - 1, -1):
                 if b not in taken:
                     return b
             return None
@@ -701,10 +859,17 @@ class ParallelDescent:
                 return lb, ub, True
             if time.monotonic() >= deadline or not pool.alive:
                 return lb, ub, False
+            if ub is not None and all(
+                floor_of(wid) >= ub for wid in pool.alive
+            ):
+                # Every region (and any surviving prover) has retired the
+                # whole interval privately, but lb < ub: nothing left to
+                # probe, nothing proven for the full device.
+                return lb, ub, False
             for wid in sorted(pool.idle & pool.alive):
-                b = pick()
+                b = pick(wid)
                 if b is None:
-                    break
+                    continue
                 pool.send(wid, make_cmd(b))
                 self.tracer.event(
                     "parallel.dispatch", worker=wid, phase=phase,
@@ -720,13 +885,15 @@ class ParallelDescent:
                     phase != "swap" or probe[1] == depth_bound
                 ):
                     b = probe[2] if phase == "swap" else probe[1]
-                    if not (b < lb or (ub is not None and b >= ub)):
+                    if not (
+                        b < floor_of(wid) or (ub is not None and b >= ub)
+                    ):
                         continue
-                    reason = "unsat_below" if b < lb else "sat_above"
+                    reason = "unsat_below" if b < floor_of(wid) else "sat_above"
                 else:
                     b = probe[2] if probe[0] == "swap" else probe[1]
                     reason = "stale"
-                nb = pick()
+                nb = pick(wid)
                 if nb is None:
                     continue
                 counters["pruned"] += 1
@@ -766,7 +933,14 @@ class ParallelDescent:
             elif verdict == "unsat" and vphase == phase:
                 if phase == "swap":
                     # UNSAT at a *tighter* depth proves nothing here.
-                    if d == depth_bound and s >= lb:
-                        lb = s + 1
-                elif d >= lb:
-                    lb = d + 1
+                    if d == depth_bound:
+                        if wid in provers:
+                            if s >= lb:
+                                lb = s + 1
+                        else:
+                            floors[wid] = max(floors.get(wid, 0), s + 1)
+                elif wid in provers:
+                    if d >= lb:
+                        lb = d + 1
+                else:
+                    floors[wid] = max(floors.get(wid, 0), d + 1)

@@ -1,0 +1,340 @@
+"""Subarchitecture extraction, warm-started descent, and translation.
+
+Covers the solve-small pipeline end to end: candidate enumeration
+invariants (connected, circuit-width, deduplicated by isomorphism
+signature), lossless round-tripping of results back to full-device
+labels through the independent validator, soundness of the analytic
+SWAP lower bound and the SABRE warm-start upper bound, and the
+sequential + parallel drivers proving optimality on devices much larger
+than the circuit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import devices
+from repro.arch.coupling import CouplingGraph
+from repro.arch.subarch import (
+    candidate_signature,
+    dominates,
+    enumerate_candidates,
+    extract_candidates,
+    translate_result,
+)
+from repro.baselines.sabre import SABRE
+from repro.circuit.circuit import QuantumCircuit
+from repro.core import (
+    OLSQ2,
+    ParallelDescent,
+    PortfolioEntry,
+    SynthesisConfig,
+    analytic_swap_lower_bound,
+    validate_result,
+)
+from repro.workloads.queko import queko_circuit
+
+DEVICE_FACTORIES = [
+    lambda: devices.grid(3, 4),
+    devices.ibm_tokyo,
+    devices.ibm_falcon,
+    lambda: devices.sycamore_region(24),
+]
+
+
+# -- device factory memoization (lru_cache) ----------------------------------
+
+
+def test_device_factories_return_shared_instances():
+    assert devices.ibm_tokyo() is devices.ibm_tokyo()
+    assert devices.grid(3, 3) is devices.grid(3, 3)
+    assert devices.sycamore_region(20) is devices.sycamore_region(20)
+    assert devices.grid(3, 3) is not devices.grid(3, 4)
+
+
+# -- candidate enumeration invariants ----------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    factory=st.sampled_from(DEVICE_FACTORIES),
+    width=st.integers(min_value=1, max_value=12),
+)
+def test_candidates_connected_and_sized(factory, width):
+    device = factory()
+    for cand in enumerate_candidates(device, width):
+        assert cand.n_qubits == width
+        assert len(set(cand.qubits)) == width
+        assert all(0 <= p < device.n_qubits for p in cand.qubits)
+        assert cand.graph.n_qubits == width
+        assert cand.graph.is_connected()
+        # The candidate graph is the honest induced subgraph: every edge
+        # maps to a device edge.
+        for a, b in cand.graph.edges:
+            assert device.are_adjacent(cand.qubits[a], cand.qubits[b])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    factory=st.sampled_from(DEVICE_FACTORIES),
+    width=st.integers(min_value=2, max_value=10),
+)
+def test_candidate_signatures_distinct(factory, width):
+    device = factory()
+    candidates = enumerate_candidates(device, width, max_candidates=8)
+    signatures = [c.signature for c in candidates]
+    assert len(signatures) == len(set(signatures))
+    for cand in candidates:
+        assert cand.signature == candidate_signature(cand.graph)
+
+
+def test_width_equal_device_returns_identity_candidate():
+    device = devices.grid(2, 3)
+    (cand,) = enumerate_candidates(device, device.n_qubits)
+    assert cand.qubits == tuple(range(device.n_qubits))
+    assert cand.graph.num_edges == device.num_edges
+
+
+def test_width_beyond_device_returns_nothing():
+    assert enumerate_candidates(devices.grid(2, 2), 5) == []
+
+
+def test_disconnected_device_skips_small_components():
+    device = CouplingGraph(5, [(0, 1), (2, 3), (3, 4)], name="two-parts")
+    candidates = enumerate_candidates(device, 3)
+    assert candidates, "the 3-qubit component must be found"
+    for cand in candidates:
+        assert set(cand.qubits) == {2, 3, 4}
+    assert enumerate_candidates(device, 4) == []
+
+
+def test_dominates_is_reflexive_and_prunes_sparser_shapes():
+    line = devices.linear(4)
+    sig_line = candidate_signature(line)
+    sig_ring = candidate_signature(devices.ring(4))
+    assert dominates(sig_line, sig_line)
+    # The 4-ring has every degree and cumulative-distance coordinate at
+    # least as good as the 4-line, never the other way around.
+    assert dominates(sig_ring, sig_line)
+    assert not dominates(sig_line, sig_ring)
+
+
+# -- translation round-trip --------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_translation_round_trips_through_validator(seed):
+    source = devices.grid(2, 2)
+    inst = queko_circuit(source, depth=3, n_gates=6, seed=seed)
+    device = devices.ibm_tokyo()
+    candidates = extract_candidates(inst.circuit, device)
+    assert candidates
+    cand = candidates[0]
+    cfg = SynthesisConfig(swap_duration=1, time_budget=60, solve_time_budget=30)
+    local = OLSQ2(cfg).synthesize(inst.circuit, cand.graph, objective="depth")
+    translated = translate_result(local, cand.qubits, device)
+    # Depth and SWAP count are label-free and survive exactly; the mapping
+    # round-trips through the region's label table.
+    assert translated.depth == local.depth
+    assert translated.swap_count == local.swap_count
+    assert translated.device is device
+    assert translated.initial_mapping == [
+        cand.qubits[p] for p in local.initial_mapping
+    ]
+    validate_result(translated, strict_dependencies=True)
+
+
+def test_translation_rejects_mismatched_region():
+    source = devices.grid(2, 2)
+    inst = queko_circuit(source, depth=2, n_gates=4, seed=3)
+    cfg = SynthesisConfig(swap_duration=1, time_budget=60, solve_time_budget=30)
+    local = OLSQ2(cfg).synthesize(inst.circuit, source, objective="depth")
+    with pytest.raises(ValueError, match="candidate has"):
+        translate_result(local, (0, 1, 2), devices.ibm_tokyo())
+
+
+# -- analytic SWAP lower bound ----------------------------------------------
+
+
+def test_analytic_swap_lower_bound_never_overclaims():
+    # QUEKO instances are swap-free by construction: the bound must be 0.
+    for seed in range(5):
+        inst = queko_circuit(devices.grid(2, 3), depth=3, n_gates=8, seed=seed)
+        assert analytic_swap_lower_bound(inst.circuit, devices.grid(2, 3)) == 0
+        assert (
+            analytic_swap_lower_bound(inst.circuit, devices.sycamore_region(24))
+            == 0
+        )
+
+
+def test_analytic_swap_lower_bound_detects_forced_swaps():
+    # A 4-qubit all-to-all interaction on a line: each qubit needs 3
+    # partners but the line offers degree 2, so at least one SWAP.
+    qc = QuantumCircuit(4)
+    for a in range(4):
+        for b in range(a + 1, 4):
+            qc.cx(a, b)
+    line = devices.linear(4)
+    lb = analytic_swap_lower_bound(qc, line)
+    assert lb >= 1
+    # And the bound is matched by an actual optimal synthesis.
+    cfg = SynthesisConfig(swap_duration=1, time_budget=120, solve_time_budget=60)
+    result = OLSQ2(cfg).synthesize(qc, line, objective="swap")
+    assert result.swap_count >= lb
+
+
+def test_analytic_swap_lower_bound_degenerate_cases():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    assert analytic_swap_lower_bound(qc, devices.linear(3)) == 0
+    qc2 = QuantumCircuit(2)
+    qc2.cx(0, 1)
+    assert analytic_swap_lower_bound(qc2, CouplingGraph(2, [])) == 0
+
+
+# -- warm start --------------------------------------------------------------
+
+
+def test_sabre_warm_upper_bound_dominates_proven_optimum():
+    # Acceptance criterion: the SABRE warm-start depth is a sound upper
+    # bound, i.e. >= the proven optimal depth.
+    inst = queko_circuit(devices.grid(2, 3), depth=4, n_gates=10, seed=2)
+    device = devices.grid(2, 3)
+    warm = SABRE(swap_duration=1, seed=0).synthesize(inst.circuit, device)
+    cfg = SynthesisConfig(swap_duration=1, time_budget=120, solve_time_budget=60)
+    exact = OLSQ2(cfg).synthesize(inst.circuit, device, objective="depth")
+    assert exact.optimal
+    assert warm.depth >= exact.depth
+
+
+def test_warm_start_shortcut_returns_validated_optimum():
+    # QUEKO + SABRE usually meets the dependency bound: the optimizer may
+    # return the heuristic model without any solver query, but the result
+    # must still be optimal, validated, and carry interval telemetry.
+    inst = queko_circuit(devices.grid(2, 3), depth=4, n_gates=10, seed=1)
+    cfg = SynthesisConfig(
+        swap_duration=1, time_budget=120, solve_time_budget=60,
+        warm_start="sabre",
+    )
+    result = OLSQ2(cfg).synthesize(inst.circuit, devices.grid(2, 3))
+    assert result.optimal
+    assert result.depth == inst.optimal_depth
+    validate_result(result, strict_dependencies=True)
+    interval = result.solver_stats["interval"]
+    assert interval["depth_lb"] == inst.optimal_depth
+    assert interval.get("warm_depth_ub", result.depth) >= result.depth
+
+
+# -- sequential subarch driver ----------------------------------------------
+
+
+def test_subarch_solves_small_and_proves_global_optimum():
+    inst = queko_circuit(devices.grid(2, 3), depth=4, n_gates=10, seed=1)
+    device = devices.sycamore_region(24)
+    cfg = SynthesisConfig(
+        swap_duration=1, time_budget=300, solve_time_budget=120,
+        subarch="auto",
+    )
+    result = OLSQ2(cfg).synthesize(inst.circuit, device, objective="depth")
+    assert result.depth == inst.optimal_depth
+    assert result.optimal  # depth == dependency bound -> global proof
+    assert result.device is device
+    validate_result(result, strict_dependencies=True)
+    sub = result.solver_stats["subarch"]
+    assert sub["global_proof"]
+    assert len(sub["region"]) == inst.circuit.n_qubits
+
+
+def test_subarch_swap_objective_zero_swaps_is_global():
+    inst = queko_circuit(devices.grid(2, 3), depth=3, n_gates=8, seed=4)
+    device = devices.sycamore_region(24)
+    cfg = SynthesisConfig(
+        swap_duration=1, time_budget=300, solve_time_budget=120,
+        subarch="auto",
+    )
+    result = OLSQ2(cfg).synthesize(inst.circuit, device, objective="swap")
+    assert result.swap_count == 0
+    assert result.optimal
+    validate_result(result, strict_dependencies=True)
+
+
+def test_subarch_ignored_for_pinned_mapping_and_small_devices():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    cfg = SynthesisConfig(
+        swap_duration=1, time_budget=60, solve_time_budget=30, subarch="on"
+    )
+    synth = OLSQ2(cfg)
+    # Pinned mapping: full-device encoding, labels honoured.
+    pinned = synth.synthesize(
+        qc, devices.grid(2, 3), initial_mapping=[0, 1, 2]
+    )
+    assert pinned.initial_mapping == [0, 1, 2]
+    assert "subarch" not in pinned.solver_stats
+    # Device no larger than the circuit: nothing to extract.
+    same = synth.synthesize(qc, devices.linear(3))
+    assert "subarch" not in same.solver_stats
+
+
+def test_subarch_config_validation():
+    with pytest.raises(ValueError, match="subarch mode"):
+        SynthesisConfig(subarch="sometimes")
+    with pytest.raises(ValueError, match="candidate count"):
+        SynthesisConfig(subarch_candidates=0)
+    # The new knobs are part of the wire format (service cache keys).
+    cfg = SynthesisConfig(subarch="auto", subarch_candidates=2)
+    blob = cfg.to_dict()
+    assert blob["subarch"] == "auto"
+    assert SynthesisConfig.from_dict(blob) == cfg
+
+
+# -- parallel subarch race ---------------------------------------------------
+
+
+def test_parallel_descent_races_candidate_regions():
+    inst = queko_circuit(devices.grid(2, 3), depth=4, n_gates=10, seed=1)
+    device = devices.sycamore_region(24)
+    cfg = SynthesisConfig(
+        swap_duration=1, time_budget=120, solve_time_budget=60,
+        subarch="auto", warm_start="sabre",
+    )
+    entries = [PortfolioEntry(f"w{i}", cfg) for i in range(2)]
+    pd = ParallelDescent(entries, time_budget=120, slice_budget=0.5)
+    result = pd.synthesize(inst.circuit, device, objective="depth")
+    assert result.depth == inst.optimal_depth
+    assert result.optimal
+    validate_result(result, strict_dependencies=True)
+    parallel = result.solver_stats["parallel"]
+    regions = parallel.get("subarch_regions", {})
+    assert regions, "worker 1 must have been assigned a candidate region"
+    for region in regions.values():
+        assert len(region) == inst.circuit.n_qubits
+    interval = result.solver_stats["interval"]
+    assert interval["depth_lb"] == inst.optimal_depth
+
+
+# -- SABRE diagnosable failures ----------------------------------------------
+
+
+def test_sabre_stuck_error_names_circuit_and_device():
+    device = CouplingGraph(4, [(0, 1), (2, 3)], name="split-pair")
+    qc = QuantumCircuit(2, name="cx-pair")
+    qc.cx(0, 1)
+    # Feasible placement exists (both qubits in one component), but the
+    # pinned mapping splits the pair across components: routing must fail
+    # loudly, naming the circuit and device, not emit a partial schedule.
+    with pytest.raises(RuntimeError) as exc:
+        SABRE().synthesize(qc, device, initial_mapping=[0, 2])
+    message = str(exc.value)
+    assert "cx-pair" in message
+    assert "split-pair" in message
+    assert "SABRE routing failed" in message
+
+
+def test_sabre_no_candidate_swaps_raises_not_typeerror():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    with pytest.raises(RuntimeError, match="SABRE routing failed"):
+        SABRE().synthesize(qc, CouplingGraph(2, []), initial_mapping=[0, 1])
