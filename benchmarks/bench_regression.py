@@ -222,8 +222,10 @@ _INPROCESS_KEYS = (
 )
 
 
-def _pigeonhole(n_pigeons: int, n_holes: int, kernel: str = "auto") -> Solver:
-    solver = Solver(kernel=kernel)
+def _pigeonhole(
+    n_pigeons: int, n_holes: int, kernel: str = "auto", sanitize=None
+) -> Solver:
+    solver = Solver(kernel=kernel, sanitize=sanitize)
     x = [[solver.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
     for p in range(n_pigeons):
         solver.add_clause([mk_lit(x[p][h]) for h in range(n_holes)])
@@ -235,10 +237,10 @@ def _pigeonhole(n_pigeons: int, n_holes: int, kernel: str = "auto") -> Solver:
 
 
 def _random_3sat(
-    n_vars: int, ratio: float, seed: int, kernel: str = "auto"
+    n_vars: int, ratio: float, seed: int, kernel: str = "auto", sanitize=None
 ) -> Solver:
     rng = random.Random(seed)
-    solver = Solver(kernel=kernel)
+    solver = Solver(kernel=kernel, sanitize=sanitize)
     solver.new_vars(n_vars)
     for _ in range(int(ratio * n_vars)):
         vs = rng.sample(range(n_vars), 3)
@@ -246,7 +248,7 @@ def _random_3sat(
     return solver
 
 
-def bench_sat_engine(tiny: bool, kernel: str = "auto") -> dict:
+def bench_sat_engine(tiny: bool, kernel: str = "auto", sanitize=None) -> dict:
     """One pass over the bench_sat_engine.py workloads, timed end to end.
 
     Formula construction stays outside the timed region.  The search
@@ -257,19 +259,27 @@ def bench_sat_engine(tiny: bool, kernel: str = "auto") -> dict:
     """
     if tiny:
         specs = [
-            ("pigeonhole-6-5", lambda: _pigeonhole(6, 5, kernel), SatResult.UNSAT)
+            (
+                "pigeonhole-6-5",
+                lambda: _pigeonhole(6, 5, kernel, sanitize),
+                SatResult.UNSAT,
+            )
         ]
         seeds = (7,)
     else:
         specs = [
-            ("pigeonhole-8-7", lambda: _pigeonhole(8, 7, kernel), SatResult.UNSAT)
+            (
+                "pigeonhole-8-7",
+                lambda: _pigeonhole(8, 7, kernel, sanitize),
+                SatResult.UNSAT,
+            )
         ]
         seeds = (7, 11, 13)
     for seed in seeds:
         specs.append(
             (
                 f"3sat-150-{seed}",
-                lambda s=seed: _random_3sat(150, 4.2, s, kernel),
+                lambda s=seed: _random_3sat(150, 4.2, s, kernel, sanitize),
                 None,
             )
         )
@@ -296,6 +306,34 @@ def bench_sat_engine(tiny: bool, kernel: str = "auto") -> dict:
         "wall_sec": round(wall, 4),
         "props_per_sec": int(props / wall),
         "inprocess": inprocess,
+    }
+
+
+def bench_sanitize_cost(tiny: bool) -> dict:
+    """The sanitizer's zero-cost-when-off claim, measured.
+
+    Runs the sat_engine workload three ways: the default solver (what
+    every earlier baseline measured), an explicit ``sanitize="off"``
+    solver, and ``sanitize="light"`` for scale.  Off must search
+    identically (same propagation/conflict counts — the hot loops are
+    untouched) and land within noise of the default; light's overhead is
+    reported but not gated (it is a debug mode).
+    """
+    default = _best_of(lambda: bench_sat_engine(tiny))
+    off = _best_of(lambda: bench_sat_engine(tiny, sanitize="off"))
+    light = bench_sat_engine(tiny, sanitize="light")
+    return {
+        "default_props_per_sec": default["props_per_sec"],
+        "off_props_per_sec": off["props_per_sec"],
+        "off_vs_default": round(
+            off["props_per_sec"] / default["props_per_sec"], 3
+        ),
+        "light_props_per_sec": light["props_per_sec"],
+        "identical_search": (
+            off["propagations"] == default["propagations"]
+            and off["conflicts"] == default["conflicts"]
+            and light["propagations"] == default["propagations"]
+        ),
     }
 
 
@@ -830,6 +868,8 @@ def main(argv=None) -> int:
     report["results"]["sat_engine"] = _best_of(lambda: bench_sat_engine(args.tiny))
     print("kernel ...", flush=True)
     report["results"]["kernel"] = bench_kernel(args.tiny)
+    print("sanitize ...", flush=True)
+    report["results"]["sanitize"] = bench_sanitize_cost(args.tiny)
     print("queko_synthesis ...", flush=True)
     report["results"]["queko_synthesis"] = _best_of(
         lambda: bench_queko_synthesis(args.tiny)

@@ -1,6 +1,6 @@
-"""Static verification layer: formula lint and optimality certificates.
+"""Static verification layer: lint, certificates, sanitizer, contracts.
 
-Three pillars (see docs/ARCHITECTURE.md):
+Five pillars (see docs/ARCHITECTURE.md):
 
 * :mod:`repro.analysis.lint` — pre-solve CNF/encoding diagnostics checked
   against the constraint-group metadata the encoder emits,
@@ -8,7 +8,13 @@ Three pillars (see docs/ARCHITECTURE.md):
   certificates are built on (lives in the SAT layer; re-exported here),
 * :mod:`repro.analysis.certify` — machine-checkable per-synthesis
   certificates: validated model plus checked refutations of the
-  next-tighter bounds.
+  next-tighter bounds,
+* :mod:`repro.analysis.sanitize` — the opt-in runtime sanitizer
+  (``Solver(sanitize=...)`` / ``REPRO_SANITIZE``): solver-state, ring,
+  proof-discipline and service invariant checks with zero cost when off,
+* :mod:`repro.analysis.contracts` — the project contract linter
+  (``python -m repro.analysis.contracts src/``): an AST pass enforcing
+  the cross-module invariants the docs promise.
 """
 
 from ..sat.proof import ProofError, check_unsat_proof, check_unsat_proof_slow
@@ -21,7 +27,22 @@ from .certify import (
     check_records,
     mirror_encoder,
 )
+from .contracts import RULES, ContractRule, Violation, contract_violations
 from .lint import Diagnostic, LintReport, lint_cnf, lint_encoder
+from .sanitize import (
+    SANITIZE_MODES,
+    CheckedProofLog,
+    RingSanitizer,
+    SanitizeError,
+    SolverSanitizer,
+    check_permutation,
+    check_prover_assignment,
+    compare_backends,
+    env_enabled,
+    fuzz_ring,
+    resolve_sanitize,
+    state_digest,
+)
 
 __all__ = [
     "Diagnostic",
@@ -38,4 +59,20 @@ __all__ = [
     "ProofError",
     "check_unsat_proof",
     "check_unsat_proof_slow",
+    "SANITIZE_MODES",
+    "CheckedProofLog",
+    "RingSanitizer",
+    "SanitizeError",
+    "SolverSanitizer",
+    "check_permutation",
+    "check_prover_assignment",
+    "compare_backends",
+    "env_enabled",
+    "fuzz_ring",
+    "resolve_sanitize",
+    "state_digest",
+    "RULES",
+    "ContractRule",
+    "Violation",
+    "contract_violations",
 ]

@@ -1,0 +1,453 @@
+"""Project contract linter: AST rules for the codebase's hard-won invariants.
+
+The runtime sanitizer (:mod:`repro.analysis.sanitize`) catches invariant
+violations while the engine runs; this module catches the *code patterns*
+that cause them before the code ever runs.  Each rule encodes a contract
+the project documented when it was earned — the arena version-bump
+protocol from the native-kernel PR, the proof-log add-before-delete
+discipline from the inprocessing PR, the shared-memory transport rules —
+and cites the doc section it guards, so a failing lint points at both the
+offending line and the design rationale.
+
+Run standalone (the CI lint gate)::
+
+    python -m repro.analysis.contracts src/
+
+or through the CLI as ``olsq2 analyze --contracts [path]``, or
+programmatically via :func:`contract_violations`.  Exit status 1 when any
+contract is violated; every violation is reported as
+``path:line:col: rule-name: message``.
+
+Rules are pluggable: subclass :class:`ContractRule`, implement
+:meth:`~ContractRule.check`, and append an instance to :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation at a precise source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class ContractRule:
+    """Base class for one pluggable contract check.
+
+    ``name`` is the stable rule id shown in reports; ``check`` receives
+    the parsed module, its source lines and the (repo-relative when
+    possible) path, and yields :class:`Violation` objects.
+    """
+
+    name = "contract"
+
+    def check(
+        self, path: str, tree: ast.Module, lines: Sequence[str]
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def _v(self, path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain (``self.arena.lits`` -> same), else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ArenaVersionBumpRule(ContractRule):
+    """Arena buffer growth/replacement must bump ``self.version``.
+
+    Guards docs/ARCHITECTURE.md §1 and §10: the native kernel caches the
+    raw base addresses of every ``ClauseArena`` buffer and rebinds only
+    when ``arena.version`` changes (``Solver._k_sync``).  A method of
+    ``ClauseArena`` that extends or replaces a bound buffer without
+    ``self.version += 1`` leaves the kernel reading freed memory.  The
+    in-place write path (``free`` marking ``size[cref] = -1``) is exempt:
+    it never moves a buffer.
+    """
+
+    name = "arena-version-bump"
+
+    #: The buffers ``Solver._k_bind_arena`` binds, plus the rest of the
+    #: parallel metadata arrays (growing any of them can reallocate).
+    BUFFERS = frozenset(
+        {"lits", "start", "size", "learnt", "lbd", "spos", "act", "tier", "touch"}
+    )
+
+    def check(self, path, tree, lines):
+        for cls in ast.walk(tree):
+            if not (isinstance(cls, ast.ClassDef) and cls.name == "ClauseArena"):
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, ast.FunctionDef) or fn.name == "__init__":
+                    continue
+                grow_sites: List[ast.AST] = []
+                bumps = False
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.AugAssign):
+                        if _attr_chain(node.target) == "self.version":
+                            bumps = True
+                    elif isinstance(node, ast.Assign):
+                        for tgt in node.targets:
+                            chain = _attr_chain(tgt)
+                            if chain == "self.version":
+                                bumps = True
+                            elif chain is not None and chain.startswith("self."):
+                                attr = chain.split(".", 1)[1]
+                                if attr in self.BUFFERS:
+                                    grow_sites.append(tgt)
+                    elif isinstance(node, ast.Call):
+                        func = node.func
+                        if isinstance(func, ast.Attribute) and func.attr in (
+                            "extend",
+                            "append",
+                        ):
+                            chain = _attr_chain(func.value)
+                            if chain is not None and chain.startswith("self."):
+                                attr = chain.split(".", 1)[1]
+                                if attr in self.BUFFERS:
+                                    grow_sites.append(node)
+                if grow_sites and not bumps:
+                    for site in grow_sites:
+                        yield self._v(
+                            path,
+                            site,
+                            f"ClauseArena.{fn.name} grows or replaces a "
+                            "kernel-bound buffer without 'self.version += 1' "
+                            "(the native kernel's cached addresses go stale; "
+                            "see docs/ARCHITECTURE.md §10)",
+                        )
+
+
+class NoFromBufferRule(ContractRule):
+    """Never bind kernel pointers with ``from_buffer`` on exported arrays.
+
+    Guards docs/PERFORMANCE.md and docs/ARCHITECTURE.md §10: ``ffi.
+    from_buffer`` / ``ctypes`` ``from_buffer`` *export* the underlying
+    buffer, which makes ``array`` resizing raise ``BufferError`` — the
+    solver's buffers must stay resizable, so raw addresses are taken via
+    ``buffer_info()`` (``Solver._addr``) and rebound on growth instead.
+    """
+
+    name = "no-from-buffer"
+
+    def check(self, path, tree, lines):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("from_buffer", "from_buffer_copy")
+            ):
+                yield self._v(
+                    path,
+                    node,
+                    "from_buffer exports the array's buffer and breaks "
+                    "resizing; take raw addresses via buffer_info() and "
+                    "rebind on growth (docs/ARCHITECTURE.md §10)",
+                )
+
+
+class ProofDeleteAfterAddRule(ContractRule):
+    """A proof ``delete`` line must never precede its ``add`` line.
+
+    Guards docs/ARCHITECTURE.md §8: the RUP checker replays the log in
+    order, so a function that both adds and deletes (clause replacement
+    in inprocessing, ``Inprocessor._replace``) must emit the ``("a",
+    new)`` line *before* the ``("d", old)`` line — the old clause must
+    still be in the database to justify the new one.  Functions that only
+    delete (``_reduce_db``) are exempt: their adds happened elsewhere and
+    are enforced at runtime by the sanitizer's proof discipline checker.
+    """
+
+    name = "proof-delete-after-add"
+
+    @staticmethod
+    def _proof_step_tag(node: ast.Call) -> Optional[str]:
+        """The "a"/"d" tag when ``node`` is ``<...>proof.append((tag, ...))``."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+            return None
+        chain = _attr_chain(func.value)
+        if chain is None or chain.split(".")[-1] != "proof":
+            return None
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Tuple):
+            return None
+        elts = node.args[0].elts
+        if not elts or not isinstance(elts[0], ast.Constant):
+            return None
+        tag = elts[0].value
+        return tag if tag in ("a", "d") else None
+
+    def check(self, path, tree, lines):
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            steps: List[Tuple[str, ast.Call]] = []
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    tag = self._proof_step_tag(node)
+                    if tag is not None:
+                        steps.append((tag, node))
+            if not any(tag == "a" for tag, _ in steps):
+                continue
+            steps.sort(key=lambda s: (s[1].lineno, s[1].col_offset))
+            first_add = next(i for i, (tag, _) in enumerate(steps) if tag == "a")
+            for tag, node in steps[:first_add]:
+                yield self._v(
+                    path,
+                    node,
+                    f"proof delete in {fn.name} precedes every add in the "
+                    "same function; emit the RUP add first so the deleted "
+                    "clause can justify it (docs/ARCHITECTURE.md §8)",
+                )
+
+
+class DeviceFactoryCacheRule(ContractRule):
+    """Public device factories must be ``lru_cache``-memoized.
+
+    Guards docs/API.md "Circuits and devices": factories return shared
+    immutable :class:`~repro.arch.CouplingGraph` instances, and large
+    devices (eagle, sycamore) are expensive to rebuild — the service
+    layer, the subarch extractor and the CLI all call them repeatedly and
+    rely on identity-cached results.  Applies to ``repro/arch/devices``
+    modules: every public function returning ``CouplingGraph`` needs a
+    ``functools.lru_cache`` decorator.
+    """
+
+    name = "device-factory-cache"
+
+    def check(self, path, tree, lines):
+        norm = path.replace("\\", "/")
+        if not norm.endswith("arch/devices.py"):
+            return
+        for fn in tree.body:
+            if not isinstance(fn, ast.FunctionDef) or fn.name.startswith("_"):
+                continue
+            returns = fn.returns
+            ret_name = None
+            if isinstance(returns, ast.Name):
+                ret_name = returns.id
+            elif isinstance(returns, ast.Attribute):
+                ret_name = returns.attr
+            elif isinstance(returns, ast.Constant):
+                ret_name = returns.value
+            if ret_name != "CouplingGraph":
+                continue
+            cached = False
+            for dec in fn.decorator_list:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                chain = _attr_chain(target)
+                if chain is not None and chain.split(".")[-1] in (
+                    "lru_cache",
+                    "cache",
+                ):
+                    cached = True
+            if not cached:
+                yield self._v(
+                    path,
+                    fn,
+                    f"device factory '{fn.name}' returns CouplingGraph but "
+                    "is not lru_cache'd; callers share the memoized "
+                    "immutable instance (docs/API.md, Circuits and devices)",
+                )
+
+
+class NoBareMpQueueRule(ContractRule):
+    """No bare ``multiprocessing.Queue`` — always use an explicit context.
+
+    Guards docs/ARCHITECTURE.md §6: the portfolio pins its start method
+    (``get_context``), and the shared-memory clause path mixes
+    ``shared_memory`` segments with locks that must come from the *same*
+    context.  ``multiprocessing.Queue()`` binds whatever the global
+    default start method happens to be, which diverges from the pinned
+    context on some platforms; construct queues from the context object
+    (``ctx.Queue(...)``) instead.
+    """
+
+    name = "no-bare-mp-queue"
+
+    def check(self, path, tree, lines):
+        mp_aliases = {"multiprocessing"}
+        bare_queue_names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "multiprocessing":
+                        mp_aliases.add(alias.asname or "multiprocessing")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "multiprocessing":
+                    for alias in node.names:
+                        if alias.name in ("Queue", "SimpleQueue", "JoinableQueue"):
+                            bare_queue_names.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            bad = False
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "Queue",
+                "SimpleQueue",
+                "JoinableQueue",
+            ):
+                if isinstance(func.value, ast.Name) and func.value.id in mp_aliases:
+                    bad = True
+            elif isinstance(func, ast.Name) and func.id in bare_queue_names:
+                bad = True
+            if bad:
+                yield self._v(
+                    path,
+                    node,
+                    "bare multiprocessing queue constructor; build queues "
+                    "from the pinned context (ctx.Queue(...)) so they match "
+                    "the shm transport's start method "
+                    "(docs/ARCHITECTURE.md §6)",
+                )
+
+
+class NoBareTypeIgnoreRule(ContractRule):
+    """Every ``type: ignore`` must carry a specific error code.
+
+    Guards the project's typing policy (pyproject ``[tool.mypy]``,
+    strict): a codeless ignore comment suppresses *every* error on the
+    line forever, including future regressions; ``type: ignore[code]``
+    (ideally with a reason comment) suppresses exactly the reviewed one.
+    """
+
+    name = "no-bare-type-ignore"
+
+    _BARE = re.compile(r"#\s*type:\s*ignore(?!\[)")
+
+    def check(self, path, tree, lines):
+        for lineno, text in enumerate(lines, start=1):
+            m = self._BARE.search(text)
+            if m is not None:
+                yield Violation(
+                    rule=self.name,
+                    path=path,
+                    line=lineno,
+                    col=m.start() + 1,
+                    message=(
+                        "bare 'type: ignore' suppresses every future error "
+                        "on this line; narrow it to 'type: ignore[code]' "
+                        "with a reason comment (pyproject [tool.mypy])"
+                    ),
+                )
+
+
+#: The active rule set, in report order.  Pluggable: append instances.
+RULES: List[ContractRule] = [
+    ArenaVersionBumpRule(),
+    NoFromBufferRule(),
+    ProofDeleteAfterAddRule(),
+    DeviceFactoryCacheRule(),
+    NoBareMpQueueRule(),
+    NoBareTypeIgnoreRule(),
+]
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def contract_violations(
+    paths: Sequence[str], rules: Optional[Sequence[ContractRule]] = None
+) -> List[Violation]:
+    """Run the contract rules over ``paths``; returns all violations.
+
+    Unparsable files are reported as a violation of a synthetic
+    ``parse-error`` rule rather than crashing the lint run.
+    """
+    active = list(RULES if rules is None else rules)
+    out: List[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            out.append(
+                Violation(
+                    rule="parse-error",
+                    path=str(path),
+                    line=line,
+                    col=1,
+                    message=str(exc),
+                )
+            )
+            continue
+        lines = source.splitlines()
+        for rule in active:
+            out.extend(rule.check(str(path), tree, lines))
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.analysis.contracts [paths...]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.contracts",
+        description="lint the codebase's documented contracts "
+        "(arena version bumps, proof discipline, transport rules)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.name}: {doc}")
+        return 0
+    violations = contract_violations(args.paths)
+    for v in violations:
+        print(v.format())
+    n_files = sum(1 for _ in iter_python_files(args.paths))
+    if violations:
+        print(f"{len(violations)} contract violation(s) in {n_files} file(s)")
+        return 1
+    print(f"contracts OK: {n_files} file(s), {len(RULES)} rule(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,810 @@
+"""Runtime sanitizer for the solver, the clause ring, and the service.
+
+PRs 7-8 multiplied the ways the engine can go *silently* wrong: a C kernel
+that mirrors the Python propagation loops byte for byte over raw buffer
+addresses, a lock-guarded shared-memory clause ring with per-reader lap
+detection, prover-only shared lower-bound raises in region racing, and RUP
+proof logs that must survive inprocessing.  Each of those carries
+invariants that no unit test exercises continuously.  This module is the
+ASan/TSan-style debug layer that does: it is selected per solver with
+``Solver(sanitize=...)`` or globally with the ``REPRO_SANITIZE``
+environment variable, costs *nothing* when off (the solver holds a single
+``None`` attribute and the hot loops are untouched), and when on validates
+the engine's own state at its level-0 safe points.
+
+Pieces:
+
+* :class:`SolverSanitizer` — invoked by the solver at safe points (solve
+  entry, every restart, solve exit).  Checks trail/level monotonicity and
+  reason-implication soundness, typed-buffer <-> arena generation
+  agreement (an arena buffer must never be replaced without a
+  ``version`` bump — the contract the native kernel's address cache
+  depends on), and, in ``full`` mode, complete watcher coverage plus the
+  python/C watch-list mirror comparison.
+* :class:`CheckedProofLog` — a drop-in ``solver.proof`` list that enforces
+  proof discipline online: every ``("d", lits)`` must delete a clause
+  with a live ``("a", lits)`` (or input) line, and in ``full`` mode every
+  emitted clause must be RUP against the current database *at emission
+  time*, via a shadow :class:`repro.sat.proof.RupChecker`.
+* :class:`RingSanitizer` / :func:`fuzz_ring` — validates
+  :class:`repro.sat.sharing.SharedClauseRing` header/cursor/lap
+  invariants, plus a (optionally cross-process) fuzz driver that injects
+  lagging readers and oversize records and verifies every decoded batch.
+* :func:`check_permutation` / :func:`check_prover_assignment` — the
+  service-level checks: cache-translation permutations must be
+  bijections, and only full-device prover workers may raise the shared
+  lower bound in :class:`repro.core.parallel.ParallelDescent`.
+* :func:`compare_backends` — the python-vs-native differential: the same
+  formula through both kernels must produce identical results, trails and
+  proof logs (the byte-for-byte equivalence claim of PR 7).
+
+Modes (:func:`resolve_sanitize`): ``"off"`` (default), ``"light"``
+(generation + trail checks at safe points), ``"full"`` (light plus
+watcher completeness, kernel mirror comparison, RUP-at-emission proof
+checking, and ring checks when a shared-memory share client is attached).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sat.proof import RupChecker
+from ..sat.sharing import (
+    _H_DROPPED,
+    _H_PUBLISHED,
+    _H_WRITE,
+    SharedClauseRing,
+    ShmShareEndpoint,
+)
+from ..sat.solver import NO_CLAUSE, _addr, _packed_reason_lits
+from ..sat.types import FALSE, TRUE, UNDEF
+
+#: Environment variable consulted when ``Solver(sanitize=None)`` (the
+#: default) — same contract as ``REPRO_KERNEL`` for backend selection.
+ENV_VAR = "REPRO_SANITIZE"
+
+SANITIZE_OFF = "off"
+SANITIZE_LIGHT = "light"
+SANITIZE_FULL = "full"
+SANITIZE_MODES: Tuple[str, ...] = (SANITIZE_OFF, SANITIZE_LIGHT, SANITIZE_FULL)
+
+#: Arena buffers whose raw addresses the native kernel caches
+#: (``Solver._k_bind_arena``); replacing any of them without bumping
+#: ``ClauseArena.version`` leaves the kernel reading freed memory.
+_ARENA_BUFS = ("lits", "start", "size", "spos", "learnt", "act", "touch")
+
+#: Per-variable buffers bound by ``Solver._k_bind_vars``; they are only
+#: ever reallocated by ``new_var`` growth, which changes ``n_vars``.
+_VAR_BUFS = ("assigns_lit", "polarity", "seen", "level", "reason", "trail")
+
+
+class SanitizeError(AssertionError):
+    """An engine invariant violation caught by the sanitizer.
+
+    Subclasses :class:`AssertionError` so existing test harnesses that
+    expect invariant checks to assert keep working; carries the safe
+    point / structure where the violation was observed in ``location``.
+    """
+
+    def __init__(self, location: str, message: str) -> None:
+        super().__init__(f"[sanitize] {location}: {message}")
+        self.location = location
+
+
+def resolve_sanitize(mode: Optional[str] = None) -> str:
+    """Resolve a sanitize choice to a concrete mode.
+
+    ``None`` consults the ``REPRO_SANITIZE`` environment variable (empty
+    or unset means ``"off"``); an explicit mode always wins.  Unknown
+    modes raise with the valid choices, mirroring
+    :func:`repro.sat.kernel.resolve_backend`.
+    """
+    choice = mode if mode is not None else (os.environ.get(ENV_VAR) or SANITIZE_OFF)
+    if choice not in SANITIZE_MODES:
+        raise ValueError(
+            f"unknown sanitize mode {choice!r}: expected one of {SANITIZE_MODES}"
+        )
+    return choice
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` selects a non-off mode.
+
+    The cheap gate used by code that has no per-instance knob (the
+    service cache translation, the parallel lower-bound race).
+    """
+    return (os.environ.get(ENV_VAR) or SANITIZE_OFF) != SANITIZE_OFF
+
+
+def _ckey(lits: Iterable[int]) -> Tuple[int, ...]:
+    """Canonical clause key: sorted, deduplicated literal tuple.
+
+    Matches the keying of :class:`repro.sat.proof.RupChecker`'s deletion
+    index, so the discipline checker and the offline checker agree on
+    what "the same clause" means.
+    """
+    return tuple(sorted(set(lits)))
+
+
+# ----------------------------------------------------------------------
+# Online proof-log discipline
+# ----------------------------------------------------------------------
+
+
+class CheckedProofLog(list):
+    """A ``solver.proof`` list that verifies discipline as lines are emitted.
+
+    Two guarantees, checked *online* so a violation is caught at the
+    emitting call site instead of at offline replay:
+
+    * **add-before-delete** — every ``("d", lits)`` step must have a live
+      copy of the clause: an input clause registered via
+      :meth:`note_input` or a previous un-deleted ``("a", lits)`` step.
+    * **RUP at emission** (``rup=True``, i.e. ``full`` mode) — every
+      ``("a", lits)`` step must be derivable by reverse unit propagation
+      from the current database, checked with a shadow
+      :class:`~repro.sat.proof.RupChecker` that mirrors adds/deletes.
+    """
+
+    def __init__(self, rup: bool = False) -> None:
+        super().__init__()
+        self._live: Dict[Tuple[int, ...], int] = {}
+        self._checker: Optional[RupChecker] = RupChecker(0) if rup else None
+        self.inputs = 0
+
+    def note_input(self, lits: Sequence[int]) -> None:
+        """Register one original (problem) clause as live in the database."""
+        key = _ckey(lits)
+        self._live[key] = self._live.get(key, 0) + 1
+        self.inputs += 1
+        if self._checker is not None:
+            self._checker.add_clause(list(lits))
+
+    def append(self, step: tuple) -> None:  # type: ignore[override]
+        tag, lits = step
+        key = _ckey(lits)
+        if tag == "a":
+            if self._checker is not None and not self._checker.is_rup(list(lits)):
+                raise SanitizeError(
+                    "proof",
+                    f"emitted clause {tuple(lits)} is not RUP against the "
+                    "current database",
+                )
+            self._live[key] = self._live.get(key, 0) + 1
+            if self._checker is not None:
+                self._checker.add_clause(list(lits))
+        elif tag == "d":
+            live = self._live.get(key, 0)
+            if live <= 0:
+                raise SanitizeError(
+                    "proof",
+                    f"delete of {tuple(lits)} precedes its add (no live copy "
+                    "in the database)",
+                )
+            self._live[key] = live - 1
+            if self._checker is not None:
+                self._checker.delete_clause(list(lits))
+        else:  # pragma: no cover - solver only emits "a"/"d"
+            raise SanitizeError("proof", f"unknown proof step tag {tag!r}")
+        super().append(step)
+
+
+# ----------------------------------------------------------------------
+# Solver-state checks
+# ----------------------------------------------------------------------
+
+
+def state_digest(solver: Any) -> str:
+    """Stable digest of the solver's externally visible search state.
+
+    Covers the assignment trail (order included), per-literal truth
+    values, decision levels and the ok flag — the state both kernels
+    must agree on byte for byte.
+    """
+    ts = solver.trail_size
+    payload = repr(
+        (
+            solver.n_vars,
+            solver.ok,
+            list(solver.trail[:ts]),
+            list(solver.assigns_lit),
+            list(solver.level),
+            list(solver.trail_lim),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SolverSanitizer:
+    """Safe-point invariant checker attached to one :class:`~repro.sat.Solver`.
+
+    Constructed by ``Solver.__init__`` when sanitizing is on; the solver
+    calls :meth:`at_safe_point` at its level-0 safe points (solve entry,
+    each restart, solve exit) and :meth:`note_input_clause` from
+    ``add_clause`` when proof logging is active.  The hot propagation
+    loop is never touched: a solver with sanitizing off holds
+    ``_sanitizer = None`` and pays exactly one identity check per safe
+    point.
+    """
+
+    def __init__(self, solver: Any, mode: str) -> None:
+        self.solver = solver
+        self.mode = mode
+        self.checks_run = 0
+        self.ring = RingSanitizer()
+        self._arena_snap: Optional[Tuple[int, Tuple[int, ...]]] = None
+        self._var_snap: Optional[Tuple[int, Tuple[int, ...]]] = None
+
+    # -- hooks called by the solver ------------------------------------
+
+    def checked_proof_log(self) -> CheckedProofLog:
+        """The proof list the solver should use instead of a plain list."""
+        return CheckedProofLog(rup=self.mode == SANITIZE_FULL)
+
+    def note_input_clause(self, lits: Sequence[int]) -> None:
+        """Register an original clause with the proof discipline checker."""
+        proof = self.solver.proof
+        if isinstance(proof, CheckedProofLog):
+            proof.note_input(lits)
+
+    def at_safe_point(self, point: str) -> None:
+        """Run the mode's check battery; raises :class:`SanitizeError`."""
+        self.checks_run += 1
+        self.check_generations(point)
+        self.check_trail(point)
+        if self.mode == SANITIZE_FULL:
+            self.check_watchers(point)
+            share = self.solver.share
+            ep = getattr(share, "endpoint", None) if share is not None else None
+            if isinstance(ep, ShmShareEndpoint) and ep._shm is not None:
+                self.ring.check_endpoint(ep, location=point)
+
+    # -- individual checks ---------------------------------------------
+
+    def check_generations(self, point: str = "check") -> None:
+        """Typed-buffer <-> arena generation agreement.
+
+        The native kernel caches raw buffer addresses and relies on
+        ``arena.version`` / ``n_vars`` to know when to rebind
+        (``Solver._k_sync``).  Two invariants: the kernel's generation
+        markers never run *ahead* of the authoritative counters, and a
+        buffer address never changes while its generation counter stands
+        still (that is precisely "replaced without a version bump" — the
+        contract ``repro.analysis.contracts`` enforces statically).
+        """
+        s = self.solver
+        if s._kern is None:
+            return
+        arena = s.arena
+        if s._k_aver > arena.version:
+            raise SanitizeError(
+                point,
+                f"kernel arena generation {s._k_aver} is ahead of "
+                f"arena.version {arena.version}",
+            )
+        if s._k_nvars > s.n_vars:
+            raise SanitizeError(
+                point,
+                f"kernel variable generation {s._k_nvars} is ahead of "
+                f"n_vars {s.n_vars}",
+            )
+        addrs = tuple(_addr(getattr(arena, name)) for name in _ARENA_BUFS)
+        snap = self._arena_snap
+        if snap is not None and snap[0] == arena.version and snap[1] != addrs:
+            moved = [
+                name
+                for name, old, new in zip(_ARENA_BUFS, snap[1], addrs)
+                if old != new
+            ]
+            raise SanitizeError(
+                point,
+                f"arena buffer(s) {moved} replaced while arena.version "
+                f"stayed at {arena.version} (generation skew: the kernel's "
+                "cached addresses are stale)",
+            )
+        self._arena_snap = (arena.version, addrs)
+        vaddrs = tuple(_addr(getattr(s, name)) for name in _VAR_BUFS)
+        vsnap = self._var_snap
+        if vsnap is not None and vsnap[0] == s.n_vars and vsnap[1] != vaddrs:
+            moved = [
+                name for name, old, new in zip(_VAR_BUFS, vsnap[1], vaddrs) if old != new
+            ]
+            raise SanitizeError(
+                point,
+                f"per-variable buffer(s) {moved} replaced while n_vars "
+                f"stayed at {s.n_vars}",
+            )
+        self._var_snap = (s.n_vars, vaddrs)
+
+    def check_trail(self, point: str = "check") -> None:
+        """Trail/level monotonicity and reason-implication soundness.
+
+        * decision-level marks are non-decreasing positions within the
+          trail (equal marks are the dummy levels of already-satisfied
+          assumptions);
+        * every trail literal is TRUE, its negation FALSE, no variable
+          appears twice, and its recorded level matches the number of
+          decision marks at or before its position;
+        * exactly ``trail_size`` variables are assigned, and the
+          per-literal truth table is complementary;
+        * every non-decision reason clause contains the implied literal,
+          with every *other* literal FALSE and assigned earlier on the
+          trail (the implication actually was an implication).
+        """
+        s = self.solver
+        ts = s.trail_size
+        lims: List[int] = list(s.trail_lim)
+        for a, b in zip(lims, lims[1:]):
+            if b < a:
+                raise SanitizeError(point, f"decision marks not monotonic: {lims}")
+        if lims and not (0 <= lims[0] and lims[-1] <= ts):
+            raise SanitizeError(
+                point, f"decision marks {lims} outside trail of size {ts}"
+            )
+        pos: Dict[int, int] = {}
+        level_idx = 0
+        for i in range(ts):
+            lit = s.trail[i]
+            var = lit >> 1
+            if var in pos:
+                raise SanitizeError(
+                    point, f"variable {var} assigned twice on the trail"
+                )
+            pos[var] = i
+            if s.assigns_lit[lit] != TRUE or s.assigns_lit[lit ^ 1] != FALSE:
+                raise SanitizeError(
+                    point,
+                    f"trail literal {lit} at position {i} is not "
+                    "TRUE/FALSE-complementary in assigns",
+                )
+            while level_idx < len(lims) and lims[level_idx] <= i:
+                level_idx += 1
+            if s.level[var] != level_idx:
+                raise SanitizeError(
+                    point,
+                    f"variable {var} at trail position {i} records level "
+                    f"{s.level[var]}, expected {level_idx}",
+                )
+        assigned = sum(
+            1
+            for v in range(s.n_vars)
+            if s.assigns_lit[2 * v] != UNDEF or s.assigns_lit[2 * v + 1] != UNDEF
+        )
+        if assigned != ts:
+            raise SanitizeError(
+                point,
+                f"{assigned} variables assigned but the trail holds {ts}",
+            )
+        for v in range(s.n_vars):
+            a, b = s.assigns_lit[2 * v], s.assigns_lit[2 * v + 1]
+            if (a == UNDEF) != (b == UNDEF) or (a != UNDEF and a == b):
+                raise SanitizeError(
+                    point, f"assigns for variable {v} not complementary: {a},{b}"
+                )
+        for var, i in pos.items():
+            # Root (level-0) literals keep their trail slot but their reason
+            # clause may legally be deleted (and its cref later recycled) by
+            # inprocessing — _clean_top_level logs the unit to the proof
+            # instead.  Only reasons above level 0 are locked and checkable.
+            if s.level[var] == 0:
+                continue
+            lit = s.trail[i]
+            r = s.reason[var]
+            if r == NO_CLAUSE:
+                continue
+            if r < NO_CLAUSE:
+                others: Sequence[int] = _packed_reason_lits(r)
+            else:
+                clause = s.arena.literals(r)
+                if lit not in clause:
+                    raise SanitizeError(
+                        point,
+                        f"reason clause {r} of literal {lit} does not "
+                        f"contain it: {clause}",
+                    )
+                others = [o for o in clause if o != lit]
+            for o in others:
+                if s.assigns_lit[o] != FALSE:
+                    raise SanitizeError(
+                        point,
+                        f"reason of {lit} has non-false antecedent {o}",
+                    )
+                opos = pos.get(o >> 1)
+                if opos is None or opos >= i:
+                    raise SanitizeError(
+                        point,
+                        f"reason antecedent {o} of {lit} was assigned at "
+                        f"trail position {opos}, not before {i}",
+                    )
+
+    def check_watchers(self, point: str = "check") -> None:
+        """Watcher completeness + python/C mirror agreement.
+
+        Delegates to :meth:`repro.sat.Solver.check_watch_invariants`
+        (arena span/accounting invariants, every live clause watched on
+        its first two literals, binary/ternary scan lists complete, and
+        — under the native kernel — the C-side watch lists byte-equal to
+        the authoritative Python ones), converting its assertion into a
+        located :class:`SanitizeError`.
+        """
+        try:
+            self.solver.check_watch_invariants()
+        except AssertionError as exc:
+            if isinstance(exc, SanitizeError):
+                raise
+            raise SanitizeError(point, str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# Shared-memory ring checks + fuzz driver
+# ----------------------------------------------------------------------
+
+
+class RingSanitizer:
+    """Header/cursor/lap invariant checker for the shared clause ring.
+
+    Observations are differential: each check snapshots the counters and
+    verifies monotonicity against the previous snapshot of the same
+    object, which is what catches the "reader lapped but the shared
+    dropped counter was not bumped" class of bug — a lap is only legal
+    when it is accounted.
+    """
+
+    def __init__(self) -> None:
+        self._ring_snaps: Dict[int, Tuple[int, int, int]] = {}
+        self._ep_snaps: Dict[int, Tuple[int, int, int, int]] = {}
+
+    def check_ring(self, ring: SharedClauseRing, location: str = "ring") -> None:
+        hdr = ring._hdr
+        if hdr is None:  # closed — nothing to validate
+            return
+        w = int(hdr[_H_WRITE])
+        pub = int(hdr[_H_PUBLISHED])
+        drop = int(hdr[_H_DROPPED])
+        if w < 0 or pub < 0 or drop < 0:
+            raise SanitizeError(
+                location, f"negative ring header counters: {(w, pub, drop)}"
+            )
+        if w > 0 and pub == 0:
+            raise SanitizeError(
+                location,
+                f"ring advanced to write position {w} with zero published "
+                "batches",
+            )
+        snap = self._ring_snaps.get(id(ring))
+        if snap is not None and (w < snap[0] or pub < snap[1] or drop < snap[2]):
+            raise SanitizeError(
+                location,
+                f"ring header counters went backwards: {snap} -> {(w, pub, drop)}",
+            )
+        self._ring_snaps[id(ring)] = (w, pub, drop)
+
+    def check_endpoint(self, ep: ShmShareEndpoint, location: str = "endpoint") -> None:
+        if ep._shm is None:  # not attached / closed — nothing to validate
+            return
+        hdr = ep._hdr
+        assert hdr is not None
+        w = int(hdr[_H_WRITE])
+        drop = int(hdr[_H_DROPPED])
+        cur = int(ep.cursor)
+        lapped = int(ep.lapped)
+        if not 0 <= cur <= w:
+            raise SanitizeError(
+                location,
+                f"reader {ep.worker_id} cursor {cur} outside [0, write={w}]",
+            )
+        snap = self._ep_snaps.get(id(ep))
+        if snap is not None:
+            w0, cur0, lapped0, drop0 = snap
+            if w < w0 or cur < cur0 or lapped < lapped0 or drop < drop0:
+                raise SanitizeError(
+                    location,
+                    f"reader {ep.worker_id} counters went backwards: "
+                    f"{snap} -> {(w, cur, lapped, drop)}",
+                )
+            if lapped - lapped0 > drop - drop0:
+                raise SanitizeError(
+                    location,
+                    f"reader {ep.worker_id} recorded {lapped - lapped0} "
+                    f"lap(s) but the shared dropped counter moved by "
+                    f"{drop - drop0}: lap without drop accounting",
+                )
+        self._ep_snaps[id(ep)] = (w, cur, lapped, drop)
+
+
+#: Context key every fuzz batch is published under.
+_FUZZ_KEY = ("fuzz",)
+
+
+def _fuzz_clause_base(wid: int, batch: int, clause: int) -> int:
+    return wid * 1_000_000 + batch * 1_000 + clause * 50
+
+
+def _fuzz_writer(
+    ep: ShmShareEndpoint,
+    batches: int,
+    oversize_every: int,
+    seed: int,
+    delay_s: float = 0.0,
+) -> None:
+    """Publish ``batches`` patterned batches (module-level: spawnable).
+
+    ``delay_s`` paces the writer so a cross-process reader actually
+    interleaves with it — an unpaced writer drains its whole batch list
+    in microseconds, before the reader observes anything but the lap.
+    """
+    rng = random.Random(seed)
+    try:
+        for b in range(batches):
+            if delay_s:
+                time.sleep(delay_s)
+            if oversize_every and b % oversize_every == oversize_every - 1:
+                # Deliberately larger than the whole ring: must be
+                # rejected at publish time and counted as dropped.
+                lits = tuple(range(ep.capacity + 8))
+                if ep.publish(_FUZZ_KEY, [(lits, 2)]):
+                    raise SanitizeError(
+                        "fuzz-writer", "oversize batch was accepted"
+                    )
+                continue
+            clauses = []
+            for c in range(1 + rng.randrange(4)):
+                size = 1 + rng.randrange(6)
+                base = _fuzz_clause_base(ep.worker_id, b, c)
+                clauses.append((tuple(base + j for j in range(size)), 2 + c))
+            if not ep.publish(_FUZZ_KEY, clauses):
+                raise SanitizeError("fuzz-writer", "in-bounds batch rejected")
+    finally:
+        ep.close()
+
+
+def fuzz_ring(
+    capacity_words: int = 512,
+    n_writers: int = 3,
+    batches_per_writer: int = 64,
+    oversize_every: int = 13,
+    drain_every: int = 29,
+    processes: bool = False,
+    seed: int = 1,
+    writer_delay_s: float = 0.0,
+) -> Dict[str, int]:
+    """Storm the clause ring and validate every observable invariant.
+
+    ``n_writers`` writers publish patterned batches (every
+    ``oversize_every``-th one deliberately exceeding the whole ring); one
+    reader drains only every ``drain_every``-th poll, so it repeatedly
+    laps and must take the skip-to-head path.  With ``processes=True``
+    the writers run in real child processes (exercising endpoint
+    pickling and the cross-process lock); otherwise they run inline.
+
+    Every decoded batch is verified against the writer pattern (framing
+    corruption cannot decode back to consecutive-literal clauses), the
+    header counters are checked via :class:`RingSanitizer`, and the final
+    dropped count must equal reader laps plus rejected oversize batches
+    exactly.  Returns the counters; raises :class:`SanitizeError` on any
+    violation.
+    """
+    mp_ctx = None
+    if processes:
+        import multiprocessing
+
+        # The ring's publish lock must come from the same start-method
+        # context as the writer processes (a fork-context SemLock cannot
+        # cross into a spawn child).  Spawn is deliberate: it exercises
+        # endpoint pickling (__getstate__/__setstate__ re-attachment).
+        mp_ctx = multiprocessing.get_context("spawn")
+    ring = SharedClauseRing(capacity_words, ctx=mp_ctx)
+    san = RingSanitizer()
+    reader = ring.endpoint(0)
+    writer_eps = [ring.endpoint(wid) for wid in range(1, n_writers + 1)]
+    decoded_batches = 0
+    decoded_clauses = 0
+
+    def drain_and_verify() -> None:
+        nonlocal decoded_batches, decoded_clauses
+        for key, clauses in reader.drain():
+            if key != _FUZZ_KEY:
+                raise SanitizeError("fuzz", f"decoded batch under wrong key {key!r}")
+            if not clauses:
+                raise SanitizeError("fuzz", "decoded an empty batch")
+            for lits, lbd in clauses:
+                base = lits[0]
+                wid = base // 1_000_000
+                if not 1 <= wid <= n_writers:
+                    raise SanitizeError(
+                        "fuzz", f"decoded clause from unknown writer {wid}"
+                    )
+                if list(lits) != list(range(base, base + len(lits))):
+                    raise SanitizeError(
+                        "fuzz",
+                        f"decoded clause {lits} lost the consecutive "
+                        "writer pattern (record framing corrupted)",
+                    )
+                decoded_clauses += 1
+            decoded_batches += 1
+        san.check_ring(ring, "fuzz")
+        san.check_endpoint(reader, "fuzz")
+
+    try:
+        if processes:
+            assert mp_ctx is not None
+            procs = [
+                mp_ctx.Process(
+                    target=_fuzz_writer,
+                    args=(
+                        ep,
+                        batches_per_writer,
+                        oversize_every,
+                        seed + i,
+                        writer_delay_s,
+                    ),
+                )
+                for i, ep in enumerate(writer_eps)
+            ]
+            for p in procs:
+                p.start()
+            polls = 0
+            while any(p.is_alive() for p in procs):
+                polls += 1
+                time.sleep(0.0002)
+                if polls % drain_every == 0:
+                    drain_and_verify()
+            for p in procs:
+                p.join()
+                if p.exitcode != 0:
+                    raise SanitizeError(
+                        "fuzz", f"writer process exited with {p.exitcode}"
+                    )
+        else:
+            # Inline interleaving: run each writer one batch at a time in
+            # round-robin, draining rarely so the reader laps.
+            rngs = [random.Random(seed + i) for i in range(n_writers)]
+            step = 0
+            for b in range(batches_per_writer):
+                for i, ep in enumerate(writer_eps):
+                    step += 1
+                    if oversize_every and b % oversize_every == oversize_every - 1:
+                        lits = tuple(range(ep.capacity + 8))
+                        if ep.publish(_FUZZ_KEY, [(lits, 2)]):
+                            raise SanitizeError(
+                                "fuzz-writer", "oversize batch was accepted"
+                            )
+                        continue
+                    clauses = []
+                    for c in range(1 + rngs[i].randrange(4)):
+                        size = 1 + rngs[i].randrange(6)
+                        base = _fuzz_clause_base(ep.worker_id, b, c)
+                        clauses.append(
+                            (tuple(base + j for j in range(size)), 2 + c)
+                        )
+                    if not ep.publish(_FUZZ_KEY, clauses):
+                        raise SanitizeError(
+                            "fuzz-writer", "in-bounds batch rejected"
+                        )
+                    if step % drain_every == 0:
+                        drain_and_verify()
+        drain_and_verify()
+        hdr = ring._hdr
+        assert hdr is not None
+        published = int(hdr[_H_PUBLISHED])
+        dropped = int(hdr[_H_DROPPED])
+        oversize = (
+            n_writers * (batches_per_writer // oversize_every)
+            if oversize_every
+            else 0
+        )
+        if dropped != reader.lapped + oversize:
+            raise SanitizeError(
+                "fuzz",
+                f"dropped counter {dropped} != reader laps {reader.lapped} "
+                f"+ oversize rejects {oversize}",
+            )
+        return {
+            "published": published,
+            "dropped": dropped,
+            "laps": reader.lapped,
+            "oversize": oversize,
+            "decoded_batches": decoded_batches,
+            "decoded_clauses": decoded_clauses,
+        }
+    finally:
+        reader.close()
+        if not processes:
+            for ep in writer_eps:
+                ep.close()
+        ring.close(unlink=True)
+
+
+# ----------------------------------------------------------------------
+# Service-level checks
+# ----------------------------------------------------------------------
+
+
+def check_permutation(perm: Sequence[int], n: Optional[int] = None) -> None:
+    """Require ``perm`` to be a bijection over ``range(n)``.
+
+    The service cache translates a canonical-form result back through the
+    relabeling permutation (``initial_mapping[q] = canon_map[perm[q]]``,
+    see ``repro.service.server``); a non-bijective ``perm`` would silently
+    map two logical qubits to one physical qubit.
+    """
+    size = len(perm) if n is None else n
+    if len(perm) != size or sorted(perm) != list(range(size)):
+        raise SanitizeError(
+            "cache-translation",
+            f"not a permutation of range({size}): {list(perm)!r}",
+        )
+
+
+def check_prover_assignment(
+    prover_wids: Iterable[int], regions: Sequence[Optional[Any]]
+) -> None:
+    """Require every shared-lower-bound writer to be a full-device prover.
+
+    In :class:`repro.core.parallel.ParallelDescent` region racing, only
+    workers solving the *full* device (``regions[wid] is None``) may raise
+    the shared lower bound — a subarchitecture worker's UNSAT is local to
+    its region and proves nothing globally (PR 8's soundness rule).
+    """
+    for wid in prover_wids:
+        if wid >= len(regions) or regions[wid] is not None:
+            raise SanitizeError(
+                "parallel-lb",
+                f"worker {wid} is a shared lower-bound writer but solves a "
+                "subarchitecture region; region workers must use private "
+                "floors",
+            )
+
+
+# ----------------------------------------------------------------------
+# Python-vs-native differential
+# ----------------------------------------------------------------------
+
+
+def compare_backends(
+    clauses: Sequence[Sequence[int]],
+    n_vars: int,
+    assumptions: Sequence[int] = (),
+    proof_log: bool = False,
+    conflict_budget: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Solve the same formula on both kernels and require identical state.
+
+    Literals use the solver's internal packed encoding (``2v`` /
+    ``2v + 1``).  The two backends claim byte-for-byte equivalence (same
+    trail, same learnts, same proof log); this runs both under the
+    sanitizer and compares result, final state digest, conflict count,
+    model and proof log.  Raises :class:`SanitizeError` on the first
+    divergence; requires the native kernel to be built.
+    """
+    from ..sat.kernel import native_available
+    from ..sat.solver import Solver
+
+    if not native_available():
+        raise RuntimeError("compare_backends requires the compiled kernel")
+    states: Dict[str, Dict[str, Any]] = {}
+    for backend in ("python", "native"):
+        s = Solver(proof_log=proof_log, kernel=backend, sanitize=SANITIZE_LIGHT)
+        s.new_vars(n_vars)
+        s.add_clauses(clauses)
+        res = s.solve(list(assumptions), conflict_budget=conflict_budget)
+        states[backend] = {
+            "result": res,
+            "digest": state_digest(s),
+            "conflicts": s.stats.conflicts,
+            "model": list(s.model),
+            "proof": list(s.proof) if s.proof is not None else None,
+        }
+    py, nat = states["python"], states["native"]
+    for field in ("result", "digest", "conflicts", "model", "proof"):
+        if py[field] != nat[field]:
+            raise SanitizeError(
+                "differential",
+                f"python and native kernels diverge on {field}: "
+                f"{py[field]!r} != {nat[field]!r}",
+            )
+    return {"result": py["result"], "digest": py["digest"], "conflicts": py["conflicts"]}

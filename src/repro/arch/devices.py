@@ -270,9 +270,15 @@ DEVICE_FACTORIES = {
 }
 
 
+@lru_cache(maxsize=None)
 def by_name(name: str) -> CouplingGraph:
     """Look up a device by short name (``qx2``, ``aspen4``, ``sycamore``,
-    ``eagle``, ``grid-RxC``, ``line-N``, ``ring-N``, ``full-N``)."""
+    ``eagle``, ``grid-RxC``, ``line-N``, ``ring-N``, ``full-N``).
+
+    Memoized like every factory (an invalid name caches nothing: the
+    lookup raises before returning), so the name-parsing cost is paid
+    once per distinct spelling.
+    """
     if name in DEVICE_FACTORIES:
         return DEVICE_FACTORIES[name]()
     for prefix, factory in (("line-", linear), ("ring-", ring), ("full-", full)):

@@ -145,10 +145,21 @@ def _build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser(
         "analyze",
         help="lint a formula before solving: CNF hygiene, constraint-group "
-        "structure, clause-sharing soundness",
+        "structure, clause-sharing soundness (or, with --contracts, lint "
+        "the repro source tree itself against its documented invariants)",
     )
     ana.add_argument(
-        "path", help="a DIMACS .cnf file, or an OpenQASM 2.0 file to encode"
+        "path",
+        nargs="?",
+        default=None,
+        help="a DIMACS .cnf file, or an OpenQASM 2.0 file to encode; with "
+        "--contracts, the source directory to lint (default: src)",
+    )
+    ana.add_argument(
+        "--contracts",
+        action="store_true",
+        help="run the project contract linter (repro.analysis.contracts) "
+        "over the given source tree instead of linting a formula",
     )
     ana.add_argument(
         "--device", default="qx2", help="device for QASM input (see 'devices')"
@@ -421,7 +432,19 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    """Lint a CNF file, or encode a QASM circuit and lint the encoding."""
+    """Lint a CNF file, or encode a QASM circuit and lint the encoding.
+
+    With ``--contracts``, lint the project's own source tree against its
+    documented invariants instead (see repro.analysis.contracts).
+    """
+    if args.contracts:
+        from .analysis.contracts import main as contracts_main
+
+        return contracts_main([args.path or "src"])
+    if args.path is None:
+        print("error: analyze needs a path (or --contracts)")
+        return 2
+
     from .analysis import lint_cnf, lint_encoder
 
     if args.path.endswith((".cnf", ".dimacs")):

@@ -41,6 +41,11 @@ SIMPLIFY_INPROCESS = "inprocess"
 SIMPLIFY_FULL = "full"
 SIMPLIFY_MODES = (SIMPLIFY_OFF, SIMPLIFY_INPROCESS, SIMPLIFY_FULL)
 
+#: Runtime sanitizer modes (mirrors repro.analysis.sanitize.SANITIZE_MODES,
+#: spelled out here so validating a config never imports the analysis
+#: package).  ``None`` defers to the REPRO_SANITIZE environment variable.
+SANITIZE_MODES = (None, "off", "light", "full")
+
 #: Sentinel distinguishing "verbose was not passed" from any user value, so
 #: the removed kwarg can be rejected with a migration hint instead of the
 #: bare TypeError a plain unknown keyword would produce.
@@ -125,6 +130,14 @@ class SynthesisConfig:
     # (default) uses the kernel when built, honouring the REPRO_KERNEL
     # environment variable.  Both backends are byte-for-byte equivalent.
     kernel: str = "auto"
+    # Runtime sanitizer (repro.analysis.sanitize): "off" disables it,
+    # "light" validates trail/level and kernel generation invariants at
+    # the solver's level-0 safe points, "full" adds watcher completeness,
+    # the python/C watch mirror comparison, online proof-log discipline
+    # (add-before-delete, RUP at emission) and shared-ring checks.  The
+    # default None defers to the REPRO_SANITIZE environment variable
+    # (off when unset).  A debugging knob: "full" is deliberately slow.
+    sanitize: Optional[str] = None
     tracer: Optional[Any] = field(default=None, compare=False)
     progress_callback: Optional[Callable] = field(default=None, compare=False)
     # Removed knob: accepted only so the rejection can name the replacement.
@@ -144,6 +157,7 @@ class SynthesisConfig:
         _choice("warm-start source", self.warm_start, WARM_START_SOURCES)
         _choice("subarch mode", self.subarch, SUBARCH_MODES)
         _choice("simplify mode", self.simplify, SIMPLIFY_MODES)
+        _choice("sanitize mode", self.sanitize, SANITIZE_MODES)
         if self.subarch_candidates < 1:
             raise ValueError("subarch candidate count must be >= 1")
         # Validate kernel choice *and* availability up front: asking for

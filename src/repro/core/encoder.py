@@ -86,8 +86,13 @@ class LayoutEncoder:
         self.config = config or SynthesisConfig()
         self.transition_based = transition_based
         # The default sink honours the config's kernel choice ("auto" /
-        # "python" / "native"); an explicitly passed ctx keeps its sink.
-        self.ctx = ctx or SMTContext(sink=Solver(kernel=self.config.kernel))
+        # "python" / "native") and sanitize mode; an explicitly passed ctx
+        # keeps its sink.
+        self.ctx = ctx or SMTContext(
+            sink=Solver(
+                kernel=self.config.kernel, sanitize=self.config.sanitize
+            )
+        )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer is not NULL_TRACER and isinstance(self.ctx.sink, Solver):
             # Let the solver publish per-solve stats snapshots into the

@@ -172,7 +172,11 @@ class IterativeSynthesizer:
             # automatically refused under proof logging (the sharing
             # exclusivity rule); exports remain sound and stay on.
             kwargs["ctx"] = SMTContext(
-                sink=Solver(proof_log=True, kernel=self.config.kernel)
+                sink=Solver(
+                    proof_log=True,
+                    kernel=self.config.kernel,
+                    sanitize=self.config.sanitize,
+                )
             )
         encoder = self.encoder_cls(
             self.circuit,

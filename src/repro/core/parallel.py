@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import os
 import queue as _queue
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -813,6 +814,22 @@ class ParallelDescent:
         #: wid -> region-local lower bound (UNSATs on that worker's region).
         floors: Dict[int, int] = {}
 
+        # Sanitizer hook (repro.analysis.sanitize): under REPRO_SANITIZE or
+        # config.sanitize, verify once that every shared-lower-bound writer
+        # is a full-device prover, and re-verify at each raise site.  Off
+        # costs one None check per shared-lb raise.
+        lb_guard = None
+        sanitize_mode = cfg.sanitize if cfg.sanitize is not None else (
+            os.environ.get("REPRO_SANITIZE") or "off"
+        )
+        if sanitize_mode != "off" and self._regions:
+            from ..analysis.sanitize import check_prover_assignment
+
+            check_prover_assignment(provers, self._regions)
+
+            def lb_guard(wid: int) -> None:
+                check_prover_assignment((wid,), self._regions)
+
         def next_rung(b: int) -> int:
             if tb:
                 return b + 1
@@ -935,11 +952,15 @@ class ParallelDescent:
                     # UNSAT at a *tighter* depth proves nothing here.
                     if d == depth_bound:
                         if wid in provers:
+                            if lb_guard is not None:
+                                lb_guard(wid)
                             if s >= lb:
                                 lb = s + 1
                         else:
                             floors[wid] = max(floors.get(wid, 0), s + 1)
                 elif wid in provers:
+                    if lb_guard is not None:
+                        lb_guard(wid)
                     if d >= lb:
                         lb = d + 1
                 else:

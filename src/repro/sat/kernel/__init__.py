@@ -35,6 +35,10 @@ def load_native() -> Optional[Any]:
     if not _probed:
         _probed = True
         try:
+            # The submodule is *generated* by `python -m repro.sat.kernel.
+            # build`; a source checkout has no _native until built, so the
+            # static view of this package legitimately lacks the attribute
+            # and only this narrow code is suppressed.
             from . import _native  # type: ignore[attr-defined]
 
             _native_mod = _native

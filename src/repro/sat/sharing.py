@@ -46,7 +46,7 @@ import multiprocessing
 import queue
 import threading
 from array import array
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 #: Export at most this many clauses per exchange (bounded buffer).
 MAX_BATCH = 256
@@ -349,7 +349,7 @@ class ShmShareEndpoint:
         #: absolute data-word position this reader has consumed up to.
         self.cursor = 0
         self.lapped = 0
-        self._shm = None
+        self._shm: Optional[Any] = None
         self._hdr: Optional[memoryview] = None
         self._dat: Optional[memoryview] = None
 
@@ -363,10 +363,19 @@ class ShmShareEndpoint:
         }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(  # type: ignore[misc]
-            state["worker_id"], state["name"], state["capacity"], state["lock"]
-        )
+        # Assign attributes directly (not via __init__): re-running the
+        # initializer on a live instance is the pattern mypy flags as
+        # [misc], and unpickling should not depend on __init__'s defaults
+        # staying side-effect-free.
+        self.worker_id = state["worker_id"]
+        self.name = state["name"]
+        self.capacity = state["capacity"]
+        self.lock = state["lock"]
         self.cursor = state["cursor"]
+        self.lapped = 0
+        self._shm = None
+        self._hdr = None
+        self._dat = None
 
     def _ensure(self) -> None:
         if self._shm is not None:
@@ -465,14 +474,21 @@ class ShmShareEndpoint:
         return out
 
     def close(self) -> None:
-        if self._shm is None:
+        """Detach from the segment; a second close is an explicit no-op."""
+        # Take the handles into locals first: this narrows the Optionals
+        # (no union-attr ignores) and clears the attributes up front, so a
+        # re-entrant or repeated close sees None and returns immediately.
+        shm, hdr, dat = self._shm, self._hdr, self._dat
+        self._shm = self._hdr = self._dat = None
+        if shm is None:
             return
         # Release the cast views *before* closing the mapping — an
         # exported memoryview makes SharedMemory.close() a BufferError.
-        self._hdr.release()  # type: ignore[union-attr]
-        self._dat.release()  # type: ignore[union-attr]
-        self._shm.close()
-        self._shm = self._hdr = self._dat = None
+        if hdr is not None:
+            hdr.release()
+        if dat is not None:
+            dat.release()
+        shm.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC ordering guard
         try:
@@ -505,37 +521,45 @@ class SharedClauseRing:
             raise ValueError("ring capacity must be at least 64 words")
         mp_ctx = ctx if ctx is not None else multiprocessing
         self.capacity = int(capacity_words)
-        self._shm = shared_memory.SharedMemory(
+        shm = shared_memory.SharedMemory(
             create=True, size=8 * _HEADER_WORDS + 4 * self.capacity
         )
-        self.name = self._shm.name
+        self.name = shm.name
         self.lock = mp_ctx.Lock()
-        self._hdr = self._shm.buf[: 8 * _HEADER_WORDS].cast("q")
-        self._hdr[_H_WRITE] = 0
-        self._hdr[_H_PUBLISHED] = 0
-        self._hdr[_H_DROPPED] = 0
+        hdr = shm.buf[: 8 * _HEADER_WORDS].cast("q")
+        hdr[_H_WRITE] = 0
+        hdr[_H_PUBLISHED] = 0
+        hdr[_H_DROPPED] = 0
+        self._shm: Optional[Any] = shm
+        self._hdr: Optional[memoryview] = hdr
 
     def endpoint(self, worker_id: int) -> ShmShareEndpoint:
         return ShmShareEndpoint(worker_id, self.name, self.capacity, self.lock)
 
     def stats(self) -> dict:
+        hdr = self._hdr
+        if hdr is None:  # closed: final counters are gone with the segment
+            return {"published": 0, "dropped": 0}
         return {
-            "published": int(self._hdr[_H_PUBLISHED]),
-            "dropped": int(self._hdr[_H_DROPPED]),
+            "published": int(hdr[_H_PUBLISHED]),
+            "dropped": int(hdr[_H_DROPPED]),
         }
 
     def close(self, unlink: bool = False) -> None:
-        if self._shm is None:
-            return
-        self._hdr.release()
-        self._shm.close()
-        if unlink:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        """Detach (and optionally unlink) the segment; double-close is a no-op."""
+        shm, hdr = self._shm, self._hdr
         self._shm = None
         self._hdr = None
+        if shm is None:
+            return
+        if hdr is not None:
+            hdr.release()
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     def __del__(self) -> None:  # pragma: no cover - GC ordering guard
         try:

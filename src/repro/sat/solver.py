@@ -42,6 +42,7 @@ rationale and measured effect.
 
 from __future__ import annotations
 
+import os
 import time
 from array import array
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Set
@@ -351,7 +352,10 @@ class Solver:
     SOLVE_INPROCESS_DELTA = 500
 
     def __init__(
-        self, proof_log: bool = False, kernel: Optional[str] = None
+        self,
+        proof_log: bool = False,
+        kernel: Optional[str] = None,
+        sanitize: Optional[str] = None,
     ) -> None:
         # Backend selection (see repro.sat.kernel): "python" keeps every
         # structure a plain list (the fastest layout for the interpreter);
@@ -389,12 +393,34 @@ class Solver:
             # every arena buffer (bumped on each alloc/compact).
             self._k_nvars = -1
             self._k_aver = -1
+        # Runtime sanitizer (repro.analysis.sanitize): an ASan-style debug
+        # layer validating engine invariants at the level-0 safe points.
+        # ``None`` defers to the REPRO_SANITIZE environment variable.  Off
+        # (the default) costs nothing: the attribute stays None, the module
+        # is never imported, and the hot loops below contain no hook — the
+        # checks run only where this attribute is tested, which is never
+        # inside _propagate/_analyze.
+        self._sanitizer: Any = None
+        mode = sanitize if sanitize is not None else (
+            os.environ.get("REPRO_SANITIZE") or "off"
+        )
+        if mode != "off":
+            from ..analysis.sanitize import SolverSanitizer, resolve_sanitize
+
+            mode = resolve_sanitize(mode)
+            if mode != "off":
+                self._sanitizer = SolverSanitizer(self, mode)
+        self.sanitize = mode
         # When proof logging is on, every clause the solver derives (learnt
         # clauses, strengthened input clauses, the final empty clause) is
         # appended to ``proof`` as ("a", lits); deletions as ("d", lits).
         # repro.sat.proof.check_unsat_proof replays the log by reverse unit
         # propagation, giving an independently checkable UNSAT certificate.
         self.proof: Optional[List[tuple]] = [] if proof_log else None
+        if proof_log and self._sanitizer is not None:
+            # Under the sanitizer the proof list enforces discipline online:
+            # add-before-delete always, RUP-at-emission in "full" mode.
+            self.proof = self._sanitizer.checked_proof_log()
         # How many root-level (level-0) trail literals have been emitted
         # into the proof as explicit unit additions.  Inprocessing logs
         # each root unit once before deleting clauses satisfied by it, so
@@ -535,6 +561,10 @@ class Solver:
         if not self.ok:
             return False
         assert not self.trail_lim, "clauses may only be added at level 0"
+        if self._sanitizer is not None and self.proof is not None:
+            # The proof discipline checker needs the original clause in its
+            # shadow database *before* any "a"/"d" line can reference it.
+            self._sanitizer.note_input_clause(lits)
         out: List[int] = []
         seen_here = set()
         for lit in sorted(lits):
@@ -1337,6 +1367,10 @@ class Solver:
             self._inprocess_step(probe=False, vivify=False)
             if not self.ok:
                 return self._finish(SatResult.UNSAT, before, started)
+        if self._sanitizer is not None:
+            # Solve entry is a level-0 safe point (assumptions not yet
+            # established, any entry inprocessing done).
+            self._sanitizer.at_safe_point("solve-entry")
         restart_num = 0
         restart_budget = luby(2.0, restart_num) * self.RESTART_BASE
         conflicts_this_restart = 0
@@ -1404,6 +1438,11 @@ class Solver:
                     if not self.ok:
                         status = False
                         break
+                if self._sanitizer is not None:
+                    # The restart safe point: level 0, sharing exchanged,
+                    # inprocessing (and any GC it triggered) finished — the
+                    # state every invariant is specified against.
+                    self._sanitizer.at_safe_point("restart")
                 if self.tracer is not None:
                     # Restarts are the solver's safe points: surface progress
                     # and poll the cooperative-cancellation flag so a long
@@ -1465,6 +1504,8 @@ class Solver:
                 # the elimination witnesses so the model covers them.
                 self.model = self._recon.extend(self.model)[: self.n_vars]
         self._cancel_until(0)
+        if self._sanitizer is not None:
+            self._sanitizer.at_safe_point("solve-exit")
         return self._finish(SatResult.from_bool(status), before, started)
 
     def _finish(

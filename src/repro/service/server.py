@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
 import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -396,11 +397,27 @@ def _translate(
     by gate position (identical — canonicalization preserves gate order)
     and SWAPs name physical qubits, so both carry over unchanged.
     """
+    if _sanitize_enabled():
+        from ..analysis.sanitize import check_permutation
+
+        check_permutation(perm)
     out = dict(canon_result)
     out["circuit"] = circuit_dict
     canon_map = canon_result["initial_mapping"]
     out["initial_mapping"] = [canon_map[perm[q]] for q in range(len(perm))]
     return out
+
+
+def _sanitize_enabled() -> bool:
+    """True when REPRO_SANITIZE requests runtime invariant checking.
+
+    The service has no per-request sanitize knob — cache translation is a
+    fixed-cost invariant, so the environment variable alone gates it (and
+    the analysis package stays unimported in production runs).
+    """
+    return bool(os.environ.get("REPRO_SANITIZE")) and os.environ.get(
+        "REPRO_SANITIZE"
+    ) != "off"
 
 
 async def serve_batch(

@@ -1,0 +1,221 @@
+"""Tests for the project contract linter (repro.analysis.contracts).
+
+The ``test_seeded_*`` tests write a scratch file containing exactly one
+contract violation and assert the linter reports it at the right
+location — the CI mutation step runs these alongside the sanitizer's
+``test_mutation_*`` family.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.contracts import (
+    RULES,
+    ContractRule,
+    Violation,
+    contract_violations,
+    iter_python_files,
+    main,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path, source, name="scratch.py"):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(source))
+    return p, contract_violations([str(p)])
+
+
+class TestCleanTree:
+    def test_src_is_contract_clean(self):
+        violations = contract_violations([str(REPO / "src")])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_rule_docstrings_cite_docs(self):
+        # Each rule must say which documented contract it guards.
+        for rule in RULES:
+            doc = rule.__doc__ or ""
+            assert "docs/" in doc or "pyproject" in doc, rule.name
+
+
+class TestSeededViolations:
+    def test_seeded_arena_growth_without_version_bump(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            class ClauseArena:
+                def alloc(self, lits):
+                    self.lits.extend(lits)
+                    return 0
+            """,
+        )
+        assert [v.rule for v in out] == ["arena-version-bump"]
+        assert out[0].path == str(p) and out[0].line == 4
+
+    def test_arena_growth_with_bump_is_clean(self, tmp_path):
+        _, out = lint_source(
+            tmp_path,
+            """
+            class ClauseArena:
+                def alloc(self, lits):
+                    self.lits.extend(lits)
+                    self.version += 1
+                    return 0
+            """,
+        )
+        assert out == []
+
+    def test_seeded_from_buffer(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            def bind(ffi, buf):
+                return ffi.from_buffer("int32_t[]", buf)
+            """,
+        )
+        assert [v.rule for v in out] == ["no-from-buffer"]
+        assert out[0].line == 3
+
+    def test_seeded_proof_delete_before_add(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            def replace(solver, old, new):
+                solver.proof.append(("d", tuple(old)))
+                solver.proof.append(("a", tuple(new)))
+            """,
+        )
+        assert [v.rule for v in out] == ["proof-delete-after-add"]
+        assert out[0].line == 3
+
+    def test_proof_add_then_delete_is_clean(self, tmp_path):
+        _, out = lint_source(
+            tmp_path,
+            """
+            def replace(solver, old, new):
+                solver.proof.append(("a", tuple(new)))
+                solver.proof.append(("d", tuple(old)))
+
+            def reduce_db(solver, dead):
+                # delete-only functions are exempt (adds happened elsewhere)
+                for lits in dead:
+                    solver.proof.append(("d", tuple(lits)))
+            """,
+        )
+        assert out == []
+
+    def test_seeded_uncached_device_factory(self, tmp_path):
+        arch = tmp_path / "arch"
+        arch.mkdir()
+        p = arch / "devices.py"
+        p.write_text(
+            textwrap.dedent(
+                """
+                def my_device() -> CouplingGraph:
+                    return CouplingGraph(2, [(0, 1)])
+                """
+            )
+        )
+        out = contract_violations([str(p)])
+        assert [v.rule for v in out] == ["device-factory-cache"]
+        assert "my_device" in out[0].message
+        # The rule is scoped: the same code elsewhere is fine.
+        other = tmp_path / "not_devices.py"
+        other.write_text(p.read_text())
+        assert contract_violations([str(other)]) == []
+
+    def test_seeded_bare_mp_queue(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+            from multiprocessing import SimpleQueue
+
+            def make():
+                a = multiprocessing.Queue(8)
+                b = SimpleQueue()
+                ctx = multiprocessing.get_context("spawn")
+                c = ctx.Queue(8)  # fine: built from the pinned context
+                return a, b, c
+            """,
+        )
+        assert [v.rule for v in out] == ["no-bare-mp-queue"] * 2
+        assert [v.line for v in out] == [6, 7]
+
+    def test_seeded_bare_type_ignore(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            x = undefined_thing()  # type: ignore
+            y = other_thing()  # type: ignore[attr-defined]
+            """,
+        )
+        assert [v.rule for v in out] == ["no-bare-type-ignore"]
+        assert out[0].line == 2
+
+    def test_seeded_syntax_error_reported_not_raised(self, tmp_path):
+        _, out = lint_source(tmp_path, "def broken(:\n")
+        assert [v.rule for v in out] == ["parse-error"]
+
+
+class TestPluggability:
+    def test_custom_rule(self, tmp_path):
+        class NoEvalRule(ContractRule):
+            name = "no-eval"
+
+            def check(self, path, tree, lines):
+                import ast
+
+                for node in ast.walk(tree):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "eval"
+                    ):
+                        yield self._v(path, node, "no eval")
+
+        p = tmp_path / "s.py"
+        p.write_text("eval('1')\n")
+        out = contract_violations([str(p)], rules=[NoEvalRule()])
+        assert [v.rule for v in out] == ["no-eval"]
+
+    def test_violation_format(self):
+        v = Violation(rule="r", path="a.py", line=3, col=7, message="m")
+        assert v.format() == "a.py:3:7: r: m"
+
+    def test_iter_python_files_mixes_dirs_and_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("")
+        (sub / "c.txt").write_text("")
+        found = list(iter_python_files([str(sub), str(tmp_path / "a.py")]))
+        assert [f.name for f in found] == ["b.py", "a.py"]
+
+
+class TestCli:
+    def test_main_clean_exit_zero(self, capsys):
+        assert main([str(REPO / "src" / "repro" / "arch")]) == 0
+        assert "contracts OK" in capsys.readouterr().out
+
+    def test_main_violation_exit_one(self, tmp_path, capsys):
+        p = tmp_path / "bad.py"
+        p.write_text("import cffi\nb = cffi.FFI().from_buffer('x', y)\n")
+        assert main([str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "no-from-buffer" in out and f"{p}:2:" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.name in out
+
+    def test_olsq2_analyze_contracts(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["analyze", "--contracts", str(REPO / "src")]) == 0
+        assert "contracts OK" in capsys.readouterr().out

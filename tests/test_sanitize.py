@@ -1,0 +1,374 @@
+"""Tests for the runtime sanitizer (repro.analysis.sanitize).
+
+Two families:
+
+* green-path — sanitized solves succeed on both kernels, modes resolve
+  correctly, and ``sanitize="off"`` provably adds zero per-propagation
+  work (the hot loops never mention the sanitizer);
+* ``test_mutation_*`` — seeded corruption of solver state, ring
+  counters and proof logs, each of which the sanitizer must catch *with
+  a location* (these are what CI's sanitize-smoke mutation step runs).
+"""
+
+import array
+import inspect
+
+import pytest
+
+from repro.analysis.sanitize import (
+    CheckedProofLog,
+    RingSanitizer,
+    SanitizeError,
+    check_permutation,
+    check_prover_assignment,
+    compare_backends,
+    env_enabled,
+    fuzz_ring,
+    resolve_sanitize,
+    state_digest,
+)
+from repro.sat import SatResult, Solver, mk_lit
+from repro.sat.kernel import native_available
+from repro.sat.sharing import SharedClauseRing
+from repro.sat.solver import NO_CLAUSE
+
+KERNELS = ["python"] + (["native"] if native_available() else [])
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="compiled kernel not built"
+)
+
+
+def pigeonhole(solver, pigeons=4):
+    """Encode PHP(pigeons, pigeons-1) — small, UNSAT, nontrivial."""
+    holes = pigeons - 1
+    x = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        solver.add_clause([mk_lit(x[p][h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause(
+                    [mk_lit(x[p1][h], True), mk_lit(x[p2][h], True)]
+                )
+    return x
+
+
+class TestModeResolution:
+    def test_explicit_mode_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "full")
+        assert resolve_sanitize("off") == "off"
+        assert resolve_sanitize("light") == "light"
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert resolve_sanitize(None) == "off"
+        assert not env_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "light")
+        assert resolve_sanitize(None) == "light"
+        assert env_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        assert resolve_sanitize(None) == "off"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown sanitize mode"):
+            resolve_sanitize("asan")
+        with pytest.raises(ValueError, match="unknown sanitize mode"):
+            Solver(sanitize="asan")
+
+    def test_solver_env_pickup(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "light")
+        s = Solver()
+        assert s.sanitize == "light"
+        assert s._sanitizer is not None
+
+
+class TestZeroOverheadWhenOff:
+    def test_off_has_no_sanitizer_object(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        s = Solver(proof_log=True)
+        assert s.sanitize == "off"
+        assert s._sanitizer is None
+        # The proof log stays a plain list — no per-append checking.
+        assert type(s.proof) is list
+
+    def test_explicit_off_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "full")
+        s = Solver(sanitize="off")
+        assert s._sanitizer is None
+
+    def test_hot_loops_never_mention_the_sanitizer(self):
+        # The zero-cost claim, checked against the source: propagation
+        # and conflict analysis contain no sanitizer hook at all (the
+        # only hooks live at level-0 safe points and in add_clause).
+        for fn in (Solver._propagate, Solver._analyze):
+            assert "sanitiz" not in inspect.getsource(fn)
+
+    def test_off_solve_identical_to_default(self):
+        results = []
+        for mode in (None, "off", "full"):
+            s = Solver(sanitize=mode) if mode else Solver()
+            pigeonhole(s)
+            results.append((s.solve(), s.stats.conflicts))
+        assert results[0] == results[1] == results[2]
+
+
+class TestGreenPath:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("mode", ["light", "full"])
+    def test_sanitized_unsat_solve(self, kernel, mode):
+        s = Solver(proof_log=True, kernel=kernel, sanitize=mode)
+        pigeonhole(s)
+        assert s.solve() == SatResult.UNSAT
+        assert isinstance(s.proof, CheckedProofLog)
+        assert s.proof[-1] == ("a", ())
+        assert s._sanitizer.checks_run >= 2  # solve entry + exit
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_sanitized_sat_solve(self, kernel):
+        import random
+
+        rng = random.Random(7)
+        s = Solver(kernel=kernel, sanitize="full")
+        vs = s.new_vars(20)
+        for _ in range(60):
+            picked = rng.sample(vs, 3)
+            s.add_clause([mk_lit(v, rng.random() < 0.5) for v in picked])
+        res = s.solve()
+        assert res in (SatResult.SAT, SatResult.UNSAT)
+        assert s._sanitizer.checks_run >= 2
+
+    def test_state_digest_tracks_assignments(self):
+        s = Solver(sanitize="light")
+        a, b = s.new_vars(2)
+        d0 = state_digest(s)
+        s.add_clause([mk_lit(a)])
+        assert state_digest(s) != d0
+
+    @needs_native
+    def test_compare_backends_agree(self):
+        v = lambda i: 2 * i
+        n = lambda i: 2 * i + 1
+        clauses = [[v(0), v(1)], [n(0), v(1)], [v(0), n(1)], [v(2), v(3)]]
+        out = compare_backends(clauses, 4, proof_log=True)
+        assert out["result"] == SatResult.SAT
+
+    def test_compare_backends_needs_kernel(self, monkeypatch):
+        import repro.sat.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "_native_mod", None)
+        monkeypatch.setattr(kernel_mod, "_probed", True)
+        with pytest.raises(RuntimeError, match="compiled kernel"):
+            compare_backends([[0, 2]], 2)
+
+
+class TestServiceChecks:
+    def test_valid_permutation(self):
+        check_permutation([2, 0, 1])
+        check_permutation([0])
+        check_permutation([])
+
+    def test_mutation_non_bijective_permutation(self):
+        with pytest.raises(SanitizeError) as err:
+            check_permutation([0, 0, 2])
+        assert err.value.location == "cache-translation"
+
+    def test_prover_assignment(self):
+        regions = [None, object(), None]
+        check_prover_assignment([0, 2], regions)
+        with pytest.raises(SanitizeError) as err:
+            check_prover_assignment([1], regions)
+        assert err.value.location == "parallel-lb"
+        with pytest.raises(SanitizeError):
+            check_prover_assignment([9], regions)  # out of range
+
+
+class TestProofDiscipline:
+    def test_mutation_delete_before_add(self):
+        p = CheckedProofLog()
+        with pytest.raises(SanitizeError) as err:
+            p.append(("d", (2, 4)))
+        assert err.value.location == "proof"
+        assert "precedes its add" in str(err.value)
+
+    def test_add_then_delete_ok_but_not_twice(self):
+        p = CheckedProofLog()
+        p.note_input([2, 4])
+        p.append(("d", (4, 2)))  # key-normalized: same clause
+        with pytest.raises(SanitizeError):
+            p.append(("d", (2, 4)))
+
+    def test_mutation_non_rup_emission(self):
+        p = CheckedProofLog(rup=True)
+        p.note_input([0, 2])  # v0 | v1
+        p.note_input([1, 2])  # !v0 | v1
+        p.append(("a", (2,)))  # v1 is RUP
+        with pytest.raises(SanitizeError) as err:
+            p.append(("a", (0,)))  # v0 is not
+        assert "not RUP" in str(err.value)
+
+    def test_solver_notes_inputs(self):
+        s = Solver(proof_log=True, sanitize="light")
+        a, b = s.new_vars(2)
+        s.add_clause([mk_lit(a), mk_lit(b)])
+        assert isinstance(s.proof, CheckedProofLog)
+        assert s.proof.inputs == 1
+
+
+class TestMutationSolverState:
+    """Seeded solver-state corruption, each caught with a location."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mutation_watcher_corruption(self, kernel):
+        s = Solver(kernel=kernel, sanitize="full")
+        a, b = s.new_vars(2)
+        s.add_clause([mk_lit(a), mk_lit(b)])
+        s._sanitizer.at_safe_point("baseline")
+        # Drop one side's binary watch list: the clause is no longer
+        # findable when its other literal becomes false.
+        s.watches_bin[mk_lit(a) ^ 1].clear()
+        with pytest.raises(SanitizeError) as err:
+            s._sanitizer.at_safe_point("after-corruption")
+        assert err.value.location == "after-corruption"
+
+    @needs_native
+    def test_mutation_generation_skew(self):
+        s = Solver(kernel="native", sanitize="light")
+        vs = s.new_vars(4)
+        s.add_clause([mk_lit(v) for v in vs])
+        s._sanitizer.at_safe_point("baseline")  # snapshots addresses
+        # Replace an arena buffer with an equal copy *without* bumping
+        # arena.version: the kernel's cached address is now stale, which
+        # is exactly the bug class the static contract linter guards
+        # against (docs/ARCHITECTURE.md "buffer ownership").
+        s.arena.lits = array.array(
+            s.arena.lits.typecode, s.arena.lits
+        )
+        with pytest.raises(SanitizeError) as err:
+            s._sanitizer.at_safe_point("after-skew")
+        assert err.value.location == "after-skew"
+        assert "version" in str(err.value)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mutation_level_tamper(self, kernel):
+        s = Solver(kernel=kernel, sanitize="light")
+        a, b = s.new_vars(2)
+        s.add_clause([mk_lit(a)])  # level-0 unit on the trail
+        s._sanitizer.at_safe_point("baseline")
+        s.level[a] = 3
+        with pytest.raises(SanitizeError) as err:
+            s._sanitizer.at_safe_point("after-tamper")
+        assert "level" in str(err.value)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mutation_assigns_tamper(self, kernel):
+        s = Solver(kernel=kernel, sanitize="light")
+        a, b = s.new_vars(2)
+        s.add_clause([mk_lit(a)])
+        s._sanitizer.at_safe_point("baseline")
+        from repro.sat.types import TRUE
+
+        s.assigns_lit[mk_lit(a, True)] = TRUE  # both polarities "true"
+        with pytest.raises(SanitizeError):
+            s._sanitizer.at_safe_point("after-tamper")
+
+    def test_mutation_reason_tamper_above_level_zero(self):
+        # Fabricate a legal level-1 state: three decisions falsify the
+        # first three literals of a 4-ary clause, implying the fourth
+        # with the clause as reason.  Then point the reason at a clause
+        # that does not contain the implied literal.
+        s = Solver(kernel="python", sanitize="light")
+        vs = s.new_vars(8)
+        lits = [mk_lit(v) for v in vs]
+        s.add_clause(lits[:4])
+        s.add_clause(lits[4:])
+        good, other = s.clauses
+        s._new_decision_level()
+        for lit in lits[:3]:
+            s._unchecked_enqueue(lit ^ 1, NO_CLAUSE)
+        s._unchecked_enqueue(lits[3], good)
+        s._sanitizer.check_trail("fabricated")  # sound state passes
+        s.reason[vs[3]] = other
+        with pytest.raises(SanitizeError) as err:
+            s._sanitizer.check_trail("after-tamper")
+        assert "does not contain" in str(err.value)
+
+    def test_level_zero_reasons_exempt(self):
+        # Root literals may outlive their reason clause (inprocessing
+        # deletes satisfied clauses and recycles crefs); the sanitizer
+        # must not check reasons at level 0.
+        s = Solver(kernel="python", sanitize="light")
+        a, b = s.new_vars(2)
+        s.add_clause([mk_lit(a), mk_lit(b)])
+        s.add_clause([mk_lit(a), mk_lit(b, True)])
+        assert s.solve() == SatResult.SAT
+        # Whatever reasons remain, a fresh safe-point check passes.
+        s._sanitizer.at_safe_point("post-solve")
+
+
+class TestRing:
+    def test_fuzz_ring_inline(self):
+        # drain_every=15 at this capacity is the sweet spot where the
+        # reader both laps (skip-to-head path) and still decodes real
+        # batches between laps.
+        out = fuzz_ring(
+            capacity_words=256,
+            n_writers=3,
+            batches_per_writer=40,
+            drain_every=15,
+        )
+        assert out["published"] > 0
+        assert out["laps"] > 0, "fuzz never lapped: weaken drain_every"
+        assert out["oversize"] > 0
+        assert out["decoded_clauses"] > 0
+        assert out["dropped"] == out["laps"] + out["oversize"]
+
+    def test_fuzz_ring_processes(self):
+        # Paced writers so the spawn-context children genuinely
+        # interleave with the polling reader (also exercises endpoint
+        # pickling and the cross-process publish lock).
+        out = fuzz_ring(
+            capacity_words=256,
+            n_writers=2,
+            batches_per_writer=24,
+            drain_every=11,
+            processes=True,
+            writer_delay_s=0.001,
+        )
+        assert out["published"] > 0
+        assert out["decoded_clauses"] > 0
+        assert out["dropped"] == out["laps"] + out["oversize"]
+
+    def test_mutation_ring_lap_without_drop(self):
+        ring = SharedClauseRing(128)
+        try:
+            ep = ring.endpoint(0)
+            writer = ring.endpoint(1)
+            writer.publish(("k",), [((10, 11), 2)])
+            ep.drain()  # attaches the endpoint (it maps the segment lazily)
+            san = RingSanitizer()
+            san.check_endpoint(ep, "baseline")
+            # A buggy drain: the reader records a lap but nobody bumped
+            # the shared dropped counter.
+            ep.lapped += 1
+            with pytest.raises(SanitizeError) as err:
+                san.check_endpoint(ep, "after-lap")
+            assert "lap without drop accounting" in str(err.value)
+            ep.close()
+            writer.close()
+        finally:
+            ring.close(unlink=True)
+
+    def test_mutation_ring_cursor_out_of_bounds(self):
+        ring = SharedClauseRing(128)
+        try:
+            ep = ring.endpoint(0)
+            ep.drain()  # attach
+            san = RingSanitizer()
+            ep.cursor = 10_000
+            with pytest.raises(SanitizeError) as err:
+                san.check_endpoint(ep, "cursor")
+            assert "cursor" in str(err.value)
+            ep.close()
+        finally:
+            ring.close(unlink=True)

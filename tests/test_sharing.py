@@ -321,3 +321,39 @@ class TestSharedClauseRing:
     def test_key_hash_deterministic(self):
         assert key_hash(("a", 1)) == key_hash(("a", 1))
         assert key_hash(("a", 1)) != key_hash(("a", 2))
+
+
+class TestCloseDiscipline:
+    """The shm close paths: double close is an explicit no-op."""
+
+    def test_endpoint_double_close(self):
+        ring = SharedClauseRing(128)
+        try:
+            ep = ring.endpoint(0)
+            ep.drain()  # attach
+            assert ep._shm is not None
+            ep.close()
+            assert ep._shm is None and ep._hdr is None and ep._dat is None
+            ep.close()  # second close: no-op, no raise
+        finally:
+            ring.close(unlink=True)
+
+    def test_endpoint_close_before_attach(self):
+        ring = SharedClauseRing(128)
+        try:
+            ep = ring.endpoint(0)
+            ep.close()  # never attached: nothing to release
+            ep.close()
+        finally:
+            ring.close(unlink=True)
+
+    def test_ring_double_close_and_stats_after_close(self):
+        ring = SharedClauseRing(128)
+        ep = ring.endpoint(1)
+        ep.publish(("k",), [((4, 6), 2)])
+        ep.close()
+        assert ring.stats()["published"] == 1
+        ring.close(unlink=True)
+        # Closed ring: stats degrade gracefully, close is idempotent.
+        assert ring.stats() == {"published": 0, "dropped": 0}
+        ring.close(unlink=True)
