@@ -1,8 +1,13 @@
-"""Fixed-workload perf regression harness (PR 2-8 acceptance numbers).
+"""Fixed-workload perf regression harness (PR 2-10 acceptance numbers).
 
 Runs a small, deterministic workload suite against the in-tree solver and
-writes the measurements to a JSON file (``BENCH_PR8.json`` at the repo root
+writes the measurements to a JSON file (``BENCH_PR10.json`` at the repo root
 by default):
+
+* **encode** — the PR 10 acceptance workload: the queko encode clause set
+  loaded per-clause vs through :meth:`Solver.add_clauses_bulk` under both
+  kernels, with the bulk/per-clause ratio gated at >= 3x on the resolved
+  default kernel (``gate_passed``) and final-state identity asserted;
 
 * **prop_network** — a pure unit-propagation workload (long binary
   implication chains plus wide size-4 clauses, solved repeatedly with no
@@ -17,8 +22,10 @@ by default):
   SWAP-minimisation instance solved sequentially, by the *independent*
   :class:`PortfolioSynthesizer`, and by the *cooperating*
   :class:`ParallelDescent` (bound splitting + clause sharing) at 1/2/4
-  workers, recording wall time, conflicts, and clauses
-  shared/imported/pruned per worker count;
+  workers, recording wall time, conflicts, clauses shared/imported/pruned
+  and encoded-template hits per worker count, plus a
+  ``scaling_efficiency`` summary that flags any cooperating-N run slower
+  than sequential (the BENCH_PR8 negative-scaling regression was silent);
 * **proof_checker** — the PR 4 acceptance workload: an ascending ladder
   of UNSAT refutations (pigeonhole + over-constrained random 3-SAT),
   certified by the old naive fixpoint RUP checker
@@ -68,6 +75,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import random
 import sys
@@ -76,6 +84,7 @@ from pathlib import Path
 
 from repro.arch import grid, ibm_eagle, ibm_falcon, linear, sycamore_region
 from repro.core import OLSQ2, SynthesisConfig
+from repro.core.encoder import LayoutEncoder
 from repro.core.optimizer import IterativeSynthesizer
 from repro.sat import SatResult, Solver, mk_lit
 from repro.telemetry import MemorySink, Tracer
@@ -126,6 +135,11 @@ BASELINE_PR5 = {
 #: session).  Interleaved pairs — PR 5 code and ``kernel="python"``
 #: alternating in one session, identical 13,636 conflicts — are the
 #: apples-to-apples measurement of what PR 7 did to the interpreter path.
+#: PR 10 acceptance bar: bulk clause loading must be at least this much
+#: faster than the per-clause path on the queko encode clause set
+#: (bench_encode), measured on the resolved default kernel.
+ENCODE_GATE_RATIO = 3.0
+
 PR5_LIKE_FOR_LIKE = {
     "pr5_commit_props_per_sec": [99427, 103841, 113734],
     "pr7_python_props_per_sec": [95141, 114648, 100485],
@@ -470,6 +484,98 @@ def bench_kernel(tiny: bool) -> dict:
     return report
 
 
+def bench_encode(tiny: bool) -> dict:
+    """Bulk vs per-clause clause loading on the queko encode clause set.
+
+    Captures the exact clause stream a QUEKO encode emits (grid 2x3 circuit
+    on a 6-qubit line, horizon 10, simplify off), then loads it into fresh
+    solvers two ways: one :meth:`Solver.add_clause` call per clause (the
+    pre-PR10 path) vs a single :meth:`Solver.add_clauses_bulk` call (one
+    arena bulk alloc + one native attach per run of non-unit clauses, with
+    C-side normalization under the native kernel).  The PR 10 acceptance
+    gate is ratio >= 3x on the resolved default kernel; equivalence is
+    asserted, not assumed — both solvers must end with identical arenas.
+    """
+    from repro.sat.kernel import native_available, resolve_backend
+    from repro.sat.solver import Solver
+    from repro.smt.context import SMTContext
+
+    source = grid(2, 3)
+    target = linear(6)
+    inst = queko_circuit(source, depth=4, n_gates=12, seed=1)
+    cfg = SynthesisConfig(simplify="off")
+    capture_solver = Solver(kernel="python")
+    captured = []
+    orig_add = Solver.add_clause
+
+    def capturing_add(self, lits):
+        captured.append(list(lits))
+        return orig_add(self, lits)
+
+    Solver.add_clause = capturing_add
+    try:
+        LayoutEncoder(
+            inst.circuit, target, 10, config=cfg,
+            ctx=SMTContext(sink=capture_solver),
+        ).encode()
+    finally:
+        Solver.add_clause = orig_add
+    n_vars = capture_solver.n_vars
+    flat = [lit for clause in captured for lit in clause]
+    sizes = [len(clause) for clause in captured]
+
+    def fresh(kernel):
+        solver = Solver(kernel=kernel)
+        for _ in range(n_vars):
+            solver.new_var()
+        return solver
+
+    repeats = 5 if tiny else 9
+    report: dict = {
+        "workload": "queko-2x3-d4g12s1-on-line6-h10",
+        "clauses": len(captured),
+        "vars": n_vars,
+        "threshold": ENCODE_GATE_RATIO,
+        "gate_kernel": resolve_backend("auto"),
+        "backends": {},
+    }
+    kernels = ["python"] + (["native"] if native_available() else [])
+    for kernel in kernels:
+        per = bulk = float("inf")
+        for _ in range(repeats):
+            solver = fresh(kernel)
+            start = time.perf_counter()
+            for clause in captured:
+                solver.add_clause(clause)
+            per = min(per, time.perf_counter() - start)
+            per_solver = solver
+            solver = fresh(kernel)
+            start = time.perf_counter()
+            solver.add_clauses_bulk(flat, sizes)
+            bulk = min(bulk, time.perf_counter() - start)
+            bulk_solver = solver
+        identical = (
+            list(per_solver.arena.lits) == list(bulk_solver.arena.lits)
+            and len(per_solver.clauses) == len(bulk_solver.clauses)
+            and list(per_solver.trail[: per_solver.trail_size])
+            == list(bulk_solver.trail[: bulk_solver.trail_size])
+        )
+        report["backends"][kernel] = {
+            "per_clause_wall_sec": round(per, 5),
+            "bulk_wall_sec": round(bulk, 5),
+            "ratio": round(per / bulk, 2),
+            "clauses_per_sec_bulk": int(len(captured) / bulk),
+            "identical_final_state": identical,
+        }
+    gate = report["backends"].get(report["gate_kernel"])
+    report["gate_passed"] = bool(
+        gate
+        and gate["identical_final_state"]
+        and gate["ratio"] >= ENCODE_GATE_RATIO
+    )
+    return report
+
+
 def bench_queko_synthesis(tiny: bool) -> dict:
     """optimize_depth with mid-run horizon growth (learnt-clause reuse)."""
     seeds = (3, 5) if tiny else (1, 2, 3, 4, 5, 7)
@@ -477,6 +583,7 @@ def bench_queko_synthesis(tiny: bool) -> dict:
     target = linear(6)
     depths = []
     conflicts = props = 0
+    encode_wall = solve_wall = 0.0
     inprocess = {key: 0 for key in _INPROCESS_KEYS}
     start = time.perf_counter()
     for seed in seeds:
@@ -491,6 +598,8 @@ def bench_queko_synthesis(tiny: bool) -> dict:
         )
         result = IterativeSynthesizer(inst.circuit, target, cfg).optimize_depth()
         depths.append(result.depth)
+        encode_wall += result.solver_stats.get("encode_wall_sec", 0.0)
+        solve_wall += result.solver_stats.get("solve_wall_sec", 0.0)
         solves = list(sink.events("solver.solve"))
         for event in solves:
             conflicts += event.attrs.get("d_conflicts", 0)
@@ -509,6 +618,13 @@ def bench_queko_synthesis(tiny: bool) -> dict:
         "conflicts": conflicts,
         "propagations": props,
         "wall_sec": round(wall, 4),
+        # Encode vs solve wall split (PR 10): encoding cost used to hide
+        # inside the synthesis wall; now both halves stay visible.
+        "encode_wall_sec": round(encode_wall, 4),
+        "solve_wall_sec": round(solve_wall, 4),
+        "encode_fraction": round(encode_wall / (encode_wall + solve_wall), 3)
+        if encode_wall + solve_wall > 0
+        else None,
         "props_per_sec": int(props / wall),
         "inprocess": inprocess,
     }
@@ -565,6 +681,13 @@ def bench_parallel_portfolio(tiny: bool) -> dict:
     report: dict = {
         "workload": workload,
         "objective": "swap",
+        # scaling_efficiency is meaningless without knowing how many cores
+        # backed the workers: on a 1-core host cooperating wall-clock is
+        # roughly the *summed* worker CPU, so cooperating-N can only beat
+        # sequential if bound splitting + clause sharing shrink total work
+        # below the sequential descent's — template reuse removes the
+        # redundant encodes but the probe work itself still replicates.
+        "cpu_count": os.cpu_count(),
         "runs": {},
     }
 
@@ -606,6 +729,7 @@ def bench_parallel_portfolio(tiny: bool) -> dict:
             "clauses_shared": par["clauses_exported"],
             "clauses_imported": par["clauses_imported"],
             "probes_pruned": par["pruned_probes"],
+            "template_hits": par.get("template_hits", 0),
             "share_transport": par.get("share_transport"),
         }
 
@@ -618,6 +742,28 @@ def bench_parallel_portfolio(tiny: bool) -> dict:
     for n in counts:
         report["runs"][f"cooperating-{n}"] = _best_of(lambda: run_cooperating(n))
         print(f"  cooperating-{n}: {report['runs'][f'cooperating-{n}']}", flush=True)
+    # Scaling summary (PR 10): the BENCH_PR8 negative-scaling regression
+    # (cooperating-N slower than sequential) was silent because nothing
+    # compared the walls.  scaling_efficiency is seq_wall / (n * coop_wall)
+    # — 1.0 means perfect linear scaling, > 1/n means cooperating-N still
+    # beats sequential on raw wall.
+    seq_wall = report["runs"]["sequential"]["wall_sec"]
+    scaling = {}
+    slower = []
+    for n in counts:
+        coop = report["runs"][f"cooperating-{n}"]
+        if coop["wall_sec"] > 0:
+            scaling[str(n)] = round(seq_wall / (n * coop["wall_sec"]), 3)
+        if coop["wall_sec"] > seq_wall:
+            slower.append(n)
+    report["scaling_efficiency"] = scaling
+    report["cooperating_slower_than_sequential"] = slower
+    if slower:
+        print(
+            f"  WARNING: cooperating-{slower} slower than sequential "
+            f"({seq_wall}s) — negative scaling",
+            flush=True,
+        )
     return report
 
 
@@ -837,8 +983,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR8.json"),
-        help="output JSON path (default: BENCH_PR8.json at the repo root)",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR10.json"),
+        help="output JSON path (default: BENCH_PR10.json at the repo root)",
     )
     parser.add_argument(
         "--tiny", action="store_true", help="shrunken workloads for CI smoke runs"
@@ -866,6 +1012,8 @@ def main(argv=None) -> int:
     )
     print("sat_engine ...", flush=True)
     report["results"]["sat_engine"] = _best_of(lambda: bench_sat_engine(args.tiny))
+    print("encode ...", flush=True)
+    report["results"]["encode"] = bench_encode(args.tiny)
     print("kernel ...", flush=True)
     report["results"]["kernel"] = bench_kernel(args.tiny)
     print("sanitize ...", flush=True)

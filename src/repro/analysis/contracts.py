@@ -281,6 +281,106 @@ class DeviceFactoryCacheRule(ContractRule):
                 )
 
 
+class SnapshotRestoreSyncRule(ContractRule):
+    """Snapshot restore must bind the kernel once, between buffer fills
+    and watch-list loads.
+
+    Guards docs/ARCHITECTURE.md (snapshot lifecycle): ``restore_solver``
+    fills every Python-side buffer of a *fresh* solver, then calls
+    ``_k_sync()`` exactly once so the native kernel binds the final
+    addresses, and only then replays the C-owned watch lists via
+    ``k_load_list``.  Three orderings corrupt the clone silently:
+
+    * ``k_load_list`` before ``_k_sync`` writes into unbound views;
+    * growing a kernel-bound buffer *after* ``_k_sync`` moves it out
+      from under the cached addresses;
+    * skipping the arena generation bump leaves ``_k_sync`` a no-op for
+      a solver that already synced once.
+
+    The rule applies to any function that calls ``k_load_list``.
+    """
+
+    name = "snapshot-restore-sync"
+
+    #: Buffers the kernel binds: arena storage plus per-variable arrays.
+    BOUND_BUFFERS = frozenset(
+        {
+            "lits", "start", "size", "learnt", "lbd", "spos", "act",
+            "tier", "touch", "assigns_lit", "level", "reason", "polarity",
+            "activity", "seen", "trail",
+        }
+    )
+
+    def check(self, path, tree, lines):
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            loads: List[ast.Call] = []
+            syncs: List[ast.Call] = []
+            fills: List[ast.AST] = []
+            bumps_version = False
+            for node in ast.walk(fn):
+                if isinstance(node, ast.AugAssign):
+                    chain = _attr_chain(node.target)
+                    if chain is not None and chain.endswith(".version"):
+                        bumps_version = True
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    if func.attr == "k_load_list":
+                        loads.append(node)
+                    elif func.attr == "_k_sync":
+                        syncs.append(node)
+                    elif func.attr == "extend":
+                        chain = _attr_chain(func.value)
+                        if (
+                            chain is not None
+                            and chain.split(".")[-1] in self.BOUND_BUFFERS
+                        ):
+                            fills.append(node)
+            if not loads:
+                continue
+            if not syncs:
+                yield self._v(
+                    path,
+                    loads[0],
+                    f"{fn.name} calls k_load_list without a _k_sync(); the "
+                    "kernel views are unbound (docs/ARCHITECTURE.md, "
+                    "snapshot lifecycle)",
+                )
+                continue
+            sync_line = min(c.lineno for c in syncs)
+            if not bumps_version:
+                yield self._v(
+                    path,
+                    syncs[0],
+                    f"{fn.name} syncs the kernel without bumping an arena "
+                    "generation ('.version += 1'); a previously synced "
+                    "solver would skip the rebind (docs/ARCHITECTURE.md, "
+                    "snapshot lifecycle)",
+                )
+            for call in loads:
+                if call.lineno < sync_line:
+                    yield self._v(
+                        path,
+                        call,
+                        f"{fn.name} calls k_load_list before _k_sync(); "
+                        "load watch lists only after the kernel has bound "
+                        "the final buffer addresses (docs/ARCHITECTURE.md, "
+                        "snapshot lifecycle)",
+                    )
+            for site in fills:
+                if site.lineno > sync_line:
+                    yield self._v(
+                        path,
+                        site,
+                        f"{fn.name} grows a kernel-bound buffer after "
+                        "_k_sync(); the cached addresses go stale "
+                        "(docs/ARCHITECTURE.md, snapshot lifecycle)",
+                    )
+
+
 class NoBareMpQueueRule(ContractRule):
     """No bare ``multiprocessing.Queue`` — always use an explicit context.
 
@@ -369,6 +469,7 @@ RULES: List[ContractRule] = [
     NoFromBufferRule(),
     ProofDeleteAfterAddRule(),
     DeviceFactoryCacheRule(),
+    SnapshotRestoreSyncRule(),
     NoBareMpQueueRule(),
     NoBareTypeIgnoreRule(),
 ]

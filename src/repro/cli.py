@@ -19,10 +19,12 @@ from typing import List, Optional
 from .arch import devices
 from .circuit.qasm import load_qasm
 from .core.config import (
+    BULK_MODES,
     SIMPLIFY_INPROCESS,
     SIMPLIFY_MODES,
     SUBARCH_MODES,
     SUBARCH_OFF,
+    TEMPLATE_MODES,
     SynthesisConfig,
 )
 from .core.registry import available_backends, resolve_backend
@@ -95,6 +97,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed the descent with a validated SABRE schedule: its depth "
         "caps the relax ladder as a sound upper bound and its mapping "
         "seeds solver phases",
+    )
+    comp.add_argument(
+        "--encode-bulk",
+        choices=BULK_MODES,
+        default="on",
+        help="load encoder constraint families into the solver in bulk "
+        "batches (byte-identical to per-clause loading; 'off' is a "
+        "debugging escape hatch)",
+    )
+    comp.add_argument(
+        "--templates",
+        choices=TEMPLATE_MODES,
+        default="on",
+        help="with --parallel: encode each shared instance shape once and "
+        "ship post-encode solver snapshots to the workers instead of "
+        "re-encoding per process",
     )
     comp.add_argument(
         "--no-share",
@@ -311,6 +329,8 @@ def _cmd_compile(args) -> int:
                         simplify=args.simplify,
                         kernel=args.kernel,
                         subarch=args.subarch,
+                        encode_bulk=args.encode_bulk,
+                        templates=args.templates,
                         warm_start=(
                             None if args.warm_start == "none" else args.warm_start
                         ),
@@ -339,6 +359,8 @@ def _cmd_compile(args) -> int:
                 simplify=args.simplify,
                 kernel=args.kernel,
                 subarch=args.subarch,
+                encode_bulk=args.encode_bulk,
+                templates=args.templates,
                 warm_start=(
                     None if args.warm_start == "none" else args.warm_start
                 ),

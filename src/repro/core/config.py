@@ -46,6 +46,20 @@ SIMPLIFY_MODES = (SIMPLIFY_OFF, SIMPLIFY_INPROCESS, SIMPLIFY_FULL)
 #: package).  ``None`` defers to the REPRO_SANITIZE environment variable.
 SANITIZE_MODES = (None, "off", "light", "full")
 
+#: Bulk clause loading at encode time (repro.sat.solver begin_bulk /
+#: end_bulk): "on" (default) stages each constraint family's clauses and
+#: lands them through one arena bulk allocation (and, in native mode, one
+#: k_load_clauses FFI call); "off" forces the per-clause add path.  Both
+#: produce byte-identical solver state; "off" exists for differential
+#: testing and the encode-throughput microbench.
+BULK_MODES = ("on", "off")
+
+#: Encoded-state template reuse (repro.sat.snapshot): "on" (default) lets
+#: synthesizers consult ``template_store`` (when one is attached) for a
+#: post-encode snapshot keyed by the instance's encode-relevant shape,
+#: skipping Python encoding on a hit; "off" always encodes from scratch.
+TEMPLATE_MODES = ("on", "off")
+
 #: Sentinel distinguishing "verbose was not passed" from any user value, so
 #: the removed kwarg can be rejected with a migration hint instead of the
 #: bare TypeError a plain unknown keyword would produce.
@@ -56,7 +70,7 @@ _VERBOSE_REMOVED = object()
 #: that cannot survive serialization; a deserialized config starts with
 #: both unset and callers re-attach what they need.  This is the one rule
 #: the service wire format, the tuning store, and bench reports share.
-NON_SERIALIZABLE_FIELDS = ("tracer", "progress_callback")
+NON_SERIALIZABLE_FIELDS = ("tracer", "progress_callback", "template_store")
 
 
 def _choice(name: str, value, valid) -> None:
@@ -138,8 +152,19 @@ class SynthesisConfig:
     # default None defers to the REPRO_SANITIZE environment variable
     # (off when unset).  A debugging knob: "full" is deliberately slow.
     sanitize: Optional[str] = None
+    # Encode-time bulk clause loading (see BULK_MODES).  Byte-identical to
+    # the per-clause path; "off" is a differential-testing/microbench knob.
+    encode_bulk: str = "on"
+    # Encoded-state template reuse (see TEMPLATE_MODES).  Only effective
+    # when a ``template_store`` is attached (the service worker pool and
+    # ParallelDescent do this themselves).
+    templates: str = "on"
     tracer: Optional[Any] = field(default=None, compare=False)
     progress_callback: Optional[Callable] = field(default=None, compare=False)
+    # Process-local repro.sat.snapshot.TemplateStore consulted by the
+    # synthesizers when ``templates == "on"``.  Like the tracer, it holds
+    # live state (snapshot bytes, hit counters) and never crosses a wire.
+    template_store: Optional[Any] = field(default=None, compare=False)
     # Removed knob: accepted only so the rejection can name the replacement.
     verbose: InitVar[Any] = _VERBOSE_REMOVED
 
@@ -158,6 +183,8 @@ class SynthesisConfig:
         _choice("subarch mode", self.subarch, SUBARCH_MODES)
         _choice("simplify mode", self.simplify, SIMPLIFY_MODES)
         _choice("sanitize mode", self.sanitize, SANITIZE_MODES)
+        _choice("encode_bulk mode", self.encode_bulk, BULK_MODES)
+        _choice("templates mode", self.templates, TEMPLATE_MODES)
         if self.subarch_candidates < 1:
             raise ValueError("subarch candidate count must be >= 1")
         # Validate kernel choice *and* availability up front: asking for

@@ -27,6 +27,7 @@ more time steps — the solver (and everything it has learned) survives.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..arch.coupling import CouplingGraph
@@ -104,6 +105,13 @@ class LayoutEncoder:
             if len(set(initial_mapping)) != len(initial_mapping):
                 raise ValueError("initial mapping must be injective")
         self.initial_mapping = initial_mapping
+        # Bulk clause loading (config.encode_bulk): each constraint family
+        # stages its clauses and lands them through one arena bulk alloc.
+        # Only a Solver sink has the staging API; CNF sinks (certify) keep
+        # the plain per-clause path.
+        self._bulk = self.config.encode_bulk != "off" and isinstance(
+            self.ctx.sink, Solver
+        )
 
         self.pi: List[List] = []  # [q][t] -> domain var over P
         self.time: List[StepVar] = []  # [g] -> extensible step var
@@ -145,6 +153,7 @@ class LayoutEncoder:
         if self._encoded:
             return self
         self._encoded = True
+        started = time.monotonic()
         with self.tracer.span(
             "encode",
             horizon=self.horizon,
@@ -166,6 +175,13 @@ class LayoutEncoder:
             self._traced("swap_swap_exclusion", self._encode_swap_swap_exclusion)
             self._configure_simplify()
             span.set(n_vars=self.ctx.n_vars, n_clauses=self.ctx.num_clauses)
+        sink = self.ctx.sink
+        if isinstance(sink, Solver):
+            # Encode-side wall clock (the counterpart of solve_wall_sec,
+            # which solve() accumulates): replaying onto a restored
+            # snapshot also lands here, so a template hit shows up as a
+            # near-zero encode share instead of a missing one.
+            sink.stats.encode_wall_sec += time.monotonic() - started
         return self
 
     def _configure_simplify(self) -> None:
@@ -187,6 +203,11 @@ class LayoutEncoder:
         sink = self.ctx.sink
         if not isinstance(sink, Solver):
             return
+        if sink.replaying:
+            # Snapshot restore: the encode-time pass already ran (and its
+            # effects are in the restored state); re-running it would
+            # diverge the restored solver from the one that was snapshot.
+            return
         mode = self.config.simplify
         sink.inprocessing = mode != SIMPLIFY_OFF
         if mode == SIMPLIFY_OFF:
@@ -206,10 +227,24 @@ class LayoutEncoder:
 
     def _traced(self, family: str, build) -> None:
         """Run one constraint-family builder under a span that records the
-        variable/clause counts it contributed."""
+        variable/clause counts it contributed.
+
+        With bulk loading on, the family's clauses are staged and flushed
+        at the family boundary — inside this method, so the span's clause
+        delta still sees the landed count.  Replay mode (snapshot restore)
+        skips staging: add_clause is a no-op there.
+        """
         with self.tracer.span("encode." + family) as span:
             v0, c0 = self.ctx.n_vars, self.ctx.num_clauses
-            build()
+            sink = self.ctx.sink
+            if self._bulk and not sink.replaying:
+                sink.begin_bulk()
+                try:
+                    build()
+                finally:
+                    sink.end_bulk()
+            else:
+                build()
             span.set(vars=self.ctx.n_vars - v0, clauses=self.ctx.num_clauses - c0)
 
     def _make_variables(self) -> None:
@@ -458,16 +493,27 @@ class LayoutEncoder:
             return True
         if not self._supports_extension():
             return False
+        started = time.monotonic()
         with self.tracer.span(
             "extend", old_horizon=self.horizon, new_horizon=new_horizon
         ) as span:
             v0, c0 = self.ctx.n_vars, self.ctx.num_clauses
-            self._extend_to(new_horizon)
+            sink = self.ctx.sink
+            if self._bulk and not sink.replaying:
+                sink.begin_bulk()
+                try:
+                    self._extend_to(new_horizon)
+                finally:
+                    sink.end_bulk()
+            else:
+                self._extend_to(new_horizon)
             span.set(vars=self.ctx.n_vars - v0, clauses=self.ctx.num_clauses - c0)
         self.journal.append(("extend", new_horizon))
         # The new steps' clauses have never been simplified; re-run the
         # bounded encode-time pass over the grown formula.
         self._configure_simplify()
+        if isinstance(sink, Solver):
+            sink.stats.encode_wall_sec += time.monotonic() - started
         return True
 
     def _extend_to(self, new_h: int) -> None:

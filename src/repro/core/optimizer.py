@@ -146,6 +146,10 @@ class IterativeSynthesizer:
         # bounds and warm upper bounds, surfaced in solver_stats so the
         # benchmarks can report how tight the search started.
         self.interval: dict = {}
+        # Encoded-state template traffic of this synthesizer (see
+        # repro.sat.snapshot): hits restored a snapshot instead of
+        # encoding, stores snapshot a fresh encode for later reuse.
+        self.template_events = {"hits": 0, "misses": 0, "stored": 0}
 
     # -- helpers ---------------------------------------------------------
 
@@ -163,6 +167,103 @@ class IterativeSynthesizer:
             return max(2, math.ceil(t_ub / 4))
         return max(2, depth_upper_bound(self.circuit, self.config.tub_ratio))
 
+    def _template_eligible(self) -> bool:
+        """Whether encoded-state templates may serve/capture this build.
+
+        Requires an attached store and the plain :class:`LayoutEncoder`
+        with a default context: subclasses and injected contexts can
+        allocate differently from the encode that produced a snapshot, and
+        ``certify`` needs a proof log anchored at the clause additions
+        (snapshots refuse proof logging).
+        """
+        return (
+            self.config.templates == "on"
+            and self.config.template_store is not None
+            and not self.config.certify
+            and self.encoder_cls is LayoutEncoder
+            and "ctx" not in self.encoder_kwargs
+        )
+
+    def _encoder_from_template(self, horizon: int) -> Optional[LayoutEncoder]:
+        """Restore + replay an encoder from a stored snapshot, or None."""
+        from ..sat.snapshot import restore_solver
+        from .templates import template_key
+
+        store = self.config.template_store
+        key = template_key(
+            self.circuit,
+            self.device,
+            horizon,
+            self.config,
+            transition_based=self.transition_based,
+            initial_mapping=self.encoder_kwargs.get("initial_mapping"),
+        )
+        blob = store.get(key)
+        if blob is None:
+            self.template_events["misses"] += 1
+            return None
+        solver = restore_solver(
+            blob, kernel=self.config.kernel, sanitize=self.config.sanitize
+        )
+        # Replay the builders over the restored formula: new_var hands the
+        # existing variables back in order, add_clause drops clauses, and
+        # the encoder's Python-side objects (domain vars, step vars,
+        # selector lists, activation literal) come out exactly as the
+        # original encode left them.
+        solver.begin_replay()
+        try:
+            encoder = self.encoder_cls(
+                self.circuit,
+                self.device,
+                horizon,
+                config=self.config,
+                transition_based=self.transition_based,
+                tracer=self.tracer,
+                ctx=SMTContext(sink=solver),
+                **{
+                    k: v
+                    for k, v in self.encoder_kwargs.items()
+                    if k != "ctx"
+                },
+            )
+            encoder.encode()
+        finally:
+            replayed = solver.end_replay()
+        if replayed != solver.n_vars:
+            # The replay allocated a different variable count than the
+            # snapshot holds: the builders diverged from the encode that
+            # produced it (a template_key bug).  Fail loudly — silently
+            # re-encoding would mask unsound reuse.
+            raise AssertionError(
+                f"template replay allocated {replayed} of {solver.n_vars} "
+                "snapshot variables; template_key is missing an "
+                "encode-relevant input"
+            )
+        self.template_events["hits"] += 1
+        return encoder
+
+    def _store_template(self, encoder: LayoutEncoder, horizon: int) -> None:
+        """Snapshot a freshly encoded solver into the template store."""
+        from ..sat.snapshot import SnapshotUnsupported, snapshot_solver
+        from .templates import template_key
+
+        if not isinstance(encoder.ctx.sink, Solver):
+            return
+        try:
+            blob = snapshot_solver(encoder.ctx.sink)
+        except SnapshotUnsupported:
+            return
+        key = template_key(
+            self.circuit,
+            self.device,
+            horizon,
+            self.config,
+            transition_based=self.transition_based,
+            initial_mapping=self.encoder_kwargs.get("initial_mapping"),
+        )
+        self.config.template_store.put(key, blob)
+        self.template_events["stored"] += 1
+
     def _build_encoder(self, horizon: int) -> LayoutEncoder:
         kwargs = dict(self.encoder_kwargs)
         if self.config.certify and "ctx" not in kwargs:
@@ -178,16 +279,25 @@ class IterativeSynthesizer:
                     sanitize=self.config.sanitize,
                 )
             )
-        encoder = self.encoder_cls(
-            self.circuit,
-            self.device,
-            horizon,
-            config=self.config,
-            transition_based=self.transition_based,
-            tracer=self.tracer,
-            **kwargs,
-        )
-        encoder.encode()
+        encoder = None
+        template_ok = self._template_eligible()
+        if template_ok:
+            encoder = self._encoder_from_template(horizon)
+        if encoder is None:
+            encoder = self.encoder_cls(
+                self.circuit,
+                self.device,
+                horizon,
+                config=self.config,
+                transition_based=self.transition_based,
+                tracer=self.tracer,
+                **kwargs,
+            )
+            encoder.encode()
+            if template_ok:
+                # Snapshot before share attach and warm-start seeding: both
+                # are re-applied for real on the restore path too.
+                self._store_template(encoder, horizon)
         if self.share is not None and isinstance(encoder.ctx.sink, Solver):
             # A rebuild at a larger horizon renumbers the base prefix, so
             # each encoder gets a fresh client keyed to its own numbering;
@@ -348,6 +458,8 @@ class IterativeSynthesizer:
         result._raw_swaps = raw_swaps
         if self.interval:
             result.solver_stats["interval"] = dict(self.interval)
+        if any(self.template_events.values()):
+            result.solver_stats["templates"] = dict(self.template_events)
         return result
 
     # -- depth optimization --------------------------------------------------

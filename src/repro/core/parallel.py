@@ -44,8 +44,14 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import longest_chain_length
 from ..sat.result import SatResult
 from ..sat.sharing import SharedClauseRing, ShareRelay
+from ..sat.snapshot import (
+    SnapshotUnsupported,
+    TemplateStore,
+    snapshot_solver,
+)
 from ..sat.solver import Solver
 from ..telemetry import NULL_TRACER
+from .encoder import LayoutEncoder
 from .interface import check_initial_mapping, check_objective
 from .optimizer import (
     IterativeSynthesizer,
@@ -54,6 +60,7 @@ from .optimizer import (
 )
 from .portfolio import PortfolioEntry, default_portfolio
 from .result import SynthesisResult
+from .templates import template_key
 from .validator import is_valid, validate_result
 
 # Command tuples: ("probe", phase, depth_bound, swap_bound, counter_max)
@@ -71,6 +78,7 @@ def _worker_stats(synth: IterativeSynthesizer) -> dict:
     if share is not None:
         for k, v in share.stats.as_dict().items():
             stats["share_" + k] = v
+    stats["template_hits"] = synth.template_events["hits"]
     return stats
 
 
@@ -89,6 +97,7 @@ def _descent_worker(
     endpoint,
     slice_budget: float,
     deadline: float,
+    template=None,
 ) -> None:
     """Probe server: answer bounded feasibility questions until told to stop.
 
@@ -102,8 +111,18 @@ def _descent_worker(
     coordinator only ever sees full-device schedules.  The achieved bounds
     are computed *before* translation (translation preserves depth and
     SWAP count exactly).
+
+    ``template`` is an optional ``(key, blob)`` encoded-state snapshot the
+    coordinator pre-encoded for this worker's instance shape (see
+    :func:`ParallelDescent._prepare_templates`): it is seeded into a
+    single-entry template store so the initial ``_build_encoder`` restores
+    a clone instead of re-encoding the formula from scratch.
     """
     try:
+        if template is not None:
+            store = TemplateStore(max_entries=1)
+            store.put(template[0], template[1])
+            config = config.replace(template_store=store)
         synth = IterativeSynthesizer(
             circuit,
             device,
@@ -354,6 +373,7 @@ class ParallelDescent:
         started = time.monotonic()
         self._interval = {}
         self._assign_regions(circuit, device, mapping)
+        templates = self._prepare_templates(circuit, device, mapping)
         ctx = (
             mp.get_context("fork")
             if "fork" in mp.get_all_start_methods()
@@ -410,7 +430,8 @@ class ParallelDescent:
                           circuit, worker_device, region,
                           None if region is None else device,
                           mapping, cmd_qs[wid], res_q,
-                          endpoints[wid], self.slice_budget, worker_deadline),
+                          endpoints[wid], self.slice_budget, worker_deadline,
+                          templates[wid]),
                     daemon=True,
                 )
             )
@@ -483,6 +504,9 @@ class ParallelDescent:
             "conflicts": sum(
                 s.get("conflicts", 0) for s in per_worker.values()
             ),
+            "template_hits": sum(
+                s.get("template_hits", 0) for s in per_worker.values()
+            ),
             "per_worker": per_worker,
         }
         if relay is not None:
@@ -545,6 +569,72 @@ class ParallelDescent:
             self._regions[wid] = candidate.qubits
             self._region_graphs[wid] = candidate.graph
             self._prover_wids.discard(wid)
+
+    def _prepare_templates(
+        self, circuit, device, mapping
+    ) -> List[Optional[Tuple[tuple, bytes]]]:
+        """Pre-encode one snapshot per shared instance shape.
+
+        Workers used to rebuild the same formula independently — pure
+        Python encoding, done N times, which is what turned the parallel
+        scaling negative once propagation moved into the compiled kernel.
+        Here the coordinator groups workers by their encode key (portfolio
+        entries differing only in post-encode knobs such as ``cardinality``
+        share one), encodes each multi-member group's formula **once**, and
+        ships the snapshot to every member; singleton groups keep encoding
+        locally (a coordinator pre-encode would only serialize their work).
+        Returns a per-wid list of ``(key, blob)`` or ``None``.
+        """
+        n = len(self.entries)
+        templates: List[Optional[Tuple[tuple, bytes]]] = [None] * n
+        groups: Dict[tuple, List[int]] = {}
+        for wid, entry in enumerate(self.entries):
+            cfg = entry.config
+            if cfg.templates != "on" or cfg.certify:
+                continue
+            worker_device = (
+                device if self._regions[wid] is None
+                else self._region_graphs[wid]
+            )
+            horizon = IterativeSynthesizer(
+                circuit,
+                worker_device,
+                config=cfg,
+                transition_based=entry.transition_based,
+            )._initial_horizon()
+            key = template_key(
+                circuit,
+                worker_device,
+                horizon,
+                cfg,
+                transition_based=entry.transition_based,
+                initial_mapping=mapping,
+            )
+            groups.setdefault(key, []).append(wid)
+        for key, wids in groups.items():
+            if len(wids) < 2:
+                continue
+            wid0 = wids[0]
+            entry = self.entries[wid0]
+            encoder = LayoutEncoder(
+                circuit,
+                device if self._regions[wid0] is None
+                else self._region_graphs[wid0],
+                # key[4] is the horizon the group's members agreed on.
+                key[4],
+                config=entry.config.replace(
+                    tracer=None, progress_callback=None
+                ),
+                transition_based=entry.transition_based,
+                initial_mapping=list(mapping) if mapping is not None else None,
+            ).encode()
+            try:
+                blob = snapshot_solver(encoder.ctx.sink)
+            except SnapshotUnsupported:  # pragma: no cover - defensive
+                continue
+            for wid in wids:
+                templates[wid] = (key, blob)
+        return templates
 
     def _attach_certificate(
         self, result, circuit, device, mapping, objective

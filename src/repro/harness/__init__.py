@@ -17,7 +17,7 @@ from .experiments import (
 )
 from .report import generate_report, markdown_table, write_report
 from .tables import average, format_table, geometric_mean, ratio
-from .tracing import trace_summary
+from .tracing import encode_solve_split, trace_summary
 
 __all__ = [
     "TABLE1_VARIANTS",
@@ -32,6 +32,7 @@ __all__ = [
     "run_speedup_summary",
     "print_experiment",
     "trace_summary",
+    "encode_solve_split",
     "format_table",
     "geometric_mean",
     "ratio",

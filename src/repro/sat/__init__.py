@@ -31,6 +31,12 @@ from .sharing import (
     clause_signature,
     key_hash,
 )
+from .snapshot import (
+    SnapshotUnsupported,
+    TemplateStore,
+    restore_solver,
+    snapshot_solver,
+)
 from .solver import Clause, Solver, SolverStats, luby
 from .types import (
     FALSE,
@@ -66,6 +72,10 @@ __all__ = [
     "ShmShareEndpoint",
     "clause_signature",
     "key_hash",
+    "SnapshotUnsupported",
+    "TemplateStore",
+    "restore_solver",
+    "snapshot_solver",
     "Solver",
     "SolverStats",
     "luby",

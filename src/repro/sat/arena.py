@@ -27,6 +27,7 @@ The arena deliberately knows nothing about solving — it is a typed heap.
 from __future__ import annotations
 
 from array import array
+from itertools import accumulate
 from typing import Iterable, List, Sequence, Union
 
 #: Trigger compaction when this fraction of ``lits`` is dead storage.
@@ -134,6 +135,39 @@ class ClauseArena:
         self.n_live += 1
         self.version += 1
         return cref
+
+    def alloc_bulk(self, flat: Sequence[int], sizes: Sequence[int]) -> range:
+        """Store many clauses at once; returns their (stable) references.
+
+        ``flat`` holds the literals of every clause back to back and
+        ``sizes`` the per-clause literal counts.  The layout and metadata
+        are exactly what a loop of :meth:`alloc` calls would have produced
+        for the same clauses on a fresh tail (problem clauses: not learnt,
+        lbd 0, spos 2), but the parallel arrays are extended once each and
+        ``version`` is bumped once instead of per clause.  Unlike
+        :meth:`alloc` this never reuses freed crefs — bulk loading is an
+        encode-time operation and runs before any clause has died.
+        """
+        n = len(sizes)
+        base = len(self.lits)
+        self.lits.extend(flat)
+        cref0 = len(self.start)
+        # accumulate(initial=base) yields base, base+s0, ... — the last
+        # element is the one-past-the-end offset, which no clause owns.
+        starts = list(accumulate(sizes, initial=base))
+        starts.pop()
+        self.start.extend(starts)
+        self.size.extend(sizes)
+        zeros = [0] * n
+        self.learnt.extend(zeros)
+        self.lbd.extend(zeros)
+        self.spos.extend([2] * n)
+        self.act.extend([0.0] * n)
+        self.tier.extend(zeros)
+        self.touch.extend(zeros)
+        self.n_live += n
+        self.version += 1
+        return range(cref0, cref0 + n)
 
     def free(self, cref: int) -> None:
         """Mark ``cref`` dead.  Its cref is recycled only after a purge."""

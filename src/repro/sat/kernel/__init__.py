@@ -27,6 +27,7 @@ BACKENDS: Tuple[str, ...] = ("auto", "python", "native")
 _native_mod: Optional[Any] = None
 _native_error: Optional[str] = None
 _probed = False
+_handles: Optional[Tuple[Any, Any]] = None
 
 
 def load_native() -> Optional[Any]:
@@ -45,6 +46,27 @@ def load_native() -> Optional[Any]:
         except ImportError as exc:
             _native_error = str(exc)
     return _native_mod
+
+
+def kernel_handles() -> Tuple[Any, Any]:
+    """The compiled extension's ``(ffi, lib)`` pair, cached at module level.
+
+    Every ``Solver(kernel="native")`` construction needs the pair; resolving
+    it through the module attributes on each construction re-walks the cffi
+    module wrapper, which shows up when parallel probes and pool workers
+    build solvers by the hundred.  Raises :class:`RuntimeError` when the
+    extension is not importable.
+    """
+    global _handles
+    if _handles is None:
+        mod = load_native()
+        if mod is None:
+            raise RuntimeError(
+                f"compiled kernel unavailable ({native_error()}); build it "
+                "with `python -m repro.sat.kernel.build`"
+            )
+        _handles = (mod.ffi, mod.lib)
+    return _handles
 
 
 def native_available() -> bool:

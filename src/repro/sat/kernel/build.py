@@ -43,6 +43,13 @@ void k_detach_bin(kernel_t *k, int32_t l0, int32_t l1);
 void k_attach_ter(kernel_t *k, int32_t l0, int32_t l1, int32_t l2);
 void k_detach_ter(kernel_t *k, int32_t l0, int32_t l1, int32_t l2);
 void k_attach_nary(kernel_t *k, int32_t cref, int32_t l0, int32_t l1);
+void k_load_clauses(kernel_t *k, int32_t cref0, int32_t n);
+int32_t k_normalize_clauses(kernel_t *k, const int32_t *flat,
+                            const int32_t *sizes, int32_t n,
+                            int32_t *out_flat, int32_t *out_sizes,
+                            int32_t *io);
+void k_load_list(kernel_t *k, int32_t which, int32_t lit, const int32_t *data,
+                 int32_t n);
 void k_purge_dead(kernel_t *k);
 int32_t k_copy_list(kernel_t *k, int32_t which, int32_t lit, int32_t *out,
                     int32_t cap);

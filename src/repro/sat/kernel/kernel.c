@@ -280,6 +280,128 @@ void k_purge_dead(kernel_t *k) {
     }
 }
 
+/* Bulk attach for clauses already loaded into the arena buffers
+ * (ClauseArena.alloc_bulk): walk crefs [cref0, cref0 + n) and mirror what a
+ * loop of k_attach_bin / k_attach_ter / k_attach_nary calls would have done,
+ * in the same order, without one FFI round trip per clause.  The caller must
+ * have rebound the arena (the bulk alloc bumps its version) before calling. */
+void k_load_clauses(kernel_t *k, int32_t cref0, int32_t n) {
+    const int32_t *alits = k->alits;
+    const int32_t *astart = k->astart;
+    const int32_t *asize = k->asize;
+    for (int32_t c = cref0; c < cref0 + n; c++) {
+        int32_t base = astart[c];
+        int32_t sz = asize[c];
+        int32_t l0 = alits[base];
+        int32_t l1 = alits[base + 1];
+        if (sz == 2) {
+            k_attach_bin(k, l0, l1);
+        } else if (sz == 3) {
+            k_attach_ter(k, l0, l1, alits[base + 2]);
+        } else {
+            k_attach_nary(k, c, l0, l1);
+        }
+    }
+}
+
+/* Encode-time clause normalization (Solver.add_clauses_bulk, native path):
+ * sort / dedup / tautology drop / level-0 strip against the bound assigns
+ * view, exactly mirroring the Python add_clause loop.  Consumes raw clauses
+ * io[0]..n-1 whose literals start at flat[io[1]]; surviving clauses with
+ * >= 2 literals are appended, sorted, to out_flat / out_sizes (write
+ * cursors io[2] / io[3], caller-sized: out_flat as large as flat, out_sizes
+ * as large as sizes).  Stops at the first unit or empty survivor so the
+ * caller can land the staged prefix and propagate at the exact point the
+ * per-clause path would have.  Returns 0 when every clause was consumed,
+ * 1 when a unit survived (written to io[4]), 2 on an empty clause (UNSAT).
+ * io is committed on every return, so the caller just re-calls to resume. */
+int32_t k_normalize_clauses(kernel_t *k, const int32_t *flat,
+                            const int32_t *sizes, int32_t n,
+                            int32_t *out_flat, int32_t *out_sizes,
+                            int32_t *io) {
+    const int8_t *assigns = k->assigns;
+    int32_t idx = io[0];
+    int32_t pos = io[1];
+    int32_t oflat = io[2];
+    int32_t osz = io[3];
+    while (idx < n) {
+        int32_t sz = sizes[idx];
+        int32_t *s = out_flat + oflat; /* scratch: normalize in place */
+        for (int32_t i = 0; i < sz; i++)
+            s[i] = flat[pos + i];
+        /* insertion sort: encoding clauses are short (2-3 dominate) */
+        for (int32_t i = 1; i < sz; i++) {
+            int32_t key = s[i];
+            int32_t j = i - 1;
+            while (j >= 0 && s[j] > key) {
+                s[j + 1] = s[j];
+                j--;
+            }
+            s[j + 1] = key;
+        }
+        idx++;
+        pos += sz;
+        /* Complement literals differ only in the low bit, so after the
+         * sort any duplicate or tautology pair sits adjacent among the
+         * kept literals — prev alone carries the whole seen-set. */
+        int32_t m = 0;
+        int32_t prev = -2;
+        int32_t drop = 0;
+        for (int32_t i = 0; i < sz; i++) {
+            int32_t lit = s[i];
+            if (lit == prev)
+                continue; /* duplicate */
+            if (lit == (prev ^ 1) && prev >= 0) {
+                drop = 1; /* tautology */
+                break;
+            }
+            int8_t v = assigns[lit];
+            if (v > 0) {
+                drop = 1; /* satisfied at level 0 */
+                break;
+            }
+            if (v == 0)
+                continue; /* falsified at level 0: strip */
+            s[m++] = lit;
+            prev = lit;
+        }
+        if (drop)
+            continue;
+        if (m >= 2) {
+            oflat += m;
+            out_sizes[osz++] = m;
+            continue;
+        }
+        io[0] = idx;
+        io[1] = pos;
+        io[2] = oflat;
+        io[3] = osz;
+        if (m == 1) {
+            io[4] = s[0];
+            return 1;
+        }
+        return 2; /* empty clause */
+    }
+    io[0] = idx;
+    io[1] = pos;
+    io[2] = oflat;
+    io[3] = osz;
+    return 0;
+}
+
+/* Restore one per-literal watch list verbatim (snapshot restore): replaces
+ * the list's contents with exactly ``data[0..n)``, in order.  The inverse of
+ * k_copy_list. */
+void k_load_list(kernel_t *k, int32_t which, int32_t lit, const int32_t *data,
+                 int32_t n) {
+    k_ensure_lits(k, lit + 1);
+    vec_t *v = which == 0 ? &k->bin[lit] : which == 1 ? &k->ter[lit] : &k->nary[lit];
+    vec_reserve(v, n);
+    if (n)
+        memcpy(v->data, data, (size_t)n * sizeof(int32_t));
+    v->len = n;
+}
+
 /* Read-back for invariants and differential tests.
  * which: 0 = binary, 1 = ternary, 2 = n-ary.  Returns the list length;
  * copies min(len, cap) entries into out. */

@@ -45,7 +45,16 @@ from __future__ import annotations
 import os
 import time
 from array import array
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .arena import ClauseArena, FloatBuf, IntBuf
 from .preprocess import ModelReconstructor
@@ -128,6 +137,8 @@ class SolverStats:
         "subsumed_clauses",
         "strengthened_clauses",
         "eliminated_vars",
+        "encode_wall_sec",
+        "solve_wall_sec",
         "lbd_counts",
         "kernel",
     )
@@ -136,6 +147,11 @@ class SolverStats:
     #: per-solve telemetry can diff it (``lbd_counts`` is a histogram,
     #: ``kernel`` a backend name string).
     _NON_SCALAR = frozenset({"lbd_counts", "kernel"})
+
+    #: Wall-clock slots (floats, nondeterministic): part of snapshots and
+    #: telemetry deltas, but excluded by the differential tests when they
+    #: compare two solvers' stats for byte-identical search behaviour.
+    WALL_CLOCK = frozenset({"encode_wall_sec", "solve_wall_sec"})
 
     def __init__(self) -> None:
         self.conflicts = 0
@@ -161,6 +177,12 @@ class SolverStats:
         self.subsumed_clauses = 0
         self.strengthened_clauses = 0
         self.eliminated_vars = 0
+        # Wall-clock split: seconds spent building the formula (accumulated
+        # by the encoder while it owns this solver as its sink) vs seconds
+        # inside solve().  Together they answer "is this workload
+        # encode-bound or search-bound?" per solver instance.
+        self.encode_wall_sec = 0.0
+        self.solve_wall_sec = 0.0
         # LBD value -> number of clauses learnt with that LBD (cumulative).
         self.lbd_counts: dict = {}
         # The propagation/analysis backend actually driving this solver
@@ -363,7 +385,7 @@ class Solver:
         # array buffers and runs propagate/analyze in the
         # compiled kernel over those buffers zero-copy.  Both backends are
         # byte-for-byte equivalent (same trail, learnts, proof log).
-        from .kernel import load_native, resolve_backend
+        from .kernel import kernel_handles, resolve_backend
 
         self.kernel = resolve_backend(kernel)
         native = self.kernel == "native"
@@ -371,9 +393,11 @@ class Solver:
         self._k_lib: Any = None
         self._kern: Any = None
         if native:
-            mod = load_native()
-            assert mod is not None  # resolve_backend guarantees it
-            ffi, lib = mod.ffi, mod.lib
+            # The (ffi, lib) pair is cached at module level: parallel probes
+            # and pool workers construct solvers by the hundred, and
+            # re-deriving the handles from the extension module on each
+            # construction is measurable overhead for nothing.
+            ffi, lib = kernel_handles()
             self._k_ffi = ffi
             self._k_lib = lib
             self._kern = ffi.gc(lib.k_new(), lib.k_free)
@@ -516,6 +540,18 @@ class Solver:
         self._eliminated: Set[int] = set()
         # Witness stack extending models over eliminated variables.
         self._recon: Optional[ModelReconstructor] = None
+        # Bulk-load staging (begin_bulk/end_bulk): when set, add_clause
+        # appends raw literals here and end_bulk lands everything through
+        # add_clauses_bulk in emission order.
+        self._bulk_staged: Optional[Tuple[List[int], List[int]]] = None
+        # Encode replay (begin_replay/end_replay): after restoring an
+        # encoded-state snapshot the encoder re-runs its builders purely to
+        # reconstruct *Python-side* objects (domain vars, literal tables).
+        # During replay new_var hands back the already-allocated variables
+        # in order and add_clause drops clauses (they are all in the
+        # restored arena).  ``None`` means off; otherwise the next variable
+        # index to replay.
+        self._replay_cursor: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -523,6 +559,13 @@ class Solver:
 
     def new_var(self) -> int:
         """Allocate a fresh variable and return its index."""
+        cursor = self._replay_cursor
+        if cursor is not None:
+            # Replay mode: the variable already exists (snapshot restore);
+            # hand indices back in the original allocation order.
+            assert cursor < self.n_vars, "replay allocated past the snapshot"
+            self._replay_cursor = cursor + 1
+            return cursor
         v = self.n_vars
         self.n_vars += 1
         self.watches.append([])
@@ -561,6 +604,18 @@ class Solver:
         if not self.ok:
             return False
         assert not self.trail_lim, "clauses may only be added at level 0"
+        if self._replay_cursor is not None:
+            # Replay mode: the clause is already stored (snapshot restore).
+            return self.ok
+        staged = self._bulk_staged
+        if staged is not None:
+            # Bulk mode (begin_bulk/end_bulk): record the raw clause and
+            # defer everything — normalization, proof lines, storage,
+            # attachment, unit propagation — to end_bulk, which replays the
+            # staged clauses in this exact emission order.
+            staged[0].extend(lits)
+            staged[1].append(len(lits))
+            return self.ok
         if self._sanitizer is not None and self.proof is not None:
             # The proof discipline checker needs the original clause in its
             # shadow database *before* any "a"/"d" line can reference it.
@@ -600,6 +655,400 @@ class Solver:
         for lits in clause_list:
             ok = self.add_clause(lits) and ok
         return ok
+
+    def begin_bulk(self) -> None:
+        """Enter bulk-load staging: subsequent :meth:`add_clause` calls are
+        buffered as flat literals and landed together by :meth:`end_bulk`.
+
+        The final solver state is byte-identical to immediate per-clause
+        adds (end_bulk processes the staged clauses in emission order with
+        add_clause's exact semantics), but storage and watch attachment
+        happen in bulk.  Nesting is not supported; reads of clause counts
+        or level-0 truth values made *between* begin and end see the
+        pre-staging state.
+        """
+        assert self._bulk_staged is None, "bulk staging does not nest"
+        self._bulk_staged = ([], [])
+
+    def end_bulk(self) -> bool:
+        """Land every clause staged since :meth:`begin_bulk`; returns
+        ``False`` if the formula became trivially UNSAT."""
+        staged = self._bulk_staged
+        self._bulk_staged = None
+        if staged is None:
+            return self.ok
+        return self.add_clauses_bulk(staged[0], staged[1])
+
+    def begin_replay(self) -> None:
+        """Enter encode-replay mode (snapshot restore).
+
+        While replaying, :meth:`new_var` returns the already-allocated
+        variables in their original order and :meth:`add_clause` is a
+        no-op: the encoder re-runs its builders only to rebuild Python-side
+        bookkeeping (domain variables, literal tables, selector lists) on
+        top of a restored solver whose formula is already complete.
+        """
+        assert self._bulk_staged is None, "cannot replay inside bulk staging"
+        assert self._replay_cursor is None, "replay does not nest"
+        self._replay_cursor = 0
+
+    def end_replay(self) -> int:
+        """Leave replay mode; returns how many variables were replayed.
+
+        Callers should check the count against :attr:`n_vars` — a replay
+        that allocates fewer variables than the snapshot holds means the
+        builders diverged from the encode that produced it.
+        """
+        cursor = self._replay_cursor
+        assert cursor is not None, "end_replay without begin_replay"
+        self._replay_cursor = None
+        return cursor
+
+    @property
+    def replaying(self) -> bool:
+        """True while :meth:`begin_replay` is active."""
+        return self._replay_cursor is not None
+
+    def add_clauses_bulk(self, flat: Sequence[int], sizes: Sequence[int]) -> bool:
+        """Bulk-load problem clauses from a flat literal buffer.
+
+        ``flat`` holds the literals of every clause back to back, ``sizes``
+        the per-clause literal counts.  Semantically identical to a loop of
+        :meth:`add_clause` calls over the same clauses — same normalization
+        (sort / dedup / tautology drop / level-0 strip), same unit
+        propagation points, same proof lines, same final solver state — but
+        the surviving clauses land in the arena through one
+        :meth:`ClauseArena.alloc_bulk` per run of non-unit clauses, and in
+        native mode their watches attach through a single ``k_load_clauses``
+        call instead of one FFI round trip per clause.
+        """
+        assert not self.trail_lim, "clauses may only be added at level 0"
+        sanitizer = self._sanitizer
+        proof = self.proof
+        assigns = self.assigns_lit
+        staged: List[int] = []
+        staged_sizes: List[int] = []
+        pos = 0
+        if proof is None and self._kern is not None and self.TERNARY_SPECIAL:
+            # Native hot path: normalization runs in C against the bound
+            # assigns view (k_normalize_clauses), stopping at each unit so
+            # propagation happens at the exact per-clause points.
+            return self._add_clauses_bulk_native(flat, sizes)
+        if proof is None:
+            # Hot path (no proof logging): clauses of size 1-3 dominate
+            # layout encodings (>90% of the queko formula), and for those
+            # the sort/dedup/tautology/level-0 normalization reduces to a
+            # handful of comparisons — no slice, no sorted(), no set.
+            # Every branch below lands the exact literals the generic
+            # loop would have produced, in the same order.
+            sap = staged.append
+            ssap = staged_sizes.append
+            true_ = TRUE
+            false_ = FALSE
+            for sz in sizes:
+                if sz == 3:
+                    a = flat[pos]
+                    b = flat[pos + 1]
+                    c = flat[pos + 2]
+                    pos += 3
+                    if b < a:
+                        a, b = b, a
+                    if c < b:
+                        b, c = c, b
+                        if b < a:
+                            a, b = b, a
+                    # Sorted triple: any tautology pair is adjacent
+                    # (complements differ only in the low bit, so nothing
+                    # can sort between them).
+                    if b == (a ^ 1) or c == (b ^ 1):
+                        continue
+                    va = assigns[a]
+                    vb = assigns[b]
+                    vc = assigns[c]
+                    if va == true_ or vb == true_ or vc == true_:
+                        continue
+                    n_out = 0
+                    if va != false_:
+                        l0 = a
+                        n_out = 1
+                    if b != a and vb != false_:
+                        if n_out:
+                            l1 = b
+                        else:
+                            l0 = b
+                        n_out += 1
+                    if c != b and vc != false_:
+                        if n_out == 0:
+                            l0 = c
+                        elif n_out == 1:
+                            l1 = c
+                        else:
+                            l2 = c
+                        n_out += 1
+                    if n_out == 3:
+                        sap(l0)
+                        sap(l1)
+                        sap(l2)
+                        ssap(3)
+                        continue
+                    if n_out == 2:
+                        sap(l0)
+                        sap(l1)
+                        ssap(2)
+                        continue
+                elif sz == 2:
+                    a = flat[pos]
+                    b = flat[pos + 1]
+                    pos += 2
+                    if b < a:
+                        a, b = b, a
+                    if b == (a ^ 1):
+                        continue  # tautology
+                    va = assigns[a]
+                    vb = assigns[b]
+                    if va == true_ or vb == true_:
+                        continue  # already satisfied at level 0
+                    n_out = 0
+                    if va != false_:
+                        l0 = a
+                        n_out = 1
+                    if b != a and vb != false_:
+                        if n_out:
+                            sap(l0)
+                            sap(b)
+                            ssap(2)
+                            continue
+                        l0 = b
+                        n_out = 1
+                elif sz == 1:
+                    l0 = flat[pos]
+                    pos += 1
+                    va = assigns[l0]
+                    if va == true_:
+                        continue
+                    n_out = 0 if va == false_ else 1
+                else:
+                    # Rare sizes: generic normalization, same as the
+                    # proof-logging loop below.
+                    clause = flat[pos : pos + sz]
+                    pos += sz
+                    out: List[int] = []
+                    seen_here: Set[int] = set()
+                    skip = False
+                    for lit in sorted(clause):
+                        if lit in seen_here:
+                            continue
+                        if (lit ^ 1) in seen_here:
+                            skip = True
+                            break
+                        val = assigns[lit]
+                        if val == true_:
+                            skip = True
+                            break
+                        if val == false_:
+                            continue
+                        seen_here.add(lit)
+                        out.append(lit)
+                    if skip:
+                        continue
+                    n_out = len(out)
+                    if n_out > 1:
+                        staged.extend(out)
+                        ssap(n_out)
+                        continue
+                    if n_out == 1:
+                        l0 = out[0]
+                if n_out == 0:
+                    self.ok = False
+                    break
+                # Unit survivor: flush so staged clauses are live before
+                # the unit propagates (matching the per-clause order).
+                self._flush_bulk(staged, staged_sizes)
+                self._unchecked_enqueue(l0, NO_CLAUSE)
+                self.ok = self._propagate() == NO_CLAUSE
+                if not self.ok:
+                    break
+            self._flush_bulk(staged, staged_sizes)
+            return self.ok
+        for sz in sizes:
+            if not self.ok:
+                break
+            clause = flat[pos : pos + sz]
+            pos += sz
+            if sanitizer is not None and proof is not None:
+                sanitizer.note_input_clause(clause)
+            out: List[int] = []
+            seen_here: Set[int] = set()
+            skip = False
+            for lit in sorted(clause):
+                if lit in seen_here:
+                    continue
+                if (lit ^ 1) in seen_here:
+                    skip = True  # tautology
+                    break
+                val = assigns[lit]
+                if val == TRUE:
+                    skip = True  # already satisfied at level 0
+                    break
+                if val == FALSE:
+                    continue  # falsified at level 0; drop literal
+                seen_here.add(lit)
+                out.append(lit)
+            if skip:
+                continue
+            if proof is not None and sorted(out) != sorted(set(clause)):
+                proof.append(("a", tuple(out)))
+            if not out:
+                self.ok = False
+                break
+            if len(out) == 1:
+                # Staged clauses must be live before the unit propagates:
+                # the per-clause path attaches each clause before the next
+                # unit's propagation can walk its watches.
+                self._flush_bulk(staged, staged_sizes)
+                self._unchecked_enqueue(out[0], NO_CLAUSE)
+                self.ok = self._propagate() == NO_CLAUSE
+                if not self.ok and proof is not None:
+                    proof.append(("a", ()))
+                continue
+            staged.extend(out)
+            staged_sizes.append(len(out))
+        self._flush_bulk(staged, staged_sizes)
+        return self.ok
+
+    def _add_clauses_bulk_native(self, flat: Sequence[int], sizes: Sequence[int]) -> bool:
+        """Native-kernel bulk load: C-side normalization + bulk attach.
+
+        Semantically identical to the pure-Python loops in
+        :meth:`add_clauses_bulk` (``k_normalize_clauses`` mirrors the
+        add_clause normalization literal for literal), but the per-clause
+        sort/dedup/level-0 work runs in C over typed buffers and control
+        only returns to Python at unit boundaries and for the final flush.
+        Only used when proof logging is off — proof lines depend on the
+        pre-normalization literals, which the C path does not report.
+        """
+        if not self.ok:
+            return False
+        ffi, lib = self._k_ffi, self._k_lib
+        n = len(sizes)
+        flat_buf = (
+            flat
+            if isinstance(flat, array) and flat.typecode == "i"
+            else array("i", flat)
+        )
+        sizes_buf = (
+            sizes
+            if isinstance(sizes, array) and sizes.typecode == "i"
+            else array("i", sizes)
+        )
+        # The C normalizer compacts survivors in place into out_flat, so
+        # its capacity requirement is exactly len(flat) (kept literals of
+        # finished clauses plus the scratch copy of the current clause
+        # never exceed the raw cursor).
+        out_flat = array("i", bytes(4 * len(flat_buf)))
+        out_sizes = array("i", bytes(4 * n))
+        p_flat = ffi.cast("const int32_t *", _addr(flat_buf))
+        p_sizes = ffi.cast("const int32_t *", _addr(sizes_buf))
+        p_oflat = ffi.cast("int32_t *", _addr(out_flat))
+        p_osizes = ffi.cast("int32_t *", _addr(out_sizes))
+        io = ffi.new("int32_t[5]")
+        self._k_sync()  # bind assigns before C reads level-0 truth values
+        fo = fs = 0  # flushed-prefix cursors into the out buffers
+        while True:
+            rc = lib.k_normalize_clauses(
+                self._kern, p_flat, p_sizes, n, p_oflat, p_osizes, io
+            )
+            # Land the staged prefix first: clauses must be live before
+            # the next unit propagates (matching the per-clause order).
+            self._flush_bulk_range(out_flat, fo, io[2], out_sizes, fs, io[3])
+            fo, fs = io[2], io[3]
+            if rc == 0:
+                return self.ok
+            if rc == 2:
+                self.ok = False
+                return False
+            self._unchecked_enqueue(io[4], NO_CLAUSE)
+            self.ok = self._propagate() == NO_CLAUSE
+            if not self.ok:
+                return False
+
+    def _flush_bulk_range(
+        self,
+        out_flat: "array[int]",
+        lo: int,
+        hi: int,
+        out_sizes: "array[int]",
+        slo: int,
+        shi: int,
+    ) -> None:
+        """Land normalized clauses ``out_sizes[slo:shi]`` (literals
+        ``out_flat[lo:hi]``): one arena bulk alloc, Python bin/ter watch
+        mirrors, and one native attach call."""
+        if slo == shi:
+            return
+        chunk = out_flat[lo:hi]
+        sizes_chunk = out_sizes[slo:shi]
+        crefs = self.arena.alloc_bulk(chunk, sizes_chunk)
+        self.clauses.extend(crefs)
+        wb = self.watches_bin
+        wt = self.watches_ter
+        base = 0
+        for sz in sizes_chunk:
+            if sz == 2:
+                l0 = chunk[base]
+                l1 = chunk[base + 1]
+                wb[l0 ^ 1].append(l1)
+                wb[l1 ^ 1].append(l0)
+            elif sz == 3:
+                l0 = chunk[base]
+                l1 = chunk[base + 1]
+                l2 = chunk[base + 2]
+                wt[l0 ^ 1].extend((l1, l2))
+                wt[l1 ^ 1].extend((l0, l2))
+                wt[l2 ^ 1].extend((l0, l1))
+            base += sz
+        # alloc_bulk bumped arena.version; rebind before the kernel walks
+        # the new cref range.
+        self._k_sync()
+        self._k_lib.k_load_clauses(self._kern, crefs.start, len(crefs))
+
+    def _flush_bulk(self, staged: List[int], staged_sizes: List[int]) -> None:
+        """Land staged (already normalized) clauses: one arena bulk alloc,
+        python bin/ter watch mirrors, and one native attach call."""
+        if not staged_sizes:
+            return
+        crefs = self.arena.alloc_bulk(staged, staged_sizes)
+        self.clauses.extend(crefs)
+        if self._kern is not None and self.TERNARY_SPECIAL:
+            # alloc_bulk laid the clauses out in staging order, so the
+            # bin/ter Python mirrors can be built straight from the local
+            # staged buffer without touching the arena again.
+            wb = self.watches_bin
+            wt = self.watches_ter
+            base = 0
+            for sz in staged_sizes:
+                if sz == 2:
+                    l0 = staged[base]
+                    l1 = staged[base + 1]
+                    wb[l0 ^ 1].append(l1)
+                    wb[l1 ^ 1].append(l0)
+                elif sz == 3:
+                    l0 = staged[base]
+                    l1 = staged[base + 1]
+                    l2 = staged[base + 2]
+                    wt[l0 ^ 1].extend((l1, l2))
+                    wt[l1 ^ 1].extend((l0, l2))
+                    wt[l2 ^ 1].extend((l0, l1))
+                base += sz
+            # alloc_bulk bumped arena.version, so this rebinds the arena
+            # views before the kernel walks the new cref range.
+            self._k_sync()
+            self._k_lib.k_load_clauses(self._kern, crefs.start, len(crefs))
+        else:
+            for cref in crefs:
+                self._attach(cref)
+        staged.clear()
+        staged_sizes.clear()
 
     def clause_literals(self, cref: int) -> List[int]:
         """The literals of clause ``cref`` (a fresh list)."""
@@ -1512,6 +1961,9 @@ class Solver:
         self, result: SatResult, before: Optional[dict], started: float
     ) -> SatResult:
         """Emit the per-solve stats snapshot (when a tracer is attached)."""
+        # Accumulate before the tracer snapshot so the emitted cumulative
+        # includes this call and d_solve_wall_sec is this call's wall time.
+        self.stats.solve_wall_sec += time.monotonic() - started
         if self.tracer is not None:
             after = self.stats.snapshot()
             attrs = {"result": result.value, "time": time.monotonic() - started}

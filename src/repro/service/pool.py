@@ -19,6 +19,14 @@ survives:
   a cross-request bank opens: ``share_key`` alone pins circuit *shape*
   (gate count, qubit counts), which is enough inside a single-formula
   portfolio but not across different circuits of identical shape.
+* **template store** — post-encode solver snapshots keyed by the exact
+  encode inputs (:func:`repro.core.templates.template_key`).  A cache
+  *miss* on a circuit/device/horizon shape the worker has encoded before
+  skips Python encoding entirely: the optimizer restores the snapshot
+  and replays variable numbering over it (see
+  :mod:`repro.sat.snapshot`).  Because the service dispatches circuits
+  in canonical label space, relabeled requests collapse onto one
+  template just as they collapse onto one cache entry.
 
 The bank pays off precisely where the result cache cannot: a re-request
 with a larger budget after a ``partial`` answer (partials are not
@@ -152,6 +160,7 @@ def run_job(
     job: Dict[str, Any],
     devices: Dict[str, Any],
     bank: ClauseBank,
+    templates: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Execute one solve job against warm caches; never raises.
 
@@ -159,6 +168,8 @@ def run_job(
     both paths have identical semantics.  ``job`` is the wire dict built
     by the server (canonical-space circuit and initial mapping); the
     reply carries a canonical-space result dict plus warm-state counters.
+    ``templates`` is the worker's :class:`~repro.sat.snapshot.TemplateStore`
+    (or None to disable encoded-state reuse for this job).
     """
     from ..arch.devices import by_name
     from ..circuit.circuit import QuantumCircuit
@@ -169,6 +180,15 @@ def run_job(
     job_id = job.get("job_id")
     warm: Dict[str, Any] = {"device_cached": job["device"] in devices}
     served_before = bank.served
+    hits_before = templates.hits if templates is not None else 0
+    misses_before = templates.misses if templates is not None else 0
+
+    def _warm_counters() -> None:
+        warm["bank_clauses_served"] = bank.served - served_before
+        if templates is not None:
+            warm["template_hits"] = templates.hits - hits_before
+            warm["template_misses"] = templates.misses - misses_before
+
     try:
         circuit = QuantumCircuit.from_dict(job["circuit"])
         device = devices.get(job["device"])
@@ -193,6 +213,10 @@ def run_job(
         config = config.replace(
             progress_callback=lambda record: time.monotonic() < deadline
         )
+        if templates is not None:
+            # The worker's template store; the optimizer only consults it
+            # when config.templates == "on" and the run is snapshot-safe.
+            config = config.replace(template_store=templates)
         endpoint = _BankEndpoint(bank, (job["fingerprint"], job["device"]))
         synthesizer = resolve_backend(job["backend"], config, share=endpoint)
         result = synthesizer.synthesize(
@@ -202,7 +226,7 @@ def run_job(
             initial_mapping=job.get("initial_mapping"),
         )
     except SynthesisTimeout as exc:
-        warm["bank_clauses_served"] = bank.served - served_before
+        _warm_counters()
         return {
             "job_id": job_id,
             "ok": False,
@@ -213,7 +237,7 @@ def run_job(
             "warm": warm,
         }
     except Exception as exc:  # noqa: BLE001 - reply channel, never raise
-        warm["bank_clauses_served"] = bank.served - served_before
+        _warm_counters()
         return {
             "job_id": job_id,
             "ok": False,
@@ -224,8 +248,10 @@ def run_job(
             "partial": False,
             "warm": warm,
         }
-    warm["bank_clauses_served"] = bank.served - served_before
+    _warm_counters()
     warm["bank"] = bank.stats()
+    if templates is not None:
+        warm["templates"] = templates.stats()
     return {
         "job_id": job_id,
         "ok": True,
@@ -238,16 +264,20 @@ def run_job(
 
 
 def _worker_main(
-    worker_id: int, jobs: Any, replies: Any, bank_clauses: int
+    worker_id: int, jobs: Any, replies: Any, bank_clauses: int,
+    template_entries: int,
 ) -> None:
     """Worker-process loop: warm caches live across jobs; None shuts down."""
+    from ..sat.snapshot import TemplateStore
+
     devices: Dict[str, Any] = {}
     bank = ClauseBank(bank_clauses)
+    templates = TemplateStore(template_entries) if template_entries else None
     while True:
         job = jobs.get()
         if job is None:
             break
-        replies.put(run_job(job, devices, bank))
+        replies.put(run_job(job, devices, bank, templates))
 
 
 class WorkerPool:
@@ -257,23 +287,32 @@ class WorkerPool:
         self,
         n_workers: int = 1,
         bank_clauses: int = 4096,
+        template_entries: int = 64,
         grace: float = DEFAULT_GRACE,
         mp_start_method: str = "fork",
     ) -> None:
+        from ..sat.snapshot import TemplateStore
+
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0 (0 means inline)")
         self.n_workers = n_workers
         self.bank_clauses = bank_clauses
+        self.template_entries = template_entries
         self.grace = grace
         self.mp_start_method = mp_start_method
         self.dispatches = 0
         self.respawns = 0
         self.bank_clauses_served = 0
+        self.template_hits = 0
+        self.template_misses = 0
         self._workers: List[Dict[str, Any]] = []
         self._started = False
         # Inline-mode warm state (n_workers == 0).
         self._inline_devices: Dict[str, Any] = {}
         self._inline_bank = ClauseBank(bank_clauses)
+        self._inline_templates = (
+            TemplateStore(template_entries) if template_entries else None
+        )
 
     @property
     def inline(self) -> bool:
@@ -302,7 +341,10 @@ class WorkerPool:
         replies = ctx.Queue()
         proc = ctx.Process(
             target=_worker_main,
-            args=(worker_id, jobs, replies, self.bank_clauses),
+            args=(
+                worker_id, jobs, replies, self.bank_clauses,
+                self.template_entries,
+            ),
             name=f"synth-worker-{worker_id}",
             daemon=True,
         )
@@ -365,7 +407,10 @@ class WorkerPool:
             raise RuntimeError("WorkerPool.run_job before start()")
         self.dispatches += 1
         if self.inline:
-            reply = run_job(job, self._inline_devices, self._inline_bank)
+            reply = run_job(
+                job, self._inline_devices, self._inline_bank,
+                self._inline_templates,
+            )
             self._note(reply)
             return reply
         idx = self.worker_for(f"{job['fingerprint']}|{job['device']}")
@@ -416,8 +461,10 @@ class WorkerPool:
         worker["replies"] = fresh["replies"]
 
     def _note(self, reply: Dict[str, Any]) -> None:
-        served = (reply.get("warm") or {}).get("bank_clauses_served", 0)
-        self.bank_clauses_served += int(served)
+        warm = reply.get("warm") or {}
+        self.bank_clauses_served += int(warm.get("bank_clauses_served", 0))
+        self.template_hits += int(warm.get("template_hits", 0))
+        self.template_misses += int(warm.get("template_misses", 0))
 
     # -- introspection -----------------------------------------------------
 
@@ -428,8 +475,12 @@ class WorkerPool:
             "dispatches": self.dispatches,
             "respawns": self.respawns,
             "bank_clauses_served": self.bank_clauses_served,
+            "template_hits": self.template_hits,
+            "template_misses": self.template_misses,
         }
         if self.inline:
             out["bank"] = self._inline_bank.stats()
             out["devices_cached"] = len(self._inline_devices)
+            if self._inline_templates is not None:
+                out["templates"] = self._inline_templates.stats()
         return out

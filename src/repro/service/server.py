@@ -7,7 +7,8 @@ Request lifecycle::
       -> ResultCache lookup            (hit: translate mapping, done)
       -> singleflight coalescing       (identical in-flight solve: await it)
       -> admission queue               (bounded; backpressure on submit)
-      -> WorkerPool dispatch           (warm device cache + clause bank)
+      -> WorkerPool dispatch           (warm device cache, clause bank,
+                                        encoded-template store)
       -> cache fill + translate        (canonical result -> request labels)
     CompileResponse
 

@@ -111,6 +111,14 @@ class SMTContext:
 
     @property
     def n_vars(self) -> int:
+        # During encode replay (snapshot restore) the sink already holds
+        # every variable of the finished encode; mid-replay readers (the
+        # encoder's ``base_vars`` snapshot, per-family span deltas) must
+        # see the count *as of this point in the replay*, which is the
+        # replay cursor.
+        cursor = getattr(self.sink, "_replay_cursor", None)
+        if cursor is not None:
+            return cursor
         return self.sink.n_vars
 
     @property

@@ -261,15 +261,23 @@ class TestKernelDifferential:
         The native backend stores per-variable state in typed ``array``
         buffers (ints), the python backend in plain lists (ints/bools);
         ``list()``/``bool()`` normalization makes them comparable without
-        hiding a real divergence.
+        hiding a real divergence.  Wall-clock stats are stripped: two
+        byte-identical searches still spend different seconds.
         """
+        from repro.sat.solver import SolverStats
+
+        stats = {
+            k: v
+            for k, v in solver.stats.snapshot().items()
+            if k not in SolverStats.WALL_CLOCK
+        }
         return {
             "trail": list(solver.trail[: solver.trail_size]),
             "assigns": [
                 int(a) for a in solver.assigns_lit[: 2 * solver.n_vars]
             ],
             "learnts": [tuple(solver.arena.literals(c)) for c in solver.learnts],
-            "stats": solver.stats.snapshot(),
+            "stats": stats,
             "lbd_counts": dict(solver.stats.lbd_counts),
         }
 

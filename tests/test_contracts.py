@@ -160,6 +160,65 @@ class TestSeededViolations:
         _, out = lint_source(tmp_path, "def broken(:\n")
         assert [v.rule for v in out] == ["parse-error"]
 
+    def test_seeded_load_list_before_sync(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            def restore_solver(blob):
+                s = make()
+                s.arena.lits.extend(data)
+                s.arena.version += 1
+                lib.k_load_list(s._kern, 0, 0, buf, n)
+                s._k_sync()
+            """,
+        )
+        assert [v.rule for v in out] == ["snapshot-restore-sync"]
+        assert "before _k_sync" in out[0].message
+
+    def test_seeded_buffer_growth_after_sync(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            def restore_solver(blob):
+                s = make()
+                s.arena.version += 1
+                s._k_sync()
+                s.activity.extend(data)
+                lib.k_load_list(s._kern, 0, 0, buf, n)
+            """,
+        )
+        assert [v.rule for v in out] == ["snapshot-restore-sync"]
+        assert "after _k_sync" in out[0].message
+
+    def test_seeded_restore_without_version_bump(self, tmp_path):
+        p, out = lint_source(
+            tmp_path,
+            """
+            def restore_solver(blob):
+                s = make()
+                s.arena.lits.extend(data)
+                s._k_sync()
+                lib.k_load_list(s._kern, 0, 0, buf, n)
+            """,
+        )
+        assert [v.rule for v in out] == ["snapshot-restore-sync"]
+        assert "generation" in out[0].message
+
+    def test_correct_restore_ordering_is_clean(self, tmp_path):
+        _, out = lint_source(
+            tmp_path,
+            """
+            def restore_solver(blob):
+                s = make()
+                s.arena.lits.extend(data)
+                s.activity.extend(more)
+                s.arena.version += 1
+                s._k_sync()
+                lib.k_load_list(s._kern, 0, 0, buf, n)
+            """,
+        )
+        assert out == []
+
 
 class TestPluggability:
     def test_custom_rule(self, tmp_path):

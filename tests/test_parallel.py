@@ -132,3 +132,40 @@ class TestFailureModes:
         )
         with pytest.raises(SynthesisTimeout):
             pd.synthesize(qc, dev, objective="depth")
+
+
+class TestTemplates:
+    """Coordinator pre-encode: workers restore snapshots, not re-encode."""
+
+    @pytest.mark.timeout(180)
+    def test_cooperating_workers_hit_shared_template(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        seq = OLSQ2(SynthesisConfig(time_budget=60.0)).synthesize(
+            qc, dev, objective="depth"
+        )
+        # Identical entry configs: both workers share one template key
+        # (the default portfolio diversifies `encoding`, which correctly
+        # splits the keys), so the coordinator pre-encodes once and each
+        # worker's first encoder comes from the snapshot.
+        par = ParallelDescent(
+            entries=[entry("a"), entry("b")],
+            time_budget=60.0,
+            slice_budget=0.3,
+        ).synthesize(qc, dev, objective="depth")
+        assert par.optimal and par.depth == seq.depth
+        stats = par.solver_stats["parallel"]
+        assert stats["template_hits"] == 2
+
+    @pytest.mark.timeout(180)
+    def test_templates_off_still_agrees(self):
+        qc, dev = chain_circuit(), devices.ibm_qx2()
+        par = ParallelDescent(
+            entries=[
+                entry("a", templates="off"),
+                entry("b", templates="off"),
+            ],
+            time_budget=60.0,
+            slice_budget=0.3,
+        ).synthesize(qc, dev, objective="depth")
+        assert par.optimal
+        assert par.solver_stats["parallel"]["template_hits"] == 0

@@ -495,3 +495,70 @@ class TestServeCli:
         assert sum(1 for r in responses if r.cache_hit) == 1
         for r in responses:
             validate_result(r.synthesis_result())
+
+
+class TestTemplateReuse:
+    """A template hit dispatches zero Python encode work (PR 10)."""
+
+    @pytest.mark.timeout(120)
+    def test_same_shape_different_objective_hits_template(self):
+        qc = random_circuit(random.Random(53), 4, 6)
+        cfg = fast_config().to_dict()
+
+        async def go():
+            async with SynthesisService(n_workers=0) as service:
+                a = await service.submit(
+                    CompileRequest.from_circuit(
+                        qc, "line-4", objective="depth", config=cfg
+                    )
+                )
+                b = await service.submit(
+                    CompileRequest.from_circuit(
+                        qc, "line-4", objective="swap", config=cfg
+                    )
+                )
+                return a, b, service.stats()
+
+        a, b, stats = run(go())
+        assert a.ok and b.ok
+        # Different objectives: two real dispatches, no result-cache hit —
+        # but one encode.  The second solve restored the first's
+        # post-encode snapshot instead of rebuilding clauses.
+        assert stats["solver_dispatches"] == 2
+        assert stats["cache_hits"] == 0
+        assert stats["pool"]["template_hits"] == 1
+        assert stats["pool"]["templates"]["entries"] >= 1
+        assert a.solver_stats["templates"] == {
+            "hits": 0,
+            "misses": 1,
+            "stored": 1,
+        }
+        assert b.solver_stats["templates"]["hits"] >= 1
+        assert b.solver_stats["templates"]["stored"] == 0
+        # The wall split proves it: the template hit's encode share is a
+        # replay, not a rebuild.
+        assert b.solver_stats["encode_wall_sec"] < a.solver_stats["encode_wall_sec"]
+
+    @pytest.mark.timeout(120)
+    def test_templates_off_config_skips_store(self):
+        qc = random_circuit(random.Random(59), 4, 6)
+        cfg = fast_config(templates="off").to_dict()
+
+        async def go():
+            async with SynthesisService(n_workers=0) as service:
+                a = await service.submit(
+                    CompileRequest.from_circuit(
+                        qc, "line-4", objective="depth", config=cfg
+                    )
+                )
+                b = await service.submit(
+                    CompileRequest.from_circuit(
+                        qc, "line-4", objective="swap", config=cfg
+                    )
+                )
+                return a, b, service.stats()
+
+        a, b, stats = run(go())
+        assert a.ok and b.ok
+        assert stats["pool"]["template_hits"] == 0
+        assert stats["pool"]["templates"]["entries"] == 0
